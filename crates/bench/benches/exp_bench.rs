@@ -1,0 +1,40 @@
+//! Section IV: exponential-function implementations. Benchmarks both the
+//! emulated-SVE kernels (algorithmic op-count/shape comparison: FEXPA
+//! 5-term vs 13-term vs Sleef-hardened) and scalar libm as the baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ookami_vecmath::exp::{exp_slice, ExpVariant};
+use std::hint::black_box;
+
+fn bench_exp(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..512).map(|i| -23.0 + i as f64 * 46.0 / 511.0).collect();
+
+    let mut g = c.benchmark_group("sec4_exp_emulated");
+    g.sample_size(20);
+    for (name, v) in [
+        ("fexpa_horner", ExpVariant::FexpaHorner),
+        ("fexpa_estrin", ExpVariant::FexpaEstrin),
+        ("fexpa_estrin_corrected", ExpVariant::FexpaEstrinCorrected),
+        ("poly13", ExpVariant::Poly13),
+        ("poly13_sleef", ExpVariant::Poly13Sleef),
+    ] {
+        g.bench_function(name, |b| b.iter(|| exp_slice(8, black_box(&xs), v)));
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("sec4_exp_native");
+    g.sample_size(30);
+    g.bench_function("libm_scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in black_box(&xs) {
+                acc += x.exp();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_exp);
+criterion_main!(benches);

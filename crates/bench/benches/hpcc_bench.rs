@@ -1,0 +1,77 @@
+//! Section VII: DGEMM (three maturity levels), HPL, FFT — the native
+//! counterparts of Figs. 8–9. The naive/blocked/micro ladder shows the
+//! library-tuning effect Fig. 8 measures across real BLAS stacks.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ookami_hpcc::dgemm::{dgemm_blocked, dgemm_micro, dgemm_naive, gemm_flops};
+use ookami_hpcc::fft::Fft;
+use ookami_hpcc::hpl::lu_factor_solve;
+use std::hint::black_box;
+
+fn bench_hpcc(c: &mut Criterion) {
+    let n = 192;
+    let a: Vec<f64> = (0..n * n).map(|i| ((i * 37) % 101) as f64 * 0.01 - 0.5).collect();
+    let b: Vec<f64> = (0..n * n).map(|i| ((i * 53) % 97) as f64 * 0.01 - 0.5).collect();
+
+    let mut g = c.benchmark_group("fig8_dgemm");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(gemm_flops(n, n, n) as u64));
+    g.bench_function("naive", |bch| {
+        bch.iter_batched(
+            || vec![0.0; n * n],
+            |mut cc| dgemm_naive(n, n, n, 1.0, black_box(&a), black_box(&b), 0.0, &mut cc),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("blocked", |bch| {
+        bch.iter_batched(
+            || vec![0.0; n * n],
+            |mut cc| dgemm_blocked(n, n, n, 1.0, black_box(&a), black_box(&b), 0.0, &mut cc),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("micro", |bch| {
+        bch.iter_batched(
+            || vec![0.0; n * n],
+            |mut cc| dgemm_micro(n, n, n, 1.0, black_box(&a), black_box(&b), 0.0, &mut cc),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig9_hpl_fft");
+    g.sample_size(10);
+    let hn = 160;
+    let (ha, hb) = {
+        let mut m: Vec<f64> =
+            (0..hn * hn).map(|i| ((i * 29) % 89) as f64 * 0.01 - 0.4).collect();
+        for i in 0..hn {
+            m[i * hn + i] += 20.0;
+        }
+        let v: Vec<f64> = (0..hn).map(|i| (i as f64 * 0.37).sin()).collect();
+        (m, v)
+    };
+    g.bench_function("hpl_lu_solve_160", |bch| {
+        bch.iter(|| lu_factor_solve(black_box(&ha), black_box(&hb), hn, 32))
+    });
+
+    let fft = Fft::new(1 << 14);
+    let signal: Vec<(f64, f64)> =
+        (0..1 << 14).map(|i| ((i as f64 * 0.01).sin(), (i as f64 * 0.007).cos())).collect();
+    g.bench_function("fft_16k", |bch| bch.iter(|| fft.forward(black_box(&signal))));
+    g.finish();
+
+    // STREAM triad: the bandwidth claim behind §II and the scaling model.
+    let mut g = c.benchmark_group("stream");
+    g.sample_size(10);
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let n = 1 << 22; // 32 MiB/array: out of every modeled cache
+    g.throughput(Throughput::Bytes((n * 8 * 3) as u64));
+    let mut st = ookami_hpcc::stream::Stream::new(n);
+    g.bench_function("triad_1t", |b| b.iter(|| st.triad(black_box(3.0), 1)));
+    g.bench_function("triad_mt", |b| b.iter(|| st.triad(black_box(3.0), threads)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_hpcc);
+criterion_main!(benches);

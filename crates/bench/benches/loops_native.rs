@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the Section III loop suite (Figs. 1–2),
+//! executed natively. The shapes to look for mirror the paper: gathers and
+//! scatters cost multiples of the simple loop; the short (windowed)
+//! variants are cheaper than the full random permutations on machines with
+//! wide lines; math loops cost multiples of the arithmetic ones.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ookami_loops::LoopSuite;
+use std::hint::black_box;
+
+fn bench_loops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_loops");
+    g.sample_size(20);
+    let l1 = 64 * 1024; // A64FX-sized L1 working set (the paper's protocol)
+    let make = || LoopSuite::for_l1(l1, 42);
+
+    g.bench_function("simple", |b| {
+        b.iter_batched_ref(make, |s| black_box(s).run_simple(), BatchSize::SmallInput)
+    });
+    g.bench_function("predicate", |b| {
+        b.iter_batched_ref(make, |s| black_box(s).run_predicate(), BatchSize::SmallInput)
+    });
+    g.bench_function("gather", |b| {
+        b.iter_batched_ref(make, |s| black_box(s).run_gather(false), BatchSize::SmallInput)
+    });
+    g.bench_function("short_gather", |b| {
+        b.iter_batched_ref(make, |s| black_box(s).run_gather(true), BatchSize::SmallInput)
+    });
+    g.bench_function("scatter", |b| {
+        b.iter_batched_ref(make, |s| black_box(s).run_scatter(false), BatchSize::SmallInput)
+    });
+    g.bench_function("short_scatter", |b| {
+        b.iter_batched_ref(make, |s| black_box(s).run_scatter(true), BatchSize::SmallInput)
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig2_math_loops");
+    g.sample_size(20);
+    g.bench_function("recip", |b| {
+        b.iter_batched_ref(make, |s| black_box(s).run_recip(), BatchSize::SmallInput)
+    });
+    g.bench_function("sqrt", |b| {
+        b.iter_batched_ref(make, |s| black_box(s).run_sqrt(), BatchSize::SmallInput)
+    });
+    g.bench_function("exp", |b| {
+        b.iter_batched_ref(make, |s| black_box(s).run_exp(), BatchSize::SmallInput)
+    });
+    g.bench_function("sin", |b| {
+        b.iter_batched_ref(make, |s| black_box(s).run_sin(), BatchSize::SmallInput)
+    });
+    g.bench_function("pow", |b| {
+        b.iter_batched_ref(make, |s| black_box(s).run_pow(), BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_loops);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Section VI: LULESH Base (AoS) vs Vect (SoA) — the Table II comparison,
+//! natively measured on a small Sedov mesh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ookami_lulesh::{run_variant, Variant};
+use std::hint::black_box;
+
+fn bench_lulesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_lulesh");
+    g.sample_size(10);
+    g.bench_function("base_n10", |b| {
+        b.iter(|| run_variant(Variant::Base, black_box(10), 0.02, 60))
+    });
+    g.bench_function("vect_n10", |b| {
+        b.iter(|| run_variant(Variant::Vect, black_box(10), 0.02, 60))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lulesh);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Section V: NPB kernels at small classes, single- vs multi-threaded —
+//! the native-measurement counterpart of Figs. 3–6 (the class-C figures
+//! come from the model harness; these verify the kernels really run and
+//! really speed up with threads).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ookami_npb::{bt::Bt, cg, ep, lu::Lu, sp::Sp, ua::Ua};
+use std::hint::black_box;
+
+fn bench_npb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("npb_single_thread");
+    g.sample_size(10);
+    g.bench_function("ep_m18", |b| b.iter(|| ep::run_m(black_box(18), 1)));
+    let m = cg::makea(1400, 7, 10.0);
+    g.bench_function("cg_conj_grad_s", |b| {
+        b.iter_batched(
+            || (vec![1.0; m.n], vec![0.0; m.n]),
+            |(x, mut z)| cg::conj_grad(&m, &x, &mut z, 1),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("bt_step_12", |b| {
+        b.iter_batched_ref(|| Bt::with_grid(12), |s| s.step(1), BatchSize::SmallInput)
+    });
+    g.bench_function("sp_step_12", |b| {
+        b.iter_batched_ref(|| Sp::with_grid(12), |s| s.step(1), BatchSize::SmallInput)
+    });
+    g.bench_function("lu_step_12", |b| {
+        b.iter_batched_ref(|| Lu::with_grid(12), |s| s.step(1), BatchSize::SmallInput)
+    });
+    g.bench_function("ua_20steps", |b| {
+        b.iter_batched_ref(|| Ua::with_levels(5), |s| s.run(20, 1), BatchSize::SmallInput)
+    });
+    g.finish();
+
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let mut g = c.benchmark_group("npb_all_threads");
+    g.sample_size(10);
+    g.bench_function("ep_m18_mt", |b| b.iter(|| ep::run_m(black_box(18), threads)));
+    g.bench_function("bt_step_12_mt", |b| {
+        b.iter_batched_ref(|| Bt::with_grid(12), |s| s.step(threads), BatchSize::SmallInput)
+    });
+    g.bench_function("sp_step_12_mt", |b| {
+        b.iter_batched_ref(|| Sp::with_grid(12), |s| s.step(threads), BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_npb);
+criterion_main!(benches);

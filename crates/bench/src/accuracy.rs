@@ -1,0 +1,226 @@
+//! The accuracy study the paper defers ("a complete evaluation of math
+//! library performance must include accuracy, which will be the topic of
+//! another paper"): max/mean ulp error of every toolchain's math-library
+//! algorithm, measured on the emulator against libm references.
+
+use ookami_core::measure::Table;
+use ookami_vecmath::exp::{exp_slice, ExpVariant};
+use ookami_vecmath::log::{log, DivStyle};
+use ookami_vecmath::pow::{pow, PowStyle};
+use ookami_vecmath::recip::{recip, RecipStyle};
+use ookami_vecmath::sqrt::{sqrt, SqrtStyle};
+use ookami_vecmath::ulp::{measure, sample_range, Accuracy};
+use ookami_vecmath::{map_f64, sin::sin as vsin};
+use ookami_sve::SveCtx;
+
+/// One row of the accuracy table.
+#[derive(Debug, Clone)]
+pub struct AccuracyRow {
+    pub function: &'static str,
+    pub implementation: &'static str,
+    pub toolchains: &'static str,
+    pub domain: &'static str,
+    pub acc: Accuracy,
+}
+
+fn acc_of(got: &[f64], want: &[f64]) -> Accuracy {
+    measure(got, want)
+}
+
+/// Measure every implementation.
+pub fn accuracy_study() -> Vec<AccuracyRow> {
+    let mut rows = Vec::new();
+
+    // ---- exp ----
+    let xs = sample_range(-700.0, 700.0, 40_001);
+    let want: Vec<f64> = xs.iter().map(|&x| x.exp()).collect();
+    for (imp, tc, v) in [
+        ("FEXPA 5-term Estrin+fix", "fujitsu", ExpVariant::FexpaEstrinCorrected),
+        ("FEXPA 5-term Horner", "(§IV prototype)", ExpVariant::FexpaHorner),
+        ("13-term table-free", "cray/intel", ExpVariant::Poly13),
+        ("13-term + Sleef guard", "arm", ExpVariant::Poly13Sleef),
+    ] {
+        rows.push(AccuracyRow {
+            function: "exp",
+            implementation: imp,
+            toolchains: tc,
+            domain: "[-700, 700]",
+            acc: acc_of(&exp_slice(8, &xs, v), &want),
+        });
+    }
+
+    // ---- sin ----
+    let xs = sample_range(-100.0, 100.0, 40_001);
+    let want: Vec<f64> = xs.iter().map(|&x| x.sin()).collect();
+    let got = map_f64(8, &xs, |ctx, pg, x| vsin(ctx, pg, x));
+    rows.push(AccuracyRow {
+        function: "sin",
+        implementation: "3-part reduction + Estrin",
+        toolchains: "all vectorized",
+        domain: "[-100, 100]",
+        acc: acc_of(&got, &want),
+    });
+
+    // ---- log ----
+    let xs = sample_range(1e-3, 1e3, 40_001);
+    let want: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+    for (imp, tc, style) in [
+        ("fdlibm series, Newton div", "fujitsu/cray", DivStyle::Newton),
+        ("fdlibm series, FDIV", "gnu/arm", DivStyle::Fdiv),
+    ] {
+        let got = map_f64(8, &xs, |ctx, pg, x| log(ctx, pg, x, style));
+        rows.push(AccuracyRow {
+            function: "log",
+            implementation: imp,
+            toolchains: tc,
+            domain: "[1e-3, 1e3]",
+            acc: acc_of(&got, &want),
+        });
+    }
+
+    // ---- recip / sqrt ----
+    let xs = sample_range(1e-3, 1e3, 40_001);
+    let want: Vec<f64> = xs.iter().map(|&x| 1.0 / x).collect();
+    for (imp, tc, style) in [
+        ("FRECPE + 3 Newton + fix", "fujitsu/cray/arm", RecipStyle::Newton),
+        ("FDIV instruction", "gnu", RecipStyle::Fdiv),
+    ] {
+        let got = map_f64(8, &xs, |ctx, pg, x| recip(ctx, pg, x, style));
+        rows.push(AccuracyRow {
+            function: "recip",
+            implementation: imp,
+            toolchains: tc,
+            domain: "[1e-3, 1e3]",
+            acc: acc_of(&got, &want),
+        });
+    }
+    let want: Vec<f64> = xs.iter().map(|&x| x.sqrt()).collect();
+    for (imp, tc, style) in [
+        ("FRSQRTE + 3 Newton + Heron", "fujitsu/cray", SqrtStyle::Newton),
+        ("FSQRT instruction", "gnu/arm", SqrtStyle::Fsqrt),
+    ] {
+        let got = map_f64(8, &xs, |ctx, pg, x| sqrt(ctx, pg, x, style));
+        rows.push(AccuracyRow {
+            function: "sqrt",
+            implementation: imp,
+            toolchains: tc,
+            domain: "[1e-3, 1e3]",
+            acc: acc_of(&got, &want),
+        });
+    }
+
+    // ---- pow ----
+    let mut cases = Vec::new();
+    for i in 0..200 {
+        for j in 0..50 {
+            cases.push((0.1 + i as f64 * 0.05, -12.0 + j as f64 * 0.5));
+        }
+    }
+    for (imp, tc, style) in [
+        ("table log + FEXPA exp", "fujitsu/intel", PowStyle::FexpaFast),
+        ("FDIV log + FEXPA exp", "cray", PowStyle::FdivLog),
+        ("Sleef double-double", "arm", PowStyle::SleefDd),
+    ] {
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        let mut ctx = SveCtx::new(8);
+        for chunk in cases.chunks(8) {
+            let pg = ctx.whilelt(0, chunk.len());
+            let mut bx = [1.0f64; 8];
+            let mut by = [1.0f64; 8];
+            for (l, &(x, y)) in chunk.iter().enumerate() {
+                bx[l] = x;
+                by[l] = y;
+            }
+            let vx = ctx.input_f64(&bx);
+            let vy = ctx.input_f64(&by);
+            let r = pow(&mut ctx, &pg, &vx, &vy, style);
+            for (l, &(x, y)) in chunk.iter().enumerate() {
+                got.push(r.f64_lane(l));
+                want.push(x.powf(y));
+            }
+        }
+        rows.push(AccuracyRow {
+            function: "pow",
+            implementation: imp,
+            toolchains: tc,
+            domain: "x∈[0.1,10], y∈[-12,12]",
+            acc: acc_of(&got, &want),
+        });
+    }
+
+    rows
+}
+
+/// Render the study.
+pub fn render() -> String {
+    let mut t = Table::new(
+        "Accuracy study — max/mean ulp vs libm (the paper's deferred evaluation; \
+         \"1 and 4 ulps is common in vectorized libraries\")",
+        &["function", "implementation", "toolchains", "domain", "max ulp", "mean ulp"],
+    );
+    for r in accuracy_study() {
+        t.row(&[
+            r.function.to_string(),
+            r.implementation.to_string(),
+            r.toolchains.to_string(),
+            r.domain.to_string(),
+            r.acc.max_ulp.to_string(),
+            format!("{:.3}", r.acc.mean_ulp),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_is_complete_and_within_vectorized_norms() {
+        let rows = accuracy_study();
+        assert!(rows.len() >= 12);
+        for r in &rows {
+            assert!(r.acc.samples > 1000, "{}: too few samples", r.implementation);
+            // every implementation within a few dozen ulp; the instruction-
+            // based ones (FDIV/FSQRT) exactly rounded
+            assert!(r.acc.max_ulp <= 64, "{} {}: {} ulp", r.function, r.implementation, r.acc.max_ulp);
+        }
+        let fdiv = rows
+            .iter()
+            .find(|r| r.function == "recip" && r.implementation.contains("FDIV"))
+            .unwrap();
+        assert_eq!(fdiv.acc.max_ulp, 0, "FDIV is correctly rounded");
+        let fsqrt = rows
+            .iter()
+            .find(|r| r.function == "sqrt" && r.implementation.contains("FSQRT"))
+            .unwrap();
+        assert_eq!(fsqrt.acc.max_ulp, 0, "FSQRT is correctly rounded");
+    }
+
+    #[test]
+    fn speed_accuracy_tradeoff_is_visible() {
+        // The paper's §III observation in data: the *instructions* (FDIV,
+        // FSQRT) are correctly rounded but catastrophically slow; the fast
+        // Newton/table kernels trade a couple of ulp for 5–20× speed.
+        let rows = accuracy_study();
+        let newton_sqrt = rows
+            .iter()
+            .find(|r| r.function == "sqrt" && r.implementation.contains("Newton"))
+            .unwrap();
+        // ≤ ~1 ulp (the Heron fix often lands correctly rounded on dense
+        // grids), versus 0 for the exact-but-blocking instruction.
+        assert!(newton_sqrt.acc.max_ulp <= 2);
+        let fexpa = rows
+            .iter()
+            .find(|r| r.function == "exp" && r.implementation.contains("Horner"))
+            .unwrap();
+        assert!(fexpa.acc.max_ulp >= 1, "the fast prototype is not correctly rounded");
+    }
+
+    #[test]
+    fn renders() {
+        let s = render();
+        assert!(s.contains("FEXPA") && s.contains("max ulp"));
+    }
+}

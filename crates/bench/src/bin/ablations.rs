@@ -1,0 +1,5 @@
+//! Print the ablation studies (mechanism on/off experiments).
+
+fn main() {
+    print!("{}", ookami_bench::ablations::render_all(ookami_uarch::machines::a64fx()));
+}

@@ -1,0 +1,5 @@
+//! Print the math-library accuracy study (the paper's deferred topic).
+
+fn main() {
+    print!("{}", ookami_bench::accuracy::render());
+}

@@ -1,0 +1,12 @@
+//! Regenerate the paper's figures: `figures <id>|all [--csv]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    print!("{}", ookami_bench::run_figures(&which, csv));
+}

@@ -1,0 +1,25 @@
+//! Generate the complete reproduction report (every figure, table,
+//! ablation and the accuracy study) as markdown-ish text on stdout:
+//!
+//! `cargo run --release -p ookami-bench --bin report > REPORT.txt`
+
+fn main() {
+    println!("# ookami — full reproduction report\n");
+    println!("Regenerated from the models and emulator; see EXPERIMENTS.md for the");
+    println!("paper-vs-produced ledger and DESIGN.md for the substitutions.\n");
+
+    println!("## Tables\n");
+    print!("{}", ookami_bench::run_tables("all"));
+
+    println!("## Figures\n");
+    print!("{}", ookami_bench::run_figures("all", false));
+
+    println!("## Ablations\n");
+    print!(
+        "{}",
+        ookami_bench::ablations::render_all(ookami_uarch::machines::a64fx())
+    );
+
+    println!("\n## Accuracy study\n");
+    print!("{}", ookami_bench::accuracy::render());
+}

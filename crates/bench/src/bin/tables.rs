@@ -1,0 +1,6 @@
+//! Regenerate the paper's tables: `tables <table1|table2|table3>|all`.
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    print!("{}", ookami_bench::run_tables(&which));
+}

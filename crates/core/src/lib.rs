@@ -1,0 +1,24 @@
+//! # ookami-core — experiment orchestration
+//!
+//! Shared substrate for the workload crates and the benchmark harness:
+//!
+//! * [`runtime`] — an OpenMP-like chunked parallel-for on crossbeam scoped
+//!   threads (the repo's stand-in for the OpenMP runtimes the paper
+//!   compares; also how the native Rust workloads actually thread);
+//! * [`profile`] — [`WorkloadProfile`]: the characterization record each
+//!   workload produces (FLOPs, memory traffic, math-function calls,
+//!   vectorizability, parallel structure) and the machine/toolchain model
+//!   consumes;
+//! * [`measure`] — measurement records and fixed-width table / CSV output
+//!   used by every figure regenerator;
+//! * [`stats`] — mean/stddev/median helpers (the paper's error bars).
+
+pub mod measure;
+pub mod profile;
+pub mod runtime;
+pub mod stats;
+
+pub use measure::{Measurement, Table};
+pub use profile::{MathFunc, WorkloadProfile};
+pub use runtime::{par_chunks_mut, par_for, par_reduce};
+pub use stats::Stats;

@@ -1,0 +1,223 @@
+//! Workload characterization records.
+//!
+//! Class-C NPB runs (162³ grids × hundreds of iterations) are infeasible
+//! through an instruction emulator, so each workload crate *runs and
+//! verifies* smaller classes natively and *characterizes* the work
+//! analytically: total FLOPs, memory traffic, math-library calls, and
+//! parallel structure. The toolchain/machine model turns a
+//! [`WorkloadProfile`] into a runtime prediction (Figs. 3–7). DESIGN.md §2
+//! documents this substitution.
+
+use serde::{Deserialize, Serialize};
+
+/// Math-library function families whose implementation choice the paper
+/// shows dominates toolchain differences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MathFunc {
+    Exp,
+    Sin,
+    Pow,
+    Sqrt,
+    Recip,
+    Log,
+}
+
+impl MathFunc {
+    pub const ALL: [MathFunc; 6] = [
+        MathFunc::Exp,
+        MathFunc::Sin,
+        MathFunc::Pow,
+        MathFunc::Sqrt,
+        MathFunc::Recip,
+        MathFunc::Log,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            MathFunc::Exp => "exp",
+            MathFunc::Sin => "sin",
+            MathFunc::Pow => "pow",
+            MathFunc::Sqrt => "sqrt",
+            MathFunc::Recip => "recip",
+            MathFunc::Log => "log",
+        }
+    }
+}
+
+/// Characterization of one workload configuration (e.g. "NPB CG, class C").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    pub name: String,
+    /// Total double-precision FLOPs for the whole run.
+    pub flops: f64,
+    /// Fraction of FLOPs issued as FMAs (pairs of mul+add fused).
+    pub fma_fraction: f64,
+    /// Main-memory traffic in bytes for the whole run (post-cache).
+    pub mem_bytes: f64,
+    /// Math-library evaluations: (function, count).
+    pub math_calls: Vec<(MathFunc, f64)>,
+    /// Fraction of the FLOP work inside vectorizable inner loops.
+    pub vec_fraction: f64,
+    /// Fraction of loads that are indexed (gather-like; CG ≈ high, EP ≈ 0).
+    pub gather_fraction: f64,
+    /// Number of individually-indexed (gathered) element accesses over the
+    /// run. These pay latency-bound costs the streaming-bandwidth model
+    /// misses — they are why CG's single-core gap to Skylake is only 1.6×
+    /// while EP's is 5.5× (Fig. 3) despite A64FX's bandwidth advantage.
+    pub gather_elems: f64,
+    /// Size of the randomly-accessed region (decides which cache level the
+    /// gathers hit; CG's `x` vector fits in the A64FX L2).
+    pub gather_target_bytes: f64,
+    /// Fraction of the memory traffic issued with strided or partial-line
+    /// access. On a 256-byte-line machine (A64FX) such traffic drags whole
+    /// fat lines for few useful bytes; the model amplifies it by
+    /// `line_bytes/64`. This is the mechanism that lets Skylake win the
+    /// single-core comparisons even for memory-heavy codes (Fig. 3).
+    pub stride_waste: f64,
+    /// Amdahl parallel fraction of the run.
+    pub parallel_fraction: f64,
+    /// Fork/join episodes over the run (OpenMP barrier count).
+    pub barriers: f64,
+    /// Load-imbalance factor ≥ 1 (UA's irregular mesh > BT's blocks).
+    pub imbalance: f64,
+}
+
+impl WorkloadProfile {
+    /// A compute-only starting point; builder-style setters refine it.
+    pub fn new(name: impl Into<String>, flops: f64, mem_bytes: f64) -> Self {
+        WorkloadProfile {
+            name: name.into(),
+            flops,
+            fma_fraction: 0.5,
+            mem_bytes,
+            math_calls: Vec::new(),
+            vec_fraction: 0.9,
+            gather_fraction: 0.0,
+            gather_elems: 0.0,
+            gather_target_bytes: 0.0,
+            stride_waste: 0.0,
+            parallel_fraction: 1.0,
+            barriers: 0.0,
+            imbalance: 1.0,
+        }
+    }
+
+    pub fn with_math(mut self, f: MathFunc, count: f64) -> Self {
+        self.math_calls.push((f, count));
+        self
+    }
+
+    pub fn with_vec_fraction(mut self, v: f64) -> Self {
+        assert!((0.0..=1.0).contains(&v));
+        self.vec_fraction = v;
+        self
+    }
+
+    pub fn with_fma_fraction(mut self, v: f64) -> Self {
+        assert!((0.0..=1.0).contains(&v));
+        self.fma_fraction = v;
+        self
+    }
+
+    pub fn with_gather_fraction(mut self, v: f64) -> Self {
+        assert!((0.0..=1.0).contains(&v));
+        self.gather_fraction = v;
+        self
+    }
+
+    pub fn with_gathers(mut self, elems: f64, target_bytes: f64) -> Self {
+        self.gather_elems = elems;
+        self.gather_target_bytes = target_bytes;
+        self
+    }
+
+    pub fn with_stride_waste(mut self, v: f64) -> Self {
+        assert!((0.0..=1.0).contains(&v));
+        self.stride_waste = v;
+        self
+    }
+
+    /// Memory traffic as seen by a machine with `line_bytes` cache lines:
+    /// the strided fraction is amplified by the ratio to a 64-byte line.
+    pub fn effective_bytes(&self, line_bytes: usize) -> f64 {
+        let amp = (line_bytes as f64 / 64.0).max(1.0);
+        self.mem_bytes * (1.0 + self.stride_waste * (amp - 1.0))
+    }
+
+    pub fn with_parallel(mut self, fraction: f64, barriers: f64, imbalance: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        assert!(imbalance >= 1.0);
+        self.parallel_fraction = fraction;
+        self.barriers = barriers;
+        self.imbalance = imbalance;
+        self
+    }
+
+    /// Arithmetic intensity (FLOP/byte) of the whole run.
+    pub fn intensity(&self) -> f64 {
+        if self.mem_bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.mem_bytes
+        }
+    }
+
+    /// Total math-library calls.
+    pub fn total_math_calls(&self) -> f64 {
+        self.math_calls.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Scale all extensive quantities (FLOPs, bytes, calls, barriers) by
+    /// `k` — e.g. from a measured small class to class C.
+    pub fn scaled(&self, k: f64) -> Self {
+        let mut p = self.clone();
+        p.flops *= k;
+        p.mem_bytes *= k;
+        p.barriers *= k;
+        p.gather_elems *= k;
+        for (_, c) in &mut p.math_calls {
+            *c *= k;
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_intensity() {
+        let p = WorkloadProfile::new("cg", 1e12, 8e12)
+            .with_gather_fraction(0.5)
+            .with_math(MathFunc::Sqrt, 1e6)
+            .with_parallel(0.99, 1000.0, 1.05);
+        assert!((p.intensity() - 0.125).abs() < 1e-12);
+        assert_eq!(p.total_math_calls(), 1e6);
+        assert_eq!(p.barriers, 1000.0);
+    }
+
+    #[test]
+    fn scaling_is_extensive_only() {
+        let p = WorkloadProfile::new("x", 10.0, 20.0).with_math(MathFunc::Exp, 5.0);
+        let q = p.scaled(3.0);
+        assert_eq!(q.flops, 30.0);
+        assert_eq!(q.mem_bytes, 60.0);
+        assert_eq!(q.math_calls[0].1, 15.0);
+        // intensive quantities unchanged
+        assert_eq!(q.vec_fraction, p.vec_fraction);
+        assert_eq!(q.imbalance, p.imbalance);
+    }
+
+    #[test]
+    fn compute_only_profile() {
+        let p = WorkloadProfile::new("ep", 1e12, 0.0);
+        assert!(p.intensity().is_infinite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_fraction_panics() {
+        let _ = WorkloadProfile::new("x", 1.0, 1.0).with_vec_fraction(1.5);
+    }
+}

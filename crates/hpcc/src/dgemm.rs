@@ -1,0 +1,247 @@
+//! Double-precision general matrix multiply: C ← α·A·B + β·C.
+//!
+//! Three implementations mirroring the maturity ladder the paper compares:
+//! a naive triple loop (the "no optimized library" floor), a cache-blocked
+//! version, and a register-tiled micro-kernel version (the structural core
+//! of every optimized BLAS, whose per-cycle FMA balance sets the
+//! efficiency ceiling the Fig. 8 percentages are measured against).
+
+/// Row-major matrix view helpers.
+#[inline]
+fn at(data: &[f64], ld: usize, i: usize, j: usize) -> f64 {
+    data[i * ld + j]
+}
+
+/// Naive triple loop.
+pub fn dgemm_naive(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += at(a, k, i, p) * at(b, n, p, j);
+            }
+            c[i * n + j] = alpha * s + beta * c[i * n + j];
+        }
+    }
+}
+
+/// Cache-blocked version (MC×KC×NC panels).
+pub fn dgemm_blocked(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    const MC: usize = 64;
+    const KC: usize = 128;
+    const NC: usize = 64;
+    assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+    // β pass first, then accumulate.
+    for v in c[..m * n].iter_mut() {
+        *v *= beta;
+    }
+    for i0 in (0..m).step_by(MC) {
+        let im = (i0 + MC).min(m);
+        for p0 in (0..k).step_by(KC) {
+            let pm = (p0 + KC).min(k);
+            for j0 in (0..n).step_by(NC) {
+                let jm = (j0 + NC).min(n);
+                for i in i0..im {
+                    for p in p0..pm {
+                        let aip = alpha * at(a, k, i, p);
+                        let brow = &b[p * n + j0..p * n + jm];
+                        let crow = &mut c[i * n + j0..i * n + jm];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv += aip * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Register-tiled micro-kernel version: 4×4 accumulator tiles over KC
+/// panels — the loop structure whose FMA/load balance the cost model
+/// analyzes for the Fig. 8 efficiency ceiling.
+pub fn dgemm_micro(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    const MR: usize = 4;
+    const NR: usize = 4;
+    assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+    for v in c[..m * n].iter_mut() {
+        *v *= beta;
+    }
+    let mut i0 = 0;
+    while i0 < m {
+        let im = (i0 + MR).min(m);
+        let mut j0 = 0;
+        while j0 < n {
+            let jm = (j0 + NR).min(n);
+            // accumulator tile
+            let mut acc = [[0.0f64; NR]; MR];
+            for p in 0..k {
+                for (ti, i) in (i0..im).enumerate() {
+                    let av = at(a, k, i, p);
+                    for (tj, j) in (j0..jm).enumerate() {
+                        acc[ti][tj] += av * at(b, n, p, j);
+                    }
+                }
+            }
+            for (ti, i) in (i0..im).enumerate() {
+                for (tj, j) in (j0..jm).enumerate() {
+                    c[i * n + j] += alpha * acc[ti][tj];
+                }
+            }
+            j0 += NR;
+        }
+        i0 += MR;
+    }
+}
+
+/// Threaded GEMM: row-panels of C are disjoint, so threads split `m`.
+/// (This is the EP-DGEMM shape of Fig. 8: every core runs an independent
+/// multiply; here cores cooperate on one.)
+pub fn dgemm_parallel(
+    threads: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+    let cbase = c.as_mut_ptr() as usize;
+    ookami_core::runtime::par_for(threads, m, |_, s, e| {
+        let rows = e - s;
+        let cslice =
+            unsafe { std::slice::from_raw_parts_mut((cbase as *mut f64).add(s * n), rows * n) };
+        dgemm_blocked(rows, n, k, alpha, &a[s * k..e * k], b, beta, cslice);
+    });
+}
+
+/// FLOPs of one GEMM call.
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn random_mat(rng: &mut impl Rng, r: usize, c: usize) -> Vec<f64> {
+        (0..r * c).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn blocked_and_micro_match_naive() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        for (m, n, k) in [(17, 23, 31), (64, 64, 64), (50, 1, 50), (1, 7, 1), (33, 65, 5)] {
+            let a = random_mat(&mut rng, m, k);
+            let b = random_mat(&mut rng, k, n);
+            let c0 = random_mat(&mut rng, m, n);
+            let mut c1 = c0.clone();
+            let mut c2 = c0.clone();
+            let mut c3 = c0.clone();
+            dgemm_naive(m, n, k, 1.3, &a, &b, 0.7, &mut c1);
+            dgemm_blocked(m, n, k, 1.3, &a, &b, 0.7, &mut c2);
+            dgemm_micro(m, n, k, 1.3, &a, &b, 0.7, &mut c3);
+            assert!(close(&c1, &c2, 1e-10), "blocked differs at {m}x{n}x{k}");
+            assert!(close(&c1, &c3, 1e-10), "micro differs at {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        for (m, n, k) in [(37, 29, 41), (64, 64, 64), (5, 100, 3)] {
+            let a = random_mat(&mut rng, m, k);
+            let b = random_mat(&mut rng, k, n);
+            let c0 = random_mat(&mut rng, m, n);
+            let mut c1 = c0.clone();
+            let mut c4 = c0.clone();
+            dgemm_blocked(m, n, k, 1.1, &a, &b, 0.3, &mut c1);
+            dgemm_parallel(4, m, n, k, 1.1, &a, &b, 0.3, &mut c4);
+            assert!(close(&c1, &c4, 1e-12), "parallel differs at {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let n = 16;
+        let mut eye = vec![0.0; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let b = random_mat(&mut rng, n, n);
+        let mut c = vec![0.0; n * n];
+        dgemm_blocked(n, n, n, 1.0, &eye, &b, 0.0, &mut c);
+        assert!(close(&c, &b, 1e-14));
+    }
+
+    #[test]
+    fn beta_scaling_only() {
+        let n = 8;
+        let a = vec![0.0; n * n];
+        let b = vec![0.0; n * n];
+        let mut c: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+        let want: Vec<f64> = c.iter().map(|x| 2.0 * x).collect();
+        dgemm_micro(n, n, n, 1.0, &a, &b, 2.0, &mut c);
+        assert!(close(&c, &want, 1e-14));
+    }
+
+    #[test]
+    fn flop_count() {
+        assert_eq!(gemm_flops(10, 20, 30), 12000.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn gemm_is_linear_in_alpha(seed in 0u64..100, alpha in -2.0f64..2.0) {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let (m, n, k) = (9, 11, 13);
+            let a = random_mat(&mut rng, m, k);
+            let b = random_mat(&mut rng, k, n);
+            let mut c1 = vec![0.0; m * n];
+            let mut c2 = vec![0.0; m * n];
+            dgemm_blocked(m, n, k, alpha, &a, &b, 0.0, &mut c1);
+            dgemm_blocked(m, n, k, 1.0, &a, &b, 0.0, &mut c2);
+            for (x, y) in c1.iter().zip(&c2) {
+                prop_assert!((x - alpha * y).abs() < 1e-10);
+            }
+        }
+    }
+    use proptest::prelude::prop_assert;
+}

@@ -1,0 +1,250 @@
+//! 1-D complex FFT: Stockham autosort, radix-2 — the self-sorting variant
+//! vector machines favor (contiguous, stride-free inner loops; no bit
+//! reversal pass).
+
+use std::f64::consts::PI;
+
+/// Complex number as (re, im); kept as a plain tuple array for SoA-free
+/// simplicity (the benchmark is bandwidth-bound either way).
+pub type C64 = (f64, f64);
+
+#[inline]
+fn cmul(a: C64, b: C64) -> C64 {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+#[inline]
+fn cadd(a: C64, b: C64) -> C64 {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+#[inline]
+fn csub(a: C64, b: C64) -> C64 {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+/// FFT plan (twiddle tables) for size `n` (power of two).
+#[derive(Debug, Clone)]
+pub struct Fft {
+    pub n: usize,
+    twiddles: Vec<C64>, // per-stage tables (p = 0..m), concatenated
+    stage_off: Vec<usize>,
+}
+
+impl Fft {
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "size must be a power of two");
+        let mut twiddles = Vec::new();
+        let mut stage_off = Vec::new();
+        // Stages process sub-transform sizes n, n/2, …, 2 (DIF order).
+        let mut n_cur = n;
+        while n_cur > 1 {
+            let m = n_cur / 2;
+            stage_off.push(twiddles.len());
+            for p in 0..m {
+                let ang = -2.0 * PI * p as f64 / n_cur as f64;
+                twiddles.push((ang.cos(), ang.sin()));
+            }
+            n_cur = m;
+        }
+        Fft { n, twiddles, stage_off }
+    }
+
+    /// Forward transform (out-of-place ping-pong, Stockham autosort).
+    pub fn forward(&self, input: &[C64]) -> Vec<C64> {
+        self.transform(input, false)
+    }
+
+    /// Inverse transform (scaled by 1/n).
+    pub fn inverse(&self, input: &[C64]) -> Vec<C64> {
+        let mut out = self.transform(input, true);
+        let s = 1.0 / self.n as f64;
+        for v in out.iter_mut() {
+            v.0 *= s;
+            v.1 *= s;
+        }
+        out
+    }
+
+    /// Decimation-in-frequency Stockham: at each stage the sub-transform
+    /// size `n_cur` halves while the stride `s` doubles; the permutation is
+    /// absorbed into the ping-pong writes (no bit-reversal pass).
+    fn transform(&self, input: &[C64], inverse: bool) -> Vec<C64> {
+        assert_eq!(input.len(), self.n);
+        let n = self.n;
+        let mut a: Vec<C64> = input.to_vec();
+        let mut b: Vec<C64> = vec![(0.0, 0.0); n];
+        let mut n_cur = n;
+        let mut s = 1usize;
+        let mut stage = 0usize;
+        while n_cur > 1 {
+            let m = n_cur / 2;
+            let toff = self.stage_off[stage];
+            for p in 0..m {
+                let mut wp = self.twiddles[toff + p];
+                if inverse {
+                    wp.1 = -wp.1;
+                }
+                for q in 0..s {
+                    let u = a[q + s * p];
+                    let v = a[q + s * (p + m)];
+                    b[q + s * 2 * p] = cadd(u, v);
+                    b[q + s * (2 * p + 1)] = cmul(csub(u, v), wp);
+                }
+            }
+            std::mem::swap(&mut a, &mut b);
+            n_cur = m;
+            s *= 2;
+            stage += 1;
+        }
+        a
+    }
+
+    /// The HPCC FFT FLOP count: `5·n·log2(n)`.
+    pub fn flops(&self) -> f64 {
+        5.0 * self.n as f64 * (self.n as f64).log2()
+    }
+
+    /// Transform a batch of independent signals in parallel (rows of a 2-D
+    /// dataset — the shape a distributed 1-D FFT reduces to between its
+    /// transposes).
+    pub fn forward_batch(&self, signals: &[Vec<C64>], threads: usize) -> Vec<Vec<C64>> {
+        let mut out: Vec<Vec<C64>> = vec![Vec::new(); signals.len()];
+        let obase = out.as_mut_ptr() as usize;
+        ookami_core::runtime::par_for(threads, signals.len(), |_, s, e| {
+            let slot = unsafe {
+                std::slice::from_raw_parts_mut((obase as *mut Vec<C64>).add(s), e - s)
+            };
+            for (i, o) in (s..e).zip(slot.iter_mut()) {
+                *o = self.forward(&signals[i]);
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn naive_dft(x: &[C64], inverse: bool) -> Vec<C64> {
+        let n = x.len();
+        let sign = if inverse { 1.0 } else { -1.0 };
+        (0..n)
+            .map(|k| {
+                let mut acc = (0.0, 0.0);
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = sign * 2.0 * PI * (k * j) as f64 / n as f64;
+                    acc = cadd(acc, cmul((ang.cos(), ang.sin()), v));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn random_signal(n: usize, seed: u64) -> Vec<C64> {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 4, 8, 32, 128] {
+            let x = random_signal(n, n as u64);
+            let got = Fft::new(n).forward(&x);
+            let want = naive_dft(&x, false);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.0 - w.0).abs() < 1e-9 && (g.1 - w.1).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let n = 1 << 12;
+        let x = random_signal(n, 3);
+        let f = Fft::new(n);
+        let back = f.inverse(&f.forward(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a.0 - b.0).abs() < 1e-10 && (a.1 - b.1).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 1 << 10;
+        let x = random_signal(n, 9);
+        let y = Fft::new(n).forward(&x);
+        let ex: f64 = x.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
+        let ey: f64 = y.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() < 1e-8 * ex, "{ex} vs {ey}");
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let n = 64;
+        let mut x = vec![(0.0, 0.0); n];
+        x[0] = (1.0, 0.0);
+        let y = Fft::new(n).forward(&x);
+        for v in y {
+            assert!((v.0 - 1.0).abs() < 1e-12 && v.1.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_bin() {
+        let n = 128;
+        let kf = 5;
+        let x: Vec<C64> = (0..n)
+            .map(|j| {
+                let ang = 2.0 * PI * (kf * j) as f64 / n as f64;
+                (ang.cos(), ang.sin())
+            })
+            .collect();
+        let y = Fft::new(n).forward(&x);
+        for (k, v) in y.iter().enumerate() {
+            let mag = (v.0 * v.0 + v.1 * v.1).sqrt();
+            if k == kf {
+                assert!((mag - n as f64).abs() < 1e-8);
+            } else {
+                assert!(mag < 1e-8, "leakage at {k}: {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual() {
+        let n = 256;
+        let signals: Vec<Vec<C64>> = (0..7).map(|k| random_signal(n, k as u64)).collect();
+        let f = Fft::new(n);
+        let batch = f.forward_batch(&signals, 4);
+        for (sig, got) in signals.iter().zip(&batch) {
+            let want = f.forward(sig);
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 256;
+        let a = random_signal(n, 1);
+        let b = random_signal(n, 2);
+        let sum: Vec<C64> = a.iter().zip(&b).map(|(x, y)| cadd(*x, *y)).collect();
+        let f = Fft::new(n);
+        let fa = f.forward(&a);
+        let fb = f.forward(&b);
+        let fs = f.forward(&sum);
+        for i in 0..n {
+            let want = cadd(fa[i], fb[i]);
+            assert!((fs[i].0 - want.0).abs() < 1e-10 && (fs[i].1 - want.1).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn flop_count() {
+        let f = Fft::new(1024);
+        assert!((f.flops() - 5.0 * 1024.0 * 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,30 @@
+//! # ookami-hpcc — the HPC Challenge subset (Section VII)
+//!
+//! The paper uses HPCC through XDMoD to compare Ookami against Stampede 2
+//! (SKX + KNL) and the EPYC systems, concentrating on DGEMM, HPL and FFT.
+//! This crate provides:
+//!
+//! * real Rust implementations — [`dgemm`] (naive, blocked, and
+//!   register-tiled micro-kernel), [`hpl`] (blocked LU with partial
+//!   pivoting + triangular solves, HPL-style residual check), [`fft`]
+//!   (Stockham autosort radix-2) — all correctness- and property-tested;
+//! * [`libs`] — the library-maturity model: each BLAS/FFT library is a
+//!   (vector-width-used, tuning-factor) pair over the machine's
+//!   micro-kernel ceiling. OpenBLAS's missing SVE support (it runs the
+//!   128-bit NEON path) is what makes Fujitsu BLAS "almost 14 times
+//!   faster" in Fig. 8;
+//! * [`interconnect`] — HDR-200 fat-tree + MPI-implementation model for
+//!   the multi-node HPL/FFT panels of Fig. 9;
+//! * [`figures`] — the Fig. 8 and Fig. 9 regenerators.
+
+pub mod dgemm;
+pub mod fft;
+pub mod figures;
+pub mod hpl;
+pub mod interconnect;
+pub mod libs;
+pub mod stream;
+
+pub use dgemm::{dgemm_blocked, dgemm_naive};
+pub use fft::Fft;
+pub use hpl::lu_factor_solve;

@@ -1,0 +1,712 @@
+//! The Lagrangian hydrodynamics core.
+//!
+//! Structured hex mesh: `(n+1)³` nodes, `n³` elements. Per cycle:
+//!
+//! 1. Courant/viscosity timestep control;
+//! 2. nodal forces `F = −(p+q)·∂V/∂x` with the *exact* gradient of the
+//!    tetrahedral-decomposition volume (so pressure work and internal
+//!    energy are compatible, and total energy is conserved up to time
+//!    discretization);
+//! 3. kinematics: `a = F/m`, `v += a·dt` (symmetry planes at x=y=z=0),
+//!    `x += v·dt`;
+//! 4. element update: new volumes, `de = −(p+q)·dV`, ideal-gas EOS
+//!    `p = (γ−1)·e/V_rel·…`, scalar artificial viscosity on compression.
+//!
+//! The Sedov problem deposits a point energy at the origin corner element;
+//! the blast then expands spherically (symmetry is a test invariant).
+
+/// Ideal-gas gamma.
+const GAMMA: f64 = 1.4;
+/// Artificial viscosity coefficients (linear, quadratic).
+const Q1: f64 = 0.06;
+const Q2: f64 = 2.0;
+/// Courant safety factor.
+const CFL: f64 = 0.3;
+
+/// Hex-corner offsets in (i, j, k), LULESH node ordering.
+const CORNERS: [(usize, usize, usize); 8] = [
+    (0, 0, 0),
+    (1, 0, 0),
+    (1, 1, 0),
+    (0, 1, 0),
+    (0, 0, 1),
+    (1, 0, 1),
+    (1, 1, 1),
+    (0, 1, 1),
+];
+
+/// Fixed 6-tet decomposition of a hex (corner indices into `CORNERS`).
+const TETS: [[usize; 4]; 6] = [
+    [0, 1, 2, 6],
+    [0, 2, 3, 6],
+    [0, 3, 7, 6],
+    [0, 7, 4, 6],
+    [0, 4, 5, 6],
+    [0, 5, 1, 6],
+];
+
+/// Solver state (struct-of-arrays; the `variants` module builds the AoS
+/// "Base" flavor on top of the same physics).
+#[derive(Debug, Clone)]
+pub struct Hydro {
+    /// Elements per edge.
+    pub n: usize,
+    // --- nodal fields, (n+1)³ ---
+    pub x: Vec<[f64; 3]>,
+    pub v: Vec<[f64; 3]>,
+    pub f: Vec<[f64; 3]>,
+    pub nodal_mass: Vec<f64>,
+    // --- element fields, n³ ---
+    pub e: Vec<f64>,     // internal energy (extensive)
+    pub p: Vec<f64>,     // pressure
+    pub q: Vec<f64>,     // artificial viscosity
+    pub vol: Vec<f64>,   // current volume
+    pub vol0: Vec<f64>,  // reference volume
+    pub emass: Vec<f64>, // element mass
+    pub time: f64,
+    pub cycles: usize,
+}
+
+impl Hydro {
+    /// Sedov setup on the unit cube with `n³` elements and energy `e0`
+    /// in the corner element at the origin.
+    pub fn sedov(n: usize, e0: f64) -> Self {
+        assert!(n >= 3);
+        let nn = n + 1;
+        let h = 1.0 / n as f64;
+        let mut x = Vec::with_capacity(nn * nn * nn);
+        for i in 0..nn {
+            for j in 0..nn {
+                for k in 0..nn {
+                    x.push([i as f64 * h, j as f64 * h, k as f64 * h]);
+                }
+            }
+        }
+        let nelem = n * n * n;
+        let vol0 = h * h * h;
+        let rho0 = 1.0;
+        let mut s = Hydro {
+            n,
+            v: vec![[0.0; 3]; nn * nn * nn],
+            f: vec![[0.0; 3]; nn * nn * nn],
+            nodal_mass: vec![0.0; nn * nn * nn],
+            x,
+            e: vec![0.0; nelem],
+            p: vec![0.0; nelem],
+            q: vec![0.0; nelem],
+            vol: vec![vol0; nelem],
+            vol0: vec![vol0; nelem],
+            emass: vec![rho0 * vol0; nelem],
+            time: 0.0,
+            cycles: 0,
+        };
+        // nodal masses: element mass shared by its 8 corners
+        for el in 0..nelem {
+            for c in s.elem_nodes(el) {
+                s.nodal_mass[c] += rho0 * vol0 / 8.0;
+            }
+        }
+        // Sedov energy in the origin element
+        let origin = s.eidx(0, 0, 0);
+        s.e[origin] = e0;
+        s.update_eos();
+        s
+    }
+
+    #[inline]
+    pub fn nidx(&self, i: usize, j: usize, k: usize) -> usize {
+        let nn = self.n + 1;
+        (i * nn + j) * nn + k
+    }
+
+    #[inline]
+    pub fn eidx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.n + j) * self.n + k
+    }
+
+    /// The 8 node indices of element `el`, LULESH corner order.
+    pub fn elem_nodes(&self, el: usize) -> [usize; 8] {
+        let k = el % self.n;
+        let j = (el / self.n) % self.n;
+        let i = el / (self.n * self.n);
+        std::array::from_fn(|c| {
+            let (di, dj, dk) = CORNERS[c];
+            self.nidx(i + di, j + dj, k + dk)
+        })
+    }
+
+    /// Element volume by tetrahedral decomposition.
+    pub fn elem_volume(&self, corners: &[[f64; 3]; 8]) -> f64 {
+        let mut v = 0.0;
+        for t in TETS {
+            let a = corners[t[0]];
+            let b = corners[t[1]];
+            let c = corners[t[2]];
+            let d = corners[t[3]];
+            v += tet_vol(a, b, c, d);
+        }
+        v
+    }
+
+    /// Volume gradient wrt each corner (exact for the decomposition).
+    pub fn volume_gradients(&self, corners: &[[f64; 3]; 8]) -> [[f64; 3]; 8] {
+        let mut g = [[0.0; 3]; 8];
+        for t in TETS {
+            let pa = corners[t[0]];
+            let pb = corners[t[1]];
+            let pc = corners[t[2]];
+            let pd = corners[t[3]];
+            // V = (b−a)·((c−a)×(d−a))/6
+            let gb = cross(sub(pc, pa), sub(pd, pa));
+            let gc = cross(sub(pd, pa), sub(pb, pa));
+            let gd = cross(sub(pb, pa), sub(pc, pa));
+            for m in 0..3 {
+                g[t[1]][m] += gb[m] / 6.0;
+                g[t[2]][m] += gc[m] / 6.0;
+                g[t[3]][m] += gd[m] / 6.0;
+                g[t[0]][m] -= (gb[m] + gc[m] + gd[m]) / 6.0;
+            }
+        }
+        g
+    }
+
+    /// Sound speed of element `el`.
+    fn sound_speed(&self, el: usize) -> f64 {
+        let rho = self.emass[el] / self.vol[el];
+        (GAMMA * self.p[el].max(1e-12) / rho).sqrt()
+    }
+
+    /// Courant/viscosity timestep.
+    pub fn compute_dt(&self) -> f64 {
+        let mut dt = f64::INFINITY;
+        for el in 0..self.e.len() {
+            let h = self.vol[el].cbrt();
+            let c = self.sound_speed(el);
+            // include viscosity signal speed
+            let rho = self.emass[el] / self.vol[el];
+            let qs = (self.q[el] / rho).sqrt();
+            dt = dt.min(CFL * h / (c + 2.0 * qs + 1e-30));
+        }
+        dt.min(1e-2)
+    }
+
+    fn update_eos(&mut self) {
+        for el in 0..self.e.len() {
+            // ideal gas on extensive energy: p = (γ−1)·(e/V)
+            self.p[el] = (GAMMA - 1.0) * (self.e[el] / self.vol[el]).max(0.0);
+        }
+    }
+
+    /// One explicit cycle; returns dt.
+    ///
+    /// Energy compatibility: positions advance with the midpoint velocity
+    /// `v_mid = v_old + a·dt/2`, and internal energy is drained by exactly
+    /// the work the pressure force does on the nodes, `de = −Σ F·v_mid·dt`
+    /// (an algebraic identity with the kinetic-energy change), so total
+    /// energy is conserved up to the variation of the gradients over dt.
+    pub fn step(&mut self) -> f64 {
+        let dt = self.compute_dt();
+        let nelem = self.e.len();
+
+        // ---- nodal forces + per-element gradient stash ----
+        self.f.iter_mut().for_each(|f| *f = [0.0; 3]);
+        let mut elem_grads = vec![[[0.0f64; 3]; 8]; nelem];
+        for el in 0..nelem {
+            let nodes = self.elem_nodes(el);
+            let corners: [[f64; 3]; 8] = std::array::from_fn(|c| self.x[nodes[c]]);
+            let grads = self.volume_gradients(&corners);
+            // F = −∂U/∂x = +(p+q)·∂V/∂x: pressure pushes nodes outward.
+            let s = self.p[el] + self.q[el];
+            for c in 0..8 {
+                for m in 0..3 {
+                    self.f[nodes[c]][m] += s * grads[c][m];
+                }
+            }
+            elem_grads[el] = grads;
+        }
+
+        // ---- kinematics (midpoint rule); v_mid stashed in self.f ----
+        let nn = self.n + 1;
+        for i in 0..nn {
+            for j in 0..nn {
+                for k in 0..nn {
+                    let idx = self.nidx(i, j, k);
+                    let m = self.nodal_mass[idx];
+                    let mut vmid = [0.0f64; 3];
+                    for d in 0..3 {
+                        let a = self.f[idx][d] / m;
+                        vmid[d] = self.v[idx][d] + 0.5 * a * dt;
+                        self.v[idx][d] += a * dt;
+                    }
+                    // symmetry planes: no normal velocity at i/j/k == 0
+                    if i == 0 {
+                        self.v[idx][0] = 0.0;
+                        vmid[0] = 0.0;
+                    }
+                    if j == 0 {
+                        self.v[idx][1] = 0.0;
+                        vmid[1] = 0.0;
+                    }
+                    if k == 0 {
+                        self.v[idx][2] = 0.0;
+                        vmid[2] = 0.0;
+                    }
+                    for d in 0..3 {
+                        self.x[idx][d] += dt * vmid[d];
+                    }
+                    self.f[idx] = vmid; // reuse force buffer for v_mid
+                }
+            }
+        }
+
+        // ---- element update: work-compatible energy, volume, EOS, q ----
+        for el in 0..nelem {
+            let nodes = self.elem_nodes(el);
+            let corners: [[f64; 3]; 8] = std::array::from_fn(|c| self.x[nodes[c]]);
+            let newvol = self.elem_volume(&corners);
+            let dvol = newvol - self.vol[el];
+            // dV along the actual nodal motion, with start-of-step grads:
+            let mut dvol_lin = 0.0;
+            for c in 0..8 {
+                let vm = self.f[nodes[c]];
+                for m in 0..3 {
+                    dvol_lin += elem_grads[el][c][m] * vm[m] * dt;
+                }
+            }
+            self.e[el] -= (self.p[el] + self.q[el]) * dvol_lin;
+            if self.e[el] < 0.0 {
+                self.e[el] = 0.0;
+            }
+            // artificial viscosity on compression
+            let rho = self.emass[el] / newvol;
+            let h = newvol.cbrt();
+            let dvdt = dvol / (newvol * dt);
+            self.q[el] = if dvol < 0.0 {
+                let du = -dvdt * h; // compression speed scale
+                rho * (Q1 * self.sound_speed(el) * du + Q2 * du * du)
+            } else {
+                0.0
+            };
+            self.vol[el] = newvol;
+        }
+        self.update_eos();
+
+        self.time += dt;
+        self.cycles += 1;
+        dt
+    }
+
+    /// Run until `t_end` or `max_cycles`.
+    pub fn run(&mut self, t_end: f64, max_cycles: usize) {
+        while self.time < t_end && self.cycles < max_cycles {
+            self.step();
+        }
+    }
+
+    /// Threaded cycle: identical physics to [`Hydro::step`], with the
+    /// force pass privatized per thread (elements share corner nodes, the
+    /// classic Lagrangian race) and the kinematics/element passes split
+    /// over disjoint ranges. Bitwise-identical results to the serial step
+    /// because the per-thread partials are reduced in thread order.
+    pub fn step_mt(&mut self, threads: usize) -> f64 {
+        use ookami_core::runtime::par_for;
+        if threads <= 1 {
+            return self.step();
+        }
+        let dt = self.compute_dt();
+        let nelem = self.e.len();
+        let nnode = self.x.len();
+
+        // ---- forces: per-thread accumulators over element ranges ----
+        let nthreads = threads.min(nelem.max(1));
+        let chunk = nelem.div_ceil(nthreads);
+        let mut grads_all = vec![[[0.0f64; 3]; 8]; nelem];
+        let partials: Vec<Vec<[f64; 3]>> = {
+            let this = &*self;
+            let gbase = grads_all.as_mut_ptr() as usize;
+            crossbeam::thread::scope(|sc| {
+                let mut handles = Vec::new();
+                for t in 0..nthreads {
+                    let start = t * chunk;
+                    let end = ((t + 1) * chunk).min(nelem);
+                    handles.push(sc.spawn(move |_| {
+                        let mut acc = vec![[0.0f64; 3]; nnode];
+                        let grads_out = unsafe {
+                            std::slice::from_raw_parts_mut(
+                                (gbase as *mut [[f64; 3]; 8]).add(start),
+                                end.saturating_sub(start),
+                            )
+                        };
+                        for (gi, el) in (start..end).enumerate() {
+                            let nodes = this.elem_nodes(el);
+                            let corners: [[f64; 3]; 8] =
+                                std::array::from_fn(|c| this.x[nodes[c]]);
+                            let grads = this.volume_gradients(&corners);
+                            let s = this.p[el] + this.q[el];
+                            for c in 0..8 {
+                                for m in 0..3 {
+                                    acc[nodes[c]][m] += s * grads[c][m];
+                                }
+                            }
+                            grads_out[gi] = grads;
+                        }
+                        acc
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("lulesh worker")).collect()
+            })
+            .expect("lulesh force scope")
+        };
+        self.f.iter_mut().for_each(|f| *f = [0.0; 3]);
+        for part in &partials {
+            for (fv, pv) in self.f.iter_mut().zip(part) {
+                for m in 0..3 {
+                    fv[m] += pv[m];
+                }
+            }
+        }
+
+        // ---- kinematics: disjoint node ranges ----
+        let nn = self.n + 1;
+        {
+            let xb = self.x.as_mut_ptr() as usize;
+            let vb = self.v.as_mut_ptr() as usize;
+            let fb = self.f.as_mut_ptr() as usize;
+            let mass = &self.nodal_mass;
+            par_for(threads, nnode, |_, s0, e0| {
+                let x = unsafe {
+                    std::slice::from_raw_parts_mut((xb as *mut [f64; 3]).add(s0), e0 - s0)
+                };
+                let v = unsafe {
+                    std::slice::from_raw_parts_mut((vb as *mut [f64; 3]).add(s0), e0 - s0)
+                };
+                let f = unsafe {
+                    std::slice::from_raw_parts_mut((fb as *mut [f64; 3]).add(s0), e0 - s0)
+                };
+                for (li, idx) in (s0..e0).enumerate() {
+                    let k = idx % nn;
+                    let j = (idx / nn) % nn;
+                    let i = idx / (nn * nn);
+                    let m = mass[idx];
+                    let mut vmid = [0.0f64; 3];
+                    for d in 0..3 {
+                        let a = f[li][d] / m;
+                        vmid[d] = v[li][d] + 0.5 * a * dt;
+                        v[li][d] += a * dt;
+                    }
+                    if i == 0 {
+                        v[li][0] = 0.0;
+                        vmid[0] = 0.0;
+                    }
+                    if j == 0 {
+                        v[li][1] = 0.0;
+                        vmid[1] = 0.0;
+                    }
+                    if k == 0 {
+                        v[li][2] = 0.0;
+                        vmid[2] = 0.0;
+                    }
+                    for d in 0..3 {
+                        x[li][d] += dt * vmid[d];
+                    }
+                    f[li] = vmid; // stash v_mid, as in the serial step
+                }
+            });
+        }
+
+        // ---- element update: disjoint element ranges (field-disjoint
+        // borrows: e/q/vol mutate, p/x/f/emass read) ----
+        {
+            let n = self.n;
+            let p_arr = &self.p;
+            let x_arr = &self.x;
+            let f_arr = &self.f;
+            let emass = &self.emass;
+            let grads_ref = &grads_all;
+            let eb = self.e.as_mut_ptr() as usize;
+            let qb = self.q.as_mut_ptr() as usize;
+            let volb = self.vol.as_mut_ptr() as usize;
+            let nn = n + 1;
+            let node_of = move |el: usize, c: usize| {
+                let k = el % n;
+                let j = (el / n) % n;
+                let i = el / (n * n);
+                let (di, dj, dk) = CORNERS[c];
+                ((i + di) * nn + (j + dj)) * nn + (k + dk)
+            };
+            par_for(threads, nelem, |_, s0, e0| {
+                let ee = unsafe {
+                    std::slice::from_raw_parts_mut((eb as *mut f64).add(s0), e0 - s0)
+                };
+                let qq = unsafe {
+                    std::slice::from_raw_parts_mut((qb as *mut f64).add(s0), e0 - s0)
+                };
+                let vv = unsafe {
+                    std::slice::from_raw_parts_mut((volb as *mut f64).add(s0), e0 - s0)
+                };
+                for (li, el) in (s0..e0).enumerate() {
+                    let corners: [[f64; 3]; 8] =
+                        std::array::from_fn(|c| x_arr[node_of(el, c)]);
+                    let newvol = hex_volume(&corners);
+                    let dvol = newvol - vv[li];
+                    let mut dvol_lin = 0.0;
+                    for c in 0..8 {
+                        let vm = f_arr[node_of(el, c)];
+                        for m in 0..3 {
+                            dvol_lin += grads_ref[el][c][m] * vm[m] * dt;
+                        }
+                    }
+                    ee[li] -= (p_arr[el] + qq[li]) * dvol_lin;
+                    if ee[li] < 0.0 {
+                        ee[li] = 0.0;
+                    }
+                    let rho = emass[el] / newvol;
+                    let h = newvol.cbrt();
+                    let dvdt = dvol / (newvol * dt);
+                    qq[li] = if dvol < 0.0 {
+                        let c0 = {
+                            let rho0 = emass[el] / vv[li];
+                            (GAMMA * p_arr[el].max(1e-12) / rho0).sqrt()
+                        };
+                        let du = -dvdt * h;
+                        rho * (Q1 * c0 * du + Q2 * du * du)
+                    } else {
+                        0.0
+                    };
+                    vv[li] = newvol;
+                }
+            });
+        }
+        self.update_eos();
+
+        self.time += dt;
+        self.cycles += 1;
+        dt
+    }
+
+    /// Run with threads until `t_end` or `max_cycles`.
+    pub fn run_mt(&mut self, t_end: f64, max_cycles: usize, threads: usize) {
+        while self.time < t_end && self.cycles < max_cycles {
+            self.step_mt(threads);
+        }
+    }
+
+    /// Total energy: internal + kinetic.
+    pub fn total_energy(&self) -> f64 {
+        let internal: f64 = self.e.iter().sum();
+        let kinetic: f64 = self
+            .v
+            .iter()
+            .zip(&self.nodal_mass)
+            .map(|(v, m)| 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+            .sum();
+        internal + kinetic
+    }
+
+    /// Pressure along the x axis (element row j=k=0) — for shock tracking.
+    pub fn pressure_profile_x(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.p[self.eidx(i, 0, 0)]).collect()
+    }
+}
+
+#[inline]
+fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+#[inline]
+fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+/// Hex volume by the fixed tetrahedral decomposition (free-function form
+/// for borrow-free use inside parallel closures).
+#[inline]
+pub fn hex_volume(corners: &[[f64; 3]; 8]) -> f64 {
+    let mut v = 0.0;
+    for t in TETS {
+        v += tet_vol(corners[t[0]], corners[t[1]], corners[t[2]], corners[t[3]]);
+    }
+    v
+}
+
+#[inline]
+fn tet_vol(a: [f64; 3], b: [f64; 3], c: [f64; 3], d: [f64; 3]) -> f64 {
+    let ab = sub(b, a);
+    let ac = sub(c, a);
+    let ad = sub(d, a);
+    (ab[0] * (ac[1] * ad[2] - ac[2] * ad[1])
+        + ab[1] * (ac[2] * ad[0] - ac[0] * ad[2])
+        + ab[2] * (ac[0] * ad[1] - ac[1] * ad[0]))
+        / 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_volumes_match_mesh() {
+        let s = Hydro::sedov(8, 1.0);
+        let h = 1.0 / 8.0;
+        for &v in &s.vol {
+            assert!((v - h * h * h).abs() < 1e-15);
+        }
+        let total: f64 = s.vol.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume_gradient_is_exact() {
+        // Finite-difference check of ∂V/∂x on a perturbed hex.
+        let s = Hydro::sedov(3, 1.0);
+        let mut corners: [[f64; 3]; 8] = std::array::from_fn(|c| {
+            let (i, j, k) = CORNERS[c];
+            [
+                i as f64 + 0.05 * (c as f64).sin(),
+                j as f64 + 0.04 * (c as f64).cos(),
+                k as f64 + 0.03 * (c as f64 * 0.7).sin(),
+            ]
+        });
+        let g = s.volume_gradients(&corners);
+        let v0 = s.elem_volume(&corners);
+        let eps = 1e-6;
+        for c in 0..8 {
+            for m in 0..3 {
+                corners[c][m] += eps;
+                let v1 = s.elem_volume(&corners);
+                corners[c][m] -= eps;
+                let fd = (v1 - v0) / eps;
+                assert!(
+                    (fd - g[c][m]).abs() < 1e-6,
+                    "corner {c} dim {m}: fd {fd} vs analytic {}",
+                    g[c][m]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_sum_to_zero() {
+        // Translating the hex doesn't change volume.
+        let s = Hydro::sedov(3, 1.0);
+        let corners: [[f64; 3]; 8] = std::array::from_fn(|c| {
+            let (i, j, k) = CORNERS[c];
+            [i as f64 * 1.1, j as f64 * 0.9, k as f64 * 1.05]
+        });
+        let g = s.volume_gradients(&corners);
+        for m in 0..3 {
+            let sum: f64 = g.iter().map(|gc| gc[m]).sum();
+            assert!(sum.abs() < 1e-14, "dim {m}: {sum}");
+        }
+    }
+
+    #[test]
+    fn energy_is_approximately_conserved() {
+        let mut s = Hydro::sedov(10, 1.0);
+        let e0 = s.total_energy();
+        s.run(0.05, 300);
+        assert!(s.cycles > 10, "only {} cycles", s.cycles);
+        let e1 = s.total_energy();
+        assert!(
+            ((e1 - e0) / e0).abs() < 0.05,
+            "energy drift {} -> {} over {} cycles",
+            e0,
+            e1,
+            s.cycles
+        );
+    }
+
+    #[test]
+    fn blast_is_symmetric() {
+        let mut s = Hydro::sedov(8, 1.0);
+        s.run(0.03, 150);
+        // The three axes see identical profiles by symmetry.
+        for i in 0..s.n {
+            let px = s.p[s.eidx(i, 0, 0)];
+            let py = s.p[s.eidx(0, i, 0)];
+            let pz = s.p[s.eidx(0, 0, i)];
+            assert!((px - py).abs() < 1e-9 * px.abs().max(1.0), "i={i}");
+            assert!((px - pz).abs() < 1e-9 * px.abs().max(1.0), "i={i}");
+        }
+    }
+
+    #[test]
+    fn shock_moves_outward() {
+        let mut s = Hydro::sedov(12, 1.0);
+        s.run(0.01, 60);
+        let early: Vec<f64> = s.pressure_profile_x();
+        let front_early = shock_front(&early);
+        s.run(0.06, 400);
+        let late: Vec<f64> = s.pressure_profile_x();
+        let front_late = shock_front(&late);
+        assert!(
+            front_late > front_early,
+            "front {front_early} -> {front_late}\nearly {early:?}\nlate {late:?}"
+        );
+    }
+
+    fn shock_front(profile: &[f64]) -> usize {
+        // outermost element with pressure above 1% of max
+        let pmax = profile.iter().cloned().fold(0.0, f64::max);
+        profile
+            .iter()
+            .rposition(|&p| p > 0.01 * pmax)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn volumes_stay_positive() {
+        let mut s = Hydro::sedov(8, 1.0);
+        s.run(0.08, 400);
+        assert!(s.vol.iter().all(|&v| v > 0.0));
+        assert!(s.p.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn threaded_step_matches_serial() {
+        // Per-thread force partials reassociate the nodal sums, so agree-
+        // ment is to rounding (not bitwise), like an OpenMP reduction.
+        let mut a = Hydro::sedov(10, 1.0);
+        let mut b = Hydro::sedov(10, 1.0);
+        for _ in 0..15 {
+            a.step();
+            b.step_mt(5);
+        }
+        assert_eq!(a.cycles, b.cycles);
+        for (x, y) in a.e.iter().zip(&b.e) {
+            assert!((x - y).abs() <= 1e-12 * x.abs().max(1e-3), "e: {x} vs {y}");
+        }
+        for (x, y) in a.x.iter().zip(&b.x) {
+            for d in 0..3 {
+                assert!((x[d] - y[d]).abs() < 1e-12, "pos: {x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_mt_conserves_energy() {
+        let mut s = Hydro::sedov(10, 1.0);
+        s.run_mt(0.05, 300, 4);
+        assert!((s.total_energy() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn dt_obeys_courant() {
+        let s = Hydro::sedov(8, 1.0);
+        let dt = s.compute_dt();
+        let h = 1.0f64 / 8.0;
+        let c_max = s
+            .p
+            .iter()
+            .zip(&s.vol)
+            .zip(&s.emass)
+            .map(|((p, v), m)| (GAMMA * p / (m / v)).sqrt())
+            .fold(0.0, f64::max);
+        assert!(dt <= CFL * h / c_max * 1.5 + 1e-12, "dt {dt}");
+    }
+}

@@ -1,0 +1,27 @@
+//! # ookami-lulesh — the LULESH proxy application (Section VI)
+//!
+//! LULESH (Livermore Unstructured Lagrangian Explicit Shock Hydrodynamics)
+//! "solves a simplified Sedov blast problem with analytic answers while
+//! capturing the numerical essentials of more complex hydrodynamic
+//! applications". This crate provides:
+//!
+//! * [`hydro`] — a runnable Lagrangian shock-hydrodynamics mini-app on a
+//!   structured hex mesh: staggered kinematics (nodal velocity/position,
+//!   element pressure/energy), compatible pressure forces via exact
+//!   volume gradients, ideal-gas EOS, artificial viscosity, Courant
+//!   timestep, Sedov point-energy initiation, symmetry boundary
+//!   conditions. Verified for energy conservation and blast symmetry.
+//! * [`variants`] — the paper's *Base* (LULESH 1.0 reference style:
+//!   array-of-structs, branchy element loops) and *Vect* (the vectorized
+//!   port "done originally for the Intel Sandy Bridge architecture":
+//!   struct-of-arrays, split branchless loops) implementations, verified
+//!   to produce identical physics.
+//! * [`table2`] — the Table II / Fig. 7 regenerator: Base/Vect ×
+//!   single-thread/all-cores × five toolchains, from the workload model.
+
+pub mod hydro;
+pub mod table2;
+pub mod variants;
+
+pub use hydro::Hydro;
+pub use variants::{run_variant, Variant};

@@ -1,0 +1,177 @@
+//! The restructured Monte Carlo loop executed entirely on the SVE
+//! emulator: vectorized counter-based RNG (SplitMix64 on integer lanes),
+//! vectorized FEXPA exponentials, and a predicated accept/reject — the
+//! exact loop the paper says remedies the 500× gap. One implementation
+//! gives (a) verified statistics and (b) a recorded instruction stream the
+//! cycle model costs, replacing hand-estimated op counts.
+
+use crate::integrator::XMAX;
+use ookami_sve::{Pred, SveCtx, VVal};
+use ookami_uarch::{machines, KernelLoop};
+use ookami_vecmath::exp::{exp_fexpa, PolyForm};
+
+/// One SplitMix64 round on integer lanes (recorded as vector int ops).
+fn splitmix_lanes(ctx: &mut SveCtx, pg: &Pred, x: &VVal) -> VVal {
+    let golden = ctx.dup_i64(0x9E3779B97F4A7C15u64 as i64);
+    let m1 = ctx.dup_i64(0xBF58476D1CE4E5B9u64 as i64);
+    let m2 = ctx.dup_i64(0x94D049BB133111EBu64 as i64);
+    let z = ctx.add_i(pg, x, &golden);
+    let t = ctx.lsr(pg, &z, 30);
+    let z = ctx.eor_u(pg, &z, &t);
+    let z = ctx.mul_i(pg, &z, &m1);
+    let t = ctx.lsr(pg, &z, 27);
+    let z = ctx.eor_u(pg, &z, &t);
+    let z = ctx.mul_i(pg, &z, &m2);
+    let t = ctx.lsr(pg, &z, 31);
+    ctx.eor_u(pg, &z, &t)
+}
+
+/// Uniform [0,1) from hashed lanes: `(h >> 11) · 2⁻⁵³` (recorded).
+fn uniform_lanes(ctx: &mut SveCtx, pg: &Pred, h: &VVal) -> VVal {
+    let shifted = ctx.lsr(pg, h, 11);
+    let f = ctx.ucvtf(pg, &shifted);
+    let scale = ctx.dup_f64(1.0 / (1u64 << 53) as f64);
+    ctx.fmul(pg, &f, &scale)
+}
+
+/// Run `iters` vectorized Metropolis steps across `vl` independent chains;
+/// returns (mean, acceptance rate).
+pub fn sample_emulated(vl: usize, iters: usize, seed: u64) -> (f64, f64) {
+    let mut ctx = SveCtx::new(vl);
+    let pg = ctx.ptrue();
+    let xmax = ctx.dup_f64(XMAX);
+    // per-lane counters: seed + lane
+    let mut counter = {
+        let base = ctx.dup_i64(seed as i64);
+        let lane = ctx.index(0, 0x632BE59BD9B4E019u64 as i64);
+        ctx.add_i(&pg, &base, &lane)
+    };
+    let step = ctx.dup_i64(0x9E3779B97F4A7C15u64 as i64);
+
+    // initial x per chain
+    let h0 = splitmix_lanes(&mut ctx, &pg, &counter);
+    let u0 = uniform_lanes(&mut ctx, &pg, &h0);
+    let mut x = ctx.fmul(&pg, &u0, &xmax);
+
+    let mut sum = 0.0f64;
+    let mut accepted = 0u64;
+    for _ in 0..iters {
+        counter = ctx.add_i(&pg, &counter, &step);
+        let h1 = splitmix_lanes(&mut ctx, &pg, &counter);
+        let u1 = uniform_lanes(&mut ctx, &pg, &h1);
+        counter = ctx.add_i(&pg, &counter, &step);
+        let h2 = splitmix_lanes(&mut ctx, &pg, &counter);
+        let u2 = uniform_lanes(&mut ctx, &pg, &h2);
+
+        let xnew = ctx.fmul(&pg, &u1, &xmax);
+        let neg_xnew = ctx.fneg(&pg, &xnew);
+        let neg_x = ctx.fneg(&pg, &x);
+        let e_new = exp_fexpa(&mut ctx, &pg, &neg_xnew, PolyForm::Estrin, true);
+        let e_old = exp_fexpa(&mut ctx, &pg, &neg_x, PolyForm::Estrin, true);
+        let rhs = ctx.fmul(&pg, &e_old, &u2);
+        let p_acc = ctx.fcmgt(&pg, &e_new, &rhs);
+        accepted += p_acc.count_active() as u64;
+        x = ctx.sel(&p_acc, &xnew, &x);
+        sum += ctx.faddv(&pg, &x);
+    }
+    (sum / (iters * vl) as f64, accepted as f64 / (iters * vl) as f64)
+}
+
+/// Record one iteration of the vectorized loop body for cycle analysis.
+pub fn record_vectorized_kernel(vl: usize) -> KernelLoop {
+    ookami_sve::record_kernel(vl, vl as f64, |ctx| {
+        let pg = ctx.ptrue();
+        let xmax = ctx.dup_f64(XMAX);
+        let step = ctx.dup_i64(0x9E3779B97F4A7C15u64 as i64);
+        let counter_in = ctx.dup_i64(12345);
+        let x_in = ctx.dup_f64(1.0);
+
+        let c1 = ctx.add_i(&pg, &counter_in, &step);
+        let h1 = splitmix_lanes(ctx, &pg, &c1);
+        let u1 = uniform_lanes(ctx, &pg, &h1);
+        let c2 = ctx.add_i(&pg, &c1, &step);
+        let h2 = splitmix_lanes(ctx, &pg, &c2);
+        let u2 = uniform_lanes(ctx, &pg, &h2);
+
+        let xnew = ctx.fmul(&pg, &u1, &xmax);
+        let neg_xnew = ctx.fneg(&pg, &xnew);
+        let neg_x = ctx.fneg(&pg, &x_in);
+        let e_new = exp_fexpa(ctx, &pg, &neg_xnew, PolyForm::Estrin, true);
+        let e_old = exp_fexpa(ctx, &pg, &neg_x, PolyForm::Estrin, true);
+        let rhs = ctx.fmul(&pg, &e_old, &u2);
+        let p_acc = ctx.fcmgt(&pg, &e_new, &rhs);
+        let x_out = ctx.sel(&p_acc, &xnew, &x_in);
+        let sum_in = ctx.dup_f64(0.0);
+        let sum_out = ctx.fadd(&pg, &sum_in, &x_out);
+        ctx.loop_overhead(2);
+        vec![
+            (counter_in.id(), c2.id()),
+            (x_in.id(), x_out.id()),
+            (sum_in.id(), sum_out.id()),
+        ]
+    })
+    .kernel
+}
+
+/// Cycles/sample of the emulated vectorized loop on the A64FX model.
+pub fn vectorized_cycles_per_sample_recorded() -> f64 {
+    record_vectorized_kernel(8)
+        .analyze(machines::a64fx().table)
+        .cycles_per_element()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrator::{analytic_mean, sample_serial};
+
+    #[test]
+    fn emulated_sampler_converges() {
+        let (mean, acc) = sample_emulated(8, 30_000, 99);
+        assert!((mean - analytic_mean()).abs() < 0.05, "mean {mean}");
+        assert!(acc > 0.04 && acc < 0.2, "acceptance {acc}");
+    }
+
+    #[test]
+    fn emulated_statistics_match_native() {
+        let (em, ea) = sample_emulated(8, 25_000, 7);
+        let native = sample_serial(200_000, 7);
+        assert!((em - native.mean).abs() < 0.05, "{em} vs {}", native.mean);
+        assert!((ea - native.acceptance_rate()).abs() < 0.02);
+    }
+
+    #[test]
+    fn recorded_kernel_is_fast_per_sample() {
+        // The restructured loop on real recorded code: single-digit
+        // cycles/sample (vs ~67 for the naive serial chain).
+        let cpe = vectorized_cycles_per_sample_recorded();
+        assert!(cpe > 2.0 && cpe < 15.0, "cycles/sample {cpe}");
+        let serial = crate::model::serial_cycles_per_sample(ookami_uarch::machines::a64fx());
+        assert!(serial / cpe > 5.0, "serial {serial} vs vector {cpe}");
+    }
+
+    #[test]
+    fn recorded_kernel_has_carried_state() {
+        let k = record_vectorized_kernel(8);
+        let est = k.analyze(ookami_uarch::machines::a64fx().table);
+        // Within one lane the Metropolis chain stays serial (x feeds
+        // exp(-x) next step), so the kernel is recurrence-bound — but the
+        // recurrence is amortized over 8 independent lane-chains, which is
+        // the restructuring's whole effect: ~8 c/sample instead of ~67.
+        assert!(est.recurrence > 0.0);
+        assert!(est.cycles_per_element() < est.recurrence, "lanes amortize the chain");
+    }
+
+    #[test]
+    fn compact_primitive_works() {
+        // The §III "splitting/merging to avoid divergence" building block.
+        let mut ctx = SveCtx::new(8);
+        let v = ctx.input_f64(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let zero = ctx.dup_f64(4.5);
+        let all = ctx.ptrue();
+        let p = ctx.fcmgt(&all, &v, &zero); // lanes 4..8 active (values 5..8)
+        let c = ctx.compact(&p, &v);
+        assert_eq!(c.to_f64_vec()[..4], [5.0, 6.0, 7.0, 8.0][..]);
+        assert!(c.to_f64_vec()[4..].iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,95 @@
+//! Roofline-style bandwidth/compute time bounds.
+//!
+//! The paper repeatedly explains results with boundedness arguments: "A64FX
+//! performs well in memory-bound applications (CG, SP, UA) while Skylake
+//! wins out in compute-bound applications" (§V-A2). This module provides
+//! the roofline combiner those arguments correspond to.
+
+/// Work done by a kernel or application phase.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Traffic {
+    /// Double-precision floating-point operations.
+    pub flops: f64,
+    /// Bytes moved to/from main memory (post-cache traffic).
+    pub bytes: f64,
+}
+
+impl Traffic {
+    pub fn new(flops: f64, bytes: f64) -> Self {
+        Traffic { flops, bytes }
+    }
+
+    /// Arithmetic intensity, FLOP/byte.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
+
+    /// Combine phases.
+    pub fn plus(&self, other: Traffic) -> Traffic {
+        Traffic { flops: self.flops + other.flops, bytes: self.bytes + other.bytes }
+    }
+
+    /// Scale by a constant (e.g. iterations).
+    pub fn scaled(&self, k: f64) -> Traffic {
+        Traffic { flops: self.flops * k, bytes: self.bytes * k }
+    }
+}
+
+/// Roofline execution time: the slower of the compute bound (at
+/// `gflops` sustained) and the memory bound (at `bw_gbs` sustained).
+pub fn roofline_time_s(t: Traffic, gflops: f64, bw_gbs: f64) -> f64 {
+    let compute = if gflops > 0.0 { t.flops / (gflops * 1e9) } else { f64::INFINITY };
+    let memory = if bw_gbs > 0.0 { t.bytes / (bw_gbs * 1e9) } else { 0.0 };
+    compute.max(memory)
+}
+
+/// The machine balance (ridge point) in FLOP/byte: kernels below it are
+/// memory-bound, above it compute-bound.
+pub fn ridge_point(gflops: f64, bw_gbs: f64) -> f64 {
+    gflops / bw_gbs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_kernel() {
+        // DGEMM-like: huge intensity.
+        let t = Traffic::new(2e12, 1e9);
+        let s = roofline_time_s(t, 50.0, 200.0);
+        assert!((s - 2e12 / 50e9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_kernel() {
+        // STREAM-like: intensity 0.125.
+        let t = Traffic::new(1e9, 8e9);
+        let s = roofline_time_s(t, 50.0, 200.0);
+        assert!((s - 8e9 / 200e9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_separates_regimes() {
+        let r = ridge_point(57.6, 256.0 * 0.2); // one A64FX core
+        // CG-like intensity (~0.15 F/B) is below the ridge: memory-bound.
+        assert!(0.15 < r);
+        // A64FX node ridge: 2765/1024 ≈ 2.7 F/B.
+        let node = ridge_point(2764.8, 1024.0);
+        assert!(node > 2.5 && node < 3.0);
+    }
+
+    #[test]
+    fn traffic_algebra() {
+        let a = Traffic::new(10.0, 4.0);
+        let b = a.plus(Traffic::new(2.0, 4.0)).scaled(2.0);
+        assert_eq!(b.flops, 24.0);
+        assert_eq!(b.bytes, 16.0);
+        assert!((a.intensity() - 2.5).abs() < 1e-12);
+        assert!(Traffic::new(1.0, 0.0).intensity().is_infinite());
+    }
+}

@@ -1,0 +1,34 @@
+//! # ookami-mem — memory-hierarchy simulation
+//!
+//! Memory is where the paper's most interesting A64FX results come from:
+//! the 256-byte cache line and the 128-byte gather-pairing window explain
+//! the short-gather/short-scatter results of Fig. 1; the per-CMG 256 GB/s
+//! HBM2 stacks explain why memory-bound NPB codes scale better on A64FX
+//! than on Skylake (Figs. 4–6); and the Fujitsu OpenMP runtime's default
+//! "allocate everything on CMG 0" policy explains the SP/UA anomaly of
+//! Fig. 4.
+//!
+//! This crate provides:
+//!
+//! * [`cache::CacheSim`] — a set-associative, LRU, multi-level cache
+//!   simulator parameterized by [`ookami_uarch::MemSpec`];
+//! * [`gather`] — index-pattern analysis for gather/scatter: distinct
+//!   cache lines touched and A64FX 128-byte-window pairing;
+//! * [`bandwidth`] — sustained-bandwidth and roofline helpers;
+//! * [`placement`] — NUMA data-placement policies (first-touch, CMG-0,
+//!   interleave) and the effective bandwidth each yields;
+//! * [`scaling`] — the multi-threaded execution-time model used for the
+//!   all-core and scaling figures.
+
+pub mod bandwidth;
+pub mod cache;
+pub mod gather;
+pub mod placement;
+pub mod scaling;
+pub mod traces;
+
+pub use bandwidth::{roofline_time_s, Traffic};
+pub use cache::{AccessStats, CacheSim};
+pub use gather::{analyze_indices, IndexPattern};
+pub use placement::{effective_bandwidth_gbs, Placement};
+pub use scaling::{parallel_time_s, ParallelWorkload};

@@ -1,0 +1,160 @@
+//! NUMA data-placement policies and the bandwidth they deliver.
+//!
+//! Section V-A2 of the paper: *"The Fujitsu compiler has a default policy of
+//! allocating all the data in CMG 0. Once we changed the policy to first
+//! touch, the Fujitsu compiler showed a much better performance in SP…"* —
+//! this module is that mechanism. A placement policy decides which NUMA
+//! domains hold the working set; the effective bandwidth available to `t`
+//! threads follows from (a) the supplying domains' HBM/DDR bandwidth,
+//! (b) how much of it the drawing cores can pull, and (c) the inter-domain
+//! fabric for remote traffic.
+
+use ookami_uarch::NumaSpec;
+
+/// Where pages land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Pages allocated on the domain of the first touching thread — data is
+    /// local when initialization is parallel (the OpenMP best practice).
+    FirstTouch,
+    /// Everything on domain 0 — the Fujitsu runtime's default the paper
+    /// diagnoses ("CMG 0").
+    Domain0,
+    /// Pages round-robined across all domains.
+    Interleave,
+}
+
+impl Placement {
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::FirstTouch => "first-touch",
+            Placement::Domain0 => "CMG0",
+            Placement::Interleave => "interleave",
+        }
+    }
+}
+
+/// Effective sustained bandwidth (GB/s) seen by `threads` cores, filled
+/// into domains in order (threads 0..cores_per_domain on domain 0, etc.).
+pub fn effective_bandwidth_gbs(numa: &NumaSpec, placement: Placement, threads: usize) -> f64 {
+    let threads = threads.clamp(1, numa.domains * numa.cores_per_domain);
+    let per_core = numa.bw_per_domain_gbs * numa.single_core_bw_fraction;
+    // How many domains contain running threads.
+    let domains_with_threads = threads.div_ceil(numa.cores_per_domain).min(numa.domains);
+    // Demand cap: cores can only pull so much individually.
+    let demand = threads as f64 * per_core;
+
+    match placement {
+        Placement::FirstTouch => {
+            // Data is local to each thread's domain: supply scales with the
+            // populated domains.
+            let supply = domains_with_threads as f64 * numa.bw_per_domain_gbs;
+            supply.min(demand)
+        }
+        Placement::Domain0 => {
+            // One domain supplies everyone.
+            let supply = numa.bw_per_domain_gbs;
+            // Threads outside domain 0 pull their share across the fabric.
+            let local = threads.min(numa.cores_per_domain) as f64;
+            let remote = threads as f64 - local;
+            if remote > 0.0 {
+                // Remote fraction of the traffic is capped by the fabric:
+                // B_total * remote/threads <= interconnect.
+                let fabric_cap = numa.interconnect_gbs * threads as f64 / remote;
+                supply.min(demand).min(fabric_cap)
+            } else {
+                supply.min(demand)
+            }
+        }
+        Placement::Interleave => {
+            // All domains supply; (domains-1)/domains of traffic is remote.
+            let supply = numa.domains as f64 * numa.bw_per_domain_gbs;
+            let remote_frac = (numa.domains - 1) as f64 / numa.domains as f64;
+            let fabric_cap = if remote_frac > 0.0 {
+                numa.interconnect_gbs * numa.domains as f64 / remote_frac.max(1e-9)
+            } else {
+                f64::INFINITY
+            };
+            supply.min(demand).min(fabric_cap)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ookami_uarch::machines;
+
+    fn a64fx_numa() -> NumaSpec {
+        machines::a64fx().numa
+    }
+
+    #[test]
+    fn single_thread_is_core_limited() {
+        let n = a64fx_numa();
+        let bw = effective_bandwidth_gbs(&n, Placement::FirstTouch, 1);
+        assert!((bw - 256.0 * 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_node_first_touch_reaches_one_tbs() {
+        let n = a64fx_numa();
+        let bw = effective_bandwidth_gbs(&n, Placement::FirstTouch, 48);
+        assert!((bw - 1024.0).abs() < 1.0, "bw {bw}");
+    }
+
+    #[test]
+    fn cmg0_collapses_at_full_node() {
+        let n = a64fx_numa();
+        let ft = effective_bandwidth_gbs(&n, Placement::FirstTouch, 48);
+        let d0 = effective_bandwidth_gbs(&n, Placement::Domain0, 48);
+        // The paper's SP anomaly: default placement starves the node.
+        assert!(ft / d0 > 4.0, "first-touch {ft} vs CMG0 {d0}");
+    }
+
+    #[test]
+    fn cmg0_equals_first_touch_within_one_domain() {
+        let n = a64fx_numa();
+        for t in [1, 6, 12] {
+            let ft = effective_bandwidth_gbs(&n, Placement::FirstTouch, t);
+            let d0 = effective_bandwidth_gbs(&n, Placement::Domain0, t);
+            assert!((ft - d0).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_monotone_in_threads_first_touch() {
+        let n = a64fx_numa();
+        let mut prev = 0.0;
+        for t in 1..=48 {
+            let bw = effective_bandwidth_gbs(&n, Placement::FirstTouch, t);
+            assert!(bw >= prev - 1e-9, "t={t}: {bw} < {prev}");
+            prev = bw;
+        }
+    }
+
+    #[test]
+    fn interleave_between_cmg0_and_first_touch_at_scale() {
+        let n = a64fx_numa();
+        let ft = effective_bandwidth_gbs(&n, Placement::FirstTouch, 48);
+        let il = effective_bandwidth_gbs(&n, Placement::Interleave, 48);
+        let d0 = effective_bandwidth_gbs(&n, Placement::Domain0, 48);
+        assert!(il <= ft && il >= d0, "d0={d0} il={il} ft={ft}");
+    }
+
+    #[test]
+    fn skylake_two_socket_behaviour() {
+        let n = machines::skylake_6140().numa;
+        let one = effective_bandwidth_gbs(&n, Placement::FirstTouch, 18);
+        let two = effective_bandwidth_gbs(&n, Placement::FirstTouch, 36);
+        assert!(two > one * 1.5, "one-socket {one}, two-socket {two}");
+        assert!((two - 214.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn thread_count_clamped() {
+        let n = a64fx_numa();
+        let bw = effective_bandwidth_gbs(&n, Placement::FirstTouch, 10_000);
+        assert!((bw - 1024.0).abs() < 1.0);
+    }
+}

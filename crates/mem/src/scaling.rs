@@ -1,0 +1,200 @@
+//! Multi-threaded execution-time model.
+//!
+//! Combines three effects the paper's scaling figures (5 and 6) exhibit:
+//!
+//! 1. compute parallelism — the parallel fraction divides by the thread
+//!    count (Amdahl), at the all-core frequency;
+//! 2. memory-bandwidth saturation — traffic is served at the placement-
+//!    dependent effective bandwidth from [`crate::placement`], which stops
+//!    scaling once the domains saturate (SP's 0.6 efficiency on A64FX and
+//!    0.25 on Skylake both come from this term);
+//! 3. runtime overhead — per-barrier fork/join costs that grow with the
+//!    thread count (OpenMP runtime model, supplied by `ookami-toolchain`).
+
+use crate::placement::{effective_bandwidth_gbs, Placement};
+use ookami_uarch::Machine;
+
+/// A characterized parallel workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelWorkload {
+    /// Single-thread compute-only time in seconds (no memory stalls), at
+    /// the machine's single-core frequency.
+    pub compute_1t_s: f64,
+    /// Total main-memory traffic in bytes.
+    pub mem_bytes: f64,
+    /// Fraction of the compute time that parallelizes (Amdahl).
+    pub parallel_fraction: f64,
+    /// Number of fork/join (barrier) episodes over the run.
+    pub barriers: f64,
+    /// Load imbalance factor ≥ 1: the slowest thread's share relative to a
+    /// perfect split (1.0 = perfectly balanced, BT/EP; ~1.1+ = UA).
+    pub imbalance: f64,
+}
+
+impl ParallelWorkload {
+    pub fn balanced(compute_1t_s: f64, mem_bytes: f64) -> Self {
+        ParallelWorkload {
+            compute_1t_s,
+            mem_bytes,
+            parallel_fraction: 1.0,
+            barriers: 0.0,
+            imbalance: 1.0,
+        }
+    }
+}
+
+/// Per-barrier cost model: `base_us + per_thread_us × threads`, in seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct BarrierCost {
+    pub base_us: f64,
+    pub per_thread_us: f64,
+}
+
+impl BarrierCost {
+    pub fn seconds(&self, threads: usize) -> f64 {
+        (self.base_us + self.per_thread_us * threads as f64) * 1e-6
+    }
+}
+
+impl Default for BarrierCost {
+    fn default() -> Self {
+        BarrierCost { base_us: 1.0, per_thread_us: 0.05 }
+    }
+}
+
+/// Wall time for `w` on `machine` with `threads` threads under `placement`.
+pub fn parallel_time_s(
+    w: &ParallelWorkload,
+    machine: &Machine,
+    placement: Placement,
+    threads: usize,
+    barrier: BarrierCost,
+) -> f64 {
+    let threads = threads.max(1);
+    // Compute time rescales from single-core (turbo) down to all-core
+    // (base) frequency as cores populate — linear droop, the usual shape
+    // of turbo tables. (A64FX is fixed-frequency: turbo == base.)
+    let cores = machine.cores_per_node.max(2) as f64;
+    let frac = (threads as f64 - 1.0) / (cores - 1.0);
+    let freq = machine.turbo_1c_ghz + (machine.base_ghz - machine.turbo_1c_ghz) * frac.min(1.0);
+    let freq_scale = machine.turbo_1c_ghz / freq;
+    let serial = w.compute_1t_s * (1.0 - w.parallel_fraction) * freq_scale;
+    // Imbalance is a property of the work *split*: it has no effect on a
+    // single thread.
+    let imb = if threads == 1 { 1.0 } else { w.imbalance };
+    let par_compute =
+        w.compute_1t_s * w.parallel_fraction * freq_scale / threads as f64 * imb;
+    let bw = effective_bandwidth_gbs(&machine.numa, placement, threads);
+    let mem = w.mem_bytes / (bw * 1e9);
+    // Compute and memory partially overlap on OoO cores: take the max of
+    // the parallel parts, then add the serial part and barrier overhead.
+    serial + par_compute.max(mem) + w.barriers * barrier.seconds(threads)
+}
+
+/// Parallel efficiency `T1 / (n × Tn)` — the y-axis of Figs. 5 and 6.
+pub fn parallel_efficiency(
+    w: &ParallelWorkload,
+    machine: &Machine,
+    placement: Placement,
+    threads: usize,
+    barrier: BarrierCost,
+) -> f64 {
+    let t1 = parallel_time_s(w, machine, placement, 1, barrier);
+    let tn = parallel_time_s(w, machine, placement, threads, barrier);
+    t1 / (threads as f64 * tn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ookami_uarch::machines;
+
+    fn bc() -> BarrierCost {
+        BarrierCost::default()
+    }
+
+    #[test]
+    fn compute_bound_scales_linearly() {
+        // EP-like: no memory traffic, fully parallel.
+        let w = ParallelWorkload::balanced(48.0, 0.0);
+        let m = machines::a64fx();
+        let e = parallel_efficiency(&w, m, Placement::FirstTouch, 48, bc());
+        assert!(e > 0.95, "efficiency {e}");
+    }
+
+    #[test]
+    fn memory_bound_saturates() {
+        // SP-like on A64FX: heavy traffic. Efficiency should sag but stay
+        // above Skylake's, mirroring Fig. 5 vs Fig. 6.
+        let m = machines::a64fx();
+        let s = machines::skylake_6140();
+        // 60 s of compute, 3 TB of traffic (intensity far below ridge).
+        let w = ParallelWorkload::balanced(60.0, 3e12);
+        let ea = parallel_efficiency(&w, m, Placement::FirstTouch, 48, bc());
+        let es = parallel_efficiency(&w, s, Placement::FirstTouch, 36, bc());
+        assert!(ea < 0.9, "A64FX eff {ea}");
+        assert!(es < ea, "SKX {es} should scale worse than A64FX {ea}");
+    }
+
+    #[test]
+    fn cmg0_hurts_at_scale_but_not_single_thread() {
+        let m = machines::a64fx();
+        let w = ParallelWorkload::balanced(60.0, 3e12);
+        let t1_ft = parallel_time_s(&w, m, Placement::FirstTouch, 1, bc());
+        let t1_d0 = parallel_time_s(&w, m, Placement::Domain0, 1, bc());
+        assert!((t1_ft - t1_d0).abs() < 1e-9);
+        let t48_ft = parallel_time_s(&w, m, Placement::FirstTouch, 48, bc());
+        let t48_d0 = parallel_time_s(&w, m, Placement::Domain0, 48, bc());
+        assert!(t48_d0 > 2.0 * t48_ft, "d0 {t48_d0} vs ft {t48_ft}");
+    }
+
+    #[test]
+    fn amdahl_serial_fraction_caps_speedup() {
+        let m = machines::a64fx();
+        let w = ParallelWorkload {
+            compute_1t_s: 10.0,
+            mem_bytes: 0.0,
+            parallel_fraction: 0.9,
+            barriers: 0.0,
+            imbalance: 1.0,
+        };
+        let t48 = parallel_time_s(&w, m, Placement::FirstTouch, 48, bc());
+        // Amdahl: speedup <= 1/(0.1) = 10.
+        let speedup = 10.0 / t48;
+        assert!(speedup < 10.0, "speedup {speedup}");
+        assert!(speedup > 8.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn barrier_overhead_grows_with_threads() {
+        let m = machines::a64fx();
+        let w = ParallelWorkload {
+            compute_1t_s: 0.001,
+            mem_bytes: 0.0,
+            parallel_fraction: 1.0,
+            barriers: 1000.0,
+            imbalance: 1.0,
+        };
+        let t2 = parallel_time_s(&w, m, Placement::FirstTouch, 2, bc());
+        let t48 = parallel_time_s(&w, m, Placement::FirstTouch, 48, bc());
+        assert!(t48 > t2, "t2={t2} t48={t48}");
+    }
+
+    #[test]
+    fn imbalance_slows_the_parallel_part() {
+        let m = machines::a64fx();
+        let mut w = ParallelWorkload::balanced(10.0, 0.0);
+        let t_bal = parallel_time_s(&w, m, Placement::FirstTouch, 48, bc());
+        w.imbalance = 1.3;
+        let t_imb = parallel_time_s(&w, m, Placement::FirstTouch, 48, bc());
+        assert!((t_imb / t_bal - 1.3).abs() < 0.05, "{t_imb} vs {t_bal}");
+    }
+
+    #[test]
+    fn efficiency_at_one_thread_is_one() {
+        let m = machines::a64fx();
+        let w = ParallelWorkload::balanced(10.0, 1e9);
+        let e = parallel_efficiency(&w, m, Placement::FirstTouch, 1, bc());
+        assert!((e - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the cache simulator: capacity, LRU and determinism
+//! invariants that must hold for arbitrary traces.
+
+use ookami_mem::cache::CacheSim;
+use ookami_uarch::MemSpec;
+use proptest::prelude::*;
+
+fn small_spec() -> MemSpec {
+    MemSpec {
+        line_bytes: 64,
+        l1_bytes: 4 * 1024,
+        l1_assoc: 4,
+        l1_latency: 4.0,
+        l2_bytes: 32 * 1024,
+        l2_assoc: 8,
+        l2_latency: 14.0,
+        l2_shared_by: 1,
+        l3: None,
+        mem_latency: 200.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replaying the same trace twice on fresh simulators is deterministic.
+    #[test]
+    fn deterministic(addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let t: Vec<(u64, usize)> = addrs.iter().map(|&a| (a, 8)).collect();
+        let mut s1 = CacheSim::new(small_spec());
+        let mut s2 = CacheSim::new(small_spec());
+        prop_assert_eq!(s1.replay(t.clone()), s2.replay(t));
+    }
+
+    /// Hits + misses account for every access; counters never exceed the
+    /// number of line-touches.
+    #[test]
+    fn conservation(addrs in prop::collection::vec(0u64..100_000, 1..300)) {
+        let t: Vec<(u64, usize)> = addrs.iter().map(|&a| (a, 8)).collect();
+        let mut s = CacheSim::new(small_spec());
+        let st = s.replay(t);
+        prop_assert_eq!(st.accesses, st.l1_hits + st.l2_hits + st.l3_hits + st.mem);
+    }
+
+    /// Immediately repeating an access always hits L1 (aligned, so the
+    /// touch covers exactly one line).
+    #[test]
+    fn temporal_locality(addr in 0u64..1_000_000) {
+        let aligned = addr & !63;
+        let mut s = CacheSim::new(small_spec());
+        s.access(aligned, 8);
+        let before = s.stats;
+        s.access(aligned, 8);
+        prop_assert_eq!(s.stats.l1_hits, before.l1_hits + 1);
+    }
+
+    /// A working set within L1 capacity, accessed twice, misses at most
+    /// once per line (no pathological self-eviction for sequential lines).
+    #[test]
+    fn l1_resident_second_pass_hits(lines in 1usize..48) {
+        let spec = small_spec(); // 64 lines, 4-way × 16 sets
+        let mut s = CacheSim::new(spec);
+        let t: Vec<(u64, usize)> = (0..lines as u64).map(|i| (i * 64, 8)).collect();
+        s.replay(t.clone());
+        let st2 = s.replay(t);
+        prop_assert_eq!(st2.l1_hits, lines as u64, "{:?}", st2);
+    }
+
+    /// Misses to memory never decrease when the trace is extended.
+    #[test]
+    fn monotone_misses(addrs in prop::collection::vec(0u64..1_000_000, 2..200)) {
+        let t: Vec<(u64, usize)> = addrs.iter().map(|&a| (a, 8)).collect();
+        let mut s1 = CacheSim::new(small_spec());
+        let partial = s1.replay(t[..t.len() / 2].to_vec());
+        let mut s2 = CacheSim::new(small_spec());
+        let full = s2.replay(t);
+        prop_assert!(full.mem >= partial.mem);
+        prop_assert!(full.accesses >= partial.accesses);
+    }
+}

@@ -1,0 +1,95 @@
+//! NPB problem classes and per-benchmark parameters.
+
+/// NPB problem classes. The paper uses class C; native test runs use S/W/A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    S,
+    W,
+    A,
+    B,
+    C,
+}
+
+impl Class {
+    pub fn label(self) -> char {
+        match self {
+            Class::S => 'S',
+            Class::W => 'W',
+            Class::A => 'A',
+            Class::B => 'B',
+            Class::C => 'C',
+        }
+    }
+
+    /// EP: log2 of the number of Gaussian pairs.
+    pub fn ep_m(self) -> u32 {
+        match self {
+            Class::S => 24,
+            Class::W => 25,
+            Class::A => 28,
+            Class::B => 30,
+            Class::C => 32, // paper: "2^32 pairs of random numbers"
+        }
+    }
+
+    /// CG: (na, nonzer, niter, shift).
+    pub fn cg_params(self) -> (usize, usize, usize, f64) {
+        match self {
+            Class::S => (1400, 7, 15, 10.0),
+            Class::W => (7000, 8, 15, 12.0),
+            Class::A => (14000, 11, 15, 20.0),
+            Class::B => (75000, 13, 75, 60.0),
+            // paper: "150000 rows, 15 non-zeros, and 75 iterations"
+            Class::C => (150000, 15, 75, 110.0),
+        }
+    }
+
+    /// BT/SP/LU: cubic grid edge and iteration count `(n, bt_iters,
+    /// sp_iters, lu_iters)`.
+    pub fn grid_params(self) -> (usize, usize, usize, usize) {
+        match self {
+            Class::S => (12, 60, 100, 50),
+            Class::W => (24, 200, 400, 300),
+            Class::A => (64, 200, 400, 250),
+            Class::B => (102, 200, 400, 250),
+            // paper: 162³, BT 200 iters, SP 400 iters, LU 250 iters
+            Class::C => (162, 200, 400, 250),
+        }
+    }
+
+    /// UA: (initial elements target, refinement levels, iterations).
+    pub fn ua_params(self) -> (usize, usize, usize) {
+        match self {
+            Class::S => (250, 4, 50),
+            Class::W => (700, 5, 70),
+            Class::A => (2400, 6, 100),
+            Class::B => (8800, 7, 150),
+            // paper: "33500 elements ... 8 levels of refinements, and 200
+            // iterations"
+            Class::C => (33500, 8, 200),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_c_matches_paper_text() {
+        assert_eq!(Class::C.ep_m(), 32);
+        assert_eq!(Class::C.cg_params(), (150000, 15, 75, 110.0));
+        let (n, bt, sp, lu) = Class::C.grid_params();
+        assert_eq!((n, bt, sp, lu), (162, 200, 400, 250));
+        assert_eq!(Class::C.ua_params(), (33500, 8, 200));
+    }
+
+    #[test]
+    fn classes_are_ordered_by_size() {
+        let sizes: Vec<usize> = [Class::S, Class::W, Class::A, Class::B, Class::C]
+            .iter()
+            .map(|c| c.cg_params().0)
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,160 @@
+//! EP — the Embarrassingly Parallel benchmark, ported to the NPB
+//! specification: generate `2^M` pairs of uniforms with the 46-bit LCG,
+//! apply the Marsaglia polar method, and accumulate the Gaussian sums and
+//! annulus counts. Bit-compatible seeding (batch seeds via modular
+//! exponentiation) so the official verification sums apply.
+
+use crate::classes::Class;
+use crate::randnpb::{pow_mod, randlc, step, A, SEED};
+use ookami_core::runtime::par_reduce;
+
+const MK: u32 = 16;
+const NK: usize = 1 << MK; // pairs per batch
+const NQ: usize = 10;
+
+/// EP result: Gaussian sums, annulus counts, accepted-pair count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpResult {
+    pub sx: f64,
+    pub sy: f64,
+    pub q: [f64; NQ],
+    pub pairs: f64,
+}
+
+impl EpResult {
+    /// Total Gaussian pairs produced (sum of annulus counts).
+    pub fn gaussian_pairs(&self) -> f64 {
+        self.q.iter().sum()
+    }
+}
+
+/// Run EP for `class` with `threads` OpenMP-style threads.
+pub fn run(class: Class, threads: usize) -> EpResult {
+    run_m(class.ep_m(), threads)
+}
+
+/// Run EP with `2^m` pairs.
+pub fn run_m(m: u32, threads: usize) -> EpResult {
+    assert!(m >= MK, "m must be at least {MK}");
+    let nn = 1usize << (m - MK);
+    // an = a^(2·NK) mod 2^46 — the per-batch jump multiplier.
+    let an = pow_mod(A, 2 * NK as u64);
+
+    let (sx, sy, q) = par_reduce(
+        threads,
+        nn,
+        (0.0f64, 0.0f64, [0.0f64; NQ]),
+        move |start, end, (mut sx, mut sy, mut q)| {
+            let mut x = vec![0.0f64; 2 * NK];
+            for k in start..end {
+                // Batch seed: S·an^k mod 2^46 (binary-expansion walk, as in
+                // the reference; here via pow_mod directly).
+                let mut t1 = step(SEED, pow_mod(an, k as u64));
+                for xi in x.iter_mut() {
+                    *xi = randlc(&mut t1, A);
+                }
+                for i in 0..NK {
+                    let x1 = 2.0 * x[2 * i] - 1.0;
+                    let x2 = 2.0 * x[2 * i + 1] - 1.0;
+                    let t = x1 * x1 + x2 * x2;
+                    if t <= 1.0 {
+                        let t2 = (-2.0 * t.ln() / t).sqrt();
+                        let gx = x1 * t2;
+                        let gy = x2 * t2;
+                        let l = gx.abs().max(gy.abs()) as usize;
+                        q[l.min(NQ - 1)] += 1.0;
+                        sx += gx;
+                        sy += gy;
+                    }
+                }
+            }
+            (sx, sy, q)
+        },
+        |(sx1, sy1, q1), (sx2, sy2, q2)| {
+            let mut q = q1;
+            for (a, b) in q.iter_mut().zip(q2.iter()) {
+                *a += b;
+            }
+            (sx1 + sx2, sy1 + sy2, q)
+        },
+    );
+
+    EpResult { sx, sy, q, pairs: (1u64 << m) as f64 }
+}
+
+/// Official verification sums (NPB 3 `ep.f`), classes S/W/A.
+pub fn reference_sums(class: Class) -> Option<(f64, f64)> {
+    match class {
+        Class::S => Some((-3.247_834_652_034_740e3, -6.958_407_078_382_297e3)),
+        Class::W => Some((-2.863_319_731_645_753e3, -6.320_053_679_109_499e3)),
+        Class::A => Some((-4.295_875_165_629_892e3, -1.580_732_573_678_431e4)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_s_matches_official_verification() {
+        let r = run(Class::S, 4);
+        let (sx, sy) = reference_sums(Class::S).unwrap();
+        let ex = ((r.sx - sx) / sx).abs();
+        let ey = ((r.sy - sy) / sy).abs();
+        assert!(ex < 1e-8, "sx {} vs {sx} (rel {ex})", r.sx);
+        assert!(ey < 1e-8, "sy {} vs {sy} (rel {ey})", r.sy);
+    }
+
+    #[test]
+    fn class_w_matches_official_verification() {
+        let r = run(Class::W, 4);
+        let (sx, sy) = reference_sums(Class::W).unwrap();
+        assert!(((r.sx - sx) / sx).abs() < 1e-8, "sx {} vs {sx}", r.sx);
+        assert!(((r.sy - sy) / sy).abs() < 1e-8, "sy {} vs {sy}", r.sy);
+    }
+
+    #[test]
+    fn class_a_matches_official_verification() {
+        // 2^28 pairs — the largest class with spot-published sums we check.
+        let r = run(Class::A, 8);
+        let (sx, sy) = reference_sums(Class::A).unwrap();
+        assert!(((r.sx - sx) / sx).abs() < 1e-8, "sx {} vs {sx}", r.sx);
+        assert!(((r.sy - sy) / sy).abs() < 1e-8, "sy {} vs {sy}", r.sy);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_answer() {
+        let a = run_m(18, 1);
+        let b = run_m(18, 7);
+        assert_eq!(a.q, b.q);
+        // Sums may differ in rounding by association order across batches;
+        // batches are reduced in combine order, so allow tiny slack.
+        assert!((a.sx - b.sx).abs() < 1e-7, "{} vs {}", a.sx, b.sx);
+        assert!((a.sy - b.sy).abs() < 1e-7);
+    }
+
+    #[test]
+    fn acceptance_rate_is_pi_over_four() {
+        let r = run_m(20, 4);
+        let rate = r.gaussian_pairs() / r.pairs;
+        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.002, "rate {rate}");
+    }
+
+    #[test]
+    fn annulus_counts_decay() {
+        // Gaussian tails: q[0] > q[1] > … and q[≥6] tiny.
+        let r = run_m(20, 4);
+        assert!(r.q[0] > r.q[1] && r.q[1] > r.q[2] && r.q[2] > r.q[3]);
+        assert!(r.q[7] + r.q[8] + r.q[9] < r.q[0] * 1e-6);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        // Mean of the Gaussians ≈ 0 relative to their count.
+        let r = run_m(20, 4);
+        let n = r.gaussian_pairs();
+        assert!((r.sx / n).abs() < 0.01, "mean x {}", r.sx / n);
+        assert!((r.sy / n).abs() < 0.01, "mean y {}", r.sy / n);
+    }
+}

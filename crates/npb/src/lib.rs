@@ -1,0 +1,36 @@
+//! # ookami-npb — NAS Parallel Benchmarks in Rust
+//!
+//! Section V of the paper evaluates six NPB applications (class C) across
+//! four A64FX toolchains and Intel/Skylake. This crate provides:
+//!
+//! * **Native, runnable Rust ports**: [`ep`] and [`cg`] follow the NPB
+//!   specification closely (EP bit-exactly, including the 46-bit LCG and
+//!   the official verification sums); [`bt`], [`sp`], [`lu`] implement the
+//!   same solver skeletons (ADI with 5×5 block-tridiagonal, scalar
+//!   pentadiagonal, and SSOR sweeps on a 3-D grid) on a manufactured-
+//!   solution problem; [`ua`] implements a stylized heat-transfer solve on
+//!   an adaptively refined unstructured mesh. All run and verify at small
+//!   classes and thread through `ookami-core`'s parallel-for.
+//! * **Class-C characterization** ([`profiles`]): each benchmark's FLOPs,
+//!   memory traffic, math calls, gathers and parallel structure as a
+//!   [`ookami_core::WorkloadProfile`], validated against the native runs
+//!   at small classes and scaled analytically (DESIGN.md §2 documents this
+//!   substitution for class C).
+//! * **Figure regenerators** ([`figures`]): Fig. 3 (single-core per
+//!   compiler), Fig. 4 (all cores, incl. fujitsu-first-touch), Fig. 5/6
+//!   (parallel-efficiency scaling on A64FX and Skylake).
+
+pub mod bt;
+pub mod cg;
+pub mod classes;
+pub mod ep;
+pub mod figures;
+pub mod grid;
+pub mod lu;
+pub mod profiles;
+pub mod randnpb;
+pub mod sp;
+pub mod ua;
+
+pub use classes::Class;
+pub use profiles::{profile, Benchmark};

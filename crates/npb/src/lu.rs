@@ -1,0 +1,289 @@
+//! LU — the SSOR pseudo-application.
+//!
+//! The NPB LU solves its implicit system not by ADI factorization but by
+//! symmetric successive over-relaxation: a forward (lower-triangular) and
+//! a backward (upper-triangular) Gauss–Seidel sweep per time step over a
+//! "3D seven-block-diagonal system" (diagonal + six neighbor 5×5 blocks).
+//! The sweeps carry a dependence along the i+j+k direction, so the port
+//! parallelizes over *hyperplanes* (wavefronts), exactly like threaded
+//! NPB LU implementations.
+
+use crate::classes::Class;
+use crate::grid::{lu_factor, lu_solve, matvec, Block, Field, NC};
+use ookami_core::runtime::par_for;
+
+/// LU solver state.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    pub n: usize,
+    pub u: Field,
+    dt: f64,
+    nu: f64,
+    omega: f64,
+    coupling: Block,
+}
+
+fn coupling() -> Block {
+    let mut c = [0.0; NC * NC];
+    for r in 0..NC {
+        for j in 0..NC {
+            c[r * NC + j] =
+                if r == j { 1.0 + 0.08 * r as f64 } else { 0.04 / (1.0 + (r + j) as f64) };
+        }
+    }
+    c
+}
+
+impl Lu {
+    pub fn new(class: Class) -> Self {
+        let (n, _, _, _) = class.grid_params();
+        Self::with_grid(n)
+    }
+
+    pub fn with_grid(n: usize) -> Self {
+        assert!(n >= 5);
+        Lu { n, u: Field::manufactured(n), dt: 0.5, nu: 0.05, omega: 1.2, coupling: coupling() }
+    }
+
+    #[inline]
+    fn sigma(&self) -> f64 {
+        let h = 1.0 / (self.n as f64 - 1.0);
+        self.dt * self.nu / (h * h)
+    }
+
+    /// Explicit residual, as in BT: σ·C·∇²u.
+    fn compute_rhs(&self, threads: usize) -> Field {
+        let n = self.n;
+        let mut rhs = Field::zeros(n);
+        let rbase = rhs.data.as_mut_ptr() as usize;
+        let plane = n * n * NC;
+        let u = &self.u;
+        let sigma = self.sigma();
+        let cb = self.coupling;
+        par_for(threads, n - 2, |_, s, e| {
+            let out = unsafe {
+                std::slice::from_raw_parts_mut(
+                    (rbase as *mut f64).add((s + 1) * plane),
+                    (e - s) * plane,
+                )
+            };
+            for (pi, i) in (s + 1..e + 1).enumerate() {
+                for j in 1..n - 1 {
+                    for k in 1..n - 1 {
+                        let mut lap = [0.0f64; NC];
+                        for c in 0..NC {
+                            lap[c] = u.get(i - 1, j, k, c)
+                                + u.get(i + 1, j, k, c)
+                                + u.get(i, j - 1, k, c)
+                                + u.get(i, j + 1, k, c)
+                                + u.get(i, j, k - 1, c)
+                                + u.get(i, j, k + 1, c)
+                                - 6.0 * u.get(i, j, k, c);
+                        }
+                        let r = matvec(&cb, &lap);
+                        let o = (pi * n + j) * n * NC + k * NC;
+                        for c in 0..NC {
+                            out[o + c] = sigma * r[c];
+                        }
+                    }
+                }
+            }
+        });
+        rhs
+    }
+
+    /// Hyperplane decomposition of the interior: points with
+    /// `i+j+k == d` are mutually independent within a Gauss–Seidel sweep.
+    fn hyperplanes(&self) -> Vec<Vec<(usize, usize, usize)>> {
+        let n = self.n;
+        let dmin = 3;
+        let dmax = 3 * (n - 2);
+        let mut planes = vec![Vec::new(); dmax - dmin + 1];
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                for k in 1..n - 1 {
+                    planes[i + j + k - dmin].push((i, j, k));
+                }
+            }
+        }
+        planes
+    }
+
+    /// One SSOR relaxation (forward + backward) of `A·delta = rhs`, where
+    /// `A = I + 6σC` on the diagonal and `−σC` on the six neighbors.
+    /// Returns the post-sweep residual norm of the linear system.
+    fn ssor(&self, rhs: &Field, delta: &mut Field, threads: usize) -> f64 {
+        let n = self.n;
+        let sigma = self.sigma();
+        // Diagonal block LU (constant across points here).
+        let mut dblock = [0.0; NC * NC];
+        for r in 0..NC {
+            for c in 0..NC {
+                dblock[r * NC + c] =
+                    6.0 * sigma * self.coupling[r * NC + c] + if r == c { 1.0 } else { 0.0 };
+            }
+        }
+        let piv = lu_factor(&mut dblock);
+        let planes = self.hyperplanes();
+        let dbase = delta.data.as_mut_ptr() as usize;
+        let idx = move |i: usize, j: usize, k: usize| ((i * n + j) * n + k) * NC;
+
+        let relax = |pts: &[(usize, usize, usize)]| {
+            par_for(threads, pts.len(), |_, s, e| {
+                let dd = dbase as *mut f64;
+                for &(i, j, k) in &pts[s..e] {
+                    // t = rhs + σC·(Σ neighbor deltas)
+                    let mut nb = [0.0f64; NC];
+                    for c in 0..NC {
+                        unsafe {
+                            nb[c] = *dd.add(idx(i - 1, j, k) + c)
+                                + *dd.add(idx(i + 1, j, k) + c)
+                                + *dd.add(idx(i, j - 1, k) + c)
+                                + *dd.add(idx(i, j + 1, k) + c)
+                                + *dd.add(idx(i, j, k - 1) + c)
+                                + *dd.add(idx(i, j, k + 1) + c);
+                        }
+                    }
+                    let mut t = matvec(&self.coupling, &nb);
+                    let r0 = rhs.idx(i, j, k);
+                    for c in 0..NC {
+                        t[c] = rhs.data[r0 + c] + sigma * t[c];
+                    }
+                    lu_solve(&dblock, &piv, &mut t);
+                    for c in 0..NC {
+                        unsafe {
+                            let p = dd.add(idx(i, j, k) + c);
+                            *p = (1.0 - self.omega) * *p + self.omega * t[c];
+                        }
+                    }
+                }
+            });
+        };
+
+        for pts in planes.iter() {
+            relax(pts);
+        }
+        for pts in planes.iter().rev() {
+            relax(pts);
+        }
+
+        // residual ‖rhs − A·delta‖
+        let mut sum = 0.0;
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                for k in 1..n - 1 {
+                    let mut nb = [0.0f64; NC];
+                    for c in 0..NC {
+                        nb[c] = delta.get(i - 1, j, k, c)
+                            + delta.get(i + 1, j, k, c)
+                            + delta.get(i, j - 1, k, c)
+                            + delta.get(i, j + 1, k, c)
+                            + delta.get(i, j, k - 1, c)
+                            + delta.get(i, j, k + 1, c)
+                            - 6.0 * delta.get(i, j, k, c);
+                    }
+                    let cd = matvec(&self.coupling, &nb);
+                    for c in 0..NC {
+                        let ax = delta.get(i, j, k, c) - sigma * cd[c];
+                        let r = rhs.get(i, j, k, c) - ax;
+                        sum += r * r;
+                    }
+                }
+            }
+        }
+        sum.sqrt()
+    }
+
+    /// One SSOR time step; returns the update norm ‖Δu‖.
+    pub fn step(&mut self, threads: usize) -> f64 {
+        let rhs = self.compute_rhs(threads);
+        let mut delta = Field::zeros(self.n);
+        let _res = self.ssor(&rhs, &mut delta, threads);
+        for (uv, dv) in self.u.data.iter_mut().zip(delta.data.iter()) {
+            *uv += dv;
+        }
+        delta.norm()
+    }
+
+    pub fn run(&mut self, iters: usize, threads: usize) -> f64 {
+        let mut last = f64::INFINITY;
+        for _ in 0..iters {
+            last = self.step(threads);
+        }
+        last
+    }
+
+    /// Expose one SSOR solve for convergence testing.
+    pub fn ssor_once(&self, rhs: &Field, delta: &mut Field, threads: usize) -> f64 {
+        self.ssor(rhs, delta, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperplanes_cover_interior_once() {
+        let lu = Lu::with_grid(8);
+        let planes = lu.hyperplanes();
+        let total: usize = planes.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 6 * 6 * 6);
+        // points within a plane share i+j+k
+        for (d, pts) in planes.iter().enumerate() {
+            for &(i, j, k) in pts {
+                assert_eq!(i + j + k, d + 3);
+            }
+        }
+    }
+
+    #[test]
+    fn ssor_converges_to_linear_solution() {
+        let lu = Lu::with_grid(8);
+        let rhs = lu.compute_rhs(2);
+        let mut delta = Field::zeros(8);
+        let r1 = lu.ssor_once(&rhs, &mut delta, 2);
+        let mut r_prev = r1;
+        for _ in 0..6 {
+            let r = lu.ssor_once(&rhs, &mut delta, 2);
+            assert!(r < r_prev, "{r} vs {r_prev}");
+            r_prev = r;
+        }
+        assert!(r_prev < r1 * 1e-3, "SSOR stalled: {r1} -> {r_prev}");
+    }
+
+    #[test]
+    fn constant_field_is_steady() {
+        let mut lu = Lu::with_grid(9);
+        lu.u.data.iter_mut().for_each(|v| *v = 1.5);
+        let d = lu.step(2);
+        assert!(d < 1e-14);
+    }
+
+    #[test]
+    fn decays_toward_steady_state() {
+        let mut lu = Lu::with_grid(10);
+        let d0 = lu.step(2);
+        let dn = lu.run(30, 2);
+        assert!(dn < d0 * 0.3, "d0 {d0} dn {dn}");
+    }
+
+    #[test]
+    fn threads_do_not_change_result() {
+        // Hyperplane Gauss–Seidel is order-independent within a plane.
+        let mut a = Lu::with_grid(9);
+        let mut b = Lu::with_grid(9);
+        a.run(3, 1);
+        b.run(3, 5);
+        for (x, y) in a.u.data.iter().zip(b.u.data.iter()) {
+            assert!((x - y).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn class_s_runs() {
+        let mut lu = Lu::new(Class::S);
+        let d = lu.run(4, 4);
+        assert!(d.is_finite() && d > 0.0);
+    }
+}

@@ -1,0 +1,469 @@
+//! UA — Unstructured Adaptive: "the solution of a stylized heat transfer
+//! problem in a cubic domain, discretized on an adaptively refined,
+//! unstructured mesh", featuring "irregular, dynamic memory accesses".
+//!
+//! This port keeps those properties with a 2:1-balanced octree of
+//! cell-centered finite volumes: a Gaussian heat source moves through the
+//! unit cube; cells near it refine on the fly (dynamic mesh growth); face
+//! fluxes between unequal-level neighbors play the role of the reference's
+//! mortar conditions; and all neighbor access goes through an irregular
+//! hash-map/index indirection (the gather pattern the paper's UA analysis
+//! cares about). Heat is conserved to rounding, which is the verification.
+
+use crate::classes::Class;
+use std::collections::HashMap;
+
+/// One leaf cell of the octree.
+#[derive(Debug, Clone, Copy)]
+pub struct Leaf {
+    pub level: u8,
+    pub ix: u32,
+    pub iy: u32,
+    pub iz: u32,
+    /// Cell-centered temperature.
+    pub t: f64,
+}
+
+impl Leaf {
+    pub fn size(&self) -> f64 {
+        1.0 / (1u32 << self.level) as f64
+    }
+
+    pub fn volume(&self) -> f64 {
+        let s = self.size();
+        s * s * s
+    }
+
+    pub fn center(&self) -> [f64; 3] {
+        let s = self.size();
+        [
+            (self.ix as f64 + 0.5) * s,
+            (self.iy as f64 + 0.5) * s,
+            (self.iz as f64 + 0.5) * s,
+        ]
+    }
+}
+
+type Key = (u8, u32, u32, u32);
+
+/// The adaptive mesh + solver state.
+#[derive(Debug, Clone)]
+pub struct Ua {
+    pub leaves: Vec<Leaf>,
+    map: HashMap<Key, usize>,
+    pub max_level: u8,
+    kappa: f64,
+    /// Heat injected so far (for the conservation check).
+    pub injected: f64,
+    pub time: f64,
+    steps: usize,
+}
+
+impl Ua {
+    /// Build from a class: coarse 4³ start, refining toward the class's
+    /// element budget and level cap.
+    pub fn new(class: Class) -> Self {
+        let (_target, levels, _) = class.ua_params();
+        Self::with_levels(levels.min(31) as u8)
+    }
+
+    pub fn with_levels(max_level: u8) -> Self {
+        let base = 2u8; // 4³ coarse mesh
+        let n = 1u32 << base;
+        let mut leaves = Vec::new();
+        let mut map = HashMap::new();
+        for ix in 0..n {
+            for iy in 0..n {
+                for iz in 0..n {
+                    map.insert((base, ix, iy, iz), leaves.len());
+                    leaves.push(Leaf { level: base, ix, iy, iz, t: 0.0 });
+                }
+            }
+        }
+        Ua {
+            leaves,
+            map,
+            max_level: max_level.max(base + 1),
+            kappa: 0.1,
+            injected: 0.0,
+            time: 0.0,
+            steps: 0,
+        }
+    }
+
+    pub fn num_elements(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Total heat ∑ V·T.
+    pub fn total_heat(&self) -> f64 {
+        self.leaves.iter().map(|l| l.volume() * l.t).sum()
+    }
+
+    /// Current source center (moves along the main diagonal).
+    pub fn source_center(&self) -> [f64; 3] {
+        let s = 0.15 + 0.7 * (self.time * 0.35).fract();
+        [s, s, s]
+    }
+
+    fn source_rate(&self, p: [f64; 3]) -> f64 {
+        let c = self.source_center();
+        let d2 = (p[0] - c[0]).powi(2) + (p[1] - c[1]).powi(2) + (p[2] - c[2]).powi(2);
+        10.0 * (-d2 / 0.01).exp()
+    }
+
+    /// Refine `leaf_idx` into 8 children (energy-conserving: children copy
+    /// the parent temperature). Recursively maintains 2:1 balance.
+    fn refine(&mut self, leaf_idx: usize) {
+        let leaf = self.leaves[leaf_idx];
+        if leaf.level >= self.max_level {
+            return;
+        }
+        // 2:1 balance: every face neighbor must reach at least this leaf's
+        // level before the children appear. Walk each neighbor's ancestor
+        // chain and refine coarser leaves (recursively re-balancing).
+        for dim in 0..3 {
+            for dir in [-1i64, 1i64] {
+                if let Some(nb_key) = neighbor_key(&leaf, dim, dir) {
+                    loop {
+                        if self.map.contains_key(&nb_key) {
+                            break; // same level: balanced
+                        }
+                        // Find the deepest existing ancestor.
+                        let mut found = None;
+                        let (mut lv, mut x, mut y, mut z) = nb_key;
+                        while lv > 0 {
+                            lv -= 1;
+                            x >>= 1;
+                            y >>= 1;
+                            z >>= 1;
+                            if let Some(&idx) = self.map.get(&(lv, x, y, z)) {
+                                found = Some(idx);
+                                break;
+                            }
+                        }
+                        match found {
+                            Some(idx) => self.refine(idx),
+                            None => break, // neighbor region is already finer
+                        }
+                    }
+                }
+            }
+        }
+        let leaf = self.leaves[leaf_idx]; // re-read (vector may have grown)
+        // Replace this leaf with its first child; append the other 7.
+        self.map.remove(&(leaf.level, leaf.ix, leaf.iy, leaf.iz));
+        let l = leaf.level + 1;
+        let mut first = true;
+        for dx in 0..2u32 {
+            for dy in 0..2u32 {
+                for dz in 0..2u32 {
+                    let child = Leaf {
+                        level: l,
+                        ix: 2 * leaf.ix + dx,
+                        iy: 2 * leaf.iy + dy,
+                        iz: 2 * leaf.iz + dz,
+                        t: leaf.t,
+                    };
+                    let key = (l, child.ix, child.iy, child.iz);
+                    if first {
+                        self.leaves[leaf_idx] = child;
+                        self.map.insert(key, leaf_idx);
+                        first = false;
+                    } else {
+                        self.map.insert(key, self.leaves.len());
+                        self.leaves.push(child);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adapt: refine all leaves within the source's hot radius.
+    pub fn adapt(&mut self) {
+        let c = self.source_center();
+        let mut to_refine: Vec<usize> = Vec::new();
+        for (i, l) in self.leaves.iter().enumerate() {
+            if l.level >= self.max_level {
+                continue;
+            }
+            let p = l.center();
+            let d2 =
+                (p[0] - c[0]).powi(2) + (p[1] - c[1]).powi(2) + (p[2] - c[2]).powi(2);
+            if d2 < (0.12 + l.size()).powi(2) {
+                to_refine.push(i);
+            }
+        }
+        for i in to_refine {
+            // index may now hold a refined (replaced) child; only refine
+            // cells that still match the criterion and level cap.
+            if self.leaves[i].level < self.max_level {
+                self.refine(i);
+            }
+        }
+    }
+
+    /// One explicit diffusion step. Returns the stable dt used.
+    pub fn step(&mut self, threads: usize) -> f64 {
+        let min_size = self
+            .leaves
+            .iter()
+            .map(|l| l.size())
+            .fold(f64::INFINITY, f64::min);
+        let dt = 0.1 * min_size * min_size / self.kappa;
+
+        let nl = self.leaves.len();
+        let leaves = &self.leaves;
+        let map = &self.map;
+        let kappa = self.kappa;
+
+        // Per-thread energy-delta accumulators (scatter with privatization,
+        // like a colored OpenMP assembly).
+        let nthreads = threads.max(1).min(nl.max(1));
+        let mut partials: Vec<Vec<f64>> = Vec::new();
+        crossbeam_scope(nthreads, nl, &mut partials, |tid, s, e, acc| {
+            for me_idx in s..e {
+                let me = &leaves[me_idx];
+                for dim in 0..3 {
+                    // + faces only: each interior face handled exactly once.
+                    if let Some(nb_key) = neighbor_key(me, dim, 1) {
+                        if let Some(&nb_idx) = map.get(&nb_key) {
+                            // same-level neighbor
+                            flux(me, &leaves[nb_idx], me_idx, nb_idx, kappa, acc);
+                        } else {
+                            let parent =
+                                (nb_key.0 - 1, nb_key.1 >> 1, nb_key.2 >> 1, nb_key.3 >> 1);
+                            if let Some(&nb_idx) = map.get(&parent) {
+                                // coarser neighbor: fine side owns the face
+                                flux(me, &leaves[nb_idx], me_idx, nb_idx, kappa, acc);
+                            } else {
+                                // finer neighbors: 4 children share my face
+                                let l = nb_key.0 + 1;
+                                let (fx, fy, fz) =
+                                    (2 * nb_key.1, 2 * nb_key.2, 2 * nb_key.3);
+                                for a in 0..2u32 {
+                                    for b in 0..2u32 {
+                                        let key = match dim {
+                                            0 => (l, fx, fy + a, fz + b),
+                                            1 => (l, fx + a, fy, fz + b),
+                                            _ => (l, fx + a, fy + b, fz),
+                                        };
+                                        if let Some(&nb_idx) = map.get(&key) {
+                                            flux(
+                                                me,
+                                                &leaves[nb_idx],
+                                                me_idx,
+                                                nb_idx,
+                                                kappa,
+                                                acc,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let _ = tid;
+        });
+
+        // Reduce the privatized energy deltas and apply, plus the source.
+        let mut source_added = 0.0;
+        for (i, l) in self.leaves.iter_mut().enumerate() {
+            let mut de = 0.0;
+            for p in &partials {
+                de += p[i];
+            }
+            let s = self.time; // borrow checker: source uses time via locals
+            let _ = s;
+            l.t += dt * de / l.volume();
+        }
+        // Source injection (serial: tiny compared to the flux pass).
+        let centers: Vec<([f64; 3], f64)> =
+            self.leaves.iter().map(|l| (l.center(), l.volume())).collect();
+        for (i, (p, v)) in centers.iter().enumerate() {
+            let rate = self.source_rate(*p);
+            self.leaves[i].t += dt * rate;
+            source_added += dt * rate * v;
+        }
+        self.injected += source_added;
+        self.time += dt;
+        self.steps += 1;
+        dt
+    }
+
+    /// Run `iters` steps, adapting the mesh every 5 steps.
+    pub fn run(&mut self, iters: usize, threads: usize) {
+        for it in 0..iters {
+            if it % 5 == 0 {
+                self.adapt();
+            }
+            self.step(threads);
+        }
+    }
+}
+
+/// Face-flux accumulation: energy leaves one cell and enters the other.
+#[inline]
+fn flux(me: &Leaf, nb: &Leaf, me_idx: usize, nb_idx: usize, kappa: f64, acc: &mut [f64]) {
+    let a = me.size().min(nb.size());
+    let area = a * a;
+    let dist = 0.5 * (me.size() + nb.size());
+    let f = kappa * area * (nb.t - me.t) / dist;
+    acc[me_idx] += f;
+    acc[nb_idx] -= f;
+}
+
+/// Same-level neighbor key in direction `dir` along `dim`, or None at the
+/// domain boundary.
+fn neighbor_key(l: &Leaf, dim: usize, dir: i64) -> Option<Key> {
+    let n = 1i64 << l.level;
+    let (mut x, mut y, mut z) = (l.ix as i64, l.iy as i64, l.iz as i64);
+    match dim {
+        0 => x += dir,
+        1 => y += dir,
+        _ => z += dir,
+    }
+    if x < 0 || y < 0 || z < 0 || x >= n || y >= n || z >= n {
+        None
+    } else {
+        Some((l.level, x as u32, y as u32, z as u32))
+    }
+}
+
+/// Scoped parallel flux pass with per-thread accumulators.
+fn crossbeam_scope<F>(
+    threads: usize,
+    n: usize,
+    partials: &mut Vec<Vec<f64>>,
+    f: F,
+) where
+    F: Fn(usize, usize, usize, &mut [f64]) + Sync,
+{
+    *partials = (0..threads).map(|_| vec![0.0; n]).collect();
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (tid, acc) in partials.iter_mut().enumerate() {
+            let start = tid * chunk;
+            let end = ((tid + 1) * chunk).min(n);
+            if start >= end {
+                continue;
+            }
+            let f = &f;
+            s.spawn(move |_| f(tid, start, end, acc));
+        }
+    })
+    .expect("ua worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_grows_under_adaptation() {
+        let mut ua = Ua::with_levels(5);
+        let n0 = ua.num_elements();
+        ua.run(10, 3);
+        assert!(ua.num_elements() > n0, "{} -> {}", n0, ua.num_elements());
+    }
+
+    #[test]
+    fn two_to_one_balance_holds() {
+        let mut ua = Ua::with_levels(6);
+        ua.run(15, 2);
+        // For every leaf and every face, the neighbor (if any) differs by
+        // at most one level: either the same-level cell exists, or its
+        // parent is a leaf (one coarser), or all four face-adjacent
+        // children are leaves (one finer).
+        for l in &ua.leaves {
+            for dim in 0..3 {
+                for dir in [-1i64, 1] {
+                    if let Some(k) = neighbor_key(l, dim, dir) {
+                        let same = ua.map.contains_key(&k);
+                        let coarser = ua
+                            .map
+                            .contains_key(&(k.0 - 1, k.1 >> 1, k.2 >> 1, k.3 >> 1));
+                        let finer = {
+                            // children on the face adjacent to `l`
+                            let lv = k.0 + 1;
+                            let (fx, fy, fz) = (2 * k.1, 2 * k.2, 2 * k.3);
+                            // face coordinate: the child layer nearest to l
+                            let off = if dir == 1 { 0 } else { 1 };
+                            (0..2u32).all(|a| {
+                                (0..2u32).all(|b| {
+                                    let key = match dim {
+                                        0 => (lv, fx + off, fy + a, fz + b),
+                                        1 => (lv, fx + a, fy + off, fz + b),
+                                        _ => (lv, fx + a, fy + b, fz + off),
+                                    };
+                                    ua.map.contains_key(&key)
+                                })
+                            })
+                        };
+                        assert!(
+                            same || coarser || finer,
+                            "unbalanced neighbor at {:?} dim {dim} dir {dir}",
+                            (l.level, l.ix, l.iy, l.iz)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heat_is_conserved() {
+        let mut ua = Ua::with_levels(5);
+        ua.run(20, 4);
+        let total = ua.total_heat();
+        assert!(
+            (total - ua.injected).abs() < 1e-10 * ua.injected.max(1.0),
+            "total {total} vs injected {}",
+            ua.injected
+        );
+    }
+
+    #[test]
+    fn refinement_conserves_heat() {
+        let mut ua = Ua::with_levels(5);
+        // seed some heat, then adapt without stepping
+        for l in ua.leaves.iter_mut() {
+            l.t = 1.0 + l.ix as f64 * 0.1;
+        }
+        let before = ua.total_heat();
+        ua.adapt();
+        let after = ua.total_heat();
+        assert!((before - after).abs() < 1e-12, "{before} vs {after}");
+    }
+
+    #[test]
+    fn temperatures_stay_positive_and_bounded() {
+        let mut ua = Ua::with_levels(5);
+        ua.run(25, 2);
+        for l in &ua.leaves {
+            assert!(l.t >= -1e-12, "negative T {}", l.t);
+            assert!(l.t < 1e4, "runaway T {}", l.t);
+        }
+    }
+
+    #[test]
+    fn threads_do_not_change_result() {
+        let mut a = Ua::with_levels(5);
+        let mut b = Ua::with_levels(5);
+        a.run(8, 1);
+        b.run(8, 6);
+        assert_eq!(a.num_elements(), b.num_elements());
+        let ha = a.total_heat();
+        let hb = b.total_heat();
+        assert!((ha - hb).abs() < 1e-9 * ha.max(1.0), "{ha} vs {hb}");
+    }
+
+    #[test]
+    fn class_s_reaches_element_budget_scale() {
+        let mut ua = Ua::new(Class::S);
+        ua.run(20, 4);
+        assert!(ua.num_elements() > 100, "{}", ua.num_elements());
+    }
+}

@@ -1,0 +1,839 @@
+//! The SVE execution context: emulated instructions + optional recording.
+
+use crate::fexpa::fexpa_lane;
+use crate::value::{Pred, VVal};
+use ookami_uarch::{Instr, OpClass, Reg, Width};
+
+/// Emulated SVE machine state: a vector length and an instruction recorder.
+///
+/// Every op both computes its result lanes (merging predication: inactive
+/// lanes pass through the *first* vector operand) and, when recording is on,
+/// appends an [`Instr`] carrying def/use register ids, so the exact code
+/// that was numerically validated is also what the cycle analyzer sees.
+pub struct SveCtx {
+    vl: usize,
+    next_reg: Reg,
+    recording: Option<Vec<Instr>>,
+}
+
+impl SveCtx {
+    /// New context with `vl` 64-bit lanes (8 on A64FX).
+    pub fn new(vl: usize) -> Self {
+        assert!(vl >= 1 && vl <= 64, "unreasonable vector length {vl}");
+        SveCtx { vl, next_reg: 0, recording: None }
+    }
+
+    pub fn vl(&self) -> usize {
+        self.vl
+    }
+
+    /// Width implied by this context's vector length (for recording).
+    pub fn width(&self) -> Width {
+        match self.vl {
+            1 => Width::Scalar,
+            2 => Width::V128,
+            4 => Width::V256,
+            _ => Width::V512,
+        }
+    }
+
+    pub fn start_recording(&mut self) {
+        self.recording = Some(Vec::new());
+    }
+
+    pub fn take_recording(&mut self) -> Vec<Instr> {
+        self.recording.take().unwrap_or_default()
+    }
+
+    pub fn is_recording(&self) -> bool {
+        self.recording.is_some()
+    }
+
+    fn fresh(&mut self) -> Reg {
+        let r = self.next_reg;
+        // Ids only need to be unique while a recording is open (they drive
+        // dependency analysis); outside recording, wrap freely so long
+        // numerical runs never exhaust the id space.
+        if self.recording.is_some() {
+            self.next_reg = self.next_reg.checked_add(1).expect("register ids exhausted");
+        } else {
+            self.next_reg = self.next_reg.wrapping_add(1);
+        }
+        r
+    }
+
+    fn rec(&mut self, op: OpClass, dst: Option<Reg>, srcs: &[Reg]) {
+        let w = self.width();
+        if let Some(log) = &mut self.recording {
+            log.push(Instr::new(op, w, dst, srcs.to_vec()));
+        }
+    }
+
+    fn rec_hint(&mut self, op: OpClass, dst: Option<Reg>, srcs: &[Reg], uops: u32) {
+        let w = self.width();
+        if let Some(log) = &mut self.recording {
+            log.push(Instr::new(op, w, dst, srcs.to_vec()).with_uops(uops));
+        }
+    }
+
+    // ---------------- constants and setup (not recorded: hoisted) --------
+
+    /// Broadcast an `f64` constant (loop-invariant; not recorded).
+    pub fn dup_f64(&mut self, c: f64) -> VVal {
+        VVal { bits: vec![c.to_bits(); self.vl], id: self.fresh() }
+    }
+
+    /// Broadcast an `i64` constant (loop-invariant; not recorded).
+    pub fn dup_i64(&mut self, c: i64) -> VVal {
+        VVal { bits: vec![c as u64; self.vl], id: self.fresh() }
+    }
+
+    /// `INDEX z, #start, #step` (not recorded: setup). Wrapping arithmetic,
+    /// as the hardware's lane counters wrap.
+    pub fn index(&mut self, start: i64, step: i64) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| start.wrapping_add(step.wrapping_mul(l as i64)) as u64)
+            .collect();
+        VVal { bits, id: self.fresh() }
+    }
+
+    /// All-true predicate (not recorded: setup).
+    pub fn ptrue(&mut self) -> Pred {
+        Pred { mask: vec![true; self.vl], id: self.fresh() }
+    }
+
+    /// An uninitialized-id wrapper for external inputs (tests/kernels).
+    pub fn input_f64(&mut self, lanes: &[f64]) -> VVal {
+        assert_eq!(lanes.len(), self.vl);
+        VVal { bits: lanes.iter().map(|x| x.to_bits()).collect(), id: self.fresh() }
+    }
+
+    /// Integer-lane input (e.g. an index vector loaded by a kernel).
+    pub fn input_i64(&mut self, lanes: &[i64]) -> VVal {
+        assert_eq!(lanes.len(), self.vl);
+        VVal { bits: lanes.iter().map(|&x| x as u64).collect(), id: self.fresh() }
+    }
+
+    // ---------------- predicates -----------------------------------------
+
+    /// `WHILELT`: lanes `[i, i+vl)` active while `< n`. Recorded (this is
+    /// the per-iteration cost of the vector-length-agnostic loop structure
+    /// that Section IV measures at +0.2 cycles/element).
+    pub fn whilelt(&mut self, i: usize, n: usize) -> Pred {
+        let mask = (0..self.vl).map(|l| i + l < n).collect();
+        let id = self.fresh();
+        self.rec(OpClass::PredOp, Some(id), &[]);
+        Pred { mask, id }
+    }
+
+    /// `PTEST`-style continuation check (recorded as predicate work).
+    pub fn ptest(&mut self, p: &Pred) -> bool {
+        self.rec(OpClass::PredOp, None, &[p.id]);
+        p.any()
+    }
+
+    /// Logical AND of predicates.
+    pub fn pand(&mut self, a: &Pred, b: &Pred) -> Pred {
+        let mask = a.mask.iter().zip(&b.mask).map(|(&x, &y)| x && y).collect();
+        let id = self.fresh();
+        self.rec(OpClass::PredOp, Some(id), &[a.id, b.id]);
+        Pred { mask, id }
+    }
+
+    // ---------------- elementwise float ops ------------------------------
+
+    fn map2f(
+        &mut self,
+        op: OpClass,
+        pg: &Pred,
+        a: &VVal,
+        b: &VVal,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    f(f64::from_bits(a.bits[l]), f64::from_bits(b.bits[l])).to_bits()
+                } else {
+                    a.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(op, Some(id), &[pg.id, a.id, b.id]);
+        VVal { bits, id }
+    }
+
+    fn map1f(&mut self, op: OpClass, pg: &Pred, a: &VVal, f: impl Fn(f64) -> f64) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    f(f64::from_bits(a.bits[l])).to_bits()
+                } else {
+                    a.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(op, Some(id), &[pg.id, a.id]);
+        VVal { bits, id }
+    }
+
+    pub fn fadd(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        self.map2f(OpClass::FAdd, pg, a, b, |x, y| x + y)
+    }
+
+    pub fn fsub(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        self.map2f(OpClass::FAdd, pg, a, b, |x, y| x - y)
+    }
+
+    pub fn fmul(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        self.map2f(OpClass::FMul, pg, a, b, |x, y| x * y)
+    }
+
+    pub fn fdiv(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        self.map2f(OpClass::FDiv, pg, a, b, |x, y| x / y)
+    }
+
+    pub fn fsqrt(&mut self, pg: &Pred, a: &VVal) -> VVal {
+        self.map1f(OpClass::FSqrt, pg, a, f64::sqrt)
+    }
+
+    pub fn fneg(&mut self, pg: &Pred, a: &VVal) -> VVal {
+        self.map1f(OpClass::FAbsNeg, pg, a, |x| -x)
+    }
+
+    pub fn fabs(&mut self, pg: &Pred, a: &VVal) -> VVal {
+        self.map1f(OpClass::FAbsNeg, pg, a, f64::abs)
+    }
+
+    pub fn fmax(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        self.map2f(OpClass::FMinMax, pg, a, b, f64::max)
+    }
+
+    pub fn fmin(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        self.map2f(OpClass::FMinMax, pg, a, b, f64::min)
+    }
+
+    /// Fused multiply-add `a*b + c` (`FMLA` with the accumulator third).
+    pub fn fmla(&mut self, pg: &Pred, c: &VVal, a: &VVal, b: &VVal) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    f64::from_bits(a.bits[l])
+                        .mul_add(f64::from_bits(b.bits[l]), f64::from_bits(c.bits[l]))
+                        .to_bits()
+                } else {
+                    c.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::Fma, Some(id), &[pg.id, c.id, a.id, b.id]);
+        VVal { bits, id }
+    }
+
+    /// Fused multiply-subtract `c - a*b` (`FMLS`).
+    pub fn fmls(&mut self, pg: &Pred, c: &VVal, a: &VVal, b: &VVal) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    (-f64::from_bits(a.bits[l]))
+                        .mul_add(f64::from_bits(b.bits[l]), f64::from_bits(c.bits[l]))
+                        .to_bits()
+                } else {
+                    c.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::Fma, Some(id), &[pg.id, c.id, a.id, b.id]);
+        VVal { bits, id }
+    }
+
+    /// Reciprocal estimate (`FRECPE`): ~8 significant bits, like hardware.
+    pub fn frecpe(&mut self, a: &VVal) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                let est = 1.0 / f64::from_bits(a.bits[l]);
+                // truncate to 8 mantissa bits to match the hardware's table
+                (est.to_bits() & !((1u64 << 44) - 1)).max(1)
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::FRecpe, Some(id), &[a.id]);
+        VVal { bits, id }
+    }
+
+    /// Newton refinement step for reciprocal (`FRECPS`): `2 - a*b`.
+    pub fn frecps(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    (-f64::from_bits(a.bits[l]))
+                        .mul_add(f64::from_bits(b.bits[l]), 2.0)
+                        .to_bits()
+                } else {
+                    a.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::Fma, Some(id), &[pg.id, a.id, b.id]);
+        VVal { bits, id }
+    }
+
+    /// Reciprocal square-root estimate (`FRSQRTE`): ~8 significant bits.
+    pub fn frsqrte(&mut self, a: &VVal) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                let est = 1.0 / f64::from_bits(a.bits[l]).sqrt();
+                (est.to_bits() & !((1u64 << 44) - 1)).max(1)
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::FRsqrte, Some(id), &[a.id]);
+        VVal { bits, id }
+    }
+
+    /// Newton refinement step for rsqrt (`FRSQRTS`): `(3 - a*b) / 2`.
+    pub fn frsqrts(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    ((3.0 - f64::from_bits(a.bits[l]) * f64::from_bits(b.bits[l])) * 0.5)
+                        .to_bits()
+                } else {
+                    a.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::Fma, Some(id), &[pg.id, a.id, b.id]);
+        VVal { bits, id }
+    }
+
+    /// `FEXPA` (bit-exact; see [`crate::fexpa`]).
+    pub fn fexpa(&mut self, a: &VVal) -> VVal {
+        let bits = (0..self.vl).map(|l| fexpa_lane(a.bits[l]).to_bits()).collect();
+        let id = self.fresh();
+        self.rec(OpClass::Fexpa, Some(id), &[a.id]);
+        VVal { bits, id }
+    }
+
+    /// `FTMAD`-style trig step: `a*b + coeff` with a hardware coefficient,
+    /// recorded to the FTMAD cost class (FLA pipe only on A64FX).
+    pub fn ftmad(&mut self, pg: &Pred, a: &VVal, b: &VVal, coeff: f64) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    f64::from_bits(a.bits[l])
+                        .mul_add(f64::from_bits(b.bits[l]), coeff)
+                        .to_bits()
+                } else {
+                    a.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::Ftmad, Some(id), &[pg.id, a.id, b.id]);
+        VVal { bits, id }
+    }
+
+    /// Round to nearest integral value (`FRINTN`).
+    pub fn frintn(&mut self, pg: &Pred, a: &VVal) -> VVal {
+        self.map1f(OpClass::FRound, pg, a, |x| {
+            // round-half-even, matching FRINTN
+            let r = x.round();
+            if (x - x.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+                r - x.signum()
+            } else {
+                r
+            }
+        })
+    }
+
+    /// Float compare greater-than, producing a predicate (`FCMGT`).
+    pub fn fcmgt(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> Pred {
+        let mask = (0..self.vl)
+            .map(|l| pg.mask[l] && f64::from_bits(a.bits[l]) > f64::from_bits(b.bits[l]))
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::FCmp, Some(id), &[pg.id, a.id, b.id]);
+        Pred { mask, id }
+    }
+
+    /// Float compare greater-or-equal (`FCMGE`).
+    pub fn fcmge(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> Pred {
+        let mask = (0..self.vl)
+            .map(|l| pg.mask[l] && f64::from_bits(a.bits[l]) >= f64::from_bits(b.bits[l]))
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::FCmp, Some(id), &[pg.id, a.id, b.id]);
+        Pred { mask, id }
+    }
+
+    /// Float compare equal (`FCMEQ`).
+    pub fn fcmeq(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> Pred {
+        let mask = (0..self.vl)
+            .map(|l| pg.mask[l] && f64::from_bits(a.bits[l]) == f64::from_bits(b.bits[l]))
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::FCmp, Some(id), &[pg.id, a.id, b.id]);
+        Pred { mask, id }
+    }
+
+    /// Integer compare-not-equal against an immediate (`CMPNE`), producing
+    /// a predicate — used for quadrant selection in the sin kernel.
+    pub fn cmpne_imm(&mut self, pg: &Pred, a: &VVal, imm: i64) -> Pred {
+        let mask = (0..self.vl)
+            .map(|l| pg.mask[l] && (a.bits[l] as i64) != imm)
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::FCmp, Some(id), &[pg.id, a.id]);
+        Pred { mask, id }
+    }
+
+    /// Select lanes: active → `a`, inactive → `b` (`SEL`).
+    pub fn sel(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| if pg.mask[l] { a.bits[l] } else { b.bits[l] })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::Select, Some(id), &[pg.id, a.id, b.id]);
+        VVal { bits, id }
+    }
+
+    /// Horizontal sum of active lanes (`FADDA`-style, returned as scalar).
+    pub fn faddv(&mut self, pg: &Pred, a: &VVal) -> f64 {
+        self.rec(OpClass::FAdd, None, &[pg.id, a.id]);
+        (0..self.vl)
+            .filter(|&l| pg.mask[l])
+            .map(|l| f64::from_bits(a.bits[l]))
+            .sum()
+    }
+
+    // ---------------- int / bit ops on lanes ------------------------------
+
+    fn map2i(
+        &mut self,
+        pg: &Pred,
+        a: &VVal,
+        b: &VVal,
+        f: impl Fn(i64, i64) -> i64,
+    ) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    f(a.bits[l] as i64, b.bits[l] as i64) as u64
+                } else {
+                    a.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::VecIntOp, Some(id), &[pg.id, a.id, b.id]);
+        VVal { bits, id }
+    }
+
+    pub fn add_i(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        self.map2i(pg, a, b, |x, y| x.wrapping_add(y))
+    }
+
+    pub fn sub_i(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        self.map2i(pg, a, b, |x, y| x.wrapping_sub(y))
+    }
+
+    pub fn mul_i(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        self.map2i(pg, a, b, |x, y| x.wrapping_mul(y))
+    }
+
+    pub fn and_u(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        self.map2i(pg, a, b, |x, y| ((x as u64) & (y as u64)) as i64)
+    }
+
+    pub fn orr_u(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        self.map2i(pg, a, b, |x, y| ((x as u64) | (y as u64)) as i64)
+    }
+
+    pub fn lsl(&mut self, pg: &Pred, a: &VVal, sh: u32) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| if pg.mask[l] { a.bits[l] << sh } else { a.bits[l] })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::VecIntOp, Some(id), &[pg.id, a.id]);
+        VVal { bits, id }
+    }
+
+    /// Logical (unsigned) shift right.
+    pub fn lsr(&mut self, pg: &Pred, a: &VVal, sh: u32) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| if pg.mask[l] { a.bits[l] >> sh } else { a.bits[l] })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::VecIntOp, Some(id), &[pg.id, a.id]);
+        VVal { bits, id }
+    }
+
+    /// Bitwise XOR (`EOR`).
+    pub fn eor_u(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
+        self.map2i(pg, a, b, |x, y| ((x as u64) ^ (y as u64)) as i64)
+    }
+
+    /// Unsigned int → float (`UCVTF`).
+    pub fn ucvtf(&mut self, pg: &Pred, a: &VVal) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    (a.bits[l] as f64).to_bits()
+                } else {
+                    a.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::FCvt, Some(id), &[pg.id, a.id]);
+        VVal { bits, id }
+    }
+
+    /// `COMPACT`: pack the active lanes to the front (inactive lanes fill
+    /// with zero) — the "splitting/merging vectors to avoid divergent
+    /// execution paths" primitive the paper's §III mentions.
+    pub fn compact(&mut self, pg: &Pred, a: &VVal) -> VVal {
+        let mut bits: Vec<u64> = Vec::with_capacity(self.vl);
+        for l in 0..self.vl {
+            if pg.mask[l] {
+                bits.push(a.bits[l]);
+            }
+        }
+        bits.resize(self.vl, 0);
+        let id = self.fresh();
+        self.rec(OpClass::Permute, Some(id), &[pg.id, a.id]);
+        VVal { bits, id }
+    }
+
+    pub fn asr(&mut self, pg: &Pred, a: &VVal, sh: u32) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    ((a.bits[l] as i64) >> sh) as u64
+                } else {
+                    a.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::VecIntOp, Some(id), &[pg.id, a.id]);
+        VVal { bits, id }
+    }
+
+    /// Float → int, round to nearest (`FCVTNS`-like).
+    pub fn fcvtns(&mut self, pg: &Pred, a: &VVal) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    (f64::from_bits(a.bits[l]).round_ties_even() as i64) as u64
+                } else {
+                    a.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::FCvt, Some(id), &[pg.id, a.id]);
+        VVal { bits, id }
+    }
+
+    /// Float → int, truncate toward zero (`FCVTZS`).
+    pub fn fcvtzs(&mut self, pg: &Pred, a: &VVal) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    (f64::from_bits(a.bits[l]).trunc() as i64) as u64
+                } else {
+                    a.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::FCvt, Some(id), &[pg.id, a.id]);
+        VVal { bits, id }
+    }
+
+    /// Int → float (`SCVTF`).
+    pub fn scvtf(&mut self, pg: &Pred, a: &VVal) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    ((a.bits[l] as i64) as f64).to_bits()
+                } else {
+                    a.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::FCvt, Some(id), &[pg.id, a.id]);
+        VVal { bits, id }
+    }
+
+    // ---------------- memory ---------------------------------------------
+
+    /// Contiguous load of up to `vl` doubles from `data[offset..]`
+    /// (`LD1D`). Inactive or out-of-bounds lanes load 0.
+    pub fn ld1d(&mut self, pg: &Pred, data: &[f64], offset: usize) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] && offset + l < data.len() {
+                    data[offset + l].to_bits()
+                } else {
+                    0u64
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::Load, Some(id), &[pg.id]);
+        VVal { bits, id }
+    }
+
+    /// Contiguous store (`ST1D`).
+    pub fn st1d(&mut self, pg: &Pred, v: &VVal, data: &mut [f64], offset: usize) {
+        for l in 0..self.vl {
+            if pg.mask[l] && offset + l < data.len() {
+                data[offset + l] = f64::from_bits(v.bits[l]);
+            }
+        }
+        self.rec(OpClass::Store, None, &[pg.id, v.id]);
+    }
+
+    /// Gather load `data[idx[l]]` (`LD1D (gather)`); `uops` lets callers
+    /// attach the 128-byte-window pairing analysis from `ookami-mem`.
+    pub fn ld1d_gather(&mut self, pg: &Pred, data: &[f64], idx: &VVal, uops: u32) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                let i = idx.bits[l] as usize;
+                if pg.mask[l] && i < data.len() {
+                    data[i].to_bits()
+                } else {
+                    0u64
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec_hint(OpClass::Gather, Some(id), &[pg.id, idx.id], uops);
+        VVal { bits, id }
+    }
+
+    /// Scatter store `data[idx[l]] = v[l]` (`ST1D (scatter)`).
+    pub fn st1d_scatter(&mut self, pg: &Pred, v: &VVal, data: &mut [f64], idx: &VVal) {
+        for l in 0..self.vl {
+            let i = idx.bits[l] as usize;
+            if pg.mask[l] && i < data.len() {
+                data[i] = f64::from_bits(v.bits[l]);
+            }
+        }
+        self.rec(OpClass::Scatter, None, &[pg.id, v.id, idx.id]);
+    }
+
+    // ---------------- loop bookkeeping ------------------------------------
+
+    /// Record the scalar overhead of one loop iteration: `int_ops` address/
+    /// counter updates plus the back-edge branch.
+    pub fn loop_overhead(&mut self, int_ops: usize) {
+        for _ in 0..int_ops {
+            self.rec(OpClass::IntAlu, None, &[]);
+        }
+        self.rec(OpClass::Branch, None, &[]);
+    }
+
+    /// Record a scalar libm call retiring one element (the GNU-on-A64FX
+    /// fallback path for exp/sin/pow).
+    pub fn scalar_libm_call(&mut self) {
+        self.rec(OpClass::ScalarLibmCall, None, &[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> SveCtx {
+        SveCtx::new(8)
+    }
+
+    #[test]
+    fn arithmetic_matches_scalar() {
+        let mut c = ctx();
+        let pg = c.ptrue();
+        let a = c.input_f64(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let b = c.dup_f64(0.5);
+        let s = c.fadd(&pg, &a, &b);
+        let m = c.fmul(&pg, &a, &b);
+        let f = c.fmla(&pg, &s, &a, &b);
+        for l in 0..8 {
+            let x = (l + 1) as f64;
+            assert_eq!(s.f64_lane(l), x + 0.5);
+            assert_eq!(m.f64_lane(l), x * 0.5);
+            assert_eq!(f.f64_lane(l), x.mul_add(0.5, x + 0.5));
+        }
+    }
+
+    #[test]
+    fn predication_merges_first_operand() {
+        let mut c = ctx();
+        let a = c.input_f64(&[1.0; 8]);
+        let b = c.dup_f64(10.0);
+        let zero = c.dup_f64(0.0);
+        let all = c.ptrue();
+        let pg = c.fcmgt(&all, &a, &zero); // all true
+        let half = Pred { mask: (0..8).map(|l| l % 2 == 0).collect(), id: pg.id };
+        let r = c.fadd(&half, &a, &b);
+        for l in 0..8 {
+            let want = if l % 2 == 0 { 11.0 } else { 1.0 };
+            assert_eq!(r.f64_lane(l), want, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn whilelt_tail_handling() {
+        let mut c = ctx();
+        let p = c.whilelt(16, 19);
+        assert_eq!(p.count_active(), 3);
+        assert!(p.any());
+        let p2 = c.whilelt(24, 19);
+        assert!(!p2.any());
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut c = ctx();
+        let pg = c.ptrue();
+        let src: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let mut dst = vec![0.0; 32];
+        for off in (0..32).step_by(8) {
+            let v = c.ld1d(&pg, &src, off);
+            c.st1d(&pg, &v, &mut dst, off);
+        }
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn gather_scatter_permutation_roundtrip() {
+        let mut c = ctx();
+        let pg = c.ptrue();
+        let src: Vec<f64> = (0..8).map(|i| i as f64 * 1.5).collect();
+        let mut dst = vec![0.0; 8];
+        let perm = [3i64, 1, 4, 0, 6, 2, 7, 5];
+        let idxbits: Vec<u64> = perm.iter().map(|&i| i as u64).collect();
+        let idx = VVal { bits: idxbits, id: 99 };
+        let g = c.ld1d_gather(&pg, &src, &idx, 8);
+        for l in 0..8 {
+            assert_eq!(g.f64_lane(l), src[perm[l] as usize]);
+        }
+        c.st1d_scatter(&pg, &g, &mut dst, &idx);
+        // scatter(gather(x, p), p) restores the original
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn newton_reciprocal_converges() {
+        let mut c = ctx();
+        let pg = c.ptrue();
+        let x = c.input_f64(&[0.1, 0.5, 1.0, 2.0, 3.0, 7.0, 100.0, 12345.0]);
+        let mut y = c.frecpe(&x);
+        for _ in 0..3 {
+            let corr = c.frecps(&pg, &x, &y); // 2 - x*y
+            y = c.fmul(&pg, &y, &corr);
+        }
+        for l in 0..8 {
+            let want = 1.0 / x.f64_lane(l);
+            let got = y.f64_lane(l);
+            assert!((got / want - 1.0).abs() < 1e-14, "lane {l}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn newton_rsqrt_converges() {
+        let mut c = ctx();
+        let pg = c.ptrue();
+        let x = c.input_f64(&[0.25, 1.0, 2.0, 4.0, 9.0, 100.0, 0.01, 64.0]);
+        let mut y = c.frsqrte(&x);
+        for _ in 0..3 {
+            let xy = c.fmul(&pg, &x, &y);
+            let corr = c.frsqrts(&pg, &xy, &y); // (3 - x*y*y)/2
+            y = c.fmul(&pg, &y, &corr);
+        }
+        for l in 0..8 {
+            let want = 1.0 / x.f64_lane(l).sqrt();
+            let got = y.f64_lane(l);
+            assert!((got / want - 1.0).abs() < 1e-13, "lane {l}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn recording_captures_def_use() {
+        let mut c = ctx();
+        let pg = c.ptrue();
+        let a = c.dup_f64(1.0);
+        let b = c.dup_f64(2.0);
+        c.start_recording();
+        let s = c.fadd(&pg, &a, &b);
+        let _t = c.fmul(&pg, &s, &b);
+        c.loop_overhead(2);
+        let log = c.take_recording();
+        assert_eq!(log.len(), 5); // fadd, fmul, 2×IntAlu, branch
+        assert_eq!(log[0].op, OpClass::FAdd);
+        assert_eq!(log[1].op, OpClass::FMul);
+        // fmul's sources include fadd's destination
+        assert!(log[1].srcs.contains(&log[0].dst.unwrap()));
+        assert_eq!(log[4].op, OpClass::Branch);
+    }
+
+    #[test]
+    fn gather_uops_hint_recorded() {
+        let mut c = ctx();
+        let pg = c.ptrue();
+        let idx = c.index(0, 1);
+        c.start_recording();
+        let _ = c.ld1d_gather(&pg, &[1.0; 8], &idx, 4);
+        let log = c.take_recording();
+        assert_eq!(log[0].uops_hint, Some(4));
+    }
+
+    #[test]
+    fn faddv_sums_active_lanes() {
+        let mut c = ctx();
+        let a = c.input_f64(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let pg = c.whilelt(0, 4);
+        let s = c.faddv(&pg, &a);
+        assert_eq!(s, 10.0);
+    }
+
+    #[test]
+    fn int_ops_and_conversions() {
+        let mut c = ctx();
+        let pg = c.ptrue();
+        let x = c.input_f64(&[1.4, 2.5, -3.5, 7.9, 0.0, -0.4, 100.6, -1.5]);
+        let n = c.fcvtns(&pg, &x);
+        assert_eq!(n.to_i64_vec(), vec![1, 2, -4, 8, 0, 0, 101, -2]);
+        let back = c.scvtf(&pg, &n);
+        assert_eq!(back.f64_lane(3), 8.0);
+        let one = c.dup_i64(1);
+        let shifted = c.lsl(&pg, &one, 6);
+        assert_eq!(shifted.i64_lane(0), 64);
+        let neg = c.dup_i64(-128);
+        let a = c.asr(&pg, &neg, 6);
+        assert_eq!(a.i64_lane(0), -2);
+    }
+
+    #[test]
+    fn smaller_vector_lengths() {
+        for vl in [1usize, 2, 4] {
+            let mut c = SveCtx::new(vl);
+            let pg = c.ptrue();
+            let a = c.dup_f64(3.0);
+            let b = c.dup_f64(4.0);
+            let s = c.fadd(&pg, &a, &b);
+            assert_eq!(s.vl(), vl);
+            assert_eq!(s.f64_lane(vl - 1), 7.0);
+        }
+    }
+}

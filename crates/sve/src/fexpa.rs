@@ -1,0 +1,81 @@
+//! Bit-exact semantics of the SVE `FEXPA` instruction.
+//!
+//! Section IV: *"The SVE instruction FEXPA accelerates this process by
+//! reducing the number of terms in the series expansion to 5 … FEXPA
+//! computes `2^(m+i/64)`, taking 17 bits as input (i in the lower 6 bits
+//! and m+1023 in the upper 11)."*
+//!
+//! The hardware holds a 64-entry table of the mantissa bits of `2^(j/64)`;
+//! the result is assembled by concatenating the input's exponent field with
+//! the table entry. We reproduce exactly that construction.
+
+/// The 64-entry mantissa table: low 52 bits of `2^(j/64)` for j = 0..64.
+/// Computed once at first use; byte-identical to the architected table
+/// because `2^(j/64)` is correctly rounded by `exp2`.
+fn mantissa(j: usize) -> u64 {
+    debug_assert!(j < 64);
+    let v = (j as f64 / 64.0).exp2();
+    v.to_bits() & ((1u64 << 52) - 1)
+}
+
+/// `FEXPA` on one 64-bit lane: bits `[5:0]` = i (table index), bits `[16:6]` =
+/// biased exponent. All other input bits are ignored (architecturally they
+/// must be zero for a canonical encoding; hardware ignores them too).
+pub fn fexpa_lane(input: u64) -> f64 {
+    let i = (input & 0x3f) as usize;
+    let exp = (input >> 6) & 0x7ff;
+    f64::from_bits((exp << 52) | mantissa(i))
+}
+
+/// Helper used by the exp kernels: build the `FEXPA` input for an integer
+/// `n` such that the result is `2^(n/64)` — i.e. add the bias `1023 << 6`
+/// so that `m = n >> 6` lands in the exponent field with bias applied.
+pub fn fexpa_input_for(n: i64) -> u64 {
+    (n + (1023 << 6)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_powers_of_two() {
+        for m in -10i64..=10 {
+            let got = fexpa_lane(fexpa_input_for(64 * m));
+            assert_eq!(got, (m as f64).exp2(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn sixty_fourths_are_correctly_rounded() {
+        for n in 0i64..256 {
+            let got = fexpa_lane(fexpa_input_for(n));
+            let want = (n as f64 / 64.0).exp2();
+            let err_ulps = (got.to_bits() as i64 - want.to_bits() as i64).abs();
+            assert!(err_ulps <= 1, "n={n}: got {got:e}, want {want:e}");
+        }
+    }
+
+    #[test]
+    fn negative_n() {
+        let got = fexpa_lane(fexpa_input_for(-1));
+        let want = (-1.0f64 / 64.0).exp2();
+        assert!((got / want - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn table_index_wraps_at_64() {
+        // n = 64 means i = 0, m = 1: exactly 2.0.
+        assert_eq!(fexpa_lane(fexpa_input_for(64)), 2.0);
+        // n = 65: 2 * 2^(1/64).
+        let got = fexpa_lane(fexpa_input_for(65));
+        assert!((got / (2.0 * (1.0f64 / 64.0).exp2()) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn high_bits_ignored() {
+        let a = fexpa_lane(fexpa_input_for(7));
+        let b = fexpa_lane(fexpa_input_for(7) | (0xdead << 17));
+        assert_eq!(a, b);
+    }
+}

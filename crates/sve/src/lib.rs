@@ -1,0 +1,33 @@
+//! # ookami-sve — a functional SVE emulator
+//!
+//! Rust has no stable SVE intrinsics (one of the reasons this reproduction
+//! simulates the A64FX rather than requiring one), so this crate implements
+//! the subset of the Scalable Vector Extension the paper's kernels need as
+//! a software emulator:
+//!
+//! * vector-length-agnostic `f64`/`i64` vectors ([`VVal`]) and predicates
+//!   ([`Pred`]);
+//! * predicated arithmetic, compares, selects, contiguous and indexed
+//!   loads/stores;
+//! * the special instructions Section IV builds the fast exponential on:
+//!   [`SveCtx::fexpa`] (bit-exact table semantics), `frecpe`/`frsqrte`
+//!   Newton seeds, and `ftmad`-style trig steps;
+//! * an **instruction recorder**: every executed op can also be logged as an
+//!   [`ookami_uarch::Instr`], so one implementation yields both *numerical
+//!   results* (tested for ulp accuracy) and an *instruction stream* (fed to
+//!   the cycle analyzer to obtain the paper's cycles/element numbers).
+//!
+//! The emulator computes real IEEE-754 arithmetic; it makes no attempt to
+//! model flush-to-zero or rounding-mode differences.
+
+pub mod ctx;
+pub mod fexpa;
+pub mod record;
+pub mod value;
+
+pub use ctx::SveCtx;
+pub use record::{record_kernel, Recording};
+pub use value::{Pred, VVal};
+
+/// The A64FX vector length in 64-bit lanes (512-bit SVE).
+pub const VL_A64FX: usize = 8;

@@ -1,0 +1,89 @@
+//! Kernel recording: turn one emulated loop iteration into a
+//! [`KernelLoop`] for the cycle analyzer, including loop-carried
+//! dependencies.
+
+use crate::ctx::SveCtx;
+use ookami_uarch::{KernelLoop, Reg};
+
+/// A recorded kernel plus its vector length.
+#[derive(Debug, Clone)]
+pub struct Recording {
+    pub kernel: KernelLoop,
+    pub vl: usize,
+}
+
+/// Record one loop iteration.
+///
+/// The closure receives a recording [`SveCtx`] and must execute exactly one
+/// steady-state iteration of the loop body, returning the list of
+/// loop-carried `(input_reg, output_reg)` pairs — values produced by one
+/// iteration and consumed by the next (accumulators, running RNG state…).
+/// The recorder renames each output register to its input register so the
+/// analyzer's def-use scan sees the recurrence.
+///
+/// `elements_per_iter` is how many result elements one iteration retires.
+pub fn record_kernel(
+    vl: usize,
+    elements_per_iter: f64,
+    f: impl FnOnce(&mut SveCtx) -> Vec<(Reg, Reg)>,
+) -> Recording {
+    let mut ctx = SveCtx::new(vl);
+    ctx.start_recording();
+    let carried = f(&mut ctx);
+    let mut body = ctx.take_recording();
+    for (input, output) in carried {
+        for ins in &mut body {
+            if ins.dst == Some(output) {
+                ins.dst = Some(input);
+            }
+            for s in &mut ins.srcs {
+                if *s == output {
+                    *s = input;
+                }
+            }
+        }
+    }
+    Recording { kernel: KernelLoop::new(body, elements_per_iter), vl }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ookami_uarch::machines;
+
+    #[test]
+    fn carried_accumulator_binds_recurrence() {
+        // sum += x[i] over a 512-bit vector: the FADD's 9-cycle latency on
+        // A64FX should be the recurrence bound.
+        let rec = record_kernel(8, 8.0, |ctx| {
+            let pg = ctx.ptrue();
+            let acc_in = ctx.dup_f64(0.0);
+            let data = vec![1.0; 8];
+            let x = ctx.ld1d(&pg, &data, 0);
+            let acc_out = ctx.fadd(&pg, &acc_in, &x);
+            ctx.loop_overhead(1);
+            vec![(acc_in.id(), acc_out.id())]
+        });
+        let est = rec.kernel.analyze(machines::a64fx().table);
+        assert!((est.recurrence - 9.0).abs() < 1e-9, "recurrence {}", est.recurrence);
+        assert_eq!(est.binding_bound(), "recurrence");
+    }
+
+    #[test]
+    fn independent_body_has_no_recurrence() {
+        let rec = record_kernel(8, 8.0, |ctx| {
+            let pg = ctx.ptrue();
+            let data = vec![1.0; 16];
+            let mut out = vec![0.0; 16];
+            let x = ctx.ld1d(&pg, &data, 0);
+            let two = ctx.dup_f64(2.0);
+            let y = ctx.fmul(&pg, &x, &two);
+            ctx.st1d(&pg, &y, &mut out, 0);
+            ctx.loop_overhead(2);
+            vec![]
+        });
+        let est = rec.kernel.analyze(machines::a64fx().table);
+        assert_eq!(est.recurrence, 0.0);
+        assert!(est.cycles_per_iter() >= 1.0);
+    }
+}

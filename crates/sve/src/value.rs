@@ -1,0 +1,69 @@
+//! Vector and predicate values.
+
+use ookami_uarch::Reg;
+
+/// A vector register value: `vl` lanes of 64 raw bits each, with a virtual
+/// register id for dependency tracking. Lanes can be viewed as `f64` or
+/// `i64`; like hardware, the emulator does not track which view is "live".
+#[derive(Debug, Clone, PartialEq)]
+pub struct VVal {
+    pub(crate) bits: Vec<u64>,
+    pub(crate) id: Reg,
+}
+
+impl VVal {
+    pub fn vl(&self) -> usize {
+        self.bits.len()
+    }
+
+    pub fn id(&self) -> Reg {
+        self.id
+    }
+
+    pub fn f64_lane(&self, i: usize) -> f64 {
+        f64::from_bits(self.bits[i])
+    }
+
+    pub fn i64_lane(&self, i: usize) -> i64 {
+        self.bits[i] as i64
+    }
+
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        self.bits.iter().map(|&b| f64::from_bits(b)).collect()
+    }
+
+    pub fn to_i64_vec(&self) -> Vec<i64> {
+        self.bits.iter().map(|&b| b as i64).collect()
+    }
+}
+
+/// A predicate register value: one boolean per lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pred {
+    pub(crate) mask: Vec<bool>,
+    pub(crate) id: Reg,
+}
+
+impl Pred {
+    pub fn vl(&self) -> usize {
+        self.mask.len()
+    }
+
+    pub fn id(&self) -> Reg {
+        self.id
+    }
+
+    pub fn lane(&self, i: usize) -> bool {
+        self.mask[i]
+    }
+
+    /// Number of active lanes.
+    pub fn count_active(&self) -> usize {
+        self.mask.iter().filter(|&&b| b).count()
+    }
+
+    /// True if any lane is active (the `PTEST` result driving VLA loops).
+    pub fn any(&self) -> bool {
+        self.mask.iter().any(|&b| b)
+    }
+}

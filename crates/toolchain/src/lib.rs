@@ -1,0 +1,33 @@
+//! # ookami-toolchain — compiler and runtime models
+//!
+//! The paper's central finding is that on A64FX the *toolchain* — which
+//! instructions the compiler emits, which math library it links, and what
+//! its OpenMP runtime does with data placement — moves performance by
+//! factors of 2–30×. This crate models each toolchain as an explicit set
+//! of decisions:
+//!
+//! * [`compiler::Compiler`] — the five toolchains (Fujitsu, Cray/CPE, ARM,
+//!   GNU, Intel) with their Table-I flags, vectorization capabilities, and
+//!   algorithm selections (Newton vs. `FDIV`/`FSQRT`, FEXPA vs. 13-term
+//!   exp, vector vs. scalar libm);
+//! * [`lower`] — code generation: lowering the Section III loop suite into
+//!   machine-costed instruction streams, per compiler;
+//! * [`mathlib`] — cycles/element of each math function per toolchain per
+//!   machine, obtained by recording the `ookami-vecmath` kernels on the
+//!   SVE emulator and analyzing them with the machine cost tables;
+//! * [`omp`] — OpenMP runtime model: default data placement (the Fujitsu
+//!   CMG-0 default of §V-A2) and barrier costs;
+//! * [`app_model`] — turns a [`ookami_core::WorkloadProfile`] into a
+//!   predicted runtime on a (machine, compiler, threads, placement) point.
+
+pub mod app_model;
+pub mod compiler;
+pub mod lower;
+pub mod mathlib;
+pub mod omp;
+
+pub use app_model::predict_seconds;
+pub use compiler::Compiler;
+pub use lower::{lower_loop, LoopKind};
+pub use mathlib::math_cycles_per_element;
+pub use omp::OmpModel;

@@ -1,0 +1,299 @@
+//! Code generation for the Section III loop suite.
+//!
+//! Each compiler lowers the same source loop into a different instruction
+//! stream: different unroll factors, fused vs. unfused arithmetic, and
+//! different amounts of bookkeeping. The gather/scatter loops additionally
+//! take the measured index-pattern statistics from `ookami-mem::gather`,
+//! which set the gather µop counts (the A64FX 128-byte-window pairing).
+
+use crate::compiler::Compiler;
+use ookami_mem::gather::MeanPattern;
+use ookami_uarch::{Instr, KernelLoop, Machine, OpClass, StreamBuilder, Width};
+
+/// The Section III loop kinds (math-function loops live in `mathlib`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopKind {
+    /// `y[i] = 2*x[i] + 3*x[i]*x[i]`
+    Simple,
+    /// `if (x[i] > 0) y[i] = x[i]`
+    Predicate,
+    /// `y[i] = x[index[i]]`, random permutation over the full space.
+    Gather,
+    /// `y[index[i]] = x[i]`, random permutation over the full space.
+    Scatter,
+    /// Gather with indices permuted within 128-byte windows.
+    ShortGather,
+    /// Scatter with indices permuted within 128-byte windows.
+    ShortScatter,
+}
+
+impl LoopKind {
+    pub const ALL: [LoopKind; 6] = [
+        LoopKind::Simple,
+        LoopKind::Predicate,
+        LoopKind::Gather,
+        LoopKind::Scatter,
+        LoopKind::ShortGather,
+        LoopKind::ShortScatter,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            LoopKind::Simple => "simple",
+            LoopKind::Predicate => "predicate",
+            LoopKind::Gather => "gather",
+            LoopKind::Scatter => "scatter",
+            LoopKind::ShortGather => "short gather",
+            LoopKind::ShortScatter => "short scatter",
+        }
+    }
+
+    pub fn is_indexed(self) -> bool {
+        !matches!(self, LoopKind::Simple | LoopKind::Predicate)
+    }
+}
+
+/// Lower `kind` for `compiler` on `machine`. For indexed loops, `pattern`
+/// carries the index statistics (from `ookami_mem::gather::analyze_array`
+/// over the actual index vectors).
+pub fn lower_loop(
+    kind: LoopKind,
+    compiler: Compiler,
+    machine: &Machine,
+    pattern: Option<&MeanPattern>,
+) -> KernelLoop {
+    let w = machine.vector_width;
+    let unroll = compiler.unroll();
+    let mut b = StreamBuilder::new();
+    let base = b.reg(); // loop pointer (loop-invariant register input)
+
+    for _ in 0..unroll {
+        emit_one_vector(&mut b, kind, compiler, machine, pattern, w, base);
+    }
+
+    // Loop bookkeeping: VLA predicate upkeep on SVE toolchains, counter and
+    // pointer updates, compiler-specific extra µops, back-edge branch.
+    if machine.gather.pair_window_bytes.is_some() {
+        // SVE machines run whilelt-governed loops.
+        b.emit(OpClass::PredOp, w, &[]);
+        if matches!(compiler, Compiler::Arm | Compiler::Gnu) {
+            // Extra ptest the mature toolchains fold into the branch.
+            b.effect(OpClass::PredOp, w, &[]);
+        }
+    }
+    for _ in 0..(2 + compiler.loop_overhead_uops()) {
+        b.effect(OpClass::IntAlu, Width::Scalar, &[]);
+    }
+    b.effect(OpClass::Branch, Width::Scalar, &[]);
+
+    KernelLoop::new(b.finish(), (w.lanes_f64() * unroll) as f64)
+}
+
+fn emit_one_vector(
+    b: &mut StreamBuilder,
+    kind: LoopKind,
+    compiler: Compiler,
+    machine: &Machine,
+    pattern: Option<&MeanPattern>,
+    w: Width,
+    base: ookami_uarch::Reg,
+) {
+    match kind {
+        LoopKind::Simple => {
+            let x = b.emit(OpClass::Load, w, &[base]);
+            // Good codegen: y = x·(2 + 3x) — one FMA + one multiply.
+            // ARM (the weakest vectorizer here) fails to re-associate and
+            // emits mul + mul + add unfused.
+            let y = if matches!(compiler, Compiler::Arm) {
+                let sq = b.emit(OpClass::FMul, w, &[x, x]);
+                let t2 = b.emit(OpClass::FMul, w, &[x]);
+                b.emit(OpClass::Fma, w, &[t2, sq])
+            } else {
+                let t = b.emit(OpClass::Fma, w, &[x]);
+                b.emit(OpClass::FMul, w, &[x, t])
+            };
+            b.effect(OpClass::Store, w, &[y, base]);
+        }
+        LoopKind::Predicate => {
+            let x = b.emit(OpClass::Load, w, &[base]);
+            let p = b.emit(OpClass::FCmp, w, &[x]);
+            // Predicated store: extra µop on A64FX.
+            let st = Instr::effect(OpClass::Store, w, &[p, x, base])
+                .with_uops(machine.gather.predicated_store_uops);
+            b.push(st);
+        }
+        LoopKind::Gather | LoopKind::ShortGather => {
+            let pat = pattern.expect("indexed loop needs a pattern");
+            let mut idx = b.emit(OpClass::Load, w, &[base]); // index vector load
+            // Weaker vectorizers widen/convert the 32-bit index vector with
+            // extra lane ops instead of folding it into the gather's
+            // addressing mode.
+            for _ in 0..index_conversion_ops(compiler) {
+                idx = b.emit(OpClass::VecIntOp, w, &[idx]);
+            }
+            let uops = gather_uops(machine, pat);
+            let g = Instr::def(
+                OpClass::Gather,
+                w,
+                b.reg(),
+                &[idx],
+            )
+            .with_uops(uops);
+            let gdst = g.dst.expect("gather defines");
+            b.push(g);
+            b.effect(OpClass::Store, w, &[gdst, base]);
+        }
+        LoopKind::Scatter | LoopKind::ShortScatter => {
+            let pat = pattern.expect("indexed loop needs a pattern");
+            let mut idx = b.emit(OpClass::Load, w, &[base]);
+            for _ in 0..index_conversion_ops(compiler) {
+                idx = b.emit(OpClass::VecIntOp, w, &[idx]);
+            }
+            let x = b.emit(OpClass::Load, w, &[base]);
+            let uops = scatter_uops(machine, pat);
+            let sc = Instr::effect(OpClass::Scatter, w, &[x, idx]).with_uops(uops);
+            b.push(sc);
+        }
+    }
+}
+
+/// Extra index-manipulation lane ops a compiler emits around gathers.
+fn index_conversion_ops(c: Compiler) -> usize {
+    match c {
+        Compiler::Fujitsu | Compiler::Intel => 0,
+        Compiler::Cray | Compiler::Gnu => 1,
+        Compiler::Arm => 2,
+    }
+}
+
+/// Gather µop count from the pattern statistics and the machine's
+/// [`ookami_uarch::GatherSpec`] (port-occupancy cycles ÷ per-µop cost).
+pub fn gather_uops(machine: &Machine, pat: &MeanPattern) -> u32 {
+    let g = &machine.gather;
+    let cycles = pat.gather_cycles_per_vector(g);
+    let rthr = machine.table.cost(OpClass::Gather, machine.vector_width).rthroughput;
+    (cycles / rthr).round().max(1.0) as u32
+}
+
+/// Scatter µop count, same construction (never paired).
+pub fn scatter_uops(machine: &Machine, pat: &MeanPattern) -> u32 {
+    let g = &machine.gather;
+    let cycles = pat.scatter_cycles_per_vector(g);
+    let rthr = machine.table.cost(OpClass::Scatter, machine.vector_width).rthroughput;
+    (cycles / rthr).round().max(1.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ookami_mem::gather::analyze_array;
+    use ookami_uarch::machines;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn patterns(m: &Machine) -> (MeanPattern, MeanPattern) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let n = 8192;
+        let mut full: Vec<usize> = (0..n).collect();
+        full.shuffle(&mut rng);
+        let mut short: Vec<usize> = (0..n).collect();
+        for wdw in short.chunks_mut(16) {
+            wdw.shuffle(&mut rng);
+        }
+        let g = m.gather;
+        let lb = m.mem.line_bytes;
+        (
+            analyze_array(&full, 8, lb, &g, m.vector_width),
+            analyze_array(&short, 8, lb, &g, m.vector_width),
+        )
+    }
+
+    /// Seconds per element for `kind` under `c` on `m`.
+    fn spe(kind: LoopKind, c: Compiler, m: &Machine, pat: Option<&MeanPattern>) -> f64 {
+        let k = lower_loop(kind, c, m, pat);
+        let cpe = k.analyze(m.table).cycles_per_element();
+        cpe / (m.turbo_1c_ghz * 1e9)
+    }
+
+    #[test]
+    fn fig1_fujitsu_simple_near_clock_ratio() {
+        let a = machines::a64fx();
+        let s = machines::skylake_6140();
+        let ratio = spe(LoopKind::Simple, Compiler::Fujitsu, a, None)
+            / spe(LoopKind::Simple, Compiler::Intel, s, None);
+        assert!(ratio > 1.5 && ratio < 2.7, "simple ratio {ratio}");
+    }
+
+    #[test]
+    fn fig1_arm_gnu_simple_slower_than_fujitsu() {
+        let a = machines::a64fx();
+        let fuj = spe(LoopKind::Simple, Compiler::Fujitsu, a, None);
+        let arm = spe(LoopKind::Simple, Compiler::Arm, a, None);
+        let gnu = spe(LoopKind::Simple, Compiler::Gnu, a, None);
+        assert!(arm / fuj > 1.4 && arm / fuj < 3.0, "arm/fujitsu {}", arm / fuj);
+        assert!(gnu / fuj > 1.0 && gnu / fuj < 2.5, "gnu/fujitsu {}", gnu / fuj);
+    }
+
+    #[test]
+    fn fig1_predicate_worse_than_simple_on_a64fx() {
+        // Paper: predicate is ~3× Skylake while simple is ~2×.
+        let a = machines::a64fx();
+        let s = machines::skylake_6140();
+        let r_simple = spe(LoopKind::Simple, Compiler::Fujitsu, a, None)
+            / spe(LoopKind::Simple, Compiler::Intel, s, None);
+        let r_pred = spe(LoopKind::Predicate, Compiler::Fujitsu, a, None)
+            / spe(LoopKind::Predicate, Compiler::Intel, s, None);
+        assert!(r_pred > r_simple, "pred {r_pred} vs simple {r_simple}");
+        assert!(r_pred > 2.2 && r_pred < 4.5, "pred ratio {r_pred}");
+    }
+
+    #[test]
+    fn fig1_short_gather_positions_between_1_and_2() {
+        // Paper: full gather ≈ 2× Skylake, short gather only ≈ 1.5×.
+        let a = machines::a64fx();
+        let s = machines::skylake_6140();
+        let (full_a, short_a) = patterns(a);
+        let (full_s, short_s) = patterns(s);
+        let r_full = spe(LoopKind::Gather, Compiler::Fujitsu, a, Some(&full_a))
+            / spe(LoopKind::Gather, Compiler::Intel, s, Some(&full_s));
+        let r_short = spe(LoopKind::ShortGather, Compiler::Fujitsu, a, Some(&short_a))
+            / spe(LoopKind::ShortGather, Compiler::Intel, s, Some(&short_s));
+        assert!(r_full > 1.6 && r_full < 2.6, "full gather ratio {r_full}");
+        assert!(r_short > 1.0 && r_short < 1.9, "short gather ratio {r_short}");
+        assert!(r_short < r_full, "{r_short} vs {r_full}");
+    }
+
+    #[test]
+    fn a64fx_short_gather_twice_as_fast_as_full() {
+        let a = machines::a64fx();
+        let (full, short) = patterns(a);
+        let tf = spe(LoopKind::Gather, Compiler::Fujitsu, a, Some(&full));
+        let ts = spe(LoopKind::ShortGather, Compiler::Fujitsu, a, Some(&short));
+        let speedup = tf / ts;
+        assert!(speedup > 1.5 && speedup < 2.3, "pairing speedup {speedup}");
+    }
+
+    #[test]
+    fn a64fx_scatter_gets_no_pairing() {
+        let a = machines::a64fx();
+        let (full, short) = patterns(a);
+        let tf = spe(LoopKind::Scatter, Compiler::Fujitsu, a, Some(&full));
+        let ts = spe(LoopKind::ShortScatter, Compiler::Fujitsu, a, Some(&short));
+        assert!((tf / ts - 1.0).abs() < 0.15, "scatter ratio {}", tf / ts);
+    }
+
+    #[test]
+    fn all_kinds_lower_for_all_compilers() {
+        let a = machines::a64fx();
+        let (full, _) = patterns(a);
+        for kind in LoopKind::ALL {
+            for c in Compiler::A64FX {
+                let pat = kind.is_indexed().then_some(&full);
+                let k = lower_loop(kind, c, a, pat);
+                let est = k.analyze(a.table);
+                assert!(est.cycles_per_element() > 0.0, "{kind:?} {c:?}");
+                assert!(est.cycles_per_element() < 50.0, "{kind:?} {c:?}");
+            }
+        }
+    }
+}

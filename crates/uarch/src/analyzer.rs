@@ -1,0 +1,580 @@
+//! Steady-state loop analysis: an `llvm-mca`-style estimator.
+//!
+//! Given a loop body as a sequence of [`Instr`] and a machine's
+//! [`CostTable`], the analyzer computes three lower bounds on
+//! cycles-per-iteration and reports their maximum:
+//!
+//! 1. **Port pressure** — each instruction contributes occupancy cycles to
+//!    the execution ports it may issue to. Because occupancy is divisible
+//!    across the allowed ports, the optimal min-max assignment equals
+//!    `max over port subsets S of load(S)/|S|` (a max-flow/Hall bound),
+//!    which we evaluate exactly.
+//! 2. **Issue width** — total micro-ops divided by the front-end width.
+//! 3. **Recurrence** — the longest loop-carried dependency cycle through the
+//!    def-use graph, weighted by producer latencies. This is what makes the
+//!    paper's *serial* Monte Carlo loop slow (Section III: "it exposes
+//!    nearly the full latency of most of the operations in the loop").
+//!
+//! Memory-stall cycles are computed separately by `ookami-mem` and combined
+//! by the caller via [`CycleEstimate::with_memory_cycles`].
+
+use std::collections::HashMap;
+
+use crate::cost::CostTable;
+use crate::instr::{Instr, OpClass, Reg};
+
+/// A loop body to analyze. The body is assumed to repeat many times
+/// (steady-state analysis); `elements_per_iter` says how many result
+/// elements one iteration retires, so callers can convert cycles/iteration
+/// into the paper's cycles/element metric.
+#[derive(Debug, Clone)]
+pub struct KernelLoop {
+    pub body: Vec<Instr>,
+    /// Result elements retired per loop iteration (e.g. 8 for one 512-bit
+    /// SVE vector of doubles, 16 when unrolled twice).
+    pub elements_per_iter: f64,
+}
+
+/// Result of analyzing one loop on one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleEstimate {
+    /// Port-pressure bound (cycles/iteration).
+    pub port_pressure: f64,
+    /// Front-end issue bound (cycles/iteration).
+    pub issue: f64,
+    /// Loop-carried recurrence bound (cycles/iteration).
+    pub recurrence: f64,
+    /// ROB-window ILP bound (cycles/iteration): critical path divided by
+    /// the number of iterations the reorder buffer can keep in flight.
+    pub window: f64,
+    /// Additional memory-stall cycles per iteration (0 until combined).
+    pub memory: f64,
+    /// Elements retired per iteration (copied from the kernel).
+    pub elements_per_iter: f64,
+}
+
+impl CycleEstimate {
+    /// Steady-state cycles per iteration: the binding bound plus memory
+    /// stalls that are not hidden by compute. We model partial overlap:
+    /// memory time overlaps with compute up to the compute bound, so the
+    /// iteration takes `max(compute, memory)` when the machine can overlap
+    /// (out-of-order cores can), which all modeled machines do.
+    pub fn cycles_per_iter(&self) -> f64 {
+        self.compute_bound().max(self.memory)
+    }
+
+    /// The compute-only bound (no memory stalls).
+    pub fn compute_bound(&self) -> f64 {
+        self.port_pressure.max(self.issue).max(self.recurrence).max(self.window)
+    }
+
+    /// Cycles per retired element.
+    pub fn cycles_per_element(&self) -> f64 {
+        self.cycles_per_iter() / self.elements_per_iter
+    }
+
+    /// Return a copy with memory-stall cycles per iteration attached.
+    pub fn with_memory_cycles(mut self, mem_cycles_per_iter: f64) -> Self {
+        self.memory = mem_cycles_per_iter;
+        self
+    }
+
+    /// Which bound is binding (for reports): "ports", "issue", "recurrence"
+    /// or "memory".
+    pub fn binding_bound(&self) -> &'static str {
+        if self.memory >= self.compute_bound() {
+            return "memory";
+        }
+        let c = self.compute_bound();
+        if self.recurrence >= c - 1e-12 {
+            "recurrence"
+        } else if self.window >= c - 1e-12 {
+            "window"
+        } else if self.port_pressure >= c - 1e-12 {
+            "ports"
+        } else {
+            "issue"
+        }
+    }
+}
+
+impl KernelLoop {
+    pub fn new(body: Vec<Instr>, elements_per_iter: f64) -> Self {
+        assert!(elements_per_iter > 0.0, "elements_per_iter must be positive");
+        KernelLoop { body, elements_per_iter }
+    }
+
+    /// Analyze this loop against a machine cost table.
+    pub fn analyze(&self, table: &dyn CostTable) -> CycleEstimate {
+        let costs: Vec<_> = self
+            .body
+            .iter()
+            .map(|i| {
+                let mut c = table.cost(i.op, i.width);
+                if let Some(u) = i.uops_hint {
+                    c.uops = u;
+                }
+                c
+            })
+            .collect();
+
+        // ---- port pressure: exact min-max bound over port subsets ----
+        // Aggregate occupancy by port-set mask.
+        let mut by_mask: HashMap<u16, f64> = HashMap::new();
+        for (i, c) in costs.iter().enumerate() {
+            if c.ports.is_empty() {
+                // Classes with no port binding (e.g. eliminated moves) cost
+                // front-end bandwidth only.
+                let _ = i;
+                continue;
+            }
+            *by_mask.entry(c.ports.0).or_insert(0.0) += c.occupancy();
+        }
+        let used_union: u16 = by_mask.keys().fold(0, |a, &m| a | m);
+        let mut port_pressure = 0.0f64;
+        // Enumerate subsets of the union of used ports.
+        let mut subset = used_union;
+        loop {
+            if subset != 0 {
+                let nports = subset.count_ones() as f64;
+                let mut load = 0.0;
+                for (&mask, &occ) in &by_mask {
+                    if mask & !subset == 0 {
+                        load += occ;
+                    }
+                }
+                port_pressure = port_pressure.max(load / nports);
+            }
+            if subset == 0 {
+                break;
+            }
+            subset = (subset - 1) & used_union;
+        }
+
+        // ---- issue bound ----
+        let total_uops: f64 = costs.iter().map(|c| c.uops as f64).sum();
+        let issue = total_uops / table.issue_width();
+
+        // ---- recurrence bound ----
+        let recurrence = self.recurrence_bound(&costs);
+
+        // ---- ROB-window ILP bound ----
+        // rob/uops iterations fit in the window; the critical path of one
+        // iteration then drains at path·uops/rob cycles per iteration.
+        let path = self.critical_path(&costs);
+        let window = if total_uops > 0.0 {
+            path * total_uops / table.rob_size()
+        } else {
+            0.0
+        };
+
+        CycleEstimate {
+            port_pressure,
+            issue,
+            recurrence,
+            window,
+            memory: 0.0,
+            elements_per_iter: self.elements_per_iter,
+        }
+    }
+
+    /// Longest latency path through one iteration's dependency DAG
+    /// (intra-iteration edges only).
+    pub fn critical_path(&self, costs: &[crate::cost::CostEntry]) -> f64 {
+        let n = self.body.len();
+        let mut writers: HashMap<Reg, usize> = HashMap::new();
+        // dist[i] = longest latency ending at the *input* of instruction i.
+        let mut dist = vec![0.0f64; n];
+        let mut best = 0.0f64;
+        for (i, ins) in self.body.iter().enumerate() {
+            for &s in &ins.srcs {
+                if let Some(&w) = writers.get(&s) {
+                    let through = dist[w] + costs[w].latency;
+                    if through > dist[i] {
+                        dist[i] = through;
+                    }
+                }
+            }
+            best = best.max(dist[i] + costs[i].latency);
+            if let Some(d) = ins.dst {
+                writers.insert(d, i);
+            }
+        }
+        best
+    }
+
+    /// Longest loop-carried dependency cycle.
+    ///
+    /// Within one iteration, an instruction depends on the *latest earlier*
+    /// writer of each of its sources; a source whose only writer appears
+    /// later in the body is a loop-carried dependence from the previous
+    /// iteration. Intra-iteration edges form a DAG (they point forward), so
+    /// for every carried edge `w -> r` we take the longest latency path
+    /// `r ->* w` plus the carried producer latency.
+    fn recurrence_bound(&self, costs: &[crate::cost::CostEntry]) -> f64 {
+        let n = self.body.len();
+        // writers[r] = indices that define register r, ascending.
+        let mut writers: HashMap<Reg, Vec<usize>> = HashMap::new();
+        for (i, ins) in self.body.iter().enumerate() {
+            if let Some(d) = ins.dst {
+                writers.entry(d).or_default().push(i);
+            }
+        }
+
+        // Forward (intra-iteration) edges and carried edges.
+        let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n]; // fwd[u] -> v, u<v
+        let mut carried: Vec<(usize, usize)> = Vec::new(); // (writer w, reader r), w>=r allowed
+        for (i, ins) in self.body.iter().enumerate() {
+            for &s in &ins.srcs {
+                if let Some(ws) = writers.get(&s) {
+                    // latest writer strictly before i
+                    match ws.iter().rev().find(|&&w| w < i) {
+                        Some(&w) => fwd[w].push(i),
+                        None => {
+                            // carried from the last writer in the body
+                            let w = *ws.last().expect("non-empty writer list");
+                            carried.push((w, i));
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut best = 0.0f64;
+        for &(w, r) in &carried {
+            // Longest path from r to w along forward edges, where traversing
+            // node u adds latency(u). Start value: latency of the carried
+            // producer w (the edge w->r across the back edge).
+            // dist[v] = longest latency from "arrival at r" to "arrival at v".
+            let mut dist = vec![f64::NEG_INFINITY; n];
+            dist[r] = 0.0;
+            for u in r..n {
+                if dist[u] == f64::NEG_INFINITY {
+                    continue;
+                }
+                let through = dist[u] + costs[u].latency;
+                for &v in &fwd[u] {
+                    if through > dist[v] {
+                        dist[v] = through;
+                    }
+                }
+            }
+            let path = if w == r {
+                0.0 // self-loop: accumulator updated by one instruction
+            } else if dist[w] == f64::NEG_INFINITY {
+                continue; // no path back to the writer: not a cycle
+            } else {
+                dist[w]
+            };
+            best = best.max(path + costs[w].latency);
+        }
+        best
+    }
+
+    /// Per-port occupancy (cycles/iteration) under a balanced assignment —
+    /// the utilization breakdown reports print next to the bounds. Uses
+    /// water-filling refinement over the divisible port loads; the maximum
+    /// converges to the exact subset bound from [`KernelLoop::analyze`].
+    pub fn port_report(&self, table: &dyn CostTable) -> Vec<(&'static str, f64)> {
+        let names = table.port_names();
+        let nports = table.num_ports().min(names.len());
+        // Aggregate occupancy by mask.
+        let mut by_mask: HashMap<u16, f64> = HashMap::new();
+        for i in &self.body {
+            let mut c = table.cost(i.op, i.width);
+            if let Some(u) = i.uops_hint {
+                c.uops = u;
+            }
+            if !c.ports.is_empty() {
+                *by_mask.entry(c.ports.0).or_insert(0.0) += c.occupancy();
+            }
+        }
+        // Start even, then water-fill toward min-max.
+        let masks: Vec<(u16, f64)> = by_mask.into_iter().collect();
+        let mut x: Vec<Vec<f64>> = masks
+            .iter()
+            .map(|&(mask, load)| {
+                let ports: Vec<usize> =
+                    (0..nports).filter(|&p| mask & (1 << p) != 0).collect();
+                let mut row = vec![0.0; nports];
+                for &p in &ports {
+                    row[p] = load / ports.len() as f64;
+                }
+                row
+            })
+            .collect();
+        for _ in 0..200 {
+            let mut loads = vec![0.0f64; nports];
+            for row in &x {
+                for (p, v) in row.iter().enumerate() {
+                    loads[p] += v;
+                }
+            }
+            // move a sliver of each mask's load from its most- to its
+            // least-loaded allowed port
+            let mut moved = false;
+            for (mi, &(mask, _)) in masks.iter().enumerate() {
+                let allowed: Vec<usize> =
+                    (0..nports).filter(|&p| mask & (1 << p) != 0).collect();
+                if allowed.len() < 2 {
+                    continue;
+                }
+                let &hi = allowed
+                    .iter()
+                    .max_by(|&&a, &&b| loads[a].partial_cmp(&loads[b]).expect("cmp"))
+                    .expect("nonempty");
+                let &lo = allowed
+                    .iter()
+                    .min_by(|&&a, &&b| loads[a].partial_cmp(&loads[b]).expect("cmp"))
+                    .expect("nonempty");
+                let gap = loads[hi] - loads[lo];
+                if gap > 1e-9 && x[mi][hi] > 0.0 {
+                    let step = (gap / 2.0).min(x[mi][hi]);
+                    x[mi][hi] -= step;
+                    x[mi][lo] += step;
+                    loads[hi] -= step;
+                    loads[lo] += step;
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        let mut loads = vec![0.0f64; nports];
+        for row in &x {
+            for (p, v) in row.iter().enumerate() {
+                loads[p] += v;
+            }
+        }
+        names.iter().take(nports).copied().zip(loads).collect()
+    }
+
+    /// Total double-precision FLOPs per iteration (for GFLOP/s reporting).
+    pub fn flops_per_iter(&self) -> f64 {
+        self.body
+            .iter()
+            .map(|i| (i.op.flops_per_lane() as usize * i.width.lanes_f64()) as f64)
+            .sum()
+    }
+
+    /// Bytes of memory traffic issued per iteration (naive: every memory op
+    /// moves its full width; cache behaviour refines this in `ookami-mem`).
+    pub fn bytes_per_iter(&self) -> f64 {
+        self.body
+            .iter()
+            .filter(|i| i.op.is_memory())
+            .map(|i| i.width.bytes() as f64)
+            .sum()
+    }
+
+    /// Count instructions of a given class (used by tests and reports).
+    pub fn count(&self, op: OpClass) -> usize {
+        self.body.iter().filter(|i| i.op == op).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostEntry;
+    use crate::instr::{OpClass, StreamBuilder, Width};
+    use crate::ports::PortSet;
+
+    /// A toy 2-port machine: FP ops on ports {0,1} lat 4 rthr 1; loads on
+    /// port 2; everything else lat 1 on port 3.
+    struct Toy;
+    impl CostTable for Toy {
+        fn cost(&self, op: OpClass, _w: Width) -> CostEntry {
+            match op {
+                OpClass::Fma | OpClass::FAdd | OpClass::FMul => {
+                    CostEntry::piped(4.0, 1.0, PortSet::two(0, 1))
+                }
+                OpClass::FSqrt => CostEntry::blocking(20.0, PortSet::one(0)),
+                OpClass::Load | OpClass::Store => CostEntry::piped(3.0, 1.0, PortSet::one(2)),
+                _ => CostEntry::piped(1.0, 1.0, PortSet::one(3)),
+            }
+        }
+        fn issue_width(&self) -> f64 {
+            4.0
+        }
+        fn rob_size(&self) -> f64 {
+            1e9 // effectively unbounded: window bound off in these tests
+        }
+        fn num_ports(&self) -> usize {
+            4
+        }
+        fn port_names(&self) -> &'static [&'static str] {
+            &["P0", "P1", "P2", "P3"]
+        }
+    }
+
+    /// Same machine but with a small ROB, to exercise the window bound.
+    struct ToySmallRob;
+    impl CostTable for ToySmallRob {
+        fn cost(&self, op: OpClass, w: Width) -> CostEntry {
+            Toy.cost(op, w)
+        }
+        fn issue_width(&self) -> f64 {
+            4.0
+        }
+        fn rob_size(&self) -> f64 {
+            8.0
+        }
+        fn num_ports(&self) -> usize {
+            4
+        }
+        fn port_names(&self) -> &'static [&'static str] {
+            &["P0", "P1", "P2", "P3"]
+        }
+    }
+
+    #[test]
+    fn window_bound_limits_dependent_chain() {
+        // Chain of 4 dependent FMAs (path 16 cycles, 4 µops). With rob=8,
+        // 2 iterations in flight => 8 cycles/iter; with a huge rob, the
+        // chain pipelines fully (2 cycles/iter port bound).
+        let mut b = StreamBuilder::new();
+        let x = b.reg();
+        let mut v = x;
+        for _ in 0..4 {
+            v = b.emit(OpClass::Fma, Width::V512, &[v, x]);
+        }
+        let k = KernelLoop::new(b.finish(), 8.0);
+        let small = k.analyze(&ToySmallRob);
+        assert!((small.window - 8.0).abs() < 1e-9, "window {}", small.window);
+        assert_eq!(small.binding_bound(), "window");
+        let big = k.analyze(&Toy);
+        assert!(big.window < 1e-6);
+        assert!((big.cycles_per_iter() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_bound_two_ports() {
+        // 6 independent FMAs on 2 ports => 3 cycles/iter.
+        let mut b = StreamBuilder::new();
+        let x = b.reg();
+        for _ in 0..6 {
+            b.emit(OpClass::Fma, Width::V512, &[x, x]);
+        }
+        let k = KernelLoop::new(b.finish(), 8.0);
+        let e = k.analyze(&Toy);
+        assert!((e.port_pressure - 3.0).abs() < 1e-9);
+        assert!(e.recurrence < 1e-9);
+        assert_eq!(e.binding_bound(), "ports");
+    }
+
+    #[test]
+    fn recurrence_bound_accumulator() {
+        // acc = acc + x: carried chain of one FAdd => 4 cycles/iter.
+        let mut b = StreamBuilder::new();
+        let acc = b.reg();
+        let x = b.reg();
+        b.emit_into(OpClass::FAdd, Width::V512, acc, &[acc, x]);
+        let k = KernelLoop::new(b.finish(), 8.0);
+        let e = k.analyze(&Toy);
+        assert!((e.recurrence - 4.0).abs() < 1e-9);
+        assert_eq!(e.binding_bound(), "recurrence");
+    }
+
+    #[test]
+    fn recurrence_bound_two_op_cycle() {
+        // acc = (acc * a) + b as two dependent ops => 8-cycle recurrence.
+        let mut b = StreamBuilder::new();
+        let acc = b.reg();
+        let a = b.reg();
+        let c = b.reg();
+        let t = b.emit(OpClass::FMul, Width::V512, &[acc, a]);
+        b.emit_into(OpClass::FAdd, Width::V512, acc, &[t, c]);
+        let k = KernelLoop::new(b.finish(), 8.0);
+        let e = k.analyze(&Toy);
+        assert!((e.recurrence - 8.0).abs() < 1e-9, "got {}", e.recurrence);
+    }
+
+    #[test]
+    fn blocking_sqrt_dominates() {
+        // One blocking sqrt occupies port 0 for 20 cycles even though a
+        // pipelined unit would cost 1.
+        let mut b = StreamBuilder::new();
+        let x = b.reg();
+        b.emit(OpClass::FSqrt, Width::V512, &[x]);
+        let k = KernelLoop::new(b.finish(), 8.0);
+        let e = k.analyze(&Toy);
+        assert!((e.port_pressure - 20.0).abs() < 1e-9);
+        assert!((e.cycles_per_element() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn issue_bound_many_cheap_ops() {
+        // 16 predicate ops on port 3 => pressure 16, issue 16/4 = 4.
+        let mut b = StreamBuilder::new();
+        let x = b.reg();
+        for _ in 0..16 {
+            b.emit(OpClass::PredOp, Width::V512, &[x]);
+        }
+        let k = KernelLoop::new(b.finish(), 8.0);
+        let e = k.analyze(&Toy);
+        assert!((e.issue - 4.0).abs() < 1e-9);
+        assert!(e.port_pressure >= e.issue); // port 3 is the real bottleneck here
+    }
+
+    #[test]
+    fn memory_overlap_model() {
+        let mut b = StreamBuilder::new();
+        let x = b.reg();
+        b.emit(OpClass::Fma, Width::V512, &[x, x]);
+        let k = KernelLoop::new(b.finish(), 8.0);
+        let e = k.analyze(&Toy).with_memory_cycles(10.0);
+        assert!((e.cycles_per_iter() - 10.0).abs() < 1e-9);
+        assert_eq!(e.binding_bound(), "memory");
+    }
+
+    #[test]
+    fn mixed_port_subset_bound_is_exact() {
+        // Load-only class on port 2: 5 loads => 5 cycles on that port, even
+        // though FP ports are idle.
+        let mut b = StreamBuilder::new();
+        let p = b.reg();
+        for _ in 0..5 {
+            b.emit(OpClass::Load, Width::V512, &[p]);
+        }
+        let k = KernelLoop::new(b.finish(), 8.0);
+        let e = k.analyze(&Toy);
+        assert!((e.port_pressure - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn port_report_balances_and_matches_bound() {
+        // 6 FMAs over ports {0,1}: the report should split 3/3 and its max
+        // should equal the analyzer's port-pressure bound.
+        let mut b = StreamBuilder::new();
+        let x = b.reg();
+        for _ in 0..6 {
+            b.emit(OpClass::Fma, Width::V512, &[x, x]);
+        }
+        b.emit(OpClass::Load, Width::V512, &[x]);
+        let k = KernelLoop::new(b.finish(), 8.0);
+        let rep = k.port_report(&Toy);
+        let est = k.analyze(&Toy);
+        let max = rep.iter().map(|&(_, l)| l).fold(0.0, f64::max);
+        assert!((max - est.port_pressure).abs() < 1e-6, "{rep:?} vs {}", est.port_pressure);
+        let p0 = rep.iter().find(|(n, _)| *n == "P0").expect("P0").1;
+        let p1 = rep.iter().find(|(n, _)| *n == "P1").expect("P1").1;
+        assert!((p0 - p1).abs() < 1e-6, "unbalanced: {rep:?}");
+        let p2 = rep.iter().find(|(n, _)| *n == "P2").expect("P2").1;
+        assert!((p2 - 1.0).abs() < 1e-9, "load port: {rep:?}");
+    }
+
+    #[test]
+    fn flops_and_bytes_counters() {
+        let mut b = StreamBuilder::new();
+        let p = b.reg();
+        let x = b.emit(OpClass::Load, Width::V512, &[p]);
+        let y = b.emit(OpClass::Fma, Width::V512, &[x, x]);
+        b.effect(OpClass::Store, Width::V512, &[y, p]);
+        let k = KernelLoop::new(b.finish(), 8.0);
+        assert_eq!(k.flops_per_iter(), 16.0); // FMA: 2 flops × 8 lanes
+        assert_eq!(k.bytes_per_iter(), 128.0); // 64B load + 64B store
+        assert_eq!(k.count(OpClass::Load), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Instruction cost tables.
+//!
+//! A [`CostEntry`] describes how one `(OpClass, Width)` pair executes on one
+//! machine: result latency, reciprocal throughput, the ports it can issue
+//! to, the number of micro-ops it cracks into, and whether it *blocks* its
+//! pipe (non-pipelined execution — the A64FX 512-bit `FSQRT`/`FDIV` case the
+//! paper calls out, with 134-cycle blocking latency for `FSQRT`).
+
+use crate::instr::{OpClass, Width};
+use crate::ports::PortSet;
+
+/// Execution cost of one instruction class on one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEntry {
+    /// Result latency in cycles (producer → consumer).
+    pub latency: f64,
+    /// Reciprocal throughput in cycles *per micro-op* on the bound port(s):
+    /// the port-occupancy each micro-op contributes. For a fully pipelined
+    /// unit this is 1.0; for a blocking unit it equals the latency.
+    pub rthroughput: f64,
+    /// Ports this class may issue to. Pressure is spread across them.
+    pub ports: PortSet,
+    /// Number of micro-ops the instruction cracks into (e.g. an 8-element
+    /// SVE gather cracks into 8 — or 4 when 128-byte-window pairing applies).
+    pub uops: u32,
+    /// Non-pipelined: the unit cannot accept a new op until this one retires.
+    pub blocking: bool,
+}
+
+impl CostEntry {
+    /// A pipelined single-µop entry.
+    pub fn piped(latency: f64, rthroughput: f64, ports: PortSet) -> Self {
+        CostEntry { latency, rthroughput, ports, uops: 1, blocking: false }
+    }
+
+    /// A blocking (non-pipelined) single-µop entry: occupancy == latency.
+    pub fn blocking(latency: f64, ports: PortSet) -> Self {
+        CostEntry { latency, rthroughput: latency, ports, uops: 1, blocking: true }
+    }
+
+    /// A pipelined entry cracked into `uops` micro-ops.
+    pub fn cracked(latency: f64, rthroughput: f64, ports: PortSet, uops: u32) -> Self {
+        CostEntry { latency, rthroughput, ports, uops, blocking: false }
+    }
+
+    /// Total port-occupancy cycles this instruction contributes.
+    pub fn occupancy(&self) -> f64 {
+        self.rthroughput * self.uops as f64
+    }
+}
+
+/// A machine's full cost table plus front-end parameters.
+pub trait CostTable {
+    /// Cost of `(op, width)`. Must be total: every class the generators can
+    /// emit needs an entry (panicking on a hole is a bug caught by tests).
+    fn cost(&self, op: OpClass, width: Width) -> CostEntry;
+
+    /// Maximum micro-ops issued per cycle by the front end.
+    fn issue_width(&self) -> f64;
+
+    /// Reorder-buffer capacity in micro-ops. Bounds how many loop
+    /// iterations can overlap: with a body of `u` µops, about `rob/u`
+    /// iterations are in flight, so a dependency chain of latency `L`
+    /// sustains at best `L·u/rob` cycles/iteration even without a
+    /// loop-carried recurrence. This is the mechanism behind the paper's
+    /// Section IV observation that 15 FP instructions issue "in about 16
+    /// cycles" on A64FX despite its two FP pipes.
+    fn rob_size(&self) -> f64;
+
+    /// Number of execution ports (for pressure vectors).
+    fn num_ports(&self) -> usize;
+
+    /// Human-readable port names, index-aligned with `PortSet` bits.
+    fn port_names(&self) -> &'static [&'static str];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_constructors() {
+        let p = CostEntry::piped(9.0, 0.5, PortSet::two(0, 1));
+        assert!(!p.blocking);
+        assert_eq!(p.occupancy(), 0.5);
+
+        let b = CostEntry::blocking(134.0, PortSet::one(0));
+        assert!(b.blocking);
+        assert_eq!(b.rthroughput, 134.0);
+        assert_eq!(b.occupancy(), 134.0);
+
+        let c = CostEntry::cracked(11.0, 1.0, PortSet::two(2, 3), 8);
+        assert_eq!(c.occupancy(), 8.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Abstract instruction representation.
+//!
+//! Instructions are deliberately ISA-neutral: the same [`OpClass`] vocabulary
+//! describes SVE instructions on A64FX and AVX-512/AVX2 instructions on the
+//! x86 comparison machines. Each machine's [`crate::CostTable`] assigns its
+//! own latency/throughput/port costs to a class, so a single lowered kernel
+//! can be analyzed on every machine the paper compares.
+
+/// A virtual register name. Kernels are written in SSA-like style; the
+/// analyzer derives data dependencies from def/use chains over these names.
+pub type Reg = u16;
+
+/// Vector width of an operation, in bits of data processed per instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Width {
+    /// Scalar (one 64-bit lane).
+    Scalar,
+    /// 128-bit vector (2 doubles) — NEON / SSE class.
+    V128,
+    /// 256-bit vector (4 doubles) — AVX2 class (EPYC Zen 2).
+    V256,
+    /// 512-bit vector (8 doubles) — SVE on A64FX, AVX-512 on SKX/KNL.
+    V512,
+}
+
+impl Width {
+    /// Number of `f64` lanes carried by this width.
+    pub fn lanes_f64(self) -> usize {
+        match self {
+            Width::Scalar => 1,
+            Width::V128 => 2,
+            Width::V256 => 4,
+            Width::V512 => 8,
+        }
+    }
+
+    /// Width in bytes.
+    pub fn bytes(self) -> usize {
+        self.lanes_f64() * 8
+    }
+}
+
+/// Operation classes. Every class a toolchain code generator can emit, and
+/// every class the SVE emulator records, appears here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    // ---- floating-point arithmetic (vector or scalar per `Width`) ----
+    /// Fused multiply-add / multiply-subtract (`FMLA`, `vfmadd*`).
+    Fma,
+    /// Floating-point add/subtract.
+    FAdd,
+    /// Floating-point multiply.
+    FMul,
+    /// Floating-point divide (blocking and non-pipelined on A64FX SVE).
+    FDiv,
+    /// Floating-point square root (`FSQRT`; 134-cycle blocking on A64FX at
+    /// 512 bits — the paper's explanation for the 20× sqrt-loop gap).
+    FSqrt,
+    /// Reciprocal estimate (`FRECPE`), seed for Newton division.
+    FRecpe,
+    /// Reciprocal square-root estimate (`FRSQRTE`), seed for Newton sqrt.
+    FRsqrte,
+    /// SVE `FEXPA`: 2^(m + i/64) table acceleration for exp (Section IV).
+    Fexpa,
+    /// SVE `FTMAD`/trig multiply-add class used by sin/cos kernels.
+    Ftmad,
+    /// Floating-point compare (produces predicate/mask).
+    FCmp,
+    /// Floating-point min/max.
+    FMinMax,
+    /// Floating-point absolute/negate (cheap bit ops on FP pipe).
+    FAbsNeg,
+    /// Round to integral / floor / truncation (`FRINTM` etc.).
+    FRound,
+    /// Convert between float and int lanes (`FCVTZS`, `SCVTF`).
+    FCvt,
+
+    // ---- data movement ----
+    /// Contiguous vector or scalar load.
+    Load,
+    /// Contiguous vector or scalar store.
+    Store,
+    /// Indexed gather load (`LD1D (gather)`, `vgatherdpd`). Element count is
+    /// implied by `Width`; A64FX pairs elements that share an aligned
+    /// 128-byte window (modeled in `ookami-mem::gather`).
+    Gather,
+    /// Indexed scatter store (`ST1D (scatter)`); never paired on A64FX.
+    Scatter,
+    /// Register-to-register move / duplicate / broadcast / permute.
+    Permute,
+    /// Select between two vectors under a predicate (`SEL`, `vblendm*`).
+    Select,
+
+    // ---- integer / bookkeeping ----
+    /// Integer ALU op (adds, address arithmetic, compares).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Logical/shift on vector integer lanes (exp bit manipulation).
+    VecIntOp,
+    /// Predicate manipulation (`WHILELT`, `PTEST`, `PFALSE`, mask ops).
+    PredOp,
+    /// Conditional or unconditional branch (loop back-edge).
+    Branch,
+
+    // ---- calls ----
+    /// Call into a scalar math library routine (e.g. glibc `exp`). The cost
+    /// table charges an opaque per-call cost; `lanes` of work are retired per
+    /// call. This is how the GNU "did not vectorize exp/sin/pow" path from
+    /// Section III is modeled.
+    ScalarLibmCall,
+}
+
+impl OpClass {
+    /// True for classes that perform double-precision FLOPs (used when
+    /// counting arithmetic intensity). FMA counts as 2 FLOPs per lane.
+    pub fn flops_per_lane(self) -> u32 {
+        match self {
+            OpClass::Fma => 2,
+            OpClass::FAdd | OpClass::FMul | OpClass::FDiv | OpClass::FSqrt => 1,
+            OpClass::FRecpe | OpClass::FRsqrte | OpClass::Fexpa | OpClass::Ftmad => 1,
+            OpClass::FMinMax => 1,
+            _ => 0,
+        }
+    }
+
+    /// True if this class touches memory.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            OpClass::Load | OpClass::Store | OpClass::Gather | OpClass::Scatter
+        )
+    }
+}
+
+/// One abstract instruction: an operation class, a width, one destination
+/// register, and up to four source registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instr {
+    pub op: OpClass,
+    pub width: Width,
+    /// Destination virtual register, if the op produces a value.
+    pub dst: Option<Reg>,
+    /// Source virtual registers (data dependencies).
+    pub srcs: Vec<Reg>,
+    /// Override the cost table's micro-op count for this instruction.
+    /// Used for data-dependent cracking: an A64FX gather whose index vector
+    /// pairs elements inside aligned 128-byte windows cracks into 4 µops
+    /// instead of 8 (the paper's "short gather" 2× speedup, Section III).
+    pub uops_hint: Option<u32>,
+}
+
+impl Instr {
+    pub fn new(op: OpClass, width: Width, dst: Option<Reg>, srcs: Vec<Reg>) -> Self {
+        Instr { op, width, dst, srcs, uops_hint: None }
+    }
+
+    /// Attach a micro-op count override (builder style).
+    pub fn with_uops(mut self, uops: u32) -> Self {
+        self.uops_hint = Some(uops);
+        self
+    }
+
+    /// Shorthand for an op with a destination.
+    pub fn def(op: OpClass, width: Width, dst: Reg, srcs: &[Reg]) -> Self {
+        Instr::new(op, width, Some(dst), srcs.to_vec())
+    }
+
+    /// Shorthand for an effect-only op (store, branch, …).
+    pub fn effect(op: OpClass, width: Width, srcs: &[Reg]) -> Self {
+        Instr::new(op, width, None, srcs.to_vec())
+    }
+}
+
+/// A tiny builder for writing instruction streams by hand without manually
+/// allocating register numbers.
+#[derive(Debug, Default)]
+pub struct StreamBuilder {
+    next_reg: Reg,
+    instrs: Vec<Instr>,
+}
+
+impl StreamBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn reg(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg = self.next_reg.checked_add(1).expect("register space exhausted");
+        r
+    }
+
+    /// Emit an op producing a fresh register; returns that register.
+    pub fn emit(&mut self, op: OpClass, width: Width, srcs: &[Reg]) -> Reg {
+        let dst = self.reg();
+        self.instrs.push(Instr::def(op, width, dst, srcs));
+        dst
+    }
+
+    /// Emit an op that writes into an existing register (accumulator update —
+    /// creates a loop-carried dependency if the register was defined before).
+    pub fn emit_into(&mut self, op: OpClass, width: Width, dst: Reg, srcs: &[Reg]) {
+        self.instrs.push(Instr::def(op, width, dst, srcs));
+    }
+
+    /// Emit an effect-only op.
+    pub fn effect(&mut self, op: OpClass, width: Width, srcs: &[Reg]) {
+        self.instrs.push(Instr::effect(op, width, srcs));
+    }
+
+    /// Append a pre-built instruction (e.g. one carrying a µop hint).
+    pub fn push(&mut self, instr: Instr) {
+        self.instrs.push(instr);
+    }
+
+    pub fn finish(self) -> Vec<Instr> {
+        self.instrs
+    }
+
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_lanes() {
+        assert_eq!(Width::Scalar.lanes_f64(), 1);
+        assert_eq!(Width::V128.lanes_f64(), 2);
+        assert_eq!(Width::V256.lanes_f64(), 4);
+        assert_eq!(Width::V512.lanes_f64(), 8);
+        assert_eq!(Width::V512.bytes(), 64);
+    }
+
+    #[test]
+    fn flop_counting() {
+        assert_eq!(OpClass::Fma.flops_per_lane(), 2);
+        assert_eq!(OpClass::FAdd.flops_per_lane(), 1);
+        assert_eq!(OpClass::Load.flops_per_lane(), 0);
+        assert!(OpClass::Gather.is_memory());
+        assert!(!OpClass::Fma.is_memory());
+    }
+
+    #[test]
+    fn builder_allocates_distinct_registers() {
+        let mut b = StreamBuilder::new();
+        let x = b.reg();
+        let y = b.emit(OpClass::FMul, Width::V512, &[x, x]);
+        let z = b.emit(OpClass::Fma, Width::V512, &[x, y]);
+        assert_ne!(x, y);
+        assert_ne!(y, z);
+        let body = b.finish();
+        assert_eq!(body.len(), 2);
+        assert_eq!(body[1].srcs, vec![x, y]);
+    }
+
+    #[test]
+    fn builder_emit_into_reuses_register() {
+        let mut b = StreamBuilder::new();
+        let acc = b.reg();
+        let x = b.reg();
+        b.emit_into(OpClass::FAdd, Width::V512, acc, &[acc, x]);
+        let body = b.finish();
+        assert_eq!(body[0].dst, Some(acc));
+        assert!(body[0].srcs.contains(&acc));
+    }
+}

@@ -1,0 +1,39 @@
+//! # ookami-uarch — microarchitecture performance models
+//!
+//! This crate is the mechanistic heart of the reproduction of *"A64FX
+//! performance: experience on Ookami"* (CLUSTER 2021). It provides:
+//!
+//! * an abstract **instruction** representation ([`Instr`], [`OpClass`],
+//!   [`Width`]) used by the SVE emulator, the toolchain code generators, and
+//!   hand-written kernels;
+//! * per-machine **cost tables** ([`CostEntry`], [`CostTable`]) holding the
+//!   latency, reciprocal throughput, port binding, and blocking behaviour of
+//!   each instruction class — the A64FX entries follow the public Fujitsu
+//!   microarchitecture manual the paper cites (e.g. the blocking 134-cycle
+//!   512-bit `FSQRT` that explains the 20× square-root gap in Fig. 2);
+//! * a **loop analyzer** ([`analyzer::KernelLoop`]) in the style of
+//!   `llvm-mca`: port-pressure throughput bound, loop-carried-recurrence
+//!   latency bound, and issue-width bound, combined into a cycles-per-
+//!   iteration estimate;
+//! * **machine descriptors** ([`Machine`]) for the systems compared in the
+//!   paper: Fujitsu A64FX (Ookami), Intel Skylake-SP (three SKUs), Intel
+//!   Knights Landing, and AMD EPYC Zen 2 — including the peak-FLOP
+//!   arithmetic reproduced in Table III.
+//!
+//! The crate is dependency-free and purely computational; memory-hierarchy
+//! effects live in `ookami-mem` and are combined with these compute bounds by
+//! `ookami-core`.
+
+pub mod analyzer;
+pub mod cost;
+pub mod instr;
+pub mod machine;
+pub mod machines;
+pub mod peak;
+pub mod ports;
+
+pub use analyzer::{CycleEstimate, KernelLoop};
+pub use cost::{CostEntry, CostTable};
+pub use instr::{Instr, OpClass, Reg, StreamBuilder, Width};
+pub use machine::{GatherSpec, Machine, MemSpec, NumaSpec};
+pub use ports::{Port, PortSet};

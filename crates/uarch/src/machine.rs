@@ -1,0 +1,155 @@
+//! Machine descriptors: everything `ookami` needs to know about one system.
+
+use crate::cost::CostTable;
+use crate::instr::Width;
+
+/// Memory-hierarchy parameters consumed by `ookami-mem`'s cache simulator
+/// and bandwidth model. Latencies are load-to-use cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemSpec {
+    /// Cache line size in bytes (256 on A64FX, 64 on the x86 machines — the
+    /// paper leans on this for the short-scatter result).
+    pub line_bytes: usize,
+    /// L1 data cache per core, bytes.
+    pub l1_bytes: usize,
+    pub l1_assoc: usize,
+    pub l1_latency: f64,
+    /// L2 cache bytes (per sharing domain, see `l2_shared_by`).
+    pub l2_bytes: usize,
+    pub l2_assoc: usize,
+    pub l2_latency: f64,
+    /// Number of cores sharing one L2 (12 per CMG on A64FX, 1 on SKX which
+    /// instead has a shared L3 modeled as `l3`).
+    pub l2_shared_by: usize,
+    /// Optional shared last-level cache (bytes, latency, sharing domain).
+    pub l3: Option<(usize, f64, usize)>,
+    /// Main-memory load-to-use latency in cycles.
+    pub mem_latency: f64,
+}
+
+/// NUMA topology and bandwidth. On A64FX a domain is one CMG (12 cores +
+/// 8 GiB HBM2 at 256 GB/s); on the x86 machines a domain is one socket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumaSpec {
+    pub domains: usize,
+    pub cores_per_domain: usize,
+    /// Sustainable memory bandwidth per domain, GB/s.
+    pub bw_per_domain_gbs: f64,
+    /// Fraction of a domain's bandwidth one core can draw by itself
+    /// (a single A64FX core cannot saturate its CMG's HBM stack).
+    pub single_core_bw_fraction: f64,
+    /// Bandwidth of the inter-domain fabric for remote accesses, GB/s
+    /// (ring/mesh between CMGs; QPI/UPI between sockets).
+    pub interconnect_gbs: f64,
+}
+
+/// Parameters of the indexed-access (gather/scatter) hardware, used with
+/// `ookami-mem::gather`'s index-pattern analysis.
+///
+/// Cost of one `Width`-wide gather = `cycles_per_group × groups +
+/// line_cycles × distinct_lines`, where on A64FX a *group* is a pair of
+/// elements falling in the same aligned 128-byte window (the
+/// microarchitecture-manual optimization the paper verifies with its "short
+/// gather" test) and on x86 a group is a single element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatherSpec {
+    /// Aligned window within which two gather elements coalesce into one
+    /// micro-op (`Some(128)` on A64FX, `None` on x86).
+    pub pair_window_bytes: Option<usize>,
+    pub gather_cycles_per_group: f64,
+    pub gather_line_cycles: f64,
+    pub scatter_cycles_per_elem: f64,
+    pub scatter_line_cycles: f64,
+    /// Micro-ops a *predicated* contiguous store cracks into (2 on A64FX,
+    /// where masked stores cost an extra µop; 1 on x86 masked stores).
+    pub predicated_store_uops: u32,
+}
+
+/// A complete machine model.
+pub struct Machine {
+    pub name: &'static str,
+    /// Marketing ISA string used in Table III ("SVE (512 wide)", "AVX512", …).
+    pub simd: &'static str,
+    pub cpu: &'static str,
+    /// Widest vector the machine executes natively.
+    pub vector_width: Width,
+    pub cores_per_node: usize,
+    /// Base frequency in GHz — the all-core sustained frequency used for
+    /// Table III peak numbers.
+    pub base_ghz: f64,
+    /// Effective single-core frequency (turbo) used for single-core runs.
+    /// A64FX runs at a fixed 1.8 GHz; Skylake boosts.
+    pub turbo_1c_ghz: f64,
+    /// FMA pipes per core at `vector_width`.
+    pub fma_pipes: usize,
+    pub mem: MemSpec,
+    pub numa: NumaSpec,
+    pub gather: GatherSpec,
+    /// Instruction cost table.
+    pub table: &'static (dyn CostTable + Sync),
+}
+
+impl Machine {
+    /// Theoretical peak double-precision GFLOP/s per core at base frequency:
+    /// `freq × pipes × 2 FLOP/FMA × lanes` — the paper's §II arithmetic
+    /// (1.8 GHz × 2 × 2 × 8 = 57.6 for A64FX).
+    pub fn peak_gflops_per_core(&self) -> f64 {
+        self.base_ghz * self.fma_pipes as f64 * 2.0 * self.vector_width.lanes_f64() as f64
+    }
+
+    /// Theoretical peak per node (Table III last column).
+    pub fn peak_gflops_per_node(&self) -> f64 {
+        self.peak_gflops_per_core() * self.cores_per_node as f64
+    }
+
+    /// Node-aggregate memory bandwidth, GB/s (1 TB/s on A64FX).
+    pub fn node_bandwidth_gbs(&self) -> f64 {
+        self.numa.bw_per_domain_gbs * self.numa.domains as f64
+    }
+
+    /// Convert cycles at single-core (turbo) frequency to seconds.
+    pub fn seconds_1c(&self, cycles: f64) -> f64 {
+        cycles / (self.turbo_1c_ghz * 1e9)
+    }
+
+    /// Convert cycles at all-core (base) frequency to seconds.
+    pub fn seconds_allcore(&self, cycles: f64) -> f64 {
+        cycles / (self.base_ghz * 1e9)
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("name", &self.name)
+            .field("cpu", &self.cpu)
+            .field("simd", &self.simd)
+            .field("cores_per_node", &self.cores_per_node)
+            .field("base_ghz", &self.base_ghz)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machines;
+
+    #[test]
+    fn a64fx_peak_matches_paper_section2() {
+        let m = machines::a64fx();
+        // "1.8 GHz × 2 FMA/cycle × 2 FLOPs/FMA × 8 words/vector = 57.6"
+        assert!((m.peak_gflops_per_core() - 57.6).abs() < 1e-9);
+        // Table III: 2765 GFLOP/s/node (57.6 × 48 = 2764.8).
+        assert!((m.peak_gflops_per_node() - 2764.8).abs() < 1e-9);
+        // §I: 1 TB/s of HBM (4 × 256 GB/s).
+        assert!((m.node_bandwidth_gbs() - 1024.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn time_conversions() {
+        let m = machines::a64fx();
+        // A64FX is fixed-frequency: 1.8e9 cycles == 1 second either way.
+        assert!((m.seconds_1c(1.8e9) - 1.0).abs() < 1e-12);
+        assert!((m.seconds_allcore(1.8e9) - 1.0).abs() < 1e-12);
+    }
+}

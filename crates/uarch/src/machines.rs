@@ -1,0 +1,776 @@
+//! Concrete machine descriptors for every system the paper compares.
+//!
+//! | Paper system | Constructor |
+//! |---|---|
+//! | Ookami A64FX-700 node | [`a64fx`] |
+//! | Intel Skylake Xeon Gold 6140 (loop tests & NPB, 36 cores) | [`skylake_6140`] |
+//! | Intel Skylake Xeon Gold 6130 (LULESH, 32 cores) | [`skylake_6130`] |
+//! | TACC Stampede 2 Xeon Platinum 8160 (HPCC, 48 cores) | [`skylake_8160`] |
+//! | TACC Stampede 2 Xeon Phi 7250 KNL (HPCC, 68 cores) | [`knl_7250`] |
+//! | PSC Bridges-2 / SDSC Expanse EPYC 7742 (HPCC, 128 cores) | [`epyc_7742`] |
+//! | Ookami ThunderX2 login node (not benchmarked; completeness) | [`thunderx2`] |
+//!
+//! Cost-table values follow the public Fujitsu A64FX microarchitecture
+//! manual (which the paper cites) and public instruction tables for the x86
+//! parts. They are rounded to the granularity that matters for the paper's
+//! mechanisms; we do not claim cycle-exactness.
+
+use crate::cost::{CostEntry, CostTable};
+use crate::instr::{OpClass, Width};
+use crate::machine::{GatherSpec, Machine, MemSpec, NumaSpec};
+use crate::ports::PortSet;
+
+// =====================================================================
+// A64FX
+// =====================================================================
+
+/// A64FX execution ports, index-aligned with `PortSet` bits.
+pub mod a64fx_ports {
+    use crate::ports::Port;
+    pub const FLA: Port = 0; // FP pipe A (also FEXPA, estimates, predicated-result ops)
+    pub const FLB: Port = 1; // FP pipe B
+    pub const PR: Port = 2; // predicate unit
+    pub const EXA: Port = 3; // integer A
+    pub const EXB: Port = 4; // integer B
+    pub const EAGA: Port = 5; // address generation / load-store A
+    pub const EAGB: Port = 6; // address generation / load-store B
+    pub const BR: Port = 7; // branch
+}
+
+/// Cost table for the Fujitsu A64FX (SVE, 512-bit vectors).
+pub struct A64fxTable;
+
+impl CostTable for A64fxTable {
+    fn cost(&self, op: OpClass, w: Width) -> CostEntry {
+        use a64fx_ports::*;
+        let fl = PortSet::two(FLA, FLB);
+        let fla = PortSet::one(FLA);
+        let eag = PortSet::two(EAGA, EAGB);
+        match op {
+            // 9-cycle FP latency, one op per pipe per cycle regardless of
+            // width (SVE ops are full-width on both pipes).
+            OpClass::Fma | OpClass::FAdd | OpClass::FMul => CostEntry::piped(9.0, 1.0, fl),
+            OpClass::FMinMax => CostEntry::piped(9.0, 1.0, fl),
+            OpClass::FAbsNeg => CostEntry::piped(4.0, 1.0, fl),
+            // Conversions and rounds are FLA-only special ops — together
+            // with FEXPA this is why Section IV's exp kernel cannot use
+            // both FP pipes evenly.
+            OpClass::FRound | OpClass::FCvt => CostEntry::piped(9.0, 1.0, fla),
+            // Divide / square root are NON-PIPELINED on A64FX; the 512-bit
+            // FSQRT blocks for 134 cycles (paper, Section III) — this single
+            // entry produces the 20× sqrt gap of Fig. 2 for toolchains that
+            // select the instruction instead of a Newton iteration.
+            OpClass::FDiv => match w {
+                Width::Scalar => CostEntry::blocking(43.0, fla),
+                Width::V128 => CostEntry::blocking(52.0, fla),
+                Width::V256 => CostEntry::blocking(72.0, fla),
+                Width::V512 => CostEntry::blocking(98.0, fla),
+            },
+            OpClass::FSqrt => match w {
+                Width::Scalar => CostEntry::blocking(52.0, fla),
+                Width::V128 => CostEntry::blocking(68.0, fla),
+                Width::V256 => CostEntry::blocking(98.0, fla),
+                Width::V512 => CostEntry::blocking(134.0, fla),
+            },
+            // Estimate + special-function ops live on FLA only.
+            OpClass::FRecpe | OpClass::FRsqrte => CostEntry::piped(4.0, 1.0, fla),
+            OpClass::Fexpa => CostEntry::piped(4.0, 1.0, fla),
+            OpClass::Ftmad => CostEntry::piped(9.0, 1.0, fla),
+            // Compares producing predicates route FLA -> PR.
+            OpClass::FCmp => CostEntry::piped(4.0, 1.0, fla),
+            OpClass::Select => CostEntry::piped(4.0, 1.0, fl),
+            OpClass::Permute => CostEntry::piped(6.0, 1.0, fl),
+            // Two loads per cycle; 11-cycle load-to-FP-use.
+            OpClass::Load => CostEntry::piped(11.0, 1.0, eag),
+            OpClass::Store => CostEntry::piped(1.0, 1.0, eag),
+            // Gather: one element-group per cycle on a single AG pipe.
+            // Default 8 groups for a 512-bit vector; callers override the
+            // µop count with the 128-byte-window pairing analysis.
+            OpClass::Gather => {
+                CostEntry::cracked(15.0, 1.0, PortSet::one(EAGA), w.lanes_f64() as u32)
+            }
+            // Scatter: one element per cycle, never paired (paper §III).
+            OpClass::Scatter => {
+                CostEntry::cracked(15.0, 1.0, PortSet::one(EAGA), w.lanes_f64() as u32)
+            }
+            OpClass::IntAlu => CostEntry::piped(1.0, 1.0, PortSet::two(EXA, EXB)),
+            OpClass::IntMul => CostEntry::piped(5.0, 1.0, PortSet::one(EXA)),
+            // SVE integer/logical lane ops execute on the FL pipes.
+            OpClass::VecIntOp => CostEntry::piped(4.0, 1.0, fla),
+            OpClass::PredOp => CostEntry::piped(3.0, 1.0, PortSet::one(PR)),
+            OpClass::Branch => CostEntry::piped(1.0, 1.0, PortSet::one(BR)),
+            // Scalar glibc-style call: "nearly 32 cycles per evaluation" for
+            // exp (Section IV); used as the generic non-vectorized cost.
+            OpClass::ScalarLibmCall => CostEntry::blocking(32.0, fla),
+        }
+    }
+
+    fn issue_width(&self) -> f64 {
+        4.0
+    }
+
+    fn rob_size(&self) -> f64 {
+        128.0
+    }
+
+    fn num_ports(&self) -> usize {
+        8
+    }
+
+    fn port_names(&self) -> &'static [&'static str] {
+        &["FLA", "FLB", "PR", "EXA", "EXB", "EAGA", "EAGB", "BR"]
+    }
+}
+
+static A64FX_TABLE: A64fxTable = A64fxTable;
+
+/// The Ookami A64FX-700 compute node (§II): 48 cores in 4 CMGs, 1.8 GHz
+/// fixed, 32 GiB HBM2 at 1 TB/s, 64 KiB L1, 8 MiB L2 per CMG, 256-B lines.
+pub fn a64fx() -> &'static Machine {
+    static M: Machine = Machine {
+        name: "Ookami A64FX",
+        simd: "SVE (512 wide)",
+        cpu: "Fujitsu A64FX",
+        vector_width: Width::V512,
+        cores_per_node: 48,
+        base_ghz: 1.8,
+        turbo_1c_ghz: 1.8, // fixed frequency
+        fma_pipes: 2,
+        mem: MemSpec {
+            line_bytes: 256,
+            l1_bytes: 64 * 1024,
+            l1_assoc: 4,
+            l1_latency: 11.0,
+            l2_bytes: 8 * 1024 * 1024,
+            l2_assoc: 16,
+            l2_latency: 40.0,
+            l2_shared_by: 12,
+            l3: None,
+            mem_latency: 260.0,
+        },
+        numa: NumaSpec {
+            domains: 4,
+            cores_per_domain: 12,
+            bw_per_domain_gbs: 256.0,
+            // One core sustains roughly 50 GB/s of the CMG's 256 GB/s.
+            single_core_bw_fraction: 0.20,
+            interconnect_gbs: 115.0,
+        },
+        gather: GatherSpec {
+            pair_window_bytes: Some(128),
+            gather_cycles_per_group: 1.0,
+            gather_line_cycles: 0.0,
+            scatter_cycles_per_elem: 1.0,
+            scatter_line_cycles: 0.0,
+            predicated_store_uops: 2,
+        },
+        table: &A64FX_TABLE,
+    };
+    &M
+}
+
+// =====================================================================
+// Skylake-SP (shared cost table, three SKUs)
+// =====================================================================
+
+/// Skylake-SP execution ports (AVX-512 configuration).
+pub mod skx_ports {
+    use crate::ports::Port;
+    pub const P0: Port = 0; // FMA 0 (ports 0+1 fused for 512-bit)
+    pub const P5: Port = 1; // FMA 1 / shuffle
+    pub const P23A: Port = 2; // load A
+    pub const P23B: Port = 3; // load B
+    pub const P4: Port = 4; // store data
+    pub const P6: Port = 5; // branch / scalar int
+    pub const P1: Port = 6; // scalar int (shares with fused 512-bit FMA)
+}
+
+/// Cost table for Intel Skylake-SP with two 512-bit FMA units.
+pub struct SkxTable;
+
+impl CostTable for SkxTable {
+    fn cost(&self, op: OpClass, w: Width) -> CostEntry {
+        use skx_ports::*;
+        let fma = PortSet::two(P0, P5);
+        let loads = PortSet::two(P23A, P23B);
+        match op {
+            OpClass::Fma | OpClass::FAdd | OpClass::FMul => CostEntry::piped(4.0, 1.0, fma),
+            OpClass::FMinMax => CostEntry::piped(4.0, 1.0, fma),
+            OpClass::FAbsNeg => CostEntry::piped(1.0, 1.0, fma),
+            OpClass::FRound => CostEntry::cracked(8.0, 1.0, fma, 2),
+            OpClass::FCvt => CostEntry::piped(4.0, 1.0, fma),
+            // Pipelined (unlike A64FX): vdivpd/vsqrtpd keep accepting work.
+            OpClass::FDiv => match w {
+                Width::Scalar => CostEntry { latency: 14.0, rthroughput: 4.0, ports: PortSet::one(P0), uops: 1, blocking: false },
+                Width::V128 => CostEntry { latency: 14.0, rthroughput: 4.0, ports: PortSet::one(P0), uops: 1, blocking: false },
+                Width::V256 => CostEntry { latency: 14.0, rthroughput: 8.0, ports: PortSet::one(P0), uops: 1, blocking: false },
+                Width::V512 => CostEntry { latency: 23.0, rthroughput: 16.0, ports: PortSet::one(P0), uops: 1, blocking: false },
+            },
+            OpClass::FSqrt => match w {
+                Width::Scalar => CostEntry { latency: 18.0, rthroughput: 6.0, ports: PortSet::one(P0), uops: 1, blocking: false },
+                Width::V128 => CostEntry { latency: 18.0, rthroughput: 6.0, ports: PortSet::one(P0), uops: 1, blocking: false },
+                Width::V256 => CostEntry { latency: 19.0, rthroughput: 12.0, ports: PortSet::one(P0), uops: 1, blocking: false },
+                Width::V512 => CostEntry { latency: 31.0, rthroughput: 19.0, ports: PortSet::one(P0), uops: 1, blocking: false },
+            },
+            // vrcp14pd / vrsqrt14pd zmm.
+            OpClass::FRecpe | OpClass::FRsqrte => {
+                CostEntry { latency: 7.0, rthroughput: 2.0, ports: PortSet::one(P0), uops: 1, blocking: false }
+            }
+            // No FEXPA on x86; SVML's equivalent trick is VSCALEFPD.
+            OpClass::Fexpa => CostEntry::piped(4.0, 1.0, fma),
+            OpClass::Ftmad => CostEntry::piped(4.0, 1.0, fma),
+            // Compare into a mask register.
+            OpClass::FCmp => CostEntry::piped(3.0, 1.0, PortSet::one(P5)),
+            OpClass::Select => CostEntry::piped(1.0, 1.0, fma),
+            OpClass::Permute => CostEntry::piped(3.0, 1.0, PortSet::one(P5)),
+            OpClass::Load => CostEntry::piped(7.0, 1.0, loads),
+            OpClass::Store => CostEntry::piped(1.0, 1.0, PortSet::one(P4)),
+            // vgatherdpd zmm: ~1 element per cycle on one load port (line
+            // locality handled by GatherSpec.gather_line_cycles).
+            OpClass::Gather => {
+                CostEntry::cracked(22.0, 0.55, PortSet::one(P23A), w.lanes_f64() as u32)
+            }
+            // vscatterdpd zmm: element stores serialize on the store port.
+            OpClass::Scatter => {
+                CostEntry::cracked(17.0, 1.0, PortSet::one(P4), w.lanes_f64() as u32)
+            }
+            OpClass::IntAlu => CostEntry::piped(1.0, 1.0, PortSet::two(P6, P1)),
+            OpClass::IntMul => CostEntry::piped(3.0, 1.0, PortSet::one(P1)),
+            OpClass::VecIntOp => CostEntry::piped(1.0, 1.0, fma),
+            OpClass::PredOp => CostEntry::piped(1.0, 1.0, PortSet::one(P0)),
+            OpClass::Branch => CostEntry::piped(1.0, 1.0, PortSet::one(P6)),
+            // Serial x86 libm exp is roughly 16 cycles per call.
+            OpClass::ScalarLibmCall => CostEntry::blocking(16.0, PortSet::one(P0)),
+        }
+    }
+
+    fn issue_width(&self) -> f64 {
+        4.0
+    }
+
+    fn rob_size(&self) -> f64 {
+        224.0
+    }
+
+    fn num_ports(&self) -> usize {
+        7
+    }
+
+    fn port_names(&self) -> &'static [&'static str] {
+        &["P0", "P5", "P2", "P3", "P4", "P6", "P1"]
+    }
+}
+
+static SKX_TABLE: SkxTable = SkxTable;
+
+const SKX_MEM: MemSpec = MemSpec {
+    line_bytes: 64,
+    l1_bytes: 32 * 1024,
+    l1_assoc: 8,
+    l1_latency: 7.0,
+    l2_bytes: 1024 * 1024,
+    l2_assoc: 16,
+    l2_latency: 14.0,
+    l2_shared_by: 1,
+    // Shared L3: ~1.375 MiB/core slices; stated per socket below.
+    l3: Some((24 * 1024 * 1024, 60.0, 18)),
+    mem_latency: 190.0,
+};
+
+const SKX_GATHER: GatherSpec = GatherSpec {
+    pair_window_bytes: None,
+    gather_cycles_per_group: 0.55,
+    gather_line_cycles: 0.45,
+    scatter_cycles_per_elem: 1.0,
+    scatter_line_cycles: 0.45,
+    predicated_store_uops: 1,
+};
+
+/// Xeon Gold 6140 (loop tests, §III: 2.1 GHz base, 3.7 GHz boost;
+/// single-core tests run near full boost). Also the "Intel Skylake with 36
+/// cores" NPB comparison node (2 × 18 cores).
+pub fn skylake_6140() -> &'static Machine {
+    static M: Machine = Machine {
+        name: "Skylake 6140",
+        simd: "AVX512",
+        cpu: "Intel Xeon Gold 6140",
+        vector_width: Width::V512,
+        cores_per_node: 36,
+        base_ghz: 2.1,
+        turbo_1c_ghz: 3.6,
+        fma_pipes: 2,
+        mem: SKX_MEM,
+        numa: NumaSpec {
+            domains: 2,
+            cores_per_domain: 18,
+            bw_per_domain_gbs: 107.0, // 6-channel DDR4-2666 ≈ 128 GB/s peak, ~107 sustained
+            single_core_bw_fraction: 0.14,
+            interconnect_gbs: 41.6, // 2× UPI
+        },
+        gather: SKX_GATHER,
+        table: &SKX_TABLE,
+    };
+    &M
+}
+
+/// Xeon Gold 6130 (the LULESH comparison node, §VI: 16 cores/socket,
+/// 32 cores/server, 2.1 GHz base).
+pub fn skylake_6130() -> &'static Machine {
+    static M: Machine = Machine {
+        name: "Skylake 6130",
+        simd: "AVX512",
+        cpu: "Intel Xeon Gold 6130",
+        vector_width: Width::V512,
+        cores_per_node: 32,
+        base_ghz: 2.1,
+        turbo_1c_ghz: 3.7,
+        fma_pipes: 2,
+        mem: SKX_MEM,
+        numa: NumaSpec {
+            domains: 2,
+            cores_per_domain: 16,
+            bw_per_domain_gbs: 107.0,
+            single_core_bw_fraction: 0.14,
+            interconnect_gbs: 41.6,
+        },
+        gather: SKX_GATHER,
+        table: &SKX_TABLE,
+    };
+    &M
+}
+
+/// Xeon Platinum 8160 (TACC Stampede 2 SKX node, Table III: 48 cores,
+/// 1.4 GHz all-core AVX-512, 44.8 GFLOP/s/core, 2150 GFLOP/s/node).
+pub fn skylake_8160() -> &'static Machine {
+    static M: Machine = Machine {
+        name: "Stampede2 SKX",
+        simd: "AVX512",
+        cpu: "Intel Xeon Platinum 8160, Skylake (SKX)",
+        vector_width: Width::V512,
+        cores_per_node: 48,
+        base_ghz: 1.4, // AVX-512 all-core frequency, as Table III states
+        turbo_1c_ghz: 3.7,
+        fma_pipes: 2,
+        mem: SKX_MEM,
+        numa: NumaSpec {
+            domains: 2,
+            cores_per_domain: 24,
+            bw_per_domain_gbs: 107.0,
+            single_core_bw_fraction: 0.14,
+            interconnect_gbs: 41.6,
+        },
+        gather: SKX_GATHER,
+        table: &SKX_TABLE,
+    };
+    &M
+}
+
+// =====================================================================
+// Knights Landing
+// =====================================================================
+
+/// Cost table for Intel Xeon Phi 7250 (KNL): two 512-bit VPUs but a narrow,
+/// 2-wide in-order-ish front end and long latencies — the mechanism behind
+/// its weak per-core showing in Fig. 8.
+pub struct KnlTable;
+
+impl CostTable for KnlTable {
+    fn cost(&self, op: OpClass, w: Width) -> CostEntry {
+        // Reuse SKX port naming; KNL has VPU0/VPU1 + 2 memory ports.
+        let base = SkxTable.cost(op, w);
+        match op {
+            OpClass::Fma | OpClass::FAdd | OpClass::FMul | OpClass::FMinMax => {
+                CostEntry { latency: 6.0, ..base }
+            }
+            OpClass::FDiv => CostEntry { latency: 32.0, rthroughput: 24.0, ..base },
+            OpClass::FSqrt => CostEntry { latency: 38.0, rthroughput: 30.0, ..base },
+            OpClass::Gather => CostEntry { rthroughput: 1.6, ..base },
+            OpClass::ScalarLibmCall => CostEntry::blocking(60.0, base.ports),
+            _ => base,
+        }
+    }
+
+    fn issue_width(&self) -> f64 {
+        2.0
+    }
+
+    fn rob_size(&self) -> f64 {
+        72.0
+    }
+
+    fn num_ports(&self) -> usize {
+        7
+    }
+
+    fn port_names(&self) -> &'static [&'static str] {
+        &["VPU0", "VPU1", "MEM0", "MEM1", "ST", "INT0", "INT1"]
+    }
+}
+
+static KNL_TABLE: KnlTable = KnlTable;
+
+/// Xeon Phi 7250 (TACC Stampede 2 KNL node, Table III: 68 cores, 1.4 GHz,
+/// 44.8 GFLOP/s/core, 3046 GFLOP/s/node; MCDRAM ≈ 450 GB/s).
+pub fn knl_7250() -> &'static Machine {
+    static M: Machine = Machine {
+        name: "Stampede2 KNL",
+        simd: "AVX512",
+        cpu: "Intel Xeon Phi 7250, Knights Landing (KNL)",
+        vector_width: Width::V512,
+        cores_per_node: 68,
+        base_ghz: 1.4,
+        turbo_1c_ghz: 1.5,
+        fma_pipes: 2,
+        mem: MemSpec {
+            line_bytes: 64,
+            l1_bytes: 32 * 1024,
+            l1_assoc: 8,
+            l1_latency: 5.0,
+            l2_bytes: 1024 * 1024, // per tile (2 cores)
+            l2_assoc: 16,
+            l2_latency: 17.0,
+            l2_shared_by: 2,
+            l3: None,
+            mem_latency: 230.0,
+        },
+        numa: NumaSpec {
+            domains: 1,
+            cores_per_domain: 68,
+            bw_per_domain_gbs: 450.0, // MCDRAM flat mode
+            single_core_bw_fraction: 0.03,
+            interconnect_gbs: 90.0,
+        },
+        gather: GatherSpec {
+            pair_window_bytes: None,
+            gather_cycles_per_group: 1.6,
+            gather_line_cycles: 0.6,
+            scatter_cycles_per_elem: 1.8,
+            scatter_line_cycles: 0.6,
+            predicated_store_uops: 1,
+        },
+        table: &KNL_TABLE,
+    };
+    &M
+}
+
+// =====================================================================
+// EPYC Zen 2
+// =====================================================================
+
+/// Cost table for AMD EPYC 7742 (Zen 2): 256-bit data paths; 512-bit work
+/// arrives as twice as many 256-bit instructions (the toolchain layer emits
+/// `V256` for this machine).
+pub struct Zen2Table;
+
+impl CostTable for Zen2Table {
+    fn cost(&self, op: OpClass, w: Width) -> CostEntry {
+        use skx_ports::*;
+        // 512-bit ops don't exist; charge double µops if one sneaks through.
+        let double = matches!(w, Width::V512);
+        let crack = |mut e: CostEntry| {
+            if double {
+                e.uops *= 2;
+            }
+            e
+        };
+        let fma = PortSet::two(P0, P5);
+        let loads = PortSet::two(P23A, P23B);
+        let e = match op {
+            OpClass::Fma => CostEntry::piped(5.0, 1.0, fma),
+            OpClass::FAdd => CostEntry::piped(3.0, 1.0, fma),
+            OpClass::FMul | OpClass::FMinMax => CostEntry::piped(3.0, 1.0, fma),
+            OpClass::FAbsNeg => CostEntry::piped(1.0, 1.0, fma),
+            OpClass::FRound | OpClass::FCvt => CostEntry::piped(3.0, 1.0, fma),
+            OpClass::FDiv => CostEntry { latency: 13.0, rthroughput: 5.0, ports: PortSet::one(P0), uops: 1, blocking: false },
+            OpClass::FSqrt => CostEntry { latency: 20.0, rthroughput: 9.0, ports: PortSet::one(P0), uops: 1, blocking: false },
+            OpClass::FRecpe | OpClass::FRsqrte => CostEntry::piped(5.0, 1.0, PortSet::one(P0)),
+            OpClass::Fexpa => CostEntry::piped(5.0, 1.0, fma), // no such instruction; scalef-ish
+            OpClass::Ftmad => CostEntry::piped(5.0, 1.0, fma),
+            OpClass::FCmp => CostEntry::piped(1.0, 1.0, fma),
+            OpClass::Select => CostEntry::piped(1.0, 1.0, fma),
+            OpClass::Permute => CostEntry::piped(3.0, 1.0, PortSet::one(P5)),
+            OpClass::Load => CostEntry::piped(7.0, 1.0, loads),
+            OpClass::Store => CostEntry::piped(1.0, 1.0, PortSet::one(P4)),
+            // No hardware gather worth using: element loads.
+            OpClass::Gather => CostEntry::cracked(20.0, 1.0, loads, w.lanes_f64() as u32),
+            OpClass::Scatter => CostEntry::cracked(20.0, 1.0, PortSet::one(P4), w.lanes_f64() as u32),
+            OpClass::IntAlu => CostEntry::piped(1.0, 1.0, PortSet::two(P6, P1)),
+            OpClass::IntMul => CostEntry::piped(3.0, 1.0, PortSet::one(P1)),
+            OpClass::VecIntOp => CostEntry::piped(1.0, 1.0, fma),
+            OpClass::PredOp => CostEntry::piped(1.0, 1.0, fma),
+            OpClass::Branch => CostEntry::piped(1.0, 1.0, PortSet::one(P6)),
+            OpClass::ScalarLibmCall => CostEntry::blocking(20.0, PortSet::one(P0)),
+        };
+        crack(e)
+    }
+
+    fn issue_width(&self) -> f64 {
+        5.0
+    }
+
+    fn rob_size(&self) -> f64 {
+        224.0
+    }
+
+    fn num_ports(&self) -> usize {
+        7
+    }
+
+    fn port_names(&self) -> &'static [&'static str] {
+        &["FP0", "FP1", "LD0", "LD1", "ST", "INT0", "INT1"]
+    }
+}
+
+static ZEN2_TABLE: Zen2Table = Zen2Table;
+
+/// AMD EPYC 7742 ×2 (PSC Bridges-2 / SDSC Expanse, Table III: 128 cores,
+/// 2.25 GHz, AVX2, 36 GFLOP/s/core, 4608 GFLOP/s/node).
+pub fn epyc_7742() -> &'static Machine {
+    static M: Machine = Machine {
+        name: "EPYC Zen2",
+        simd: "AVX2",
+        cpu: "AMD EPYC 7742 (Zen2)",
+        vector_width: Width::V256,
+        cores_per_node: 128,
+        base_ghz: 2.25,
+        turbo_1c_ghz: 3.4,
+        fma_pipes: 2,
+        mem: MemSpec {
+            line_bytes: 64,
+            l1_bytes: 32 * 1024,
+            l1_assoc: 8,
+            l1_latency: 7.0,
+            l2_bytes: 512 * 1024,
+            l2_assoc: 8,
+            l2_latency: 12.0,
+            l2_shared_by: 1,
+            l3: Some((16 * 1024 * 1024, 39.0, 4)), // per CCX
+            mem_latency: 220.0,
+        },
+        numa: NumaSpec {
+            domains: 2,
+            cores_per_domain: 64,
+            bw_per_domain_gbs: 190.0, // 8-channel DDR4-3200
+            single_core_bw_fraction: 0.12,
+            interconnect_gbs: 100.0,
+        },
+        gather: GatherSpec {
+            pair_window_bytes: None,
+            gather_cycles_per_group: 1.0,
+            gather_line_cycles: 0.5,
+            scatter_cycles_per_elem: 1.0,
+            scatter_line_cycles: 0.5,
+            predicated_store_uops: 1,
+        },
+        table: &ZEN2_TABLE,
+    };
+    &M
+}
+
+// =====================================================================
+// ThunderX2 (Ookami login nodes — included for completeness)
+// =====================================================================
+
+/// Cost table for Marvell ThunderX2: ARM v8.1 + NEON (128-bit), 2 FP pipes.
+pub struct Tx2Table;
+
+impl CostTable for Tx2Table {
+    fn cost(&self, op: OpClass, w: Width) -> CostEntry {
+        // NEON only: wider ops crack into 128-bit µops.
+        let factor = match w {
+            Width::Scalar | Width::V128 => 1,
+            Width::V256 => 2,
+            Width::V512 => 4,
+        };
+        let mut e = A64fxTable.cost(op, Width::V128);
+        e.uops *= factor;
+        match op {
+            OpClass::Fma | OpClass::FAdd | OpClass::FMul => CostEntry { latency: 6.0, ..e },
+            OpClass::FDiv => CostEntry { latency: 16.0, rthroughput: 8.0, blocking: false, ..e },
+            OpClass::FSqrt => CostEntry { latency: 23.0, rthroughput: 12.0, blocking: false, ..e },
+            OpClass::Fexpa | OpClass::Ftmad => CostEntry { latency: 6.0, ..e }, // no SVE: polynomial fallback
+            _ => e,
+        }
+    }
+
+    fn issue_width(&self) -> f64 {
+        4.0
+    }
+
+    fn rob_size(&self) -> f64 {
+        180.0
+    }
+
+    fn num_ports(&self) -> usize {
+        8
+    }
+
+    fn port_names(&self) -> &'static [&'static str] {
+        &["FP0", "FP1", "PR", "INT0", "INT1", "LS0", "LS1", "BR"]
+    }
+}
+
+static TX2_TABLE: Tx2Table = Tx2Table;
+
+/// Ookami's dual-socket ThunderX2 login node (§II: 64 cores at 2.3 GHz,
+/// "very high scalar performance"). Not part of the paper's benchmarks.
+pub fn thunderx2() -> &'static Machine {
+    static M: Machine = Machine {
+        name: "ThunderX2 login",
+        simd: "NEON (128 wide)",
+        cpu: "Marvell ThunderX2",
+        vector_width: Width::V128,
+        cores_per_node: 64,
+        base_ghz: 2.3,
+        turbo_1c_ghz: 2.5,
+        fma_pipes: 2,
+        mem: MemSpec {
+            line_bytes: 64,
+            l1_bytes: 32 * 1024,
+            l1_assoc: 8,
+            l1_latency: 5.0,
+            l2_bytes: 256 * 1024,
+            l2_assoc: 8,
+            l2_latency: 12.0,
+            l2_shared_by: 1,
+            l3: Some((32 * 1024 * 1024, 40.0, 32)),
+            mem_latency: 200.0,
+        },
+        numa: NumaSpec {
+            domains: 2,
+            cores_per_domain: 32,
+            bw_per_domain_gbs: 120.0,
+            single_core_bw_fraction: 0.12,
+            interconnect_gbs: 60.0,
+        },
+        gather: GatherSpec {
+            pair_window_bytes: None,
+            gather_cycles_per_group: 1.0,
+            gather_line_cycles: 0.5,
+            scatter_cycles_per_elem: 1.0,
+            scatter_line_cycles: 0.5,
+            predicated_store_uops: 1,
+        },
+        table: &TX2_TABLE,
+    };
+    &M
+}
+
+/// All machines that appear in the paper's evaluation, for sweep drivers.
+pub fn all_paper_machines() -> Vec<&'static Machine> {
+    vec![
+        a64fx(),
+        skylake_6140(),
+        skylake_6130(),
+        skylake_8160(),
+        knl_7250(),
+        epyc_7742(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every machine's cost table must be total over (OpClass, Width).
+    #[test]
+    fn cost_tables_are_total() {
+        let ops = [
+            OpClass::Fma, OpClass::FAdd, OpClass::FMul, OpClass::FDiv, OpClass::FSqrt,
+            OpClass::FRecpe, OpClass::FRsqrte, OpClass::Fexpa, OpClass::Ftmad,
+            OpClass::FCmp, OpClass::FMinMax, OpClass::FAbsNeg, OpClass::FRound,
+            OpClass::FCvt, OpClass::Load, OpClass::Store, OpClass::Gather,
+            OpClass::Scatter, OpClass::Permute, OpClass::Select, OpClass::IntAlu,
+            OpClass::IntMul, OpClass::VecIntOp, OpClass::PredOp, OpClass::Branch,
+            OpClass::ScalarLibmCall,
+        ];
+        let widths = [Width::Scalar, Width::V128, Width::V256, Width::V512];
+        for m in all_paper_machines().into_iter().chain([thunderx2()]) {
+            for &op in &ops {
+                for &w in &widths {
+                    let e = m.table.cost(op, w);
+                    assert!(e.latency > 0.0, "{} {:?} {:?}", m.name, op, w);
+                    assert!(e.rthroughput > 0.0, "{} {:?} {:?}", m.name, op, w);
+                    assert!(!e.ports.is_empty(), "{} {:?} {:?}", m.name, op, w);
+                    assert!(e.uops >= 1, "{} {:?} {:?}", m.name, op, w);
+                }
+            }
+        }
+    }
+
+    /// Table III peak GFLOP/s per core and per node.
+    #[test]
+    fn table3_peaks() {
+        let cases = [
+            (a64fx(), 57.6, 2764.8),
+            (skylake_8160(), 44.8, 2150.4),
+            (knl_7250(), 44.8, 3046.4),
+            (epyc_7742(), 36.0, 4608.0),
+        ];
+        for (m, per_core, per_node) in cases {
+            assert!(
+                (m.peak_gflops_per_core() - per_core).abs() < 0.05,
+                "{}: {} vs {}",
+                m.name,
+                m.peak_gflops_per_core(),
+                per_core
+            );
+            assert!(
+                (m.peak_gflops_per_node() - per_node).abs() < 1.0,
+                "{}: {} vs {}",
+                m.name,
+                m.peak_gflops_per_node(),
+                per_node
+            );
+        }
+    }
+
+    /// The paper's headline A64FX FSQRT fact: 134-cycle blocking at 512 bits.
+    #[test]
+    fn a64fx_fsqrt_blocks_134() {
+        let e = a64fx().table.cost(OpClass::FSqrt, Width::V512);
+        assert!(e.blocking);
+        assert_eq!(e.latency, 134.0);
+        assert_eq!(e.occupancy(), 134.0);
+        // Skylake's is pipelined and far cheaper per element.
+        let s = skylake_6140().table.cost(OpClass::FSqrt, Width::V512);
+        assert!(!s.blocking);
+        assert!(s.rthroughput < 20.0);
+    }
+
+    /// Clock-ratio sanity: the paper's "expected circa 2x" single-core ratio.
+    #[test]
+    fn clock_ratio_near_two() {
+        let r = skylake_6140().turbo_1c_ghz / a64fx().turbo_1c_ghz;
+        assert!(r > 1.9 && r < 2.1, "ratio {}", r);
+    }
+
+    /// A64FX gather pairs inside 128-byte windows; x86 never pairs.
+    #[test]
+    fn gather_pairing_window() {
+        assert_eq!(a64fx().gather.pair_window_bytes, Some(128));
+        assert_eq!(skylake_6140().gather.pair_window_bytes, None);
+        assert_eq!(epyc_7742().gather.pair_window_bytes, None);
+    }
+
+    /// Zen2 cracks 512-bit work into twice the µops.
+    #[test]
+    fn zen2_cracks_512() {
+        let e256 = epyc_7742().table.cost(OpClass::Fma, Width::V256);
+        let e512 = epyc_7742().table.cost(OpClass::Fma, Width::V512);
+        assert_eq!(e512.uops, 2 * e256.uops);
+    }
+
+    /// KNL's narrow front end is the issue-width mechanism for Fig. 8.
+    #[test]
+    fn knl_issue_width_is_two() {
+        assert_eq!(knl_7250().table.issue_width(), 2.0);
+        assert_eq!(skylake_8160().table.issue_width(), 4.0);
+    }
+
+    #[test]
+    fn a64fx_line_is_256_x86_is_64() {
+        assert_eq!(a64fx().mem.line_bytes, 256);
+        assert_eq!(skylake_6140().mem.line_bytes, 64);
+    }
+}

@@ -1,0 +1,92 @@
+//! Table III: specifications of the compared HPC systems.
+
+use crate::machine::Machine;
+use crate::machines;
+
+/// One row of Table III.
+#[derive(Debug, Clone)]
+pub struct SpecRow {
+    pub system: &'static str,
+    pub cpu: &'static str,
+    pub simd: &'static str,
+    pub cores_per_node: usize,
+    pub base_ghz: f64,
+    pub peak_gflops_core: f64,
+    pub peak_gflops_node: f64,
+}
+
+impl SpecRow {
+    pub fn from_machine(system: &'static str, m: &Machine) -> Self {
+        SpecRow {
+            system,
+            cpu: m.cpu,
+            simd: m.simd,
+            cores_per_node: m.cores_per_node,
+            base_ghz: m.base_ghz,
+            peak_gflops_core: m.peak_gflops_per_core(),
+            peak_gflops_node: m.peak_gflops_per_node(),
+        }
+    }
+}
+
+/// The five systems of Table III, in the paper's order. (Bridges-2 and
+/// Expanse share identical hardware; the paper lists them separately.)
+pub fn table3() -> Vec<SpecRow> {
+    vec![
+        SpecRow::from_machine("Ookami", machines::a64fx()),
+        SpecRow::from_machine("TACC Stampede 2", machines::skylake_8160()),
+        SpecRow::from_machine("TACC Stampede 2", machines::knl_7250()),
+        SpecRow::from_machine("PSC Bridges 2", machines::epyc_7742()),
+        SpecRow::from_machine("SDSC Expanse", machines::epyc_7742()),
+    ]
+}
+
+/// Render Table III as fixed-width text (matches the paper's columns).
+pub fn render_table3() -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<16} {:<42} {:<16} {:>10} {:>10} {:>12} {:>12}\n",
+        "System", "CPU", "SIMD", "Cores/Node", "GHz", "GF/s/Core", "GF/s/Node"
+    ));
+    for r in table3() {
+        s.push_str(&format!(
+            "{:<16} {:<42} {:<16} {:>10} {:>10.2} {:>12.1} {:>12.0}\n",
+            r.system, r.cpu, r.simd, r.cores_per_node, r.base_ghz, r.peak_gflops_core,
+            r.peak_gflops_node
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper_values() {
+        let rows = table3();
+        assert_eq!(rows.len(), 5);
+        let expect = [
+            ("Ookami", 48, 1.8, 57.6, 2764.8),
+            ("TACC Stampede 2", 48, 1.4, 44.8, 2150.4),
+            ("TACC Stampede 2", 68, 1.4, 44.8, 3046.4),
+            ("PSC Bridges 2", 128, 2.25, 36.0, 4608.0),
+            ("SDSC Expanse", 128, 2.25, 36.0, 4608.0),
+        ];
+        for (r, (sys, cores, ghz, core, node)) in rows.iter().zip(expect) {
+            assert_eq!(r.system, sys);
+            assert_eq!(r.cores_per_node, cores);
+            assert!((r.base_ghz - ghz).abs() < 1e-9);
+            assert!((r.peak_gflops_core - core).abs() < 0.05);
+            assert!((r.peak_gflops_node - node).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_systems() {
+        let t = render_table3();
+        for s in ["Ookami", "Stampede 2", "Bridges 2", "Expanse", "A64FX", "SVE"] {
+            assert!(t.contains(s), "missing {s} in:\n{t}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Execution-port naming and sets.
+//!
+//! Ports are identified by small indices into a machine-specific name table;
+//! a [`PortSet`] is a bitmask over at most 16 ports, which covers every
+//! machine modeled here (A64FX has 9 issue ports; Skylake-SP has 8).
+
+/// Index of one execution port on a machine.
+pub type Port = u8;
+
+/// A set of execution ports an instruction class may issue to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PortSet(pub u16);
+
+impl PortSet {
+    pub const EMPTY: PortSet = PortSet(0);
+
+    /// Set containing a single port.
+    pub fn one(p: Port) -> Self {
+        debug_assert!(p < 16);
+        PortSet(1 << p)
+    }
+
+    /// Set containing two ports.
+    pub fn two(a: Port, b: Port) -> Self {
+        PortSet(Self::one(a).0 | Self::one(b).0)
+    }
+
+    /// Set from a slice of ports.
+    pub fn of(ports: &[Port]) -> Self {
+        let mut m = 0u16;
+        for &p in ports {
+            debug_assert!(p < 16);
+            m |= 1 << p;
+        }
+        PortSet(m)
+    }
+
+    pub fn contains(self, p: Port) -> bool {
+        self.0 & (1 << p) != 0
+    }
+
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over member ports in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = Port> {
+        (0u8..16).filter(move |&p| self.contains(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_sets() {
+        let s = PortSet::two(0, 3);
+        assert!(s.contains(0));
+        assert!(!s.contains(1));
+        assert!(s.contains(3));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn of_matches_manual_union() {
+        assert_eq!(PortSet::of(&[1, 2, 5]).0, (1 << 1) | (1 << 2) | (1 << 5));
+        assert!(PortSet::EMPTY.is_empty());
+        assert_eq!(PortSet::one(7).len(), 1);
+    }
+}

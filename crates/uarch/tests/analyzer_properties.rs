@@ -1,0 +1,120 @@
+//! Property tests for the cycle analyzer: the bounds must behave like
+//! bounds under arbitrary instruction streams.
+
+use ookami_uarch::{machines, Instr, KernelLoop, OpClass, Width};
+use proptest::prelude::*;
+
+const OPS: [OpClass; 10] = [
+    OpClass::Fma,
+    OpClass::FAdd,
+    OpClass::FMul,
+    OpClass::FCmp,
+    OpClass::Load,
+    OpClass::Store,
+    OpClass::IntAlu,
+    OpClass::VecIntOp,
+    OpClass::PredOp,
+    OpClass::Permute,
+];
+
+fn arb_body(max_len: usize) -> impl Strategy<Value = Vec<Instr>> {
+    prop::collection::vec(
+        (0usize..OPS.len(), prop::collection::vec(0u16..8, 0..3)),
+        1..max_len,
+    )
+    .prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (op, srcs))| {
+                Instr::new(OPS[op], Width::V512, Some(100 + i as u16), srcs)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All bounds are finite, non-negative, and the combined estimate is
+    /// at least each individual bound.
+    #[test]
+    fn bounds_are_sane(body in arb_body(24)) {
+        let k = KernelLoop::new(body, 8.0);
+        for m in machines::all_paper_machines() {
+            let e = k.analyze(m.table);
+            prop_assert!(e.port_pressure.is_finite() && e.port_pressure >= 0.0);
+            prop_assert!(e.issue.is_finite() && e.issue >= 0.0);
+            prop_assert!(e.recurrence.is_finite() && e.recurrence >= 0.0);
+            prop_assert!(e.window.is_finite() && e.window >= 0.0);
+            let c = e.cycles_per_iter();
+            prop_assert!(c >= e.port_pressure && c >= e.issue);
+            prop_assert!(c >= e.recurrence && c >= e.window);
+        }
+    }
+
+    /// Appending an instruction never decreases port pressure or issue.
+    #[test]
+    fn bounds_monotone_under_extension(body in arb_body(16), extra in 0usize..OPS.len()) {
+        let m = machines::a64fx();
+        let k1 = KernelLoop::new(body.clone(), 8.0);
+        let e1 = k1.analyze(m.table);
+        let mut body2 = body;
+        body2.push(Instr::new(OPS[extra], Width::V512, None, vec![]));
+        let k2 = KernelLoop::new(body2, 8.0);
+        let e2 = k2.analyze(m.table);
+        prop_assert!(e2.port_pressure >= e1.port_pressure - 1e-12);
+        prop_assert!(e2.issue >= e1.issue - 1e-12);
+    }
+
+    /// The port report's maximum equals the exact port-pressure bound.
+    #[test]
+    fn port_report_max_equals_bound(body in arb_body(16)) {
+        let m = machines::a64fx();
+        let k = KernelLoop::new(body, 8.0);
+        let e = k.analyze(m.table);
+        let rep = k.port_report(m.table);
+        let max = rep.iter().map(|&(_, l)| l).fold(0.0f64, f64::max);
+        // water-filling converges to the exact min-max within tolerance
+        prop_assert!((max - e.port_pressure).abs() < 1e-4 * e.port_pressure.max(1.0),
+            "report max {} vs bound {}", max, e.port_pressure);
+        // total occupancy is conserved by the assignment
+        let total_rep: f64 = rep.iter().map(|&(_, l)| l).sum();
+        let total_occ: f64 = k
+            .body
+            .iter()
+            .map(|i| m.table.cost(i.op, i.width).occupancy())
+            .sum();
+        prop_assert!((total_rep - total_occ).abs() < 1e-6 * total_occ.max(1.0));
+    }
+
+    /// Doubling a loop body (unrolling) at most doubles the cycle estimate
+    /// and never makes cycles/element worse.
+    #[test]
+    fn unrolling_never_hurts_per_element(body in arb_body(12)) {
+        let m = machines::a64fx();
+        let k1 = KernelLoop::new(body.clone(), 8.0);
+        // rename registers in the second copy to keep iterations independent
+        let mut body2 = body.clone();
+        for (j, ins) in body.iter().enumerate() {
+            let mut c = ins.clone();
+            c.dst = c.dst.map(|d| d + 1000);
+            for s in &mut c.srcs {
+                if *s >= 100 {
+                    *s += 1000;
+                }
+            }
+            let _ = j;
+            body2.push(c);
+        }
+        let k2 = KernelLoop::new(body2, 16.0);
+        let e1 = k1.analyze(m.table);
+        let e2 = k2.analyze(m.table);
+        prop_assert!(
+            e2.cycles_per_element() <= e1.cycles_per_element() + 1e-9,
+            "unrolled {} vs base {}",
+            e2.cycles_per_element(),
+            e1.cycles_per_element()
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Vectorized cosine: the quadrant-shifted sibling of [`crate::sin`].
+//! `cos(x) = sin(x + π/2)` implemented by offsetting the quadrant integer
+//! rather than the argument (no precision loss from adding π/2 to x).
+
+use ookami_sve::{Pred, SveCtx, VVal};
+
+/// Vectorized `cos(x)` (same reduction radius as [`crate::sin::sin`]).
+pub fn cos(ctx: &mut SveCtx, pg: &Pred, x: &VVal) -> VVal {
+    // cos(x) = sin(π/2 + x): reuse sin's machinery through the identity
+    // cos(x) = sin_quadrant_shifted(x). We implement it directly with the
+    // same reduction but quadrant n+1.
+    crate::sin::sin_with_quadrant_offset(ctx, pg, x, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ulp::{measure, sample_range};
+
+    fn cos_slice(xs: &[f64]) -> Vec<f64> {
+        crate::map_f64(8, xs, |ctx, pg, x| cos(ctx, pg, x))
+    }
+
+    #[test]
+    fn accuracy_moderate_range() {
+        let xs = sample_range(-20.0, 20.0, 40_001);
+        let got = cos_slice(&xs);
+        let want: Vec<f64> = xs.iter().map(|&x| x.cos()).collect();
+        let acc = measure(&got, &want);
+        assert!(acc.max_ulp <= 16, "max {} ulp (mean {:.2})", acc.max_ulp, acc.mean_ulp);
+        assert!(acc.mean_ulp < 1.0, "mean {}", acc.mean_ulp);
+    }
+
+    #[test]
+    fn special_points() {
+        let pi = std::f64::consts::PI;
+        let got = cos_slice(&[0.0, pi, pi / 3.0]);
+        assert_eq!(got[0], 1.0);
+        assert!((got[1] + 1.0).abs() < 1e-15);
+        assert!((got[2] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn even_symmetry() {
+        let xs = sample_range(0.1, 10.0, 499);
+        let pos = cos_slice(&xs);
+        let neg: Vec<f64> = cos_slice(&xs.iter().map(|&x| -x).collect::<Vec<_>>());
+        assert_eq!(pos, neg);
+    }
+
+    #[test]
+    fn pythagorean_identity() {
+        let xs = sample_range(-15.0, 15.0, 2001);
+        let c = cos_slice(&xs);
+        let s = crate::map_f64(8, &xs, |ctx, pg, x| crate::sin::sin(ctx, pg, x));
+        for i in 0..xs.len() {
+            let r = s[i] * s[i] + c[i] * c[i];
+            assert!((r - 1.0).abs() < 1e-14, "x={}: {r}", xs[i]);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # ookami-vecmath — vector math-library implementations
+//!
+//! Section III of the paper finds that the toolchains' *math libraries* —
+//! not their loop vectorizers — dominate the performance differences on
+//! A64FX, and Section IV dissects the exponential function in detail. This
+//! crate implements the competing algorithms on the `ookami-sve` emulator,
+//! so each yields both numerical results (validated in ulps) and an
+//! instruction stream (costed by `ookami-uarch`):
+//!
+//! * [`exp`] — `FEXPA`-accelerated 5-term exp (Fujitsu style, Horner and
+//!   Estrin forms, with and without the corrected last FMA), the classic
+//!   13-term table-free exp (Cray style), and a Sleef-style variant with
+//!   special-case handling (ARM/AMD style);
+//! * [`sin`]/[`cos`] — quadrant reduction + dual polynomial with
+//!   predicated select;
+//! * [`log`] — fdlibm-style `log` used by `pow`;
+//! * [`pow`] — `exp(y·log x)` with a compensated product;
+//! * [`recip`] — Newton (`FRECPE`) versus the blocking `FDIV` instruction;
+//! * [`sqrt`] — Newton (`FRSQRTE`) versus the blocking 134-cycle `FSQRT`
+//!   (the paper's 20× anecdote);
+//! * [`ulp`] — accuracy measurement helpers.
+
+pub mod cos;
+pub mod exp;
+pub mod log;
+pub mod pow;
+pub mod recip;
+pub mod sin;
+pub mod sqrt;
+pub mod ulp;
+
+pub use exp::{exp_fexpa, exp_poly13, ExpVariant, PolyForm};
+pub use ulp::{max_ulp_error, ulp_diff};
+
+/// Apply a `(SveCtx, Pred, VVal) -> VVal` vector function elementwise over a
+/// slice, vector by vector (convenience for accuracy tests and examples).
+pub fn map_f64(
+    vl: usize,
+    xs: &[f64],
+    mut f: impl FnMut(
+        &mut ookami_sve::SveCtx,
+        &ookami_sve::Pred,
+        &ookami_sve::VVal,
+    ) -> ookami_sve::VVal,
+) -> Vec<f64> {
+    let mut ctx = ookami_sve::SveCtx::new(vl);
+    let mut out = Vec::with_capacity(xs.len());
+    let mut i = 0;
+    while i < xs.len() {
+        let pg = ctx.whilelt(i, xs.len());
+        let mut lanes = vec![0.0; vl];
+        for l in 0..vl.min(xs.len() - i) {
+            lanes[l] = xs[i + l];
+        }
+        let x = ctx.input_f64(&lanes);
+        let y = f(&mut ctx, &pg, &x);
+        for l in 0..vl.min(xs.len() - i) {
+            out.push(y.f64_lane(l));
+        }
+        i += vl;
+    }
+    out
+}

@@ -1,0 +1,311 @@
+//! Vectorized natural logarithm (fdlibm-style), the substrate for `pow`.
+//!
+//! Algorithm: decompose `x = 2^k · m` with `m ∈ [√2/2, √2)` via exponent
+//! bit manipulation, set `f = m - 1`, `s = f / (2 + f)`, and evaluate the
+//! classic minimax series `R(s²)`; then
+//! `log x = k·ln2_hi - ((hfsq - (s·(hfsq+R) + k·ln2_lo)) - f)`.
+//!
+//! The division `f/(2+f)` is computed two ways, mirroring the paper's
+//! toolchain split: a Newton iteration from `FRECPE` (Fujitsu/Cray style)
+//! or the blocking `FDIV` instruction (GNU/ARM-v20 style — the "bad
+//! choice" the paper calls out for reciprocal).
+
+use ookami_sve::{Pred, SveCtx, VVal};
+
+const LN2_HI: f64 = 6.93147180369123816490e-01;
+const LN2_LO: f64 = 1.90821492927058770002e-10;
+const SQRT2: f64 = std::f64::consts::SQRT_2;
+const LG1: f64 = 6.666666666666735130e-01;
+const LG2: f64 = 3.999999999940941908e-01;
+const LG3: f64 = 2.857142874366239149e-01;
+const LG4: f64 = 2.222219843214978396e-01;
+const LG5: f64 = 1.818357216161805012e-01;
+const LG6: f64 = 1.531383769920937332e-01;
+const LG7: f64 = 1.479819860511658591e-01;
+
+/// How to evaluate the interior division.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivStyle {
+    /// `FRECPE` + 3 Newton steps + residual correction (pipelined FMAs).
+    Newton,
+    /// The `FDIV` instruction (blocking, 98 cycles at 512 bits on A64FX).
+    Fdiv,
+}
+
+/// Full-precision reciprocal via Newton iteration (shared with `recip`).
+pub(crate) fn newton_recip(ctx: &mut SveCtx, pg: &Pred, d: &VVal) -> VVal {
+    let mut y = ctx.frecpe(d);
+    for _ in 0..3 {
+        let corr = ctx.frecps(pg, d, &y); // 2 - d·y
+        y = ctx.fmul(pg, &y, &corr);
+    }
+    // Final residual correction: y += y·(1 - d·y), accurate to ~0.5 ulp.
+    let one = ctx.dup_f64(1.0);
+    let e = ctx.fmls(pg, &one, d, &y);
+    let t = ctx.fmul(pg, &y, &e);
+    ctx.fadd(pg, &y, &t)
+}
+
+/// Vectorized `log(x)` for positive finite `x`.
+pub fn log(ctx: &mut SveCtx, pg: &Pred, x: &VVal, div: DivStyle) -> VVal {
+    // ---- decompose x = 2^k · m, m in [1, 2) ----
+    let exp_mask = ctx.dup_i64(0x7ff);
+    let mant_mask = ctx.dup_i64((1i64 << 52) - 1);
+    let one_bits = ctx.dup_i64(1023i64 << 52);
+    let bias = ctx.dup_i64(1023);
+
+    let xb = x.clone(); // raw bits view
+    let eraw = ctx.asr(pg, &xb, 52);
+    let e = ctx.and_u(pg, &eraw, &exp_mask);
+    let mut k = ctx.sub_i(pg, &e, &bias);
+    let mb = ctx.and_u(pg, &xb, &mant_mask);
+    let mut m = ctx.orr_u(pg, &mb, &one_bits); // m in [1, 2)
+
+    // ---- shift m into [sqrt2/2, sqrt2) ----
+    let sqrt2 = ctx.dup_f64(SQRT2);
+    let half = ctx.dup_f64(0.5);
+    let onei = ctx.dup_i64(1);
+    let p_hi = ctx.fcmge(pg, &m, &sqrt2);
+    m = ctx.fmul(&p_hi, &m, &half); // merging: only high lanes halved
+    k = ctx.add_i(&p_hi, &k, &onei);
+
+    // ---- f, s, series ----
+    let fone = ctx.dup_f64(1.0);
+    let two = ctx.dup_f64(2.0);
+    let f = ctx.fsub(pg, &m, &fone);
+    let fp2 = ctx.fadd(pg, &f, &two);
+    let s = match div {
+        DivStyle::Newton => {
+            let r = newton_recip(ctx, pg, &fp2);
+            ctx.fmul(pg, &f, &r)
+        }
+        DivStyle::Fdiv => ctx.fdiv(pg, &f, &fp2),
+    };
+
+    let z = ctx.fmul(pg, &s, &s);
+    let w = ctx.fmul(pg, &z, &z);
+    // t1 = w·(Lg2 + w·(Lg4 + w·Lg6))
+    let lg2 = ctx.dup_f64(LG2);
+    let lg4 = ctx.dup_f64(LG4);
+    let lg6 = ctx.dup_f64(LG6);
+    let t1 = ctx.fmla(pg, &lg4, &w, &lg6);
+    let t1 = ctx.fmla(pg, &lg2, &w, &t1);
+    let t1 = ctx.fmul(pg, &w, &t1);
+    // t2 = z·(Lg1 + w·(Lg3 + w·(Lg5 + w·Lg7)))
+    let lg1 = ctx.dup_f64(LG1);
+    let lg3 = ctx.dup_f64(LG3);
+    let lg5 = ctx.dup_f64(LG5);
+    let lg7 = ctx.dup_f64(LG7);
+    let t2 = ctx.fmla(pg, &lg5, &w, &lg7);
+    let t2 = ctx.fmla(pg, &lg3, &w, &t2);
+    let t2 = ctx.fmla(pg, &lg1, &w, &t2);
+    let t2 = ctx.fmul(pg, &z, &t2);
+    let r = ctx.fadd(pg, &t1, &t2);
+
+    // hfsq = f²/2
+    let hf = ctx.fmul(pg, &f, &half);
+    let hfsq = ctx.fmul(pg, &hf, &f);
+
+    // log = k·ln2_hi - ((hfsq - (s·(hfsq+R) + k·ln2_lo)) - f)
+    let kf = ctx.scvtf(pg, &k);
+    let ln2hi = ctx.dup_f64(LN2_HI);
+    let ln2lo = ctx.dup_f64(LN2_LO);
+    let a = ctx.fadd(pg, &hfsq, &r);
+    let b = ctx.fmul(pg, &s, &a);
+    let b = ctx.fmla(pg, &b, &kf, &ln2lo);
+    let c = ctx.fsub(pg, &hfsq, &b);
+    let c = ctx.fsub(pg, &c, &f);
+    // k·ln2_hi - c  ==  -(c - k·ln2_hi)
+    let d = ctx.fmls(pg, &c, &kf, &ln2hi);
+    ctx.fneg(pg, &d)
+}
+
+/// Table-assisted log with an anchor + residual (hi/lo) result — the
+/// structure production vector libraries use for `pow`'s inner log.
+///
+/// Decompose `x = 2^k·m` with `m ∈ [0.75, 1.5)` (the shift-by-half-octave
+/// trick that avoids the `k·ln2` cancellation near `x = 1⁻`). Anchor
+/// `a_j = 0.75 + j/128` from `j = ⌊(m−0.75)·128⌋`; the tables hold the
+/// *rounded* reciprocal `c_j = fl(1/a_j)` and, consistently, `−ln(c_j)` —
+/// so `r = m·c_j − 1` (one FMA) is the exact residual against the anchor
+/// the table actually encodes. `|r| ≤ 2^-6.5`, handled by a degree-8
+/// log1p polynomial. Anchor `j = 32` is exactly 1, so `log` near 1 from
+/// above is computed without any table rounding at all.
+///
+/// Returns `(hi, lo)`: `hi = k·ln2_hi − ln c_j` (anchor part),
+/// `lo = r + k·ln2_lo + (log1p(r) − r)` (small residual). The pair
+/// recombines to `log x` with ≤ ~2 ulp relative error away from 1 and
+/// ~1e-18 absolute error in the cancellation region near 1.
+pub fn log_table_hilo(ctx: &mut SveCtx, pg: &Pred, x: &VVal) -> (VVal, VVal) {
+    // Anchor tables (pure constants, hoisted in a real kernel; the emulator
+    // charges only the gathers that read them).
+    let mut t_c = vec![0.0f64; 97];
+    let mut t_ln = vec![0.0f64; 97];
+    for (j, (tc, tl)) in t_c.iter_mut().zip(t_ln.iter_mut()).enumerate() {
+        let a = 0.75 + j as f64 / 128.0;
+        let c = 1.0 / a;
+        *tc = c;
+        *tl = -c.ln();
+    }
+
+    let exp_mask = ctx.dup_i64(0x7ff);
+    let mant_mask = ctx.dup_i64((1i64 << 52) - 1);
+    let one_bits = ctx.dup_i64(1023i64 << 52);
+    let bias = ctx.dup_i64(1023);
+
+    let eraw = ctx.asr(pg, x, 52);
+    let e = ctx.and_u(pg, &eraw, &exp_mask);
+    let mut k = ctx.sub_i(pg, &e, &bias);
+    let mb = ctx.and_u(pg, x, &mant_mask);
+    let mut m = ctx.orr_u(pg, &mb, &one_bits); // m in [1, 2)
+
+    // Shift m >= 1.5 down an octave: m in [0.75, 1.5).
+    let thresh = ctx.dup_f64(1.5);
+    let half = ctx.dup_f64(0.5);
+    let onei = ctx.dup_i64(1);
+    let p_hi = ctx.fcmge(pg, &m, &thresh);
+    m = ctx.fmul(&p_hi, &m, &half);
+    k = ctx.add_i(&p_hi, &k, &onei);
+
+    // j = floor((m - 0.75)·128)
+    let c075 = ctx.dup_f64(0.75);
+    let c128 = ctx.dup_f64(128.0);
+    let d = ctx.fsub(pg, &m, &c075);
+    let jd = ctx.fmul(pg, &d, &c128);
+    let j = ctx.fcvtzs(pg, &jd);
+    let c = ctx.ld1d_gather(pg, &t_c, &j, j.vl() as u32);
+    let neg_ln_c = ctx.ld1d_gather(pg, &t_ln, &j, j.vl() as u32);
+
+    // r = m·c - 1 (FMA: exact residual against the rounded anchor c).
+    let neg_one = ctx.dup_f64(-1.0);
+    let r = ctx.fmla(pg, &neg_one, &m, &c);
+
+    // log1p(r) - r = r²·q(r), q = -1/2 + r/3 - r²/4 + … - r⁶/8, evaluated
+    // in Estrin form (short dependency chain — the same trade Section IV
+    // observes paying off for exp on A64FX).
+    let q = {
+        let c8 = ctx.dup_f64(-1.0 / 8.0);
+        let c7 = ctx.dup_f64(1.0 / 7.0);
+        let c6 = ctx.dup_f64(-1.0 / 6.0);
+        let c5 = ctx.dup_f64(1.0 / 5.0);
+        let c4 = ctx.dup_f64(-1.0 / 4.0);
+        let c3 = ctx.dup_f64(1.0 / 3.0);
+        let c2 = ctx.dup_f64(-1.0 / 2.0);
+        let r2 = ctx.fmul(pg, &r, &r);
+        let r4 = ctx.fmul(pg, &r2, &r2);
+        let a = ctx.fmla(pg, &c2, &c3, &r); // c2 + c3·r
+        let b = ctx.fmla(pg, &c4, &c5, &r); // c4 + c5·r
+        let c = ctx.fmla(pg, &c6, &c7, &r); // c6 + c7·r
+        let c = ctx.fmla(pg, &c, &c8, &r2); // + c8·r²  (c8·r² ≪ 1, fine)
+        let ab = ctx.fmla(pg, &a, &b, &r2); // a + b·r²
+        ctx.fmla(pg, &ab, &c, &r4) // + c·r⁴
+    };
+    let r2 = ctx.fmul(pg, &r, &r);
+    let poly = ctx.fmul(pg, &r2, &q);
+
+    // hi = k·ln2_hi + (−ln c) ; lo = k·ln2_lo + r + poly
+    let kf = ctx.scvtf(pg, &k);
+    let ln2hi = ctx.dup_f64(LN2_HI);
+    let ln2lo = ctx.dup_f64(LN2_LO);
+    let hi = ctx.fmla(pg, &neg_ln_c, &kf, &ln2hi);
+    let lo = ctx.fmla(pg, &r, &kf, &ln2lo);
+    let lo = ctx.fadd(pg, &lo, &poly);
+    (hi, lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ulp::{measure, sample_range};
+
+    fn log_slice(xs: &[f64], div: DivStyle) -> Vec<f64> {
+        crate::map_f64(8, xs, |ctx, pg, x| log(ctx, pg, x, div))
+    }
+
+    #[test]
+    fn accuracy_newton() {
+        let xs = sample_range(0.01, 100.0, 20_001);
+        let got = log_slice(&xs, DivStyle::Newton);
+        let want: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+        let acc = measure(&got, &want);
+        assert!(acc.max_ulp <= 4, "max {} ulp", acc.max_ulp);
+    }
+
+    #[test]
+    fn accuracy_fdiv() {
+        let xs = sample_range(0.25, 4.0, 20_001);
+        let got = log_slice(&xs, DivStyle::Fdiv);
+        let want: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+        let acc = measure(&got, &want);
+        assert!(acc.max_ulp <= 2, "max {} ulp", acc.max_ulp);
+    }
+
+    #[test]
+    fn exact_values() {
+        let got = log_slice(&[1.0, std::f64::consts::E, 4.0], DivStyle::Fdiv);
+        assert_eq!(got[0], 0.0);
+        assert!((got[1] - 1.0).abs() < 1e-15);
+        assert!((got[2] - 4.0f64.ln()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn table_hilo_accuracy() {
+        let xs = sample_range(0.01, 100.0, 20_001);
+        let got = crate::map_f64(8, &xs, |ctx, pg, x| {
+            let (hi, lo) = log_table_hilo(ctx, pg, x);
+            ctx.fadd(pg, &hi, &lo)
+        });
+        for (g, &x) in got.iter().zip(&xs) {
+            let want = x.ln();
+            // Few-ulp relative accuracy away from 1; near x = 1⁻ the
+            // cancellation region is accurate in *absolute* terms (which is
+            // what pow consumes — exp amplifies absolute error of y·log x).
+            let ok = crate::ulp::ulp_diff(*g, want) <= 4 || (g - want).abs() < 5e-17;
+            assert!(ok, "x={x}: got {g}, want {want}");
+        }
+    }
+
+    #[test]
+    fn table_hilo_near_one_absolute_accuracy() {
+        let mut xs = Vec::new();
+        for i in 1..200 {
+            let d = i as f64 * 1e-6;
+            xs.push(1.0 + d);
+            xs.push(1.0 - d);
+        }
+        let got = crate::map_f64(8, &xs, |ctx, pg, x| {
+            let (hi, lo) = log_table_hilo(ctx, pg, x);
+            ctx.fadd(pg, &hi, &lo)
+        });
+        for (g, &x) in got.iter().zip(&xs) {
+            assert!((g - x.ln()).abs() < 1e-17, "x={x}: {g} vs {}", x.ln());
+        }
+    }
+
+    #[test]
+    fn table_hilo_split_structure() {
+        // hi carries the anchor (k·ln2 + ln a); lo is the small residual
+        // (|r| ≤ 2^-8 plus its polynomial), and the pair recombines to the
+        // reference log.
+        let xs = [3.7, 0.2, 123.456, 1e10];
+        for &x in &xs {
+            let mut ctx = SveCtx::new(8);
+            let pg = ctx.ptrue();
+            let v = ctx.input_f64(&[x; 8]);
+            let (hi, lo) = log_table_hilo(&mut ctx, &pg, &v);
+            let h = hi.f64_lane(0);
+            let l = lo.f64_lane(0);
+            assert!(l.abs() < 0.02, "x={x}: lo {l} should be a small residual");
+            assert!(((h + l) / x.ln() - 1.0).abs() < 1e-15, "x={x}");
+        }
+    }
+
+    #[test]
+    fn huge_and_tiny_normals() {
+        let xs = [1e300, 1e-300, 2.0f64.powi(1000), 2.0f64.powi(-1000)];
+        let got = log_slice(&xs, DivStyle::Newton);
+        for (g, x) in got.iter().zip(&xs) {
+            assert!((g / x.ln() - 1.0).abs() < 1e-15, "x={x:e}: {g} vs {}", x.ln());
+        }
+    }
+}

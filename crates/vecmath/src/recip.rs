@@ -1,0 +1,76 @@
+//! Vectorized reciprocal: Newton iteration versus the `FDIV` instruction.
+//!
+//! The paper (§III): *"The previous ARM compiler version 20 also made a
+//! similar bad choice for reciprocal (as do the current GNU compilers)"* —
+//! i.e. emitting the blocking divide instead of `FRECPE` + Newton. Both
+//! choices are implemented here; the cycle gap falls out of the cost model.
+
+use crate::log::newton_recip;
+use ookami_sve::{Pred, SveCtx, VVal};
+
+/// Which reciprocal algorithm a toolchain selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecipStyle {
+    /// `FRECPE` estimate + 3 Newton steps + residual fix (Fujitsu/Cray/ARM-21).
+    Newton,
+    /// The `FDIV` instruction (GNU, ARM-20) — blocking on A64FX.
+    Fdiv,
+}
+
+/// `1/x` elementwise.
+pub fn recip(ctx: &mut SveCtx, pg: &Pred, x: &VVal, style: RecipStyle) -> VVal {
+    match style {
+        RecipStyle::Newton => newton_recip(ctx, pg, x),
+        RecipStyle::Fdiv => {
+            let one = ctx.dup_f64(1.0);
+            ctx.fdiv(pg, &one, x)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ulp::{measure, sample_range};
+
+    fn recip_slice(xs: &[f64], style: RecipStyle) -> Vec<f64> {
+        crate::map_f64(8, xs, |ctx, pg, x| recip(ctx, pg, x, style))
+    }
+
+    #[test]
+    fn newton_matches_division_to_one_ulp() {
+        let mut xs = sample_range(0.001, 1000.0, 10_001);
+        xs.extend(sample_range(-1000.0, -0.001, 10_001));
+        let got = recip_slice(&xs, RecipStyle::Newton);
+        let want: Vec<f64> = xs.iter().map(|&x| 1.0 / x).collect();
+        let acc = measure(&got, &want);
+        assert!(acc.max_ulp <= 1, "max {} ulp", acc.max_ulp);
+    }
+
+    #[test]
+    fn fdiv_is_exact() {
+        let xs = sample_range(0.5, 2.0, 1001);
+        let got = recip_slice(&xs, RecipStyle::Fdiv);
+        let want: Vec<f64> = xs.iter().map(|&x| 1.0 / x).collect();
+        assert_eq!(measure(&got, &want).max_ulp, 0);
+    }
+
+    #[test]
+    fn extreme_magnitudes() {
+        let xs = [1e-300, 1e300, 3.0, -7.0];
+        let got = recip_slice(&xs, RecipStyle::Newton);
+        for (g, x) in got.iter().zip(&xs) {
+            assert!((g * x - 1.0).abs() < 1e-15, "x={x:e}");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn newton_recip_property(x in 1e-100f64..1e100) {
+            let got = recip_slice(&[x], RecipStyle::Newton)[0];
+            let want = 1.0 / x;
+            prop_assert!(crate::ulp::ulp_diff(got, want) <= 1);
+        }
+    }
+    use proptest::prelude::prop_assert;
+}

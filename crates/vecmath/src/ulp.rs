@@ -1,0 +1,116 @@
+//! Accuracy measurement in units-in-the-last-place.
+//!
+//! Section IV: *"An error of between 1 and 4 ulps … is common in vectorized
+//! libraries, whereas the slow serial libraries typically guarantee correct
+//! rounding"*; the paper's own FEXPA exp achieves "about 6 ulp".
+
+/// Distance between two finite doubles in ulps (ordered-bits metric).
+pub fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    // Map bit patterns to a monotone integer line so subtraction counts
+    // representable values between the arguments, across zero.
+    fn ordered(x: f64) -> i64 {
+        let b = x.to_bits() as i64;
+        if b < 0 {
+            i64::MIN - b // negative range folds below zero, still monotone
+        } else {
+            b
+        }
+    }
+    ordered(a).wrapping_sub(ordered(b)).unsigned_abs()
+}
+
+/// Accuracy summary over a sample set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accuracy {
+    pub max_ulp: u64,
+    pub mean_ulp: f64,
+    pub samples: usize,
+}
+
+/// Maximum and mean ulp error of `got` against `want`.
+pub fn measure(got: &[f64], want: &[f64]) -> Accuracy {
+    assert_eq!(got.len(), want.len());
+    let mut max = 0u64;
+    let mut sum = 0.0f64;
+    for (&g, &w) in got.iter().zip(want) {
+        let d = ulp_diff(g, w);
+        max = max.max(d);
+        sum += d as f64;
+    }
+    Accuracy { max_ulp: max, mean_ulp: sum / got.len().max(1) as f64, samples: got.len() }
+}
+
+/// Convenience: max ulp error of a scalar function over sample points.
+pub fn max_ulp_error(
+    xs: &[f64],
+    f_impl: impl Fn(f64) -> f64,
+    f_ref: impl Fn(f64) -> f64,
+) -> u64 {
+    xs.iter().map(|&x| ulp_diff(f_impl(x), f_ref(x))).max().unwrap_or(0)
+}
+
+/// Deterministic sample points covering `[lo, hi]` densely plus endpoints.
+pub fn sample_range(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2 && hi > lo);
+    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_zero_ulp() {
+        assert_eq!(ulp_diff(1.0, 1.0), 0);
+        assert_eq!(ulp_diff(0.0, -0.0), 0); // 0 == -0
+    }
+
+    #[test]
+    fn adjacent_values_one_ulp() {
+        let x = 1.0f64;
+        let next = f64::from_bits(x.to_bits() + 1);
+        assert_eq!(ulp_diff(x, next), 1);
+        let y = -2.5f64;
+        let nexty = f64::from_bits(y.to_bits() + 1); // toward zero for negatives
+        assert_eq!(ulp_diff(y, nexty), 1);
+    }
+
+    #[test]
+    fn across_zero_counts_both_sides() {
+        let tiny = f64::from_bits(1); // smallest positive subnormal
+        assert_eq!(ulp_diff(tiny, -tiny), 2);
+    }
+
+    #[test]
+    fn nan_is_max() {
+        assert_eq!(ulp_diff(f64::NAN, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn measure_summary() {
+        let want = [1.0, 2.0, 3.0];
+        let got = [
+            1.0,
+            f64::from_bits(2.0f64.to_bits() + 2),
+            f64::from_bits(3.0f64.to_bits() - 1),
+        ];
+        let a = measure(&got, &want);
+        assert_eq!(a.max_ulp, 2);
+        assert!((a.mean_ulp - 1.0).abs() < 1e-12);
+        assert_eq!(a.samples, 3);
+    }
+
+    #[test]
+    fn sample_range_endpoints() {
+        let s = sample_range(-1.0, 1.0, 5);
+        assert_eq!(s.first(), Some(&-1.0));
+        assert_eq!(s.last(), Some(&1.0));
+        assert_eq!(s.len(), 5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Model explorer: inspect how the cycle analyzer sees a kernel on each
+//! machine — bounds, binding bottleneck, and per-port utilization.
+//!
+//! Run with: `cargo run --release --example model_explorer [kernel]`
+//! where `kernel` is one of `exp`, `sqrt-newton`, `sqrt-fsqrt`, `sin`,
+//! `mc` (default: all).
+
+use ookami::sve::record_kernel;
+use ookami::uarch::{machines, KernelLoop, Machine};
+use ookami::vecmath::exp::{exp_fexpa, PolyForm};
+use ookami::vecmath::sin::sin;
+use ookami::vecmath::sqrt::{sqrt, SqrtStyle};
+
+fn kernel(name: &str) -> Option<KernelLoop> {
+    let k = |f: Box<dyn Fn(&mut ookami::sve::SveCtx, &ookami::sve::Pred, &ookami::sve::VVal) -> ookami::sve::VVal>| {
+        record_kernel(8, 8.0, |ctx| {
+            let pg = ctx.ptrue();
+            let data = vec![1.5f64; 8];
+            let mut out = vec![0.0f64; 8];
+            let x = ctx.ld1d(&pg, &data, 0);
+            let y = f(ctx, &pg, &x);
+            ctx.st1d(&pg, &y, &mut out, 0);
+            let p = ctx.whilelt(0, 16);
+            ctx.ptest(&p);
+            ctx.loop_overhead(2);
+            vec![]
+        })
+        .kernel
+    };
+    match name {
+        "exp" => Some(k(Box::new(|c, p, x| exp_fexpa(c, p, x, PolyForm::Estrin, true)))),
+        "sqrt-newton" => Some(k(Box::new(|c, p, x| sqrt(c, p, x, SqrtStyle::Newton)))),
+        "sqrt-fsqrt" => Some(k(Box::new(|c, p, x| sqrt(c, p, x, SqrtStyle::Fsqrt)))),
+        "sin" => Some(k(Box::new(|c, p, x| sin(c, p, x)))),
+        "mc" => Some(ookami::mc::emulated::record_vectorized_kernel(8)),
+        _ => None,
+    }
+}
+
+fn explore(name: &str, k: &KernelLoop, m: &Machine) {
+    let e = k.analyze(m.table);
+    println!(
+        "  {:<16} {:>3} instrs | ports {:>6.2}  issue {:>5.2}  recur {:>6.2}  window {:>6.2} \
+         | {:>6.2} cyc/iter ({:>5.2} c/elem, bound: {})",
+        format!("{name} @ {}", m.name),
+        k.body.len(),
+        e.port_pressure,
+        e.issue,
+        e.recurrence,
+        e.window,
+        e.cycles_per_iter(),
+        e.cycles_per_element(),
+        e.binding_bound(),
+    );
+    let rep = k.port_report(m.table);
+    let line: Vec<String> =
+        rep.iter().filter(|(_, l)| *l > 0.01).map(|(n, l)| format!("{n}={l:.1}")).collect();
+    println!("  {:<16} port utilization: {}", "", line.join("  "));
+}
+
+fn main() {
+    let which = std::env::args().nth(1);
+    let names = ["exp", "sqrt-newton", "sqrt-fsqrt", "sin", "mc"];
+    println!("kernel bounds on the modeled machines (cycles/iteration):\n");
+    for n in names {
+        if let Some(w) = &which {
+            if w != n {
+                continue;
+            }
+        }
+        let k = kernel(n).expect("known kernel");
+        for m in [machines::a64fx(), machines::skylake_6140()] {
+            explore(n, &k, m);
+        }
+        println!();
+    }
+    println!("(try: cargo run -p ookami-bench --bin ablations for the mechanism studies)");
+}

@@ -1,0 +1,53 @@
+//! The paper's motivating example (Section III): a 3-line Metropolis
+//! sampler of exp(−x), naive-serial versus restructured.
+//!
+//! Run with: `cargo run --release --example monte_carlo`
+
+use ookami::mc::integrator::{analytic_mean, sample_parallel, sample_serial};
+use ookami::mc::model::{
+    restructured_speedup, serial_cycles_per_sample, vectorized_cycles_per_sample,
+};
+use ookami::toolchain::Compiler;
+use ookami::uarch::machines;
+use std::time::Instant;
+
+fn main() {
+    let n = 4_000_000u64;
+    println!("Monte Carlo integral of x·e^(-x) on [0, 23]; analytic mean = {:.9}\n", analytic_mean());
+
+    // Really run both versions and time them.
+    let t0 = Instant::now();
+    let serial = sample_serial(n, 42);
+    let t_serial = t0.elapsed();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let t0 = Instant::now();
+    let par = sample_parallel(n, 42, threads, 8);
+    let t_par = t0.elapsed();
+
+    println!("  serial:        mean {:.6}  acceptance {:.3}  {:?}", serial.mean, serial.acceptance_rate(), t_serial);
+    println!(
+        "  restructured:  mean {:.6}  acceptance {:.3}  {:?}  ({} threads × 8 lanes, {:.1}× speedup)\n",
+        par.mean,
+        par.acceptance_rate(),
+        t_par,
+        threads,
+        t_serial.as_secs_f64() / t_par.as_secs_f64()
+    );
+
+    // What the A64FX model says about the same transformation.
+    let m = machines::a64fx();
+    println!("A64FX model:");
+    println!("  naive serial loop:        {:.1} cycles/sample (latency-exposed chain)", serial_cycles_per_sample(m));
+    for c in [Compiler::Fujitsu, Compiler::Gnu] {
+        println!(
+            "  vectorized ({:<7}):     {:.2} cycles/sample  ->  node speedup ≈ {:.0}×",
+            c.label(),
+            vectorized_cycles_per_sample(m, c),
+            restructured_speedup(m, c, 48)
+        );
+    }
+    println!("\n(paper: the naive loop \"exposes nearly the full latency of most of the");
+    println!(" operations\"; a GPU shows >500× against it — a full A64FX node with");
+    println!(" vector exp and a vector RNG lands in the same order of magnitude,");
+    println!(" while GNU's scalar exp forfeits most of the gain.)");
+}

@@ -1,0 +1,28 @@
+//! # ookami — facade crate
+//!
+//! Re-exports the full reproduction of *"A64FX performance: experience on
+//! Ookami"* (CLUSTER 2021). See the individual crates for details:
+//!
+//! * [`uarch`] — machine models and the cycle analyzer
+//! * [`mem`] — cache / NUMA / bandwidth simulation
+//! * [`sve`] — the functional SVE emulator
+//! * [`toolchain`] — compiler models and codegen lowering
+//! * [`vecmath`] — vector math library implementations (Section IV)
+//! * [`loops`] — the Section III loop-vectorization suite
+//! * [`mc`] — the Monte Carlo motivating example
+//! * [`npb`] — NAS Parallel Benchmarks (Section V)
+//! * [`lulesh`] — the LULESH proxy app (Section VI)
+//! * [`hpcc`] — DGEMM / HPL / FFT (Section VII)
+//! * [`core`] — experiment orchestration and reporting
+
+pub use ookami_core as core;
+pub use ookami_hpcc as hpcc;
+pub use ookami_loops as loops;
+pub use ookami_lulesh as lulesh;
+pub use ookami_mc as mc;
+pub use ookami_mem as mem;
+pub use ookami_npb as npb;
+pub use ookami_sve as sve;
+pub use ookami_toolchain as toolchain;
+pub use ookami_uarch as uarch;
+pub use ookami_vecmath as vecmath;

@@ -1,0 +1,119 @@
+//! Integration tests exercising the seams between crates: emulator ↔
+//! analyzer ↔ machine models, native workloads ↔ characterization,
+//! harness ↔ everything.
+
+use ookami::sve::{record_kernel, SveCtx};
+use ookami::uarch::machines;
+use ookami::vecmath::exp::{exp_fexpa, PolyForm};
+
+/// The same emulator-executed kernel must give both correct numerics and a
+/// cycle estimate consistent with Section IV — one implementation, two
+/// outputs.
+#[test]
+fn emulator_numerics_and_cycles_from_one_kernel() {
+    // Numerics.
+    let mut ctx = SveCtx::new(8);
+    let pg = ctx.ptrue();
+    let xs = [0.5, -1.0, 2.0, -3.5, 10.0, -10.0, 0.0, 1.0];
+    let x = ctx.input_f64(&xs);
+    let y = exp_fexpa(&mut ctx, &pg, &x, PolyForm::Estrin, true);
+    for (l, &xv) in xs.iter().enumerate() {
+        assert!((y.f64_lane(l) / xv.exp() - 1.0).abs() < 1e-14, "lane {l}");
+    }
+    // Cycles, from a recording of the identical code.
+    let rec = record_kernel(8, 8.0, |ctx| {
+        let pg = ctx.ptrue();
+        let data = vec![0.5; 8];
+        let mut out = vec![0.0; 8];
+        let x = ctx.ld1d(&pg, &data, 0);
+        let y = exp_fexpa(ctx, &pg, &x, PolyForm::Estrin, true);
+        ctx.st1d(&pg, &y, &mut out, 0);
+        ctx.loop_overhead(2);
+        vec![]
+    });
+    let cpe = rec.kernel.analyze(machines::a64fx().table).cycles_per_element();
+    assert!(cpe > 1.2 && cpe < 3.0, "exp cycles/element {cpe}");
+}
+
+/// The gather-pairing analysis (mem crate) must agree with the loop-suite
+/// index vectors (loops crate) and produce the Fig. 1 short-gather effect
+/// through the lowering (toolchain crate).
+#[test]
+fn gather_pipeline_end_to_end() {
+    use ookami::loops::suite::LoopSuite;
+    use ookami::mem::gather::analyze_array;
+    let m = machines::a64fx();
+    let suite = LoopSuite::for_l1(m.mem.l1_bytes, 7);
+    let full = analyze_array(&suite.index_full, 8, m.mem.line_bytes, &m.gather, m.vector_width);
+    let short =
+        analyze_array(&suite.index_short, 8, m.mem.line_bytes, &m.gather, m.vector_width);
+    // Pairing halves the µops for the windowed permutation…
+    assert!(short.mean_groups < 0.6 * full.mean_groups);
+    // …and the lowered loops inherit the 2× speedup.
+    use ookami::toolchain::lower::{lower_loop, LoopKind};
+    use ookami::toolchain::Compiler;
+    let t_full = lower_loop(LoopKind::Gather, Compiler::Fujitsu, m, Some(&full))
+        .analyze(m.table)
+        .cycles_per_element();
+    let t_short = lower_loop(LoopKind::ShortGather, Compiler::Fujitsu, m, Some(&short))
+        .analyze(m.table)
+        .cycles_per_element();
+    let speedup = t_full / t_short;
+    assert!(speedup > 1.5 && speedup < 2.3, "short-gather speedup {speedup}");
+}
+
+/// The analytic CG profile (figures input) must track the real CG code:
+/// nonzeros from the faithful makea, and the SpMV gather target is the
+/// solution vector.
+#[test]
+fn cg_characterization_matches_implementation() {
+    use ookami::npb::{cg, profile, Benchmark, Class};
+    let (na, nonzer, niter, shift) = Class::S.cg_params();
+    let m = cg::makea(na, nonzer, shift);
+    let p = profile(Benchmark::Cg, Class::S);
+    let sweeps = (niter * 26) as f64;
+    let predicted_gathers = p.gather_elems;
+    let actual = m.nnz() as f64 * sweeps;
+    assert!(
+        (predicted_gathers / actual - 1.0).abs() < 0.2,
+        "gathers {predicted_gathers:.3e} vs {actual:.3e}"
+    );
+    assert!((p.gather_target_bytes - (na * 8) as f64).abs() < 1.0);
+}
+
+/// All native workloads really thread through the shared runtime and give
+/// thread-count-independent answers.
+#[test]
+fn native_workloads_thread_deterministically() {
+    use ookami::lulesh::{run_variant, Variant};
+    use ookami::npb::{bt::Bt, ep};
+    // EP
+    let a = ep::run_m(17, 1);
+    let b = ep::run_m(17, 8);
+    assert_eq!(a.q, b.q);
+    // BT
+    let mut b1 = Bt::with_grid(8);
+    let mut b8 = Bt::with_grid(8);
+    b1.run(2, 1);
+    b8.run(2, 8);
+    for (x, y) in b1.u.data.iter().zip(b8.u.data.iter()) {
+        assert!((x - y).abs() < 1e-13);
+    }
+    // LULESH variants agree regardless of layout.
+    let (_, c1, e1, _) = run_variant(Variant::Base, 6, 0.02, 100);
+    let (_, c2, e2, _) = run_variant(Variant::Vect, 6, 0.02, 100);
+    assert_eq!(c1, c2);
+    assert!((e1 - e2).abs() < 1e-9);
+}
+
+/// The full harness renders every figure with finite values — the
+/// EXPERIMENTS.md generation path.
+#[test]
+fn harness_renders_everything() {
+    for n in ookami_bench::ALL_FIGURES {
+        let out = ookami_bench::run_figures(n, false);
+        assert!(!out.is_empty() && !out.contains("NaN"), "{n}");
+    }
+    let tables = ookami_bench::run_tables("all");
+    assert!(tables.contains("SVE"));
+}

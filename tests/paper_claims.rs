@@ -1,0 +1,142 @@
+//! Integration tests: the paper's headline claims, checked end-to-end
+//! through the public `ookami` facade (models + emulator + native code
+//! working together).
+
+use ookami::core::MathFunc;
+use ookami::loops::{fig1, fig2};
+use ookami::toolchain::mathlib::math_cycles_per_element;
+use ookami::toolchain::Compiler;
+use ookami::uarch::machines;
+
+/// §II: "Theoretical peak double precision speed is computed as 1.8 GHz ×
+/// 2 FMA/cycle × 2 FLOPs/FMA × 8 64-bit words/vector = 57.6 GFLOP/s/core."
+#[test]
+fn peak_arithmetic() {
+    let m = machines::a64fx();
+    assert!((m.peak_gflops_per_core() - 57.6).abs() < 1e-9);
+    assert!((m.node_bandwidth_gbs() - 1024.0).abs() < 1.0); // "1 TB/s"
+}
+
+/// §III: "The Intel, Fujitsu, Cray and ARM compilers vectorized all loops,
+/// whereas the GNU compiler did not vectorize exp, sin, and pow."
+#[test]
+fn gnu_vectorization_holes() {
+    for f in [MathFunc::Exp, MathFunc::Sin, MathFunc::Pow] {
+        assert!(!Compiler::Gnu.vectorizes_math(f));
+        for c in [Compiler::Fujitsu, Compiler::Cray, Compiler::Arm, Compiler::Intel] {
+            assert!(c.vectorizes_math(f));
+        }
+    }
+}
+
+/// §III: "the Fujitsu toolchain delivers the highest performance for all
+/// loops, followed by Cray, and ARM/GNU."
+#[test]
+fn fujitsu_leads_every_loop() {
+    use ookami::toolchain::lower::LoopKind;
+    for kind in LoopKind::ALL {
+        let fuj = fig1::relative_runtime(kind, Compiler::Fujitsu);
+        for c in [Compiler::Cray, Compiler::Arm, Compiler::Gnu] {
+            assert!(
+                fig1::relative_runtime(kind, c) >= fuj - 1e-9,
+                "{kind:?}: {c:?} beat fujitsu"
+            );
+        }
+    }
+}
+
+/// §III: Fujitsu "hovers at the factor of 2 expected from the ratio of the
+/// clock speeds, except for the predicate operation that is 3-fold slower
+/// and the short gather that is only circa 1.5-fold slower."
+#[test]
+fn fig1_shape() {
+    use ookami::toolchain::lower::LoopKind;
+    let simple = fig1::relative_runtime(LoopKind::Simple, Compiler::Fujitsu);
+    let pred = fig1::relative_runtime(LoopKind::Predicate, Compiler::Fujitsu);
+    let short_g = fig1::relative_runtime(LoopKind::ShortGather, Compiler::Fujitsu);
+    assert!((1.5..2.7).contains(&simple), "simple {simple}");
+    assert!(pred > simple && pred > 2.2, "predicate {pred}");
+    assert!(short_g < simple, "short gather {short_g} vs simple {simple}");
+}
+
+/// §IV: the exp cycle ladder — GNU ~32, vectorized toolchains single
+/// digits on A64FX, Intel fastest on Skylake.
+#[test]
+fn exp_cycle_ladder() {
+    let a = machines::a64fx();
+    let s = machines::skylake_6140();
+    let gnu = math_cycles_per_element(MathFunc::Exp, Compiler::Gnu, a);
+    let fuj = math_cycles_per_element(MathFunc::Exp, Compiler::Fujitsu, a);
+    let intel = math_cycles_per_element(MathFunc::Exp, Compiler::Intel, s);
+    assert!((gnu - 32.0).abs() < 3.0, "gnu {gnu}");
+    assert!(fuj < 3.0, "fujitsu {fuj}");
+    assert!(intel < fuj, "intel {intel} vs fujitsu {fuj}");
+}
+
+/// Conclusion: with GNU "some kernels might run 30-times slower than if
+/// using the Fujitsu or Cray compilers."
+#[test]
+fn thirty_x_cliff() {
+    let worst = MathFunc::ALL
+        .iter()
+        .map(|&f| {
+            fig2::relative_runtime(f, Compiler::Gnu) / fig2::relative_runtime(f, Compiler::Fujitsu)
+        })
+        .fold(0.0, f64::max);
+    assert!(worst > 10.0, "worst gnu/fujitsu kernel ratio {worst}");
+}
+
+/// §V: EP and CG verification — the native ports match the official NPB
+/// reference outputs bit-for-bit (to the stated tolerance).
+#[test]
+fn npb_official_verification() {
+    use ookami::npb::{cg, ep, Class};
+    let r = ep::run(Class::S, 4);
+    let (sx, sy) = ep::reference_sums(Class::S).unwrap();
+    assert!(((r.sx - sx) / sx).abs() < 1e-8);
+    assert!(((r.sy - sy) / sy).abs() < 1e-8);
+    let c = cg::run(Class::S, 4);
+    assert!((c.zeta - cg::reference_zeta(Class::S).unwrap()).abs() < 1e-9);
+}
+
+/// §V-A2 + Fig. 4: the Fujitsu CMG-0 default placement and its first-touch
+/// fix, and A64FX winning the memory-bound applications at full node.
+#[test]
+fn numa_placement_story() {
+    use ookami::npb::figures::figure4;
+    let rows = figure4();
+    let get = |w: &str, t: &str| {
+        rows.iter().find(|r| r.workload == w && r.toolchain == t).unwrap().value
+    };
+    assert!(get("SP", "fujitsu") / get("SP", "fujitsu-first-touch") > 1.5);
+    for app in ["CG", "SP", "UA"] {
+        assert!(get(app, "gcc") < get(app, "intel"), "{app}: A64FX should win");
+    }
+    assert!(get("BT", "intel") < get("BT", "gcc"), "BT: Skylake should win");
+}
+
+/// §VII: Fujitsu BLAS ≈14× OpenBLAS on DGEMM, ≈10× on HPL, Fujitsu FFTW
+/// ≈4.2× stock FFTW.
+#[test]
+fn library_maturity_ratios() {
+    use ookami::hpcc::libs::*;
+    let m = machines::a64fx();
+    let dg = dgemm_gflops_per_core(BlasLib::FujitsuBlas, m)
+        / dgemm_gflops_per_core(BlasLib::OpenBlas, m);
+    assert!((dg - 14.0).abs() < 2.0, "dgemm ratio {dg}");
+    let hp = hpl_gflops_per_node(BlasLib::FujitsuBlas, m)
+        / hpl_gflops_per_node(BlasLib::OpenBlas, m);
+    assert!((hp - 10.0).abs() < 2.0, "hpl ratio {hp}");
+    let ff = fft_gflops_per_node(BlasLib::FujitsuBlas, m)
+        / fft_gflops_per_node(BlasLib::OpenBlas, m);
+    assert!((ff - 4.2).abs() < 0.4, "fft ratio {ff}");
+}
+
+/// Table III values, regenerated from the machine models.
+#[test]
+fn table3_regenerates() {
+    let t = ookami::uarch::peak::render_table3();
+    for needle in ["57.6", "44.8", "36.0", "2765", "2150", "3046", "4608"] {
+        assert!(t.contains(needle), "missing {needle} in:\n{t}");
+    }
+}
