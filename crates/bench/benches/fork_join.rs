@@ -1,0 +1,59 @@
+//! Fork/join overhead of the persistent pool vs spawn-per-region.
+//!
+//! Times an empty parallel region — the purest measurement of what one
+//! OpenMP-style barrier episode costs — for the persistent pool and for
+//! the seed's spawn-per-region strategy, at several team sizes. The gap
+//! between the two is the speedup the pool rework buys every timestep of
+//! every threaded workload; the pool numbers also feed
+//! `BarrierCost::from_samples` (see the `forkjoin` bin for the probe that
+//! prints fitted constants).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ookami_core::pool::Pool;
+use ookami_core::runtime::spawn_par_for;
+
+fn fork_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fork_join");
+    for team in [2usize, 4, 8] {
+        // One persistent pool per team size, workers oversubscribed if the
+        // host has fewer cores — exactly how an 8-thread OpenMP run on a
+        // smaller partition behaves.
+        let pool = Pool::new(team - 1);
+        pool.run(team, |_| {});
+        g.bench_function(&format!("pool/{team}t"), |b| {
+            b.iter(|| pool.run(team, |_| {}));
+        });
+        g.bench_function(&format!("spawn/{team}t"), |b| {
+            b.iter(|| spawn_par_for(team, team, |_, _, _| {}));
+        });
+    }
+    g.finish();
+}
+
+fn scheduled_loops(c: &mut Criterion) {
+    use ookami_core::Schedule;
+    let mut g = c.benchmark_group("schedules");
+    let pool = Pool::new(3);
+    let n = 1 << 16;
+    for (name, sched) in [
+        ("static", Schedule::Static),
+        ("dynamic64", Schedule::Dynamic { chunk: 64 }),
+        ("guided", Schedule::Guided),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                pool.par_for_with(4, n, sched, |_, s, e| {
+                    let mut acc = 0u64;
+                    for i in s..e {
+                        acc = acc.wrapping_add(i as u64);
+                    }
+                    criterion::black_box(acc);
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fork_join, scheduled_loops);
+criterion_main!(benches);

@@ -10,8 +10,12 @@ use std::hint::black_box;
 
 fn bench_hpcc(c: &mut Criterion) {
     let n = 192;
-    let a: Vec<f64> = (0..n * n).map(|i| ((i * 37) % 101) as f64 * 0.01 - 0.5).collect();
-    let b: Vec<f64> = (0..n * n).map(|i| ((i * 53) % 97) as f64 * 0.01 - 0.5).collect();
+    let a: Vec<f64> = (0..n * n)
+        .map(|i| ((i * 37) % 101) as f64 * 0.01 - 0.5)
+        .collect();
+    let b: Vec<f64> = (0..n * n)
+        .map(|i| ((i * 53) % 97) as f64 * 0.01 - 0.5)
+        .collect();
 
     let mut g = c.benchmark_group("fig8_dgemm");
     g.sample_size(10);
@@ -43,8 +47,9 @@ fn bench_hpcc(c: &mut Criterion) {
     g.sample_size(10);
     let hn = 160;
     let (ha, hb) = {
-        let mut m: Vec<f64> =
-            (0..hn * hn).map(|i| ((i * 29) % 89) as f64 * 0.01 - 0.4).collect();
+        let mut m: Vec<f64> = (0..hn * hn)
+            .map(|i| ((i * 29) % 89) as f64 * 0.01 - 0.4)
+            .collect();
         for i in 0..hn {
             m[i * hn + i] += 20.0;
         }
@@ -56,15 +61,20 @@ fn bench_hpcc(c: &mut Criterion) {
     });
 
     let fft = Fft::new(1 << 14);
-    let signal: Vec<(f64, f64)> =
-        (0..1 << 14).map(|i| ((i as f64 * 0.01).sin(), (i as f64 * 0.007).cos())).collect();
-    g.bench_function("fft_16k", |bch| bch.iter(|| fft.forward(black_box(&signal))));
+    let signal: Vec<(f64, f64)> = (0..1 << 14)
+        .map(|i| ((i as f64 * 0.01).sin(), (i as f64 * 0.007).cos()))
+        .collect();
+    g.bench_function("fft_16k", |bch| {
+        bch.iter(|| fft.forward(black_box(&signal)))
+    });
     g.finish();
 
     // STREAM triad: the bandwidth claim behind §II and the scaling model.
     let mut g = c.benchmark_group("stream");
     g.sample_size(10);
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let n = 1 << 22; // 32 MiB/array: out of every modeled cache
     g.throughput(Throughput::Bytes((n * 8 * 3) as u64));
     let mut st = ookami_hpcc::stream::Stream::new(n);

@@ -18,19 +18,39 @@ fn bench_loops(c: &mut Criterion) {
         b.iter_batched_ref(make, |s| black_box(s).run_simple(), BatchSize::SmallInput)
     });
     g.bench_function("predicate", |b| {
-        b.iter_batched_ref(make, |s| black_box(s).run_predicate(), BatchSize::SmallInput)
+        b.iter_batched_ref(
+            make,
+            |s| black_box(s).run_predicate(),
+            BatchSize::SmallInput,
+        )
     });
     g.bench_function("gather", |b| {
-        b.iter_batched_ref(make, |s| black_box(s).run_gather(false), BatchSize::SmallInput)
+        b.iter_batched_ref(
+            make,
+            |s| black_box(s).run_gather(false),
+            BatchSize::SmallInput,
+        )
     });
     g.bench_function("short_gather", |b| {
-        b.iter_batched_ref(make, |s| black_box(s).run_gather(true), BatchSize::SmallInput)
+        b.iter_batched_ref(
+            make,
+            |s| black_box(s).run_gather(true),
+            BatchSize::SmallInput,
+        )
     });
     g.bench_function("scatter", |b| {
-        b.iter_batched_ref(make, |s| black_box(s).run_scatter(false), BatchSize::SmallInput)
+        b.iter_batched_ref(
+            make,
+            |s| black_box(s).run_scatter(false),
+            BatchSize::SmallInput,
+        )
     });
     g.bench_function("short_scatter", |b| {
-        b.iter_batched_ref(make, |s| black_box(s).run_scatter(true), BatchSize::SmallInput)
+        b.iter_batched_ref(
+            make,
+            |s| black_box(s).run_scatter(true),
+            BatchSize::SmallInput,
+        )
     });
     g.finish();
 

@@ -7,7 +7,9 @@ use std::hint::black_box;
 
 fn bench_mc(c: &mut Criterion) {
     let n = 200_000u64;
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
 
     let mut g = c.benchmark_group("mc_exponential_integral");
     g.sample_size(10);

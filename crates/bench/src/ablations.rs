@@ -33,7 +33,12 @@ pub struct OverrideTable<'a> {
 
 impl<'a> OverrideTable<'a> {
     pub fn over(inner: &'a (dyn CostTable + Sync)) -> Self {
-        OverrideTable { inner, rob: None, fsqrt_v512: None, fp_latency: None }
+        OverrideTable {
+            inner,
+            rob: None,
+            fsqrt_v512: None,
+            fp_latency: None,
+        }
     }
 }
 
@@ -151,7 +156,10 @@ pub fn pairing_window_sweep(machine: &Machine) -> Vec<(Option<usize>, f64)> {
             g.pair_window_bytes = window;
             let f = analyze_array(&full, 8, machine.mem.line_bytes, &g, machine.vector_width);
             let s = analyze_array(&short, 8, machine.mem.line_bytes, &g, machine.vector_width);
-            (window, f.gather_cycles_per_vector(&g) / s.gather_cycles_per_vector(&g))
+            (
+                window,
+                f.gather_cycles_per_vector(&g) / s.gather_cycles_per_vector(&g),
+            )
         })
         .collect()
 }
@@ -159,16 +167,20 @@ pub fn pairing_window_sweep(machine: &Machine) -> Vec<(Option<usize>, f64)> {
 /// Ablation 4: effective bandwidth (GB/s) per placement policy and thread
 /// count — the raw curve behind the Fig. 4 SP anomaly.
 pub fn placement_sweep(machine: &Machine) -> Vec<(Placement, Vec<(usize, f64)>)> {
-    [Placement::FirstTouch, Placement::Domain0, Placement::Interleave]
-        .iter()
-        .map(|&p| {
-            let pts = [1usize, 6, 12, 24, 36, 48]
-                .iter()
-                .map(|&t| (t, effective_bandwidth_gbs(&machine.numa, p, t)))
-                .collect();
-            (p, pts)
-        })
-        .collect()
+    [
+        Placement::FirstTouch,
+        Placement::Domain0,
+        Placement::Interleave,
+    ]
+    .iter()
+    .map(|&p| {
+        let pts = [1usize, 6, 12, 24, 36, 48]
+            .iter()
+            .map(|&t| (t, effective_bandwidth_gbs(&machine.numa, p, t)))
+            .collect();
+        (p, pts)
+    })
+    .collect()
 }
 
 /// Ablation 5: Estrin-vs-Horner gap (cycles/element delta) vs FMA latency.
@@ -213,7 +225,11 @@ pub fn render_all(machine: &Machine) -> String {
         &["rob", "cycles/elem", "binding bound"],
     );
     for (rob, cpe, bound) in rob_sweep(machine) {
-        let label = if rob >= 1e8 { "inf".to_string() } else { format!("{rob:.0}") };
+        let label = if rob >= 1e8 {
+            "inf".to_string()
+        } else {
+            format!("{rob:.0}")
+        };
         t.row(&[label, format!("{cpe:.2}"), bound.to_string()]);
     }
     out.push_str(&t.render());
@@ -224,8 +240,14 @@ pub fn render_all(machine: &Machine) -> String {
         "Ablation 2 — GNU sqrt loop with A64FX's blocking FSQRT vs a pipelined one",
         &["fsqrt unit", "cycles/elem"],
     );
-    t.row(&["blocking 134c (real A64FX)".into(), format!("{blocking:.2}")]);
-    t.row(&["pipelined 31c/19c (SKX-like)".into(), format!("{pipelined:.2}")]);
+    t.row(&[
+        "blocking 134c (real A64FX)".into(),
+        format!("{blocking:.2}"),
+    ]);
+    t.row(&[
+        "pipelined 31c/19c (SKX-like)".into(),
+        format!("{pipelined:.2}"),
+    ]);
     out.push_str(&t.render());
     out.push('\n');
 
@@ -301,7 +323,10 @@ mod tests {
         let sweep = pairing_window_sweep(machines::a64fx());
         let none = sweep[0].1;
         let w128 = sweep.iter().find(|(w, _)| *w == Some(128)).unwrap().1;
-        assert!((none - 1.0).abs() < 0.05, "no window => no speedup, got {none}");
+        assert!(
+            (none - 1.0).abs() < 0.05,
+            "no window => no speedup, got {none}"
+        );
         assert!(w128 > 1.7, "128-B window speedup {w128}");
         // Wider windows pair at least as often.
         let w256 = sweep.iter().find(|(w, _)| *w == Some(256)).unwrap().1;

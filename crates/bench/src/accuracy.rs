@@ -4,6 +4,7 @@
 //! algorithm, measured on the emulator against libm references.
 
 use ookami_core::measure::Table;
+use ookami_sve::SveCtx;
 use ookami_vecmath::exp::{exp_slice, ExpVariant};
 use ookami_vecmath::log::{log, DivStyle};
 use ookami_vecmath::pow::{pow, PowStyle};
@@ -11,7 +12,6 @@ use ookami_vecmath::recip::{recip, RecipStyle};
 use ookami_vecmath::sqrt::{sqrt, SqrtStyle};
 use ookami_vecmath::ulp::{measure, sample_range, Accuracy};
 use ookami_vecmath::{map_f64, sin::sin as vsin};
-use ookami_sve::SveCtx;
 
 /// One row of the accuracy table.
 #[derive(Debug, Clone)]
@@ -35,8 +35,16 @@ pub fn accuracy_study() -> Vec<AccuracyRow> {
     let xs = sample_range(-700.0, 700.0, 40_001);
     let want: Vec<f64> = xs.iter().map(|&x| x.exp()).collect();
     for (imp, tc, v) in [
-        ("FEXPA 5-term Estrin+fix", "fujitsu", ExpVariant::FexpaEstrinCorrected),
-        ("FEXPA 5-term Horner", "(§IV prototype)", ExpVariant::FexpaHorner),
+        (
+            "FEXPA 5-term Estrin+fix",
+            "fujitsu",
+            ExpVariant::FexpaEstrinCorrected,
+        ),
+        (
+            "FEXPA 5-term Horner",
+            "(§IV prototype)",
+            ExpVariant::FexpaHorner,
+        ),
         ("13-term table-free", "cray/intel", ExpVariant::Poly13),
         ("13-term + Sleef guard", "arm", ExpVariant::Poly13Sleef),
     ] {
@@ -52,7 +60,7 @@ pub fn accuracy_study() -> Vec<AccuracyRow> {
     // ---- sin ----
     let xs = sample_range(-100.0, 100.0, 40_001);
     let want: Vec<f64> = xs.iter().map(|&x| x.sin()).collect();
-    let got = map_f64(8, &xs, |ctx, pg, x| vsin(ctx, pg, x));
+    let got = map_f64(8, &xs, vsin);
     rows.push(AccuracyRow {
         function: "sin",
         implementation: "3-part reduction + Estrin",
@@ -65,7 +73,11 @@ pub fn accuracy_study() -> Vec<AccuracyRow> {
     let xs = sample_range(1e-3, 1e3, 40_001);
     let want: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
     for (imp, tc, style) in [
-        ("fdlibm series, Newton div", "fujitsu/cray", DivStyle::Newton),
+        (
+            "fdlibm series, Newton div",
+            "fujitsu/cray",
+            DivStyle::Newton,
+        ),
         ("fdlibm series, FDIV", "gnu/arm", DivStyle::Fdiv),
     ] {
         let got = map_f64(8, &xs, |ctx, pg, x| log(ctx, pg, x, style));
@@ -82,7 +94,11 @@ pub fn accuracy_study() -> Vec<AccuracyRow> {
     let xs = sample_range(1e-3, 1e3, 40_001);
     let want: Vec<f64> = xs.iter().map(|&x| 1.0 / x).collect();
     for (imp, tc, style) in [
-        ("FRECPE + 3 Newton + fix", "fujitsu/cray/arm", RecipStyle::Newton),
+        (
+            "FRECPE + 3 Newton + fix",
+            "fujitsu/cray/arm",
+            RecipStyle::Newton,
+        ),
         ("FDIV instruction", "gnu", RecipStyle::Fdiv),
     ] {
         let got = map_f64(8, &xs, |ctx, pg, x| recip(ctx, pg, x, style));
@@ -96,7 +112,11 @@ pub fn accuracy_study() -> Vec<AccuracyRow> {
     }
     let want: Vec<f64> = xs.iter().map(|&x| x.sqrt()).collect();
     for (imp, tc, style) in [
-        ("FRSQRTE + 3 Newton + Heron", "fujitsu/cray", SqrtStyle::Newton),
+        (
+            "FRSQRTE + 3 Newton + Heron",
+            "fujitsu/cray",
+            SqrtStyle::Newton,
+        ),
         ("FSQRT instruction", "gnu/arm", SqrtStyle::Fsqrt),
     ] {
         let got = map_f64(8, &xs, |ctx, pg, x| sqrt(ctx, pg, x, style));
@@ -117,7 +137,11 @@ pub fn accuracy_study() -> Vec<AccuracyRow> {
         }
     }
     for (imp, tc, style) in [
-        ("table log + FEXPA exp", "fujitsu/intel", PowStyle::FexpaFast),
+        (
+            "table log + FEXPA exp",
+            "fujitsu/intel",
+            PowStyle::FexpaFast,
+        ),
         ("FDIV log + FEXPA exp", "cray", PowStyle::FdivLog),
         ("Sleef double-double", "arm", PowStyle::SleefDd),
     ] {
@@ -157,7 +181,14 @@ pub fn render() -> String {
     let mut t = Table::new(
         "Accuracy study — max/mean ulp vs libm (the paper's deferred evaluation; \
          \"1 and 4 ulps is common in vectorized libraries\")",
-        &["function", "implementation", "toolchains", "domain", "max ulp", "mean ulp"],
+        &[
+            "function",
+            "implementation",
+            "toolchains",
+            "domain",
+            "max ulp",
+            "mean ulp",
+        ],
     );
     for r in accuracy_study() {
         t.row(&[
@@ -181,10 +212,20 @@ mod tests {
         let rows = accuracy_study();
         assert!(rows.len() >= 12);
         for r in &rows {
-            assert!(r.acc.samples > 1000, "{}: too few samples", r.implementation);
+            assert!(
+                r.acc.samples > 1000,
+                "{}: too few samples",
+                r.implementation
+            );
             // every implementation within a few dozen ulp; the instruction-
             // based ones (FDIV/FSQRT) exactly rounded
-            assert!(r.acc.max_ulp <= 64, "{} {}: {} ulp", r.function, r.implementation, r.acc.max_ulp);
+            assert!(
+                r.acc.max_ulp <= 64,
+                "{} {}: {} ulp",
+                r.function,
+                r.implementation,
+                r.acc.max_ulp
+            );
         }
         let fdiv = rows
             .iter()
@@ -215,7 +256,10 @@ mod tests {
             .iter()
             .find(|r| r.function == "exp" && r.implementation.contains("Horner"))
             .unwrap();
-        assert!(fexpa.acc.max_ulp >= 1, "the fast prototype is not correctly rounded");
+        assert!(
+            fexpa.acc.max_ulp >= 1,
+            "the fast prototype is not correctly rounded"
+        );
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! Print the ablation studies (mechanism on/off experiments).
 
 fn main() {
-    print!("{}", ookami_bench::ablations::render_all(ookami_uarch::machines::a64fx()));
+    print!(
+        "{}",
+        ookami_bench::ablations::render_all(ookami_uarch::machines::a64fx())
+    );
 }

@@ -2,9 +2,12 @@
 //!
 //! Shared substrate for the workload crates and the benchmark harness:
 //!
-//! * [`runtime`] — an OpenMP-like chunked parallel-for on crossbeam scoped
-//!   threads (the repo's stand-in for the OpenMP runtimes the paper
-//!   compares; also how the native Rust workloads actually thread);
+//! * [`pool`] — a persistent fork/join worker pool (workers parked between
+//!   regions, sense-reversing barrier, OpenMP-style `Static`/`Dynamic`/
+//!   `Guided` schedules) — the repo's stand-in for the OpenMP runtimes the
+//!   paper compares;
+//! * [`runtime`] — the OpenMP-like `par_for`/`par_reduce`/`par_chunks_mut`
+//!   helpers the workload crates call, backed by the global [`pool::Pool`];
 //! * [`profile`] — [`WorkloadProfile`]: the characterization record each
 //!   workload produces (FLOPs, memory traffic, math-function calls,
 //!   vectorizability, parallel structure) and the machine/toolchain model
@@ -14,11 +17,16 @@
 //! * [`stats`] — mean/stddev/median helpers (the paper's error bars).
 
 pub mod measure;
+pub mod pool;
 pub mod profile;
 pub mod runtime;
 pub mod stats;
 
 pub use measure::{Measurement, Table};
+pub use pool::{Pool, Schedule};
 pub use profile::{MathFunc, WorkloadProfile};
-pub use runtime::{par_chunks_mut, par_for, par_reduce};
+pub use runtime::{
+    auto_threads, par_chunks_mut, par_chunks_mut_with, par_for, par_for_with, par_reduce,
+    par_reduce_with,
+};
 pub use stats::Stats;

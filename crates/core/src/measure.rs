@@ -140,7 +140,10 @@ impl Table {
             line
         };
         out.push_str(&fmt_row(&self.header, &widths));
-        out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1))));
+        out.push_str(&format!(
+            "{}\n",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1))
+        ));
         for r in &self.rows {
             out.push_str(&fmt_row(r, &widths));
         }
@@ -181,8 +184,12 @@ mod tests {
         assert!(s.contains("simple"));
         assert!(s.contains("1.50"));
         // all data lines have equal length (fixed-width)
-        let lens: Vec<usize> =
-            s.lines().skip(1).map(|l| l.trim_end().len()).filter(|&l| l > 0).collect();
+        let lens: Vec<usize> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.trim_end().len())
+            .filter(|&l| l > 0)
+            .collect();
         assert!(lens.windows(2).all(|w| w[0] == w[1]), "{s}");
     }
 

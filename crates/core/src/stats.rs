@@ -13,7 +13,9 @@ impl Stats {
     }
 
     pub fn from_slice(xs: &[f64]) -> Self {
-        Stats { samples: xs.to_vec() }
+        Stats {
+            samples: xs.to_vec(),
+        }
     }
 
     pub fn push(&mut self, x: f64) {
@@ -51,7 +53,10 @@ impl Stats {
     }
 
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     pub fn median(&self) -> f64 {

@@ -137,7 +137,10 @@ pub fn dgemm_parallel(
 ) {
     assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
     let cbase = c.as_mut_ptr() as usize;
-    ookami_core::runtime::par_for(threads, m, |_, s, e| {
+    // Guided: row-panel cost is uniform, but the shrinking chunks absorb
+    // whatever imbalance the machine adds (a worker descheduled mid-panel)
+    // at far fewer steals than `Dynamic` with a small fixed chunk.
+    ookami_core::runtime::par_for_with(threads, m, ookami_core::Schedule::Guided, |_, s, e| {
         let rows = e - s;
         let cslice =
             unsafe { std::slice::from_raw_parts_mut((cbase as *mut f64).add(s * n), rows * n) };
@@ -167,7 +170,13 @@ mod tests {
     #[test]
     fn blocked_and_micro_match_naive() {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
-        for (m, n, k) in [(17, 23, 31), (64, 64, 64), (50, 1, 50), (1, 7, 1), (33, 65, 5)] {
+        for (m, n, k) in [
+            (17, 23, 31),
+            (64, 64, 64),
+            (50, 1, 50),
+            (1, 7, 1),
+            (33, 65, 5),
+        ] {
             let a = random_mat(&mut rng, m, k);
             let b = random_mat(&mut rng, k, n);
             let c0 = random_mat(&mut rng, m, n);

@@ -47,7 +47,11 @@ impl Fft {
             }
             n_cur = m;
         }
-        Fft { n, twiddles, stage_off }
+        Fft {
+            n,
+            twiddles,
+            stage_off,
+        }
     }
 
     /// Forward transform (out-of-place ping-pong, Stockham autosort).
@@ -111,14 +115,22 @@ impl Fft {
     pub fn forward_batch(&self, signals: &[Vec<C64>], threads: usize) -> Vec<Vec<C64>> {
         let mut out: Vec<Vec<C64>> = vec![Vec::new(); signals.len()];
         let obase = out.as_mut_ptr() as usize;
-        ookami_core::runtime::par_for(threads, signals.len(), |_, s, e| {
-            let slot = unsafe {
-                std::slice::from_raw_parts_mut((obase as *mut Vec<C64>).add(s), e - s)
-            };
-            for (i, o) in (s..e).zip(slot.iter_mut()) {
-                *o = self.forward(&signals[i]);
-            }
-        });
+        // One signal at a time off the shared queue: transforms are
+        // substantial units of work, so steal overhead is negligible and
+        // short batches still spread over the whole team.
+        ookami_core::runtime::par_for_with(
+            threads,
+            signals.len(),
+            ookami_core::Schedule::Dynamic { chunk: 1 },
+            |_, s, e| {
+                let slot = unsafe {
+                    std::slice::from_raw_parts_mut((obase as *mut Vec<C64>).add(s), e - s)
+                };
+                for (i, o) in (s..e).zip(slot.iter_mut()) {
+                    *o = self.forward(&signals[i]);
+                }
+            },
+        );
         out
     }
 }
@@ -146,7 +158,9 @@ mod tests {
 
     fn random_signal(n: usize, seed: u64) -> Vec<C64> {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-        (0..n).map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+        (0..n)
+            .map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
     }
 
     #[test]
@@ -156,7 +170,10 @@ mod tests {
             let got = Fft::new(n).forward(&x);
             let want = naive_dft(&x, false);
             for (g, w) in got.iter().zip(&want) {
-                assert!((g.0 - w.0).abs() < 1e-9 && (g.1 - w.1).abs() < 1e-9, "n={n}");
+                assert!(
+                    (g.0 - w.0).abs() < 1e-9 && (g.1 - w.1).abs() < 1e-9,
+                    "n={n}"
+                );
             }
         }
     }

@@ -2,8 +2,7 @@
 
 use crate::interconnect::{fft_gflops_multi, hpl_gflops_multi, MpiStack};
 use crate::libs::{
-    dgemm_gflops_per_core, dgemm_percent_of_peak, fft_gflops_per_node, hpl_gflops_per_node,
-    BlasLib,
+    dgemm_gflops_per_core, dgemm_percent_of_peak, fft_gflops_per_node, hpl_gflops_per_node, BlasLib,
 };
 use ookami_core::measure::{Measurement, Table};
 use ookami_core::stats::Stats;
@@ -158,9 +157,7 @@ pub fn figure9() -> Vec<Measurement> {
 pub fn render_figure9() -> String {
     let rows = figure9();
     let mut out = String::new();
-    for (panel, unit_fmt) in
-        [("fig9A", 0usize), ("fig9B", 0), ("fig9C", 1), ("fig9D", 1)]
-    {
+    for (panel, unit_fmt) in [("fig9A", 0usize), ("fig9B", 0), ("fig9C", 1), ("fig9D", 1)] {
         let mut t = Table::new(
             match panel {
                 "fig9A" => "Fig. 9A — HPL single node (GFLOP/s)",
@@ -194,12 +191,23 @@ mod tests {
         assert_eq!(rows.len(), 7);
         for r in &rows {
             assert!(r.value > 0.0);
-            assert!(r.stddev > 0.0 && r.stddev < 0.05 * r.value, "{}: {}", r.toolchain, r.stddev);
+            assert!(
+                r.stddev > 0.0 && r.stddev < 0.05 * r.value,
+                "{}: {}",
+                r.toolchain,
+                r.stddev
+            );
         }
         // Fujitsu BLAS bar highest among A64FX libraries.
-        let a64: Vec<&Measurement> =
-            rows.iter().filter(|r| r.machine == "Ookami A64FX").collect();
-        let fj = a64.iter().find(|r| r.toolchain == "Fujitsu BLAS").unwrap().value;
+        let a64: Vec<&Measurement> = rows
+            .iter()
+            .filter(|r| r.machine == "Ookami A64FX")
+            .collect();
+        let fj = a64
+            .iter()
+            .find(|r| r.toolchain == "Fujitsu BLAS")
+            .unwrap()
+            .value;
         assert!(a64.iter().all(|r| r.value <= fj + 1e-9));
     }
 
@@ -207,7 +215,10 @@ mod tests {
     fn fig9_panels_present() {
         let rows = figure9();
         for panel in ["fig9A", "fig9B", "fig9C", "fig9D"] {
-            assert!(rows.iter().any(|r| r.experiment == panel), "{panel} missing");
+            assert!(
+                rows.iter().any(|r| r.experiment == panel),
+                "{panel} missing"
+            );
         }
         let txt = render_figure9();
         assert!(txt.contains("Fig. 9B") && txt.contains("ARMPL"));

@@ -110,13 +110,13 @@ pub fn lu_factor_solve(a_in: &[f64], b_in: &[f64], n: usize, nb: usize) -> HplRe
     // forward: L y = Pb (unit diagonal)
     for i in 0..n {
         for j in 0..i {
-            x[i] = x[i] - a[i * n + j] * x[j];
+            x[i] -= a[i * n + j] * x[j];
         }
     }
     // backward: U x = y
     for i in (0..n).rev() {
         for j in i + 1..n {
-            x[i] = x[i] - a[i * n + j] * x[j];
+            x[i] -= a[i * n + j] * x[j];
         }
         x[i] /= a[i * n + i];
     }
@@ -139,7 +139,11 @@ pub fn lu_factor_solve(a_in: &[f64], b_in: &[f64], n: usize, nb: usize) -> HplRe
     }
     let eps = f64::EPSILON;
     let scaled = rmax / (eps * (anorm * xnorm + bnorm) * n as f64);
-    HplResult { x, scaled_residual: scaled, flops: hpl_flops(n) }
+    HplResult {
+        x,
+        scaled_residual: scaled,
+        flops: hpl_flops(n),
+    }
 }
 
 /// The HPL operation count: `2n³/3 + 3n²/2`.
@@ -180,7 +184,11 @@ mod tests {
         for n in [33, 100, 200] {
             let (a, b) = random_system(n, n as u64);
             let r = lu_factor_solve(&a, &b, n, 32);
-            assert!(r.scaled_residual < 16.0, "n={n}: residual {}", r.scaled_residual);
+            assert!(
+                r.scaled_residual < 16.0,
+                "n={n}: residual {}",
+                r.scaled_residual
+            );
         }
     }
 

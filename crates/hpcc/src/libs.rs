@@ -33,8 +33,12 @@ pub enum BlasLib {
 }
 
 impl BlasLib {
-    pub const A64FX_LIBS: [BlasLib; 4] =
-        [BlasLib::FujitsuBlas, BlasLib::ArmPl, BlasLib::CrayLibSci, BlasLib::OpenBlas];
+    pub const A64FX_LIBS: [BlasLib; 4] = [
+        BlasLib::FujitsuBlas,
+        BlasLib::ArmPl,
+        BlasLib::CrayLibSci,
+        BlasLib::OpenBlas,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
@@ -102,8 +106,7 @@ impl BlasLib {
 
 /// Per-core DGEMM GFLOP/s (the Fig. 8 y-axis).
 pub fn dgemm_gflops_per_core(lib: BlasLib, m: &Machine) -> f64 {
-    let width_ratio =
-        lib.width_used(m).lanes_f64() as f64 / m.vector_width.lanes_f64() as f64;
+    let width_ratio = lib.width_used(m).lanes_f64() as f64 / m.vector_width.lanes_f64() as f64;
     m.peak_gflops_per_core() * width_ratio * lib.tuning(m)
 }
 
@@ -173,7 +176,10 @@ mod tests {
         let fj = hpl_gflops_per_node(BlasLib::FujitsuBlas, m);
         let ob = hpl_gflops_per_node(BlasLib::OpenBlas, m);
         let ratio = fj / ob;
-        assert!(ratio > 8.0 && ratio < 12.0, "HPL ratio {ratio} (DGEMM is ~14)");
+        assert!(
+            ratio > 8.0 && ratio < 12.0,
+            "HPL ratio {ratio} (DGEMM is ~14)"
+        );
         // HPL < DGEMM rate (Amdahl panel tax).
         let gemm_node = dgemm_gflops_per_core(BlasLib::FujitsuBlas, m) * 48.0;
         assert!(fj < gemm_node);
@@ -203,6 +209,9 @@ mod tests {
         assert_eq!(BlasLib::OpenBlas.width_used(m), Width::V128);
         assert_eq!(BlasLib::FujitsuBlas.width_used(m), Width::V512);
         // On x86, OpenBLAS uses the full width.
-        assert_eq!(BlasLib::OpenBlas.width_used(machines::skylake_8160()), Width::V512);
+        assert_eq!(
+            BlasLib::OpenBlas.width_used(machines::skylake_8160()),
+            Width::V512
+        );
     }
 }

@@ -26,12 +26,11 @@ impl Stream {
         }
     }
 
-    fn split_write<'a>(dst: &'a mut [f64], threads: usize, f: impl Fn(usize, &mut [f64]) + Sync) {
+    fn split_write(dst: &mut [f64], threads: usize, f: impl Fn(usize, &mut [f64]) + Sync) {
         let base = dst.as_mut_ptr() as usize;
         let n = dst.len();
         par_for(threads, n, |_, s, e| {
-            let chunk =
-                unsafe { std::slice::from_raw_parts_mut((base as *mut f64).add(s), e - s) };
+            let chunk = unsafe { std::slice::from_raw_parts_mut((base as *mut f64).add(s), e - s) };
             f(s, chunk);
         });
     }

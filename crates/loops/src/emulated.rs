@@ -53,8 +53,11 @@ pub fn run_predicate_sve(suite: &mut LoopSuite, vl: usize) {
 pub fn run_gather_sve(suite: &mut LoopSuite, vl: usize, short: bool, machine: &Machine) {
     let mut ctx = SveCtx::new(vl);
     let n = suite.n;
-    let idx_src: Vec<usize> =
-        if short { suite.index_short.clone() } else { suite.index_full.clone() };
+    let idx_src: Vec<usize> = if short {
+        suite.index_short.clone()
+    } else {
+        suite.index_full.clone()
+    };
     let mut i = 0;
     while i < n {
         let pg = ctx.whilelt(i, n);
@@ -80,8 +83,11 @@ pub fn run_gather_sve(suite: &mut LoopSuite, vl: usize, short: bool, machine: &M
 pub fn run_scatter_sve(suite: &mut LoopSuite, vl: usize, short: bool) {
     let mut ctx = SveCtx::new(vl);
     let n = suite.n;
-    let idx_src: Vec<usize> =
-        if short { suite.index_short.clone() } else { suite.index_full.clone() };
+    let idx_src: Vec<usize> = if short {
+        suite.index_short.clone()
+    } else {
+        suite.index_full.clone()
+    };
     let mut i = 0;
     while i < n {
         let pg = ctx.whilelt(i, n);

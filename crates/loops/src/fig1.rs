@@ -23,8 +23,20 @@ pub fn seconds_per_element(
 /// vectors (full and short permutations).
 pub fn patterns_for(m: &Machine, seed: u64) -> (MeanPattern, MeanPattern) {
     let suite = LoopSuite::for_l1(m.mem.l1_bytes, seed);
-    let full = analyze_array(&suite.index_full, 8, m.mem.line_bytes, &m.gather, m.vector_width);
-    let short = analyze_array(&suite.index_short, 8, m.mem.line_bytes, &m.gather, m.vector_width);
+    let full = analyze_array(
+        &suite.index_full,
+        8,
+        m.mem.line_bytes,
+        &m.gather,
+        m.vector_width,
+    );
+    let short = analyze_array(
+        &suite.index_short,
+        8,
+        m.mem.line_bytes,
+        &m.gather,
+        m.vector_width,
+    );
     (full, short)
 }
 
@@ -79,7 +91,11 @@ pub fn render_figure1() -> String {
     );
     for kind in LoopKind::ALL {
         let cells: Vec<String> = std::iter::once(kind.label().to_string())
-            .chain(Compiler::A64FX.iter().map(|&c| format!("{:.2}", relative_runtime(kind, c))))
+            .chain(
+                Compiler::A64FX
+                    .iter()
+                    .map(|&c| format!("{:.2}", relative_runtime(kind, c))),
+            )
             .collect();
         t.row(&cells);
     }

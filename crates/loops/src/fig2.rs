@@ -52,7 +52,11 @@ pub fn render_figure2() -> String {
     );
     for f in FIG2_FUNCS {
         let cells: Vec<String> = std::iter::once(f.label().to_string())
-            .chain(Compiler::A64FX.iter().map(|&c| format!("{:.2}", relative_runtime(f, c))))
+            .chain(
+                Compiler::A64FX
+                    .iter()
+                    .map(|&c| format!("{:.2}", relative_runtime(f, c))),
+            )
             .collect();
         t.row(&cells);
     }

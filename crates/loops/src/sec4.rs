@@ -27,8 +27,11 @@ pub enum LoopStructure {
 }
 
 impl LoopStructure {
-    pub const ALL: [LoopStructure; 3] =
-        [LoopStructure::Vla, LoopStructure::Fixed, LoopStructure::Unrolled2];
+    pub const ALL: [LoopStructure; 3] = [
+        LoopStructure::Vla,
+        LoopStructure::Fixed,
+        LoopStructure::Unrolled2,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
@@ -44,7 +47,11 @@ impl LoopStructure {
 pub fn our_exp_cycles(structure: LoopStructure, form: PolyForm, corrected: bool) -> f64 {
     let m = machines::a64fx();
     let vl = 8;
-    let bodies = if matches!(structure, LoopStructure::Unrolled2) { 2 } else { 1 };
+    let bodies = if matches!(structure, LoopStructure::Unrolled2) {
+        2
+    } else {
+        1
+    };
     let rec = record_kernel(vl, (vl * bodies) as f64, |ctx| {
         let pg = ctx.ptrue();
         let data = vec![0.5f64; vl];
@@ -99,7 +106,10 @@ pub fn render_sec4() -> String {
         &["implementation", "cycles/elem"],
     );
     for m in toolchain_ladder() {
-        t.row(&[format!("{} ({})", m.toolchain, m.machine), format!("{:.2}", m.value)]);
+        t.row(&[
+            format!("{} ({})", m.toolchain, m.machine),
+            format!("{:.2}", m.value),
+        ]);
     }
     let mut s = t.render();
     s.push('\n');
@@ -129,9 +139,21 @@ mod tests {
         let get = |label: &str| rows.iter().find(|r| r.toolchain == label).unwrap().value;
         assert!((get("gcc") - 32.0).abs() < 3.0, "gcc {}", get("gcc"));
         assert!(get("arm") > 4.0 && get("arm") < 9.0, "arm {}", get("arm"));
-        assert!(get("cray") > 2.5 && get("cray") < 6.0, "cray {}", get("cray"));
-        assert!(get("fujitsu") > 1.4 && get("fujitsu") < 3.0, "fujitsu {}", get("fujitsu"));
-        assert!(get("intel") > 0.9 && get("intel") < 2.3, "intel {}", get("intel"));
+        assert!(
+            get("cray") > 2.5 && get("cray") < 6.0,
+            "cray {}",
+            get("cray")
+        );
+        assert!(
+            get("fujitsu") > 1.4 && get("fujitsu") < 3.0,
+            "fujitsu {}",
+            get("fujitsu")
+        );
+        assert!(
+            get("intel") > 0.9 && get("intel") < 2.3,
+            "intel {}",
+            get("intel")
+        );
     }
 
     #[test]
@@ -149,7 +171,10 @@ mod tests {
         // Paper: unrolling once decreased 2.0 to 1.9 cycles/element.
         let fixed = our_exp_cycles(LoopStructure::Fixed, PolyForm::Estrin, false);
         let unrolled = our_exp_cycles(LoopStructure::Unrolled2, PolyForm::Estrin, false);
-        assert!(unrolled <= fixed + 0.05, "unrolled {unrolled} vs fixed {fixed}");
+        assert!(
+            unrolled <= fixed + 0.05,
+            "unrolled {unrolled} vs fixed {fixed}"
+        );
     }
 
     #[test]
@@ -167,7 +192,10 @@ mod tests {
         // Paper estimate: +0.25 cycles/element for the corrected last FMA.
         let plain = our_exp_cycles(LoopStructure::Fixed, PolyForm::Estrin, false);
         let corr = our_exp_cycles(LoopStructure::Fixed, PolyForm::Estrin, true);
-        assert!((corr - plain).abs() < 0.5, "plain {plain}, corrected {corr}");
+        assert!(
+            (corr - plain).abs() < 0.5,
+            "plain {plain}, corrected {corr}"
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub struct LoopSuite {
 impl LoopSuite {
     /// Build a suite with `n` elements (default sizing: see [`LoopSuite::for_l1`]).
     pub fn new(n: usize, seed: u64) -> Self {
-        assert!(n >= WINDOW_DOUBLES && n % WINDOW_DOUBLES == 0);
+        assert!(n >= WINDOW_DOUBLES && n.is_multiple_of(WINDOW_DOUBLES));
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 1.5).collect();
         let y = vec![0.0; n];
@@ -36,7 +36,13 @@ impl LoopSuite {
         for w in index_short.chunks_mut(WINDOW_DOUBLES) {
             w.shuffle(&mut rng);
         }
-        LoopSuite { n, x, y, index_full, index_short }
+        LoopSuite {
+            n,
+            x,
+            y,
+            index_full,
+            index_short,
+        }
     }
 
     /// Size the three working vectors (x, y, index) to collectively fill an
@@ -66,7 +72,11 @@ impl LoopSuite {
 
     /// `y[i] = x[index[i]]`
     pub fn run_gather(&mut self, short: bool) {
-        let idx = if short { &self.index_short } else { &self.index_full };
+        let idx = if short {
+            &self.index_short
+        } else {
+            &self.index_full
+        };
         for i in 0..self.n {
             self.y[i] = self.x[idx[i]];
         }
@@ -74,7 +84,11 @@ impl LoopSuite {
 
     /// `y[index[i]] = x[i]`
     pub fn run_scatter(&mut self, short: bool) {
-        let idx = if short { &self.index_short } else { &self.index_full };
+        let idx = if short {
+            &self.index_short
+        } else {
+            &self.index_full
+        };
         for i in 0..self.n {
             self.y[idx[i]] = self.x[i];
         }

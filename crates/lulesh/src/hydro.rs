@@ -317,54 +317,53 @@ impl Hydro {
         let nelem = self.e.len();
         let nnode = self.x.len();
 
-        // ---- forces: per-thread accumulators over element ranges ----
+        // ---- forces: privatized accumulators over element ranges ----
+        // Elements share corner nodes, so each logical thread scatters
+        // into its own nodal-force vector; the static-schedule reduction
+        // combines partials in thread order, keeping results bitwise
+        // identical to the serial step.
         let nthreads = threads.min(nelem.max(1));
-        let chunk = nelem.div_ceil(nthreads);
         let mut grads_all = vec![[[0.0f64; 3]; 8]; nelem];
-        let partials: Vec<Vec<[f64; 3]>> = {
+        let forces: Vec<[f64; 3]> = {
             let this = &*self;
             let gbase = grads_all.as_mut_ptr() as usize;
-            crossbeam::thread::scope(|sc| {
-                let mut handles = Vec::new();
-                for t in 0..nthreads {
-                    let start = t * chunk;
-                    let end = ((t + 1) * chunk).min(nelem);
-                    handles.push(sc.spawn(move |_| {
-                        let mut acc = vec![[0.0f64; 3]; nnode];
-                        let grads_out = unsafe {
-                            std::slice::from_raw_parts_mut(
-                                (gbase as *mut [[f64; 3]; 8]).add(start),
-                                end.saturating_sub(start),
-                            )
-                        };
-                        for (gi, el) in (start..end).enumerate() {
-                            let nodes = this.elem_nodes(el);
-                            let corners: [[f64; 3]; 8] =
-                                std::array::from_fn(|c| this.x[nodes[c]]);
-                            let grads = this.volume_gradients(&corners);
-                            let s = this.p[el] + this.q[el];
-                            for c in 0..8 {
-                                for m in 0..3 {
-                                    acc[nodes[c]][m] += s * grads[c][m];
-                                }
+            ookami_core::par_reduce_with(
+                nthreads,
+                nelem,
+                ookami_core::Schedule::Static,
+                vec![[0.0f64; 3]; nnode],
+                |start, end, mut acc| {
+                    let grads_out = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            (gbase as *mut [[f64; 3]; 8]).add(start),
+                            end.saturating_sub(start),
+                        )
+                    };
+                    for (gi, el) in (start..end).enumerate() {
+                        let nodes = this.elem_nodes(el);
+                        let corners: [[f64; 3]; 8] = std::array::from_fn(|c| this.x[nodes[c]]);
+                        let grads = this.volume_gradients(&corners);
+                        let s = this.p[el] + this.q[el];
+                        for c in 0..8 {
+                            for m in 0..3 {
+                                acc[nodes[c]][m] += s * grads[c][m];
                             }
-                            grads_out[gi] = grads;
                         }
-                        acc
-                    }));
-                }
-                handles.into_iter().map(|h| h.join().expect("lulesh worker")).collect()
-            })
-            .expect("lulesh force scope")
+                        grads_out[gi] = grads;
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    for (fv, pv) in a.iter_mut().zip(&b) {
+                        for m in 0..3 {
+                            fv[m] += pv[m];
+                        }
+                    }
+                    a
+                },
+            )
         };
-        self.f.iter_mut().for_each(|f| *f = [0.0; 3]);
-        for part in &partials {
-            for (fv, pv) in self.f.iter_mut().zip(part) {
-                for m in 0..3 {
-                    fv[m] += pv[m];
-                }
-            }
-        }
+        self.f = forces;
 
         // ---- kinematics: disjoint node ranges ----
         let nn = self.n + 1;
@@ -435,18 +434,14 @@ impl Hydro {
                 ((i + di) * nn + (j + dj)) * nn + (k + dk)
             };
             par_for(threads, nelem, |_, s0, e0| {
-                let ee = unsafe {
-                    std::slice::from_raw_parts_mut((eb as *mut f64).add(s0), e0 - s0)
-                };
-                let qq = unsafe {
-                    std::slice::from_raw_parts_mut((qb as *mut f64).add(s0), e0 - s0)
-                };
-                let vv = unsafe {
-                    std::slice::from_raw_parts_mut((volb as *mut f64).add(s0), e0 - s0)
-                };
+                let ee =
+                    unsafe { std::slice::from_raw_parts_mut((eb as *mut f64).add(s0), e0 - s0) };
+                let qq =
+                    unsafe { std::slice::from_raw_parts_mut((qb as *mut f64).add(s0), e0 - s0) };
+                let vv =
+                    unsafe { std::slice::from_raw_parts_mut((volb as *mut f64).add(s0), e0 - s0) };
                 for (li, el) in (s0..e0).enumerate() {
-                    let corners: [[f64; 3]; 8] =
-                        std::array::from_fn(|c| x_arr[node_of(el, c)]);
+                    let corners: [[f64; 3]; 8] = std::array::from_fn(|c| x_arr[node_of(el, c)]);
                     let newvol = hex_volume(&corners);
                     let dvol = newvol - vv[li];
                     let mut dvol_lin = 0.0;
@@ -653,10 +648,7 @@ mod tests {
     fn shock_front(profile: &[f64]) -> usize {
         // outermost element with pressure above 1% of max
         let pmax = profile.iter().cloned().fold(0.0, f64::max);
-        profile
-            .iter()
-            .rposition(|&p| p > 0.01 * pmax)
-            .unwrap_or(0)
+        profile.iter().rposition(|&p| p > 0.01 * pmax).unwrap_or(0)
     }
 
     #[test]
@@ -700,13 +692,12 @@ mod tests {
         let s = Hydro::sedov(8, 1.0);
         let dt = s.compute_dt();
         let h = 1.0f64 / 8.0;
-        let c_max = s
-            .p
-            .iter()
-            .zip(&s.vol)
-            .zip(&s.emass)
-            .map(|((p, v), m)| (GAMMA * p / (m / v)).sqrt())
-            .fold(0.0, f64::max);
+        let c_max =
+            s.p.iter()
+                .zip(&s.vol)
+                .zip(&s.emass)
+                .map(|((p, v), m)| (GAMMA * p / (m / v)).sqrt())
+                .fold(0.0, f64::max);
         assert!(dt <= CFL * h / c_max * 1.5 + 1e-12, "dt {dt}");
     }
 }

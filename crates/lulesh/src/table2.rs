@@ -105,10 +105,15 @@ mod tests {
 
     #[test]
     fn base_st_is_uniform_on_a64fx_and_5x_on_intel() {
-        let a64: Vec<f64> = [Compiler::Arm, Compiler::Cray, Compiler::Fujitsu, Compiler::Gnu]
-            .iter()
-            .map(|&c| time_s(c, Variant::Base, false))
-            .collect();
+        let a64: Vec<f64> = [
+            Compiler::Arm,
+            Compiler::Cray,
+            Compiler::Fujitsu,
+            Compiler::Gnu,
+        ]
+        .iter()
+        .map(|&c| time_s(c, Variant::Base, false))
+        .collect();
         let spread = a64.iter().cloned().fold(0.0, f64::max)
             / a64.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread < 1.05, "A64FX Base(st) spread {spread}: {a64:?}");
@@ -133,7 +138,12 @@ mod tests {
     #[test]
     fn vect_st_magnitudes() {
         // Paper: A64FX Vect(st) 1.31–1.58; Intel 0.260.
-        for c in [Compiler::Arm, Compiler::Cray, Compiler::Fujitsu, Compiler::Gnu] {
+        for c in [
+            Compiler::Arm,
+            Compiler::Cray,
+            Compiler::Fujitsu,
+            Compiler::Gnu,
+        ] {
             let v = time_s(c, Variant::Vect, false);
             assert!(v > 1.0 && v < 1.9, "{c:?} Vect(st) {v}");
         }
@@ -148,11 +158,14 @@ mod tests {
         let a = time_s(Compiler::Gnu, Variant::Base, true);
         let i = time_s(Compiler::Intel, Variant::Base, true);
         assert!(a > 0.03 && a < 0.12, "A64FX Base(mt) {a}");
-        let st_ratio =
-            time_s(Compiler::Gnu, Variant::Base, false) / time_s(Compiler::Intel, Variant::Base, false);
+        let st_ratio = time_s(Compiler::Gnu, Variant::Base, false)
+            / time_s(Compiler::Intel, Variant::Base, false);
         let mt_ratio = a / i;
         assert!(mt_ratio < st_ratio, "mt {mt_ratio} vs st {st_ratio}");
-        assert!(mt_ratio > 1.0 && mt_ratio < 4.0, "Base(mt) ratio {mt_ratio}");
+        assert!(
+            mt_ratio > 1.0 && mt_ratio < 4.0,
+            "Base(mt) ratio {mt_ratio}"
+        );
     }
 
     #[test]

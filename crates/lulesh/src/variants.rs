@@ -47,7 +47,12 @@ impl Variant {
 
 /// Run the Sedov problem with the chosen variant; returns the final state
 /// as a (time, cycles, total_energy, origin_pressure) tuple.
-pub fn run_variant(variant: Variant, n: usize, t_end: f64, max_cycles: usize) -> (f64, usize, f64, f64) {
+pub fn run_variant(
+    variant: Variant,
+    n: usize,
+    t_end: f64,
+    max_cycles: usize,
+) -> (f64, usize, f64, f64) {
     match variant {
         Variant::Vect => {
             let mut h = Hydro::sedov(n, 1.0);
@@ -68,7 +73,12 @@ fn run_base(n: usize, t_end: f64, max_cycles: usize) -> (f64, usize, f64, f64) {
         .x
         .iter()
         .zip(&proto.nodal_mass)
-        .map(|(&x, &m)| Node { x, v: [0.0; 3], f: [0.0; 3], mass: m })
+        .map(|(&x, &m)| Node {
+            x,
+            v: [0.0; 3],
+            f: [0.0; 3],
+            mass: m,
+        })
         .collect();
     let mut elems: Vec<Elem> = (0..proto.e.len())
         .map(|el| Elem {

@@ -74,7 +74,10 @@ pub fn sample_emulated(vl: usize, iters: usize, seed: u64) -> (f64, f64) {
         x = ctx.sel(&p_acc, &xnew, &x);
         sum += ctx.faddv(&pg, &x);
     }
-    (sum / (iters * vl) as f64, accepted as f64 / (iters * vl) as f64)
+    (
+        sum / (iters * vl) as f64,
+        accepted as f64 / (iters * vl) as f64,
+    )
 }
 
 /// Record one iteration of the vectorized loop body for cycle analysis.
@@ -159,7 +162,10 @@ mod tests {
         // recurrence is amortized over 8 independent lane-chains, which is
         // the restructuring's whole effect: ~8 c/sample instead of ~67.
         assert!(est.recurrence > 0.0);
-        assert!(est.cycles_per_element() < est.recurrence, "lanes amortize the chain");
+        assert!(
+            est.cycles_per_element() < est.recurrence,
+            "lanes amortize the chain"
+        );
     }
 
     #[test]

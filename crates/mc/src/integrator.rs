@@ -44,7 +44,11 @@ pub fn sample_serial(n: u64, seed: u64) -> McResult {
         }
         sum += x;
     }
-    McResult { mean: sum / n as f64, samples: n, accepted }
+    McResult {
+        mean: sum / n as f64,
+        samples: n,
+        accepted,
+    }
 }
 
 /// The restructured sampler: `threads × lanes` independent chains, each
@@ -62,14 +66,11 @@ pub fn sample_parallel(n: u64, seed: u64, threads: usize, lanes: usize) -> McRes
         |start, end, (mut sum, mut acc)| {
             for chain in start..end {
                 // Each chain hashes its own counter space.
-                let base = seed
-                    .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(chain as u64 + 1));
+                let base = seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(chain as u64 + 1));
                 let mut x = XMAX * uniform_f64(base);
-                let mut c = 0u64;
-                for _ in 0..per_chain {
+                for c in 0..per_chain {
                     let u1 = uniform_f64(base.wrapping_add(2 * c + 1));
                     let u2 = uniform_f64(base.wrapping_add(2 * c + 2));
-                    c += 1;
                     let xnew = XMAX * u1;
                     if (-xnew).exp() > (-x).exp() * u2 {
                         x = xnew;
@@ -83,7 +84,11 @@ pub fn sample_parallel(n: u64, seed: u64, threads: usize, lanes: usize) -> McRes
         |(s1, a1), (s2, a2)| (s1 + s2, a1 + a2),
     );
     let total = per_chain * chains;
-    McResult { mean: sum / total.max(1) as f64, samples: total, accepted }
+    McResult {
+        mean: sum / total.max(1) as f64,
+        samples: total,
+        accepted,
+    }
 }
 
 #[cfg(test)]

@@ -9,9 +9,9 @@
 //! against the naive serial loop; a full A64FX node lands in the same
 //! order of magnitude).
 
+use ookami_core::MathFunc;
 use ookami_toolchain::mathlib::math_cycles_per_element;
 use ookami_toolchain::Compiler;
-use ookami_core::MathFunc;
 use ookami_uarch::{KernelLoop, Machine, OpClass, StreamBuilder, Width};
 
 /// The serial Metropolis body as an instruction stream: every value feeds
@@ -64,7 +64,7 @@ pub fn vectorized_cycles_per_sample(m: &Machine, c: Compiler) -> f64 {
     let exp2 = 2.0 * math_cycles_per_element(MathFunc::Exp, c, m);
     // Vector RNG: ~6 lane-ops (2 hash rounds) + convert, on the FP/int pipes.
     let rng = 7.0 / 2.0 / lanes * 2.0; // 2 draws/sample, 2 pipes
-    // compare + select + accumulate + proposal scale ≈ 4 vector ops.
+                                       // compare + select + accumulate + proposal scale ≈ 4 vector ops.
     let body = 4.0 / 2.0 / lanes;
     exp2 + rng + body
 }
@@ -91,7 +91,11 @@ mod tests {
         // blocking scalar libm calls (ports ≈ 64 cycles on FLA). Either
         // way, tens of cycles per sample with the vector units idle.
         assert!(est.recurrence > 40.0, "recurrence {}", est.recurrence);
-        assert!(est.cycles_per_element() > 40.0, "{}", est.cycles_per_element());
+        assert!(
+            est.cycles_per_element() > 40.0,
+            "{}",
+            est.cycles_per_element()
+        );
         assert!(matches!(est.binding_bound(), "recurrence" | "ports"));
     }
 

@@ -24,7 +24,9 @@ pub struct Stream {
 
 impl Stream {
     pub fn new(seed: u64) -> Self {
-        Stream { counter: seed.wrapping_mul(0x2545F4914F6CDD1D) }
+        Stream {
+            counter: seed.wrapping_mul(0x2545F4914F6CDD1D),
+        }
     }
 
     pub fn next_f64(&mut self) -> f64 {

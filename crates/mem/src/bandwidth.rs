@@ -30,20 +30,34 @@ impl Traffic {
 
     /// Combine phases.
     pub fn plus(&self, other: Traffic) -> Traffic {
-        Traffic { flops: self.flops + other.flops, bytes: self.bytes + other.bytes }
+        Traffic {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+        }
     }
 
     /// Scale by a constant (e.g. iterations).
     pub fn scaled(&self, k: f64) -> Traffic {
-        Traffic { flops: self.flops * k, bytes: self.bytes * k }
+        Traffic {
+            flops: self.flops * k,
+            bytes: self.bytes * k,
+        }
     }
 }
 
 /// Roofline execution time: the slower of the compute bound (at
 /// `gflops` sustained) and the memory bound (at `bw_gbs` sustained).
 pub fn roofline_time_s(t: Traffic, gflops: f64, bw_gbs: f64) -> f64 {
-    let compute = if gflops > 0.0 { t.flops / (gflops * 1e9) } else { f64::INFINITY };
-    let memory = if bw_gbs > 0.0 { t.bytes / (bw_gbs * 1e9) } else { 0.0 };
+    let compute = if gflops > 0.0 {
+        t.flops / (gflops * 1e9)
+    } else {
+        f64::INFINITY
+    };
+    let memory = if bw_gbs > 0.0 {
+        t.bytes / (bw_gbs * 1e9)
+    } else {
+        0.0
+    };
     compute.max(memory)
 }
 
@@ -76,7 +90,7 @@ mod tests {
     #[test]
     fn ridge_separates_regimes() {
         let r = ridge_point(57.6, 256.0 * 0.2); // one A64FX core
-        // CG-like intensity (~0.15 F/B) is below the ridge: memory-bound.
+                                                // CG-like intensity (~0.15 F/B) is below the ridge: memory-bound.
         assert!(0.15 < r);
         // A64FX node ridge: 2765/1024 ≈ 2.7 F/B.
         let node = ridge_point(2764.8, 1024.0);

@@ -131,7 +131,9 @@ impl CacheSim {
             spec,
             l1: Level::new(spec.l1_bytes, spec.l1_assoc, spec.line_bytes),
             l2: Level::new(spec.l2_bytes, spec.l2_assoc, spec.line_bytes),
-            l3: spec.l3.map(|(bytes, _lat, _)| Level::new(bytes, 16, spec.line_bytes)),
+            l3: spec
+                .l3
+                .map(|(bytes, _lat, _)| Level::new(bytes, 16, spec.line_bytes)),
             stats: AccessStats::default(),
         }
     }
@@ -277,8 +279,11 @@ mod tests {
         let mut c = CacheSim::new(spec);
         let sets = 8u64;
         // 5 lines in set 0; repeated round-robin touches always miss L1.
-        let conflict: Vec<(u64, usize)> =
-            (0..5).map(|w| (w * sets * 64, 8usize)).cycle().take(50).collect();
+        let conflict: Vec<(u64, usize)> = (0..5)
+            .map(|w| (w * sets * 64, 8usize))
+            .cycle()
+            .take(50)
+            .collect();
         let st = c.replay(conflict);
         assert_eq!(st.l1_hits, 0, "{st:?}");
         // ... but hit in the big L2 after the first 5 cold misses.
@@ -289,8 +294,16 @@ mod tests {
     #[test]
     fn avg_latency_monotone_in_miss_rate() {
         let spec = a64fx_spec();
-        let hit = AccessStats { accesses: 100, l1_hits: 100, ..Default::default() };
-        let miss = AccessStats { accesses: 100, mem: 100, ..Default::default() };
+        let hit = AccessStats {
+            accesses: 100,
+            l1_hits: 100,
+            ..Default::default()
+        };
+        let miss = AccessStats {
+            accesses: 100,
+            mem: 100,
+            ..Default::default()
+        };
         assert!(hit.avg_latency(&spec) < miss.avg_latency(&spec));
         assert_eq!(hit.avg_latency(&spec), spec.l1_latency);
         assert_eq!(miss.avg_latency(&spec), spec.mem_latency);

@@ -89,7 +89,12 @@ pub fn analyze_indices(
         }
     };
 
-    IndexPattern { groups, distinct_lines, uops: groups, lanes }
+    IndexPattern {
+        groups,
+        distinct_lines,
+        uops: groups,
+        lanes,
+    }
 }
 
 /// Analyze a whole index array as successive vectors and return the mean

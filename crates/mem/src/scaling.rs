@@ -54,11 +54,47 @@ impl BarrierCost {
     pub fn seconds(&self, threads: usize) -> f64 {
         (self.base_us + self.per_thread_us * threads as f64) * 1e-6
     }
+
+    /// Fit the `base_us + per_thread_us × threads` model to measured
+    /// `(threads, seconds_per_barrier)` samples by ordinary least
+    /// squares. This is how the runtime's fork/join probe (the
+    /// `forkjoin` bin in `ookami-bench`) turns empty-region timings into
+    /// model constants, replacing hand-guessed values. With a single
+    /// sample the slope is 0 and the intercept is the sample; negative
+    /// fitted coefficients are clamped to 0.
+    pub fn from_samples(samples: &[(usize, f64)]) -> Self {
+        assert!(
+            !samples.is_empty(),
+            "need at least one (threads, seconds) sample"
+        );
+        let n = samples.len() as f64;
+        let sx: f64 = samples.iter().map(|&(t, _)| t as f64).sum();
+        let sy: f64 = samples.iter().map(|&(_, s)| s * 1e6).sum();
+        let sxx: f64 = samples.iter().map(|&(t, _)| (t as f64) * (t as f64)).sum();
+        let sxy: f64 = samples.iter().map(|&(t, s)| t as f64 * s * 1e6).sum();
+        let det = n * sxx - sx * sx;
+        if det.abs() < f64::EPSILON {
+            // All samples at one thread count: no slope information.
+            return BarrierCost {
+                base_us: (sy / n).max(0.0),
+                per_thread_us: 0.0,
+            };
+        }
+        let per_thread_us = ((n * sxy - sx * sy) / det).max(0.0);
+        let base_us = (sy / n - per_thread_us * sx / n).max(0.0);
+        BarrierCost {
+            base_us,
+            per_thread_us,
+        }
+    }
 }
 
 impl Default for BarrierCost {
     fn default() -> Self {
-        BarrierCost { base_us: 1.0, per_thread_us: 0.05 }
+        BarrierCost {
+            base_us: 1.0,
+            per_thread_us: 0.05,
+        }
     }
 }
 
@@ -82,8 +118,7 @@ pub fn parallel_time_s(
     // Imbalance is a property of the work *split*: it has no effect on a
     // single thread.
     let imb = if threads == 1 { 1.0 } else { w.imbalance };
-    let par_compute =
-        w.compute_1t_s * w.parallel_fraction * freq_scale / threads as f64 * imb;
+    let par_compute = w.compute_1t_s * w.parallel_fraction * freq_scale / threads as f64 * imb;
     let bw = effective_bandwidth_gbs(&machine.numa, placement, threads);
     let mem = w.mem_bytes / (bw * 1e9);
     // Compute and memory partially overlap on OoO cores: take the max of
@@ -188,6 +223,40 @@ mod tests {
         w.imbalance = 1.3;
         let t_imb = parallel_time_s(&w, m, Placement::FirstTouch, 48, bc());
         assert!((t_imb / t_bal - 1.3).abs() < 0.05, "{t_imb} vs {t_bal}");
+    }
+
+    #[test]
+    fn from_samples_recovers_linear_model() {
+        let truth = BarrierCost {
+            base_us: 2.5,
+            per_thread_us: 0.75,
+        };
+        let samples: Vec<(usize, f64)> = [1, 2, 4, 8, 16, 32, 48]
+            .iter()
+            .map(|&t| (t, truth.seconds(t)))
+            .collect();
+        let fit = BarrierCost::from_samples(&samples);
+        assert!(
+            (fit.base_us - truth.base_us).abs() < 1e-9,
+            "base {}",
+            fit.base_us
+        );
+        assert!(
+            (fit.per_thread_us - truth.per_thread_us).abs() < 1e-9,
+            "slope {}",
+            fit.per_thread_us
+        );
+    }
+
+    #[test]
+    fn from_samples_degenerate_and_clamped() {
+        // One thread count: intercept only.
+        let fit = BarrierCost::from_samples(&[(8, 4e-6), (8, 6e-6)]);
+        assert!((fit.base_us - 5.0).abs() < 1e-9);
+        assert_eq!(fit.per_thread_us, 0.0);
+        // Decreasing samples would fit a negative slope: clamped.
+        let fit = BarrierCost::from_samples(&[(1, 10e-6), (16, 1e-6)]);
+        assert!(fit.per_thread_us >= 0.0 && fit.base_us >= 0.0);
     }
 
     #[test]

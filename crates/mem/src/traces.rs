@@ -99,7 +99,7 @@ mod tests {
         let s = amplification(machines::skylake_6140().mem, Pattern::Strided(512), NBIG);
         assert!((a - 32.0).abs() < 0.5, "a64fx {a}"); // 256 B / 8 B
         assert!((s - 8.0).abs() < 0.5, "skx {s}"); // 64 B / 8 B
-        // The model's per-machine ratio: ×4 on A64FX relative to SKX.
+                                                   // The model's per-machine ratio: ×4 on A64FX relative to SKX.
         assert!((a / s - 4.0).abs() < 0.1, "relative {a}/{s}");
     }
 
@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn strided_trace_covers_every_element_once() {
         let t = trace(Pattern::Strided(7), 100, 0);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for (addr, _) in t {
             let i = (addr / 8) as usize;
             assert!(!seen[i], "element {i} touched twice");

@@ -33,7 +33,11 @@ fn base_coupling() -> Block {
     let mut c = [0.0; NC * NC];
     for r in 0..NC {
         for j in 0..NC {
-            c[r * NC + j] = if r == j { 1.0 + 0.1 * r as f64 } else { 0.05 / (1.0 + (r + j) as f64) };
+            c[r * NC + j] = if r == j {
+                1.0 + 0.1 * r as f64
+            } else {
+                0.05 / (1.0 + (r + j) as f64)
+            };
         }
     }
     c
@@ -53,7 +57,14 @@ impl Bt {
     /// the spectral verification test exploits).
     pub fn with_params(n: usize, dt: f64, nu: f64, eps: f64) -> Self {
         assert!(n >= 5);
-        Bt { n, u: Field::manufactured(n), dt, nu, eps, coupling: base_coupling() }
+        Bt {
+            n,
+            u: Field::manufactured(n),
+            dt,
+            nu,
+            eps,
+            coupling: base_coupling(),
+        }
     }
 
     /// The (constant) coupling block.
@@ -91,7 +102,10 @@ impl Bt {
         par_for(threads, n - 2, |_, s, e| {
             // each thread owns planes i in [s+1, e+1)
             let out = unsafe {
-                std::slice::from_raw_parts_mut((rbase as *mut f64).add((s + 1) * plane), (e - s) * plane)
+                std::slice::from_raw_parts_mut(
+                    (rbase as *mut f64).add((s + 1) * plane),
+                    (e - s) * plane,
+                )
             };
             for (pi, i) in (s + 1..e + 1).enumerate() {
                 for j in 1..n - 1 {

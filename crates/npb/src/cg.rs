@@ -8,7 +8,8 @@
 
 use crate::classes::Class;
 use crate::randnpb::{randlc, A as AMULT};
-use ookami_core::runtime::{par_for, par_reduce};
+use ookami_core::runtime::{par_for_with, par_reduce};
+use ookami_core::Schedule;
 use std::collections::BTreeMap;
 
 const RCOND: f64 = 0.1;
@@ -37,20 +38,27 @@ impl Csr {
         let rowstr = &self.rowstr;
         let colidx = &self.colidx;
         let a = &self.a;
-        // Parallel write into disjoint row ranges of y: each thread's
+        // Parallel write into disjoint row ranges of y: each claimed
         // [s, e) slice is reconstructed from the base address, so no two
-        // threads alias.
+        // threads alias. Row cost varies with nnz, so rows are stolen in
+        // dynamic chunks rather than split statically.
         let ybase = y.as_mut_ptr() as usize;
-        par_for(threads, self.n, |_, s, e| {
-            let y = unsafe { std::slice::from_raw_parts_mut((ybase as *mut f64).add(s), e - s) };
-            for (row, yo) in (s..e).zip(y.iter_mut()) {
-                let mut sum = 0.0;
-                for k in rowstr[row]..rowstr[row + 1] {
-                    sum += a[k] * x[colidx[k] as usize];
+        par_for_with(
+            threads,
+            self.n,
+            Schedule::Dynamic { chunk: 64 },
+            |_, s, e| {
+                let y =
+                    unsafe { std::slice::from_raw_parts_mut((ybase as *mut f64).add(s), e - s) };
+                for (row, yo) in (s..e).zip(y.iter_mut()) {
+                    let mut sum = 0.0;
+                    for k in rowstr[row]..rowstr[row + 1] {
+                        sum += a[k] * x[colidx[k] as usize];
+                    }
+                    *yo = sum;
                 }
-                *yo = sum;
-            }
-        });
+            },
+        );
     }
 }
 
@@ -131,7 +139,12 @@ pub fn makea(n: usize, nonzer: usize, shift: f64) -> Csr {
         }
         rowstr.push(a.len());
     }
-    Csr { n, rowstr, colidx, a }
+    Csr {
+        n,
+        rowstr,
+        colidx,
+        a,
+    }
 }
 
 /// Result of a CG run.
@@ -146,7 +159,13 @@ fn dot(a: &[f64], b: &[f64], threads: usize) -> f64 {
         threads,
         a.len(),
         0.0f64,
-        |s, e, acc| acc + a[s..e].iter().zip(&b[s..e]).map(|(x, y)| x * y).sum::<f64>(),
+        |s, e, acc| {
+            acc + a[s..e]
+                .iter()
+                .zip(&b[s..e])
+                .map(|(x, y)| x * y)
+                .sum::<f64>()
+        },
         |x, y| x + y,
     )
 }
@@ -192,13 +211,7 @@ pub fn run(class: Class, threads: usize) -> CgResult {
 }
 
 /// CG with explicit parameters.
-pub fn run_params(
-    na: usize,
-    nonzer: usize,
-    niter: usize,
-    shift: f64,
-    threads: usize,
-) -> CgResult {
+pub fn run_params(na: usize, nonzer: usize, niter: usize, shift: f64, threads: usize) -> CgResult {
     let m = makea(na, nonzer, shift);
     let mut x = vec![1.0; na];
     let mut z = vec![0.0; na];
@@ -260,9 +273,15 @@ mod tests {
     fn row_nnz_is_bounded() {
         let (na, nonzer, _, shift) = Class::S.cg_params();
         let m = makea(na, nonzer, shift);
-        let max_row = (0..m.n).map(|i| m.rowstr[i + 1] - m.rowstr[i]).max().unwrap();
+        let max_row = (0..m.n)
+            .map(|i| m.rowstr[i + 1] - m.rowstr[i])
+            .max()
+            .unwrap();
         // each row receives contributions from ≤ ~nonzer+1 vectors × entries
-        assert!(max_row <= (nonzer + 1) * (nonzer + 1) * 4, "max row nnz {max_row}");
+        assert!(
+            max_row <= (nonzer + 1) * (nonzer + 1) * 4,
+            "max row nnz {max_row}"
+        );
         assert!(m.nnz() > na * nonzer, "too sparse: {}", m.nnz());
     }
 

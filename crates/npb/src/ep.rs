@@ -79,7 +79,12 @@ pub fn run_m(m: u32, threads: usize) -> EpResult {
         },
     );
 
-    EpResult { sx, sy, q, pairs: (1u64 << m) as f64 }
+    EpResult {
+        sx,
+        sy,
+        q,
+        pairs: (1u64 << m) as f64,
+    }
 }
 
 /// Official verification sums (NPB 3 `ep.f`), classes S/W/A.
@@ -138,7 +143,10 @@ mod tests {
     fn acceptance_rate_is_pi_over_four() {
         let r = run_m(20, 4);
         let rate = r.gaussian_pairs() / r.pairs;
-        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.002, "rate {rate}");
+        assert!(
+            (rate - std::f64::consts::FRAC_PI_4).abs() < 0.002,
+            "rate {rate}"
+        );
     }
 
     #[test]

@@ -63,7 +63,13 @@ pub fn figure4() -> Vec<Measurement> {
             a.name,
             "fujitsu-first-touch",
             48,
-            predict_seconds(&p, Compiler::Fujitsu, a, 48, &OmpModel::fujitsu_first_touch()),
+            predict_seconds(
+                &p,
+                Compiler::Fujitsu,
+                a,
+                48,
+                &OmpModel::fujitsu_first_touch(),
+            ),
             "seconds",
         ));
         out.push(Measurement::new(
@@ -85,12 +91,22 @@ pub const SCALING_THREADS_SKX: [usize; 7] = [1, 2, 4, 8, 16, 32, 36];
 
 /// Fig. 5 — parallel efficiency on A64FX with GCC.
 pub fn figure5() -> Vec<Measurement> {
-    scaling_figure("fig5", machines::a64fx(), Compiler::Gnu, &SCALING_THREADS_A64FX)
+    scaling_figure(
+        "fig5",
+        machines::a64fx(),
+        Compiler::Gnu,
+        &SCALING_THREADS_A64FX,
+    )
 }
 
 /// Fig. 6 — parallel efficiency on Skylake with the Intel compiler.
 pub fn figure6() -> Vec<Measurement> {
-    scaling_figure("fig6", machines::skylake_6140(), Compiler::Intel, &SCALING_THREADS_SKX)
+    scaling_figure(
+        "fig6",
+        machines::skylake_6140(),
+        Compiler::Intel,
+        &SCALING_THREADS_SKX,
+    )
 }
 
 fn scaling_figure(
@@ -217,8 +233,16 @@ mod tests {
             assert!(ratio < 8.0, "{}: gap too wide ({ratio})", b.label());
             ratios.push((b, ratio));
         }
-        let ep = ratios.iter().find(|(b, _)| matches!(b, Benchmark::Ep)).unwrap().1;
-        let cg = ratios.iter().find(|(b, _)| matches!(b, Benchmark::Cg)).unwrap().1;
+        let ep = ratios
+            .iter()
+            .find(|(b, _)| matches!(b, Benchmark::Ep))
+            .unwrap()
+            .1;
+        let cg = ratios
+            .iter()
+            .find(|(b, _)| matches!(b, Benchmark::Cg))
+            .unwrap()
+            .1;
         assert!(ep > cg, "EP gap {ep} should exceed CG gap {cg}");
     }
 
@@ -245,7 +269,10 @@ mod tests {
         let rows = figure4();
         let default = value(&rows, "SP", "fujitsu");
         let ft = value(&rows, "SP", "fujitsu-first-touch");
-        assert!(default / ft > 1.5, "SP: default {default} vs first-touch {ft}");
+        assert!(
+            default / ft > 1.5,
+            "SP: default {default} vs first-touch {ft}"
+        );
         // and helps (at least does not hurt) everywhere
         for b in Benchmark::ALL {
             let d = value(&rows, b.label(), "fujitsu");
@@ -292,8 +319,9 @@ mod tests {
             for b in Benchmark::ALL {
                 let mut prev = f64::INFINITY;
                 for &t in &SCALING_THREADS_A64FX[..6] {
-                    if let Some(r) =
-                        rows.iter().find(|r| r.workload == b.label() && r.threads == t)
+                    if let Some(r) = rows
+                        .iter()
+                        .find(|r| r.workload == b.label() && r.threads == t)
                     {
                         assert!(r.value <= prev + 0.02, "{}: t={t}", b.label());
                         prev = r.value;

@@ -16,7 +16,10 @@ pub struct Field {
 
 impl Field {
     pub fn zeros(n: usize) -> Self {
-        Field { n, data: vec![0.0; n * n * n * NC] }
+        Field {
+            n,
+            data: vec![0.0; n * n * n * NC],
+        }
     }
 
     /// Smooth manufactured initial data (distinct per component).
@@ -227,14 +230,7 @@ pub fn block_tridiag_solve(
 /// Solve a scalar pentadiagonal system in place — SP's defining kernel
 /// ("Scalar Pentadiagonal bands of linear equations"). Bands are
 /// `(a, b, c, d, e)` = (2-below, 1-below, diag, 1-above, 2-above).
-pub fn pentadiag_solve(
-    a: &[f64],
-    b: &[f64],
-    c: &[f64],
-    d: &[f64],
-    e: &[f64],
-    rhs: &mut [f64],
-) {
+pub fn pentadiag_solve(a: &[f64], b: &[f64], c: &[f64], d: &[f64], e: &[f64], rhs: &mut [f64]) {
     let n = rhs.len();
     // Work copies (elimination modifies the bands).
     let mut bb: Vec<f64> = b.to_vec();
@@ -341,8 +337,9 @@ mod tests {
                 d
             })
             .collect();
-        let x: Vec<[f64; NC]> =
-            (0..n).map(|_| std::array::from_fn(|_| rng.gen_range(-1.0..1.0))).collect();
+        let x: Vec<[f64; NC]> = (0..n)
+            .map(|_| std::array::from_fn(|_| rng.gen_range(-1.0..1.0)))
+            .collect();
         // rhs = L x_{i-1} + D x_i + U x_{i+1}
         let mut rhs = vec![[0.0; NC]; n];
         for i in 0..n {
@@ -404,7 +401,12 @@ mod tests {
         }
         pentadiag_solve(&a, &b, &c, &d, &e, &mut rhs);
         for i in 0..n {
-            assert!((rhs[i] - x[i]).abs() < 1e-9, "i={i}: {} vs {}", rhs[i], x[i]);
+            assert!(
+                (rhs[i] - x[i]).abs() < 1e-9,
+                "i={i}: {} vs {}",
+                rhs[i],
+                x[i]
+            );
         }
     }
 

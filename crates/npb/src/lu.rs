@@ -10,7 +10,8 @@
 
 use crate::classes::Class;
 use crate::grid::{lu_factor, lu_solve, matvec, Block, Field, NC};
-use ookami_core::runtime::par_for;
+use ookami_core::runtime::{par_for, par_for_with};
+use ookami_core::Schedule;
 
 /// LU solver state.
 #[derive(Debug, Clone)]
@@ -27,8 +28,11 @@ fn coupling() -> Block {
     let mut c = [0.0; NC * NC];
     for r in 0..NC {
         for j in 0..NC {
-            c[r * NC + j] =
-                if r == j { 1.0 + 0.08 * r as f64 } else { 0.04 / (1.0 + (r + j) as f64) };
+            c[r * NC + j] = if r == j {
+                1.0 + 0.08 * r as f64
+            } else {
+                0.04 / (1.0 + (r + j) as f64)
+            };
         }
     }
     c
@@ -42,7 +46,14 @@ impl Lu {
 
     pub fn with_grid(n: usize) -> Self {
         assert!(n >= 5);
-        Lu { n, u: Field::manufactured(n), dt: 0.5, nu: 0.05, omega: 1.2, coupling: coupling() }
+        Lu {
+            n,
+            u: Field::manufactured(n),
+            dt: 0.5,
+            nu: 0.05,
+            omega: 1.2,
+            coupling: coupling(),
+        }
     }
 
     #[inline]
@@ -129,35 +140,42 @@ impl Lu {
         let idx = move |i: usize, j: usize, k: usize| ((i * n + j) * n + k) * NC;
 
         let relax = |pts: &[(usize, usize, usize)]| {
-            par_for(threads, pts.len(), |_, s, e| {
-                let dd = dbase as *mut f64;
-                for &(i, j, k) in &pts[s..e] {
-                    // t = rhs + σC·(Σ neighbor deltas)
-                    let mut nb = [0.0f64; NC];
-                    for c in 0..NC {
-                        unsafe {
-                            nb[c] = *dd.add(idx(i - 1, j, k) + c)
-                                + *dd.add(idx(i + 1, j, k) + c)
-                                + *dd.add(idx(i, j - 1, k) + c)
-                                + *dd.add(idx(i, j + 1, k) + c)
-                                + *dd.add(idx(i, j, k - 1) + c)
-                                + *dd.add(idx(i, j, k + 1) + c);
+            // Hyperplane sizes vary from 1 point to O(n²); dynamic
+            // stealing keeps the team busy on the small early/late planes.
+            par_for_with(
+                threads,
+                pts.len(),
+                Schedule::Dynamic { chunk: 32 },
+                |_, s, e| {
+                    let dd = dbase as *mut f64;
+                    for &(i, j, k) in &pts[s..e] {
+                        // t = rhs + σC·(Σ neighbor deltas)
+                        let mut nb = [0.0f64; NC];
+                        for c in 0..NC {
+                            unsafe {
+                                nb[c] = *dd.add(idx(i - 1, j, k) + c)
+                                    + *dd.add(idx(i + 1, j, k) + c)
+                                    + *dd.add(idx(i, j - 1, k) + c)
+                                    + *dd.add(idx(i, j + 1, k) + c)
+                                    + *dd.add(idx(i, j, k - 1) + c)
+                                    + *dd.add(idx(i, j, k + 1) + c);
+                            }
+                        }
+                        let mut t = matvec(&self.coupling, &nb);
+                        let r0 = rhs.idx(i, j, k);
+                        for c in 0..NC {
+                            t[c] = rhs.data[r0 + c] + sigma * t[c];
+                        }
+                        lu_solve(&dblock, &piv, &mut t);
+                        for c in 0..NC {
+                            unsafe {
+                                let p = dd.add(idx(i, j, k) + c);
+                                *p = (1.0 - self.omega) * *p + self.omega * t[c];
+                            }
                         }
                     }
-                    let mut t = matvec(&self.coupling, &nb);
-                    let r0 = rhs.idx(i, j, k);
-                    for c in 0..NC {
-                        t[c] = rhs.data[r0 + c] + sigma * t[c];
-                    }
-                    lu_solve(&dblock, &piv, &mut t);
-                    for c in 0..NC {
-                        unsafe {
-                            let p = dd.add(idx(i, j, k) + c);
-                            *p = (1.0 - self.omega) * *p + self.omega * t[c];
-                        }
-                    }
-                }
-            });
+                },
+            );
         };
 
         for pts in planes.iter() {

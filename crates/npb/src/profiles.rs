@@ -96,7 +96,7 @@ pub fn profile(bench: Benchmark, class: Class) -> WorkloadProfile {
             let (na, nonzer, niter, _) = class.cg_params();
             let nnz = cg_nnz(na, nonzer);
             let sweeps = (niter * 26) as f64; // 25 CG + residual SpMV
-            // 2 flops per nonzero per SpMV + ~10 vector-op flops per row.
+                                              // 2 flops per nonzero per SpMV + ~10 vector-op flops per row.
             let flops = 2.0 * nnz * sweeps + 10.0 * na as f64 * sweeps;
             // Streams a[] + colidx[] every sweep; x is gathered.
             let bytes = nnz * sweeps * 12.0 + na as f64 * sweeps * 10.0 * 8.0;
@@ -150,13 +150,29 @@ mod tests {
     fn class_c_flop_magnitudes() {
         // Anchored to official class-A counts × (162/64)³ volume ratio.
         let bt = profile(Benchmark::Bt, Class::C);
-        assert!((bt.flops / 2.73e12 - 1.0).abs() < 0.1, "BT {:.3e}", bt.flops);
+        assert!(
+            (bt.flops / 2.73e12 - 1.0).abs() < 0.1,
+            "BT {:.3e}",
+            bt.flops
+        );
         let sp = profile(Benchmark::Sp, Class::C);
-        assert!((sp.flops / 1.65e12 - 1.0).abs() < 0.1, "SP {:.3e}", sp.flops);
+        assert!(
+            (sp.flops / 1.65e12 - 1.0).abs() < 0.1,
+            "SP {:.3e}",
+            sp.flops
+        );
         let lu = profile(Benchmark::Lu, Class::C);
-        assert!((lu.flops / 1.94e12 - 1.0).abs() < 0.1, "LU {:.3e}", lu.flops);
+        assert!(
+            (lu.flops / 1.94e12 - 1.0).abs() < 0.1,
+            "LU {:.3e}",
+            lu.flops
+        );
         let cg = profile(Benchmark::Cg, Class::C);
-        assert!(cg.flops > 1.0e11 && cg.flops < 4.0e11, "CG {:.3e}", cg.flops);
+        assert!(
+            cg.flops > 1.0e11 && cg.flops < 4.0e11,
+            "CG {:.3e}",
+            cg.flops
+        );
     }
 
     #[test]
@@ -179,7 +195,10 @@ mod tests {
         let bt = profile(Benchmark::Bt, Class::C).intensity();
         let sp = profile(Benchmark::Sp, Class::C).intensity();
         let cg = profile(Benchmark::Cg, Class::C).intensity();
-        assert!(ep > bt && bt > sp && sp > cg, "ep {ep} bt {bt} sp {sp} cg {cg}");
+        assert!(
+            ep > bt && bt > sp && sp > cg,
+            "ep {ep} bt {bt} sp {sp} cg {cg}"
+        );
     }
 
     #[test]

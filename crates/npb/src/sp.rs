@@ -37,7 +37,13 @@ impl Sp {
     /// line solve is exactly tridiagonal-in-pentadiagonal-clothing).
     pub fn with_params(n: usize, dt: f64, nu: f64, gamma: f64) -> Self {
         assert!(n >= 7);
-        Sp { n, u: Field::manufactured(n), dt, nu, gamma }
+        Sp {
+            n,
+            u: Field::manufactured(n),
+            dt,
+            nu,
+            gamma,
+        }
     }
 
     /// Per-component diffusion coefficient scale (exposed for tests).
@@ -133,7 +139,11 @@ impl Sp {
                     for p in 0..interior {
                         // drop the 4th-difference bands at line ends
                         let has4 = p >= 1 && p + 1 < interior;
-                        let (aa, dd4) = if has4 { (sg * g, 4.0 * sg * g) } else { (0.0, 0.0) };
+                        let (aa, dd4) = if has4 {
+                            (sg * g, 4.0 * sg * g)
+                        } else {
+                            (0.0, 0.0)
+                        };
                         band_a[p] = aa;
                         band_e[p] = aa;
                         band_b[p] = -sg - dd4;
@@ -255,9 +265,8 @@ mod tests {
         sp.step(2);
         for c in 0..NC {
             let sg = sp.sigma_of(c);
-            let predicted = 1.0
-                - sg * (lx + ly + lz)
-                    / ((1.0 + sg * lx) * (1.0 + sg * ly) * (1.0 + sg * lz));
+            let predicted =
+                1.0 - sg * (lx + ly + lz) / ((1.0 + sg * lx) * (1.0 + sg * ly) * (1.0 + sg * lz));
             let measured = sp.u.get(4, 5, 3, c) / before[c];
             assert!(
                 (measured - predicted).abs() < 1e-12,

@@ -11,6 +11,7 @@
 //! cares about). Heat is conserved to rounding, which is the verification.
 
 use crate::classes::Class;
+use ookami_core::{par_reduce_with, Schedule};
 use std::collections::HashMap;
 
 /// One leaf cell of the octree.
@@ -76,7 +77,13 @@ impl Ua {
             for iy in 0..n {
                 for iz in 0..n {
                     map.insert((base, ix, iy, iz), leaves.len());
-                    leaves.push(Leaf { level: base, ix, iy, iz, t: 0.0 });
+                    leaves.push(Leaf {
+                        level: base,
+                        ix,
+                        iy,
+                        iz,
+                        t: 0.0,
+                    });
                 }
             }
         }
@@ -151,7 +158,7 @@ impl Ua {
             }
         }
         let leaf = self.leaves[leaf_idx]; // re-read (vector may have grown)
-        // Replace this leaf with its first child; append the other 7.
+                                          // Replace this leaf with its first child; append the other 7.
         self.map.remove(&(leaf.level, leaf.ix, leaf.iy, leaf.iz));
         let l = leaf.level + 1;
         let mut first = true;
@@ -188,8 +195,7 @@ impl Ua {
                 continue;
             }
             let p = l.center();
-            let d2 =
-                (p[0] - c[0]).powi(2) + (p[1] - c[1]).powi(2) + (p[2] - c[2]).powi(2);
+            let d2 = (p[0] - c[0]).powi(2) + (p[1] - c[1]).powi(2) + (p[2] - c[2]).powi(2);
             if d2 < (0.12 + l.size()).powi(2) {
                 to_refine.push(i);
             }
@@ -217,46 +223,53 @@ impl Ua {
         let map = &self.map;
         let kappa = self.kappa;
 
-        // Per-thread energy-delta accumulators (scatter with privatization,
-        // like a colored OpenMP assembly).
+        // Privatized energy-delta accumulators (scatter with privatization,
+        // like a colored OpenMP assembly). Leaves cost wildly different
+        // amounts (level-mismatched faces walk 4 children), so this is the
+        // runtime's dynamic-schedule showcase: logical threads steal leaf
+        // chunks and the per-slot delta vectors reduce elementwise.
         let nthreads = threads.max(1).min(nl.max(1));
-        let mut partials: Vec<Vec<f64>> = Vec::new();
-        crossbeam_scope(nthreads, nl, &mut partials, |tid, s, e, acc| {
-            for me_idx in s..e {
-                let me = &leaves[me_idx];
-                for dim in 0..3 {
-                    // + faces only: each interior face handled exactly once.
-                    if let Some(nb_key) = neighbor_key(me, dim, 1) {
-                        if let Some(&nb_idx) = map.get(&nb_key) {
-                            // same-level neighbor
-                            flux(me, &leaves[nb_idx], me_idx, nb_idx, kappa, acc);
-                        } else {
-                            let parent =
-                                (nb_key.0 - 1, nb_key.1 >> 1, nb_key.2 >> 1, nb_key.3 >> 1);
-                            if let Some(&nb_idx) = map.get(&parent) {
-                                // coarser neighbor: fine side owns the face
-                                flux(me, &leaves[nb_idx], me_idx, nb_idx, kappa, acc);
+        let de: Vec<f64> = par_reduce_with(
+            nthreads,
+            nl,
+            Schedule::Dynamic { chunk: 32 },
+            vec![0.0f64; nl],
+            |s, e, mut acc| {
+                for me_idx in s..e {
+                    let me = &leaves[me_idx];
+                    for dim in 0..3 {
+                        // + faces only: each interior face handled exactly once.
+                        if let Some(nb_key) = neighbor_key(me, dim, 1) {
+                            if let Some(&nb_idx) = map.get(&nb_key) {
+                                // same-level neighbor
+                                flux(me, &leaves[nb_idx], me_idx, nb_idx, kappa, &mut acc);
                             } else {
-                                // finer neighbors: 4 children share my face
-                                let l = nb_key.0 + 1;
-                                let (fx, fy, fz) =
-                                    (2 * nb_key.1, 2 * nb_key.2, 2 * nb_key.3);
-                                for a in 0..2u32 {
-                                    for b in 0..2u32 {
-                                        let key = match dim {
-                                            0 => (l, fx, fy + a, fz + b),
-                                            1 => (l, fx + a, fy, fz + b),
-                                            _ => (l, fx + a, fy + b, fz),
-                                        };
-                                        if let Some(&nb_idx) = map.get(&key) {
-                                            flux(
-                                                me,
-                                                &leaves[nb_idx],
-                                                me_idx,
-                                                nb_idx,
-                                                kappa,
-                                                acc,
-                                            );
+                                let parent =
+                                    (nb_key.0 - 1, nb_key.1 >> 1, nb_key.2 >> 1, nb_key.3 >> 1);
+                                if let Some(&nb_idx) = map.get(&parent) {
+                                    // coarser neighbor: fine side owns the face
+                                    flux(me, &leaves[nb_idx], me_idx, nb_idx, kappa, &mut acc);
+                                } else {
+                                    // finer neighbors: 4 children share my face
+                                    let l = nb_key.0 + 1;
+                                    let (fx, fy, fz) = (2 * nb_key.1, 2 * nb_key.2, 2 * nb_key.3);
+                                    for a in 0..2u32 {
+                                        for b in 0..2u32 {
+                                            let key = match dim {
+                                                0 => (l, fx, fy + a, fz + b),
+                                                1 => (l, fx + a, fy, fz + b),
+                                                _ => (l, fx + a, fy + b, fz),
+                                            };
+                                            if let Some(&nb_idx) = map.get(&key) {
+                                                flux(
+                                                    me,
+                                                    &leaves[nb_idx],
+                                                    me_idx,
+                                                    nb_idx,
+                                                    kappa,
+                                                    &mut acc,
+                                                );
+                                            }
                                         }
                                     }
                                 }
@@ -264,24 +277,27 @@ impl Ua {
                         }
                     }
                 }
-            }
-            let _ = tid;
-        });
+                acc
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        );
 
-        // Reduce the privatized energy deltas and apply, plus the source.
+        // Apply the reduced energy deltas, plus the source.
         let mut source_added = 0.0;
         for (i, l) in self.leaves.iter_mut().enumerate() {
-            let mut de = 0.0;
-            for p in &partials {
-                de += p[i];
-            }
-            let s = self.time; // borrow checker: source uses time via locals
-            let _ = s;
-            l.t += dt * de / l.volume();
+            l.t += dt * de[i] / l.volume();
         }
         // Source injection (serial: tiny compared to the flux pass).
-        let centers: Vec<([f64; 3], f64)> =
-            self.leaves.iter().map(|l| (l.center(), l.volume())).collect();
+        let centers: Vec<([f64; 3], f64)> = self
+            .leaves
+            .iter()
+            .map(|l| (l.center(), l.volume()))
+            .collect();
         for (i, (p, v)) in centers.iter().enumerate() {
             let rate = self.source_rate(*p);
             self.leaves[i].t += dt * rate;
@@ -330,31 +346,6 @@ fn neighbor_key(l: &Leaf, dim: usize, dir: i64) -> Option<Key> {
     } else {
         Some((l.level, x as u32, y as u32, z as u32))
     }
-}
-
-/// Scoped parallel flux pass with per-thread accumulators.
-fn crossbeam_scope<F>(
-    threads: usize,
-    n: usize,
-    partials: &mut Vec<Vec<f64>>,
-    f: F,
-) where
-    F: Fn(usize, usize, usize, &mut [f64]) + Sync,
-{
-    *partials = (0..threads).map(|_| vec![0.0; n]).collect();
-    let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
-        for (tid, acc) in partials.iter_mut().enumerate() {
-            let start = tid * chunk;
-            let end = ((tid + 1) * chunk).min(n);
-            if start >= end {
-                continue;
-            }
-            let f = &f;
-            s.spawn(move |_| f(tid, start, end, acc));
-        }
-    })
-    .expect("ua worker panicked");
 }
 
 #[cfg(test)]

@@ -19,8 +19,12 @@ pub struct SveCtx {
 impl SveCtx {
     /// New context with `vl` 64-bit lanes (8 on A64FX).
     pub fn new(vl: usize) -> Self {
-        assert!(vl >= 1 && vl <= 64, "unreasonable vector length {vl}");
-        SveCtx { vl, next_reg: 0, recording: None }
+        assert!((1..=64).contains(&vl), "unreasonable vector length {vl}");
+        SveCtx {
+            vl,
+            next_reg: 0,
+            recording: None,
+        }
     }
 
     pub fn vl(&self) -> usize {
@@ -55,7 +59,10 @@ impl SveCtx {
         // dependency analysis); outside recording, wrap freely so long
         // numerical runs never exhaust the id space.
         if self.recording.is_some() {
-            self.next_reg = self.next_reg.checked_add(1).expect("register ids exhausted");
+            self.next_reg = self
+                .next_reg
+                .checked_add(1)
+                .expect("register ids exhausted");
         } else {
             self.next_reg = self.next_reg.wrapping_add(1);
         }
@@ -80,12 +87,18 @@ impl SveCtx {
 
     /// Broadcast an `f64` constant (loop-invariant; not recorded).
     pub fn dup_f64(&mut self, c: f64) -> VVal {
-        VVal { bits: vec![c.to_bits(); self.vl], id: self.fresh() }
+        VVal {
+            bits: vec![c.to_bits(); self.vl],
+            id: self.fresh(),
+        }
     }
 
     /// Broadcast an `i64` constant (loop-invariant; not recorded).
     pub fn dup_i64(&mut self, c: i64) -> VVal {
-        VVal { bits: vec![c as u64; self.vl], id: self.fresh() }
+        VVal {
+            bits: vec![c as u64; self.vl],
+            id: self.fresh(),
+        }
     }
 
     /// `INDEX z, #start, #step` (not recorded: setup). Wrapping arithmetic,
@@ -94,24 +107,36 @@ impl SveCtx {
         let bits = (0..self.vl)
             .map(|l| start.wrapping_add(step.wrapping_mul(l as i64)) as u64)
             .collect();
-        VVal { bits, id: self.fresh() }
+        VVal {
+            bits,
+            id: self.fresh(),
+        }
     }
 
     /// All-true predicate (not recorded: setup).
     pub fn ptrue(&mut self) -> Pred {
-        Pred { mask: vec![true; self.vl], id: self.fresh() }
+        Pred {
+            mask: vec![true; self.vl],
+            id: self.fresh(),
+        }
     }
 
     /// An uninitialized-id wrapper for external inputs (tests/kernels).
     pub fn input_f64(&mut self, lanes: &[f64]) -> VVal {
         assert_eq!(lanes.len(), self.vl);
-        VVal { bits: lanes.iter().map(|x| x.to_bits()).collect(), id: self.fresh() }
+        VVal {
+            bits: lanes.iter().map(|x| x.to_bits()).collect(),
+            id: self.fresh(),
+        }
     }
 
     /// Integer-lane input (e.g. an index vector loaded by a kernel).
     pub fn input_i64(&mut self, lanes: &[i64]) -> VVal {
         assert_eq!(lanes.len(), self.vl);
-        VVal { bits: lanes.iter().map(|&x| x as u64).collect(), id: self.fresh() }
+        VVal {
+            bits: lanes.iter().map(|&x| x as u64).collect(),
+            id: self.fresh(),
+        }
     }
 
     // ---------------- predicates -----------------------------------------
@@ -301,8 +326,7 @@ impl SveCtx {
         let bits = (0..self.vl)
             .map(|l| {
                 if pg.mask[l] {
-                    ((3.0 - f64::from_bits(a.bits[l]) * f64::from_bits(b.bits[l])) * 0.5)
-                        .to_bits()
+                    ((3.0 - f64::from_bits(a.bits[l]) * f64::from_bits(b.bits[l])) * 0.5).to_bits()
                 } else {
                     a.bits[l]
                 }
@@ -315,7 +339,9 @@ impl SveCtx {
 
     /// `FEXPA` (bit-exact; see [`crate::fexpa`]).
     pub fn fexpa(&mut self, a: &VVal) -> VVal {
-        let bits = (0..self.vl).map(|l| fexpa_lane(a.bits[l]).to_bits()).collect();
+        let bits = (0..self.vl)
+            .map(|l| fexpa_lane(a.bits[l]).to_bits())
+            .collect();
         let id = self.fresh();
         self.rec(OpClass::Fexpa, Some(id), &[a.id]);
         VVal { bits, id }
@@ -415,13 +441,7 @@ impl SveCtx {
 
     // ---------------- int / bit ops on lanes ------------------------------
 
-    fn map2i(
-        &mut self,
-        pg: &Pred,
-        a: &VVal,
-        b: &VVal,
-        f: impl Fn(i64, i64) -> i64,
-    ) -> VVal {
+    fn map2i(&mut self, pg: &Pred, a: &VVal, b: &VVal, f: impl Fn(i64, i64) -> i64) -> VVal {
         let bits = (0..self.vl)
             .map(|l| {
                 if pg.mask[l] {
@@ -458,7 +478,13 @@ impl SveCtx {
 
     pub fn lsl(&mut self, pg: &Pred, a: &VVal, sh: u32) -> VVal {
         let bits = (0..self.vl)
-            .map(|l| if pg.mask[l] { a.bits[l] << sh } else { a.bits[l] })
+            .map(|l| {
+                if pg.mask[l] {
+                    a.bits[l] << sh
+                } else {
+                    a.bits[l]
+                }
+            })
             .collect();
         let id = self.fresh();
         self.rec(OpClass::VecIntOp, Some(id), &[pg.id, a.id]);
@@ -468,7 +494,13 @@ impl SveCtx {
     /// Logical (unsigned) shift right.
     pub fn lsr(&mut self, pg: &Pred, a: &VVal, sh: u32) -> VVal {
         let bits = (0..self.vl)
-            .map(|l| if pg.mask[l] { a.bits[l] >> sh } else { a.bits[l] })
+            .map(|l| {
+                if pg.mask[l] {
+                    a.bits[l] >> sh
+                } else {
+                    a.bits[l]
+                }
+            })
             .collect();
         let id = self.fresh();
         self.rec(OpClass::VecIntOp, Some(id), &[pg.id, a.id]);
@@ -684,7 +716,10 @@ mod tests {
         let zero = c.dup_f64(0.0);
         let all = c.ptrue();
         let pg = c.fcmgt(&all, &a, &zero); // all true
-        let half = Pred { mask: (0..8).map(|l| l % 2 == 0).collect(), id: pg.id };
+        let half = Pred {
+            mask: (0..8).map(|l| l % 2 == 0).collect(),
+            id: pg.id,
+        };
         let r = c.fadd(&half, &a, &b);
         for l in 0..8 {
             let want = if l % 2 == 0 { 11.0 } else { 1.0 };
@@ -723,7 +758,10 @@ mod tests {
         let mut dst = vec![0.0; 8];
         let perm = [3i64, 1, 4, 0, 6, 2, 7, 5];
         let idxbits: Vec<u64> = perm.iter().map(|&i| i as u64).collect();
-        let idx = VVal { bits: idxbits, id: 99 };
+        let idx = VVal {
+            bits: idxbits,
+            id: 99,
+        };
         let g = c.ld1d_gather(&pg, &src, &idx, 8);
         for l in 0..8 {
             assert_eq!(g.f64_lane(l), src[perm[l] as usize]);
@@ -746,7 +784,10 @@ mod tests {
         for l in 0..8 {
             let want = 1.0 / x.f64_lane(l);
             let got = y.f64_lane(l);
-            assert!((got / want - 1.0).abs() < 1e-14, "lane {l}: {got} vs {want}");
+            assert!(
+                (got / want - 1.0).abs() < 1e-14,
+                "lane {l}: {got} vs {want}"
+            );
         }
     }
 
@@ -764,7 +805,10 @@ mod tests {
         for l in 0..8 {
             let want = 1.0 / x.f64_lane(l).sqrt();
             let got = y.f64_lane(l);
-            assert!((got / want - 1.0).abs() < 1e-13, "lane {l}: {got} vs {want}");
+            assert!(
+                (got / want - 1.0).abs() < 1e-13,
+                "lane {l}: {got} vs {want}"
+            );
         }
     }
 

@@ -43,7 +43,10 @@ pub fn record_kernel(
             }
         }
     }
-    Recording { kernel: KernelLoop::new(body, elements_per_iter), vl }
+    Recording {
+        kernel: KernelLoop::new(body, elements_per_iter),
+        vl,
+    }
 }
 
 #[cfg(test)]
@@ -65,7 +68,11 @@ mod tests {
             vec![(acc_in.id(), acc_out.id())]
         });
         let est = rec.kernel.analyze(machines::a64fx().table);
-        assert!((est.recurrence - 9.0).abs() < 1e-9, "recurrence {}", est.recurrence);
+        assert!(
+            (est.recurrence - 9.0).abs() < 1e-9,
+            "recurrence {}",
+            est.recurrence
+        );
         assert_eq!(est.binding_bound(), "recurrence");
     }
 

@@ -7,13 +7,7 @@ use proptest::prelude::*;
 
 fn lanes8() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(
-        prop_oneof![
-            -1e6f64..1e6,
-            -1.0f64..1.0,
-            Just(0.0),
-            Just(-0.0),
-            Just(1.0),
-        ],
+        prop_oneof![-1e6f64..1e6, -1.0f64..1.0, Just(0.0), Just(-0.0), Just(1.0),],
         8,
     )
 }

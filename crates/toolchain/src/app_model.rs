@@ -156,7 +156,11 @@ mod tests {
                 .map(|&c| predict_default(&p, c, a, 1))
                 .fold(f64::INFINITY, f64::min);
             let ratio = best / intel;
-            assert!(ratio > 1.3 && ratio < 6.5, "{}: best-A64FX/intel = {ratio}", p.name);
+            assert!(
+                ratio > 1.3 && ratio < 6.5,
+                "{}: best-A64FX/intel = {ratio}",
+                p.name
+            );
         }
     }
 
@@ -168,7 +172,10 @@ mod tests {
         let p = cg_like();
         let a_t = predict_default(&p, Compiler::Gnu, a, 48);
         let s_t = predict_default(&p, Compiler::Intel, s, 36);
-        assert!(a_t < s_t, "A64FX {a_t} should beat SKX {s_t} on CG-like at full node");
+        assert!(
+            a_t < s_t,
+            "A64FX {a_t} should beat SKX {s_t} on CG-like at full node"
+        );
     }
 
     /// SP-like: streaming memory-bound, no irregular access.
@@ -184,7 +191,13 @@ mod tests {
         let m = machines::a64fx();
         let p = sp_like();
         let default = predict_default(&p, Compiler::Fujitsu, m, 48);
-        let ft = predict_seconds(&p, Compiler::Fujitsu, m, 48, &OmpModel::fujitsu_first_touch());
+        let ft = predict_seconds(
+            &p,
+            Compiler::Fujitsu,
+            m,
+            48,
+            &OmpModel::fujitsu_first_touch(),
+        );
         assert!(default / ft > 1.5, "first-touch speedup {}", default / ft);
     }
 

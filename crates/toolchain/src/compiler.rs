@@ -19,8 +19,12 @@ pub enum Compiler {
 
 impl Compiler {
     /// The four toolchains available on the A64FX nodes.
-    pub const A64FX: [Compiler; 4] =
-        [Compiler::Fujitsu, Compiler::Cray, Compiler::Arm, Compiler::Gnu];
+    pub const A64FX: [Compiler; 4] = [
+        Compiler::Fujitsu,
+        Compiler::Cray,
+        Compiler::Arm,
+        Compiler::Gnu,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
@@ -205,7 +209,12 @@ mod tests {
         assert!(!Compiler::Gnu.vectorizes_math(MathFunc::Pow));
         // sqrt/recip are instruction-level, so "vectorized" (badly).
         assert!(Compiler::Gnu.vectorizes_math(MathFunc::Sqrt));
-        for c in [Compiler::Fujitsu, Compiler::Cray, Compiler::Arm, Compiler::Intel] {
+        for c in [
+            Compiler::Fujitsu,
+            Compiler::Cray,
+            Compiler::Arm,
+            Compiler::Intel,
+        ] {
             for f in MathFunc::ALL {
                 assert!(c.vectorizes_math(f), "{c:?} {f:?}");
             }
@@ -219,7 +228,10 @@ mod tests {
         assert_eq!(Compiler::Arm.sqrt_style(), SqrtStyle::Fsqrt);
         assert_eq!(Compiler::Fujitsu.sqrt_style(), SqrtStyle::Newton);
         assert_eq!(Compiler::Cray.sqrt_style(), SqrtStyle::Newton);
-        assert_eq!(Compiler::Gnu.recip_style(), ookami_vecmath::recip::RecipStyle::Fdiv);
+        assert_eq!(
+            Compiler::Gnu.recip_style(),
+            ookami_vecmath::recip::RecipStyle::Fdiv
+        );
         assert_eq!(
             Compiler::Fujitsu.exp_variant(),
             Some(ExpVariant::FexpaEstrinCorrected)

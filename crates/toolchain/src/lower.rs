@@ -125,20 +125,14 @@ fn emit_one_vector(
         LoopKind::Gather | LoopKind::ShortGather => {
             let pat = pattern.expect("indexed loop needs a pattern");
             let mut idx = b.emit(OpClass::Load, w, &[base]); // index vector load
-            // Weaker vectorizers widen/convert the 32-bit index vector with
-            // extra lane ops instead of folding it into the gather's
-            // addressing mode.
+                                                             // Weaker vectorizers widen/convert the 32-bit index vector with
+                                                             // extra lane ops instead of folding it into the gather's
+                                                             // addressing mode.
             for _ in 0..index_conversion_ops(compiler) {
                 idx = b.emit(OpClass::VecIntOp, w, &[idx]);
             }
             let uops = gather_uops(machine, pat);
-            let g = Instr::def(
-                OpClass::Gather,
-                w,
-                b.reg(),
-                &[idx],
-            )
-            .with_uops(uops);
+            let g = Instr::def(OpClass::Gather, w, b.reg(), &[idx]).with_uops(uops);
             let gdst = g.dst.expect("gather defines");
             b.push(g);
             b.effect(OpClass::Store, w, &[gdst, base]);
@@ -171,7 +165,10 @@ fn index_conversion_ops(c: Compiler) -> usize {
 pub fn gather_uops(machine: &Machine, pat: &MeanPattern) -> u32 {
     let g = &machine.gather;
     let cycles = pat.gather_cycles_per_vector(g);
-    let rthr = machine.table.cost(OpClass::Gather, machine.vector_width).rthroughput;
+    let rthr = machine
+        .table
+        .cost(OpClass::Gather, machine.vector_width)
+        .rthroughput;
     (cycles / rthr).round().max(1.0) as u32
 }
 
@@ -179,7 +176,10 @@ pub fn gather_uops(machine: &Machine, pat: &MeanPattern) -> u32 {
 pub fn scatter_uops(machine: &Machine, pat: &MeanPattern) -> u32 {
     let g = &machine.gather;
     let cycles = pat.scatter_cycles_per_vector(g);
-    let rthr = machine.table.cost(OpClass::Scatter, machine.vector_width).rthroughput;
+    let rthr = machine
+        .table
+        .cost(OpClass::Scatter, machine.vector_width)
+        .rthroughput;
     (cycles / rthr).round().max(1.0) as u32
 }
 
@@ -230,8 +230,16 @@ mod tests {
         let fuj = spe(LoopKind::Simple, Compiler::Fujitsu, a, None);
         let arm = spe(LoopKind::Simple, Compiler::Arm, a, None);
         let gnu = spe(LoopKind::Simple, Compiler::Gnu, a, None);
-        assert!(arm / fuj > 1.4 && arm / fuj < 3.0, "arm/fujitsu {}", arm / fuj);
-        assert!(gnu / fuj > 1.0 && gnu / fuj < 2.5, "gnu/fujitsu {}", gnu / fuj);
+        assert!(
+            arm / fuj > 1.4 && arm / fuj < 3.0,
+            "arm/fujitsu {}",
+            arm / fuj
+        );
+        assert!(
+            gnu / fuj > 1.0 && gnu / fuj < 2.5,
+            "gnu/fujitsu {}",
+            gnu / fuj
+        );
     }
 
     #[test]
@@ -259,7 +267,10 @@ mod tests {
         let r_short = spe(LoopKind::ShortGather, Compiler::Fujitsu, a, Some(&short_a))
             / spe(LoopKind::ShortGather, Compiler::Intel, s, Some(&short_s));
         assert!(r_full > 1.6 && r_full < 2.6, "full gather ratio {r_full}");
-        assert!(r_short > 1.0 && r_short < 1.9, "short gather ratio {r_short}");
+        assert!(
+            r_short > 1.0 && r_short < 1.9,
+            "short gather ratio {r_short}"
+        );
         assert!(r_short < r_full, "{r_short} vs {r_full}");
     }
 

@@ -36,7 +36,9 @@ fn scalar_weight(f: MathFunc) -> f64 {
 /// Cycles per element of a `y[i] = f(x[i])` loop.
 pub fn math_cycles_per_element(f: MathFunc, c: Compiler, m: &Machine) -> f64 {
     if !c.vectorizes_math(f) {
-        let call = m.table.cost(ookami_uarch::OpClass::ScalarLibmCall, m.vector_width);
+        let call = m
+            .table
+            .cost(ookami_uarch::OpClass::ScalarLibmCall, m.vector_width);
         return call.latency * scalar_weight(f);
     }
     let vl = m.vector_width.lanes_f64();
@@ -47,7 +49,11 @@ pub fn math_cycles_per_element(f: MathFunc, c: Compiler, m: &Machine) -> f64 {
         let data = vec![1.234567f64; vl];
         let mut out = vec![0.0f64; vl];
         let x = ctx.ld1d(&pg, &data, 0);
-        let y = if two_input { Some(ctx.ld1d(&pg, &data, 0)) } else { None };
+        let y = if two_input {
+            Some(ctx.ld1d(&pg, &data, 0))
+        } else {
+            None
+        };
         let r = eval(ctx, &pg, &x, y.as_ref(), f, c);
         ctx.st1d(&pg, &r, &mut out, 0);
         // VLA loop structure (all A64FX toolchains emit whilelt loops; the
@@ -142,7 +148,10 @@ mod tests {
         let cray = math_cycles_per_element(MathFunc::Exp, Compiler::Cray, a64fx());
         let fuj = math_cycles_per_element(MathFunc::Exp, Compiler::Fujitsu, a64fx());
         let intel = math_cycles_per_element(MathFunc::Exp, Compiler::Intel, skx());
-        assert!(fuj < cray && cray < arm && arm < gnu, "{fuj} {cray} {arm} {gnu}");
+        assert!(
+            fuj < cray && cray < arm && arm < gnu,
+            "{fuj} {cray} {arm} {gnu}"
+        );
         assert!((gnu - 32.0).abs() < 3.0, "gnu {gnu}");
         assert!(fuj > 1.4 && fuj < 3.0, "fujitsu {fuj}");
         assert!(cray > 2.5 && cray < 6.0, "cray {cray}");
@@ -157,8 +166,15 @@ mod tests {
         let gnu = math_cycles_per_element(MathFunc::Sqrt, Compiler::Gnu, a64fx());
         let fuj = math_cycles_per_element(MathFunc::Sqrt, Compiler::Fujitsu, a64fx());
         let intel = math_cycles_per_element(MathFunc::Sqrt, Compiler::Intel, skx());
-        assert!(gnu / fuj > 3.0, "gnu/fujitsu {} (gnu {gnu}, fujitsu {fuj})", gnu / fuj);
-        assert!(gnu > 15.0, "gnu sqrt {gnu} c/e should reflect the 134-cycle block");
+        assert!(
+            gnu / fuj > 3.0,
+            "gnu/fujitsu {} (gnu {gnu}, fujitsu {fuj})",
+            gnu / fuj
+        );
+        assert!(
+            gnu > 15.0,
+            "gnu sqrt {gnu} c/e should reflect the 134-cycle block"
+        );
         // Relative-to-Skylake runtime, clock-adjusted (the figure's metric).
         let rel = (gnu / 1.8) / (intel / 3.6);
         assert!(rel > 10.0 && rel < 30.0, "gnu-vs-skx sqrt ratio {rel}");

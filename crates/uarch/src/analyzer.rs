@@ -65,7 +65,10 @@ impl CycleEstimate {
 
     /// The compute-only bound (no memory stalls).
     pub fn compute_bound(&self) -> f64 {
-        self.port_pressure.max(self.issue).max(self.recurrence).max(self.window)
+        self.port_pressure
+            .max(self.issue)
+            .max(self.recurrence)
+            .max(self.window)
     }
 
     /// Cycles per retired element.
@@ -100,8 +103,14 @@ impl CycleEstimate {
 
 impl KernelLoop {
     pub fn new(body: Vec<Instr>, elements_per_iter: f64) -> Self {
-        assert!(elements_per_iter > 0.0, "elements_per_iter must be positive");
-        KernelLoop { body, elements_per_iter }
+        assert!(
+            elements_per_iter > 0.0,
+            "elements_per_iter must be positive"
+        );
+        KernelLoop {
+            body,
+            elements_per_iter,
+        }
     }
 
     /// Analyze this loop against a machine cost table.
@@ -294,8 +303,7 @@ impl KernelLoop {
         let mut x: Vec<Vec<f64>> = masks
             .iter()
             .map(|&(mask, load)| {
-                let ports: Vec<usize> =
-                    (0..nports).filter(|&p| mask & (1 << p) != 0).collect();
+                let ports: Vec<usize> = (0..nports).filter(|&p| mask & (1 << p) != 0).collect();
                 let mut row = vec![0.0; nports];
                 for &p in &ports {
                     row[p] = load / ports.len() as f64;
@@ -314,8 +322,7 @@ impl KernelLoop {
             // least-loaded allowed port
             let mut moved = false;
             for (mi, &(mask, _)) in masks.iter().enumerate() {
-                let allowed: Vec<usize> =
-                    (0..nports).filter(|&p| mask & (1 << p) != 0).collect();
+                let allowed: Vec<usize> = (0..nports).filter(|&p| mask & (1 << p) != 0).collect();
                 if allowed.len() < 2 {
                     continue;
                 }
@@ -557,7 +564,11 @@ mod tests {
         let rep = k.port_report(&Toy);
         let est = k.analyze(&Toy);
         let max = rep.iter().map(|&(_, l)| l).fold(0.0, f64::max);
-        assert!((max - est.port_pressure).abs() < 1e-6, "{rep:?} vs {}", est.port_pressure);
+        assert!(
+            (max - est.port_pressure).abs() < 1e-6,
+            "{rep:?} vs {}",
+            est.port_pressure
+        );
         let p0 = rep.iter().find(|(n, _)| *n == "P0").expect("P0").1;
         let p1 = rep.iter().find(|(n, _)| *n == "P1").expect("P1").1;
         assert!((p0 - p1).abs() < 1e-6, "unbalanced: {rep:?}");

@@ -30,17 +30,35 @@ pub struct CostEntry {
 impl CostEntry {
     /// A pipelined single-µop entry.
     pub fn piped(latency: f64, rthroughput: f64, ports: PortSet) -> Self {
-        CostEntry { latency, rthroughput, ports, uops: 1, blocking: false }
+        CostEntry {
+            latency,
+            rthroughput,
+            ports,
+            uops: 1,
+            blocking: false,
+        }
     }
 
     /// A blocking (non-pipelined) single-µop entry: occupancy == latency.
     pub fn blocking(latency: f64, ports: PortSet) -> Self {
-        CostEntry { latency, rthroughput: latency, ports, uops: 1, blocking: true }
+        CostEntry {
+            latency,
+            rthroughput: latency,
+            ports,
+            uops: 1,
+            blocking: true,
+        }
     }
 
     /// A pipelined entry cracked into `uops` micro-ops.
     pub fn cracked(latency: f64, rthroughput: f64, ports: PortSet, uops: u32) -> Self {
-        CostEntry { latency, rthroughput, ports, uops, blocking: false }
+        CostEntry {
+            latency,
+            rthroughput,
+            ports,
+            uops,
+            blocking: false,
+        }
     }
 
     /// Total port-occupancy cycles this instruction contributes.

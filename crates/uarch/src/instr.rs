@@ -152,7 +152,13 @@ pub struct Instr {
 
 impl Instr {
     pub fn new(op: OpClass, width: Width, dst: Option<Reg>, srcs: Vec<Reg>) -> Self {
-        Instr { op, width, dst, srcs, uops_hint: None }
+        Instr {
+            op,
+            width,
+            dst,
+            srcs,
+            uops_hint: None,
+        }
     }
 
     /// Attach a micro-op count override (builder style).
@@ -188,7 +194,10 @@ impl StreamBuilder {
     /// Allocate a fresh virtual register.
     pub fn reg(&mut self) -> Reg {
         let r = self.next_reg;
-        self.next_reg = self.next_reg.checked_add(1).expect("register space exhausted");
+        self.next_reg = self
+            .next_reg
+            .checked_add(1)
+            .expect("register space exhausted");
         r
     }
 

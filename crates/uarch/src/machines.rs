@@ -201,21 +201,73 @@ impl CostTable for SkxTable {
             OpClass::FCvt => CostEntry::piped(4.0, 1.0, fma),
             // Pipelined (unlike A64FX): vdivpd/vsqrtpd keep accepting work.
             OpClass::FDiv => match w {
-                Width::Scalar => CostEntry { latency: 14.0, rthroughput: 4.0, ports: PortSet::one(P0), uops: 1, blocking: false },
-                Width::V128 => CostEntry { latency: 14.0, rthroughput: 4.0, ports: PortSet::one(P0), uops: 1, blocking: false },
-                Width::V256 => CostEntry { latency: 14.0, rthroughput: 8.0, ports: PortSet::one(P0), uops: 1, blocking: false },
-                Width::V512 => CostEntry { latency: 23.0, rthroughput: 16.0, ports: PortSet::one(P0), uops: 1, blocking: false },
+                Width::Scalar => CostEntry {
+                    latency: 14.0,
+                    rthroughput: 4.0,
+                    ports: PortSet::one(P0),
+                    uops: 1,
+                    blocking: false,
+                },
+                Width::V128 => CostEntry {
+                    latency: 14.0,
+                    rthroughput: 4.0,
+                    ports: PortSet::one(P0),
+                    uops: 1,
+                    blocking: false,
+                },
+                Width::V256 => CostEntry {
+                    latency: 14.0,
+                    rthroughput: 8.0,
+                    ports: PortSet::one(P0),
+                    uops: 1,
+                    blocking: false,
+                },
+                Width::V512 => CostEntry {
+                    latency: 23.0,
+                    rthroughput: 16.0,
+                    ports: PortSet::one(P0),
+                    uops: 1,
+                    blocking: false,
+                },
             },
             OpClass::FSqrt => match w {
-                Width::Scalar => CostEntry { latency: 18.0, rthroughput: 6.0, ports: PortSet::one(P0), uops: 1, blocking: false },
-                Width::V128 => CostEntry { latency: 18.0, rthroughput: 6.0, ports: PortSet::one(P0), uops: 1, blocking: false },
-                Width::V256 => CostEntry { latency: 19.0, rthroughput: 12.0, ports: PortSet::one(P0), uops: 1, blocking: false },
-                Width::V512 => CostEntry { latency: 31.0, rthroughput: 19.0, ports: PortSet::one(P0), uops: 1, blocking: false },
+                Width::Scalar => CostEntry {
+                    latency: 18.0,
+                    rthroughput: 6.0,
+                    ports: PortSet::one(P0),
+                    uops: 1,
+                    blocking: false,
+                },
+                Width::V128 => CostEntry {
+                    latency: 18.0,
+                    rthroughput: 6.0,
+                    ports: PortSet::one(P0),
+                    uops: 1,
+                    blocking: false,
+                },
+                Width::V256 => CostEntry {
+                    latency: 19.0,
+                    rthroughput: 12.0,
+                    ports: PortSet::one(P0),
+                    uops: 1,
+                    blocking: false,
+                },
+                Width::V512 => CostEntry {
+                    latency: 31.0,
+                    rthroughput: 19.0,
+                    ports: PortSet::one(P0),
+                    uops: 1,
+                    blocking: false,
+                },
             },
             // vrcp14pd / vrsqrt14pd zmm.
-            OpClass::FRecpe | OpClass::FRsqrte => {
-                CostEntry { latency: 7.0, rthroughput: 2.0, ports: PortSet::one(P0), uops: 1, blocking: false }
-            }
+            OpClass::FRecpe | OpClass::FRsqrte => CostEntry {
+                latency: 7.0,
+                rthroughput: 2.0,
+                ports: PortSet::one(P0),
+                uops: 1,
+                blocking: false,
+            },
             // No FEXPA on x86; SVML's equivalent trick is VSCALEFPD.
             OpClass::Fexpa => CostEntry::piped(4.0, 1.0, fma),
             OpClass::Ftmad => CostEntry::piped(4.0, 1.0, fma),
@@ -379,12 +431,24 @@ impl CostTable for KnlTable {
         // Reuse SKX port naming; KNL has VPU0/VPU1 + 2 memory ports.
         let base = SkxTable.cost(op, w);
         match op {
-            OpClass::Fma | OpClass::FAdd | OpClass::FMul | OpClass::FMinMax => {
-                CostEntry { latency: 6.0, ..base }
-            }
-            OpClass::FDiv => CostEntry { latency: 32.0, rthroughput: 24.0, ..base },
-            OpClass::FSqrt => CostEntry { latency: 38.0, rthroughput: 30.0, ..base },
-            OpClass::Gather => CostEntry { rthroughput: 1.6, ..base },
+            OpClass::Fma | OpClass::FAdd | OpClass::FMul | OpClass::FMinMax => CostEntry {
+                latency: 6.0,
+                ..base
+            },
+            OpClass::FDiv => CostEntry {
+                latency: 32.0,
+                rthroughput: 24.0,
+                ..base
+            },
+            OpClass::FSqrt => CostEntry {
+                latency: 38.0,
+                rthroughput: 30.0,
+                ..base
+            },
+            OpClass::Gather => CostEntry {
+                rthroughput: 1.6,
+                ..base
+            },
             OpClass::ScalarLibmCall => CostEntry::blocking(60.0, base.ports),
             _ => base,
         }
@@ -481,8 +545,20 @@ impl CostTable for Zen2Table {
             OpClass::FMul | OpClass::FMinMax => CostEntry::piped(3.0, 1.0, fma),
             OpClass::FAbsNeg => CostEntry::piped(1.0, 1.0, fma),
             OpClass::FRound | OpClass::FCvt => CostEntry::piped(3.0, 1.0, fma),
-            OpClass::FDiv => CostEntry { latency: 13.0, rthroughput: 5.0, ports: PortSet::one(P0), uops: 1, blocking: false },
-            OpClass::FSqrt => CostEntry { latency: 20.0, rthroughput: 9.0, ports: PortSet::one(P0), uops: 1, blocking: false },
+            OpClass::FDiv => CostEntry {
+                latency: 13.0,
+                rthroughput: 5.0,
+                ports: PortSet::one(P0),
+                uops: 1,
+                blocking: false,
+            },
+            OpClass::FSqrt => CostEntry {
+                latency: 20.0,
+                rthroughput: 9.0,
+                ports: PortSet::one(P0),
+                uops: 1,
+                blocking: false,
+            },
             OpClass::FRecpe | OpClass::FRsqrte => CostEntry::piped(5.0, 1.0, PortSet::one(P0)),
             OpClass::Fexpa => CostEntry::piped(5.0, 1.0, fma), // no such instruction; scalef-ish
             OpClass::Ftmad => CostEntry::piped(5.0, 1.0, fma),
@@ -493,7 +569,9 @@ impl CostTable for Zen2Table {
             OpClass::Store => CostEntry::piped(1.0, 1.0, PortSet::one(P4)),
             // No hardware gather worth using: element loads.
             OpClass::Gather => CostEntry::cracked(20.0, 1.0, loads, w.lanes_f64() as u32),
-            OpClass::Scatter => CostEntry::cracked(20.0, 1.0, PortSet::one(P4), w.lanes_f64() as u32),
+            OpClass::Scatter => {
+                CostEntry::cracked(20.0, 1.0, PortSet::one(P4), w.lanes_f64() as u32)
+            }
             OpClass::IntAlu => CostEntry::piped(1.0, 1.0, PortSet::two(P6, P1)),
             OpClass::IntMul => CostEntry::piped(3.0, 1.0, PortSet::one(P1)),
             OpClass::VecIntOp => CostEntry::piped(1.0, 1.0, fma),
@@ -586,8 +664,18 @@ impl CostTable for Tx2Table {
         e.uops *= factor;
         match op {
             OpClass::Fma | OpClass::FAdd | OpClass::FMul => CostEntry { latency: 6.0, ..e },
-            OpClass::FDiv => CostEntry { latency: 16.0, rthroughput: 8.0, blocking: false, ..e },
-            OpClass::FSqrt => CostEntry { latency: 23.0, rthroughput: 12.0, blocking: false, ..e },
+            OpClass::FDiv => CostEntry {
+                latency: 16.0,
+                rthroughput: 8.0,
+                blocking: false,
+                ..e
+            },
+            OpClass::FSqrt => CostEntry {
+                latency: 23.0,
+                rthroughput: 12.0,
+                blocking: false,
+                ..e
+            },
             OpClass::Fexpa | OpClass::Ftmad => CostEntry { latency: 6.0, ..e }, // no SVE: polynomial fallback
             _ => e,
         }
@@ -676,12 +764,31 @@ mod tests {
     #[test]
     fn cost_tables_are_total() {
         let ops = [
-            OpClass::Fma, OpClass::FAdd, OpClass::FMul, OpClass::FDiv, OpClass::FSqrt,
-            OpClass::FRecpe, OpClass::FRsqrte, OpClass::Fexpa, OpClass::Ftmad,
-            OpClass::FCmp, OpClass::FMinMax, OpClass::FAbsNeg, OpClass::FRound,
-            OpClass::FCvt, OpClass::Load, OpClass::Store, OpClass::Gather,
-            OpClass::Scatter, OpClass::Permute, OpClass::Select, OpClass::IntAlu,
-            OpClass::IntMul, OpClass::VecIntOp, OpClass::PredOp, OpClass::Branch,
+            OpClass::Fma,
+            OpClass::FAdd,
+            OpClass::FMul,
+            OpClass::FDiv,
+            OpClass::FSqrt,
+            OpClass::FRecpe,
+            OpClass::FRsqrte,
+            OpClass::Fexpa,
+            OpClass::Ftmad,
+            OpClass::FCmp,
+            OpClass::FMinMax,
+            OpClass::FAbsNeg,
+            OpClass::FRound,
+            OpClass::FCvt,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Gather,
+            OpClass::Scatter,
+            OpClass::Permute,
+            OpClass::Select,
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::VecIntOp,
+            OpClass::PredOp,
+            OpClass::Branch,
             OpClass::ScalarLibmCall,
         ];
         let widths = [Width::Scalar, Width::V128, Width::V256, Width::V512];

@@ -51,7 +51,12 @@ pub fn render_table3() -> String {
     for r in table3() {
         s.push_str(&format!(
             "{:<16} {:<42} {:<16} {:>10} {:>10.2} {:>12.1} {:>12.0}\n",
-            r.system, r.cpu, r.simd, r.cores_per_node, r.base_ghz, r.peak_gflops_core,
+            r.system,
+            r.cpu,
+            r.simd,
+            r.cores_per_node,
+            r.base_ghz,
+            r.peak_gflops_core,
             r.peak_gflops_node
         ));
     }
@@ -85,7 +90,14 @@ mod tests {
     #[test]
     fn render_contains_all_systems() {
         let t = render_table3();
-        for s in ["Ookami", "Stampede 2", "Bridges 2", "Expanse", "A64FX", "SVE"] {
+        for s in [
+            "Ookami",
+            "Stampede 2",
+            "Bridges 2",
+            "Expanse",
+            "A64FX",
+            "SVE",
+        ] {
             assert!(t.contains(s), "missing {s} in:\n{t}");
         }
     }

@@ -26,9 +26,7 @@ fn arb_body(max_len: usize) -> impl Strategy<Value = Vec<Instr>> {
         items
             .into_iter()
             .enumerate()
-            .map(|(i, (op, srcs))| {
-                Instr::new(OPS[op], Width::V512, Some(100 + i as u16), srcs)
-            })
+            .map(|(i, (op, srcs))| Instr::new(OPS[op], Width::V512, Some(100 + i as u16), srcs))
             .collect()
     })
 }

@@ -18,7 +18,7 @@ mod tests {
     use crate::ulp::{measure, sample_range};
 
     fn cos_slice(xs: &[f64]) -> Vec<f64> {
-        crate::map_f64(8, xs, |ctx, pg, x| cos(ctx, pg, x))
+        crate::map_f64(8, xs, cos)
     }
 
     #[test]
@@ -27,7 +27,12 @@ mod tests {
         let got = cos_slice(&xs);
         let want: Vec<f64> = xs.iter().map(|&x| x.cos()).collect();
         let acc = measure(&got, &want);
-        assert!(acc.max_ulp <= 16, "max {} ulp (mean {:.2})", acc.max_ulp, acc.mean_ulp);
+        assert!(
+            acc.max_ulp <= 16,
+            "max {} ulp (mean {:.2})",
+            acc.max_ulp,
+            acc.mean_ulp
+        );
         assert!(acc.mean_ulp < 1.0, "mean {}", acc.mean_ulp);
     }
 
@@ -52,7 +57,7 @@ mod tests {
     fn pythagorean_identity() {
         let xs = sample_range(-15.0, 15.0, 2001);
         let c = cos_slice(&xs);
-        let s = crate::map_f64(8, &xs, |ctx, pg, x| crate::sin::sin(ctx, pg, x));
+        let s = crate::map_f64(8, &xs, crate::sin::sin);
         for i in 0..xs.len() {
             let r = s[i] * s[i] + c[i] * c[i];
             assert!((r - 1.0).abs() < 1e-14, "x={}: {r}", xs[i]);

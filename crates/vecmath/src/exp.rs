@@ -18,6 +18,10 @@
 //! All implementations run on the SVE emulator: the same code is tested
 //! for ulp accuracy and recorded for cycle analysis.
 
+// The split-ln2 constants are exact bit patterns from the algorithm; their
+// digit strings are deliberate.
+#![allow(clippy::excessive_precision)]
+
 use ookami_sve::{Pred, SveCtx, VVal};
 
 /// log2(e) · 64 — step count per unit x.
@@ -54,13 +58,7 @@ pub enum ExpVariant {
 /// FEXPA-based exp. `corrected` spends one extra FMA to merge the scale
 /// multiply into the polynomial's last step (the "+0.25 cycles/element"
 /// fix the paper estimates would make their kernel Fujitsu-grade).
-pub fn exp_fexpa(
-    ctx: &mut SveCtx,
-    pg: &Pred,
-    x: &VVal,
-    form: PolyForm,
-    corrected: bool,
-) -> VVal {
+pub fn exp_fexpa(ctx: &mut SveCtx, pg: &Pred, x: &VVal, form: PolyForm, corrected: bool) -> VVal {
     let l2e64 = ctx.dup_f64(L2E_64);
     let hi = ctx.dup_f64(LN2_64_HI);
     let lo = ctx.dup_f64(LN2_64_LO);

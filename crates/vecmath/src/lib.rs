@@ -37,11 +37,7 @@ pub use ulp::{max_ulp_error, ulp_diff};
 pub fn map_f64(
     vl: usize,
     xs: &[f64],
-    mut f: impl FnMut(
-        &mut ookami_sve::SveCtx,
-        &ookami_sve::Pred,
-        &ookami_sve::VVal,
-    ) -> ookami_sve::VVal,
+    mut f: impl FnMut(&mut ookami_sve::SveCtx, &ookami_sve::Pred, &ookami_sve::VVal) -> ookami_sve::VVal,
 ) -> Vec<f64> {
     let mut ctx = ookami_sve::SveCtx::new(vl);
     let mut out = Vec::with_capacity(xs.len());
@@ -49,9 +45,8 @@ pub fn map_f64(
     while i < xs.len() {
         let pg = ctx.whilelt(i, xs.len());
         let mut lanes = vec![0.0; vl];
-        for l in 0..vl.min(xs.len() - i) {
-            lanes[l] = xs[i + l];
-        }
+        let n = vl.min(xs.len() - i);
+        lanes[..n].copy_from_slice(&xs[i..i + n]);
         let x = ctx.input_f64(&lanes);
         let y = f(&mut ctx, &pg, &x);
         for l in 0..vl.min(xs.len() - i) {

@@ -145,7 +145,10 @@ mod tests {
 
     #[test]
     fn identities() {
-        let got = pow_pairs(&[(5.0, 0.0), (5.0, 1.0), (2.0, 10.0), (9.0, 0.5)], PowStyle::FexpaFast);
+        let got = pow_pairs(
+            &[(5.0, 0.0), (5.0, 1.0), (2.0, 10.0), (9.0, 0.5)],
+            PowStyle::FexpaFast,
+        );
         assert_eq!(got[0], 1.0);
         assert!((got[1] - 5.0).abs() < 1e-14);
         assert!((got[2] - 1024.0).abs() < 1e-10);

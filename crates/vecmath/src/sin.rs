@@ -6,6 +6,10 @@
 //! dataflow pattern the paper's "predicate" loop test exercises; on a
 //! machine without predication this kernel needs divergent branches.
 
+// The coefficient tables below are verbatim fdlibm constants; their digit
+// strings are part of the algorithm, not approximations to clean up.
+#![allow(clippy::excessive_precision, clippy::approx_constant)]
+
 use ookami_sve::{Pred, SveCtx, VVal};
 
 // Three-part π/2 (fdlibm constants).
@@ -44,12 +48,7 @@ pub fn sin(ctx: &mut SveCtx, pg: &Pred, x: &VVal) -> VVal {
 /// Shared reduction/poly/select core: computes `sin(x + offset·π/2)` by
 /// offsetting the quadrant integer (used by [`crate::cos::cos`] with
 /// offset 1 — no precision is lost in the argument).
-pub(crate) fn sin_with_quadrant_offset(
-    ctx: &mut SveCtx,
-    pg: &Pred,
-    x: &VVal,
-    offset: i64,
-) -> VVal {
+pub(crate) fn sin_with_quadrant_offset(ctx: &mut SveCtx, pg: &Pred, x: &VVal, offset: i64) -> VVal {
     let top = ctx.dup_f64(TWO_OVER_PI);
     let p1 = ctx.dup_f64(PIO2_1);
     let p1t = ctx.dup_f64(PIO2_1T);
@@ -166,7 +165,7 @@ mod tests {
     use crate::ulp::{measure, sample_range};
 
     fn sin_slice(xs: &[f64]) -> Vec<f64> {
-        crate::map_f64(8, xs, |ctx, pg, x| sin(ctx, pg, x))
+        crate::map_f64(8, xs, sin)
     }
 
     #[test]
@@ -177,7 +176,12 @@ mod tests {
         let acc = measure(&got, &want);
         // Worst lanes sit just past quadrant midpoints; mean error is what
         // a vector library quotes. (Paper: "between 1 and 4 ulps is common".)
-        assert!(acc.max_ulp <= 16, "max {} ulp (mean {:.2})", acc.max_ulp, acc.mean_ulp);
+        assert!(
+            acc.max_ulp <= 16,
+            "max {} ulp (mean {:.2})",
+            acc.max_ulp,
+            acc.mean_ulp
+        );
         assert!(acc.mean_ulp < 1.0, "mean {} ulp", acc.mean_ulp);
     }
 
@@ -185,7 +189,7 @@ mod tests {
     fn ftmad_variant_matches_generic() {
         let xs = sample_range(-20.0, 20.0, 10_001);
         let a = sin_slice(&xs);
-        let b = crate::map_f64(8, &xs, |ctx, pg, x| sin_ftmad(ctx, pg, x));
+        let b = crate::map_f64(8, &xs, sin_ftmad);
         for (x, (ga, gb)) in xs.iter().zip(a.iter().zip(&b)) {
             // Horner (FTMAD) vs Estrin round differently by ≤ a few ulp.
             assert!(
@@ -224,10 +228,7 @@ mod tests {
             for dx in [-1e-8, 0.0, 1e-8] {
                 let got = sin_slice(&[x + dx])[0];
                 let want = (x + dx).sin();
-                assert!(
-                    (got - want).abs() < 1e-13,
-                    "x={x}+{dx}: {got} vs {want}"
-                );
+                assert!((got - want).abs() < 1e-13, "x={x}+{dx}: {got} vs {want}");
             }
         }
     }

@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn rsqrt_accuracy() {
         let xs = sample_range(0.01, 10_000.0, 10_001);
-        let got = crate::map_f64(8, &xs, |ctx, pg, x| rsqrt_newton(ctx, pg, x));
+        let got = crate::map_f64(8, &xs, rsqrt_newton);
         for (g, &x) in got.iter().zip(&xs) {
             let want = 1.0 / x.sqrt();
             assert!(ulp_diff(*g, want) <= 2, "x={x}: {g} vs {want}");

@@ -43,22 +43,27 @@ pub fn measure(got: &[f64], want: &[f64]) -> Accuracy {
         max = max.max(d);
         sum += d as f64;
     }
-    Accuracy { max_ulp: max, mean_ulp: sum / got.len().max(1) as f64, samples: got.len() }
+    Accuracy {
+        max_ulp: max,
+        mean_ulp: sum / got.len().max(1) as f64,
+        samples: got.len(),
+    }
 }
 
 /// Convenience: max ulp error of a scalar function over sample points.
-pub fn max_ulp_error(
-    xs: &[f64],
-    f_impl: impl Fn(f64) -> f64,
-    f_ref: impl Fn(f64) -> f64,
-) -> u64 {
-    xs.iter().map(|&x| ulp_diff(f_impl(x), f_ref(x))).max().unwrap_or(0)
+pub fn max_ulp_error(xs: &[f64], f_impl: impl Fn(f64) -> f64, f_ref: impl Fn(f64) -> f64) -> u64 {
+    xs.iter()
+        .map(|&x| ulp_diff(f_impl(x), f_ref(x)))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Deterministic sample points covering `[lo, hi]` densely plus endpoints.
 pub fn sample_range(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(n >= 2 && hi > lo);
-    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
 }
 
 #[cfg(test)]

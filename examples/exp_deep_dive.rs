@@ -28,13 +28,19 @@ fn main() {
     for (name, v) in [
         ("FEXPA + 5-term Horner       ", ExpVariant::FexpaHorner),
         ("FEXPA + 5-term Estrin       ", ExpVariant::FexpaEstrin),
-        ("FEXPA + Estrin + fixed FMA  ", ExpVariant::FexpaEstrinCorrected),
+        (
+            "FEXPA + Estrin + fixed FMA  ",
+            ExpVariant::FexpaEstrinCorrected,
+        ),
         ("13-term, table-free (Cray)  ", ExpVariant::Poly13),
         ("13-term + Sleef hardening   ", ExpVariant::Poly13Sleef),
     ] {
         let got = exp_slice(8, &xs, v);
         let acc = measure(&got, &want);
-        println!("  {name}  max {:>2} ulp   mean {:.3} ulp", acc.max_ulp, acc.mean_ulp);
+        println!(
+            "  {name}  max {:>2} ulp   mean {:.3} ulp",
+            acc.max_ulp, acc.mean_ulp
+        );
     }
     println!("  (paper: their kernel ≈ 6 ulp; 1–4 ulp \"common in vectorized libraries\")");
 

@@ -12,11 +12,18 @@ use std::time::Instant;
 fn main() {
     // DGEMM maturity ladder, natively measured.
     let n = 256;
-    let a: Vec<f64> = (0..n * n).map(|i| ((i * 37) % 101) as f64 * 0.01 - 0.5).collect();
-    let b: Vec<f64> = (0..n * n).map(|i| ((i * 53) % 97) as f64 * 0.01 - 0.5).collect();
+    let a: Vec<f64> = (0..n * n)
+        .map(|i| ((i * 37) % 101) as f64 * 0.01 - 0.5)
+        .collect();
+    let b: Vec<f64> = (0..n * n)
+        .map(|i| ((i * 53) % 97) as f64 * 0.01 - 0.5)
+        .collect();
     println!("== native DGEMM ({n}×{n}), three maturity levels ==");
     for (name, f) in [
-        ("naive", dgemm_naive as fn(usize, usize, usize, f64, &[f64], &[f64], f64, &mut [f64])),
+        (
+            "naive",
+            dgemm_naive as fn(usize, usize, usize, f64, &[f64], &[f64], f64, &mut [f64]),
+        ),
         ("blocked", dgemm_blocked),
         ("micro-kernel", dgemm_micro),
     ] {
@@ -24,12 +31,18 @@ fn main() {
         let t = Instant::now();
         f(n, n, n, 1.0, &a, &b, 0.0, &mut c);
         let dt = t.elapsed().as_secs_f64();
-        println!("  {name:<12} {:>8.2} ms  {:>6.2} GFLOP/s", dt * 1e3, gemm_flops(n, n, n) / dt / 1e9);
+        println!(
+            "  {name:<12} {:>8.2} ms  {:>6.2} GFLOP/s",
+            dt * 1e3,
+            gemm_flops(n, n, n) / dt / 1e9
+        );
     }
 
     // HPL-style solve with the residual check.
     let hn = 256;
-    let mut m: Vec<f64> = (0..hn * hn).map(|i| ((i * 29) % 89) as f64 * 0.01 - 0.4).collect();
+    let mut m: Vec<f64> = (0..hn * hn)
+        .map(|i| ((i * 29) % 89) as f64 * 0.01 - 0.4)
+        .collect();
     for i in 0..hn {
         m[i * hn + i] += 30.0;
     }
@@ -45,8 +58,9 @@ fn main() {
 
     // FFT round trip.
     let fft = Fft::new(1 << 16);
-    let x: Vec<(f64, f64)> =
-        (0..1 << 16).map(|i| ((i as f64 * 0.01).sin(), (i as f64 * 0.007).cos())).collect();
+    let x: Vec<(f64, f64)> = (0..1 << 16)
+        .map(|i| ((i as f64 * 0.01).sin(), (i as f64 * 0.007).cos()))
+        .collect();
     let t = Instant::now();
     let y = fft.forward(&x);
     let dt = t.elapsed().as_secs_f64();

@@ -12,7 +12,13 @@ use ookami::vecmath::sin::sin;
 use ookami::vecmath::sqrt::{sqrt, SqrtStyle};
 
 fn kernel(name: &str) -> Option<KernelLoop> {
-    let k = |f: Box<dyn Fn(&mut ookami::sve::SveCtx, &ookami::sve::Pred, &ookami::sve::VVal) -> ookami::sve::VVal>| {
+    let k = |f: Box<
+        dyn Fn(
+            &mut ookami::sve::SveCtx,
+            &ookami::sve::Pred,
+            &ookami::sve::VVal,
+        ) -> ookami::sve::VVal,
+    >| {
         record_kernel(8, 8.0, |ctx| {
             let pg = ctx.ptrue();
             let data = vec![1.5f64; 8];
@@ -28,10 +34,12 @@ fn kernel(name: &str) -> Option<KernelLoop> {
         .kernel
     };
     match name {
-        "exp" => Some(k(Box::new(|c, p, x| exp_fexpa(c, p, x, PolyForm::Estrin, true)))),
+        "exp" => Some(k(Box::new(|c, p, x| {
+            exp_fexpa(c, p, x, PolyForm::Estrin, true)
+        }))),
         "sqrt-newton" => Some(k(Box::new(|c, p, x| sqrt(c, p, x, SqrtStyle::Newton)))),
         "sqrt-fsqrt" => Some(k(Box::new(|c, p, x| sqrt(c, p, x, SqrtStyle::Fsqrt)))),
-        "sin" => Some(k(Box::new(|c, p, x| sin(c, p, x)))),
+        "sin" => Some(k(Box::new(sin))),
         "mc" => Some(ookami::mc::emulated::record_vectorized_kernel(8)),
         _ => None,
     }
@@ -53,8 +61,11 @@ fn explore(name: &str, k: &KernelLoop, m: &Machine) {
         e.binding_bound(),
     );
     let rep = k.port_report(m.table);
-    let line: Vec<String> =
-        rep.iter().filter(|(_, l)| *l > 0.01).map(|(n, l)| format!("{n}={l:.1}")).collect();
+    let line: Vec<String> = rep
+        .iter()
+        .filter(|(_, l)| *l > 0.01)
+        .map(|(n, l)| format!("{n}={l:.1}"))
+        .collect();
     println!("  {:<16} port utilization: {}", "", line.join("  "));
 }
 

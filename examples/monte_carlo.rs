@@ -13,18 +13,28 @@ use std::time::Instant;
 
 fn main() {
     let n = 4_000_000u64;
-    println!("Monte Carlo integral of x·e^(-x) on [0, 23]; analytic mean = {:.9}\n", analytic_mean());
+    println!(
+        "Monte Carlo integral of x·e^(-x) on [0, 23]; analytic mean = {:.9}\n",
+        analytic_mean()
+    );
 
     // Really run both versions and time them.
     let t0 = Instant::now();
     let serial = sample_serial(n, 42);
     let t_serial = t0.elapsed();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let t0 = Instant::now();
     let par = sample_parallel(n, 42, threads, 8);
     let t_par = t0.elapsed();
 
-    println!("  serial:        mean {:.6}  acceptance {:.3}  {:?}", serial.mean, serial.acceptance_rate(), t_serial);
+    println!(
+        "  serial:        mean {:.6}  acceptance {:.3}  {:?}",
+        serial.mean,
+        serial.acceptance_rate(),
+        t_serial
+    );
     println!(
         "  restructured:  mean {:.6}  acceptance {:.3}  {:?}  ({} threads × 8 lanes, {:.1}× speedup)\n",
         par.mean,
@@ -37,7 +47,10 @@ fn main() {
     // What the A64FX model says about the same transformation.
     let m = machines::a64fx();
     println!("A64FX model:");
-    println!("  naive serial loop:        {:.1} cycles/sample (latency-exposed chain)", serial_cycles_per_sample(m));
+    println!(
+        "  naive serial loop:        {:.1} cycles/sample (latency-exposed chain)",
+        serial_cycles_per_sample(m)
+    );
     for c in [Compiler::Fujitsu, Compiler::Gnu] {
         println!(
             "  vectorized ({:<7}):     {:.2} cycles/sample  ->  node speedup ≈ {:.0}×",

@@ -8,7 +8,9 @@ use ookami::npb::{bt::Bt, cg, ep, lu::Lu, sp::Sp, ua::Ua, Class};
 use std::time::Instant;
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     println!("== Native runs (class S scale, {threads} threads) ==\n");
 
     // EP with the official verification sums.
@@ -40,15 +42,24 @@ fn main() {
     let t = Instant::now();
     let mut bt = Bt::new(Class::S);
     let d = bt.run(5, threads);
-    println!("BT.S : 5 ADI steps, final ‖Δu‖ = {d:.3e}   [{:?}]", t.elapsed());
+    println!(
+        "BT.S : 5 ADI steps, final ‖Δu‖ = {d:.3e}   [{:?}]",
+        t.elapsed()
+    );
     let t = Instant::now();
     let mut sp = Sp::new(Class::S);
     let d = sp.run(5, threads);
-    println!("SP.S : 5 ADI steps, final ‖Δu‖ = {d:.3e}   [{:?}]", t.elapsed());
+    println!(
+        "SP.S : 5 ADI steps, final ‖Δu‖ = {d:.3e}   [{:?}]",
+        t.elapsed()
+    );
     let t = Instant::now();
     let mut lus = Lu::new(Class::S);
     let d = lus.run(5, threads);
-    println!("LU.S : 5 SSOR steps, final ‖Δu‖ = {d:.3e}   [{:?}]", t.elapsed());
+    println!(
+        "LU.S : 5 SSOR steps, final ‖Δu‖ = {d:.3e}   [{:?}]",
+        t.elapsed()
+    );
 
     // UA: adaptive mesh growth + conservation.
     let t = Instant::now();
@@ -64,7 +75,16 @@ fn main() {
     );
 
     println!("== Class-C model figures ==\n");
-    println!("{}", render(&figure3(), "Fig. 3 — single-core runtime (s), class C", 0));
-    println!("{}", render(&figure4(), "Fig. 4 — all-cores runtime (s), class C", 1));
-    println!("{}", render(&figure5(), "Fig. 5 — parallel efficiency on A64FX (GCC)", 2));
+    println!(
+        "{}",
+        render(&figure3(), "Fig. 3 — single-core runtime (s), class C", 0)
+    );
+    println!(
+        "{}",
+        render(&figure4(), "Fig. 4 — all-cores runtime (s), class C", 1)
+    );
+    println!(
+        "{}",
+        render(&figure5(), "Fig. 5 — parallel efficiency on A64FX (GCC)", 2)
+    );
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the tier-1 verify from ROADMAP.md.
+# Run locally before pushing; CI (.github/workflows/ci.yml) runs the same.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1 verify: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== all checks passed"

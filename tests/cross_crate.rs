@@ -31,7 +31,10 @@ fn emulator_numerics_and_cycles_from_one_kernel() {
         ctx.loop_overhead(2);
         vec![]
     });
-    let cpe = rec.kernel.analyze(machines::a64fx().table).cycles_per_element();
+    let cpe = rec
+        .kernel
+        .analyze(machines::a64fx().table)
+        .cycles_per_element();
     assert!(cpe > 1.2 && cpe < 3.0, "exp cycles/element {cpe}");
 }
 
@@ -44,9 +47,20 @@ fn gather_pipeline_end_to_end() {
     use ookami::mem::gather::analyze_array;
     let m = machines::a64fx();
     let suite = LoopSuite::for_l1(m.mem.l1_bytes, 7);
-    let full = analyze_array(&suite.index_full, 8, m.mem.line_bytes, &m.gather, m.vector_width);
-    let short =
-        analyze_array(&suite.index_short, 8, m.mem.line_bytes, &m.gather, m.vector_width);
+    let full = analyze_array(
+        &suite.index_full,
+        8,
+        m.mem.line_bytes,
+        &m.gather,
+        m.vector_width,
+    );
+    let short = analyze_array(
+        &suite.index_short,
+        8,
+        m.mem.line_bytes,
+        &m.gather,
+        m.vector_width,
+    );
     // Pairing halves the µops for the windowed permutation…
     assert!(short.mean_groups < 0.6 * full.mean_groups);
     // …and the lowered loops inherit the 2× speedup.
@@ -59,7 +73,10 @@ fn gather_pipeline_end_to_end() {
         .analyze(m.table)
         .cycles_per_element();
     let speedup = t_full / t_short;
-    assert!(speedup > 1.5 && speedup < 2.3, "short-gather speedup {speedup}");
+    assert!(
+        speedup > 1.5 && speedup < 2.3,
+        "short-gather speedup {speedup}"
+    );
 }
 
 /// The analytic CG profile (figures input) must track the real CG code:

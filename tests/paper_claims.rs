@@ -23,7 +23,12 @@ fn peak_arithmetic() {
 fn gnu_vectorization_holes() {
     for f in [MathFunc::Exp, MathFunc::Sin, MathFunc::Pow] {
         assert!(!Compiler::Gnu.vectorizes_math(f));
-        for c in [Compiler::Fujitsu, Compiler::Cray, Compiler::Arm, Compiler::Intel] {
+        for c in [
+            Compiler::Fujitsu,
+            Compiler::Cray,
+            Compiler::Arm,
+            Compiler::Intel,
+        ] {
             assert!(c.vectorizes_math(f));
         }
     }
@@ -56,7 +61,10 @@ fn fig1_shape() {
     let short_g = fig1::relative_runtime(LoopKind::ShortGather, Compiler::Fujitsu);
     assert!((1.5..2.7).contains(&simple), "simple {simple}");
     assert!(pred > simple && pred > 2.2, "predicate {pred}");
-    assert!(short_g < simple, "short gather {short_g} vs simple {simple}");
+    assert!(
+        short_g < simple,
+        "short gather {short_g} vs simple {simple}"
+    );
 }
 
 /// §IV: the exp cycle ladder — GNU ~32, vectorized toolchains single
@@ -106,13 +114,22 @@ fn numa_placement_story() {
     use ookami::npb::figures::figure4;
     let rows = figure4();
     let get = |w: &str, t: &str| {
-        rows.iter().find(|r| r.workload == w && r.toolchain == t).unwrap().value
+        rows.iter()
+            .find(|r| r.workload == w && r.toolchain == t)
+            .unwrap()
+            .value
     };
     assert!(get("SP", "fujitsu") / get("SP", "fujitsu-first-touch") > 1.5);
     for app in ["CG", "SP", "UA"] {
-        assert!(get(app, "gcc") < get(app, "intel"), "{app}: A64FX should win");
+        assert!(
+            get(app, "gcc") < get(app, "intel"),
+            "{app}: A64FX should win"
+        );
     }
-    assert!(get("BT", "intel") < get("BT", "gcc"), "BT: Skylake should win");
+    assert!(
+        get("BT", "intel") < get("BT", "gcc"),
+        "BT: Skylake should win"
+    );
 }
 
 /// §VII: Fujitsu BLAS ≈14× OpenBLAS on DGEMM, ≈10× on HPL, Fujitsu FFTW
@@ -124,11 +141,11 @@ fn library_maturity_ratios() {
     let dg = dgemm_gflops_per_core(BlasLib::FujitsuBlas, m)
         / dgemm_gflops_per_core(BlasLib::OpenBlas, m);
     assert!((dg - 14.0).abs() < 2.0, "dgemm ratio {dg}");
-    let hp = hpl_gflops_per_node(BlasLib::FujitsuBlas, m)
-        / hpl_gflops_per_node(BlasLib::OpenBlas, m);
+    let hp =
+        hpl_gflops_per_node(BlasLib::FujitsuBlas, m) / hpl_gflops_per_node(BlasLib::OpenBlas, m);
     assert!((hp - 10.0).abs() < 2.0, "hpl ratio {hp}");
-    let ff = fft_gflops_per_node(BlasLib::FujitsuBlas, m)
-        / fft_gflops_per_node(BlasLib::OpenBlas, m);
+    let ff =
+        fft_gflops_per_node(BlasLib::FujitsuBlas, m) / fft_gflops_per_node(BlasLib::OpenBlas, m);
     assert!((ff - 4.2).abs() < 0.4, "fft ratio {ff}");
 }
 

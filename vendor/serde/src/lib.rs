@@ -1,0 +1,10 @@
+//! Marker-trait shim for serde. The workspace only *derives*
+//! `Serialize`/`Deserialize` on result records (serialization itself is
+//! hand-rolled in `ookami-core::measure`), so the traits carry no
+//! methods and the derives expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,15 @@
+//! No-op `Serialize`/`Deserialize` derives: the vendored serde shim's
+//! traits have no methods, and nothing in the workspace consumes the
+//! impls, so the derives expand to nothing at all.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
