@@ -27,6 +27,6 @@ pub use pool::{Pool, Schedule};
 pub use profile::{MathFunc, WorkloadProfile};
 pub use runtime::{
     auto_threads, par_chunks_mut, par_chunks_mut_with, par_for, par_for_with, par_reduce,
-    par_reduce_with,
+    par_reduce_with, SendPtr,
 };
 pub use stats::Stats;

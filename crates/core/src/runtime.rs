@@ -17,6 +17,54 @@ use crate::pool::{Pool, Schedule};
 
 pub use crate::pool::auto_threads;
 
+/// A raw pointer that may cross the pool's thread boundary, keeping its
+/// provenance intact (no round-trip through `usize`, which strict
+/// provenance — Miri's `-Zmiri-strict-provenance`, CHERI-style targets —
+/// rejects). The workload crates use this to hand each logical thread a
+/// disjoint window of one buffer.
+///
+/// Creating and copying a `SendPtr` is safe; all the usual raw-pointer
+/// obligations apply at dereference time ([`SendPtr::slice_mut`],
+/// [`SendPtr::ptr`]).
+pub struct SendPtr<T>(*mut T);
+
+// Manual impls: the derives would add an unwanted `T: Clone`/`T: Copy`
+// bound, but the wrapper is a pointer — always copyable.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    pub fn new(ptr: *mut T) -> Self {
+        SendPtr(ptr)
+    }
+
+    /// The wrapped pointer. Dereferencing it inherits the caller's
+    /// aliasing/liveness obligations.
+    pub fn ptr(self) -> *mut T {
+        self.0
+    }
+
+    /// `&mut` slice of `len` elements starting `offset` elements past
+    /// the base.
+    ///
+    /// # Safety
+    /// `from_raw_parts_mut` rules: `offset..offset + len` must be in
+    /// bounds of the original allocation, live for `'a`, and disjoint
+    /// from every other active reference (in the pool's case: each
+    /// claimed range derived exactly once per region, and the borrow the
+    /// pointer came from outlives the region).
+    pub unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(offset), len)
+    }
+}
+
 /// Static-schedule parallel for over `0..n`: each of `threads` logical
 /// threads gets one contiguous range. `f(thread_id, start, end)` must only
 /// touch data owned by its range (enforced by the usual borrow rules in
@@ -67,7 +115,7 @@ pub fn par_chunks_mut_with<T: Send, F>(
     if n_chunks == 0 {
         return;
     }
-    let base = data.as_mut_ptr() as usize;
+    let base = SendPtr::new(data.as_mut_ptr());
     Pool::global().par_for_with(threads, n_chunks, sched, |_, s, e| {
         for i in s..e {
             let start = i * chunk_len;
@@ -76,8 +124,7 @@ pub fn par_chunks_mut_with<T: Send, F>(
             // slice; distinct `i` never overlap, every `i` is claimed
             // exactly once per region, and the borrow of `data` outlives
             // the region (the caller blocks until the pool's barrier).
-            let chunk =
-                unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start) };
+            let chunk = unsafe { base.slice_mut(start, end - start) };
             f(i, chunk);
         }
     });

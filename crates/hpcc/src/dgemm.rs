@@ -136,14 +136,15 @@ pub fn dgemm_parallel(
     c: &mut [f64],
 ) {
     assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
-    let cbase = c.as_mut_ptr() as usize;
+    let cbase = ookami_core::SendPtr::new(c.as_mut_ptr());
     // Guided: row-panel cost is uniform, but the shrinking chunks absorb
     // whatever imbalance the machine adds (a worker descheduled mid-panel)
     // at far fewer steals than `Dynamic` with a small fixed chunk.
     ookami_core::runtime::par_for_with(threads, m, ookami_core::Schedule::Guided, |_, s, e| {
         let rows = e - s;
-        let cslice =
-            unsafe { std::slice::from_raw_parts_mut((cbase as *mut f64).add(s * n), rows * n) };
+        // SAFETY: row panels [s, e) are claimed exactly once per region
+        // and `c` outlives it.
+        let cslice = unsafe { cbase.slice_mut(s * n, rows * n) };
         dgemm_blocked(rows, n, k, alpha, &a[s * k..e * k], b, beta, cslice);
     });
 }

@@ -114,7 +114,7 @@ impl Fft {
     /// transposes).
     pub fn forward_batch(&self, signals: &[Vec<C64>], threads: usize) -> Vec<Vec<C64>> {
         let mut out: Vec<Vec<C64>> = vec![Vec::new(); signals.len()];
-        let obase = out.as_mut_ptr() as usize;
+        let obase = ookami_core::SendPtr::new(out.as_mut_ptr());
         // One signal at a time off the shared queue: transforms are
         // substantial units of work, so steal overhead is negligible and
         // short batches still spread over the whole team.
@@ -123,9 +123,9 @@ impl Fft {
             signals.len(),
             ookami_core::Schedule::Dynamic { chunk: 1 },
             |_, s, e| {
-                let slot = unsafe {
-                    std::slice::from_raw_parts_mut((obase as *mut Vec<C64>).add(s), e - s)
-                };
+                // SAFETY: each claimed range [s, e) is handed out exactly
+                // once per region and `out` outlives it.
+                let slot = unsafe { obase.slice_mut(s, e - s) };
                 for (i, o) in (s..e).zip(slot.iter_mut()) {
                     *o = self.forward(&signals[i]);
                 }

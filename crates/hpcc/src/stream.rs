@@ -6,7 +6,7 @@
 //! what a STREAM triad measures, and the native kernels here are what the
 //! criterion bench drives.
 
-use ookami_core::runtime::par_for;
+use ookami_core::runtime::{par_for, SendPtr};
 use ookami_uarch::Machine;
 
 /// STREAM working arrays.
@@ -27,10 +27,12 @@ impl Stream {
     }
 
     fn split_write(dst: &mut [f64], threads: usize, f: impl Fn(usize, &mut [f64]) + Sync) {
-        let base = dst.as_mut_ptr() as usize;
+        let base = SendPtr::new(dst.as_mut_ptr());
         let n = dst.len();
         par_for(threads, n, |_, s, e| {
-            let chunk = unsafe { std::slice::from_raw_parts_mut((base as *mut f64).add(s), e - s) };
+            // SAFETY: static ranges [s, e) are disjoint and `dst` outlives
+            // the region.
+            let chunk = unsafe { base.slice_mut(s, e - s) };
             f(s, chunk);
         });
     }

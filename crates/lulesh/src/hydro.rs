@@ -309,7 +309,7 @@ impl Hydro {
     /// over disjoint ranges. Bitwise-identical results to the serial step
     /// because the per-thread partials are reduced in thread order.
     pub fn step_mt(&mut self, threads: usize) -> f64 {
-        use ookami_core::runtime::par_for;
+        use ookami_core::runtime::{par_for, SendPtr};
         if threads <= 1 {
             return self.step();
         }
@@ -326,19 +326,14 @@ impl Hydro {
         let mut grads_all = vec![[[0.0f64; 3]; 8]; nelem];
         let forces: Vec<[f64; 3]> = {
             let this = &*self;
-            let gbase = grads_all.as_mut_ptr() as usize;
+            let gbase = SendPtr::new(grads_all.as_mut_ptr());
             ookami_core::par_reduce_with(
                 nthreads,
                 nelem,
                 ookami_core::Schedule::Static,
                 vec![[0.0f64; 3]; nnode],
                 |start, end, mut acc| {
-                    let grads_out = unsafe {
-                        std::slice::from_raw_parts_mut(
-                            (gbase as *mut [[f64; 3]; 8]).add(start),
-                            end.saturating_sub(start),
-                        )
-                    };
+                    let grads_out = unsafe { gbase.slice_mut(start, end.saturating_sub(start)) };
                     for (gi, el) in (start..end).enumerate() {
                         let nodes = this.elem_nodes(el);
                         let corners: [[f64; 3]; 8] = std::array::from_fn(|c| this.x[nodes[c]]);
@@ -368,20 +363,14 @@ impl Hydro {
         // ---- kinematics: disjoint node ranges ----
         let nn = self.n + 1;
         {
-            let xb = self.x.as_mut_ptr() as usize;
-            let vb = self.v.as_mut_ptr() as usize;
-            let fb = self.f.as_mut_ptr() as usize;
+            let xb = SendPtr::new(self.x.as_mut_ptr());
+            let vb = SendPtr::new(self.v.as_mut_ptr());
+            let fb = SendPtr::new(self.f.as_mut_ptr());
             let mass = &self.nodal_mass;
             par_for(threads, nnode, |_, s0, e0| {
-                let x = unsafe {
-                    std::slice::from_raw_parts_mut((xb as *mut [f64; 3]).add(s0), e0 - s0)
-                };
-                let v = unsafe {
-                    std::slice::from_raw_parts_mut((vb as *mut [f64; 3]).add(s0), e0 - s0)
-                };
-                let f = unsafe {
-                    std::slice::from_raw_parts_mut((fb as *mut [f64; 3]).add(s0), e0 - s0)
-                };
+                let x = unsafe { xb.slice_mut(s0, e0 - s0) };
+                let v = unsafe { vb.slice_mut(s0, e0 - s0) };
+                let f = unsafe { fb.slice_mut(s0, e0 - s0) };
                 for (li, idx) in (s0..e0).enumerate() {
                     let k = idx % nn;
                     let j = (idx / nn) % nn;
@@ -422,9 +411,9 @@ impl Hydro {
             let f_arr = &self.f;
             let emass = &self.emass;
             let grads_ref = &grads_all;
-            let eb = self.e.as_mut_ptr() as usize;
-            let qb = self.q.as_mut_ptr() as usize;
-            let volb = self.vol.as_mut_ptr() as usize;
+            let eb = SendPtr::new(self.e.as_mut_ptr());
+            let qb = SendPtr::new(self.q.as_mut_ptr());
+            let volb = SendPtr::new(self.vol.as_mut_ptr());
             let nn = n + 1;
             let node_of = move |el: usize, c: usize| {
                 let k = el % n;
@@ -434,12 +423,9 @@ impl Hydro {
                 ((i + di) * nn + (j + dj)) * nn + (k + dk)
             };
             par_for(threads, nelem, |_, s0, e0| {
-                let ee =
-                    unsafe { std::slice::from_raw_parts_mut((eb as *mut f64).add(s0), e0 - s0) };
-                let qq =
-                    unsafe { std::slice::from_raw_parts_mut((qb as *mut f64).add(s0), e0 - s0) };
-                let vv =
-                    unsafe { std::slice::from_raw_parts_mut((volb as *mut f64).add(s0), e0 - s0) };
+                let ee = unsafe { eb.slice_mut(s0, e0 - s0) };
+                let qq = unsafe { qb.slice_mut(s0, e0 - s0) };
+                let vv = unsafe { volb.slice_mut(s0, e0 - s0) };
                 for (li, el) in (s0..e0).enumerate() {
                     let corners: [[f64; 3]; 8] = std::array::from_fn(|c| x_arr[node_of(el, c)]);
                     let newvol = hex_volume(&corners);

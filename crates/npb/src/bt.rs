@@ -13,7 +13,7 @@
 
 use crate::classes::Class;
 use crate::grid::{matvec, Block, Field, NC};
-use ookami_core::runtime::par_for;
+use ookami_core::runtime::{par_for, SendPtr};
 
 /// BT solver state.
 #[derive(Debug, Clone)]
@@ -95,18 +95,13 @@ impl Bt {
     pub fn compute_rhs(&self, threads: usize) -> Field {
         let n = self.n;
         let mut rhs = Field::zeros(n);
-        let rbase = rhs.data.as_mut_ptr() as usize;
+        let rbase = SendPtr::new(rhs.data.as_mut_ptr());
         let plane = n * n * NC;
         let u = &self.u;
         let sigma = self.sigma();
         par_for(threads, n - 2, |_, s, e| {
             // each thread owns planes i in [s+1, e+1)
-            let out = unsafe {
-                std::slice::from_raw_parts_mut(
-                    (rbase as *mut f64).add((s + 1) * plane),
-                    (e - s) * plane,
-                )
-            };
+            let out = unsafe { rbase.slice_mut((s + 1) * plane, (e - s) * plane) };
             for (pi, i) in (s + 1..e + 1).enumerate() {
                 for j in 1..n - 1 {
                     for k in 1..n - 1 {
@@ -141,13 +136,13 @@ impl Bt {
     fn sweep(&self, rhs: &mut Field, dim: usize, threads: usize) {
         let n = self.n;
         let interior = n - 2;
-        let rbase = rhs.data.as_mut_ptr() as usize;
+        let rbase = SendPtr::new(rhs.data.as_mut_ptr());
         let u = &self.u;
         let sigma = self.sigma();
         // Lines indexed by the two orthogonal coordinates (interior only).
         let idx = move |i: usize, j: usize, k: usize| ((i * n + j) * n + k) * NC;
         par_for(threads, interior * interior, |_, s, e| {
-            let rdata = rbase as *mut f64;
+            let rdata = rbase.ptr();
             let mut lower = vec![[0.0; NC * NC]; interior];
             let mut diag = vec![[0.0; NC * NC]; interior];
             let mut upper = vec![[0.0; NC * NC]; interior];

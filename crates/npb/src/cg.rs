@@ -8,7 +8,7 @@
 
 use crate::classes::Class;
 use crate::randnpb::{randlc, A as AMULT};
-use ookami_core::runtime::{par_for_with, par_reduce};
+use ookami_core::runtime::{par_for_with, par_reduce, SendPtr};
 use ookami_core::Schedule;
 use std::collections::BTreeMap;
 
@@ -42,14 +42,13 @@ impl Csr {
         // [s, e) slice is reconstructed from the base address, so no two
         // threads alias. Row cost varies with nnz, so rows are stolen in
         // dynamic chunks rather than split statically.
-        let ybase = y.as_mut_ptr() as usize;
+        let ybase = SendPtr::new(y.as_mut_ptr());
         par_for_with(
             threads,
             self.n,
             Schedule::Dynamic { chunk: 64 },
             |_, s, e| {
-                let y =
-                    unsafe { std::slice::from_raw_parts_mut((ybase as *mut f64).add(s), e - s) };
+                let y = unsafe { ybase.slice_mut(s, e - s) };
                 for (row, yo) in (s..e).zip(y.iter_mut()) {
                     let mut sum = 0.0;
                     for k in rowstr[row]..rowstr[row + 1] {

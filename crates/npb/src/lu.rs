@@ -10,7 +10,7 @@
 
 use crate::classes::Class;
 use crate::grid::{lu_factor, lu_solve, matvec, Block, Field, NC};
-use ookami_core::runtime::{par_for, par_for_with};
+use ookami_core::runtime::{par_for, par_for_with, SendPtr};
 use ookami_core::Schedule;
 
 /// LU solver state.
@@ -66,18 +66,13 @@ impl Lu {
     fn compute_rhs(&self, threads: usize) -> Field {
         let n = self.n;
         let mut rhs = Field::zeros(n);
-        let rbase = rhs.data.as_mut_ptr() as usize;
+        let rbase = SendPtr::new(rhs.data.as_mut_ptr());
         let plane = n * n * NC;
         let u = &self.u;
         let sigma = self.sigma();
         let cb = self.coupling;
         par_for(threads, n - 2, |_, s, e| {
-            let out = unsafe {
-                std::slice::from_raw_parts_mut(
-                    (rbase as *mut f64).add((s + 1) * plane),
-                    (e - s) * plane,
-                )
-            };
+            let out = unsafe { rbase.slice_mut((s + 1) * plane, (e - s) * plane) };
             for (pi, i) in (s + 1..e + 1).enumerate() {
                 for j in 1..n - 1 {
                     for k in 1..n - 1 {
@@ -136,7 +131,7 @@ impl Lu {
         }
         let piv = lu_factor(&mut dblock);
         let planes = self.hyperplanes();
-        let dbase = delta.data.as_mut_ptr() as usize;
+        let dbase = SendPtr::new(delta.data.as_mut_ptr());
         let idx = move |i: usize, j: usize, k: usize| ((i * n + j) * n + k) * NC;
 
         let relax = |pts: &[(usize, usize, usize)]| {
@@ -147,7 +142,7 @@ impl Lu {
                 pts.len(),
                 Schedule::Dynamic { chunk: 32 },
                 |_, s, e| {
-                    let dd = dbase as *mut f64;
+                    let dd = dbase.ptr();
                     for &(i, j, k) in &pts[s..e] {
                         // t = rhs + σC·(Σ neighbor deltas)
                         let mut nb = [0.0f64; NC];

@@ -9,7 +9,7 @@
 
 use crate::classes::Class;
 use crate::grid::{pentadiag_solve, Field, NC};
-use ookami_core::runtime::par_for;
+use ookami_core::runtime::{par_for, SendPtr};
 
 /// SP solver state.
 #[derive(Debug, Clone)]
@@ -62,16 +62,11 @@ impl Sp {
     pub fn compute_rhs(&self, threads: usize) -> Field {
         let n = self.n;
         let mut rhs = Field::zeros(n);
-        let rbase = rhs.data.as_mut_ptr() as usize;
+        let rbase = SendPtr::new(rhs.data.as_mut_ptr());
         let plane = n * n * NC;
         let u = &self.u;
         par_for(threads, n - 2, |_, s, e| {
-            let out = unsafe {
-                std::slice::from_raw_parts_mut(
-                    (rbase as *mut f64).add((s + 1) * plane),
-                    (e - s) * plane,
-                )
-            };
+            let out = unsafe { rbase.slice_mut((s + 1) * plane, (e - s) * plane) };
             for (pi, i) in (s + 1..e + 1).enumerate() {
                 for j in 1..n - 1 {
                     for k in 1..n - 1 {
@@ -120,10 +115,10 @@ impl Sp {
     fn sweep(&self, rhs: &mut Field, dim: usize, threads: usize) {
         let n = self.n;
         let interior = n - 2;
-        let rbase = rhs.data.as_mut_ptr() as usize;
+        let rbase = SendPtr::new(rhs.data.as_mut_ptr());
         let idx = move |i: usize, j: usize, k: usize| ((i * n + j) * n + k) * NC;
         par_for(threads, interior * interior, |_, s, e| {
-            let rdata = rbase as *mut f64;
+            let rdata = rbase.ptr();
             let mut band_a = vec![0.0; interior];
             let mut band_b = vec![0.0; interior];
             let mut band_c = vec![0.0; interior];

@@ -228,6 +228,14 @@ impl Ua {
         // amounts (level-mismatched faces walk 4 children), so this is the
         // runtime's dynamic-schedule showcase: logical threads steal leaf
         // chunks and the per-slot delta vectors reduce elementwise.
+        //
+        // Reproducibility note: stealing assigns leaves to slots
+        // differently each run, so the f64 summation order — and hence
+        // the low-order bits of `de` — varies run to run and with thread
+        // count. UA results are therefore only ever compared with
+        // tolerances (conservation to ~1e-10 relative; see the tests),
+        // never bitwise. Workloads that feed bitwise-compared figures use
+        // `Schedule::Static`, whose combine order is fixed.
         let nthreads = threads.max(1).min(nl.max(1));
         let de: Vec<f64> = par_reduce_with(
             nthreads,
