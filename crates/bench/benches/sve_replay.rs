@@ -1,0 +1,39 @@
+//! Record-once/replay-many vs the per-op interpreter.
+//!
+//! The trace engine's whole claim: recording one VLA iteration of a kernel
+//! into a compact `Trace` and replaying it from a preallocated arena beats
+//! re-interpreting (and re-allocating) every op on every vector. This
+//! bench measures the exp accuracy-sweep kernel three ways — interpreter,
+//! serial replay, and replay over the worker pool — plus the build cost of
+//! the trace itself (paid once per sweep, amortized over every element).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ookami_vecmath::exp::{exp_slice_interp, exp_trace, ExpVariant};
+use ookami_vecmath::ulp::sample_range;
+
+fn sve_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sve_replay");
+    let vl = 8;
+    let variant = ExpVariant::FexpaEstrinCorrected;
+    let xs = sample_range(-700.0, 700.0, 4_001);
+
+    g.bench_function("exp/interp", |b| {
+        b.iter(|| criterion::black_box(exp_slice_interp(vl, &xs, variant)));
+    });
+
+    let t = exp_trace(vl, variant);
+    g.bench_function("exp/replay", |b| {
+        b.iter(|| criterion::black_box(t.map(&xs)));
+    });
+    g.bench_function("exp/replay_par4", |b| {
+        b.iter(|| criterion::black_box(t.par_map(4, &xs)));
+    });
+
+    g.bench_function("exp/record", |b| {
+        b.iter(|| criterion::black_box(exp_trace(vl, variant)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sve_replay);
+criterion_main!(benches);

@@ -4,14 +4,13 @@
 //! algorithm, measured on the emulator against libm references.
 
 use ookami_core::measure::Table;
-use ookami_sve::SveCtx;
-use ookami_vecmath::exp::{exp_slice, ExpVariant};
+use ookami_vecmath::exp::{exp_trace, ExpVariant};
 use ookami_vecmath::log::{log, DivStyle};
 use ookami_vecmath::pow::{pow, PowStyle};
 use ookami_vecmath::recip::{recip, RecipStyle};
 use ookami_vecmath::sqrt::{sqrt, SqrtStyle};
 use ookami_vecmath::ulp::{measure, sample_range, Accuracy};
-use ookami_vecmath::{map_f64, sin::sin as vsin};
+use ookami_vecmath::{par_map2_traced, par_map_traced, sin::sin as vsin};
 
 /// One row of the accuracy table.
 #[derive(Debug, Clone)]
@@ -27,7 +26,11 @@ fn acc_of(got: &[f64], want: &[f64]) -> Accuracy {
     measure(got, want)
 }
 
-/// Measure every implementation.
+/// Measure every implementation. Each sweep records its kernel once into
+/// an `ookami_sve::Trace` and replays it across the sample grid on the
+/// `ookami_core` worker pool (static schedule — deterministic and
+/// bit-identical to the serial interpreter, which the `ookami-sve`
+/// differential tests guarantee).
 pub fn accuracy_study() -> Vec<AccuracyRow> {
     let mut rows = Vec::new();
 
@@ -53,14 +56,14 @@ pub fn accuracy_study() -> Vec<AccuracyRow> {
             implementation: imp,
             toolchains: tc,
             domain: "[-700, 700]",
-            acc: acc_of(&exp_slice(8, &xs, v), &want),
+            acc: acc_of(&exp_trace(8, v).par_map(0, &xs), &want),
         });
     }
 
     // ---- sin ----
     let xs = sample_range(-100.0, 100.0, 40_001);
     let want: Vec<f64> = xs.iter().map(|&x| x.sin()).collect();
-    let got = map_f64(8, &xs, vsin);
+    let got = par_map_traced(0, 8, &xs, vsin);
     rows.push(AccuracyRow {
         function: "sin",
         implementation: "3-part reduction + Estrin",
@@ -80,7 +83,7 @@ pub fn accuracy_study() -> Vec<AccuracyRow> {
         ),
         ("fdlibm series, FDIV", "gnu/arm", DivStyle::Fdiv),
     ] {
-        let got = map_f64(8, &xs, |ctx, pg, x| log(ctx, pg, x, style));
+        let got = par_map_traced(0, 8, &xs, |ctx, pg, x| log(ctx, pg, x, style));
         rows.push(AccuracyRow {
             function: "log",
             implementation: imp,
@@ -101,7 +104,7 @@ pub fn accuracy_study() -> Vec<AccuracyRow> {
         ),
         ("FDIV instruction", "gnu", RecipStyle::Fdiv),
     ] {
-        let got = map_f64(8, &xs, |ctx, pg, x| recip(ctx, pg, x, style));
+        let got = par_map_traced(0, 8, &xs, |ctx, pg, x| recip(ctx, pg, x, style));
         rows.push(AccuracyRow {
             function: "recip",
             implementation: imp,
@@ -119,7 +122,7 @@ pub fn accuracy_study() -> Vec<AccuracyRow> {
         ),
         ("FSQRT instruction", "gnu/arm", SqrtStyle::Fsqrt),
     ] {
-        let got = map_f64(8, &xs, |ctx, pg, x| sqrt(ctx, pg, x, style));
+        let got = par_map_traced(0, 8, &xs, |ctx, pg, x| sqrt(ctx, pg, x, style));
         rows.push(AccuracyRow {
             function: "sqrt",
             implementation: imp,
@@ -136,6 +139,9 @@ pub fn accuracy_study() -> Vec<AccuracyRow> {
             cases.push((0.1 + i as f64 * 0.05, -12.0 + j as f64 * 0.5));
         }
     }
+    let bx: Vec<f64> = cases.iter().map(|&(x, _)| x).collect();
+    let by: Vec<f64> = cases.iter().map(|&(_, y)| y).collect();
+    let want: Vec<f64> = cases.iter().map(|&(x, y)| x.powf(y)).collect();
     for (imp, tc, style) in [
         (
             "table log + FEXPA exp",
@@ -145,25 +151,7 @@ pub fn accuracy_study() -> Vec<AccuracyRow> {
         ("FDIV log + FEXPA exp", "cray", PowStyle::FdivLog),
         ("Sleef double-double", "arm", PowStyle::SleefDd),
     ] {
-        let mut got = Vec::new();
-        let mut want = Vec::new();
-        let mut ctx = SveCtx::new(8);
-        for chunk in cases.chunks(8) {
-            let pg = ctx.whilelt(0, chunk.len());
-            let mut bx = [1.0f64; 8];
-            let mut by = [1.0f64; 8];
-            for (l, &(x, y)) in chunk.iter().enumerate() {
-                bx[l] = x;
-                by[l] = y;
-            }
-            let vx = ctx.input_f64(&bx);
-            let vy = ctx.input_f64(&by);
-            let r = pow(&mut ctx, &pg, &vx, &vy, style);
-            for (l, &(x, y)) in chunk.iter().enumerate() {
-                got.push(r.f64_lane(l));
-                want.push(x.powf(y));
-            }
-        }
+        let got = par_map2_traced(0, 8, &bx, &by, |ctx, pg, x, y| pow(ctx, pg, x, y, style));
         rows.push(AccuracyRow {
             function: "pow",
             implementation: imp,

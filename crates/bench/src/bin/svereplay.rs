@@ -1,0 +1,190 @@
+//! Trace-replay probe: record-once/replay-many vs the per-op interpreter.
+//!
+//! Runs the exp accuracy sweep (the hot caller the trace engine was built
+//! for) through both executors, verifies the results are **bit-identical**
+//! and that the trace lowers to the **same instruction stream** the
+//! interpreter records (modulo register naming), then measures
+//! elements/second and writes `BENCH_sve.json`. Run with:
+//!
+//! ```text
+//! cargo run -p ookami-bench --bin svereplay --release [--smoke]
+//! ```
+//!
+//! `--smoke` (CI mode) shrinks the sweep and skips the ≥5× speedup gate —
+//! shared runners are too noisy for a hard perf assertion — but still
+//! enforces both identity checks. The full run fails (exit 1) unless
+//! replay is at least 5× the interpreter's elements/second.
+
+use ookami_sve::SveCtx;
+use ookami_uarch::{Instr, OpClass, Reg, Width};
+use ookami_vecmath::exp::{
+    exp_fexpa, exp_poly13, exp_slice_interp, exp_trace, ExpVariant, Poly13Style, PolyForm,
+};
+use ookami_vecmath::ulp::sample_range;
+use std::collections::HashMap;
+use std::time::Instant;
+
+const VARIANTS: [ExpVariant; 5] = [
+    ExpVariant::FexpaHorner,
+    ExpVariant::FexpaEstrin,
+    ExpVariant::FexpaEstrinCorrected,
+    ExpVariant::Poly13,
+    ExpVariant::Poly13Sleef,
+];
+
+/// The same dispatch `ookami_vecmath::exp` uses internally, rebuilt from
+/// the public kernels so the probe can drive the interpreter's recorder.
+fn exp_kernel(
+    ctx: &mut SveCtx,
+    pg: &ookami_sve::Pred,
+    x: &ookami_sve::VVal,
+    v: ExpVariant,
+) -> ookami_sve::VVal {
+    match v {
+        ExpVariant::FexpaHorner => exp_fexpa(ctx, pg, x, PolyForm::Horner, false),
+        ExpVariant::FexpaEstrin => exp_fexpa(ctx, pg, x, PolyForm::Estrin, false),
+        ExpVariant::FexpaEstrinCorrected => exp_fexpa(ctx, pg, x, PolyForm::Estrin, true),
+        ExpVariant::Poly13 => exp_poly13(ctx, pg, x, Poly13Style::Plain),
+        ExpVariant::Poly13Sleef => exp_poly13(ctx, pg, x, Poly13Style::Sleef),
+    }
+}
+
+/// Canonical register renaming (first appearance order) so interpreter and
+/// trace streams compare structurally.
+type CanonInstr = (OpClass, Width, Option<u32>, Vec<u32>, Option<u32>);
+
+fn canon(instrs: &[Instr]) -> Vec<CanonInstr> {
+    let mut names: HashMap<Reg, u32> = HashMap::new();
+    let rename = |r: Reg, names: &mut HashMap<Reg, u32>| -> u32 {
+        let next = names.len() as u32;
+        *names.entry(r).or_insert(next)
+    };
+    instrs
+        .iter()
+        .map(|i| {
+            let srcs = i.srcs.iter().map(|&r| rename(r, &mut names)).collect();
+            let dst = i.dst.map(|r| rename(r, &mut names));
+            (i.op, i.width, dst, srcs, i.uops_hint)
+        })
+        .collect()
+}
+
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let vl = 8usize;
+    let n = if smoke { 4_001 } else { 40_001 };
+    let reps = if smoke { 2 } else { 5 };
+    let xs = sample_range(-700.0, 700.0, n);
+    let headline = ExpVariant::FexpaEstrinCorrected;
+
+    // --- correctness gates: every variant, both executors, same bits ---
+    let mut bit_identical = true;
+    let mut instrs_identical = true;
+    for v in VARIANTS {
+        let want = exp_slice_interp(vl, &xs, v);
+        let t = exp_trace(vl, v);
+        let got = t.map(&xs);
+        let par = t.par_map(4, &xs);
+        let same = want.len() == got.len()
+            && want
+                .iter()
+                .zip(&got)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && want
+                .iter()
+                .zip(&par)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !same {
+            bit_identical = false;
+            eprintln!("FAIL: {v:?} replay is not bit-identical to the interpreter");
+        }
+
+        let mut ctx = SveCtx::new(vl);
+        let pg = ctx.ptrue();
+        let x = ctx.input_f64(&vec![0.5; vl]);
+        ctx.start_recording();
+        let _ = exp_kernel(&mut ctx, &pg, &x, v);
+        let want_stream = canon(&ctx.take_recording());
+        let got_stream = canon(&t.to_instrs());
+        if want_stream != got_stream {
+            instrs_identical = false;
+            eprintln!("FAIL: {v:?} trace lowers to a different instruction stream");
+        }
+    }
+
+    // --- throughput: headline variant ---
+    let interp_s = best_of(reps, || {
+        std::hint::black_box(exp_slice_interp(vl, &xs, headline));
+    });
+    let t = exp_trace(vl, headline);
+    let replay_s = best_of(reps * 4, || {
+        std::hint::black_box(t.map(&xs));
+    });
+    let par_s = best_of(reps * 4, || {
+        std::hint::black_box(t.par_map(4, &xs));
+    });
+    let record_s = best_of(reps, || {
+        std::hint::black_box(exp_trace(vl, headline));
+    });
+
+    let interp_eps = n as f64 / interp_s;
+    let replay_eps = n as f64 / replay_s;
+    let par_eps = n as f64 / par_s;
+    let speedup = replay_eps / interp_eps;
+
+    println!("svereplay: exp sweep, {n} elements, vl={vl}, {headline:?}");
+    println!("  interpreter : {:>12.0} elems/s", interp_eps);
+    println!(
+        "  trace replay: {:>12.0} elems/s  ({speedup:.1}x, record cost {:.1} µs)",
+        replay_eps,
+        record_s * 1e6
+    );
+    println!("  replay par4 : {:>12.0} elems/s", par_eps);
+    println!(
+        "  bit-identical: {bit_identical}   instruction streams identical: {instrs_identical}"
+    );
+
+    let json = format!(
+        "{{\n  \"probe\": \"svereplay\",\n  \"mode\": \"{}\",\n  \"variant\": \"{:?}\",\n  \
+         \"vl\": {},\n  \"elements\": {},\n  \"interp_elems_per_sec\": {:.0},\n  \
+         \"replay_elems_per_sec\": {:.0},\n  \"replay_par4_elems_per_sec\": {:.0},\n  \
+         \"record_cost_us\": {:.2},\n  \"speedup\": {:.2},\n  \"bit_identical\": {},\n  \
+         \"instr_streams_identical\": {}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        headline,
+        vl,
+        n,
+        interp_eps,
+        replay_eps,
+        par_eps,
+        record_s * 1e6,
+        speedup,
+        bit_identical,
+        instrs_identical
+    );
+    std::fs::write("BENCH_sve.json", &json).expect("write BENCH_sve.json");
+    println!("wrote BENCH_sve.json");
+
+    if !bit_identical || !instrs_identical {
+        std::process::exit(1);
+    }
+    if !smoke && speedup < 5.0 {
+        eprintln!("FAIL: replay speedup {speedup:.2}x < 5x over the per-op interpreter");
+        std::process::exit(1);
+    }
+    if smoke {
+        println!("OK (smoke): identity checks passed; speedup {speedup:.1}x (not gated)");
+    } else {
+        println!("OK: replay is {speedup:.1}x the interpreter (>= 5x)");
+    }
+}

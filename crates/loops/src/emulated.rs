@@ -5,45 +5,68 @@
 //! This closes the loop between the two halves of the reproduction: the
 //! kernels whose instruction streams the cycle model costs are the same
 //! kernels that demonstrably compute the right answers.
+//!
+//! Each loop records its body **once** into an [`ookami_sve::Trace`] and
+//! replays it across the whole range with a preallocated [`Replayer`]
+//! arena — bit-identical to the per-op interpreter (the differential tests
+//! below compare against the native implementations, closing the chain).
 
 use crate::suite::LoopSuite;
 use ookami_mem::gather::analyze_indices;
-use ookami_sve::SveCtx;
+use ookami_sve::TraceBuilder;
 use ookami_uarch::Machine;
 
 /// `y[i] = 2x[i] + 3x[i]²` via predicated SVE (whilelt-governed VLA loop).
 pub fn run_simple_sve(suite: &mut LoopSuite, vl: usize) {
-    let mut ctx = SveCtx::new(vl);
+    let mut b = TraceBuilder::new(vl);
+    let pg = b.loop_pred();
+    let x = b.input_f64();
+    b.begin_body();
+    let ctx = b.ctx();
     let two = ctx.dup_f64(2.0);
     let three = ctx.dup_f64(3.0);
-    let n = suite.n;
-    let mut i = 0;
-    while i < n {
-        let pg = ctx.whilelt(i, n);
-        let x = ctx.ld1d(&pg, &suite.x, i);
-        // y = 2·x + (3·x)·x, in the native evaluation order so the results
-        // match bitwise (an FMA contraction would round differently — the
-        // -ffp-contract question the Table I flags answer for each compiler).
-        let t3x = ctx.fmul(&pg, &three, &x);
-        let t3xx = ctx.fmul(&pg, &t3x, &x);
-        let t2x = ctx.fmul(&pg, &two, &x);
-        let y = ctx.fadd(&pg, &t2x, &t3xx);
-        ctx.st1d(&pg, &y, &mut suite.y, i);
-        i += vl;
-    }
+    // y = 2·x + (3·x)·x, in the native evaluation order so the results
+    // match bitwise (an FMA contraction would round differently — the
+    // -ffp-contract question the Table I flags answer for each compiler).
+    let t3x = ctx.fmul(&pg, &three, &x);
+    let t3xx = ctx.fmul(&pg, &t3x, &x);
+    let t2x = ctx.fmul(&pg, &two, &x);
+    let y = ctx.fadd(&pg, &t2x, &t3xx);
+    let t = b.finish(&[&y]);
+
+    let out = t.map(&suite.x[..suite.n]);
+    suite.y[..suite.n].copy_from_slice(&out);
 }
 
 /// `if x[i] > 0 { y[i] = x[i] }` via compare-to-predicate + merging store.
 pub fn run_predicate_sve(suite: &mut LoopSuite, vl: usize) {
-    let mut ctx = SveCtx::new(vl);
+    let mut b = TraceBuilder::new(vl);
+    let pg = b.loop_pred();
+    let x = b.input_f64();
+    b.begin_body();
+    let ctx = b.ctx();
     let zero = ctx.dup_f64(0.0);
+    let p = ctx.fcmgt(&pg, &x, &zero);
+    let ps = b.pslot_of(&p);
+    let xs = b.slot_of(&x);
+    let t = b.finish(&[]);
+
+    // Replay block-by-block; the store is governed by the *computed*
+    // predicate (p = pg ∧ x>0), so untaken lanes leave `y` untouched —
+    // exactly the merging-store semantics of `st1d`.
+    let mut r = t.replayer();
     let n = suite.n;
     let mut i = 0;
     while i < n {
-        let pg = ctx.whilelt(i, n);
-        let x = ctx.ld1d(&pg, &suite.x, i);
-        let p = ctx.fcmgt(&pg, &x, &zero);
-        ctx.st1d(&p, &x, &mut suite.y, i);
+        let m = vl.min(n - i);
+        r.set_block(i, n);
+        r.bind_f64(0, &suite.x[i..i + m]);
+        r.step();
+        for l in 0..m {
+            if r.pred_lane(ps, l) {
+                suite.y[i + l] = r.lane_f64(xs, l);
+            }
+        }
         i += vl;
     }
 }
@@ -51,54 +74,83 @@ pub fn run_predicate_sve(suite: &mut LoopSuite, vl: usize) {
 /// `y[i] = x[index[i]]` via hardware-style gather, with the µop count per
 /// vector taken from the real index pattern (the pairing analysis).
 pub fn run_gather_sve(suite: &mut LoopSuite, vl: usize, short: bool, machine: &Machine) {
-    let mut ctx = SveCtx::new(vl);
     let n = suite.n;
     let idx_src: Vec<usize> = if short {
         suite.index_short.clone()
     } else {
         suite.index_full.clone()
     };
+    // The µop hint only annotates the *recorded* instruction (replay never
+    // re-records), so analyze the first real vector's pattern once.
+    let pat = analyze_indices(
+        &idx_src[..vl.min(n)],
+        8,
+        machine.mem.line_bytes,
+        &machine.gather,
+        machine.vector_width,
+    );
+
+    let mut b = TraceBuilder::new(vl);
+    let pg = b.loop_pred();
+    let iv = b.input_i64();
+    b.begin_body();
+    let g = b.ctx().ld1d_gather(&pg, &suite.x, &iv, pat.uops as u32);
+    let t = b.finish(&[&g]);
+    let o = t.output(0);
+
+    let mut r = t.replayer();
+    let mut lbuf = vec![0i64; vl];
     let mut i = 0;
     while i < n {
-        let pg = ctx.whilelt(i, n);
-        let lanes: Vec<i64> = (0..vl)
-            .map(|l| if i + l < n { idx_src[i + l] as i64 } else { 0 })
-            .collect();
-        let take = vl.min(n - i);
-        let pat = analyze_indices(
-            &idx_src[i..i + take],
-            8,
-            machine.mem.line_bytes,
-            &machine.gather,
-            machine.vector_width,
-        );
-        let iv = ctx.input_i64(&lanes);
-        let g = ctx.ld1d_gather(&pg, &suite.x, &iv, pat.uops as u32);
-        ctx.st1d(&pg, &g, &mut suite.y, i);
+        let m = vl.min(n - i);
+        for l in 0..m {
+            lbuf[l] = idx_src[i + l] as i64;
+        }
+        r.set_block(i, n);
+        r.bind_i64(0, &lbuf[..m]);
+        r.step();
+        for l in 0..m {
+            suite.y[i + l] = r.lane_f64(o, l);
+        }
         i += vl;
     }
 }
 
 /// `y[index[i]] = x[i]` via scatter.
 pub fn run_scatter_sve(suite: &mut LoopSuite, vl: usize, short: bool) {
-    let mut ctx = SveCtx::new(vl);
     let n = suite.n;
     let idx_src: Vec<usize> = if short {
         suite.index_short.clone()
     } else {
         suite.index_full.clone()
     };
+
+    let mut b = TraceBuilder::new(vl);
+    let pg = b.loop_pred();
+    let iv = b.input_i64();
+    let x = b.input_f64();
+    b.begin_body();
+    b.ctx().st1d_scatter(&pg, &x, &mut suite.y, &iv);
+    let t = b.finish(&[]);
+
+    // Replay scatters into the Replayer's working copy of `y` (captured
+    // before the record-time write), then publish the final table — this
+    // also overwrites the one stray lane the recording itself touched.
+    let mut r = t.replayer();
+    let mut lbuf = vec![0i64; vl];
     let mut i = 0;
     while i < n {
-        let pg = ctx.whilelt(i, n);
-        let lanes: Vec<i64> = (0..vl)
-            .map(|l| if i + l < n { idx_src[i + l] as i64 } else { 0 })
-            .collect();
-        let iv = ctx.input_i64(&lanes);
-        let x = ctx.ld1d(&pg, &suite.x, i);
-        ctx.st1d_scatter(&pg, &x, &mut suite.y, &iv);
+        let m = vl.min(n - i);
+        for l in 0..m {
+            lbuf[l] = idx_src[i + l] as i64;
+        }
+        r.set_block(i, n);
+        r.bind_i64(0, &lbuf[..m]);
+        r.bind_f64(1, &suite.x[i..i + m]);
+        r.step();
         i += vl;
     }
+    suite.y.copy_from_slice(r.table(0));
 }
 
 #[cfg(test)]

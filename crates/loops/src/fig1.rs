@@ -16,7 +16,7 @@ pub fn seconds_per_element(
     pattern: Option<&MeanPattern>,
 ) -> f64 {
     let k = lower_loop(kind, c, m, pattern);
-    k.analyze(m.table).cycles_per_element() / (m.turbo_1c_ghz * 1e9)
+    ookami_uarch::analyze_cached(&k, m).cycles_per_element() / (m.turbo_1c_ghz * 1e9)
 }
 
 /// Index-pattern statistics for `m`, taken from the suite's real index

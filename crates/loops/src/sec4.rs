@@ -68,7 +68,7 @@ pub fn our_exp_cycles(structure: LoopStructure, form: PolyForm, corrected: bool)
         ctx.loop_overhead(2);
         vec![]
     });
-    rec.kernel.analyze(m.table).cycles_per_element()
+    ookami_uarch::analyze_cached(&rec.kernel, m).cycles_per_element()
 }
 
 /// The toolchain ladder (cycles per evaluation of exp).

@@ -4,10 +4,16 @@
 //! exact loop the paper says remedies the 500× gap. One implementation
 //! gives (a) verified statistics and (b) a recorded instruction stream the
 //! cycle model costs, replacing hand-estimated op counts.
+//!
+//! The sampler records the Metropolis step **once** into an
+//! [`ookami_sve::Trace`] (carried `counter`/`x` state, predicate and
+//! horizontal-sum taps) and replays it `iters` times from a preallocated
+//! arena — bit-identical to the per-op interpreter, which is kept as
+//! [`sample_emulated_interp`] and differential-tested below.
 
 use crate::integrator::XMAX;
-use ookami_sve::{Pred, SveCtx, VVal};
-use ookami_uarch::{machines, KernelLoop};
+use ookami_sve::{Pred, SveCtx, TraceBuilder, VVal};
+use ookami_uarch::{analyze_cached, machines, KernelLoop};
 use ookami_vecmath::exp::{exp_fexpa, PolyForm};
 
 /// One SplitMix64 round on integer lanes (recorded as vector int ops).
@@ -34,21 +40,92 @@ fn uniform_lanes(ctx: &mut SveCtx, pg: &Pred, h: &VVal) -> VVal {
     ctx.fmul(pg, &f, &scale)
 }
 
+/// One Metropolis step given the carried `(counter, x)` state; returns
+/// `(counter', p_acc, x')`. Shared verbatim by the interpreter path, the
+/// trace recording, and the kernel recording so all three cost/compute the
+/// same instruction sequence.
+fn metropolis_step(
+    ctx: &mut SveCtx,
+    pg: &Pred,
+    xmax: &VVal,
+    step: &VVal,
+    counter: &VVal,
+    x: &VVal,
+) -> (VVal, Pred, VVal) {
+    let c1 = ctx.add_i(pg, counter, step);
+    let h1 = splitmix_lanes(ctx, pg, &c1);
+    let u1 = uniform_lanes(ctx, pg, &h1);
+    let c2 = ctx.add_i(pg, &c1, step);
+    let h2 = splitmix_lanes(ctx, pg, &c2);
+    let u2 = uniform_lanes(ctx, pg, &h2);
+
+    let xnew = ctx.fmul(pg, &u1, xmax);
+    let neg_xnew = ctx.fneg(pg, &xnew);
+    let neg_x = ctx.fneg(pg, x);
+    let e_new = exp_fexpa(ctx, pg, &neg_xnew, PolyForm::Estrin, true);
+    let e_old = exp_fexpa(ctx, pg, &neg_x, PolyForm::Estrin, true);
+    let rhs = ctx.fmul(pg, &e_old, &u2);
+    let p_acc = ctx.fcmgt(pg, &e_new, &rhs);
+    let x_out = ctx.sel(&p_acc, &xnew, x);
+    (c2, p_acc, x_out)
+}
+
 /// Run `iters` vectorized Metropolis steps across `vl` independent chains;
-/// returns (mean, acceptance rate).
+/// returns (mean, acceptance rate). Records the step once, replays `iters`
+/// times (no per-op dispatch, no per-op allocation).
 pub fn sample_emulated(vl: usize, iters: usize, seed: u64) -> (f64, f64) {
+    let mut b = TraceBuilder::new(vl);
+    let ctx = b.ctx();
+    let pg = ctx.ptrue();
+    let xmax = ctx.dup_f64(XMAX);
+    let step = ctx.dup_i64(0x9E3779B97F4A7C15u64 as i64);
+    // per-lane counters: seed + lane
+    let counter0 = {
+        let base = ctx.dup_i64(seed as i64);
+        let lane = ctx.index(0, 0x632BE59BD9B4E019u64 as i64);
+        ctx.add_i(&pg, &base, &lane)
+    };
+    // initial x per chain
+    let h0 = splitmix_lanes(ctx, &pg, &counter0);
+    let u0 = uniform_lanes(ctx, &pg, &h0);
+    let x0 = ctx.fmul(&pg, &u0, &xmax);
+
+    b.begin_body();
+    let (c_out, p_acc, x_out) = metropolis_step(b.ctx(), &pg, &xmax, &step, &counter0, &x0);
+    b.carry(&counter0, &c_out);
+    b.carry(&x0, &x_out);
+    let ps_acc = b.pslot_of(&p_acc);
+    let ps_all = b.pslot_of(&pg);
+    let xs_out = b.slot_of(&x_out);
+    let t = b.finish(&[]);
+
+    let mut r = t.replayer();
+    let mut sum = 0.0f64;
+    let mut accepted = 0u64;
+    for _ in 0..iters {
+        r.step();
+        accepted += r.count_active(ps_acc) as u64;
+        sum += r.faddv(ps_all, xs_out);
+        r.advance();
+    }
+    (
+        sum / (iters * vl) as f64,
+        accepted as f64 / (iters * vl) as f64,
+    )
+}
+
+/// The per-op interpreter version of [`sample_emulated`] — the measured
+/// baseline the trace path is differential-tested against (bit-identical).
+pub fn sample_emulated_interp(vl: usize, iters: usize, seed: u64) -> (f64, f64) {
     let mut ctx = SveCtx::new(vl);
     let pg = ctx.ptrue();
     let xmax = ctx.dup_f64(XMAX);
-    // per-lane counters: seed + lane
+    let step = ctx.dup_i64(0x9E3779B97F4A7C15u64 as i64);
     let mut counter = {
         let base = ctx.dup_i64(seed as i64);
         let lane = ctx.index(0, 0x632BE59BD9B4E019u64 as i64);
         ctx.add_i(&pg, &base, &lane)
     };
-    let step = ctx.dup_i64(0x9E3779B97F4A7C15u64 as i64);
-
-    // initial x per chain
     let h0 = splitmix_lanes(&mut ctx, &pg, &counter);
     let u0 = uniform_lanes(&mut ctx, &pg, &h0);
     let mut x = ctx.fmul(&pg, &u0, &xmax);
@@ -56,22 +133,10 @@ pub fn sample_emulated(vl: usize, iters: usize, seed: u64) -> (f64, f64) {
     let mut sum = 0.0f64;
     let mut accepted = 0u64;
     for _ in 0..iters {
-        counter = ctx.add_i(&pg, &counter, &step);
-        let h1 = splitmix_lanes(&mut ctx, &pg, &counter);
-        let u1 = uniform_lanes(&mut ctx, &pg, &h1);
-        counter = ctx.add_i(&pg, &counter, &step);
-        let h2 = splitmix_lanes(&mut ctx, &pg, &counter);
-        let u2 = uniform_lanes(&mut ctx, &pg, &h2);
-
-        let xnew = ctx.fmul(&pg, &u1, &xmax);
-        let neg_xnew = ctx.fneg(&pg, &xnew);
-        let neg_x = ctx.fneg(&pg, &x);
-        let e_new = exp_fexpa(&mut ctx, &pg, &neg_xnew, PolyForm::Estrin, true);
-        let e_old = exp_fexpa(&mut ctx, &pg, &neg_x, PolyForm::Estrin, true);
-        let rhs = ctx.fmul(&pg, &e_old, &u2);
-        let p_acc = ctx.fcmgt(&pg, &e_new, &rhs);
+        let (c_out, p_acc, x_out) = metropolis_step(&mut ctx, &pg, &xmax, &step, &counter, &x);
+        counter = c_out;
         accepted += p_acc.count_active() as u64;
-        x = ctx.sel(&p_acc, &xnew, &x);
+        x = x_out;
         sum += ctx.faddv(&pg, &x);
     }
     (
@@ -89,26 +154,12 @@ pub fn record_vectorized_kernel(vl: usize) -> KernelLoop {
         let counter_in = ctx.dup_i64(12345);
         let x_in = ctx.dup_f64(1.0);
 
-        let c1 = ctx.add_i(&pg, &counter_in, &step);
-        let h1 = splitmix_lanes(ctx, &pg, &c1);
-        let u1 = uniform_lanes(ctx, &pg, &h1);
-        let c2 = ctx.add_i(&pg, &c1, &step);
-        let h2 = splitmix_lanes(ctx, &pg, &c2);
-        let u2 = uniform_lanes(ctx, &pg, &h2);
-
-        let xnew = ctx.fmul(&pg, &u1, &xmax);
-        let neg_xnew = ctx.fneg(&pg, &xnew);
-        let neg_x = ctx.fneg(&pg, &x_in);
-        let e_new = exp_fexpa(ctx, &pg, &neg_xnew, PolyForm::Estrin, true);
-        let e_old = exp_fexpa(ctx, &pg, &neg_x, PolyForm::Estrin, true);
-        let rhs = ctx.fmul(&pg, &e_old, &u2);
-        let p_acc = ctx.fcmgt(&pg, &e_new, &rhs);
-        let x_out = ctx.sel(&p_acc, &xnew, &x_in);
+        let (c_out, _p_acc, x_out) = metropolis_step(ctx, &pg, &xmax, &step, &counter_in, &x_in);
         let sum_in = ctx.dup_f64(0.0);
         let sum_out = ctx.fadd(&pg, &sum_in, &x_out);
         ctx.loop_overhead(2);
         vec![
-            (counter_in.id(), c2.id()),
+            (counter_in.id(), c_out.id()),
             (x_in.id(), x_out.id()),
             (sum_in.id(), sum_out.id()),
         ]
@@ -116,11 +167,10 @@ pub fn record_vectorized_kernel(vl: usize) -> KernelLoop {
     .kernel
 }
 
-/// Cycles/sample of the emulated vectorized loop on the A64FX model.
+/// Cycles/sample of the emulated vectorized loop on the A64FX model
+/// (memoized on the trace digest — repeated callers hit the cache).
 pub fn vectorized_cycles_per_sample_recorded() -> f64 {
-    record_vectorized_kernel(8)
-        .analyze(machines::a64fx().table)
-        .cycles_per_element()
+    analyze_cached(&record_vectorized_kernel(8), machines::a64fx()).cycles_per_element()
 }
 
 #[cfg(test)]
@@ -141,6 +191,16 @@ mod tests {
         let native = sample_serial(200_000, 7);
         assert!((em - native.mean).abs() < 0.05, "{em} vs {}", native.mean);
         assert!((ea - native.acceptance_rate()).abs() < 0.02);
+    }
+
+    #[test]
+    fn trace_replay_matches_interpreter_bitwise() {
+        for (vl, iters, seed) in [(8usize, 500usize, 7u64), (4, 257, 99), (3, 100, 1)] {
+            let (tm, ta) = sample_emulated(vl, iters, seed);
+            let (im, ia) = sample_emulated_interp(vl, iters, seed);
+            assert_eq!(tm.to_bits(), im.to_bits(), "mean vl={vl} seed={seed}");
+            assert_eq!(ta.to_bits(), ia.to_bits(), "acc vl={vl} seed={seed}");
+        }
     }
 
     #[test]

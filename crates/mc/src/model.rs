@@ -52,7 +52,7 @@ pub fn serial_kernel() -> KernelLoop {
 
 /// Cycles per sample of the serial loop on `m` (recurrence-dominated).
 pub fn serial_cycles_per_sample(m: &Machine) -> f64 {
-    serial_kernel().analyze(m.table).cycles_per_element()
+    ookami_uarch::analyze_cached(&serial_kernel(), m).cycles_per_element()
 }
 
 /// Cycles per sample of the restructured (vectorized, per-lane-chain) loop

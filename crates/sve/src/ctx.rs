@@ -1,6 +1,8 @@
 //! The SVE execution context: emulated instructions + optional recording.
 
 use crate::fexpa::fexpa_lane;
+use crate::lanes;
+use crate::trace::{BinOp, CmpOp, CvtOp, ShiftOp, TOp, TraceSink, UnOp};
 use crate::value::{Pred, VVal};
 use ookami_uarch::{Instr, OpClass, Reg, Width};
 
@@ -10,10 +12,14 @@ use ookami_uarch::{Instr, OpClass, Reg, Width};
 /// lanes pass through the *first* vector operand) and, when recording is on,
 /// appends an [`Instr`] carrying def/use register ids, so the exact code
 /// that was numerically validated is also what the cycle analyzer sees.
+///
+/// A third mode, installed by [`crate::trace::TraceBuilder`], additionally
+/// captures each op into a compact replayable [`crate::trace::Trace`].
 pub struct SveCtx {
     vl: usize,
     next_reg: Reg,
     recording: Option<Vec<Instr>>,
+    trace: Option<Box<TraceSink>>,
 }
 
 impl SveCtx {
@@ -24,6 +30,7 @@ impl SveCtx {
             vl,
             next_reg: 0,
             recording: None,
+            trace: None,
         }
     }
 
@@ -53,18 +60,44 @@ impl SveCtx {
         self.recording.is_some()
     }
 
+    pub(crate) fn install_trace(&mut self, sink: TraceSink) {
+        self.trace = Some(Box::new(sink));
+    }
+
+    pub(crate) fn take_trace(&mut self) -> Box<TraceSink> {
+        self.trace.take().expect("no trace sink installed")
+    }
+
+    pub(crate) fn trace_sink(&mut self) -> &mut TraceSink {
+        self.trace.as_deref_mut().expect("no trace sink installed")
+    }
+
+    pub(crate) fn fresh_id(&mut self) -> Reg {
+        self.fresh()
+    }
+
+    /// Jump the register counter (wraparound regression tests only).
+    #[doc(hidden)]
+    pub fn force_next_reg(&mut self, r: Reg) {
+        self.next_reg = r;
+    }
+
     fn fresh(&mut self) -> Reg {
         let r = self.next_reg;
-        // Ids only need to be unique while a recording is open (they drive
-        // dependency analysis); outside recording, wrap freely so long
-        // numerical runs never exhaust the id space.
-        if self.recording.is_some() {
+        // Ids must stay unique while a recording or trace is open (they
+        // drive def-use analysis and trace slot allocation) — exhausting
+        // the space there is a hard error, never a silent wrap. Outside,
+        // long numerical runs may legitimately burn through ids; saturate
+        // so the counter still cannot wrap back into live low ids, and a
+        // subsequently opened recording trips the panic above on its
+        // first op.
+        if self.recording.is_some() || self.trace.is_some() {
             self.next_reg = self
                 .next_reg
                 .checked_add(1)
-                .expect("register ids exhausted");
+                .expect("SVE register ids exhausted while a recording is open");
         } else {
-            self.next_reg = self.next_reg.wrapping_add(1);
+            self.next_reg = self.next_reg.saturating_add(1);
         }
         r
     }
@@ -72,57 +105,90 @@ impl SveCtx {
     fn rec(&mut self, op: OpClass, dst: Option<Reg>, srcs: &[Reg]) {
         let w = self.width();
         if let Some(log) = &mut self.recording {
-            log.push(Instr::new(op, w, dst, srcs.to_vec()));
+            log.push(Instr::new(op, w, dst, srcs));
         }
     }
 
     fn rec_hint(&mut self, op: OpClass, dst: Option<Reg>, srcs: &[Reg], uops: u32) {
         let w = self.width();
         if let Some(log) = &mut self.recording {
-            log.push(Instr::new(op, w, dst, srcs.to_vec()).with_uops(uops));
+            log.push(Instr::new(op, w, dst, srcs).with_uops(uops));
         }
+    }
+
+    /// Harness-level ops (`whilelt`, loads/stores, reductions, raw inputs)
+    /// have no trace representation — the replay harness owns them.
+    fn no_trace(&self, what: &str) {
+        assert!(
+            self.trace.is_none(),
+            "{what} cannot be recorded into a trace; use the TraceBuilder \
+             harness (loop_pred / input_* / taps) instead"
+        );
     }
 
     // ---------------- constants and setup (not recorded: hoisted) --------
 
     /// Broadcast an `f64` constant (loop-invariant; not recorded).
     pub fn dup_f64(&mut self, c: f64) -> VVal {
-        VVal {
-            bits: vec![c.to_bits(); self.vl],
-            id: self.fresh(),
+        let bits = vec![c.to_bits(); self.vl];
+        let id = self.fresh();
+        if let Some(tr) = &mut self.trace {
+            let dst = tr.new_v(id);
+            tr.push_setup(TOp::ConstV {
+                dst,
+                lanes: bits.clone(),
+            });
         }
+        VVal { bits, id }
     }
 
     /// Broadcast an `i64` constant (loop-invariant; not recorded).
     pub fn dup_i64(&mut self, c: i64) -> VVal {
-        VVal {
-            bits: vec![c as u64; self.vl],
-            id: self.fresh(),
+        let bits = vec![c as u64; self.vl];
+        let id = self.fresh();
+        if let Some(tr) = &mut self.trace {
+            let dst = tr.new_v(id);
+            tr.push_setup(TOp::ConstV {
+                dst,
+                lanes: bits.clone(),
+            });
         }
+        VVal { bits, id }
     }
 
     /// `INDEX z, #start, #step` (not recorded: setup). Wrapping arithmetic,
     /// as the hardware's lane counters wrap.
     pub fn index(&mut self, start: i64, step: i64) -> VVal {
-        let bits = (0..self.vl)
+        let bits: Vec<u64> = (0..self.vl)
             .map(|l| start.wrapping_add(step.wrapping_mul(l as i64)) as u64)
             .collect();
-        VVal {
-            bits,
-            id: self.fresh(),
+        let id = self.fresh();
+        if let Some(tr) = &mut self.trace {
+            let dst = tr.new_v(id);
+            tr.push_setup(TOp::ConstV {
+                dst,
+                lanes: bits.clone(),
+            });
         }
+        VVal { bits, id }
     }
 
     /// All-true predicate (not recorded: setup).
     pub fn ptrue(&mut self) -> Pred {
+        let id = self.fresh();
+        if let Some(tr) = &mut self.trace {
+            let dst = tr.new_p(id);
+            tr.push_setup(TOp::Ptrue { dst });
+        }
         Pred {
             mask: vec![true; self.vl],
-            id: self.fresh(),
+            id,
         }
     }
 
     /// An uninitialized-id wrapper for external inputs (tests/kernels).
     pub fn input_f64(&mut self, lanes: &[f64]) -> VVal {
+        self.no_trace("input_f64");
         assert_eq!(lanes.len(), self.vl);
         VVal {
             bits: lanes.iter().map(|x| x.to_bits()).collect(),
@@ -132,6 +198,7 @@ impl SveCtx {
 
     /// Integer-lane input (e.g. an index vector loaded by a kernel).
     pub fn input_i64(&mut self, lanes: &[i64]) -> VVal {
+        self.no_trace("input_i64");
         assert_eq!(lanes.len(), self.vl);
         VVal {
             bits: lanes.iter().map(|&x| x as u64).collect(),
@@ -145,6 +212,7 @@ impl SveCtx {
     /// the per-iteration cost of the vector-length-agnostic loop structure
     /// that Section IV measures at +0.2 cycles/element).
     pub fn whilelt(&mut self, i: usize, n: usize) -> Pred {
+        self.no_trace("whilelt");
         let mask = (0..self.vl).map(|l| i + l < n).collect();
         let id = self.fresh();
         self.rec(OpClass::PredOp, Some(id), &[]);
@@ -153,6 +221,7 @@ impl SveCtx {
 
     /// `PTEST`-style continuation check (recorded as predicate work).
     pub fn ptest(&mut self, p: &Pred) -> bool {
+        self.no_trace("ptest");
         self.rec(OpClass::PredOp, None, &[p.id]);
         p.any()
     }
@@ -162,6 +231,11 @@ impl SveCtx {
         let mask = a.mask.iter().zip(&b.mask).map(|(&x, &y)| x && y).collect();
         let id = self.fresh();
         self.rec(OpClass::PredOp, Some(id), &[a.id, b.id]);
+        if let Some(tr) = &mut self.trace {
+            let (sa, sb) = (tr.ps(a.id), tr.ps(b.id));
+            let dst = tr.new_p(id);
+            tr.push(TOp::Pand { dst, a: sa, b: sb });
+        }
         Pred { mask, id }
     }
 
@@ -170,6 +244,7 @@ impl SveCtx {
     fn map2f(
         &mut self,
         op: OpClass,
+        top: BinOp,
         pg: &Pred,
         a: &VVal,
         b: &VVal,
@@ -186,10 +261,28 @@ impl SveCtx {
             .collect();
         let id = self.fresh();
         self.rec(op, Some(id), &[pg.id, a.id, b.id]);
+        if let Some(tr) = &mut self.trace {
+            let (sp, sa, sb) = (tr.ps(pg.id), tr.vs(a.id), tr.vs(b.id));
+            let dst = tr.new_v(id);
+            tr.push(TOp::Bin {
+                op: top,
+                dst,
+                pg: sp,
+                a: sa,
+                b: sb,
+            });
+        }
         VVal { bits, id }
     }
 
-    fn map1f(&mut self, op: OpClass, pg: &Pred, a: &VVal, f: impl Fn(f64) -> f64) -> VVal {
+    fn map1f(
+        &mut self,
+        op: OpClass,
+        top: UnOp,
+        pg: &Pred,
+        a: &VVal,
+        f: impl Fn(f64) -> f64,
+    ) -> VVal {
         let bits = (0..self.vl)
             .map(|l| {
                 if pg.mask[l] {
@@ -201,140 +294,182 @@ impl SveCtx {
             .collect();
         let id = self.fresh();
         self.rec(op, Some(id), &[pg.id, a.id]);
+        if let Some(tr) = &mut self.trace {
+            let (sp, sa) = (tr.ps(pg.id), tr.vs(a.id));
+            let dst = tr.new_v(id);
+            tr.push(TOp::Un {
+                op: top,
+                dst,
+                pg: sp,
+                a: sa,
+            });
+        }
         VVal { bits, id }
     }
 
     pub fn fadd(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2f(OpClass::FAdd, pg, a, b, |x, y| x + y)
+        self.map2f(OpClass::FAdd, BinOp::FAdd, pg, a, b, |x, y| {
+            lanes::dn(x + y)
+        })
     }
 
     pub fn fsub(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2f(OpClass::FAdd, pg, a, b, |x, y| x - y)
+        self.map2f(OpClass::FAdd, BinOp::FSub, pg, a, b, |x, y| {
+            lanes::dn(x - y)
+        })
     }
 
     pub fn fmul(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2f(OpClass::FMul, pg, a, b, |x, y| x * y)
+        self.map2f(OpClass::FMul, BinOp::FMul, pg, a, b, |x, y| {
+            lanes::dn(x * y)
+        })
     }
 
     pub fn fdiv(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2f(OpClass::FDiv, pg, a, b, |x, y| x / y)
+        self.map2f(OpClass::FDiv, BinOp::FDiv, pg, a, b, |x, y| {
+            lanes::dn(x / y)
+        })
     }
 
     pub fn fsqrt(&mut self, pg: &Pred, a: &VVal) -> VVal {
-        self.map1f(OpClass::FSqrt, pg, a, f64::sqrt)
+        self.map1f(OpClass::FSqrt, UnOp::Sqrt, pg, a, |x| lanes::dn(x.sqrt()))
     }
 
     pub fn fneg(&mut self, pg: &Pred, a: &VVal) -> VVal {
-        self.map1f(OpClass::FAbsNeg, pg, a, |x| -x)
+        self.map1f(OpClass::FAbsNeg, UnOp::Neg, pg, a, |x| -x)
     }
 
     pub fn fabs(&mut self, pg: &Pred, a: &VVal) -> VVal {
-        self.map1f(OpClass::FAbsNeg, pg, a, f64::abs)
+        self.map1f(OpClass::FAbsNeg, UnOp::Abs, pg, a, f64::abs)
     }
 
     pub fn fmax(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2f(OpClass::FMinMax, pg, a, b, f64::max)
+        self.map2f(OpClass::FMinMax, BinOp::FMax, pg, a, b, |x, y| {
+            f64::from_bits(lanes::fmax_lane(x.to_bits(), y.to_bits()))
+        })
     }
 
     pub fn fmin(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2f(OpClass::FMinMax, pg, a, b, f64::min)
+        self.map2f(OpClass::FMinMax, BinOp::FMin, pg, a, b, |x, y| {
+            f64::from_bits(lanes::fmin_lane(x.to_bits(), y.to_bits()))
+        })
+    }
+
+    fn fused_mla(&mut self, neg: bool, pg: &Pred, c: &VVal, a: &VVal, b: &VVal) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    let av = f64::from_bits(a.bits[l]);
+                    let av = if neg { -av } else { av };
+                    lanes::dn(av.mul_add(f64::from_bits(b.bits[l]), f64::from_bits(c.bits[l])))
+                        .to_bits()
+                } else {
+                    c.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::Fma, Some(id), &[pg.id, c.id, a.id, b.id]);
+        if let Some(tr) = &mut self.trace {
+            let (sp, sc, sa, sb) = (tr.ps(pg.id), tr.vs(c.id), tr.vs(a.id), tr.vs(b.id));
+            let dst = tr.new_v(id);
+            tr.push(TOp::Fmla {
+                neg,
+                dst,
+                pg: sp,
+                c: sc,
+                a: sa,
+                b: sb,
+            });
+        }
+        VVal { bits, id }
     }
 
     /// Fused multiply-add `a*b + c` (`FMLA` with the accumulator third).
     pub fn fmla(&mut self, pg: &Pred, c: &VVal, a: &VVal, b: &VVal) -> VVal {
-        let bits = (0..self.vl)
-            .map(|l| {
-                if pg.mask[l] {
-                    f64::from_bits(a.bits[l])
-                        .mul_add(f64::from_bits(b.bits[l]), f64::from_bits(c.bits[l]))
-                        .to_bits()
-                } else {
-                    c.bits[l]
-                }
-            })
-            .collect();
-        let id = self.fresh();
-        self.rec(OpClass::Fma, Some(id), &[pg.id, c.id, a.id, b.id]);
-        VVal { bits, id }
+        self.fused_mla(false, pg, c, a, b)
     }
 
     /// Fused multiply-subtract `c - a*b` (`FMLS`).
     pub fn fmls(&mut self, pg: &Pred, c: &VVal, a: &VVal, b: &VVal) -> VVal {
+        self.fused_mla(true, pg, c, a, b)
+    }
+
+    fn estimate(&mut self, rsqrt: bool, a: &VVal) -> VVal {
         let bits = (0..self.vl)
             .map(|l| {
-                if pg.mask[l] {
-                    (-f64::from_bits(a.bits[l]))
-                        .mul_add(f64::from_bits(b.bits[l]), f64::from_bits(c.bits[l]))
-                        .to_bits()
+                if rsqrt {
+                    lanes::rsqrte_lane(a.bits[l])
                 } else {
-                    c.bits[l]
+                    lanes::recpe_lane(a.bits[l])
                 }
             })
             .collect();
         let id = self.fresh();
-        self.rec(OpClass::Fma, Some(id), &[pg.id, c.id, a.id, b.id]);
+        let op = if rsqrt {
+            OpClass::FRsqrte
+        } else {
+            OpClass::FRecpe
+        };
+        self.rec(op, Some(id), &[a.id]);
+        if let Some(tr) = &mut self.trace {
+            let sa = tr.vs(a.id);
+            let dst = tr.new_v(id);
+            tr.push(TOp::Est { rsqrt, dst, a: sa });
+        }
         VVal { bits, id }
     }
 
     /// Reciprocal estimate (`FRECPE`): ~8 significant bits, like hardware.
     pub fn frecpe(&mut self, a: &VVal) -> VVal {
+        self.estimate(false, a)
+    }
+
+    /// Reciprocal square-root estimate (`FRSQRTE`): ~8 significant bits.
+    pub fn frsqrte(&mut self, a: &VVal) -> VVal {
+        self.estimate(true, a)
+    }
+
+    fn newton_step(&mut self, rsqrt: bool, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
         let bits = (0..self.vl)
             .map(|l| {
-                let est = 1.0 / f64::from_bits(a.bits[l]);
-                // truncate to 8 mantissa bits to match the hardware's table
-                (est.to_bits() & !((1u64 << 44) - 1)).max(1)
+                if pg.mask[l] {
+                    let x = f64::from_bits(a.bits[l]);
+                    let y = f64::from_bits(b.bits[l]);
+                    if rsqrt {
+                        lanes::rsqrts_lane(x, y).to_bits()
+                    } else {
+                        lanes::recps_lane(x, y).to_bits()
+                    }
+                } else {
+                    a.bits[l]
+                }
             })
             .collect();
         let id = self.fresh();
-        self.rec(OpClass::FRecpe, Some(id), &[a.id]);
+        self.rec(OpClass::Fma, Some(id), &[pg.id, a.id, b.id]);
+        if let Some(tr) = &mut self.trace {
+            let (sp, sa, sb) = (tr.ps(pg.id), tr.vs(a.id), tr.vs(b.id));
+            let dst = tr.new_v(id);
+            tr.push(TOp::NewtonStep {
+                rsqrt,
+                dst,
+                pg: sp,
+                a: sa,
+                b: sb,
+            });
+        }
         VVal { bits, id }
     }
 
     /// Newton refinement step for reciprocal (`FRECPS`): `2 - a*b`.
     pub fn frecps(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        let bits = (0..self.vl)
-            .map(|l| {
-                if pg.mask[l] {
-                    (-f64::from_bits(a.bits[l]))
-                        .mul_add(f64::from_bits(b.bits[l]), 2.0)
-                        .to_bits()
-                } else {
-                    a.bits[l]
-                }
-            })
-            .collect();
-        let id = self.fresh();
-        self.rec(OpClass::Fma, Some(id), &[pg.id, a.id, b.id]);
-        VVal { bits, id }
-    }
-
-    /// Reciprocal square-root estimate (`FRSQRTE`): ~8 significant bits.
-    pub fn frsqrte(&mut self, a: &VVal) -> VVal {
-        let bits = (0..self.vl)
-            .map(|l| {
-                let est = 1.0 / f64::from_bits(a.bits[l]).sqrt();
-                (est.to_bits() & !((1u64 << 44) - 1)).max(1)
-            })
-            .collect();
-        let id = self.fresh();
-        self.rec(OpClass::FRsqrte, Some(id), &[a.id]);
-        VVal { bits, id }
+        self.newton_step(false, pg, a, b)
     }
 
     /// Newton refinement step for rsqrt (`FRSQRTS`): `(3 - a*b) / 2`.
     pub fn frsqrts(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        let bits = (0..self.vl)
-            .map(|l| {
-                if pg.mask[l] {
-                    ((3.0 - f64::from_bits(a.bits[l]) * f64::from_bits(b.bits[l])) * 0.5).to_bits()
-                } else {
-                    a.bits[l]
-                }
-            })
-            .collect();
-        let id = self.fresh();
-        self.rec(OpClass::Fma, Some(id), &[pg.id, a.id, b.id]);
-        VVal { bits, id }
+        self.newton_step(true, pg, a, b)
     }
 
     /// `FEXPA` (bit-exact; see [`crate::fexpa`]).
@@ -344,6 +479,11 @@ impl SveCtx {
             .collect();
         let id = self.fresh();
         self.rec(OpClass::Fexpa, Some(id), &[a.id]);
+        if let Some(tr) = &mut self.trace {
+            let sa = tr.vs(a.id);
+            let dst = tr.new_v(id);
+            tr.push(TOp::Fexpa { dst, a: sa });
+        }
         VVal { bits, id }
     }
 
@@ -353,8 +493,7 @@ impl SveCtx {
         let bits = (0..self.vl)
             .map(|l| {
                 if pg.mask[l] {
-                    f64::from_bits(a.bits[l])
-                        .mul_add(f64::from_bits(b.bits[l]), coeff)
+                    lanes::dn(f64::from_bits(a.bits[l]).mul_add(f64::from_bits(b.bits[l]), coeff))
                         .to_bits()
                 } else {
                     a.bits[l]
@@ -363,50 +502,68 @@ impl SveCtx {
             .collect();
         let id = self.fresh();
         self.rec(OpClass::Ftmad, Some(id), &[pg.id, a.id, b.id]);
+        if let Some(tr) = &mut self.trace {
+            let (sp, sa, sb) = (tr.ps(pg.id), tr.vs(a.id), tr.vs(b.id));
+            let dst = tr.new_v(id);
+            tr.push(TOp::Ftmad {
+                dst,
+                pg: sp,
+                a: sa,
+                b: sb,
+                coeff,
+            });
+        }
         VVal { bits, id }
     }
 
     /// Round to nearest integral value (`FRINTN`).
     pub fn frintn(&mut self, pg: &Pred, a: &VVal) -> VVal {
-        self.map1f(OpClass::FRound, pg, a, |x| {
-            // round-half-even, matching FRINTN
-            let r = x.round();
-            if (x - x.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
-                r - x.signum()
-            } else {
-                r
-            }
-        })
+        self.map1f(OpClass::FRound, UnOp::Rintn, pg, a, lanes::frintn_lane)
+    }
+
+    fn fcmp(&mut self, op: CmpOp, pg: &Pred, a: &VVal, b: &VVal) -> Pred {
+        let mask = (0..self.vl)
+            .map(|l| {
+                pg.mask[l] && {
+                    let x = f64::from_bits(a.bits[l]);
+                    let y = f64::from_bits(b.bits[l]);
+                    match op {
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ge => x >= y,
+                        CmpOp::Eq => x == y,
+                    }
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::FCmp, Some(id), &[pg.id, a.id, b.id]);
+        if let Some(tr) = &mut self.trace {
+            let (sp, sa, sb) = (tr.ps(pg.id), tr.vs(a.id), tr.vs(b.id));
+            let dst = tr.new_p(id);
+            tr.push(TOp::Cmp {
+                op,
+                dst,
+                pg: sp,
+                a: sa,
+                b: sb,
+            });
+        }
+        Pred { mask, id }
     }
 
     /// Float compare greater-than, producing a predicate (`FCMGT`).
     pub fn fcmgt(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> Pred {
-        let mask = (0..self.vl)
-            .map(|l| pg.mask[l] && f64::from_bits(a.bits[l]) > f64::from_bits(b.bits[l]))
-            .collect();
-        let id = self.fresh();
-        self.rec(OpClass::FCmp, Some(id), &[pg.id, a.id, b.id]);
-        Pred { mask, id }
+        self.fcmp(CmpOp::Gt, pg, a, b)
     }
 
     /// Float compare greater-or-equal (`FCMGE`).
     pub fn fcmge(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> Pred {
-        let mask = (0..self.vl)
-            .map(|l| pg.mask[l] && f64::from_bits(a.bits[l]) >= f64::from_bits(b.bits[l]))
-            .collect();
-        let id = self.fresh();
-        self.rec(OpClass::FCmp, Some(id), &[pg.id, a.id, b.id]);
-        Pred { mask, id }
+        self.fcmp(CmpOp::Ge, pg, a, b)
     }
 
     /// Float compare equal (`FCMEQ`).
     pub fn fcmeq(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> Pred {
-        let mask = (0..self.vl)
-            .map(|l| pg.mask[l] && f64::from_bits(a.bits[l]) == f64::from_bits(b.bits[l]))
-            .collect();
-        let id = self.fresh();
-        self.rec(OpClass::FCmp, Some(id), &[pg.id, a.id, b.id]);
-        Pred { mask, id }
+        self.fcmp(CmpOp::Eq, pg, a, b)
     }
 
     /// Integer compare-not-equal against an immediate (`CMPNE`), producing
@@ -417,6 +574,16 @@ impl SveCtx {
             .collect();
         let id = self.fresh();
         self.rec(OpClass::FCmp, Some(id), &[pg.id, a.id]);
+        if let Some(tr) = &mut self.trace {
+            let (sp, sa) = (tr.ps(pg.id), tr.vs(a.id));
+            let dst = tr.new_p(id);
+            tr.push(TOp::CmpNeImm {
+                dst,
+                pg: sp,
+                a: sa,
+                imm,
+            });
+        }
         Pred { mask, id }
     }
 
@@ -427,11 +594,22 @@ impl SveCtx {
             .collect();
         let id = self.fresh();
         self.rec(OpClass::Select, Some(id), &[pg.id, a.id, b.id]);
+        if let Some(tr) = &mut self.trace {
+            let (sp, sa, sb) = (tr.ps(pg.id), tr.vs(a.id), tr.vs(b.id));
+            let dst = tr.new_v(id);
+            tr.push(TOp::Sel {
+                dst,
+                pg: sp,
+                a: sa,
+                b: sb,
+            });
+        }
         VVal { bits, id }
     }
 
     /// Horizontal sum of active lanes (`FADDA`-style, returned as scalar).
     pub fn faddv(&mut self, pg: &Pred, a: &VVal) -> f64 {
+        self.no_trace("faddv");
         self.rec(OpClass::FAdd, None, &[pg.id, a.id]);
         (0..self.vl)
             .filter(|&l| pg.mask[l])
@@ -441,7 +619,14 @@ impl SveCtx {
 
     // ---------------- int / bit ops on lanes ------------------------------
 
-    fn map2i(&mut self, pg: &Pred, a: &VVal, b: &VVal, f: impl Fn(i64, i64) -> i64) -> VVal {
+    fn map2i(
+        &mut self,
+        top: BinOp,
+        pg: &Pred,
+        a: &VVal,
+        b: &VVal,
+        f: impl Fn(i64, i64) -> i64,
+    ) -> VVal {
         let bits = (0..self.vl)
             .map(|l| {
                 if pg.mask[l] {
@@ -453,71 +638,104 @@ impl SveCtx {
             .collect();
         let id = self.fresh();
         self.rec(OpClass::VecIntOp, Some(id), &[pg.id, a.id, b.id]);
+        if let Some(tr) = &mut self.trace {
+            let (sp, sa, sb) = (tr.ps(pg.id), tr.vs(a.id), tr.vs(b.id));
+            let dst = tr.new_v(id);
+            tr.push(TOp::Bin {
+                op: top,
+                dst,
+                pg: sp,
+                a: sa,
+                b: sb,
+            });
+        }
         VVal { bits, id }
     }
 
     pub fn add_i(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2i(pg, a, b, |x, y| x.wrapping_add(y))
+        self.map2i(BinOp::IAdd, pg, a, b, |x, y| x.wrapping_add(y))
     }
 
     pub fn sub_i(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2i(pg, a, b, |x, y| x.wrapping_sub(y))
+        self.map2i(BinOp::ISub, pg, a, b, |x, y| x.wrapping_sub(y))
     }
 
     pub fn mul_i(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2i(pg, a, b, |x, y| x.wrapping_mul(y))
+        self.map2i(BinOp::IMul, pg, a, b, |x, y| x.wrapping_mul(y))
     }
 
     pub fn and_u(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2i(pg, a, b, |x, y| ((x as u64) & (y as u64)) as i64)
+        self.map2i(BinOp::And, pg, a, b, |x, y| {
+            ((x as u64) & (y as u64)) as i64
+        })
     }
 
     pub fn orr_u(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2i(pg, a, b, |x, y| ((x as u64) | (y as u64)) as i64)
-    }
-
-    pub fn lsl(&mut self, pg: &Pred, a: &VVal, sh: u32) -> VVal {
-        let bits = (0..self.vl)
-            .map(|l| {
-                if pg.mask[l] {
-                    a.bits[l] << sh
-                } else {
-                    a.bits[l]
-                }
-            })
-            .collect();
-        let id = self.fresh();
-        self.rec(OpClass::VecIntOp, Some(id), &[pg.id, a.id]);
-        VVal { bits, id }
-    }
-
-    /// Logical (unsigned) shift right.
-    pub fn lsr(&mut self, pg: &Pred, a: &VVal, sh: u32) -> VVal {
-        let bits = (0..self.vl)
-            .map(|l| {
-                if pg.mask[l] {
-                    a.bits[l] >> sh
-                } else {
-                    a.bits[l]
-                }
-            })
-            .collect();
-        let id = self.fresh();
-        self.rec(OpClass::VecIntOp, Some(id), &[pg.id, a.id]);
-        VVal { bits, id }
+        self.map2i(BinOp::Orr, pg, a, b, |x, y| {
+            ((x as u64) | (y as u64)) as i64
+        })
     }
 
     /// Bitwise XOR (`EOR`).
     pub fn eor_u(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2i(pg, a, b, |x, y| ((x as u64) ^ (y as u64)) as i64)
+        self.map2i(BinOp::Eor, pg, a, b, |x, y| {
+            ((x as u64) ^ (y as u64)) as i64
+        })
     }
 
-    /// Unsigned int → float (`UCVTF`).
-    pub fn ucvtf(&mut self, pg: &Pred, a: &VVal) -> VVal {
+    fn shift(&mut self, op: ShiftOp, pg: &Pred, a: &VVal, sh: u32) -> VVal {
         let bits = (0..self.vl)
             .map(|l| {
                 if pg.mask[l] {
-                    (a.bits[l] as f64).to_bits()
+                    match op {
+                        ShiftOp::Lsl => a.bits[l] << sh,
+                        ShiftOp::Lsr => a.bits[l] >> sh,
+                        ShiftOp::Asr => ((a.bits[l] as i64) >> sh) as u64,
+                    }
+                } else {
+                    a.bits[l]
+                }
+            })
+            .collect();
+        let id = self.fresh();
+        self.rec(OpClass::VecIntOp, Some(id), &[pg.id, a.id]);
+        if let Some(tr) = &mut self.trace {
+            let (sp, sa) = (tr.ps(pg.id), tr.vs(a.id));
+            let dst = tr.new_v(id);
+            tr.push(TOp::Shift {
+                op,
+                dst,
+                pg: sp,
+                a: sa,
+                sh,
+            });
+        }
+        VVal { bits, id }
+    }
+
+    pub fn lsl(&mut self, pg: &Pred, a: &VVal, sh: u32) -> VVal {
+        self.shift(ShiftOp::Lsl, pg, a, sh)
+    }
+
+    /// Logical (unsigned) shift right.
+    pub fn lsr(&mut self, pg: &Pred, a: &VVal, sh: u32) -> VVal {
+        self.shift(ShiftOp::Lsr, pg, a, sh)
+    }
+
+    pub fn asr(&mut self, pg: &Pred, a: &VVal, sh: u32) -> VVal {
+        self.shift(ShiftOp::Asr, pg, a, sh)
+    }
+
+    fn convert(&mut self, op: CvtOp, pg: &Pred, a: &VVal) -> VVal {
+        let bits = (0..self.vl)
+            .map(|l| {
+                if pg.mask[l] {
+                    match op {
+                        CvtOp::Ucvtf => lanes::ucvtf_lane(a.bits[l]),
+                        CvtOp::Fcvtns => lanes::fcvtns_lane(a.bits[l]),
+                        CvtOp::Fcvtzs => lanes::fcvtzs_lane(a.bits[l]),
+                        CvtOp::Scvtf => lanes::scvtf_lane(a.bits[l]),
+                    }
                 } else {
                     a.bits[l]
                 }
@@ -525,7 +743,37 @@ impl SveCtx {
             .collect();
         let id = self.fresh();
         self.rec(OpClass::FCvt, Some(id), &[pg.id, a.id]);
+        if let Some(tr) = &mut self.trace {
+            let (sp, sa) = (tr.ps(pg.id), tr.vs(a.id));
+            let dst = tr.new_v(id);
+            tr.push(TOp::Cvt {
+                op,
+                dst,
+                pg: sp,
+                a: sa,
+            });
+        }
         VVal { bits, id }
+    }
+
+    /// Unsigned int → float (`UCVTF`).
+    pub fn ucvtf(&mut self, pg: &Pred, a: &VVal) -> VVal {
+        self.convert(CvtOp::Ucvtf, pg, a)
+    }
+
+    /// Float → int, round to nearest (`FCVTNS`-like).
+    pub fn fcvtns(&mut self, pg: &Pred, a: &VVal) -> VVal {
+        self.convert(CvtOp::Fcvtns, pg, a)
+    }
+
+    /// Float → int, truncate toward zero (`FCVTZS`).
+    pub fn fcvtzs(&mut self, pg: &Pred, a: &VVal) -> VVal {
+        self.convert(CvtOp::Fcvtzs, pg, a)
+    }
+
+    /// Int → float (`SCVTF`).
+    pub fn scvtf(&mut self, pg: &Pred, a: &VVal) -> VVal {
+        self.convert(CvtOp::Scvtf, pg, a)
     }
 
     /// `COMPACT`: pack the active lanes to the front (inactive lanes fill
@@ -541,69 +789,11 @@ impl SveCtx {
         bits.resize(self.vl, 0);
         let id = self.fresh();
         self.rec(OpClass::Permute, Some(id), &[pg.id, a.id]);
-        VVal { bits, id }
-    }
-
-    pub fn asr(&mut self, pg: &Pred, a: &VVal, sh: u32) -> VVal {
-        let bits = (0..self.vl)
-            .map(|l| {
-                if pg.mask[l] {
-                    ((a.bits[l] as i64) >> sh) as u64
-                } else {
-                    a.bits[l]
-                }
-            })
-            .collect();
-        let id = self.fresh();
-        self.rec(OpClass::VecIntOp, Some(id), &[pg.id, a.id]);
-        VVal { bits, id }
-    }
-
-    /// Float → int, round to nearest (`FCVTNS`-like).
-    pub fn fcvtns(&mut self, pg: &Pred, a: &VVal) -> VVal {
-        let bits = (0..self.vl)
-            .map(|l| {
-                if pg.mask[l] {
-                    (f64::from_bits(a.bits[l]).round_ties_even() as i64) as u64
-                } else {
-                    a.bits[l]
-                }
-            })
-            .collect();
-        let id = self.fresh();
-        self.rec(OpClass::FCvt, Some(id), &[pg.id, a.id]);
-        VVal { bits, id }
-    }
-
-    /// Float → int, truncate toward zero (`FCVTZS`).
-    pub fn fcvtzs(&mut self, pg: &Pred, a: &VVal) -> VVal {
-        let bits = (0..self.vl)
-            .map(|l| {
-                if pg.mask[l] {
-                    (f64::from_bits(a.bits[l]).trunc() as i64) as u64
-                } else {
-                    a.bits[l]
-                }
-            })
-            .collect();
-        let id = self.fresh();
-        self.rec(OpClass::FCvt, Some(id), &[pg.id, a.id]);
-        VVal { bits, id }
-    }
-
-    /// Int → float (`SCVTF`).
-    pub fn scvtf(&mut self, pg: &Pred, a: &VVal) -> VVal {
-        let bits = (0..self.vl)
-            .map(|l| {
-                if pg.mask[l] {
-                    ((a.bits[l] as i64) as f64).to_bits()
-                } else {
-                    a.bits[l]
-                }
-            })
-            .collect();
-        let id = self.fresh();
-        self.rec(OpClass::FCvt, Some(id), &[pg.id, a.id]);
+        if let Some(tr) = &mut self.trace {
+            let (sp, sa) = (tr.ps(pg.id), tr.vs(a.id));
+            let dst = tr.new_v(id);
+            tr.push(TOp::Compact { dst, pg: sp, a: sa });
+        }
         VVal { bits, id }
     }
 
@@ -612,6 +802,7 @@ impl SveCtx {
     /// Contiguous load of up to `vl` doubles from `data[offset..]`
     /// (`LD1D`). Inactive or out-of-bounds lanes load 0.
     pub fn ld1d(&mut self, pg: &Pred, data: &[f64], offset: usize) -> VVal {
+        self.no_trace("ld1d");
         let bits = (0..self.vl)
             .map(|l| {
                 if pg.mask[l] && offset + l < data.len() {
@@ -628,6 +819,7 @@ impl SveCtx {
 
     /// Contiguous store (`ST1D`).
     pub fn st1d(&mut self, pg: &Pred, v: &VVal, data: &mut [f64], offset: usize) {
+        self.no_trace("st1d");
         for l in 0..self.vl {
             if pg.mask[l] && offset + l < data.len() {
                 data[offset + l] = f64::from_bits(v.bits[l]);
@@ -638,6 +830,8 @@ impl SveCtx {
 
     /// Gather load `data[idx[l]]` (`LD1D (gather)`); `uops` lets callers
     /// attach the 128-byte-window pairing analysis from `ookami-mem`.
+    /// Under tracing the table is captured by value: replays read a
+    /// record-time copy.
     pub fn ld1d_gather(&mut self, pg: &Pred, data: &[f64], idx: &VVal, uops: u32) -> VVal {
         let bits = (0..self.vl)
             .map(|l| {
@@ -651,11 +845,26 @@ impl SveCtx {
             .collect();
         let id = self.fresh();
         self.rec_hint(OpClass::Gather, Some(id), &[pg.id, idx.id], uops);
+        if let Some(tr) = &mut self.trace {
+            let tab = tr.capture_tab(data);
+            let (sp, si) = (tr.ps(pg.id), tr.vs(idx.id));
+            let dst = tr.new_v(id);
+            tr.push(TOp::Gather {
+                dst,
+                pg: sp,
+                idx: si,
+                tab,
+                uops,
+            });
+        }
         VVal { bits, id }
     }
 
     /// Scatter store `data[idx[l]] = v[l]` (`ST1D (scatter)`).
+    /// Under tracing the *pre-write* table contents are captured; replays
+    /// scatter into the replayer's working copy ([`crate::trace::Replayer::table`]).
     pub fn st1d_scatter(&mut self, pg: &Pred, v: &VVal, data: &mut [f64], idx: &VVal) {
+        let tab = self.trace.as_mut().map(|tr| tr.capture_tab(data));
         for l in 0..self.vl {
             let i = idx.bits[l] as usize;
             if pg.mask[l] && i < data.len() {
@@ -663,6 +872,15 @@ impl SveCtx {
             }
         }
         self.rec(OpClass::Scatter, None, &[pg.id, v.id, idx.id]);
+        if let Some(tr) = &mut self.trace {
+            let op = TOp::Scatter {
+                pg: tr.ps(pg.id),
+                v: tr.vs(v.id),
+                idx: tr.vs(idx.id),
+                tab: tab.expect("table captured above when tracing"),
+            };
+            tr.push(op);
+        }
     }
 
     // ---------------- loop bookkeeping ------------------------------------
@@ -674,12 +892,18 @@ impl SveCtx {
             self.rec(OpClass::IntAlu, None, &[]);
         }
         self.rec(OpClass::Branch, None, &[]);
+        if let Some(tr) = &mut self.trace {
+            tr.push(TOp::Overhead { int_ops });
+        }
     }
 
     /// Record a scalar libm call retiring one element (the GNU-on-A64FX
     /// fallback path for exp/sin/pow).
     pub fn scalar_libm_call(&mut self) {
         self.rec(OpClass::ScalarLibmCall, None, &[]);
+        if let Some(tr) = &mut self.trace {
+            tr.push(TOp::LibmCall);
+        }
     }
 }
 
@@ -879,5 +1103,32 @@ mod tests {
             assert_eq!(s.vl(), vl);
             assert_eq!(s.f64_lane(vl - 1), 7.0);
         }
+    }
+
+    // --- register-id wraparound (satellite regression tests) ---
+
+    #[test]
+    fn ids_saturate_instead_of_wrapping_outside_recording() {
+        let mut c = ctx();
+        c.force_next_reg(Reg::MAX - 1);
+        let a = c.dup_f64(1.0); // takes MAX-1
+        let b = c.dup_f64(2.0); // takes MAX, saturates
+        let d = c.dup_f64(3.0); // stays at MAX — never wraps to collide with a
+        assert_eq!(a.id, Reg::MAX - 1);
+        assert_eq!(b.id, Reg::MAX);
+        assert_eq!(d.id, Reg::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "register ids exhausted")]
+    fn ids_panic_instead_of_colliding_under_recording() {
+        let mut c = ctx();
+        let pg = c.ptrue();
+        let a = c.dup_f64(1.0);
+        c.force_next_reg(Reg::MAX);
+        c.start_recording();
+        // first op takes id MAX; incrementing past it must panic, not wrap
+        // back over `pg`/`a`'s live low ids.
+        let _ = c.fadd(&pg, &a, &a);
     }
 }

@@ -1,0 +1,128 @@
+//! Single-lane semantics shared by the interpreter ([`crate::ctx`]) and the
+//! trace replayer ([`crate::trace`]).
+//!
+//! The replay engine's bit-identity guarantee (DESIGN.md, trace engine
+//! section) rests on both executors calling *the same* lane functions: any
+//! rounding quirk (FRINTN's round-half-even, the estimate tables' 8-bit
+//! mantissa truncation) lives here exactly once, so it cannot drift.
+
+/// The canonical quiet NaN of Arm's default-NaN mode (`FPCR.DN = 1`),
+/// which the emulator models: arithmetic ops return this instead of
+/// propagating an input payload. Payload propagation is exactly where
+/// IEEE 754 — and LLVM's scalar-vs-vectorized lowering of `+`, `*`,
+/// `mul_add`, `max` — leaves the result bits unspecified, so
+/// canonicalizing is what keeps the interpreter and the batched trace
+/// replayer bit-identical on *every* input, NaNs included.
+pub const DEFAULT_NAN: u64 = 0x7FF8_0000_0000_0000;
+
+/// Canonicalize an arithmetic result under default-NaN mode.
+#[inline(always)]
+pub fn dn(x: f64) -> f64 {
+    if x.is_nan() {
+        f64::from_bits(DEFAULT_NAN)
+    } else {
+        x
+    }
+}
+
+/// `FMAX` (`maxNum` flavor): one NaN yields the other operand, two NaNs
+/// yield the default NaN, and the ±0 tie resolves to +0. Every case is
+/// value-determined, so scalar and autovectorized code agree bitwise.
+#[inline(always)]
+pub fn fmax_lane(xb: u64, yb: u64) -> u64 {
+    let (x, y) = (f64::from_bits(xb), f64::from_bits(yb));
+    if x.is_nan() {
+        if y.is_nan() {
+            DEFAULT_NAN
+        } else {
+            yb
+        }
+    } else if y.is_nan() || x > y {
+        xb
+    } else if x == y {
+        xb & yb // ±0 tie → +0; equal non-zeros share a bit pattern
+    } else {
+        yb
+    }
+}
+
+/// Mirror of [`fmax_lane`]; the ±0 tie resolves to −0.
+#[inline(always)]
+pub fn fmin_lane(xb: u64, yb: u64) -> u64 {
+    let (x, y) = (f64::from_bits(xb), f64::from_bits(yb));
+    if x.is_nan() {
+        if y.is_nan() {
+            DEFAULT_NAN
+        } else {
+            yb
+        }
+    } else if y.is_nan() || x < y {
+        xb
+    } else if x == y {
+        xb | yb // ±0 tie → −0
+    } else {
+        yb
+    }
+}
+
+/// `FRECPE`: reciprocal estimate truncated to ~8 mantissa bits, like the
+/// hardware's lookup table.
+#[inline]
+pub fn recpe_lane(a: u64) -> u64 {
+    let est = dn(1.0 / f64::from_bits(a));
+    (est.to_bits() & !((1u64 << 44) - 1)).max(1)
+}
+
+/// `FRSQRTE`: reciprocal square-root estimate, same truncation.
+#[inline]
+pub fn rsqrte_lane(a: u64) -> u64 {
+    let est = dn(1.0 / f64::from_bits(a).sqrt());
+    (est.to_bits() & !((1u64 << 44) - 1)).max(1)
+}
+
+/// `FRECPS` Newton step: `2 - a*b`, fused.
+#[inline]
+pub fn recps_lane(a: f64, b: f64) -> f64 {
+    dn((-a).mul_add(b, 2.0))
+}
+
+/// `FRSQRTS` Newton step: `(3 - a*b) / 2`.
+#[inline]
+pub fn rsqrts_lane(a: f64, b: f64) -> f64 {
+    dn((3.0 - a * b) * 0.5)
+}
+
+/// `FRINTN`: round to nearest integral, ties to even.
+#[inline]
+pub fn frintn_lane(x: f64) -> f64 {
+    let r = x.round();
+    if (x - x.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+        dn(r - x.signum())
+    } else {
+        dn(r)
+    }
+}
+
+/// `FCVTNS`: float → signed int, round to nearest (ties to even).
+#[inline]
+pub fn fcvtns_lane(a: u64) -> u64 {
+    (f64::from_bits(a).round_ties_even() as i64) as u64
+}
+
+/// `FCVTZS`: float → signed int, truncate toward zero.
+#[inline]
+pub fn fcvtzs_lane(a: u64) -> u64 {
+    (f64::from_bits(a).trunc() as i64) as u64
+}
+
+/// `SCVTF`: signed int → float.
+#[inline]
+pub fn scvtf_lane(a: u64) -> u64 {
+    ((a as i64) as f64).to_bits()
+}
+
+/// `UCVTF`: unsigned int → float.
+#[inline]
+pub fn ucvtf_lane(a: u64) -> u64 {
+    (a as f64).to_bits()
+}

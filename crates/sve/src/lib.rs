@@ -22,11 +22,14 @@
 
 pub mod ctx;
 pub mod fexpa;
+pub mod lanes;
 pub mod record;
+pub mod trace;
 pub mod value;
 
 pub use ctx::SveCtx;
 pub use record::{record_kernel, Recording};
+pub use trace::{PSlot, Replayer, Trace, TraceBuilder, VSlot};
 pub use value::{Pred, VVal};
 
 /// The A64FX vector length in 64-bit lanes (512-bit SVE).

@@ -1,0 +1,1380 @@
+//! Record-once / replay-many trace execution.
+//!
+//! The interpreter in [`crate::ctx`] allocates a fresh `Vec<u64>` per
+//! [`VVal`] and `Vec<bool>` per [`Pred`] for *every op of every iteration* —
+//! fine for validating numerics, ruinous for 40k-element accuracy sweeps.
+//! This module records **one** vector-length-agnostic iteration of a kernel
+//! into a compact [`Trace`] (SSA-numbered ops over slot-allocated register
+//! files) and then replays it across the whole input range with a single
+//! preallocated arena: no per-op heap allocation, no re-recording.
+//!
+//! The replay contract (DESIGN.md, trace engine section) is **bit
+//! identity**: for every op class — including merging predication on
+//! inactive lanes, gather/scatter, and FEXPA — `Trace::replay` produces
+//! exactly the bits the interpreter produces, because both executors call
+//! the same single-lane functions in [`crate::lanes`] and the same
+//! [`crate::fexpa::fexpa_lane`] table. Lanes are independent, so replaying
+//! in `vl`-sized blocks in any order cannot change results.
+//!
+//! Recording works by installing a [`TraceSink`] in the [`SveCtx`]: each op
+//! the kernel executes is *also* appended as a [`TOp`] whose operands are
+//! dense slot numbers (vectors and predicates live in separate slot
+//! spaces). Ops that belong to the *harness* rather than the kernel —
+//! `whilelt`, `ptest`, `ld1d`/`st1d`, `faddv`, raw `input_*` — panic under
+//! tracing; the [`TraceBuilder`] provides their trace-native equivalents
+//! (the loop predicate, bound inputs, and post-step taps).
+
+use std::collections::HashMap;
+
+use crate::ctx::SveCtx;
+use crate::fexpa::fexpa_lane;
+use crate::lanes;
+use crate::value::{Pred, VVal};
+use ookami_core::pool::Schedule;
+use ookami_core::runtime::{par_for_with, SendPtr};
+use ookami_uarch::{Instr, OpClass, Reg, Width};
+
+/// Dense index into a trace's vector or predicate register file.
+pub(crate) type Slot = u16;
+
+/// Opaque handle to a traced vector value (for replay-time reads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VSlot(pub(crate) Slot);
+
+/// Opaque handle to a traced predicate value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PSlot(pub(crate) Slot);
+
+/// Two-operand elementwise op kinds (float and integer lanes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinOp {
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FMax,
+    FMin,
+    IAdd,
+    ISub,
+    IMul,
+    And,
+    Orr,
+    Eor,
+}
+
+/// One-operand elementwise op kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UnOp {
+    Sqrt,
+    Neg,
+    Abs,
+    Rintn,
+}
+
+/// Float compare kinds producing predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CmpOp {
+    Gt,
+    Ge,
+    Eq,
+}
+
+/// Lane shift kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShiftOp {
+    Lsl,
+    Lsr,
+    Asr,
+}
+
+/// Int/float conversion kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CvtOp {
+    Ucvtf,
+    Fcvtns,
+    Fcvtzs,
+    Scvtf,
+}
+
+/// One trace op. Operand fields are slots; `pg` is always a predicate
+/// slot. Semantics are the interpreter's, verbatim: merging predication
+/// passes the *first vector operand* through on inactive lanes (`c` for
+/// fused multiply-adds), estimates are unpredicated, `SEL` is a full
+/// select.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TOp {
+    /// Broadcast/setup constant with its exact record-time lanes
+    /// (covers `dup_f64`, `dup_i64`, and `index`).
+    ConstV {
+        dst: Slot,
+        lanes: Vec<u64>,
+    },
+    /// All-true predicate.
+    Ptrue {
+        dst: Slot,
+    },
+    Bin {
+        op: BinOp,
+        dst: Slot,
+        pg: Slot,
+        a: Slot,
+        b: Slot,
+    },
+    Un {
+        op: UnOp,
+        dst: Slot,
+        pg: Slot,
+        a: Slot,
+    },
+    /// `FMLA`/`FMLS`: `±a*b + c`, accumulator passthrough when inactive.
+    Fmla {
+        neg: bool,
+        dst: Slot,
+        pg: Slot,
+        c: Slot,
+        a: Slot,
+        b: Slot,
+    },
+    /// `FRECPE`/`FRSQRTE` (unpredicated 8-bit estimates).
+    Est {
+        rsqrt: bool,
+        dst: Slot,
+        a: Slot,
+    },
+    /// `FRECPS`/`FRSQRTS` Newton steps.
+    NewtonStep {
+        rsqrt: bool,
+        dst: Slot,
+        pg: Slot,
+        a: Slot,
+        b: Slot,
+    },
+    Fexpa {
+        dst: Slot,
+        a: Slot,
+    },
+    Ftmad {
+        dst: Slot,
+        pg: Slot,
+        a: Slot,
+        b: Slot,
+        coeff: f64,
+    },
+    Cmp {
+        op: CmpOp,
+        dst: Slot,
+        pg: Slot,
+        a: Slot,
+        b: Slot,
+    },
+    CmpNeImm {
+        dst: Slot,
+        pg: Slot,
+        a: Slot,
+        imm: i64,
+    },
+    Pand {
+        dst: Slot,
+        a: Slot,
+        b: Slot,
+    },
+    Sel {
+        dst: Slot,
+        pg: Slot,
+        a: Slot,
+        b: Slot,
+    },
+    Shift {
+        op: ShiftOp,
+        dst: Slot,
+        pg: Slot,
+        a: Slot,
+        sh: u32,
+    },
+    Cvt {
+        op: CvtOp,
+        dst: Slot,
+        pg: Slot,
+        a: Slot,
+    },
+    Compact {
+        dst: Slot,
+        pg: Slot,
+        a: Slot,
+    },
+    /// Gather from captured table `tab` (a record-time copy).
+    Gather {
+        dst: Slot,
+        pg: Slot,
+        idx: Slot,
+        tab: u16,
+        uops: u32,
+    },
+    /// Scatter into the replayer's working copy of table `tab`.
+    Scatter {
+        pg: Slot,
+        v: Slot,
+        idx: Slot,
+        tab: u16,
+    },
+    /// Scalar loop bookkeeping (no lanes touched; kept for `to_instrs`).
+    Overhead {
+        int_ops: usize,
+    },
+    /// Scalar libm call marker (cost modeling only).
+    LibmCall,
+}
+
+/// Record-time state installed in an [`SveCtx`] by the [`TraceBuilder`].
+///
+/// Maps the interpreter's virtual register ids onto dense slots and
+/// accumulates the op list, split into a `setup` phase (constants and
+/// everything executed before [`TraceBuilder::begin_body`] — loop-invariant
+/// or iteration-state initialization) and the per-iteration `body`.
+pub(crate) struct TraceSink {
+    setup: Vec<TOp>,
+    body: Vec<TOp>,
+    in_body: bool,
+    vmap: HashMap<Reg, Slot>,
+    pmap: HashMap<Reg, Slot>,
+    n_v: Slot,
+    n_p: Slot,
+    tabs: Vec<Vec<f64>>,
+}
+
+impl TraceSink {
+    pub(crate) fn new() -> Self {
+        TraceSink {
+            setup: Vec::new(),
+            body: Vec::new(),
+            in_body: false,
+            vmap: HashMap::new(),
+            pmap: HashMap::new(),
+            n_v: 0,
+            n_p: 0,
+            tabs: Vec::new(),
+        }
+    }
+
+    /// Look up the slot of an already-traced vector value.
+    pub(crate) fn vs(&self, id: Reg) -> Slot {
+        *self
+            .vmap
+            .get(&id)
+            .expect("operand vector was created outside the trace")
+    }
+
+    pub(crate) fn ps(&self, id: Reg) -> Slot {
+        *self
+            .pmap
+            .get(&id)
+            .expect("operand predicate was created outside the trace")
+    }
+
+    pub(crate) fn new_v(&mut self, id: Reg) -> Slot {
+        let s = self.n_v;
+        self.n_v = self
+            .n_v
+            .checked_add(1)
+            .expect("trace vector slots exhausted");
+        self.vmap.insert(id, s);
+        s
+    }
+
+    pub(crate) fn new_p(&mut self, id: Reg) -> Slot {
+        let s = self.n_p;
+        self.n_p = self
+            .n_p
+            .checked_add(1)
+            .expect("trace predicate slots exhausted");
+        self.pmap.insert(id, s);
+        s
+    }
+
+    /// Append a body-or-setup op according to the current phase.
+    pub(crate) fn push(&mut self, op: TOp) {
+        if self.in_body {
+            self.body.push(op);
+        } else {
+            self.setup.push(op);
+        }
+    }
+
+    /// Append an op that is loop-invariant by construction (constants,
+    /// `ptrue`) — always lands in setup, even when recorded mid-body.
+    pub(crate) fn push_setup(&mut self, op: TOp) {
+        self.setup.push(op);
+    }
+
+    /// Capture a record-time copy of a gather/scatter table.
+    pub(crate) fn capture_tab(&mut self, data: &[f64]) -> u16 {
+        let k = self.tabs.len();
+        assert!(k < u16::MAX as usize, "too many captured tables");
+        self.tabs.push(data.to_vec());
+        k as u16
+    }
+}
+
+/// Incrementally records one kernel iteration through a traced [`SveCtx`].
+///
+/// Protocol: create the builder, obtain the (optional) loop predicate and
+/// inputs, run any iteration-state setup through [`TraceBuilder::ctx`],
+/// call [`TraceBuilder::begin_body`], run exactly one iteration of the
+/// kernel body, declare carried values, and [`TraceBuilder::finish`].
+pub struct TraceBuilder {
+    ctx: SveCtx,
+    inputs: Vec<Slot>,
+    loop_pred: Option<Slot>,
+    carries: Vec<(Slot, Slot)>,
+}
+
+impl TraceBuilder {
+    pub fn new(vl: usize) -> Self {
+        let mut ctx = SveCtx::new(vl);
+        ctx.install_trace(TraceSink::new());
+        TraceBuilder {
+            ctx,
+            inputs: Vec::new(),
+            loop_pred: None,
+            carries: Vec::new(),
+        }
+    }
+
+    /// The traced context; pass to the kernel under recording.
+    pub fn ctx(&mut self) -> &mut SveCtx {
+        &mut self.ctx
+    }
+
+    /// The loop-governing predicate (the trace-native `whilelt`): all-true
+    /// at record time, set per block by [`Replayer::set_block`].
+    pub fn loop_pred(&mut self) -> Pred {
+        assert!(self.loop_pred.is_none(), "loop_pred may be taken once");
+        let vl = self.ctx.vl();
+        let id = self.ctx.fresh_id();
+        let sink = self.ctx.trace_sink();
+        let s = sink.new_p(id);
+        // No Ptrue op: the replayer owns this slot's mask.
+        self.loop_pred = Some(s);
+        Pred {
+            mask: vec![true; vl],
+            id,
+        }
+    }
+
+    /// A per-block float input (the trace-native `ld1d`): lanes are bound
+    /// by [`Replayer::bind_f64`] before each step; record-time lanes are
+    /// zero (tails are zero-padded exactly like the interpreter harness).
+    pub fn input_f64(&mut self) -> VVal {
+        self.input_raw()
+    }
+
+    /// A per-block integer input (e.g. a loaded index vector).
+    pub fn input_i64(&mut self) -> VVal {
+        self.input_raw()
+    }
+
+    fn input_raw(&mut self) -> VVal {
+        let vl = self.ctx.vl();
+        let id = self.ctx.fresh_id();
+        let sink = self.ctx.trace_sink();
+        let s = sink.new_v(id);
+        self.inputs.push(s);
+        VVal {
+            bits: vec![0u64; vl],
+            id,
+        }
+    }
+
+    /// End the setup phase: ops recorded from here on replay once per
+    /// iteration instead of once per replayer.
+    pub fn begin_body(&mut self) {
+        self.ctx.trace_sink().in_body = true;
+    }
+
+    /// Declare `updated` as the next-iteration value of `init`: at
+    /// [`Replayer::advance`] the body slot is copied over the setup slot.
+    pub fn carry(&mut self, init: &VVal, updated: &VVal) {
+        let sink = self.ctx.trace_sink();
+        let pair = (sink.vs(init.id), sink.vs(updated.id));
+        self.carries.push(pair);
+    }
+
+    /// Replay-time handle for reading a traced vector's lanes.
+    pub fn slot_of(&mut self, v: &VVal) -> VSlot {
+        VSlot(self.ctx.trace_sink().vs(v.id))
+    }
+
+    /// Replay-time handle for reading a traced predicate's mask.
+    pub fn pslot_of(&mut self, p: &Pred) -> PSlot {
+        PSlot(self.ctx.trace_sink().ps(p.id))
+    }
+
+    pub fn finish(mut self, outputs: &[&VVal]) -> Trace {
+        let vl = self.ctx.vl();
+        let outs: Vec<Slot> = outputs
+            .iter()
+            .map(|v| self.ctx.trace_sink().vs(v.id))
+            .collect();
+        let sink = self.ctx.take_trace();
+        Trace {
+            vl,
+            setup: sink.setup,
+            body: sink.body,
+            n_v: sink.n_v as usize,
+            n_p: sink.n_p as usize,
+            tabs: sink.tabs,
+            inputs: self.inputs,
+            loop_pred: self.loop_pred,
+            carries: self.carries,
+            outputs: outs,
+        }
+    }
+}
+
+/// A recorded kernel iteration: setup ops (run once per [`Replayer`]),
+/// body ops (run once per [`Replayer::step`]), captured gather/scatter
+/// tables, input/output/carry slot wiring.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    vl: usize,
+    setup: Vec<TOp>,
+    body: Vec<TOp>,
+    n_v: usize,
+    n_p: usize,
+    tabs: Vec<Vec<f64>>,
+    inputs: Vec<Slot>,
+    loop_pred: Option<Slot>,
+    carries: Vec<(Slot, Slot)>,
+    outputs: Vec<Slot>,
+}
+
+impl Trace {
+    /// Record a one-input elementwise kernel (the `map_f64` shape):
+    /// `f(ctx, loop_pred, x) -> y`.
+    pub fn record1(vl: usize, f: impl FnOnce(&mut SveCtx, &Pred, &VVal) -> VVal) -> Trace {
+        let mut b = TraceBuilder::new(vl);
+        let pg = b.loop_pred();
+        let x = b.input_f64();
+        b.begin_body();
+        let y = f(b.ctx(), &pg, &x);
+        b.finish(&[&y])
+    }
+
+    /// Record a two-input elementwise kernel: `f(ctx, pg, x, y) -> z`.
+    pub fn record2(vl: usize, f: impl FnOnce(&mut SveCtx, &Pred, &VVal, &VVal) -> VVal) -> Trace {
+        let mut b = TraceBuilder::new(vl);
+        let pg = b.loop_pred();
+        let x = b.input_f64();
+        let y = b.input_f64();
+        b.begin_body();
+        let z = f(b.ctx(), &pg, &x, &y);
+        b.finish(&[&z])
+    }
+
+    pub fn vl(&self) -> usize {
+        self.vl
+    }
+
+    /// Body op count (one kernel iteration).
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
+    pub fn output(&self, i: usize) -> VSlot {
+        VSlot(self.outputs[i])
+    }
+
+    /// Whether contiguous blocks may be fused into one wide replay step.
+    /// True for purely lanewise bodies; loop-carried state serializes
+    /// iterations and `compact` permutes across the whole vector, so
+    /// either forces block-at-a-time replay.
+    fn batchable(&self) -> bool {
+        self.carries.is_empty() && !self.body.iter().any(|o| matches!(o, TOp::Compact { .. }))
+    }
+
+    /// Blocks fused per step for the bulk `map`/`par_map` drivers.
+    fn auto_batch(&self) -> usize {
+        if self.batchable() {
+            (64 / self.vl).max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Replay the trace over `xs` (single-input, single-output traces),
+    /// block by block — bit-identical to `vecmath::map_f64` over the
+    /// interpreter.
+    pub fn map(&self, xs: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0f64; xs.len()];
+        let mut r = Replayer::with_batch(self, self.auto_batch());
+        let w = r.width();
+        self.map_range(&mut r, xs, &mut out, 0, xs.len().div_ceil(w));
+        out
+    }
+
+    /// [`Trace::map`] with two input streams (`pow`-style kernels).
+    pub fn map2(&self, xs: &[f64], ys: &[f64]) -> Vec<f64> {
+        assert_eq!(xs.len(), ys.len());
+        assert_eq!(self.inputs.len(), 2, "map2 needs a two-input trace");
+        let mut out = vec![0.0f64; xs.len()];
+        let mut r = Replayer::with_batch(self, self.auto_batch());
+        let w = r.width();
+        let o = self.output(0);
+        for i in (0..xs.len()).step_by(w) {
+            let m = w.min(xs.len() - i);
+            r.set_block(i, xs.len());
+            r.bind_f64(0, &xs[i..i + m]);
+            r.bind_f64(1, &ys[i..i + m]);
+            r.step();
+            for (l, slot) in out[i..i + m].iter_mut().enumerate() {
+                *slot = r.lane_f64(o, l);
+            }
+        }
+        out
+    }
+
+    /// [`Trace::map`] parallelized over the PR-1 worker pool with a static
+    /// schedule (deterministic block→thread assignment; lanes are
+    /// independent, so results stay bit-identical to the serial replay).
+    /// `threads == 0` means auto.
+    pub fn par_map(&self, threads: usize, xs: &[f64]) -> Vec<f64> {
+        let batch = self.auto_batch();
+        let w = batch * self.vl;
+        let n_blocks = xs.len().div_ceil(w);
+        let mut out = vec![0.0f64; xs.len()];
+        let base = SendPtr::new(out.as_mut_ptr());
+        par_for_with(threads, n_blocks, Schedule::Static, |_, s, e| {
+            let mut r = Replayer::with_batch(self, batch);
+            // SAFETY: block ranges are disjoint and claimed exactly once
+            // per region; `out` outlives the region (par_for_with blocks).
+            let chunk = unsafe { base.slice_mut(s * w, ((e * w).min(xs.len())) - s * w) };
+            self.map_range(&mut r, xs, chunk, s, e);
+        });
+        out
+    }
+
+    /// [`Trace::map2`] parallelized over the worker pool (static schedule,
+    /// bit-identical to the serial replay). `threads == 0` means auto.
+    pub fn par_map2(&self, threads: usize, xs: &[f64], ys: &[f64]) -> Vec<f64> {
+        assert_eq!(xs.len(), ys.len());
+        assert_eq!(self.inputs.len(), 2, "par_map2 needs a two-input trace");
+        let batch = self.auto_batch();
+        let w = batch * self.vl;
+        let n_blocks = xs.len().div_ceil(w);
+        let mut out = vec![0.0f64; xs.len()];
+        let base = SendPtr::new(out.as_mut_ptr());
+        par_for_with(threads, n_blocks, Schedule::Static, |_, s, e| {
+            let mut r = Replayer::with_batch(self, batch);
+            let o = self.output(0);
+            for blk in s..e {
+                let i = blk * w;
+                let m = w.min(xs.len() - i);
+                r.set_block(i, xs.len());
+                r.bind_f64(0, &xs[i..i + m]);
+                r.bind_f64(1, &ys[i..i + m]);
+                r.step();
+                // SAFETY: blocks are disjoint, claimed once, and `out`
+                // outlives the region.
+                let chunk = unsafe { base.slice_mut(i, m) };
+                for (l, slot) in chunk.iter_mut().enumerate() {
+                    *slot = r.lane_f64(o, l);
+                }
+            }
+        });
+        out
+    }
+
+    /// Replay blocks `[b0, b1)` of `xs`, writing into `out` (which starts
+    /// at element `b0 * w` of the logical output, where `w` is the
+    /// replayer's step width — `vl` times its batch factor).
+    fn map_range(&self, r: &mut Replayer, xs: &[f64], out: &mut [f64], b0: usize, b1: usize) {
+        assert_eq!(self.inputs.len(), 1, "map needs a one-input trace");
+        let w = r.width();
+        let o = self.output(0);
+        for blk in b0..b1 {
+            let i = blk * w;
+            let m = w.min(xs.len() - i);
+            r.set_block(i, xs.len());
+            r.bind_f64(0, &xs[i..i + m]);
+            r.step();
+            let lo = i - b0 * w;
+            for (l, slot) in out[lo..lo + m].iter_mut().enumerate() {
+                *slot = r.lane_f64(o, l);
+            }
+        }
+    }
+
+    /// Fresh replay state for manual (loop-carried / multi-tap) replays.
+    pub fn replayer(&self) -> Replayer<'_> {
+        Replayer::new(self)
+    }
+
+    /// The body as the [`Instr`] stream the interpreter would have
+    /// recorded for the same ops: vector slot `k` becomes register `k`,
+    /// predicate slot `k` becomes register `n_v + k`, and each [`TOp`]
+    /// expands to exactly the `(OpClass, dst, srcs, uops)` tuple the
+    /// corresponding `SveCtx` method records. The satellite identity test
+    /// checks this against a real interpreter recording modulo register
+    /// renaming.
+    pub fn to_instrs(&self) -> Vec<Instr> {
+        let w = match self.vl {
+            1 => Width::Scalar,
+            2 => Width::V128,
+            4 => Width::V256,
+            _ => Width::V512,
+        };
+        let vr = |s: Slot| s as Reg;
+        let pr = |s: Slot| self.n_v as Reg + s as Reg;
+        let mut out = Vec::new();
+        for op in &self.body {
+            match *op {
+                TOp::ConstV { .. } | TOp::Ptrue { .. } => {
+                    unreachable!("constants always land in setup")
+                }
+                TOp::Bin { op, dst, pg, a, b } => {
+                    let class = match op {
+                        BinOp::FAdd | BinOp::FSub => OpClass::FAdd,
+                        BinOp::FMul => OpClass::FMul,
+                        BinOp::FDiv => OpClass::FDiv,
+                        BinOp::FMax | BinOp::FMin => OpClass::FMinMax,
+                        _ => OpClass::VecIntOp,
+                    };
+                    out.push(Instr::new(class, w, Some(vr(dst)), [pr(pg), vr(a), vr(b)]));
+                }
+                TOp::Un { op, dst, pg, a } => {
+                    let class = match op {
+                        UnOp::Sqrt => OpClass::FSqrt,
+                        UnOp::Neg | UnOp::Abs => OpClass::FAbsNeg,
+                        UnOp::Rintn => OpClass::FRound,
+                    };
+                    out.push(Instr::new(class, w, Some(vr(dst)), [pr(pg), vr(a)]));
+                }
+                TOp::Fmla {
+                    dst, pg, c, a, b, ..
+                } => out.push(Instr::new(
+                    OpClass::Fma,
+                    w,
+                    Some(vr(dst)),
+                    [pr(pg), vr(c), vr(a), vr(b)],
+                )),
+                TOp::Est { rsqrt, dst, a } => {
+                    let class = if rsqrt {
+                        OpClass::FRsqrte
+                    } else {
+                        OpClass::FRecpe
+                    };
+                    out.push(Instr::new(class, w, Some(vr(dst)), [vr(a)]));
+                }
+                TOp::NewtonStep { dst, pg, a, b, .. } => out.push(Instr::new(
+                    OpClass::Fma,
+                    w,
+                    Some(vr(dst)),
+                    [pr(pg), vr(a), vr(b)],
+                )),
+                TOp::Fexpa { dst, a } => {
+                    out.push(Instr::new(OpClass::Fexpa, w, Some(vr(dst)), [vr(a)]));
+                }
+                TOp::Ftmad { dst, pg, a, b, .. } => out.push(Instr::new(
+                    OpClass::Ftmad,
+                    w,
+                    Some(vr(dst)),
+                    [pr(pg), vr(a), vr(b)],
+                )),
+                TOp::Cmp { dst, pg, a, b, .. } => out.push(Instr::new(
+                    OpClass::FCmp,
+                    w,
+                    Some(pr(dst)),
+                    [pr(pg), vr(a), vr(b)],
+                )),
+                TOp::CmpNeImm { dst, pg, a, .. } => {
+                    out.push(Instr::new(OpClass::FCmp, w, Some(pr(dst)), [pr(pg), vr(a)]));
+                }
+                TOp::Pand { dst, a, b } => out.push(Instr::new(
+                    OpClass::PredOp,
+                    w,
+                    Some(pr(dst)),
+                    [pr(a), pr(b)],
+                )),
+                TOp::Sel { dst, pg, a, b } => out.push(Instr::new(
+                    OpClass::Select,
+                    w,
+                    Some(vr(dst)),
+                    [pr(pg), vr(a), vr(b)],
+                )),
+                TOp::Shift { dst, pg, a, .. } => out.push(Instr::new(
+                    OpClass::VecIntOp,
+                    w,
+                    Some(vr(dst)),
+                    [pr(pg), vr(a)],
+                )),
+                TOp::Cvt { dst, pg, a, .. } => {
+                    out.push(Instr::new(OpClass::FCvt, w, Some(vr(dst)), [pr(pg), vr(a)]));
+                }
+                TOp::Compact { dst, pg, a } => out.push(Instr::new(
+                    OpClass::Permute,
+                    w,
+                    Some(vr(dst)),
+                    [pr(pg), vr(a)],
+                )),
+                TOp::Gather {
+                    dst, pg, idx, uops, ..
+                } => out.push(
+                    Instr::new(OpClass::Gather, w, Some(vr(dst)), [pr(pg), vr(idx)])
+                        .with_uops(uops),
+                ),
+                TOp::Scatter { pg, v, idx, .. } => out.push(Instr::new(
+                    OpClass::Scatter,
+                    w,
+                    None,
+                    [pr(pg), vr(v), vr(idx)],
+                )),
+                TOp::Overhead { int_ops } => {
+                    for _ in 0..int_ops {
+                        out.push(Instr::new(OpClass::IntAlu, w, None, Vec::<Reg>::new()));
+                    }
+                    out.push(Instr::new(OpClass::Branch, w, None, Vec::<Reg>::new()));
+                }
+                TOp::LibmCall => out.push(Instr::new(
+                    OpClass::ScalarLibmCall,
+                    w,
+                    None,
+                    Vec::<Reg>::new(),
+                )),
+            }
+        }
+        out
+    }
+}
+
+/// Preallocated replay arena for one [`Trace`]: a flat `u64` buffer of
+/// `n_v × vl` vector lanes, one bitmask per predicate slot, and working
+/// copies of the captured tables. SSA slot numbering guarantees an op's
+/// destination never aliases its sources, so execution writes in place.
+pub struct Replayer<'t> {
+    t: &'t Trace,
+    /// Lanes processed per step: `batch × vl`. Elementwise traces (no
+    /// carries, no `compact`) replay several contiguous blocks per step —
+    /// the `whilelt` mask `i + l < n` is linear in the lane index, so
+    /// concatenating blocks is bit-identical while amortizing the per-op
+    /// dispatch over up to 64 lanes.
+    w: usize,
+    vbuf: Vec<u64>,
+    pbuf: Vec<u64>,
+    tabs: Vec<Vec<f64>>,
+}
+
+impl<'t> Replayer<'t> {
+    pub fn new(t: &'t Trace) -> Self {
+        Replayer::with_batch(t, 1)
+    }
+
+    pub(crate) fn with_batch(t: &'t Trace, batch: usize) -> Self {
+        assert!(batch >= 1 && (batch == 1 || t.batchable()));
+        let w = batch * t.vl;
+        assert!(w <= 64, "predicate bitmasks hold at most 64 lanes");
+        let mut r = Replayer {
+            t,
+            w,
+            vbuf: vec![0u64; t.n_v * w],
+            pbuf: vec![0u64; t.n_p],
+            tabs: t.tabs.clone(),
+        };
+        if let Some(lp) = t.loop_pred {
+            r.pbuf[lp as usize] = r.full_mask();
+        }
+        r.exec(&t.setup);
+        r
+    }
+
+    /// Lanes consumed/produced per [`Replayer::step`].
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    fn full_mask(&self) -> u64 {
+        if self.w == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.w) - 1
+        }
+    }
+
+    /// Set the loop predicate for the block starting at element `i` of an
+    /// `n`-element range: lane `l` active iff `i + l < n` (the `whilelt`
+    /// semantics).
+    pub fn set_block(&mut self, i: usize, n: usize) {
+        let lp = self
+            .t
+            .loop_pred
+            .expect("trace was recorded without a loop predicate");
+        let mut m = 0u64;
+        for l in 0..self.w {
+            if i + l < n {
+                m |= 1 << l;
+            }
+        }
+        self.pbuf[lp as usize] = m;
+    }
+
+    /// Bind input `ord` to `lanes` (≤ `width`; the tail is zero-padded
+    /// like the interpreter's `ld1d` of a short final block).
+    pub fn bind_f64(&mut self, ord: usize, lanes: &[f64]) {
+        let s = self.t.inputs[ord] as usize * self.w;
+        assert!(lanes.len() <= self.w);
+        for (l, lane) in self.vbuf[s..s + self.w].iter_mut().enumerate() {
+            *lane = lanes.get(l).map_or(0, |x| x.to_bits());
+        }
+    }
+
+    /// Bind input `ord` to integer lanes.
+    pub fn bind_i64(&mut self, ord: usize, lanes: &[i64]) {
+        let s = self.t.inputs[ord] as usize * self.w;
+        assert!(lanes.len() <= self.w);
+        for (l, lane) in self.vbuf[s..s + self.w].iter_mut().enumerate() {
+            *lane = lanes.get(l).map_or(0, |&x| x as u64);
+        }
+    }
+
+    /// Execute one body iteration.
+    pub fn step(&mut self) {
+        let t = self.t;
+        self.exec(&t.body);
+    }
+
+    /// Commit carried values: each `(init, updated)` pair copies the
+    /// updated body slot onto the setup slot the next iteration reads.
+    pub fn advance(&mut self) {
+        let w = self.w;
+        for &(init, updated) in &self.t.carries {
+            let (di, si) = (init as usize * w, updated as usize * w);
+            for l in 0..w {
+                self.vbuf[di + l] = self.vbuf[si + l];
+            }
+        }
+    }
+
+    pub fn lane_bits(&self, v: VSlot, l: usize) -> u64 {
+        self.vbuf[v.0 as usize * self.w + l]
+    }
+
+    pub fn lane_f64(&self, v: VSlot, l: usize) -> f64 {
+        f64::from_bits(self.lane_bits(v, l))
+    }
+
+    pub fn lane_i64(&self, v: VSlot, l: usize) -> i64 {
+        self.lane_bits(v, l) as i64
+    }
+
+    pub fn pred_lane(&self, p: PSlot, l: usize) -> bool {
+        self.pbuf[p.0 as usize] >> l & 1 == 1
+    }
+
+    /// Active-lane count of a traced predicate (the `count_active` tap).
+    pub fn count_active(&self, p: PSlot) -> usize {
+        self.pbuf[p.0 as usize].count_ones() as usize
+    }
+
+    /// Horizontal sum of `v`'s active lanes in lane order — identical
+    /// association to the interpreter's `faddv`.
+    pub fn faddv(&self, p: PSlot, v: VSlot) -> f64 {
+        let m = self.pbuf[p.0 as usize];
+        (0..self.w)
+            .filter(|&l| m >> l & 1 == 1)
+            .map(|l| self.lane_f64(v, l))
+            .sum()
+    }
+
+    /// The replayer's working copy of captured table `k` — read back
+    /// scatter results from here.
+    pub fn table(&self, k: usize) -> &[f64] {
+        &self.tabs[k]
+    }
+
+    fn exec(&mut self, ops: &'t [TOp]) {
+        for op in ops {
+            self.exec_one(op);
+        }
+    }
+
+    #[inline]
+    fn vbase(&self, s: Slot) -> usize {
+        s as usize * self.w
+    }
+
+    fn exec_one(&mut self, op: &TOp) {
+        let w = self.w;
+        let full = self.full_mask();
+        match *op {
+            TOp::ConstV { dst, ref lanes } => {
+                let d = self.vbase(dst);
+                // Broadcast the recorded block's constant lanes across
+                // every batched block.
+                for chunk in self.vbuf[d..d + w].chunks_exact_mut(lanes.len()) {
+                    chunk.copy_from_slice(lanes);
+                }
+            }
+            TOp::Ptrue { dst } => {
+                self.pbuf[dst as usize] = full;
+            }
+            TOp::Bin { op, dst, pg, a, b } => {
+                let m = self.pbuf[pg as usize];
+                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
+                bin_rows(op, d, src_row(lo, w, a), src_row(lo, w, b), m, full);
+            }
+            TOp::Un { op, dst, pg, a } => {
+                let m = self.pbuf[pg as usize];
+                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
+                un_rows(op, d, src_row(lo, w, a), m, full);
+            }
+            TOp::Fmla {
+                neg,
+                dst,
+                pg,
+                c,
+                a,
+                b,
+            } => {
+                let m = self.pbuf[pg as usize];
+                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
+                let (c, a, b) = (src_row(lo, w, c), src_row(lo, w, a), src_row(lo, w, b));
+                if neg {
+                    fmla_rows::<true>(d, c, a, b, m, full);
+                } else {
+                    fmla_rows::<false>(d, c, a, b, m, full);
+                }
+            }
+            TOp::Est { rsqrt, dst, a } => {
+                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
+                let a = src_row(lo, w, a);
+                if rsqrt {
+                    lanes1(d, a, full, full, lanes::rsqrte_lane);
+                } else {
+                    lanes1(d, a, full, full, lanes::recpe_lane);
+                }
+            }
+            TOp::NewtonStep {
+                rsqrt,
+                dst,
+                pg,
+                a,
+                b,
+            } => {
+                let m = self.pbuf[pg as usize];
+                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
+                let (a, b) = (src_row(lo, w, a), src_row(lo, w, b));
+                if rsqrt {
+                    lanes2(d, a, b, m, full, |x, y| {
+                        lanes::rsqrts_lane(f64::from_bits(x), f64::from_bits(y)).to_bits()
+                    });
+                } else {
+                    lanes2(d, a, b, m, full, |x, y| {
+                        lanes::recps_lane(f64::from_bits(x), f64::from_bits(y)).to_bits()
+                    });
+                }
+            }
+            TOp::Fexpa { dst, a } => {
+                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
+                lanes1(d, src_row(lo, w, a), full, full, |x| {
+                    fexpa_lane(x).to_bits()
+                });
+            }
+            TOp::Ftmad {
+                dst,
+                pg,
+                a,
+                b,
+                coeff,
+            } => {
+                let m = self.pbuf[pg as usize];
+                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
+                lanes2(d, src_row(lo, w, a), src_row(lo, w, b), m, full, |x, y| {
+                    lanes::dn(f64::from_bits(x).mul_add(f64::from_bits(y), coeff)).to_bits()
+                });
+            }
+            TOp::Cmp { op, dst, pg, a, b } => {
+                let (ab, bb) = (self.vbase(a), self.vbase(b));
+                let m = self.pbuf[pg as usize];
+                let (a, b) = (&self.vbuf[ab..ab + w], &self.vbuf[bb..bb + w]);
+                self.pbuf[dst as usize] = match op {
+                    CmpOp::Gt => cmp_rows(a, b, m, |x, y| x > y),
+                    CmpOp::Ge => cmp_rows(a, b, m, |x, y| x >= y),
+                    CmpOp::Eq => cmp_rows(a, b, m, |x, y| x == y),
+                };
+            }
+            TOp::CmpNeImm { dst, pg, a, imm } => {
+                let ab = self.vbase(a);
+                let m = self.pbuf[pg as usize];
+                let mut r = 0u64;
+                for (l, &x) in self.vbuf[ab..ab + w].iter().enumerate() {
+                    if m >> l & 1 == 1 && (x as i64) != imm {
+                        r |= 1 << l;
+                    }
+                }
+                self.pbuf[dst as usize] = r;
+            }
+            TOp::Pand { dst, a, b } => {
+                self.pbuf[dst as usize] = self.pbuf[a as usize] & self.pbuf[b as usize];
+            }
+            TOp::Sel { dst, pg, a, b } => {
+                let m = self.pbuf[pg as usize];
+                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
+                let (a, b) = (src_row(lo, w, a), src_row(lo, w, b));
+                if m == full {
+                    d.copy_from_slice(a);
+                } else {
+                    for (l, (dl, (&x, &y))) in d.iter_mut().zip(a.iter().zip(b)).enumerate() {
+                        *dl = if m >> l & 1 == 1 { x } else { y };
+                    }
+                }
+            }
+            TOp::Shift { op, dst, pg, a, sh } => {
+                let m = self.pbuf[pg as usize];
+                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
+                let a = src_row(lo, w, a);
+                match op {
+                    ShiftOp::Lsl => lanes1(d, a, m, full, |x| x << sh),
+                    ShiftOp::Lsr => lanes1(d, a, m, full, |x| x >> sh),
+                    ShiftOp::Asr => lanes1(d, a, m, full, |x| ((x as i64) >> sh) as u64),
+                }
+            }
+            TOp::Cvt { op, dst, pg, a } => {
+                let m = self.pbuf[pg as usize];
+                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
+                let a = src_row(lo, w, a);
+                match op {
+                    CvtOp::Ucvtf => lanes1(d, a, m, full, lanes::ucvtf_lane),
+                    CvtOp::Fcvtns => lanes1(d, a, m, full, lanes::fcvtns_lane),
+                    CvtOp::Fcvtzs => lanes1(d, a, m, full, lanes::fcvtzs_lane),
+                    CvtOp::Scvtf => lanes1(d, a, m, full, lanes::scvtf_lane),
+                }
+            }
+            TOp::Compact { dst, pg, a } => {
+                let (d, ab) = (self.vbase(dst), self.vbase(a));
+                let m = self.pbuf[pg as usize];
+                let mut k = 0usize;
+                for l in 0..w {
+                    if m >> l & 1 == 1 {
+                        self.vbuf[d + k] = self.vbuf[ab + l];
+                        k += 1;
+                    }
+                }
+                for slot in &mut self.vbuf[d + k..d + w] {
+                    *slot = 0;
+                }
+            }
+            TOp::Gather {
+                dst, pg, idx, tab, ..
+            } => {
+                let (d, ib) = (self.vbase(dst), self.vbase(idx));
+                let m = self.pbuf[pg as usize];
+                for l in 0..w {
+                    let i = self.vbuf[ib + l] as usize;
+                    self.vbuf[d + l] = if m >> l & 1 == 1 && i < self.tabs[tab as usize].len() {
+                        self.tabs[tab as usize][i].to_bits()
+                    } else {
+                        0
+                    };
+                }
+            }
+            TOp::Scatter { pg, v, idx, tab } => {
+                let (vb, ib) = (self.vbase(v), self.vbase(idx));
+                let m = self.pbuf[pg as usize];
+                for l in 0..w {
+                    let i = self.vbuf[ib + l] as usize;
+                    if m >> l & 1 == 1 && i < self.tabs[tab as usize].len() {
+                        self.tabs[tab as usize][i] = f64::from_bits(self.vbuf[vb + l]);
+                    }
+                }
+            }
+            TOp::Overhead { .. } | TOp::LibmCall => {}
+        }
+    }
+}
+
+/// Split the arena into the destination row and the region below it.
+/// Sound because slots are SSA-numbered: an op's destination slot is
+/// always fresher (numerically larger) than its source slots, so every
+/// source row lives strictly below the split. A source slot that somehow
+/// violated the invariant would index past `lo` and panic rather than
+/// alias the destination.
+#[inline(always)]
+fn dst_row(vbuf: &mut [u64], w: usize, dst: Slot) -> (&mut [u64], &[u64]) {
+    let d = dst as usize * w;
+    let (lo, hi) = vbuf.split_at_mut(d);
+    (&mut hi[..w], lo)
+}
+
+#[inline(always)]
+fn src_row(lo: &[u64], w: usize, s: Slot) -> &[u64] {
+    &lo[s as usize * w..(s as usize + 1) * w]
+}
+
+/// Merging-predication lanewise loop over one source row: active lanes
+/// get `f(x)`, inactive lanes pass the source through. The full-mask
+/// fast path drops the per-lane mask test so LLVM can vectorize the body.
+#[inline(always)]
+fn lanes1(d: &mut [u64], a: &[u64], m: u64, full: u64, f: impl Fn(u64) -> u64) {
+    if m == full {
+        for (dl, &x) in d.iter_mut().zip(a) {
+            *dl = f(x);
+        }
+    } else {
+        for (l, (dl, &x)) in d.iter_mut().zip(a).enumerate() {
+            *dl = if m >> l & 1 == 1 { f(x) } else { x };
+        }
+    }
+}
+
+/// [`lanes1`] over two source rows; inactive lanes pass `a` through.
+#[inline(always)]
+fn lanes2(d: &mut [u64], a: &[u64], b: &[u64], m: u64, full: u64, f: impl Fn(u64, u64) -> u64) {
+    if m == full {
+        for (dl, (&x, &y)) in d.iter_mut().zip(a.iter().zip(b)) {
+            *dl = f(x, y);
+        }
+    } else {
+        for (l, (dl, (&x, &y))) in d.iter_mut().zip(a.iter().zip(b)).enumerate() {
+            *dl = if m >> l & 1 == 1 { f(x, y) } else { x };
+        }
+    }
+}
+
+/// One monomorphized loop per [`BinOp`] so the op dispatch is hoisted out
+/// of the lane loop (`bin_lane` const-folds on the known variant).
+fn bin_rows(op: BinOp, d: &mut [u64], a: &[u64], b: &[u64], m: u64, full: u64) {
+    macro_rules! arm {
+        ($v:expr) => {
+            lanes2(d, a, b, m, full, |x, y| bin_lane($v, x, y))
+        };
+    }
+    match op {
+        BinOp::FAdd => arm!(BinOp::FAdd),
+        BinOp::FSub => arm!(BinOp::FSub),
+        BinOp::FMul => arm!(BinOp::FMul),
+        BinOp::FDiv => arm!(BinOp::FDiv),
+        BinOp::FMax => arm!(BinOp::FMax),
+        BinOp::FMin => arm!(BinOp::FMin),
+        BinOp::IAdd => arm!(BinOp::IAdd),
+        BinOp::ISub => arm!(BinOp::ISub),
+        BinOp::IMul => arm!(BinOp::IMul),
+        BinOp::And => arm!(BinOp::And),
+        BinOp::Orr => arm!(BinOp::Orr),
+        BinOp::Eor => arm!(BinOp::Eor),
+    }
+}
+
+/// [`bin_rows`] for the unary ops.
+fn un_rows(op: UnOp, d: &mut [u64], a: &[u64], m: u64, full: u64) {
+    match op {
+        UnOp::Sqrt => lanes1(d, a, m, full, |x| un_lane(UnOp::Sqrt, x)),
+        UnOp::Neg => lanes1(d, a, m, full, |x| un_lane(UnOp::Neg, x)),
+        UnOp::Abs => lanes1(d, a, m, full, |x| un_lane(UnOp::Abs, x)),
+        UnOp::Rintn => lanes1(d, a, m, full, |x| un_lane(UnOp::Rintn, x)),
+    }
+}
+
+/// Fused multiply-add row; `NEG` selects `fmls`. Inactive lanes pass the
+/// accumulator through (the interpreter's merging `fmla` semantics).
+#[inline(always)]
+fn fmla_rows<const NEG: bool>(d: &mut [u64], c: &[u64], a: &[u64], b: &[u64], m: u64, full: u64) {
+    let f = |cv: u64, av: u64, bv: u64| {
+        let av = f64::from_bits(av);
+        let av = if NEG { -av } else { av };
+        lanes::dn(av.mul_add(f64::from_bits(bv), f64::from_bits(cv))).to_bits()
+    };
+    if m == full {
+        for (dl, ((&cv, &av), &bv)) in d.iter_mut().zip(c.iter().zip(a).zip(b)) {
+            *dl = f(cv, av, bv);
+        }
+    } else {
+        for (l, (dl, ((&cv, &av), &bv))) in d.iter_mut().zip(c.iter().zip(a).zip(b)).enumerate() {
+            *dl = if m >> l & 1 == 1 { f(cv, av, bv) } else { cv };
+        }
+    }
+}
+
+#[inline(always)]
+fn cmp_rows(a: &[u64], b: &[u64], m: u64, f: impl Fn(f64, f64) -> bool) -> u64 {
+    let mut r = 0u64;
+    for (l, (&x, &y)) in a.iter().zip(b).enumerate() {
+        if m >> l & 1 == 1 && f(f64::from_bits(x), f64::from_bits(y)) {
+            r |= 1 << l;
+        }
+    }
+    r
+}
+
+#[inline(always)]
+fn bin_lane(op: BinOp, x: u64, y: u64) -> u64 {
+    match op {
+        BinOp::FAdd => lanes::dn(f64::from_bits(x) + f64::from_bits(y)).to_bits(),
+        BinOp::FSub => lanes::dn(f64::from_bits(x) - f64::from_bits(y)).to_bits(),
+        BinOp::FMul => lanes::dn(f64::from_bits(x) * f64::from_bits(y)).to_bits(),
+        BinOp::FDiv => lanes::dn(f64::from_bits(x) / f64::from_bits(y)).to_bits(),
+        BinOp::FMax => lanes::fmax_lane(x, y),
+        BinOp::FMin => lanes::fmin_lane(x, y),
+        BinOp::IAdd => (x as i64).wrapping_add(y as i64) as u64,
+        BinOp::ISub => (x as i64).wrapping_sub(y as i64) as u64,
+        BinOp::IMul => (x as i64).wrapping_mul(y as i64) as u64,
+        BinOp::And => x & y,
+        BinOp::Orr => x | y,
+        BinOp::Eor => x ^ y,
+    }
+}
+
+#[inline(always)]
+fn un_lane(op: UnOp, x: u64) -> u64 {
+    match op {
+        UnOp::Sqrt => lanes::dn(f64::from_bits(x).sqrt()).to_bits(),
+        UnOp::Neg => (-f64::from_bits(x)).to_bits(),
+        UnOp::Abs => f64::from_bits(x).abs().to_bits(),
+        UnOp::Rintn => lanes::frintn_lane(f64::from_bits(x)).to_bits(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_interpreter_blockwise_poly() {
+        // y = (x + 0.5) * x  over an odd-length range with a ragged tail.
+        let xs: Vec<f64> = (0..101).map(|i| i as f64 * 0.37 - 18.0).collect();
+        let t = Trace::record1(8, |c, pg, x| {
+            let half = c.dup_f64(0.5);
+            let s = c.fadd(pg, x, &half);
+            c.fmul(pg, &s, x)
+        });
+        let got = t.map(&xs);
+        // interpreter reference
+        let mut want = vec![0.0; xs.len()];
+        for i in (0..xs.len()).step_by(8) {
+            let mut c = SveCtx::new(8);
+            let pg = c.whilelt(i, xs.len());
+            let m = 8.min(xs.len() - i);
+            let mut lanes = [0.0f64; 8];
+            lanes[..m].copy_from_slice(&xs[i..i + m]);
+            let x = c.input_f64(&lanes);
+            let half = c.dup_f64(0.5);
+            let s = c.fadd(&pg, &x, &half);
+            let y = c.fmul(&pg, &s, &x);
+            for l in 0..m {
+                want[i + l] = y.f64_lane(l);
+            }
+        }
+        assert_eq!(
+            got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn par_map_is_bit_identical_to_serial_map() {
+        let xs: Vec<f64> = (0..10_007).map(|i| (i as f64).sin() * 3.0).collect();
+        let t = Trace::record1(8, |c, pg, x| {
+            let e = c.frecpe(x);
+            let s = c.frecps(pg, x, &e);
+            c.fmul(pg, &e, &s)
+        });
+        let serial = t.map(&xs);
+        for threads in [1, 2, 7] {
+            let par = t.par_map(threads, &xs);
+            assert_eq!(
+                serial.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                par.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn constants_inside_body_hoist_to_setup() {
+        let t = Trace::record1(8, |c, pg, x| {
+            let k = c.dup_f64(2.0); // recorded mid-body, still setup
+            c.fmul(pg, x, &k)
+        });
+        assert_eq!(t.body_len(), 1, "body must hold only the fmul");
+    }
+
+    #[test]
+    fn carried_state_advances() {
+        // acc_{n+1} = acc_n + 1.0, three iterations.
+        let mut b = TraceBuilder::new(4);
+        let (acc0, one) = {
+            let c = b.ctx();
+            let acc0 = c.dup_f64(0.0);
+            let one = c.dup_f64(1.0);
+            (acc0, one)
+        };
+        let pg = {
+            let c = b.ctx();
+            c.ptrue()
+        };
+        b.begin_body();
+        let acc1 = {
+            let c = b.ctx();
+            c.fadd(&pg, &acc0, &one)
+        };
+        b.carry(&acc0, &acc1);
+        let t = b.finish(&[&acc1]);
+        let mut r = t.replayer();
+        for want in [1.0, 2.0, 3.0] {
+            r.step();
+            assert_eq!(r.lane_f64(t.output(0), 0), want);
+            r.advance();
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_through_working_tables() {
+        let src: Vec<f64> = (0..8).map(|i| i as f64 * 1.5).collect();
+        let dst = vec![0.0f64; 8];
+        let mut b = TraceBuilder::new(8);
+        let pg = b.loop_pred();
+        let idx = b.input_i64();
+        b.begin_body();
+        let (g, scat_tab) = {
+            let c = b.ctx();
+            let g = c.ld1d_gather(&pg, &src, &idx, 8);
+            let mut d = dst.clone();
+            c.st1d_scatter(&pg, &g, &mut d, &idx);
+            (g, 1usize)
+        };
+        let t = b.finish(&[&g]);
+        let mut r = t.replayer();
+        let perm = [3i64, 1, 4, 0, 6, 2, 7, 5];
+        r.set_block(0, 8);
+        r.bind_i64(0, &perm);
+        r.step();
+        for (l, &p) in perm.iter().enumerate() {
+            assert_eq!(r.lane_f64(t.output(0), l), src[p as usize]);
+        }
+        assert_eq!(r.table(scat_tab), &src[..]);
+    }
+
+    #[test]
+    fn to_instrs_covers_body_ops() {
+        let t = Trace::record1(8, |c, pg, x| {
+            let two = c.dup_f64(2.0);
+            let s = c.fadd(pg, x, &two);
+            let p = c.fcmgt(pg, &s, &two);
+            c.sel(&p, &s, x)
+        });
+        let ins = t.to_instrs();
+        assert_eq!(ins.len(), 3);
+        assert_eq!(ins[0].op, OpClass::FAdd);
+        assert_eq!(ins[1].op, OpClass::FCmp);
+        assert_eq!(ins[2].op, OpClass::Select);
+        // select reads the compare's destination
+        assert!(ins[2].srcs.contains(&ins[1].dst.unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be recorded into a trace")]
+    fn harness_ops_panic_under_tracing() {
+        let mut b = TraceBuilder::new(8);
+        b.begin_body();
+        let c = b.ctx();
+        let _ = c.whilelt(0, 100);
+    }
+}

@@ -64,7 +64,7 @@ pub fn math_cycles_per_element(f: MathFunc, c: Compiler, m: &Machine) -> f64 {
         ctx.loop_overhead(2 + c.loop_overhead_uops());
         vec![]
     });
-    rec.kernel.analyze(m.table).cycles_per_element()
+    ookami_uarch::analyze_cached(&rec.kernel, m).cycles_per_element()
 }
 
 fn eval(

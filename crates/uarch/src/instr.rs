@@ -8,7 +8,114 @@
 
 /// A virtual register name. Kernels are written in SSA-like style; the
 /// analyzer derives data dependencies from def/use chains over these names.
-pub type Reg = u16;
+/// 32 bits gives long emulated runs (~4 × 10⁹ ops) headroom before the id
+/// allocator saturates; the SVE context refuses to hand out ids past that
+/// point while a recording is open (see `SveCtx::fresh`).
+pub type Reg = u32;
+
+/// The largest number of source registers any [`OpClass`] reads. FMLA-class
+/// ops carry four: predicate, accumulator, and the two multiplicands.
+pub const MAX_SRCS: usize = 4;
+
+/// Inline source-register list: a fixed-size array plus a length, so
+/// recording an instruction never heap-allocates (the recorder previously
+/// cloned a `Vec<Reg>` per op). Unused tail entries are always zero, which
+/// keeps the derived `Eq`/`Hash` well-defined.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Srcs {
+    buf: [Reg; MAX_SRCS],
+    len: u8,
+}
+
+impl Srcs {
+    /// An empty source list.
+    pub const EMPTY: Srcs = Srcs {
+        buf: [0; MAX_SRCS],
+        len: 0,
+    };
+
+    /// Build from a slice. Panics if the slice exceeds [`MAX_SRCS`].
+    pub fn new(srcs: &[Reg]) -> Self {
+        assert!(
+            srcs.len() <= MAX_SRCS,
+            "instruction has {} sources (max {MAX_SRCS})",
+            srcs.len()
+        );
+        let mut buf = [0; MAX_SRCS];
+        buf[..srcs.len()].copy_from_slice(srcs);
+        Srcs {
+            buf,
+            len: srcs.len() as u8,
+        }
+    }
+
+    pub fn as_slice(&self) -> &[Reg] {
+        &self.buf[..self.len as usize]
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [Reg] {
+        &mut self.buf[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for Srcs {
+    type Target = [Reg];
+    fn deref(&self) -> &[Reg] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for Srcs {
+    fn deref_mut(&mut self) -> &mut [Reg] {
+        self.as_mut_slice()
+    }
+}
+
+impl std::fmt::Debug for Srcs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl From<&[Reg]> for Srcs {
+    fn from(s: &[Reg]) -> Self {
+        Srcs::new(s)
+    }
+}
+
+impl<const N: usize> From<[Reg; N]> for Srcs {
+    fn from(s: [Reg; N]) -> Self {
+        Srcs::new(&s)
+    }
+}
+
+impl<const N: usize> From<&[Reg; N]> for Srcs {
+    fn from(s: &[Reg; N]) -> Self {
+        Srcs::new(s)
+    }
+}
+
+impl From<Vec<Reg>> for Srcs {
+    fn from(s: Vec<Reg>) -> Self {
+        Srcs::new(&s)
+    }
+}
+
+impl<'a> IntoIterator for &'a Srcs {
+    type Item = &'a Reg;
+    type IntoIter = std::slice::Iter<'a, Reg>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut Srcs {
+    type Item = &'a mut Reg;
+    type IntoIter = std::slice::IterMut<'a, Reg>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
 
 /// Vector width of an operation, in bits of data processed per instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -134,15 +241,15 @@ impl OpClass {
 }
 
 /// One abstract instruction: an operation class, a width, one destination
-/// register, and up to four source registers.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// register, and up to four source registers (stored inline — see [`Srcs`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Instr {
     pub op: OpClass,
     pub width: Width,
     /// Destination virtual register, if the op produces a value.
     pub dst: Option<Reg>,
     /// Source virtual registers (data dependencies).
-    pub srcs: Vec<Reg>,
+    pub srcs: Srcs,
     /// Override the cost table's micro-op count for this instruction.
     /// Used for data-dependent cracking: an A64FX gather whose index vector
     /// pairs elements inside aligned 128-byte windows cracks into 4 µops
@@ -151,12 +258,12 @@ pub struct Instr {
 }
 
 impl Instr {
-    pub fn new(op: OpClass, width: Width, dst: Option<Reg>, srcs: Vec<Reg>) -> Self {
+    pub fn new(op: OpClass, width: Width, dst: Option<Reg>, srcs: impl Into<Srcs>) -> Self {
         Instr {
             op,
             width,
             dst,
-            srcs,
+            srcs: srcs.into(),
             uops_hint: None,
         }
     }
@@ -169,12 +276,12 @@ impl Instr {
 
     /// Shorthand for an op with a destination.
     pub fn def(op: OpClass, width: Width, dst: Reg, srcs: &[Reg]) -> Self {
-        Instr::new(op, width, Some(dst), srcs.to_vec())
+        Instr::new(op, width, Some(dst), srcs)
     }
 
     /// Shorthand for an effect-only op (store, branch, …).
     pub fn effect(op: OpClass, width: Width, srcs: &[Reg]) -> Self {
-        Instr::new(op, width, None, srcs.to_vec())
+        Instr::new(op, width, None, srcs)
     }
 }
 
@@ -269,7 +376,36 @@ mod tests {
         assert_ne!(y, z);
         let body = b.finish();
         assert_eq!(body.len(), 2);
-        assert_eq!(body[1].srcs, vec![x, y]);
+        assert_eq!(body[1].srcs.as_slice(), &[x, y]);
+    }
+
+    #[test]
+    fn srcs_is_inline_and_slice_like() {
+        let s = Srcs::new(&[3, 1, 4]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(&s[..], &[3, 1, 4]);
+        assert!(s.contains(&4));
+        assert_eq!(Srcs::EMPTY.len(), 0);
+        // equality and hashing ignore nothing: unused tail is always zero,
+        // so two lists with equal prefixes and lengths compare equal.
+        assert_eq!(Srcs::new(&[3, 1, 4]), s);
+        assert_ne!(Srcs::new(&[3, 1]), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "sources")]
+    fn srcs_rejects_oversized_lists() {
+        let _ = Srcs::new(&[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn srcs_mutation_preserves_length() {
+        let mut s = Srcs::new(&[7, 8]);
+        for r in &mut s {
+            *r += 1;
+        }
+        assert_eq!(s.as_slice(), &[8, 9]);
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

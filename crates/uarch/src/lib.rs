@@ -29,11 +29,13 @@ pub mod cost;
 pub mod instr;
 pub mod machine;
 pub mod machines;
+pub mod memo;
 pub mod peak;
 pub mod ports;
 
 pub use analyzer::{CycleEstimate, KernelLoop};
 pub use cost::{CostEntry, CostTable};
-pub use instr::{Instr, OpClass, Reg, StreamBuilder, Width};
+pub use instr::{Instr, OpClass, Reg, Srcs, StreamBuilder, Width, MAX_SRCS};
 pub use machine::{GatherSpec, Machine, MemSpec, NumaSpec};
+pub use memo::analyze_cached;
 pub use ports::{Port, PortSet};

@@ -19,14 +19,14 @@ const OPS: [OpClass; 10] = [
 
 fn arb_body(max_len: usize) -> impl Strategy<Value = Vec<Instr>> {
     prop::collection::vec(
-        (0usize..OPS.len(), prop::collection::vec(0u16..8, 0..3)),
+        (0usize..OPS.len(), prop::collection::vec(0u32..8, 0..3)),
         1..max_len,
     )
     .prop_map(|items| {
         items
             .into_iter()
             .enumerate()
-            .map(|(i, (op, srcs))| Instr::new(OPS[op], Width::V512, Some(100 + i as u16), srcs))
+            .map(|(i, (op, srcs))| Instr::new(OPS[op], Width::V512, Some(100 + i as u32), srcs))
             .collect()
     })
 }
@@ -58,7 +58,7 @@ proptest! {
         let k1 = KernelLoop::new(body.clone(), 8.0);
         let e1 = k1.analyze(m.table);
         let mut body2 = body;
-        body2.push(Instr::new(OPS[extra], Width::V512, None, vec![]));
+        body2.push(Instr::new(OPS[extra], Width::V512, None, Vec::<ookami_uarch::Reg>::new()));
         let k2 = KernelLoop::new(body2, 8.0);
         let e2 = k2.analyze(m.table);
         prop_assert!(e2.port_pressure >= e1.port_pressure - 1e-12);

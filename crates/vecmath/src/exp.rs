@@ -180,15 +180,31 @@ pub fn exp_poly13(ctx: &mut SveCtx, pg: &Pred, x: &VVal, style: Poly13Style) -> 
     }
 }
 
-/// Reference helper: scalar exp over a slice through the chosen variant.
-pub fn exp_slice(vl: usize, xs: &[f64], variant: ExpVariant) -> Vec<f64> {
-    crate::map_f64(vl, xs, |ctx, pg, x| match variant {
+fn exp_kernel(ctx: &mut SveCtx, pg: &Pred, x: &VVal, variant: ExpVariant) -> VVal {
+    match variant {
         ExpVariant::FexpaHorner => exp_fexpa(ctx, pg, x, PolyForm::Horner, false),
         ExpVariant::FexpaEstrin => exp_fexpa(ctx, pg, x, PolyForm::Estrin, false),
         ExpVariant::FexpaEstrinCorrected => exp_fexpa(ctx, pg, x, PolyForm::Estrin, true),
         ExpVariant::Poly13 => exp_poly13(ctx, pg, x, Poly13Style::Plain),
         ExpVariant::Poly13Sleef => exp_poly13(ctx, pg, x, Poly13Style::Sleef),
-    })
+    }
+}
+
+/// Record the chosen exp variant into a replayable trace (one VLA
+/// iteration; replay with [`ookami_sve::Trace::map`]/`par_map`).
+pub fn exp_trace(vl: usize, variant: ExpVariant) -> ookami_sve::Trace {
+    ookami_sve::Trace::record1(vl, |ctx, pg, x| exp_kernel(ctx, pg, x, variant))
+}
+
+/// exp over a slice through the chosen variant — record-once/replay-many.
+pub fn exp_slice(vl: usize, xs: &[f64], variant: ExpVariant) -> Vec<f64> {
+    exp_trace(vl, variant).map(xs)
+}
+
+/// Per-op interpreter version of [`exp_slice`]: the measured baseline the
+/// `svereplay` probe and differential tests compare against.
+pub fn exp_slice_interp(vl: usize, xs: &[f64], variant: ExpVariant) -> Vec<f64> {
+    crate::map_f64(vl, xs, |ctx, pg, x| exp_kernel(ctx, pg, x, variant))
 }
 
 #[cfg(test)]
@@ -267,6 +283,24 @@ mod tests {
         let e = exp_slice(8, &xs, ExpVariant::FexpaEstrin);
         let acc = measure(&h, &e);
         assert!(acc.max_ulp <= 2, "forms differ by {} ulp", acc.max_ulp);
+    }
+
+    #[test]
+    fn trace_replay_is_bit_identical_to_interpreter() {
+        let xs = sample_range(-700.0, 700.0, 4001);
+        for v in [
+            ExpVariant::FexpaHorner,
+            ExpVariant::FexpaEstrin,
+            ExpVariant::FexpaEstrinCorrected,
+            ExpVariant::Poly13,
+            ExpVariant::Poly13Sleef,
+        ] {
+            let traced = exp_slice(8, &xs, v);
+            let interp = exp_slice_interp(8, &xs, v);
+            for (i, (t, r)) in traced.iter().zip(&interp).enumerate() {
+                assert_eq!(t.to_bits(), r.to_bits(), "{v:?} at x={} (i={i})", xs[i]);
+            }
+        }
     }
 
     #[test]

@@ -29,11 +29,54 @@ pub mod sin;
 pub mod sqrt;
 pub mod ulp;
 
-pub use exp::{exp_fexpa, exp_poly13, ExpVariant, PolyForm};
+pub use exp::{exp_fexpa, exp_poly13, exp_trace, ExpVariant, PolyForm};
 pub use ulp::{max_ulp_error, ulp_diff};
+
+use ookami_sve::Trace;
+
+/// Trace-replay version of [`map_f64`]: record the kernel once, replay it
+/// across the slice with the preallocated arena. Bit-identical output
+/// (same lane semantics, same zero-padded tails) at a fraction of the
+/// interpreter's cost — the default execution path for the sweeps.
+pub fn map_traced(
+    vl: usize,
+    xs: &[f64],
+    f: impl FnOnce(&mut ookami_sve::SveCtx, &ookami_sve::Pred, &ookami_sve::VVal) -> ookami_sve::VVal,
+) -> Vec<f64> {
+    Trace::record1(vl, f).map(xs)
+}
+
+/// [`map_traced`] over the `ookami_core` worker pool (static schedule;
+/// still bit-identical). `threads == 0` means auto.
+pub fn par_map_traced(
+    threads: usize,
+    vl: usize,
+    xs: &[f64],
+    f: impl FnOnce(&mut ookami_sve::SveCtx, &ookami_sve::Pred, &ookami_sve::VVal) -> ookami_sve::VVal,
+) -> Vec<f64> {
+    Trace::record1(vl, f).par_map(threads, xs)
+}
+
+/// Two-input trace replay (`pow`-style kernels), parallel over the pool.
+pub fn par_map2_traced(
+    threads: usize,
+    vl: usize,
+    xs: &[f64],
+    ys: &[f64],
+    f: impl FnOnce(
+        &mut ookami_sve::SveCtx,
+        &ookami_sve::Pred,
+        &ookami_sve::VVal,
+        &ookami_sve::VVal,
+    ) -> ookami_sve::VVal,
+) -> Vec<f64> {
+    Trace::record2(vl, f).par_map2(threads, xs, ys)
+}
 
 /// Apply a `(SveCtx, Pred, VVal) -> VVal` vector function elementwise over a
 /// slice, vector by vector (convenience for accuracy tests and examples).
+/// This is the per-op interpreter path — the measured baseline that
+/// [`map_traced`] is differential-tested against.
 pub fn map_f64(
     vl: usize,
     xs: &[f64],

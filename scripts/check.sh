@@ -14,4 +14,10 @@ echo "== tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "== criterion benches compile"
+cargo bench --no-run
+
+echo "== trace-replay identity smoke (svereplay --smoke)"
+cargo run -p ookami-bench --bin svereplay --release -- --smoke
+
 echo "== all checks passed"
