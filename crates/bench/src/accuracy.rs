@@ -166,6 +166,12 @@ pub fn accuracy_study() -> Vec<AccuracyRow> {
 
 /// Render the study.
 pub fn render() -> String {
+    render_rows(&accuracy_study())
+}
+
+/// Render pre-computed rows (so callers that also report the rows don't
+/// run the sweeps twice).
+pub fn render_rows(rows: &[AccuracyRow]) -> String {
     let mut t = Table::new(
         "Accuracy study — max/mean ulp vs libm (the paper's deferred evaluation; \
          \"1 and 4 ulps is common in vectorized libraries\")",
@@ -178,7 +184,7 @@ pub fn render() -> String {
             "mean ulp",
         ],
     );
-    for r in accuracy_study() {
+    for r in rows {
         t.row(&[
             r.function.to_string(),
             r.implementation.to_string(),

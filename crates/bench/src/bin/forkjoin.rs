@@ -11,6 +11,7 @@
 //! cargo run -p ookami-bench --bin forkjoin --release [reps]
 //! ```
 
+use ookami_core::obs;
 use ookami_core::pool::{measure_pool_fork_join, measure_spawn_fork_join, Pool};
 use ookami_mem::scaling::BarrierCost;
 
@@ -20,6 +21,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2_000);
     let teams = [2usize, 4, 8, 16];
+    obs::reset();
+    let obs_before = obs::snapshot();
+    let mut report = obs::BenchReport::new("forkjoin", "full");
+    report.metric("reps", reps as f64);
 
     println!("fork/join cost per empty region ({reps} reps per point)");
     println!(
@@ -37,6 +42,8 @@ fn main() {
             ratio_at_8 = ratio;
         }
         samples.push((team, pool_s));
+        report.metric(&format!("pool_us_team{team}"), pool_s * 1e6);
+        report.metric(&format!("spawn_us_team{team}"), spawn_s * 1e6);
         println!(
             "{:>7}  {:>12.3}  {:>12.3}  {:>7.1}x",
             team,
@@ -54,6 +61,16 @@ fn main() {
     );
     println!("(feed these into OmpModel::calibrated to replace the per-compiler guesses)");
     println!();
+    report
+        .metric("barrier_base_us", fit.base_us)
+        .metric("barrier_per_thread_us", fit.per_thread_us)
+        .metric("ratio_at_8", ratio_at_8)
+        .flag("gate", ratio_at_8 >= 5.0)
+        .attach_obs(&obs::snapshot().since(&obs_before));
+    report
+        .write("BENCH_forkjoin.json")
+        .expect("write BENCH_forkjoin.json");
+    println!("wrote BENCH_forkjoin.json");
     if ratio_at_8 >= 5.0 {
         println!("OK: pool fork/join is {ratio_at_8:.1}x cheaper than spawn at 8 threads (>= 5x)");
     } else {

@@ -2,8 +2,39 @@
 //! ablation and the accuracy study) as markdown-ish text on stdout:
 //!
 //! `cargo run --release -p ookami-bench --bin report > REPORT.txt`
+//!
+//! With `--validate <file>...` it instead checks each `BENCH_*.json`
+//! against the shared `ookami-bench-v1` schema and exits nonzero on the
+//! first violation — the CI hook that keeps every probe's output loadable
+//! by the same tooling.
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--validate") {
+        let files = &args[1..];
+        if files.is_empty() {
+            eprintln!("usage: report --validate BENCH_*.json");
+            std::process::exit(2);
+        }
+        for f in files {
+            let text = match std::fs::read_to_string(f) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("FAIL {f}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match ookami_core::obs::validate_bench_json(&text) {
+                Ok(()) => println!("OK {f}"),
+                Err(e) => {
+                    eprintln!("FAIL {f}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
     println!("# ookami — full reproduction report\n");
     println!("Regenerated from the models and emulator; see EXPERIMENTS.md for the");
     println!("paper-vs-produced ledger and DESIGN.md for the substitutions.\n");

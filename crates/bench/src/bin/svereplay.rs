@@ -15,6 +15,7 @@
 //! enforces both identity checks. The full run fails (exit 1) unless
 //! replay is at least 5× the interpreter's elements/second.
 
+use ookami_core::obs;
 use ookami_sve::SveCtx;
 use ookami_uarch::{Instr, OpClass, Reg, Width};
 use ookami_vecmath::exp::{
@@ -81,6 +82,8 @@ fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    obs::reset();
+    let obs_before = obs::snapshot();
     let vl = 8usize;
     let n = if smoke { 4_001 } else { 40_001 };
     let reps = if smoke { 2 } else { 5 };
@@ -154,25 +157,22 @@ fn main() {
         "  bit-identical: {bit_identical}   instruction streams identical: {instrs_identical}"
     );
 
-    let json = format!(
-        "{{\n  \"probe\": \"svereplay\",\n  \"mode\": \"{}\",\n  \"variant\": \"{:?}\",\n  \
-         \"vl\": {},\n  \"elements\": {},\n  \"interp_elems_per_sec\": {:.0},\n  \
-         \"replay_elems_per_sec\": {:.0},\n  \"replay_par4_elems_per_sec\": {:.0},\n  \
-         \"record_cost_us\": {:.2},\n  \"speedup\": {:.2},\n  \"bit_identical\": {},\n  \
-         \"instr_streams_identical\": {}\n}}\n",
-        if smoke { "smoke" } else { "full" },
-        headline,
-        vl,
-        n,
-        interp_eps,
-        replay_eps,
-        par_eps,
-        record_s * 1e6,
-        speedup,
-        bit_identical,
-        instrs_identical
-    );
-    std::fs::write("BENCH_sve.json", &json).expect("write BENCH_sve.json");
+    let mut report = obs::BenchReport::new("svereplay", if smoke { "smoke" } else { "full" });
+    report
+        .metric("vl", vl as f64)
+        .metric("elements", n as f64)
+        .metric("interp_elems_per_sec", interp_eps)
+        .metric("replay_elems_per_sec", replay_eps)
+        .metric("replay_par4_elems_per_sec", par_eps)
+        .metric("record_cost_us", record_s * 1e6)
+        .metric("speedup", speedup)
+        .flag("variant", format!("{headline:?}"))
+        .flag("bit_identical", bit_identical)
+        .flag("instr_streams_identical", instrs_identical)
+        .attach_obs(&obs::snapshot().since(&obs_before));
+    report
+        .write("BENCH_sve.json")
+        .expect("write BENCH_sve.json");
     println!("wrote BENCH_sve.json");
 
     if !bit_identical || !instrs_identical {

@@ -14,9 +14,13 @@
 //!   consumes;
 //! * [`measure`] — measurement records and fixed-width table / CSV output
 //!   used by every figure regenerator;
+//! * [`obs`] — hardware-counter-style event counters and span timing
+//!   (zero-cost unless built with the `obs` feature), plus the shared
+//!   `ookami-bench-v1` JSON report schema every probe binary writes;
 //! * [`stats`] — mean/stddev/median helpers (the paper's error bars).
 
 pub mod measure;
+pub mod obs;
 pub mod pool;
 pub mod profile;
 pub mod runtime;

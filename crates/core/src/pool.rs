@@ -32,6 +32,7 @@
 //! so results are reproducible across machines while the pool supplies
 //! whatever concurrency the hardware has.
 
+use crate::obs::{self, Counter};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::cell::Cell;
@@ -79,6 +80,12 @@ impl SenseBarrier {
     }
 
     pub fn wait(&self) {
+        // `enabled()` is const, so the timing folds away without `obs`.
+        let start = if obs::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let my_sense = !self.sense.load(Ordering::Acquire);
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
             // Last arrival: reset for the next phase, then release.
@@ -96,6 +103,12 @@ impl SenseBarrier {
                     std::thread::yield_now();
                 }
             }
+        }
+        if let Some(t) = start {
+            obs::add(
+                Counter::BarrierWaitNs,
+                t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            );
         }
     }
 }
@@ -214,6 +227,8 @@ impl Pool {
         // Nested regions and worker-less pools execute inline; the
         // IN_PARALLEL flag stays set so deeper nesting is inline too.
         if parts == 1 || self.handles.is_empty() || IN_PARALLEL.get() {
+            obs::add(Counter::RegionsInline, 1);
+            obs::add(Counter::RegionParts, parts as u64);
             let was = IN_PARALLEL.replace(true);
             let mut panicked = None;
             for i in 0..parts {
@@ -239,6 +254,8 @@ impl Pool {
         // inline via the IN_PARALLEL check above), so the lock cannot
         // self-deadlock.
         let _region = self.region.lock();
+        obs::add(Counter::RegionsForked, 1);
+        obs::add(Counter::RegionParts, parts as u64);
 
         // SAFETY: the pointee outlives the region — run_dyn does not
         // return until every participant has passed the barrier, and
@@ -354,6 +371,7 @@ impl Pool {
         }
         let threads = resolve_threads(threads, n);
         if threads == 1 {
+            count_chunk(sched, 0, n);
             f(0, 0, n);
             return;
         }
@@ -364,6 +382,7 @@ impl Pool {
                     let start = t * chunk;
                     let end = ((t + 1) * chunk).min(n);
                     if start < end {
+                        count_chunk(sched, start, end);
                         f(t, start, end);
                     }
                 });
@@ -376,6 +395,7 @@ impl Pool {
                     if s >= n {
                         break;
                     }
+                    count_chunk(sched, s, (s + chunk).min(n));
                     f(slot, s, (s + chunk).min(n));
                 });
             }
@@ -391,6 +411,7 @@ impl Pool {
                         .compare_exchange_weak(cur, cur + c, Ordering::Relaxed, Ordering::Relaxed)
                         .is_ok()
                     {
+                        count_chunk(sched, cur, (cur + c).min(n));
                         f(slot, cur, (cur + c).min(n));
                     }
                 });
@@ -417,6 +438,9 @@ impl Pool {
     {
         let threads = resolve_threads(threads, n);
         if threads == 1 {
+            if n > 0 {
+                count_chunk(sched, 0, n);
+            }
             return f(0, n, init);
         }
         // `A` is only `Send`, not `Sync`, so logical threads may not
@@ -435,6 +459,7 @@ impl Pool {
                     let start = t * chunk;
                     let end = ((t + 1) * chunk).min(n);
                     if start < end {
+                        count_chunk(sched, start, end);
                         *slots[t].lock() = Some(f(start, end, take_seed(t)));
                     }
                 });
@@ -449,6 +474,7 @@ impl Pool {
                         if s >= n {
                             break;
                         }
+                        count_chunk(sched, s, (s + chunk).min(n));
                         let seed = acc.take().unwrap_or_else(|| take_seed(slot));
                         acc = Some(f(s, (s + chunk).min(n), seed));
                     }
@@ -476,6 +502,7 @@ impl Pool {
                             )
                             .is_ok()
                         {
+                            count_chunk(sched, cur, (cur + c).min(n));
                             let seed = acc.take().unwrap_or_else(|| take_seed(slot));
                             acc = Some(f(cur, (cur + c).min(n), seed));
                         }
@@ -495,6 +522,20 @@ impl Pool {
 
 fn slots_take<A>(seeds: &[Mutex<Option<A>>], slot: usize) -> A {
     seeds[slot].lock().take().expect("reduce seed taken twice")
+}
+
+/// Count one executed chunk `[s, e)` against the schedule's chunk/iter
+/// counters. The iter counters therefore sum to exactly `n` for every
+/// completed loop — an invariant the schedule property tests assert.
+#[inline]
+fn count_chunk(sched: Schedule, s: usize, e: usize) {
+    let (chunks, iters) = match sched {
+        Schedule::Static => (Counter::ChunksStatic, Counter::ItersStatic),
+        Schedule::Dynamic { .. } => (Counter::ChunksDynamic, Counter::ItersDynamic),
+        Schedule::Guided => (Counter::ChunksGuided, Counter::ItersGuided),
+    };
+    obs::add(chunks, 1);
+    obs::add(iters, (e - s) as u64);
 }
 
 fn resolve_threads(threads: usize, n: usize) -> usize {

@@ -50,6 +50,7 @@ pub fn dgemm_blocked(
     const KC: usize = 128;
     const NC: usize = 64;
     assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+    let _span = ookami_core::obs::region("hpcc_dgemm");
     // β pass first, then accumulate.
     for v in c[..m * n].iter_mut() {
         *v *= beta;

@@ -74,6 +74,7 @@ impl Fft {
     /// size `n_cur` halves while the stride `s` doubles; the permutation is
     /// absorbed into the ping-pong writes (no bit-reversal pass).
     fn transform(&self, input: &[C64], inverse: bool) -> Vec<C64> {
+        let _span = ookami_core::obs::region("hpcc_fft");
         assert_eq!(input.len(), self.n);
         let n = self.n;
         let mut a: Vec<C64> = input.to_vec();

@@ -298,6 +298,7 @@ impl Hydro {
 
     /// Run until `t_end` or `max_cycles`.
     pub fn run(&mut self, t_end: f64, max_cycles: usize) {
+        let _span = ookami_core::obs::region("lulesh_hydro");
         while self.time < t_end && self.cycles < max_cycles {
             self.step();
         }
@@ -467,6 +468,7 @@ impl Hydro {
 
     /// Run with threads until `t_end` or `max_cycles`.
     pub fn run_mt(&mut self, t_end: f64, max_cycles: usize, threads: usize) {
+        let _span = ookami_core::obs::region("lulesh_hydro");
         while self.time < t_end && self.cycles < max_cycles {
             self.step_mt(threads);
         }

@@ -57,6 +57,7 @@ pub fn sample_serial(n: u64, seed: u64) -> McResult {
 /// over independent samples, splitting that loop to serve both thread and
 /// vector parallelism").
 pub fn sample_parallel(n: u64, seed: u64, threads: usize, lanes: usize) -> McResult {
+    let _span = ookami_core::obs::region("mc_integrate");
     let chains = (threads * lanes).max(1) as u64;
     let per_chain = n / chains;
     let (sum, accepted) = par_reduce(

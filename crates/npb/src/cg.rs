@@ -211,6 +211,7 @@ pub fn run(class: Class, threads: usize) -> CgResult {
 
 /// CG with explicit parameters.
 pub fn run_params(na: usize, nonzer: usize, niter: usize, shift: f64, threads: usize) -> CgResult {
+    let _span = ookami_core::obs::region("npb_cg");
     let m = makea(na, nonzer, shift);
     let mut x = vec![1.0; na];
     let mut z = vec![0.0; na];

@@ -35,6 +35,7 @@ pub fn run(class: Class, threads: usize) -> EpResult {
 
 /// Run EP with `2^m` pairs.
 pub fn run_m(m: u32, threads: usize) -> EpResult {
+    let _span = ookami_core::obs::region("npb_ep");
     assert!(m >= MK, "m must be at least {MK}");
     let nn = 1usize << (m - MK);
     // an = a^(2·NK) mod 2^46 — the per-batch jump multiplier.

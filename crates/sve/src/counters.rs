@@ -1,0 +1,82 @@
+//! obs counter glue shared by the interpreter ([`crate::ctx`]) and the
+//! trace replayer ([`crate::trace`]).
+//!
+//! Both executors funnel retired ops through [`bump`], so the *counter
+//! identity* invariant — replaying a traced kernel over a range produces
+//! exactly the totals interpreting it does — reduces to both sides
+//! agreeing on `(class, instrs, lanes, uops)` per op:
+//!
+//! * the interpreter counts one instruction per op call, with `lanes` =
+//!   active lanes of the governing predicate (the full `vl` for the
+//!   unpredicated estimates/FEXPA, the result's population for `pand`),
+//!   and suppresses counting entirely while a trace sink is installed
+//!   (record-time execution is re-counted by the replay that re-runs it);
+//! * the replayer counts `blocks` instructions per body op, where
+//!   `blocks = ceil(active_block_lanes / vl)` tracks how many `vl`-wide
+//!   interpreter iterations one batched step stands for, and lane counts
+//!   come from the same predicate masks (block masks concatenate lanewise
+//!   under batching, so popcounts sum to the interpreter's).
+//!
+//! Port pressure is **candidate-port pressure**: each instruction adds
+//! `instrs × uops` to *every* port its class may issue to in the A64FX
+//! cost table (FLA *and* FLB for an FMA). That is deterministic and
+//! execution-order-independent — unlike a simulated port assignment — so
+//! it can be asserted bit-equal across execution strategies.
+
+use ookami_core::obs::{self, Counter};
+use ookami_uarch::{CostTable, OpClass, Width};
+
+/// Count `instrs` retired instructions of `class` touching `lanes` active
+/// lanes in total, each cracking into `uops` micro-ops (1 for everything
+/// but gathers, which carry the 128-byte-window pairing hint).
+#[inline]
+pub(crate) fn bump(class: OpClass, instrs: u64, lanes: u64, uops: u64) {
+    if !obs::enabled() || instrs == 0 {
+        return;
+    }
+    obs::add(Counter::SveInstrs, instrs);
+    obs::add(Counter::SveLanesActive, lanes);
+    let cost = ookami_uarch::machines::A64fxTable.cost(class, Width::V512);
+    for p in cost.ports.iter() {
+        obs::add(Counter::port(p), instrs * uops);
+    }
+}
+
+/// Active lanes of an interpreter predicate mask.
+#[inline]
+pub(crate) fn popcount(mask: &[bool]) -> u64 {
+    mask.iter().filter(|&&m| m).count() as u64
+}
+
+/// [`bump`] plus the gather element/byte counters.
+#[inline]
+pub(crate) fn bump_gather(instrs: u64, elems: u64, uops: u64) {
+    if !obs::enabled() {
+        return;
+    }
+    bump(OpClass::Gather, instrs, elems, uops);
+    obs::add(Counter::GatherElems, elems);
+    obs::add(Counter::BytesLoaded, 8 * elems);
+}
+
+/// [`bump`] plus the scatter element/byte counters.
+#[inline]
+pub(crate) fn bump_scatter(instrs: u64, elems: u64) {
+    if !obs::enabled() {
+        return;
+    }
+    bump(OpClass::Scatter, instrs, elems, 1);
+    obs::add(Counter::ScatterElems, elems);
+    obs::add(Counter::BytesStored, 8 * elems);
+}
+
+/// [`bump`] plus the FEXPA issue counter (Table I's signature instruction
+/// gets its own line in every report).
+#[inline]
+pub(crate) fn bump_fexpa(instrs: u64, lanes: u64) {
+    if !obs::enabled() {
+        return;
+    }
+    bump(OpClass::Fexpa, instrs, lanes, 1);
+    obs::add(Counter::FexpaIssues, instrs);
+}

@@ -1,9 +1,11 @@
 //! The SVE execution context: emulated instructions + optional recording.
 
+use crate::counters::{self, popcount};
 use crate::fexpa::fexpa_lane;
 use crate::lanes;
 use crate::trace::{BinOp, CmpOp, CvtOp, ShiftOp, TOp, TraceSink, UnOp};
 use crate::value::{Pred, VVal};
+use ookami_core::obs::{self, Counter};
 use ookami_uarch::{Instr, OpClass, Reg, Width};
 
 /// Emulated SVE machine state: a vector length and an instruction recorder.
@@ -113,6 +115,17 @@ impl SveCtx {
         let w = self.width();
         if let Some(log) = &mut self.recording {
             log.push(Instr::new(op, w, dst, srcs).with_uops(uops));
+        }
+    }
+
+    /// Count one retired op against the obs registry. Suppressed while a
+    /// trace sink is installed: record-time execution is re-counted by the
+    /// replay that re-runs it, which keeps interpreter and replay totals
+    /// identical for a kernel (see [`crate::counters`]).
+    #[inline]
+    fn count(&self, class: OpClass, lanes: u64) {
+        if self.trace.is_none() {
+            counters::bump(class, 1, lanes, 1);
         }
     }
 
@@ -228,8 +241,11 @@ impl SveCtx {
 
     /// Logical AND of predicates.
     pub fn pand(&mut self, a: &Pred, b: &Pred) -> Pred {
-        let mask = a.mask.iter().zip(&b.mask).map(|(&x, &y)| x && y).collect();
+        let mask: Vec<bool> = a.mask.iter().zip(&b.mask).map(|(&x, &y)| x && y).collect();
         let id = self.fresh();
+        // Predicate ops count the *result* population (both executors can
+        // derive it without re-deciding what "active" means for an AND).
+        self.count(OpClass::PredOp, popcount(&mask));
         self.rec(OpClass::PredOp, Some(id), &[a.id, b.id]);
         if let Some(tr) = &mut self.trace {
             let (sa, sb) = (tr.ps(a.id), tr.ps(b.id));
@@ -260,6 +276,7 @@ impl SveCtx {
             })
             .collect();
         let id = self.fresh();
+        self.count(op, popcount(&pg.mask));
         self.rec(op, Some(id), &[pg.id, a.id, b.id]);
         if let Some(tr) = &mut self.trace {
             let (sp, sa, sb) = (tr.ps(pg.id), tr.vs(a.id), tr.vs(b.id));
@@ -293,6 +310,7 @@ impl SveCtx {
             })
             .collect();
         let id = self.fresh();
+        self.count(op, popcount(&pg.mask));
         self.rec(op, Some(id), &[pg.id, a.id]);
         if let Some(tr) = &mut self.trace {
             let (sp, sa) = (tr.ps(pg.id), tr.vs(a.id));
@@ -369,6 +387,7 @@ impl SveCtx {
             })
             .collect();
         let id = self.fresh();
+        self.count(OpClass::Fma, popcount(&pg.mask));
         self.rec(OpClass::Fma, Some(id), &[pg.id, c.id, a.id, b.id]);
         if let Some(tr) = &mut self.trace {
             let (sp, sc, sa, sb) = (tr.ps(pg.id), tr.vs(c.id), tr.vs(a.id), tr.vs(b.id));
@@ -411,6 +430,8 @@ impl SveCtx {
         } else {
             OpClass::FRecpe
         };
+        // Estimates are unpredicated: all `vl` lanes retire.
+        self.count(op, self.vl as u64);
         self.rec(op, Some(id), &[a.id]);
         if let Some(tr) = &mut self.trace {
             let sa = tr.vs(a.id);
@@ -447,6 +468,7 @@ impl SveCtx {
             })
             .collect();
         let id = self.fresh();
+        self.count(OpClass::Fma, popcount(&pg.mask));
         self.rec(OpClass::Fma, Some(id), &[pg.id, a.id, b.id]);
         if let Some(tr) = &mut self.trace {
             let (sp, sa, sb) = (tr.ps(pg.id), tr.vs(a.id), tr.vs(b.id));
@@ -478,6 +500,9 @@ impl SveCtx {
             .map(|l| fexpa_lane(a.bits[l]).to_bits())
             .collect();
         let id = self.fresh();
+        if self.trace.is_none() {
+            counters::bump_fexpa(1, self.vl as u64);
+        }
         self.rec(OpClass::Fexpa, Some(id), &[a.id]);
         if let Some(tr) = &mut self.trace {
             let sa = tr.vs(a.id);
@@ -501,6 +526,7 @@ impl SveCtx {
             })
             .collect();
         let id = self.fresh();
+        self.count(OpClass::Ftmad, popcount(&pg.mask));
         self.rec(OpClass::Ftmad, Some(id), &[pg.id, a.id, b.id]);
         if let Some(tr) = &mut self.trace {
             let (sp, sa, sb) = (tr.ps(pg.id), tr.vs(a.id), tr.vs(b.id));
@@ -536,6 +562,7 @@ impl SveCtx {
             })
             .collect();
         let id = self.fresh();
+        self.count(OpClass::FCmp, popcount(&pg.mask));
         self.rec(OpClass::FCmp, Some(id), &[pg.id, a.id, b.id]);
         if let Some(tr) = &mut self.trace {
             let (sp, sa, sb) = (tr.ps(pg.id), tr.vs(a.id), tr.vs(b.id));
@@ -573,6 +600,7 @@ impl SveCtx {
             .map(|l| pg.mask[l] && (a.bits[l] as i64) != imm)
             .collect();
         let id = self.fresh();
+        self.count(OpClass::FCmp, popcount(&pg.mask));
         self.rec(OpClass::FCmp, Some(id), &[pg.id, a.id]);
         if let Some(tr) = &mut self.trace {
             let (sp, sa) = (tr.ps(pg.id), tr.vs(a.id));
@@ -593,6 +621,7 @@ impl SveCtx {
             .map(|l| if pg.mask[l] { a.bits[l] } else { b.bits[l] })
             .collect();
         let id = self.fresh();
+        self.count(OpClass::Select, popcount(&pg.mask));
         self.rec(OpClass::Select, Some(id), &[pg.id, a.id, b.id]);
         if let Some(tr) = &mut self.trace {
             let (sp, sa, sb) = (tr.ps(pg.id), tr.vs(a.id), tr.vs(b.id));
@@ -637,6 +666,7 @@ impl SveCtx {
             })
             .collect();
         let id = self.fresh();
+        self.count(OpClass::VecIntOp, popcount(&pg.mask));
         self.rec(OpClass::VecIntOp, Some(id), &[pg.id, a.id, b.id]);
         if let Some(tr) = &mut self.trace {
             let (sp, sa, sb) = (tr.ps(pg.id), tr.vs(a.id), tr.vs(b.id));
@@ -698,6 +728,7 @@ impl SveCtx {
             })
             .collect();
         let id = self.fresh();
+        self.count(OpClass::VecIntOp, popcount(&pg.mask));
         self.rec(OpClass::VecIntOp, Some(id), &[pg.id, a.id]);
         if let Some(tr) = &mut self.trace {
             let (sp, sa) = (tr.ps(pg.id), tr.vs(a.id));
@@ -742,6 +773,7 @@ impl SveCtx {
             })
             .collect();
         let id = self.fresh();
+        self.count(OpClass::FCvt, popcount(&pg.mask));
         self.rec(OpClass::FCvt, Some(id), &[pg.id, a.id]);
         if let Some(tr) = &mut self.trace {
             let (sp, sa) = (tr.ps(pg.id), tr.vs(a.id));
@@ -788,6 +820,7 @@ impl SveCtx {
         }
         bits.resize(self.vl, 0);
         let id = self.fresh();
+        self.count(OpClass::Permute, popcount(&pg.mask));
         self.rec(OpClass::Permute, Some(id), &[pg.id, a.id]);
         if let Some(tr) = &mut self.trace {
             let (sp, sa) = (tr.ps(pg.id), tr.vs(a.id));
@@ -813,6 +846,7 @@ impl SveCtx {
             })
             .collect();
         let id = self.fresh();
+        obs::add(Counter::BytesLoaded, 8 * popcount(&pg.mask));
         self.rec(OpClass::Load, Some(id), &[pg.id]);
         VVal { bits, id }
     }
@@ -825,6 +859,7 @@ impl SveCtx {
                 data[offset + l] = f64::from_bits(v.bits[l]);
             }
         }
+        obs::add(Counter::BytesStored, 8 * popcount(&pg.mask));
         self.rec(OpClass::Store, None, &[pg.id, v.id]);
     }
 
@@ -844,6 +879,9 @@ impl SveCtx {
             })
             .collect();
         let id = self.fresh();
+        if self.trace.is_none() {
+            counters::bump_gather(1, popcount(&pg.mask), uops.max(1) as u64);
+        }
         self.rec_hint(OpClass::Gather, Some(id), &[pg.id, idx.id], uops);
         if let Some(tr) = &mut self.trace {
             let tab = tr.capture_tab(data);
@@ -871,6 +909,9 @@ impl SveCtx {
                 data[i] = f64::from_bits(v.bits[l]);
             }
         }
+        if self.trace.is_none() {
+            counters::bump_scatter(1, popcount(&pg.mask));
+        }
         self.rec(OpClass::Scatter, None, &[pg.id, v.id, idx.id]);
         if let Some(tr) = &mut self.trace {
             let op = TOp::Scatter {
@@ -888,6 +929,10 @@ impl SveCtx {
     /// Record the scalar overhead of one loop iteration: `int_ops` address/
     /// counter updates plus the back-edge branch.
     pub fn loop_overhead(&mut self, int_ops: usize) {
+        if self.trace.is_none() {
+            counters::bump(OpClass::IntAlu, int_ops as u64, 0, 1);
+            counters::bump(OpClass::Branch, 1, 0, 1);
+        }
         for _ in 0..int_ops {
             self.rec(OpClass::IntAlu, None, &[]);
         }
@@ -900,6 +945,7 @@ impl SveCtx {
     /// Record a scalar libm call retiring one element (the GNU-on-A64FX
     /// fallback path for exp/sin/pow).
     pub fn scalar_libm_call(&mut self) {
+        self.count(OpClass::ScalarLibmCall, 0);
         self.rec(OpClass::ScalarLibmCall, None, &[]);
         if let Some(tr) = &mut self.trace {
             tr.push(TOp::LibmCall);

@@ -20,6 +20,7 @@
 //! The emulator computes real IEEE-754 arithmetic; it makes no attempt to
 //! model flush-to-zero or rounding-mode differences.
 
+pub(crate) mod counters;
 pub mod ctx;
 pub mod fexpa;
 pub mod lanes;

@@ -26,10 +26,12 @@
 
 use std::collections::HashMap;
 
+use crate::counters;
 use crate::ctx::SveCtx;
 use crate::fexpa::fexpa_lane;
 use crate::lanes;
 use crate::value::{Pred, VVal};
+use ookami_core::obs::{self, Counter};
 use ookami_core::pool::Schedule;
 use ookami_core::runtime::{par_for_with, SendPtr};
 use ookami_uarch::{Instr, OpClass, Reg, Width};
@@ -758,6 +760,12 @@ pub struct Replayer<'t> {
     /// concatenating blocks is bit-identical while amortizing the per-op
     /// dispatch over up to 64 lanes.
     w: usize,
+    /// How many `vl`-wide interpreter iterations the current step stands
+    /// for: `ceil(active_block_lanes / vl)` after [`Replayer::set_block`],
+    /// the full batch otherwise. Drives the obs counters so replay totals
+    /// stay identical to interpreting the same range (ragged tails count
+    /// one partial iteration, exactly as the interpreter would).
+    blocks: usize,
     vbuf: Vec<u64>,
     pbuf: Vec<u64>,
     tabs: Vec<Vec<f64>>,
@@ -775,6 +783,7 @@ impl<'t> Replayer<'t> {
         let mut r = Replayer {
             t,
             w,
+            blocks: batch,
             vbuf: vec![0u64; t.n_v * w],
             pbuf: vec![0u64; t.n_p],
             tabs: t.tabs.clone(),
@@ -782,7 +791,9 @@ impl<'t> Replayer<'t> {
         if let Some(lp) = t.loop_pred {
             r.pbuf[lp as usize] = r.full_mask();
         }
-        r.exec(&t.setup);
+        // Setup ops replay once per replayer and are never counted: the
+        // interpreter's constants/ptrue are setup too and equally uncounted.
+        r.exec(&t.setup, false);
         r
     }
 
@@ -814,6 +825,7 @@ impl<'t> Replayer<'t> {
             }
         }
         self.pbuf[lp as usize] = m;
+        self.blocks = n.saturating_sub(i).min(self.w).div_ceil(self.t.vl);
     }
 
     /// Bind input `ord` to `lanes` (≤ `width`; the tail is zero-padded
@@ -821,6 +833,7 @@ impl<'t> Replayer<'t> {
     pub fn bind_f64(&mut self, ord: usize, lanes: &[f64]) {
         let s = self.t.inputs[ord] as usize * self.w;
         assert!(lanes.len() <= self.w);
+        obs::add(Counter::BytesLoaded, 8 * lanes.len() as u64);
         for (l, lane) in self.vbuf[s..s + self.w].iter_mut().enumerate() {
             *lane = lanes.get(l).map_or(0, |x| x.to_bits());
         }
@@ -830,6 +843,7 @@ impl<'t> Replayer<'t> {
     pub fn bind_i64(&mut self, ord: usize, lanes: &[i64]) {
         let s = self.t.inputs[ord] as usize * self.w;
         assert!(lanes.len() <= self.w);
+        obs::add(Counter::BytesLoaded, 8 * lanes.len() as u64);
         for (l, lane) in self.vbuf[s..s + self.w].iter_mut().enumerate() {
             *lane = lanes.get(l).map_or(0, |&x| x as u64);
         }
@@ -838,7 +852,7 @@ impl<'t> Replayer<'t> {
     /// Execute one body iteration.
     pub fn step(&mut self) {
         let t = self.t;
-        self.exec(&t.body);
+        self.exec(&t.body, true);
     }
 
     /// Commit carried values: each `(init, updated)` pair copies the
@@ -890,9 +904,80 @@ impl<'t> Replayer<'t> {
         &self.tabs[k]
     }
 
-    fn exec(&mut self, ops: &'t [TOp]) {
+    fn exec(&mut self, ops: &'t [TOp], count: bool) {
         for op in ops {
+            if count && obs::enabled() {
+                self.count_op(op);
+            }
             self.exec_one(op);
+        }
+    }
+
+    /// Count one body op against the obs registry with exactly the totals
+    /// the interpreter produces for the same op over the same range: this
+    /// step stands for [`Replayer::blocks`] `vl`-wide iterations, block
+    /// masks concatenate lanewise under batching (popcounts sum), and the
+    /// class mapping mirrors [`Trace::to_instrs`] / the `SveCtx` methods.
+    fn count_op(&self, op: &TOp) {
+        let n = self.blocks as u64;
+        if n == 0 {
+            return;
+        }
+        let full = n * self.t.vl as u64;
+        let pc = |s: Slot| u64::from(self.pbuf[s as usize].count_ones());
+        match *op {
+            TOp::ConstV { .. } | TOp::Ptrue { .. } => {}
+            TOp::Bin { op, pg, .. } => {
+                let class = match op {
+                    BinOp::FAdd | BinOp::FSub => OpClass::FAdd,
+                    BinOp::FMul => OpClass::FMul,
+                    BinOp::FDiv => OpClass::FDiv,
+                    BinOp::FMax | BinOp::FMin => OpClass::FMinMax,
+                    _ => OpClass::VecIntOp,
+                };
+                counters::bump(class, n, pc(pg), 1);
+            }
+            TOp::Un { op, pg, .. } => {
+                let class = match op {
+                    UnOp::Sqrt => OpClass::FSqrt,
+                    UnOp::Neg | UnOp::Abs => OpClass::FAbsNeg,
+                    UnOp::Rintn => OpClass::FRound,
+                };
+                counters::bump(class, n, pc(pg), 1);
+            }
+            TOp::Fmla { pg, .. } | TOp::NewtonStep { pg, .. } => {
+                counters::bump(OpClass::Fma, n, pc(pg), 1);
+            }
+            TOp::Est { rsqrt, .. } => {
+                let class = if rsqrt {
+                    OpClass::FRsqrte
+                } else {
+                    OpClass::FRecpe
+                };
+                counters::bump(class, n, full, 1);
+            }
+            TOp::Fexpa { .. } => counters::bump_fexpa(n, full),
+            TOp::Ftmad { pg, .. } => counters::bump(OpClass::Ftmad, n, pc(pg), 1),
+            TOp::Cmp { pg, .. } | TOp::CmpNeImm { pg, .. } => {
+                counters::bump(OpClass::FCmp, n, pc(pg), 1);
+            }
+            TOp::Pand { a, b, .. } => {
+                let res = self.pbuf[a as usize] & self.pbuf[b as usize];
+                counters::bump(OpClass::PredOp, n, u64::from(res.count_ones()), 1);
+            }
+            TOp::Sel { pg, .. } => counters::bump(OpClass::Select, n, pc(pg), 1),
+            TOp::Shift { pg, .. } => counters::bump(OpClass::VecIntOp, n, pc(pg), 1),
+            TOp::Cvt { pg, .. } => counters::bump(OpClass::FCvt, n, pc(pg), 1),
+            TOp::Compact { pg, .. } => counters::bump(OpClass::Permute, n, pc(pg), 1),
+            TOp::Gather { pg, uops, .. } => {
+                counters::bump_gather(n, pc(pg), u64::from(uops.max(1)));
+            }
+            TOp::Scatter { pg, .. } => counters::bump_scatter(n, pc(pg)),
+            TOp::Overhead { int_ops } => {
+                counters::bump(OpClass::IntAlu, n * int_ops as u64, 0, 1);
+                counters::bump(OpClass::Branch, n, 0, 1);
+            }
+            TOp::LibmCall => counters::bump(OpClass::ScalarLibmCall, n, 0, 1),
         }
     }
 

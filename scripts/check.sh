@@ -4,20 +4,30 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+export RUSTFLAGS="-D warnings"
+
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
-echo "== cargo clippy (deny warnings)"
+echo "== cargo clippy (deny warnings, both obs modes)"
 cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets --features obs -- -D warnings
 
 echo "== tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "== test suite again with the obs counter layer compiled in"
+cargo test -q --features obs
 
 echo "== criterion benches compile"
 cargo bench --no-run
 
 echo "== trace-replay identity smoke (svereplay --smoke)"
 cargo run -p ookami-bench --bin svereplay --release -- --smoke
+
+echo "== counter-layer smoke (ookamistat --smoke, obs on) + schema check"
+cargo run -p ookami-bench --features obs --bin ookamistat --release -- --smoke
+cargo run -p ookami-bench --bin report --release -- --validate BENCH_obs.json
 
 echo "== all checks passed"

@@ -149,6 +149,81 @@ fn library_maturity_ratios() {
     assert!((ff - 4.2).abs() < 0.4, "fft ratio {ff}");
 }
 
+/// Fig. 1's gather and scatter loops move exactly one element per
+/// iteration — checked through the obs hardware-counter layer rather than
+/// by inspecting results, the way one would confirm it with `perf` on the
+/// real machine. Vacuous unless built with `--features obs`.
+#[test]
+fn fig1_gather_scatter_element_counts() {
+    use ookami::core::obs::{self, Counter};
+    use ookami::loops::{emulated, LoopSuite};
+    if !obs::enabled() {
+        return;
+    }
+    let n = 512;
+    let m = machines::a64fx();
+    for vl in [4usize, 8] {
+        for short in [false, true] {
+            let mut s = LoopSuite::new(n, 11);
+            let before = obs::thread_snapshot();
+            emulated::run_gather_sve(&mut s, vl, short, m);
+            let d = obs::thread_snapshot().since(&before);
+            assert_eq!(
+                d.get(Counter::GatherElems),
+                n as u64,
+                "gather vl={vl} short={short}"
+            );
+            // Every gathered element is an 8-byte load (on top of the
+            // index stream the replayer stages).
+            assert!(d.get(Counter::BytesLoaded) >= 8 * n as u64);
+
+            let mut s = LoopSuite::new(n, 13);
+            let before = obs::thread_snapshot();
+            emulated::run_scatter_sve(&mut s, vl, short);
+            let d = obs::thread_snapshot().since(&before);
+            assert_eq!(
+                d.get(Counter::ScatterElems),
+                n as u64,
+                "scatter vl={vl} short={short}"
+            );
+            assert_eq!(d.get(Counter::BytesStored), 8 * n as u64);
+        }
+    }
+}
+
+/// Table I: the Fujitsu-style exp issues exactly one FEXPA per vector of
+/// elements — `ceil(n / vl)` issues over a range — while the portable
+/// polynomial variant never touches the instruction. Vacuous unless built
+/// with `--features obs`.
+#[test]
+fn table1_fexpa_issue_counts() {
+    use ookami::core::obs::{self, Counter};
+    use ookami::vecmath::{exp_trace, ExpVariant};
+    if !obs::enabled() {
+        return;
+    }
+    let xs: Vec<f64> = (0..1001).map(|i| (i as f64 - 500.0) * 0.01).collect();
+    for vl in [3usize, 8] {
+        let t = exp_trace(vl, ExpVariant::FexpaEstrin);
+        let before = obs::thread_snapshot();
+        let _ = t.map(&xs);
+        let d = obs::thread_snapshot().since(&before);
+        assert_eq!(
+            d.get(Counter::FexpaIssues),
+            xs.len().div_ceil(vl) as u64,
+            "vl={vl}"
+        );
+
+        let t = exp_trace(vl, ExpVariant::Poly13);
+        let before = obs::thread_snapshot();
+        let _ = t.map(&xs);
+        let d = obs::thread_snapshot().since(&before);
+        assert_eq!(d.get(Counter::FexpaIssues), 0, "poly13 must not FEXPA");
+        // The 13-term polynomial leans on the FMA pipes instead.
+        assert!(d.get(Counter::PortFla) > 0);
+    }
+}
+
 /// Table III values, regenerated from the machine models.
 #[test]
 fn table3_regenerates() {
