@@ -1,0 +1,456 @@
+//! `benchdiff` — the bench-trajectory regression gate: compare the current
+//! `BENCH_*.json` probe outputs against committed baselines and exit
+//! nonzero when a gated result regressed.
+//!
+//! ```text
+//! benchdiff --baseline <dir> --current <dir> [--tol 0.5] [--out BENCHDIFF.json]
+//! ```
+//!
+//! Both sides are schema-validated (`ookami-bench-v1`) before any
+//! comparison — a malformed file is a usage error (exit 2), never a silent
+//! pass. Three gate classes, from strongest to weakest:
+//!
+//! 1. **Flag gates** (always on): a baseline flag of `"true"` for
+//!    `bit_identical`, `instr_streams_identical` or `gate` must still be
+//!    `"true"` — these encode correctness invariants, not measurements.
+//! 2. **Absolute floors** (full-mode current files only): `speedup ≥ 5`
+//!    (trace replay vs interpreter) and `ratio_at_8 ≥ 5` (pool vs
+//!    spawn-per-region) — the repo's standing perf acceptance bars. Smoke
+//!    runs shrink the problem until fixed costs dominate, which is exactly
+//!    why the probes themselves only enforce these bars in full mode.
+//! 3. **Matched-mode gates** (only when `mode` and `obs_enabled` agree, so
+//!    smoke CI runs are never judged against full-mode baselines):
+//!    `max_ulp*` metrics may not increase (accuracy is deterministic), the
+//!    deterministic model counters (SVE/port/byte/FLOP events) must be
+//!    *exactly* equal — any drift is a real behavioral change, not noise —
+//!    and time-like metrics are pooled into a noise-aware verdict: the
+//!    relative deltas of all time metrics in a file feed
+//!    [`ookami_core::Stats`], and only a *systematic* slowdown (mean delta
+//!    above `--tol` and above one standard deviation of the deltas) fails,
+//!    so one noisy metric on a loaded CI box cannot trip the gate.
+//!
+//! `--inject-regression` degrades the current set in memory (times ×10,
+//! rates ÷10, correctness flags flipped) to prove the gate trips; CI runs
+//! it as a self-test.
+//! Exit codes: 0 pass, 1 regression, 2 usage/schema error.
+
+use ookami_core::obs::{self, Json};
+use ookami_core::Stats;
+use std::collections::BTreeMap;
+
+/// Counters whose values are deterministic functions of the executed
+/// kernels (execution-strategy- and timing-independent), gated for exact
+/// equality when modes match. Scheduling/timing counters (barrier waits,
+/// guided chunk splits, forked-vs-inline region counts) are excluded: they
+/// legitimately vary with machine load and core count.
+const EXACT_COUNTERS: [&str; 16] = [
+    "port_fla",
+    "port_flb",
+    "port_pr",
+    "port_exa",
+    "port_exb",
+    "port_eaga",
+    "port_eagb",
+    "port_br",
+    "sve_instrs",
+    "sve_lanes_active",
+    "bytes_loaded",
+    "bytes_stored",
+    "gather_elems",
+    "scatter_elems",
+    "fexpa_issues",
+    "model_flops",
+];
+
+/// Flags that encode correctness invariants: baseline `"true"` must hold.
+const GATED_FLAGS: [&str; 3] = ["bit_identical", "instr_streams_identical", "gate"];
+
+/// `(metric, floor)` pairs gated whenever the current file is a full run.
+const ABSOLUTE_FLOORS: [(&str, f64); 2] = [("speedup", 5.0), ("ratio_at_8", 5.0)];
+
+fn usage(code: i32) -> ! {
+    println!(
+        "benchdiff — compare current BENCH_*.json files against committed baselines\n\
+         \n\
+         usage: benchdiff --baseline <dir> --current <dir> [options]\n\
+         \n\
+         options:\n\
+           --tol <x>            systematic-slowdown tolerance for time metrics\n\
+                                when modes match (relative, default 0.5)\n\
+           --out <path>         write the machine-readable verdict JSON here\n\
+                                (default BENCHDIFF.json)\n\
+           --inject-regression  degrade the current set in memory (times x10,\n\
+                                rates /10, flags flipped) — self-test that\n\
+                                the gate trips\n\
+           --help               this text\n\
+         \n\
+         exit: 0 pass · 1 regression · 2 usage or schema error"
+    );
+    std::process::exit(code)
+}
+
+fn num_metrics(doc: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    if let Some(Json::Obj(m)) = doc.get("metrics") {
+        for (k, v) in m {
+            if let Json::Num(n) = v {
+                out.insert(k.clone(), *n);
+            }
+        }
+    }
+    out
+}
+
+fn str_flags(doc: &Json) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    if let Some(Json::Obj(m)) = doc.get("flags") {
+        for (k, v) in m {
+            match v {
+                Json::Str(s) => {
+                    out.insert(k.clone(), s.clone());
+                }
+                Json::Bool(b) => {
+                    out.insert(k.clone(), b.to_string());
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+fn counters(doc: &Json) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    if let Some(Json::Obj(m)) = doc.get("counters") {
+        for (k, v) in m {
+            if let Json::Num(n) = v {
+                if *n >= 0.0 {
+                    out.insert(k.clone(), *n as u64);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn str_field<'a>(doc: &'a Json, key: &str) -> &'a str {
+    match doc.get(key) {
+        Some(Json::Str(s)) => s.as_str(),
+        _ => "",
+    }
+}
+
+fn is_time_metric(name: &str) -> bool {
+    name.ends_with("_seconds") || name.ends_with("_us") || name.ends_with("_ns")
+}
+
+fn is_rate_metric(name: &str) -> bool {
+    name.contains("per_sec")
+}
+
+/// Degrade a current-side document in memory: every time metric ×10,
+/// every rate and headline-ratio metric ÷10, and every gated correctness
+/// flag flipped to false. The flag flip is what keeps the self-test
+/// meaningful even for a mode-mismatched pair (smoke current vs full
+/// baseline), where the metric gates are skipped by design.
+fn inject_regression(doc: &mut Json) {
+    if let Json::Obj(root) = doc {
+        if let Some(Json::Obj(metrics)) = root.get_mut("metrics") {
+            for (k, v) in metrics.iter_mut() {
+                if let Json::Num(n) = v {
+                    if is_time_metric(k) {
+                        *n *= 10.0;
+                    } else if is_rate_metric(k) || k == "speedup" || k == "ratio_at_8" {
+                        *n /= 10.0;
+                    }
+                }
+            }
+        }
+        if let Some(Json::Obj(flags)) = root.get_mut("flags") {
+            for (k, v) in flags.iter_mut() {
+                if GATED_FLAGS.contains(&k.as_str()) {
+                    *v = Json::Bool(false);
+                }
+            }
+        }
+    }
+}
+
+struct FileVerdict {
+    name: String,
+    regressions: Vec<String>,
+    notes: Vec<String>,
+    compared: bool,
+}
+
+fn diff_file(name: &str, base: &Json, cur: &Json, tol: f64) -> FileVerdict {
+    let mut v = FileVerdict {
+        name: name.to_string(),
+        regressions: Vec::new(),
+        notes: Vec::new(),
+        compared: true,
+    };
+    let bm = num_metrics(base);
+    let cm = num_metrics(cur);
+    let bf = str_flags(base);
+    let cf = str_flags(cur);
+
+    // 1. flag gates — correctness invariants hold in every mode.
+    for gf in GATED_FLAGS {
+        if bf.get(gf).map(String::as_str) == Some("true") {
+            let now = cf.get(gf).map(String::as_str).unwrap_or("<missing>");
+            if now != "true" {
+                v.regressions
+                    .push(format!("flag `{gf}`: baseline true, current {now}"));
+            }
+        }
+    }
+
+    // 2. absolute floors — standing perf bars; only full runs are sized
+    // to meet them (smoke problems are fixed-cost-dominated by design).
+    if str_field(cur, "mode") == "full" {
+        for (metric, floor) in ABSOLUTE_FLOORS {
+            if let Some(&val) = cm.get(metric) {
+                if val < floor {
+                    v.regressions.push(format!(
+                        "metric `{metric}`: {val:.3} below floor {floor:.1}"
+                    ));
+                }
+            }
+        }
+    }
+
+    // 3. matched-mode gates.
+    let modes_match = str_field(base, "mode") == str_field(cur, "mode")
+        && base.get("obs_enabled") == cur.get("obs_enabled");
+    if !modes_match {
+        v.notes.push(format!(
+            "modes differ ({} vs {}): matched-mode gates skipped",
+            str_field(base, "mode"),
+            str_field(cur, "mode")
+        ));
+        return v;
+    }
+
+    // 3a. accuracy may not regress: max ulp is deterministic.
+    for (k, bval) in &bm {
+        if k.starts_with("max_ulp") {
+            if let Some(&cval) = cm.get(k) {
+                if cval > *bval {
+                    v.regressions
+                        .push(format!("`{k}`: {bval} → {cval} ulp (accuracy regressed)"));
+                }
+            }
+        }
+    }
+
+    // 3b. deterministic model counters must be exactly equal.
+    let obs_on = matches!(base.get("obs_enabled"), Some(Json::Bool(true)));
+    if obs_on {
+        let bc = counters(base);
+        let cc = counters(cur);
+        for key in EXACT_COUNTERS {
+            match (bc.get(key), cc.get(key)) {
+                (Some(b), Some(c)) if b != c => {
+                    v.regressions
+                        .push(format!("counter `{key}`: {b} → {c} (model drift)"));
+                }
+                (Some(b), None) if *b != 0 => {
+                    v.regressions
+                        .push(format!("counter `{key}`: {b} → missing (model drift)"));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // 3c. pooled noise-aware time gate: only a systematic slowdown fails.
+    let mut deltas = Stats::new();
+    for (k, bval) in &bm {
+        let Some(&cval) = cm.get(k) else { continue };
+        if *bval <= 0.0 {
+            continue;
+        }
+        if is_time_metric(k) {
+            deltas.push((cval - bval) / bval);
+        } else if is_rate_metric(k) {
+            // A rate drop is a slowdown of the same sign convention.
+            deltas.push((bval - cval) / bval);
+        }
+    }
+    if !deltas.is_empty() {
+        let mean = deltas.mean();
+        let sd = deltas.stddev();
+        if mean > tol && mean > sd {
+            v.regressions.push(format!(
+                "time metrics systematically slower: mean +{:.0}% over {} metric(s) \
+                 (σ {:.0}%, tol {:.0}%)",
+                mean * 100.0,
+                deltas.len(),
+                sd * 100.0,
+                tol * 100.0
+            ));
+        } else {
+            v.notes.push(format!(
+                "time drift mean {:+.0}% σ {:.0}% over {} metric(s): within noise",
+                mean * 100.0,
+                sd * 100.0,
+                deltas.len()
+            ));
+        }
+    }
+    v
+}
+
+fn load_validated(path: &std::path::Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    obs::validate_bench_json(&text)
+        .map_err(|e| format!("{}: schema violation: {e}", path.display()))?;
+    Ok(Json::parse(&text).expect("validated JSON reparses"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_dir: Option<String> = None;
+    let mut current_dir: Option<String> = None;
+    let mut tol = 0.5f64;
+    let mut out_path = "BENCHDIFF.json".to_string();
+    let mut inject = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline_dir = it.next().cloned(),
+            "--current" => current_dir = it.next().cloned(),
+            "--tol" => {
+                tol = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --tol needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => {
+                out_path = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                })
+            }
+            "--inject-regression" => inject = true,
+            "--help" | "-h" => usage(0),
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(baseline_dir), Some(current_dir)) = (baseline_dir, current_dir) else {
+        eprintln!("error: --baseline and --current are required (try --help)");
+        std::process::exit(2);
+    };
+
+    // Pair by filename over the baseline set: the committed baselines
+    // define what is gated; extra current files are ignored.
+    let mut names: Vec<String> = match std::fs::read_dir(&baseline_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("error: cannot read baseline dir {baseline_dir}: {e}");
+            std::process::exit(2);
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        eprintln!("error: no BENCH_*.json baselines in {baseline_dir}");
+        std::process::exit(2);
+    }
+
+    let mut verdicts: Vec<FileVerdict> = Vec::new();
+    for name in &names {
+        let bpath = std::path::Path::new(&baseline_dir).join(name);
+        let cpath = std::path::Path::new(&current_dir).join(name);
+        let base = match load_validated(&bpath) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: baseline {e}");
+                std::process::exit(2);
+            }
+        };
+        if !cpath.exists() {
+            verdicts.push(FileVerdict {
+                name: name.clone(),
+                regressions: Vec::new(),
+                notes: vec!["no current file: not regenerated, skipped".to_string()],
+                compared: false,
+            });
+            continue;
+        }
+        let mut cur = match load_validated(&cpath) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: current {e}");
+                std::process::exit(2);
+            }
+        };
+        if inject {
+            inject_regression(&mut cur);
+        }
+        verdicts.push(diff_file(name, &base, &cur, tol));
+    }
+
+    let total_regressions: usize = verdicts.iter().map(|v| v.regressions.len()).sum();
+    let compared = verdicts.iter().filter(|v| v.compared).count();
+    let pass = total_regressions == 0;
+
+    println!(
+        "benchdiff: {} baseline(s), {} compared{}",
+        names.len(),
+        compared,
+        if inject { " [injected regression]" } else { "" }
+    );
+    for v in &verdicts {
+        let status = if !v.compared {
+            "SKIP"
+        } else if v.regressions.is_empty() {
+            "OK"
+        } else {
+            "FAIL"
+        };
+        println!("{status:>5}  {}", v.name);
+        for r in &v.regressions {
+            println!("       regression: {r}");
+        }
+        for n in &v.notes {
+            println!("       note: {n}");
+        }
+    }
+    println!("verdict: {}", if pass { "PASS" } else { "REGRESSION" });
+
+    // Machine-readable verdict in the shared schema (probe "benchdiff").
+    let mut report = obs::BenchReport::new("benchdiff", "gate");
+    report.metric("baselines", names.len() as f64);
+    report.metric("compared", compared as f64);
+    report.metric("regressions", total_regressions as f64);
+    report.metric("tol", tol);
+    report.flag("verdict", if pass { "pass" } else { "regression" });
+    report.flag("injected", inject);
+    for v in &verdicts {
+        report.flag(
+            &format!("file:{}", v.name),
+            if !v.compared {
+                "skip".to_string()
+            } else if v.regressions.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("fail:{}", v.regressions.len())
+            },
+        );
+    }
+    if let Err(e) = report.write(&out_path) {
+        eprintln!("error: write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out_path}");
+
+    std::process::exit(if pass { 0 } else { 1 });
+}

@@ -12,7 +12,8 @@
 //! counter columns are just zero and the report says `obs_enabled: false`,
 //! which is itself worth a smoke test (the no-op path must not crash).
 
-use ookami_core::obs::{self, Counter};
+use ookami_core::obs::{self, Counter, Json};
+use ookami_core::timeline;
 use ookami_hpcc::{dgemm_blocked, Fft};
 use ookami_loops::{emulated, LoopSuite};
 use ookami_lulesh::Hydro;
@@ -29,8 +30,47 @@ fn timed(name: &str, f: impl FnOnce()) -> f64 {
     t0.elapsed().as_secs_f64()
 }
 
+fn usage() -> ! {
+    println!(
+        "ookamistat — run a slice of every workload family with the obs counters on\n\
+         \n\
+         usage: ookamistat [--smoke] [--trace <path>] [--help]\n\
+         \n\
+         options:\n\
+           --smoke         small problem sizes (CI); default is the full slice\n\
+           --trace <path>  record a timeline and write a Chrome trace-event JSON\n\
+                           file to <path> (open in chrome://tracing or Perfetto);\n\
+                           requires --features obs for a non-empty trace\n\
+           --help          this text\n\
+         \n\
+         outputs: BENCH_obs.json (ookami-bench-v1 schema) and, with --trace,\n\
+         the Chrome trace; exit is nonzero on any counter sanity failure."
+    );
+    std::process::exit(0)
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut trace_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --trace needs a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
     let scale = if smoke { 1 } else { 4 };
     if !obs::enabled() {
         eprintln!(
@@ -39,6 +79,9 @@ fn main() {
         );
     }
     obs::reset();
+    if trace_path.is_some() {
+        timeline::start(timeline::DEFAULT_CAPACITY);
+    }
     let mut report = obs::BenchReport::new("ookamistat", if smoke { "smoke" } else { "full" });
 
     // --- Section III loops through the SVE emulator ---
@@ -95,8 +138,48 @@ fn main() {
         std::hint::black_box(&c);
         let fft = Fft::new(nf);
         std::hint::black_box(fft.forward(&sig));
+        // STREAM is the family's pool-parallel member: its fork/chunk/
+        // barrier counters give `report --derive` an hpcc row to place.
+        let mut s = ookami_hpcc::stream::Stream::new(1 << 14 << scale.min(2));
+        s.copy(4);
+        s.scale(3.0, 4);
+        s.add(4);
+        s.triad(3.0, 4);
+        std::hint::black_box(&s);
     });
     report.metric("hpcc_seconds", t_hpcc);
+
+    // --- trace export (before rendering, so the trace ends at the last
+    //     workload event rather than mid-report) ---
+    if let Some(path) = &trace_path {
+        timeline::stop();
+        let doc = timeline::export_chrome_trace();
+        // The exporter promises Json-parseable output; hold it to that
+        // before the file lands on disk.
+        let parsed = Json::parse(&doc).expect("exported Chrome trace must be valid JSON");
+        if obs::enabled() {
+            let events = match parsed.get("traceEvents") {
+                Some(Json::Arr(a)) => a,
+                _ => panic!("trace missing traceEvents array"),
+            };
+            // ≥ 1 span per workload family: every family slice above ran
+            // under obs::region, so each name must open at least once.
+            for family in ["loops", "vecmath_exp", "npb", "lulesh", "hpcc"] {
+                let opened = events.iter().any(|e| {
+                    matches!(e.get("ph"), Some(Json::Str(p)) if p == "B")
+                        && matches!(e.get("name"), Some(Json::Str(n)) if n == family)
+                });
+                assert!(opened, "trace lacks a span for workload family `{family}`");
+            }
+            let stats = timeline::stats();
+            println!(
+                "trace: {} thread(s), {} event(s) retained, {} dropped",
+                stats.threads, stats.events_retained, stats.events_dropped
+            );
+        }
+        std::fs::write(path, &doc).expect("write Chrome trace");
+        println!("wrote {path} (Chrome trace-event JSON; load in Perfetto)");
+    }
 
     // --- render ---
     let snap = obs::snapshot();

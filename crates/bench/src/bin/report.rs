@@ -7,9 +7,90 @@
 //! against the shared `ookami-bench-v1` schema and exits nonzero on the
 //! first violation — the CI hook that keeps every probe's output loadable
 //! by the same tooling.
+//!
+//! With `--derive <file> [--threads N]` it prints the roofline /
+//! bottleneck table `obs::derive` computes from the file's counter
+//! snapshots (per span and in total) against the A64FX machine model.
+
+fn usage(code: i32) -> ! {
+    println!(
+        "report — regenerate the full reproduction report, or inspect BENCH files\n\
+         \n\
+         usage:\n\
+           report                         full report on stdout\n\
+           report --validate <file>...    schema-check BENCH_*.json files\n\
+           report --derive <file> [--threads N]\n\
+                                          roofline/bottleneck table from a\n\
+                                          BENCH_*.json with counters (default\n\
+                                          threads: 4, matching the probes)\n\
+           report --help                  this text"
+    );
+    std::process::exit(code)
+}
+
+fn run_derive(args: &[String]) -> ! {
+    let mut file: Option<&String> = None;
+    let mut threads = 4usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --threads needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            _ if file.is_none() => file = Some(a),
+            other => {
+                eprintln!("error: unexpected argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: report --derive <BENCH_*.json> [--threads N]");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("FAIL {file}: {e}");
+        std::process::exit(2);
+    });
+    if let Err(e) = ookami_core::obs::validate_bench_json(&text) {
+        eprintln!("FAIL {file}: not a valid ookami-bench-v1 document: {e}");
+        std::process::exit(2);
+    }
+    let doc = ookami_core::obs::Json::parse(&text).expect("validated JSON reparses");
+    let m = ookami_uarch::machines::a64fx();
+    match ookami_core::obs::derive::derive_bench_doc(&doc, m, threads) {
+        Ok(rows) if rows.is_empty() => {
+            println!(
+                "{file}: no counter snapshots to derive from (was the probe built \
+                 with --features obs?)"
+            );
+            std::process::exit(0);
+        }
+        Ok(rows) => {
+            print!(
+                "{}",
+                ookami_core::obs::derive::render_table(&rows, m, threads)
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("FAIL {file}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage(0);
+    }
+    if args.first().map(String::as_str) == Some("--derive") {
+        run_derive(&args[1..]);
+    }
     if args.first().map(String::as_str) == Some("--validate") {
         let files = &args[1..];
         if files.is_empty() {

@@ -17,6 +17,10 @@
 //! * [`obs`] — hardware-counter-style event counters and span timing
 //!   (zero-cost unless built with the `obs` feature), plus the shared
 //!   `ookami-bench-v1` JSON report schema every probe binary writes;
+//! * [`timeline`] — lock-free per-thread ring-buffer tracer with a Chrome
+//!   trace-event exporter (span begin/end, pool fork/join/chunk/barrier,
+//!   periodic counter samples), plus [`obs::derive`] — the roofline /
+//!   derived-metrics engine built on the counter snapshots;
 //! * [`stats`] — mean/stddev/median helpers (the paper's error bars).
 
 pub mod measure;
@@ -25,6 +29,7 @@ pub mod pool;
 pub mod profile;
 pub mod runtime;
 pub mod stats;
+pub mod timeline;
 
 pub use measure::{Measurement, Table};
 pub use pool::{Pool, Schedule};

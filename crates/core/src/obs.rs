@@ -29,6 +29,8 @@
 //!   vendored serde is a no-op shim). [`prometheus`] renders the same
 //!   registry as Prometheus text exposition for eyeballing.
 
+pub mod derive;
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -74,6 +76,11 @@ pub enum Counter {
     ScatterElems,
     /// FEXPA instructions issued.
     FexpaIssues,
+    /// Model FLOPs retired: active lanes × `OpClass::flops_per_lane` summed
+    /// over retired instructions. An *instruction-derived* FLOP count (2 per
+    /// FMA lane), identical between interpreter and replayer, and the
+    /// numerator of every roofline placement in [`derive`].
+    FlopsModel,
     /// Parallel regions forked across the worker pool.
     RegionsForked,
     /// Parallel regions executed inline (nested / single part / no workers).
@@ -113,6 +120,7 @@ pub const COUNTERS: [Counter; Counter::COUNT] = [
     Counter::GatherElems,
     Counter::ScatterElems,
     Counter::FexpaIssues,
+    Counter::FlopsModel,
     Counter::RegionsForked,
     Counter::RegionsInline,
     Counter::RegionParts,
@@ -126,7 +134,7 @@ pub const COUNTERS: [Counter; Counter::COUNT] = [
 ];
 
 impl Counter {
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 26;
 
     /// Stable snake_case export name (JSON keys, Prometheus labels).
     pub fn name(self) -> &'static str {
@@ -146,6 +154,7 @@ impl Counter {
             Counter::GatherElems => "gather_elems",
             Counter::ScatterElems => "scatter_elems",
             Counter::FexpaIssues => "fexpa_issues",
+            Counter::FlopsModel => "model_flops",
             Counter::RegionsForked => "regions_forked",
             Counter::RegionsInline => "regions_inline",
             Counter::RegionParts => "region_parts",
@@ -163,6 +172,12 @@ impl Counter {
     /// `a64fx_ports` numbering: FLA=0 … BR=7).
     pub fn port(p: u8) -> Counter {
         COUNTERS[p as usize]
+    }
+
+    /// Inverse of [`Counter::name`] — how `report --derive` and `benchdiff`
+    /// rebuild [`Snapshot`]s from a `BENCH_*.json` counters object.
+    pub fn from_name(name: &str) -> Option<Counter> {
+        COUNTERS.iter().copied().find(|c| c.name() == name)
     }
 
     fn idx(self) -> usize {
@@ -190,6 +205,23 @@ impl Snapshot {
         self.vals[c.idx()]
     }
 
+    /// Set one counter (used when rebuilding a snapshot from JSON).
+    pub fn set(&mut self, c: Counter, v: u64) {
+        self.vals[c.idx()] = v;
+    }
+
+    /// Counter-wise saturating accumulate (per-span counter aggregation).
+    pub fn accumulate(&mut self, other: &Snapshot) {
+        for (a, b) in self.vals.iter_mut().zip(other.vals.iter()) {
+            *a = a.saturating_add(*b);
+        }
+    }
+
+    /// True if every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.vals.iter().all(|&v| v == 0)
+    }
+
     /// Counter-wise saturating difference `self - earlier` (deltas for a
     /// measured phase bracketed by two snapshots).
     pub fn since(&self, earlier: &Snapshot) -> Snapshot {
@@ -210,7 +242,7 @@ impl Snapshot {
     }
 }
 
-/// Aggregated timing for one span path.
+/// Aggregated timing (and counter deltas) for one span path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanStat {
     /// Slash-joined nesting path, e.g. `"ookamistat/npb_cg/cg_iter"`.
@@ -219,6 +251,12 @@ pub struct SpanStat {
     pub count: u64,
     /// Total wall time across all closings, in nanoseconds.
     pub total_ns: u64,
+    /// Global counter delta summed over all closings. *Inclusive*: a parent
+    /// span's delta contains its children's, and concurrent activity on
+    /// other threads (pool workers executing this span's region, but also
+    /// any unrelated open span) is attributed to every span open at the
+    /// time. The feed for [`derive`]'s per-span roofline placement.
+    pub counters: Snapshot,
 }
 
 // ---------------------------------------------------------------------
@@ -251,7 +289,9 @@ mod imp {
     /// late [`super::snapshot`] still sees a finished worker's events.
     static REGISTRY: Mutex<Vec<Arc<ThreadCounters>>> = Mutex::new(Vec::new());
 
-    static SPANS: Mutex<BTreeMap<String, (u64, u64)>> = Mutex::new(BTreeMap::new());
+    /// Per-path aggregates: (close count, total ns, counter delta sum).
+    type SpanEntry = (u64, u64, super::Snapshot);
+    static SPANS: Mutex<BTreeMap<String, SpanEntry>> = Mutex::new(BTreeMap::new());
 
     thread_local! {
         static LOCAL: Arc<ThreadCounters> = {
@@ -265,6 +305,13 @@ mod imp {
 
     pub const fn enabled() -> bool {
         true
+    }
+
+    /// Force this thread's counter block into the registry *now*. Pool
+    /// workers call this at spawn so a snapshot/reset taken before their
+    /// first counted event still covers them deterministically.
+    pub fn register_thread() {
+        LOCAL.with(|_| {});
     }
 
     #[inline]
@@ -306,6 +353,9 @@ mod imp {
     /// RAII span guard; see [`super::region`].
     pub struct Region {
         start: Instant,
+        /// Global counter snapshot at open; the close accumulates the delta
+        /// into the span's entry.
+        open_snap: super::Snapshot,
         /// Path length to truncate back to on close.
         parent_len: usize,
         /// Regions time their own thread: keep the guard on it.
@@ -322,8 +372,10 @@ mod imp {
             p.push_str(name);
             parent_len
         });
+        crate::timeline::span_begin(name);
         Region {
             start: Instant::now(),
+            open_snap: super::snapshot(),
             parent_len,
             _not_send: std::marker::PhantomData,
         }
@@ -332,13 +384,25 @@ mod imp {
     impl Drop for Region {
         fn drop(&mut self) {
             let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let delta = super::snapshot().since(&self.open_snap);
             SPAN_PATH.with(|p| {
                 let mut p = p.borrow_mut();
                 let entry_path = p.clone();
-                let mut spans = SPANS.lock();
-                let e = spans.entry(entry_path).or_insert((0, 0));
-                e.0 += 1;
-                e.1 = e.1.saturating_add(ns);
+                {
+                    let mut spans = SPANS.lock();
+                    let e = spans
+                        .entry(entry_path)
+                        .or_insert((0, 0, super::Snapshot::zero()));
+                    e.0 += 1;
+                    e.1 = e.1.saturating_add(ns);
+                    e.2.accumulate(&delta);
+                }
+                let name = &p[if self.parent_len == 0 {
+                    0
+                } else {
+                    self.parent_len + 1
+                }..];
+                crate::timeline::span_end(name);
                 p.truncate(self.parent_len);
             });
         }
@@ -348,10 +412,11 @@ mod imp {
         SPANS
             .lock()
             .iter()
-            .map(|(path, &(count, total_ns))| SpanStat {
+            .map(|(path, (count, total_ns, counters))| SpanStat {
                 path: path.clone(),
-                count,
-                total_ns,
+                count: *count,
+                total_ns: *total_ns,
+                counters: counters.clone(),
             })
             .collect()
     }
@@ -368,6 +433,9 @@ mod imp {
     pub const fn enabled() -> bool {
         false
     }
+
+    #[inline(always)]
+    pub fn register_thread() {}
 
     #[inline(always)]
     pub fn add(_c: Counter, _n: u64) {}
@@ -404,6 +472,15 @@ pub use imp::Region;
 /// Whether the `obs` feature is compiled in. `const`, so guards fold away.
 pub const fn enabled() -> bool {
     imp::enabled()
+}
+
+/// Eagerly create and register this thread's counter block. Threads that
+/// only ever *read* counters need not call this; long-lived worker threads
+/// (the pool) call it at spawn so [`snapshot`]/[`reset`] cover them before
+/// their first counted event.
+#[inline(always)]
+pub fn register_thread() {
+    imp::register_thread();
 }
 
 /// Add `n` events to counter `c` on this thread (relaxed, lock-free).
@@ -577,11 +654,20 @@ impl BenchReport {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(
                 o,
-                "{sep}\n    {{ \"path\": {}, \"count\": {}, \"total_ns\": {} }}",
+                "{sep}\n    {{ \"path\": {}, \"count\": {}, \"total_ns\": {}",
                 json_str(&s.path),
                 s.count,
                 s.total_ns
             );
+            if !s.counters.is_zero() {
+                o.push_str(", \"counters\": { ");
+                for (j, (k, v)) in s.counters.nonzero().iter().enumerate() {
+                    let sep = if j == 0 { "" } else { ", " };
+                    let _ = write!(o, "{sep}{}: {v}", json_str(k));
+                }
+                o.push_str(" }");
+            }
+            o.push_str(" }");
         }
         o.push_str(if self.spans.is_empty() {
             "]\n"
@@ -889,8 +975,47 @@ pub fn validate_bench_json(s: &str) -> Result<(), String> {
                 _ => return Err(format!("`spans[{i}].{key}` must be a non-negative integer")),
             }
         }
+        // Optional per-span counter deltas (added with the derive engine;
+        // older baselines without them stay valid).
+        match m.get("counters") {
+            None => {}
+            Some(Json::Obj(cm)) => {
+                for (k, v) in cm {
+                    match v {
+                        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => {}
+                        _ => {
+                            return Err(format!(
+                                "`spans[{i}].counters.{k}` must be a non-negative integer"
+                            ))
+                        }
+                    }
+                }
+            }
+            Some(other) => {
+                return Err(format!(
+                    "`spans[{i}].counters` must be an object, got {other:?}"
+                ))
+            }
+        }
     }
     Ok(())
+}
+
+/// Rebuild a [`Snapshot`] from a parsed JSON counters object (the
+/// `counters` map of a report or of one span). Unknown counter names are
+/// ignored so old tooling keeps reading newer reports.
+pub fn snapshot_from_json(counters: &Json) -> Snapshot {
+    let mut s = Snapshot::zero();
+    if let Json::Obj(m) = counters {
+        for (k, v) in m {
+            if let (Some(c), Json::Num(n)) = (Counter::from_name(k), v) {
+                if *n >= 0.0 {
+                    s.set(c, *n as u64);
+                }
+            }
+        }
+    }
+    s
 }
 
 #[cfg(test)]

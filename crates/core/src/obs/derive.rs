@@ -1,0 +1,530 @@
+//! Derived-metrics engine: turn raw counter [`Snapshot`]s into the
+//! quantities the paper argues with — model FLOP/s, model bytes/s,
+//! arithmetic intensity, SVE lane utilization, FEXPA issue rate, per-port
+//! pressure shares — and place each span on the machine's roofline with a
+//! top-bottleneck attribution.
+//!
+//! Everything here is *model-derived*: the counters are emulator event
+//! counts (see [`super::Counter`]), not PMU reads, so the derived numbers
+//! are exactly reproducible across runs and across execution strategies
+//! (interpreter vs trace replay — the counter-identity invariant makes the
+//! derived metrics bit-identical too, which `sve`'s tests pin).
+//!
+//! The roofline follows the classic formulation (Williams et al.), with
+//! machine parameters from [`ookami_uarch::Machine`]:
+//!
+//! ```text
+//! peak  = peak_gflops_per_core × threads
+//! bw    = bw_per_domain × min(threads × single_core_bw_fraction, domains_used)
+//! ridge = peak / bw                       (FLOP/byte)
+//! attainable(AI) = min(peak, AI × bw)
+//! ```
+//!
+//! Attribution is a fixed, documented score per candidate bottleneck
+//! (memory depth below the ridge, FEXPA share of the FLA pipe, FLA/FLB
+//! imbalance, inactive lanes, barrier wait share, indexed-access share);
+//! the top scorer wins, `Balanced` if nothing clears 0.25. Deterministic by
+//! construction — ties break in declaration order.
+
+use super::{Counter, Json, Snapshot, SpanStat};
+use ookami_uarch::Machine;
+
+/// Number of issue ports in the A64FX-style port model (FLA..BR).
+pub const N_PORTS: usize = 8;
+
+/// Display names for the port-pressure share vector, in counter order.
+pub const PORT_NAMES: [&str; N_PORTS] = ["FLA", "FLB", "PR", "EXA", "EXB", "EAGA", "EAGB", "BR"];
+
+/// The bottleneck classes the attributor can assign, in priority order
+/// (ties break toward the earlier variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// AI is left of the ridge and the span sits deep in the bandwidth
+    /// ceiling — the STREAM/SpMV story (paper §VII, Alappat et al.).
+    MemoryBandwidth,
+    /// FEXPA dominates the FLA pipe: exp-bound math kernels (paper §IV —
+    /// FEXPA issues on FLA only, halving the usable FP issue width).
+    FexpaThroughput,
+    /// FLA carries far more work than FLB (predicate-heavy or
+    /// FEXPA-adjacent code that can't use the second pipe).
+    FlaPortImbalance,
+    /// Vectors run mostly empty: low active-lane fraction (short loops,
+    /// heavy predication — paper §III).
+    LaneUtilization,
+    /// Threads burn their time at the pool barrier (load imbalance or
+    /// too-fine regions — paper §V scaling walls).
+    BarrierWait,
+    /// Indexed accesses (gather/scatter) dominate the memory traffic.
+    ScatterGather,
+    /// Nothing clears the attribution threshold.
+    Balanced,
+}
+
+impl Bottleneck {
+    pub fn name(self) -> &'static str {
+        match self {
+            Bottleneck::MemoryBandwidth => "memory-bandwidth",
+            Bottleneck::FexpaThroughput => "fexpa-throughput",
+            Bottleneck::FlaPortImbalance => "fla-port-imbalance",
+            Bottleneck::LaneUtilization => "lane-utilization",
+            Bottleneck::BarrierWait => "barrier-wait",
+            Bottleneck::ScatterGather => "scatter-gather",
+            Bottleneck::Balanced => "balanced",
+        }
+    }
+}
+
+/// Roofline placement of one measured span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Compute ceiling for the configured thread count, GFLOP/s.
+    pub peak_gflops: f64,
+    /// Bandwidth ceiling for the configured thread count, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Ridge-point arithmetic intensity, FLOP/byte.
+    pub ridge_ai: f64,
+    /// `min(peak, AI × bw)` at the span's measured AI, GFLOP/s.
+    pub attainable_gflops: f64,
+    /// Achieved model GFLOP/s as a fraction of attainable (0 when the span
+    /// did no model FLOPs).
+    pub achieved_frac: f64,
+    /// True when the span sits left of the ridge (AI < ridge).
+    pub memory_bound: bool,
+}
+
+/// All derived metrics for one counter snapshot over a wall-time window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derived {
+    /// Model GFLOP/s: `model_flops / seconds / 1e9`.
+    pub model_gflops: f64,
+    /// Model GB/s: `(bytes_loaded + bytes_stored) / seconds / 1e9`.
+    pub model_gbs: f64,
+    /// Arithmetic intensity, FLOP/byte (`f64::INFINITY` for compute-only
+    /// spans that touched no model bytes).
+    pub arithmetic_intensity: f64,
+    /// Mean active-lane fraction per SVE instruction (0 when no SVE
+    /// instructions retired). Lanes are counted against the execution
+    /// vector length, so this is exactly the paper's §III utilization axis.
+    pub lane_utilization: f64,
+    /// FEXPA instructions per second.
+    pub fexpa_per_s: f64,
+    /// FEXPA share of FLA-port issues (the §IV one-pipe pressure).
+    pub fexpa_share_fla: f64,
+    /// Per-port share of total port events, counter order (see
+    /// [`PORT_NAMES`]); all zero when no port events were recorded.
+    pub port_share: [f64; N_PORTS],
+    /// Barrier wait as a fraction of `threads × wall` time.
+    pub barrier_share: f64,
+    /// Gather+scatter elements × 8 bytes as a fraction of model bytes.
+    pub indexed_share: f64,
+    /// Roofline placement at this span's AI.
+    pub roofline: Roofline,
+    /// Winning bottleneck attribution.
+    pub bottleneck: Bottleneck,
+    /// The winner's score (0 for [`Bottleneck::Balanced`]).
+    pub bottleneck_score: f64,
+    /// Wall seconds the metrics were normalized over.
+    pub wall_seconds: f64,
+}
+
+/// Score below which no bottleneck is attributed.
+const ATTRIBUTION_THRESHOLD: f64 = 0.25;
+
+/// Roofline ceilings for `threads` cores of `m`. Bandwidth scales with
+/// thread count until the occupied domains saturate: one core draws
+/// `single_core_bw_fraction` of its domain, and `ceil(threads /
+/// cores_per_domain)` domains (clamped to the machine) cap the total.
+pub fn roofline_ceilings(m: &Machine, threads: usize) -> (f64, f64) {
+    let threads = threads.max(1);
+    let peak = m.peak_gflops_per_core() * threads as f64;
+    let domains_used = threads
+        .div_ceil(m.numa.cores_per_domain.max(1))
+        .min(m.numa.domains.max(1));
+    let draw = (threads as f64 * m.numa.single_core_bw_fraction).min(domains_used as f64);
+    let bw = m.numa.bw_per_domain_gbs * draw;
+    (peak, bw)
+}
+
+/// Derive all metrics from a counter snapshot over `wall_seconds` of wall
+/// time, against machine `m` running `threads` threads.
+pub fn derive(snap: &Snapshot, wall_seconds: f64, m: &Machine, threads: usize) -> Derived {
+    let secs = if wall_seconds > 0.0 {
+        wall_seconds
+    } else {
+        f64::MIN_POSITIVE
+    };
+    let threads = threads.max(1);
+
+    let flops = snap.get(Counter::FlopsModel) as f64;
+    let bytes = (snap.get(Counter::BytesLoaded) + snap.get(Counter::BytesStored)) as f64;
+    let model_gflops = flops / secs / 1e9;
+    let model_gbs = bytes / secs / 1e9;
+    let arithmetic_intensity = if bytes > 0.0 {
+        flops / bytes
+    } else if flops > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+
+    let sve_instrs = snap.get(Counter::SveInstrs) as f64;
+    let lanes = snap.get(Counter::SveLanesActive) as f64;
+    let max_lanes = m.vector_width.lanes_f64() as f64;
+    let lane_utilization = if sve_instrs > 0.0 {
+        (lanes / (sve_instrs * max_lanes)).min(1.0)
+    } else {
+        0.0
+    };
+
+    let fexpa = snap.get(Counter::FexpaIssues) as f64;
+    let fla = snap.get(Counter::PortFla) as f64;
+    let flb = snap.get(Counter::PortFlb) as f64;
+    let fexpa_per_s = fexpa / secs;
+    let fexpa_share_fla = if fla > 0.0 {
+        (fexpa / fla).min(1.0)
+    } else {
+        0.0
+    };
+
+    let mut port_share = [0.0; N_PORTS];
+    let mut port_total = 0.0;
+    for (i, share) in port_share.iter_mut().enumerate() {
+        let v = snap.get(Counter::port(i as u8)) as f64;
+        *share = v;
+        port_total += v;
+    }
+    if port_total > 0.0 {
+        for share in &mut port_share {
+            *share /= port_total;
+        }
+    }
+
+    let barrier_ns = snap.get(Counter::BarrierWaitNs) as f64;
+    let barrier_share = (barrier_ns / 1e9 / (secs * threads as f64)).min(1.0);
+
+    let indexed_bytes =
+        (snap.get(Counter::GatherElems) + snap.get(Counter::ScatterElems)) as f64 * 8.0;
+    let indexed_share = if bytes > 0.0 {
+        (indexed_bytes / bytes).min(1.0)
+    } else {
+        0.0
+    };
+
+    let (peak, bw) = roofline_ceilings(m, threads);
+    let ridge = if bw > 0.0 { peak / bw } else { f64::INFINITY };
+    let memory_bound = arithmetic_intensity < ridge;
+    let attainable = if arithmetic_intensity.is_infinite() {
+        peak
+    } else {
+        (arithmetic_intensity * bw).min(peak)
+    };
+    let achieved_frac = if attainable > 0.0 {
+        (model_gflops / attainable).min(1.0)
+    } else {
+        0.0
+    };
+    let roofline = Roofline {
+        peak_gflops: peak,
+        mem_bw_gbs: bw,
+        ridge_ai: ridge,
+        attainable_gflops: attainable,
+        achieved_frac,
+        memory_bound,
+    };
+
+    // --- attribution: fixed scores, winner takes the label ---
+    let ai_depth = if memory_bound && ridge.is_finite() && ridge > 0.0 && bytes > 0.0 {
+        1.0 - (arithmetic_intensity / ridge).min(1.0)
+    } else {
+        0.0
+    };
+    let fla_imbalance = if fla + flb > 0.0 && fla > flb {
+        (fla - flb) / (fla + flb)
+    } else {
+        0.0
+    };
+    let lane_waste = if sve_instrs > 0.0 {
+        1.0 - lane_utilization
+    } else {
+        0.0
+    };
+
+    let scores = [
+        (Bottleneck::MemoryBandwidth, ai_depth),
+        (Bottleneck::FexpaThroughput, fexpa_share_fla),
+        (Bottleneck::FlaPortImbalance, fla_imbalance),
+        (Bottleneck::LaneUtilization, lane_waste),
+        (Bottleneck::BarrierWait, barrier_share),
+        (Bottleneck::ScatterGather, indexed_share),
+    ];
+    let (mut bottleneck, mut bottleneck_score) = (Bottleneck::Balanced, 0.0);
+    for (b, s) in scores {
+        if s >= ATTRIBUTION_THRESHOLD && s > bottleneck_score {
+            bottleneck = b;
+            bottleneck_score = s;
+        }
+    }
+
+    Derived {
+        model_gflops,
+        model_gbs,
+        arithmetic_intensity,
+        lane_utilization,
+        fexpa_per_s,
+        fexpa_share_fla,
+        port_share,
+        barrier_share,
+        indexed_share,
+        roofline,
+        bottleneck,
+        bottleneck_score,
+        wall_seconds: secs,
+    }
+}
+
+/// Derive metrics for one recorded span (wall time = its `total_ns`).
+pub fn derive_span(span: &SpanStat, m: &Machine, threads: usize) -> Derived {
+    derive(&span.counters, span.total_ns as f64 / 1e9, m, threads)
+}
+
+/// Parse a validated `ookami-bench-v1` document and derive one row per
+/// span carrying counters, plus a `"(total)"` row from the root counters
+/// normalized over the summed top-level span time. Returns
+/// `(path, Derived)` rows in document order.
+pub fn derive_bench_doc(
+    doc: &Json,
+    m: &Machine,
+    threads: usize,
+) -> Result<Vec<(String, Derived)>, String> {
+    let spans = match doc.get("spans") {
+        Some(Json::Arr(a)) => a.as_slice(),
+        _ => &[],
+    };
+    let mut rows = Vec::new();
+    let mut top_level_ns = 0u64;
+    for s in spans {
+        let path = match s.get("path") {
+            Some(Json::Str(p)) => p.clone(),
+            _ => return Err("span missing string `path`".to_string()),
+        };
+        let total_ns = match s.get("total_ns") {
+            Some(Json::Num(n)) if *n >= 0.0 => *n as u64,
+            _ => return Err(format!("span `{path}` missing numeric `total_ns`")),
+        };
+        if !path.contains('/') {
+            top_level_ns += total_ns;
+        }
+        let counters = match s.get("counters") {
+            Some(c) => super::snapshot_from_json(c),
+            None => Snapshot::zero(),
+        };
+        if counters.is_zero() {
+            continue; // spans without counters have nothing to derive
+        }
+        rows.push((path, derive(&counters, total_ns as f64 / 1e9, m, threads)));
+    }
+    if let Some(root) = doc.get("counters") {
+        let snap = super::snapshot_from_json(root);
+        if !snap.is_zero() && top_level_ns > 0 {
+            rows.push((
+                "(total)".to_string(),
+                derive(&snap, top_level_ns as f64 / 1e9, m, threads),
+            ));
+        }
+    }
+    Ok(rows)
+}
+
+fn fmt_ai(ai: f64) -> String {
+    if ai.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{ai:.3}")
+    }
+}
+
+/// Render derived rows as the fixed-width roofline/bottleneck table
+/// `report --derive` prints.
+pub fn render_table(rows: &[(String, Derived)], m: &Machine, threads: usize) -> String {
+    use std::fmt::Write as _;
+    let (peak, bw) = roofline_ceilings(m, threads);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "roofline: machine {} · {} thread(s) · peak {:.1} GF/s · bw {:.1} GB/s · ridge {:.3} F/B",
+        m.name,
+        threads,
+        peak,
+        bw,
+        if bw > 0.0 { peak / bw } else { f64::INFINITY }
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>10} {:>8} {:>7} {:>12} {:>6} {:>8}  bottleneck",
+        "span", "GF/s", "GB/s", "AI", "lanes", "fexpa/s", "bound", "of-roof"
+    );
+    for (path, d) in rows {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10.4} {:>10.4} {:>8} {:>6.1}% {:>12.3e} {:>6} {:>7.1}%  {}",
+            path,
+            d.model_gflops,
+            d.model_gbs,
+            fmt_ai(d.arithmetic_intensity),
+            d.lane_utilization * 100.0,
+            d.fexpa_per_s,
+            if d.roofline.memory_bound {
+                "mem"
+            } else {
+                "comp"
+            },
+            d.roofline.achieved_frac * 100.0,
+            d.bottleneck.name(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ookami_uarch::machines;
+
+    fn snap_with(pairs: &[(Counter, u64)]) -> Snapshot {
+        let mut s = Snapshot::zero();
+        for &(c, v) in pairs {
+            s.set(c, v);
+        }
+        s
+    }
+
+    #[test]
+    fn roofline_ceilings_match_paper_arithmetic() {
+        let m = machines::a64fx();
+        let (peak1, bw1) = roofline_ceilings(m, 1);
+        assert!((peak1 - 57.6).abs() < 1e-9, "A64FX §II peak: {peak1}");
+        // One core draws single_core_bw_fraction of its CMG.
+        let expect_bw1 = m.numa.bw_per_domain_gbs * m.numa.single_core_bw_fraction;
+        assert!((bw1 - expect_bw1).abs() < 1e-9);
+        // A full CMG saturates its HBM stack.
+        let (_, bw12) = roofline_ceilings(m, m.numa.cores_per_domain);
+        assert!(bw12 <= m.numa.bw_per_domain_gbs + 1e-9);
+        // Peak scales linearly with threads.
+        let (peak4, _) = roofline_ceilings(m, 4);
+        assert!((peak4 - 4.0 * peak1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_like_span_is_memory_bound() {
+        let m = machines::a64fx();
+        // Triad: 2 flops per 24 bytes → AI ≈ 0.083, far left of any ridge.
+        let s = snap_with(&[
+            (Counter::FlopsModel, 2_000_000),
+            (Counter::BytesLoaded, 16_000_000),
+            (Counter::BytesStored, 8_000_000),
+            (Counter::SveInstrs, 1_000),
+            (Counter::SveLanesActive, 8_000),
+        ]);
+        let d = derive(&s, 0.01, m, 1);
+        assert!(d.roofline.memory_bound);
+        assert_eq!(d.bottleneck, Bottleneck::MemoryBandwidth);
+        assert!((d.arithmetic_intensity - 2.0 / 24.0).abs() < 1e-12);
+        assert!((d.lane_utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fexpa_heavy_span_attributes_to_fexpa() {
+        let m = machines::a64fx();
+        // §IV exp: every FLA issue is FEXPA-adjacent, high AI.
+        let s = snap_with(&[
+            (Counter::FlopsModel, 80_000_000),
+            (Counter::BytesLoaded, 800_000),
+            (Counter::PortFla, 1_000_000),
+            (Counter::PortFlb, 900_000),
+            (Counter::FexpaIssues, 600_000),
+            (Counter::SveInstrs, 2_000_000),
+            (Counter::SveLanesActive, 16_000_000),
+        ]);
+        let d = derive(&s, 0.01, m, 1);
+        assert!(!d.roofline.memory_bound, "AI = {}", d.arithmetic_intensity);
+        assert_eq!(d.bottleneck, Bottleneck::FexpaThroughput);
+        assert!((d.fexpa_share_fla - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_heavy_span_attributes_to_barrier() {
+        let m = machines::a64fx();
+        // 4 threads, 10 ms wall, 30 ms cumulative barrier wait = 75%.
+        let s = snap_with(&[
+            (Counter::FlopsModel, 8_000_000),
+            (Counter::BytesLoaded, 8_000),
+            (Counter::BarrierWaitNs, 30_000_000),
+        ]);
+        let d = derive(&s, 0.01, m, 4);
+        assert_eq!(d.bottleneck, Bottleneck::BarrierWait);
+        assert!((d.barrier_share - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_balanced() {
+        let m = machines::a64fx();
+        let d = derive(&Snapshot::zero(), 1.0, m, 1);
+        assert_eq!(d.bottleneck, Bottleneck::Balanced);
+        assert_eq!(d.model_gflops, 0.0);
+        assert_eq!(d.arithmetic_intensity, 0.0);
+        assert_eq!(d.lane_utilization, 0.0);
+    }
+
+    #[test]
+    fn derive_is_deterministic_bitwise() {
+        let m = machines::a64fx();
+        let s = snap_with(&[
+            (Counter::FlopsModel, 123_456_789),
+            (Counter::BytesLoaded, 98_765_432),
+            (Counter::BytesStored, 12_345),
+            (Counter::SveInstrs, 55_555),
+            (Counter::SveLanesActive, 333_333),
+            (Counter::PortFla, 44_444),
+            (Counter::PortFlb, 22_222),
+            (Counter::FexpaIssues, 11_111),
+        ]);
+        let a = derive(&s, 0.0375, m, 4);
+        let b = derive(&s, 0.0375, m, 4);
+        assert_eq!(a.model_gflops.to_bits(), b.model_gflops.to_bits());
+        assert_eq!(a.model_gbs.to_bits(), b.model_gbs.to_bits());
+        assert_eq!(
+            a.arithmetic_intensity.to_bits(),
+            b.arithmetic_intensity.to_bits()
+        );
+        assert_eq!(a.lane_utilization.to_bits(), b.lane_utilization.to_bits());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bench_doc_rows_cover_spans_and_total() {
+        let m = machines::a64fx();
+        let doc = Json::parse(
+            r#"{
+              "schema": "ookami-bench-v1",
+              "counters": {"model_flops": 1000, "bytes_loaded": 100},
+              "spans": [
+                {"path": "loops", "count": 1, "total_ns": 1000000,
+                 "counters": {"model_flops": 600, "bytes_loaded": 60}},
+                {"path": "loops/inner", "count": 2, "total_ns": 400000,
+                 "counters": {"model_flops": 400, "bytes_loaded": 40}},
+                {"path": "bare", "count": 1, "total_ns": 250000}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let rows = derive_bench_doc(&doc, m, 1).unwrap();
+        let paths: Vec<&str> = rows.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, ["loops", "loops/inner", "(total)"]);
+        // (total) normalizes over top-level span time only (1.25 ms).
+        let total = &rows[2].1;
+        assert!((total.wall_seconds - 0.00125).abs() < 1e-12);
+        let table = render_table(&rows, m, 1);
+        assert!(table.contains("loops/inner"));
+        assert!(table.contains("bottleneck"));
+    }
+}

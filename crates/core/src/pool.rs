@@ -105,10 +105,9 @@ impl SenseBarrier {
             }
         }
         if let Some(t) = start {
-            obs::add(
-                Counter::BarrierWaitNs,
-                t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-            );
+            let ns = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            obs::add(Counter::BarrierWaitNs, ns);
+            crate::timeline::barrier_wait(ns);
         }
     }
 }
@@ -137,6 +136,11 @@ struct Shared {
     barrier: SenseBarrier,
     /// First panic payload observed in the active region.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Workers that have registered their obs thread-local slab. `Pool::new`
+    /// waits for all of them so an `obs::snapshot()`/`obs::reset()` taken
+    /// right after construction deterministically covers every (still
+    /// parked) worker.
+    ready: AtomicUsize,
 }
 
 thread_local! {
@@ -182,8 +186,9 @@ impl Pool {
             cursor: AtomicUsize::new(0),
             barrier: SenseBarrier::new(workers + 1),
             panic: Mutex::new(None),
+            ready: AtomicUsize::new(0),
         });
-        let handles = (0..workers)
+        let handles: Vec<_> = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -192,6 +197,12 @@ impl Pool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
+        // Block until every worker has registered with the obs registry, so
+        // counter snapshots never race worker startup (satellite invariant:
+        // a snapshot taken before a worker's first region still covers it).
+        while shared.ready.load(Ordering::Acquire) < workers {
+            std::thread::yield_now();
+        }
         Pool {
             shared,
             handles,
@@ -256,6 +267,7 @@ impl Pool {
         let _region = self.region.lock();
         obs::add(Counter::RegionsForked, 1);
         obs::add(Counter::RegionParts, parts as u64);
+        crate::timeline::fork(parts);
 
         // SAFETY: the pointee outlives the region — run_dyn does not
         // return until every participant has passed the barrier, and
@@ -284,6 +296,7 @@ impl Pool {
         IN_PARALLEL.set(was);
 
         self.shared.barrier.wait();
+        crate::timeline::join(parts);
         // Region complete; clear the task slot for the next region (and
         // for the debug_assert above).
         self.shared.state.lock().task = None;
@@ -311,6 +324,10 @@ fn execute_parts(shared: &Shared, parts: usize, f: &(dyn Fn(usize) + Sync)) {
 }
 
 fn worker_main(shared: Arc<Shared>) {
+    // Eagerly create this worker's obs thread-local slab so global
+    // snapshots taken while the worker is parked already include it.
+    obs::register_thread();
+    shared.ready.fetch_add(1, Ordering::Release);
     IN_PARALLEL.set(true);
     let mut seen_epoch = 0u64;
     loop {
@@ -371,7 +388,7 @@ impl Pool {
         }
         let threads = resolve_threads(threads, n);
         if threads == 1 {
-            count_chunk(sched, 0, n);
+            let _chunk = count_chunk(sched, 0, n);
             f(0, 0, n);
             return;
         }
@@ -382,7 +399,7 @@ impl Pool {
                     let start = t * chunk;
                     let end = ((t + 1) * chunk).min(n);
                     if start < end {
-                        count_chunk(sched, start, end);
+                        let _chunk = count_chunk(sched, start, end);
                         f(t, start, end);
                     }
                 });
@@ -395,7 +412,7 @@ impl Pool {
                     if s >= n {
                         break;
                     }
-                    count_chunk(sched, s, (s + chunk).min(n));
+                    let _chunk = count_chunk(sched, s, (s + chunk).min(n));
                     f(slot, s, (s + chunk).min(n));
                 });
             }
@@ -411,7 +428,7 @@ impl Pool {
                         .compare_exchange_weak(cur, cur + c, Ordering::Relaxed, Ordering::Relaxed)
                         .is_ok()
                     {
-                        count_chunk(sched, cur, (cur + c).min(n));
+                        let _chunk = count_chunk(sched, cur, (cur + c).min(n));
                         f(slot, cur, (cur + c).min(n));
                     }
                 });
@@ -439,7 +456,8 @@ impl Pool {
         let threads = resolve_threads(threads, n);
         if threads == 1 {
             if n > 0 {
-                count_chunk(sched, 0, n);
+                let _chunk = count_chunk(sched, 0, n);
+                return f(0, n, init);
             }
             return f(0, n, init);
         }
@@ -459,7 +477,7 @@ impl Pool {
                     let start = t * chunk;
                     let end = ((t + 1) * chunk).min(n);
                     if start < end {
-                        count_chunk(sched, start, end);
+                        let _chunk = count_chunk(sched, start, end);
                         *slots[t].lock() = Some(f(start, end, take_seed(t)));
                     }
                 });
@@ -474,7 +492,7 @@ impl Pool {
                         if s >= n {
                             break;
                         }
-                        count_chunk(sched, s, (s + chunk).min(n));
+                        let _chunk = count_chunk(sched, s, (s + chunk).min(n));
                         let seed = acc.take().unwrap_or_else(|| take_seed(slot));
                         acc = Some(f(s, (s + chunk).min(n), seed));
                     }
@@ -502,7 +520,7 @@ impl Pool {
                             )
                             .is_ok()
                         {
-                            count_chunk(sched, cur, (cur + c).min(n));
+                            let _chunk = count_chunk(sched, cur, (cur + c).min(n));
                             let seed = acc.take().unwrap_or_else(|| take_seed(slot));
                             acc = Some(f(cur, (cur + c).min(n), seed));
                         }
@@ -525,17 +543,33 @@ fn slots_take<A>(seeds: &[Mutex<Option<A>>], slot: usize) -> A {
 }
 
 /// Count one executed chunk `[s, e)` against the schedule's chunk/iter
-/// counters. The iter counters therefore sum to exactly `n` for every
-/// completed loop — an invariant the schedule property tests assert.
+/// counters (the iter counters therefore sum to exactly `n` for every
+/// completed loop — an invariant the schedule property tests assert) and
+/// return a timeline guard: hold it across the chunk body so the trace
+/// records the chunk's duration as a complete event.
 #[inline]
-fn count_chunk(sched: Schedule, s: usize, e: usize) {
-    let (chunks, iters) = match sched {
-        Schedule::Static => (Counter::ChunksStatic, Counter::ItersStatic),
-        Schedule::Dynamic { .. } => (Counter::ChunksDynamic, Counter::ItersDynamic),
-        Schedule::Guided => (Counter::ChunksGuided, Counter::ItersGuided),
+#[must_use = "hold the guard across the chunk body so its duration is traced"]
+fn count_chunk(sched: Schedule, s: usize, e: usize) -> crate::timeline::ChunkGuard {
+    let (chunks, iters, name) = match sched {
+        Schedule::Static => (
+            Counter::ChunksStatic,
+            Counter::ItersStatic,
+            crate::timeline::NAME_STATIC,
+        ),
+        Schedule::Dynamic { .. } => (
+            Counter::ChunksDynamic,
+            Counter::ItersDynamic,
+            crate::timeline::NAME_DYNAMIC,
+        ),
+        Schedule::Guided => (
+            Counter::ChunksGuided,
+            Counter::ItersGuided,
+            crate::timeline::NAME_GUIDED,
+        ),
     };
     obs::add(chunks, 1);
     obs::add(iters, (e - s) as u64);
+    crate::timeline::chunk(name, s, e - s)
 }
 
 fn resolve_threads(threads: usize, n: usize) -> usize {

@@ -23,6 +23,7 @@ pub fn lu_factor(a: &mut [f64], n: usize, nb: usize) -> Vec<usize> {
 /// Threaded variant: the trailing-matrix DGEMM (where HPL spends nearly
 /// all its time at scale) fans out across `threads`.
 pub fn lu_factor_threads(a: &mut [f64], n: usize, nb: usize, threads: usize) -> Vec<usize> {
+    let _span = ookami_core::obs::region("hpcc_hpl");
     assert!(a.len() >= n * n && nb >= 1);
     let mut piv: Vec<usize> = (0..n).collect();
 

@@ -39,6 +39,7 @@ impl Stream {
 
     /// c = a  (2 words/iter of traffic).
     pub fn copy(&mut self, threads: usize) {
+        let _span = ookami_core::obs::region("hpcc_stream_copy");
         let a = &self.a;
         Self::split_write(&mut self.c, threads, |s, chunk| {
             chunk.copy_from_slice(&a[s..s + chunk.len()]);
@@ -47,6 +48,7 @@ impl Stream {
 
     /// b = α·c  (2 words/iter).
     pub fn scale(&mut self, alpha: f64, threads: usize) {
+        let _span = ookami_core::obs::region("hpcc_stream_scale");
         let c = &self.c;
         Self::split_write(&mut self.b, threads, |s, chunk| {
             for (i, v) in chunk.iter_mut().enumerate() {
@@ -57,6 +59,7 @@ impl Stream {
 
     /// c = a + b  (3 words/iter).
     pub fn add(&mut self, threads: usize) {
+        let _span = ookami_core::obs::region("hpcc_stream_add");
         let a = &self.a;
         let b = &self.b;
         Self::split_write(&mut self.c, threads, |s, chunk| {
@@ -68,6 +71,7 @@ impl Stream {
 
     /// a = b + α·c  (3 words/iter) — the headline STREAM kernel.
     pub fn triad(&mut self, alpha: f64, threads: usize) {
+        let _span = ookami_core::obs::region("hpcc_stream_triad");
         let b = &self.b;
         let c = &self.c;
         Self::split_write(&mut self.a, threads, |s, chunk| {

@@ -18,6 +18,7 @@ use ookami_uarch::Machine;
 
 /// `y[i] = 2x[i] + 3x[i]²` via predicated SVE (whilelt-governed VLA loop).
 pub fn run_simple_sve(suite: &mut LoopSuite, vl: usize) {
+    let _span = ookami_core::obs::region("loops_simple");
     let mut b = TraceBuilder::new(vl);
     let pg = b.loop_pred();
     let x = b.input_f64();
@@ -40,6 +41,7 @@ pub fn run_simple_sve(suite: &mut LoopSuite, vl: usize) {
 
 /// `if x[i] > 0 { y[i] = x[i] }` via compare-to-predicate + merging store.
 pub fn run_predicate_sve(suite: &mut LoopSuite, vl: usize) {
+    let _span = ookami_core::obs::region("loops_predicate");
     let mut b = TraceBuilder::new(vl);
     let pg = b.loop_pred();
     let x = b.input_f64();
@@ -74,6 +76,7 @@ pub fn run_predicate_sve(suite: &mut LoopSuite, vl: usize) {
 /// `y[i] = x[index[i]]` via hardware-style gather, with the µop count per
 /// vector taken from the real index pattern (the pairing analysis).
 pub fn run_gather_sve(suite: &mut LoopSuite, vl: usize, short: bool, machine: &Machine) {
+    let _span = ookami_core::obs::region("loops_gather");
     let n = suite.n;
     let idx_src: Vec<usize> = if short {
         suite.index_short.clone()
@@ -118,6 +121,7 @@ pub fn run_gather_sve(suite: &mut LoopSuite, vl: usize, short: bool, machine: &M
 
 /// `y[index[i]] = x[i]` via scatter.
 pub fn run_scatter_sve(suite: &mut LoopSuite, vl: usize, short: bool) {
+    let _span = ookami_core::obs::region("loops_scatter");
     let n = suite.n;
     let idx_src: Vec<usize> = if short {
         suite.index_short.clone()

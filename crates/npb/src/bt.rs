@@ -209,6 +209,7 @@ impl Bt {
 
     /// Run `iters` steps; returns the final update norm.
     pub fn run(&mut self, iters: usize, threads: usize) -> f64 {
+        let _span = ookami_core::obs::region("npb_bt");
         let mut last = f64::INFINITY;
         for _ in 0..iters {
             last = self.step(threads);

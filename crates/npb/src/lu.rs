@@ -219,6 +219,7 @@ impl Lu {
     }
 
     pub fn run(&mut self, iters: usize, threads: usize) -> f64 {
+        let _span = ookami_core::obs::region("npb_lu");
         let mut last = f64::INFINITY;
         for _ in 0..iters {
             last = self.step(threads);

@@ -172,6 +172,7 @@ impl Sp {
     }
 
     pub fn run(&mut self, iters: usize, threads: usize) -> f64 {
+        let _span = ookami_core::obs::region("npb_sp");
         let mut last = f64::INFINITY;
         for _ in 0..iters {
             last = self.step(threads);

@@ -319,6 +319,7 @@ impl Ua {
 
     /// Run `iters` steps, adapting the mesh every 5 steps.
     pub fn run(&mut self, iters: usize, threads: usize) {
+        let _span = ookami_core::obs::region("npb_ua");
         for it in 0..iters {
             if it % 5 == 0 {
                 self.adapt();

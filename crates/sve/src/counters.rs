@@ -23,8 +23,60 @@
 //! execution-order-independent — unlike a simulated port assignment — so
 //! it can be asserted bit-equal across execution strategies.
 
-use ookami_core::obs::{self, Counter};
+use ookami_core::{obs, obs::Counter, timeline};
 use ookami_uarch::{CostTable, OpClass, Width};
+
+/// Retired-instruction interval between periodic timeline counter samples.
+/// Large enough that sampling is invisible next to the emulation itself,
+/// small enough that a bench slice produces a usable counter track.
+const SAMPLE_PERIOD: u64 = 16_384;
+
+#[cfg(feature = "obs")]
+thread_local! {
+    /// Instructions retired on this thread since the last timeline sample.
+    static SINCE_SAMPLE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Every `SAMPLE_PERIOD` retired instructions, drop a sample of this
+/// thread's cumulative hot counters into the timeline (Chrome `C` counter
+/// tracks). A pure observation: counter totals are unaffected.
+#[inline]
+fn maybe_sample(instrs: u64) {
+    #[cfg(feature = "obs")]
+    {
+        if !timeline::recording() {
+            return;
+        }
+        let due = SINCE_SAMPLE.with(|s| {
+            let v = s.get() + instrs;
+            if v >= SAMPLE_PERIOD {
+                s.set(0);
+                true
+            } else {
+                s.set(v);
+                false
+            }
+        });
+        if due {
+            let snap = obs::thread_snapshot();
+            for c in [
+                Counter::SveInstrs,
+                Counter::SveLanesActive,
+                Counter::FlopsModel,
+                Counter::BytesLoaded,
+                Counter::FexpaIssues,
+            ] {
+                timeline::counter_sample(c, snap.get(c));
+            }
+        }
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = instrs;
+        let _ = SAMPLE_PERIOD;
+        let _ = timeline::recording; // keep the import meaningful without obs
+    }
+}
 
 /// Count `instrs` retired instructions of `class` touching `lanes` active
 /// lanes in total, each cracking into `uops` micro-ops (1 for everything
@@ -36,10 +88,17 @@ pub(crate) fn bump(class: OpClass, instrs: u64, lanes: u64, uops: u64) {
     }
     obs::add(Counter::SveInstrs, instrs);
     obs::add(Counter::SveLanesActive, lanes);
+    // Model FLOPs: active lanes × the class's per-lane FLOP weight — the
+    // numerator of every roofline placement in `obs::derive`.
+    let flops = lanes * class.flops_per_lane() as u64;
+    if flops > 0 {
+        obs::add(Counter::FlopsModel, flops);
+    }
     let cost = ookami_uarch::machines::A64fxTable.cost(class, Width::V512);
     for p in cost.ports.iter() {
         obs::add(Counter::port(p), instrs * uops);
     }
+    maybe_sample(instrs);
 }
 
 /// Active lanes of an interpreter predicate mask.

@@ -16,13 +16,24 @@
 pub const DEFAULT_NAN: u64 = 0x7FF8_0000_0000_0000;
 
 /// Canonicalize an arithmetic result under default-NaN mode.
+///
+/// The NaN test and the select both happen on the *bit pattern*, not the
+/// float value. A value-level `if x.is_nan() { DEFAULT } else { x }` is a
+/// select between two NaNs whenever the branch is taken, and LLVM's float
+/// semantics treat NaN payloads as interchangeable — at `opt-level ≥ 2` it
+/// folds the select away and the platform NaN (x86's negative "indefinite"
+/// `0xFFF8…` from `sqrtsd`, `divsd 0/0`, …) leaks through to `to_bits()`.
+/// Integer compares and selects have exact semantics, so the bit-level
+/// form survives every optimization level and target-cpu setting.
 #[inline(always)]
 pub fn dn(x: f64) -> f64 {
-    if x.is_nan() {
-        f64::from_bits(DEFAULT_NAN)
+    let b = x.to_bits();
+    // NaN ⇔ sign-stripped bits above +inf's: all-ones exponent, mantissa ≠ 0.
+    f64::from_bits(if b << 1 > 0xFFE0_0000_0000_0000 {
+        DEFAULT_NAN
     } else {
-        x
-    }
+        b
+    })
 }
 
 /// `FMAX` (`maxNum` flavor): one NaN yields the other operand, two NaNs

@@ -198,12 +198,14 @@ pub fn exp_trace(vl: usize, variant: ExpVariant) -> ookami_sve::Trace {
 
 /// exp over a slice through the chosen variant — record-once/replay-many.
 pub fn exp_slice(vl: usize, xs: &[f64], variant: ExpVariant) -> Vec<f64> {
+    let _span = ookami_core::obs::region("vecmath_exp_replay");
     exp_trace(vl, variant).map(xs)
 }
 
 /// Per-op interpreter version of [`exp_slice`]: the measured baseline the
 /// `svereplay` probe and differential tests compare against.
 pub fn exp_slice_interp(vl: usize, xs: &[f64], variant: ExpVariant) -> Vec<f64> {
+    let _span = ookami_core::obs::region("vecmath_exp_interp");
     crate::map_f64(vl, xs, |ctx, pg, x| exp_kernel(ctx, pg, x, variant))
 }
 

@@ -90,6 +90,10 @@ pub fn map_f64(
         let mut lanes = vec![0.0; vl];
         let n = vl.min(xs.len() - i);
         lanes[..n].copy_from_slice(&xs[i..i + n]);
+        // Staged input load: count the same bytes `Replayer::bind_f64`
+        // counts for this block, so byte-derived metrics (GB/s, AI) are
+        // bit-identical across the two executors.
+        ookami_core::obs::add(ookami_core::obs::Counter::BytesLoaded, 8 * n as u64);
         let x = ctx.input_f64(&lanes);
         let y = f(&mut ctx, &pg, &x);
         for l in 0..vl.min(xs.len() - i) {

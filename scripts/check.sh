@@ -20,14 +20,38 @@ cargo test -q
 echo "== test suite again with the obs counter layer compiled in"
 cargo test -q --features obs
 
+echo "== per-crate test suites, both obs modes (timeline/schedule proptests live here)"
+cargo test -q --workspace
+cargo test -q --workspace --features obs
+
 echo "== criterion benches compile"
 cargo bench --no-run
+
+# Snapshot the committed baselines BEFORE any probe smoke overwrites them:
+# benchdiff compares what the branch committed against what it produces.
+baseline_dir="$(mktemp -d)"
+trap 'rm -rf "$baseline_dir"' EXIT
+cp BENCH_*.json "$baseline_dir"/
 
 echo "== trace-replay identity smoke (svereplay --smoke)"
 cargo run -p ookami-bench --bin svereplay --release -- --smoke
 
-echo "== counter-layer smoke (ookamistat --smoke, obs on) + schema check"
-cargo run -p ookami-bench --features obs --bin ookamistat --release -- --smoke
+echo "== counter-layer smoke (ookamistat --smoke, obs on) + trace + schema check"
+cargo run -p ookami-bench --features obs --bin ookamistat --release -- --smoke --trace target/trace.json
 cargo run -p ookami-bench --bin report --release -- --validate BENCH_obs.json
+
+echo "== bench-trajectory gate (benchdiff vs committed baselines)"
+cargo run -p ookami-bench --features obs --bin benchdiff --release -- \
+  --baseline "$baseline_dir" --current . --out target/BENCHDIFF.json
+# Self-test: an injected synthetic regression must trip the gate (exit 1).
+if cargo run -p ookami-bench --features obs --bin benchdiff --release -- \
+  --baseline "$baseline_dir" --current . --out target/BENCHDIFF.inject.json \
+  --inject-regression >/dev/null 2>&1; then
+  echo "benchdiff failed to flag an injected regression" >&2
+  exit 1
+fi
+# Leave the working tree as committed: the probe smokes overwrote the
+# full-mode baselines with their small-problem numbers.
+cp "$baseline_dir"/BENCH_*.json .
 
 echo "== all checks passed"

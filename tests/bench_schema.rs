@@ -1,0 +1,70 @@
+//! Golden-file gate (observability PR satellite): every `BENCH_*.json`
+//! committed at the repo root must validate against the shared
+//! `ookami-bench-v1` schema. A probe whose output drifts off-schema breaks
+//! `benchdiff`, `report --validate`, and `report --derive` all at once —
+//! this test catches that at `cargo test` time instead of in CI's probe
+//! smoke.
+
+use ookami_core::obs::{validate_bench_json, Json};
+
+/// The committed baselines, discovered from the manifest directory so the
+/// test works from any cargo invocation cwd.
+fn committed_bench_files() -> Vec<std::path::PathBuf> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out: Vec<_> = std::fs::read_dir(root)
+        .expect("read repo root")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn every_committed_bench_file_validates() {
+    let files = committed_bench_files();
+    assert!(
+        files.len() >= 5,
+        "expected the five committed baselines, found {files:?}"
+    );
+    for path in &files {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        validate_bench_json(&text)
+            .unwrap_or_else(|e| panic!("{} violates ookami-bench-v1: {e}", path.display()));
+    }
+}
+
+#[test]
+fn committed_bench_files_reparse_with_counters_intact() {
+    for path in committed_bench_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc =
+            Json::parse(&text).unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        // Schema basics the tooling leans on beyond raw validation: the
+        // schema tag and probe name are non-empty strings.
+        for key in ["schema", "probe", "mode"] {
+            match doc.get(key) {
+                Some(Json::Str(s)) if !s.is_empty() => {}
+                other => panic!("{}: bad `{key}`: {other:?}", path.display()),
+            }
+        }
+        // If the file carries a counters object, every name must be one
+        // the current obs layer knows, or `benchdiff`'s exact-counter
+        // gate silently loses coverage.
+        if let Some(Json::Obj(counters)) = doc.get("counters") {
+            for name in counters.keys() {
+                assert!(
+                    ookami_core::obs::Counter::from_name(name).is_some(),
+                    "{}: unknown counter `{name}`",
+                    path.display()
+                );
+            }
+        }
+    }
+}
