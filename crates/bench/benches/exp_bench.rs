@@ -31,7 +31,7 @@ fn bench_exp(c: &mut Criterion) {
                 acc += x.exp();
             }
             acc
-        })
+        });
     });
     g.finish();
 }

@@ -48,7 +48,7 @@ fn scheduled_loops(c: &mut Criterion) {
                         acc = acc.wrapping_add(i as u64);
                     }
                     criterion::black_box(acc);
-                })
+                });
             });
         });
     }

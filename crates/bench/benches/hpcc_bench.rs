@@ -25,21 +25,21 @@ fn bench_hpcc(c: &mut Criterion) {
             || vec![0.0; n * n],
             |mut cc| dgemm_naive(n, n, n, 1.0, black_box(&a), black_box(&b), 0.0, &mut cc),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("blocked", |bch| {
         bch.iter_batched(
             || vec![0.0; n * n],
             |mut cc| dgemm_blocked(n, n, n, 1.0, black_box(&a), black_box(&b), 0.0, &mut cc),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("micro", |bch| {
         bch.iter_batched(
             || vec![0.0; n * n],
             |mut cc| dgemm_micro(n, n, n, 1.0, black_box(&a), black_box(&b), 0.0, &mut cc),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 
@@ -57,7 +57,7 @@ fn bench_hpcc(c: &mut Criterion) {
         (m, v)
     };
     g.bench_function("hpl_lu_solve_160", |bch| {
-        bch.iter(|| lu_factor_solve(black_box(&ha), black_box(&hb), hn, 32))
+        bch.iter(|| lu_factor_solve(black_box(&ha), black_box(&hb), hn, 32));
     });
 
     let fft = Fft::new(1 << 14);
@@ -65,16 +65,14 @@ fn bench_hpcc(c: &mut Criterion) {
         .map(|i| ((i as f64 * 0.01).sin(), (i as f64 * 0.007).cos()))
         .collect();
     g.bench_function("fft_16k", |bch| {
-        bch.iter(|| fft.forward(black_box(&signal)))
+        bch.iter(|| fft.forward(black_box(&signal)));
     });
     g.finish();
 
     // STREAM triad: the bandwidth claim behind §II and the scaling model.
     let mut g = c.benchmark_group("stream");
     g.sample_size(10);
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let n = 1 << 22; // 32 MiB/array: out of every modeled cache
     g.throughput(Throughput::Bytes((n * 8 * 3) as u64));
     let mut st = ookami_hpcc::stream::Stream::new(n);

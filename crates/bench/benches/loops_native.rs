@@ -15,61 +15,61 @@ fn bench_loops(c: &mut Criterion) {
     let make = || LoopSuite::for_l1(l1, 42);
 
     g.bench_function("simple", |b| {
-        b.iter_batched_ref(make, |s| black_box(s).run_simple(), BatchSize::SmallInput)
+        b.iter_batched_ref(make, |s| black_box(s).run_simple(), BatchSize::SmallInput);
     });
     g.bench_function("predicate", |b| {
         b.iter_batched_ref(
             make,
             |s| black_box(s).run_predicate(),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("gather", |b| {
         b.iter_batched_ref(
             make,
             |s| black_box(s).run_gather(false),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("short_gather", |b| {
         b.iter_batched_ref(
             make,
             |s| black_box(s).run_gather(true),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("scatter", |b| {
         b.iter_batched_ref(
             make,
             |s| black_box(s).run_scatter(false),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("short_scatter", |b| {
         b.iter_batched_ref(
             make,
             |s| black_box(s).run_scatter(true),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 
     let mut g = c.benchmark_group("fig2_math_loops");
     g.sample_size(20);
     g.bench_function("recip", |b| {
-        b.iter_batched_ref(make, |s| black_box(s).run_recip(), BatchSize::SmallInput)
+        b.iter_batched_ref(make, |s| black_box(s).run_recip(), BatchSize::SmallInput);
     });
     g.bench_function("sqrt", |b| {
-        b.iter_batched_ref(make, |s| black_box(s).run_sqrt(), BatchSize::SmallInput)
+        b.iter_batched_ref(make, |s| black_box(s).run_sqrt(), BatchSize::SmallInput);
     });
     g.bench_function("exp", |b| {
-        b.iter_batched_ref(make, |s| black_box(s).run_exp(), BatchSize::SmallInput)
+        b.iter_batched_ref(make, |s| black_box(s).run_exp(), BatchSize::SmallInput);
     });
     g.bench_function("sin", |b| {
-        b.iter_batched_ref(make, |s| black_box(s).run_sin(), BatchSize::SmallInput)
+        b.iter_batched_ref(make, |s| black_box(s).run_sin(), BatchSize::SmallInput);
     });
     g.bench_function("pow", |b| {
-        b.iter_batched_ref(make, |s| black_box(s).run_pow(), BatchSize::SmallInput)
+        b.iter_batched_ref(make, |s| black_box(s).run_pow(), BatchSize::SmallInput);
     });
     g.finish();
 }

@@ -9,10 +9,10 @@ fn bench_lulesh(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_lulesh");
     g.sample_size(10);
     g.bench_function("base_n10", |b| {
-        b.iter(|| run_variant(Variant::Base, black_box(10), 0.02, 60))
+        b.iter(|| run_variant(Variant::Base, black_box(10), 0.02, 60));
     });
     g.bench_function("vect_n10", |b| {
-        b.iter(|| run_variant(Variant::Vect, black_box(10), 0.02, 60))
+        b.iter(|| run_variant(Variant::Vect, black_box(10), 0.02, 60));
     });
     g.finish();
 }

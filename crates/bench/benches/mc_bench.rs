@@ -7,19 +7,17 @@ use std::hint::black_box;
 
 fn bench_mc(c: &mut Criterion) {
     let n = 200_000u64;
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
 
     let mut g = c.benchmark_group("mc_exponential_integral");
     g.sample_size(10);
     g.throughput(Throughput::Elements(n));
     g.bench_function("serial", |b| b.iter(|| sample_serial(black_box(n), 7)));
     g.bench_function("restructured_1t", |b| {
-        b.iter(|| sample_parallel(black_box(n), 7, 1, 8))
+        b.iter(|| sample_parallel(black_box(n), 7, 1, 8));
     });
     g.bench_function("restructured_mt", |b| {
-        b.iter(|| sample_parallel(black_box(n), 7, threads, 8))
+        b.iter(|| sample_parallel(black_box(n), 7, threads, 8));
     });
     g.finish();
 }

@@ -17,47 +17,45 @@ fn bench_npb(c: &mut Criterion) {
             || (vec![1.0; m.n], vec![0.0; m.n]),
             |(x, mut z)| cg::conj_grad(&m, &x, &mut z, 1),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("bt_step_12", |b| {
-        b.iter_batched_ref(|| Bt::with_grid(12), |s| s.step(1), BatchSize::SmallInput)
+        b.iter_batched_ref(|| Bt::with_grid(12), |s| s.step(1), BatchSize::SmallInput);
     });
     g.bench_function("sp_step_12", |b| {
-        b.iter_batched_ref(|| Sp::with_grid(12), |s| s.step(1), BatchSize::SmallInput)
+        b.iter_batched_ref(|| Sp::with_grid(12), |s| s.step(1), BatchSize::SmallInput);
     });
     g.bench_function("lu_step_12", |b| {
-        b.iter_batched_ref(|| Lu::with_grid(12), |s| s.step(1), BatchSize::SmallInput)
+        b.iter_batched_ref(|| Lu::with_grid(12), |s| s.step(1), BatchSize::SmallInput);
     });
     g.bench_function("ua_20steps", |b| {
         b.iter_batched_ref(
             || Ua::with_levels(5),
             |s| s.run(20, 1),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let mut g = c.benchmark_group("npb_all_threads");
     g.sample_size(10);
     g.bench_function("ep_m18_mt", |b| {
-        b.iter(|| ep::run_m(black_box(18), threads))
+        b.iter(|| ep::run_m(black_box(18), threads));
     });
     g.bench_function("bt_step_12_mt", |b| {
         b.iter_batched_ref(
             || Bt::with_grid(12),
             |s| s.step(threads),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("sp_step_12_mt", |b| {
         b.iter_batched_ref(
             || Sp::with_grid(12),
             |s| s.step(threads),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }

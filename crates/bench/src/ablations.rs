@@ -257,7 +257,7 @@ pub fn render_all(machine: &Machine) -> String {
     );
     for (w, sp) in pairing_window_sweep(machine) {
         t.row(&[
-            w.map(|b| format!("{b} B")).unwrap_or_else(|| "none".into()),
+            w.map_or_else(|| "none".into(), |b| format!("{b} B")),
             format!("{sp:.2}"),
         ]);
     }
@@ -301,7 +301,7 @@ mod tests {
         let sweep = rob_sweep(machines::a64fx());
         // cycles/element never increase as the ROB grows…
         for w in sweep.windows(2) {
-            assert!(w[1].1 <= w[0].1 + 1e-9, "{:?}", sweep);
+            assert!(w[1].1 <= w[0].1 + 1e-9, "{sweep:?}");
         }
         // …small ROBs are window-bound; an infinite ROB is not.
         assert_eq!(sweep.first().unwrap().2, "window");

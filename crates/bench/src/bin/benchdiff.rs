@@ -198,7 +198,7 @@ fn diff_file(name: &str, base: &Json, cur: &Json, tol: f64) -> FileVerdict {
     // 1. flag gates — correctness invariants hold in every mode.
     for gf in GATED_FLAGS {
         if bf.get(gf).map(String::as_str) == Some("true") {
-            let now = cf.get(gf).map(String::as_str).unwrap_or("<missing>");
+            let now = cf.get(gf).map_or("<missing>", String::as_str);
             if now != "true" {
                 v.regressions
                     .push(format!("flag `{gf}`: baseline true, current {now}"));
@@ -325,13 +325,13 @@ fn main() {
                 tol = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("error: --tol needs a number");
                     std::process::exit(2);
-                })
+                });
             }
             "--out" => {
                 out_path = it.next().cloned().unwrap_or_else(|| {
                     eprintln!("error: --out needs a path");
                     std::process::exit(2);
-                })
+                });
             }
             "--inject-regression" => inject = true,
             "--help" | "-h" => usage(0),
@@ -350,9 +350,14 @@ fn main() {
     // define what is gated; extra current files are ignored.
     let mut names: Vec<String> = match std::fs::read_dir(&baseline_dir) {
         Ok(rd) => rd
-            .filter_map(|e| e.ok())
+            .filter_map(std::result::Result::ok)
             .map(|e| e.file_name().to_string_lossy().into_owned())
-            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .filter(|n| {
+                n.starts_with("BENCH_")
+                    && std::path::Path::new(n)
+                        .extension()
+                        .is_some_and(|e| e.eq_ignore_ascii_case("json"))
+            })
             .collect(),
         Err(e) => {
             eprintln!("error: cannot read baseline dir {baseline_dir}: {e}");
@@ -452,5 +457,5 @@ fn main() {
     }
     println!("wrote {out_path}");
 
-    std::process::exit(if pass { 0 } else { 1 });
+    std::process::exit(i32::from(!pass));
 }

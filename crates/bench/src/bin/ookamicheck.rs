@@ -1,0 +1,306 @@
+//! `ookamicheck` — the repo's static-analysis gate: run the
+//! `ookami-check` verifier over the shipped traces of every workload
+//! family, replay the mutation corpus, and race-check the pool runtime.
+//! Run with:
+//!
+//! ```text
+//! cargo run -p ookami-bench --bin ookamicheck --release [-- --mutations]
+//! ```
+//!
+//! Exit is nonzero if any shipped trace reports a diagnostic, any corpus
+//! or trace mutant is mis-judged, or any pool race is found. Without
+//! `--features obs` the real-kernel race gate is skipped with a visible
+//! notice (timeline events only record with obs); the `--inject-race`
+//! self-test is feature-independent and *exits 1 when the injected race
+//! is flagged* — the caller inverts it, mirroring `benchdiff
+//! --inject-regression`.
+
+use ookami_bench::family;
+use ookami_check::{detect_races, injected_race_events, render_all, to_json, verify, Program};
+use ookami_core::obs::Json;
+use ookami_core::{timeline, Schedule};
+use ookami_loops::emulated as loops_em;
+use ookami_mc::emulated as mc_em;
+use ookami_sve::Trace;
+use ookami_vecmath::{exp_trace, ExpVariant};
+
+fn usage() -> ! {
+    println!(
+        "ookamicheck — static verifier + race detector gate\n\
+         \n\
+         usage: ookamicheck [--mutations] [--inject-race] [--json <path>] [--help]\n\
+         \n\
+         options:\n\
+           --mutations     also replay the golden corpus and trace-mutation\n\
+                           self-tests (every broken stream must be rejected\n\
+                           with its expected code)\n\
+           --inject-race   feed the detector a synthetic overlapping-write\n\
+                           stream; exits 1 when the race is flagged (the\n\
+                           caller inverts this, like benchdiff's\n\
+                           --inject-regression)\n\
+           --json <path>   machine-readable report (default\n\
+                           target/OOKAMICHECK.json)\n\
+           --help          this text"
+    );
+    std::process::exit(0)
+}
+
+/// Every shipped trace the verifier gates, one per workload-family
+/// kernel: Section III loops, Section IV exp, the Monte Carlo example,
+/// and the NPB/LULESH/HPCC model kernels.
+fn shipped_programs() -> Vec<Program> {
+    let vl = 8;
+    let mut out = Vec::new();
+    // -- loops (Section III) --
+    out.push(Program::from_trace(
+        "loops_simple",
+        &loops_em::simple_trace(vl),
+    ));
+    out.push(Program::from_trace(
+        "loops_predicate",
+        &loops_em::predicate_trace(vl).0,
+    ));
+    let tab: Vec<f64> = (0..128).map(|i| f64::from(i) * 0.5).collect();
+    out.push(Program::from_trace(
+        "loops_gather",
+        &loops_em::gather_trace(vl, &tab, 8),
+    ));
+    let mut scratch = vec![0.0f64; 128];
+    out.push(Program::from_trace(
+        "loops_scatter",
+        &loops_em::scatter_trace(vl, &mut scratch),
+    ));
+    // -- vecmath exp (Section IV), every variant --
+    for (name, v) in [
+        ("exp_fexpa_horner", ExpVariant::FexpaHorner),
+        ("exp_fexpa_estrin", ExpVariant::FexpaEstrin),
+        ("exp_fexpa_corrected", ExpVariant::FexpaEstrinCorrected),
+        ("exp_poly13", ExpVariant::Poly13),
+        ("exp_poly13_sleef", ExpVariant::Poly13Sleef),
+    ] {
+        out.push(Program::from_trace(name, &exp_trace(vl, v)));
+    }
+    // -- Monte Carlo (Section II example) --
+    out.push(Program::from_trace(
+        "mc_metropolis",
+        &mc_em::metropolis_trace(vl, 42).0,
+    ));
+    // -- NPB / LULESH / HPCC model kernels (Sections V–VII) --
+    out.push(Program::from_trace(
+        "npb_cg_matvec",
+        &family::cg_matvec_trace(vl),
+    ));
+    out.push(Program::from_trace(
+        "lulesh_eos",
+        &family::lulesh_eos_trace(vl),
+    ));
+    out.push(Program::from_trace(
+        "hpcc_triad",
+        &family::hpcc_triad_trace(vl),
+    ));
+    out.push(Program::from_trace(
+        "hpcc_dgemm",
+        &family::hpcc_dgemm_trace(vl),
+    ));
+    out
+}
+
+/// The corpus + trace-mutation self-test; returns failure count.
+fn run_mutations() -> usize {
+    let mut failures = 0;
+    println!("-- golden corpus --");
+    for e in ookami_check::corpus::entries() {
+        let got: Vec<_> = verify(&e.program).iter().map(|d| d.code).collect();
+        let ok = got == e.expected;
+        println!(
+            "{:>18}  expect {:?}  {}",
+            e.name,
+            e.expected.iter().map(|c| c.as_str()).collect::<Vec<_>>(),
+            if ok { "ok" } else { "MISMATCH" }
+        );
+        if !ok {
+            eprintln!(
+                "  got {:?}",
+                got.iter().map(|c| c.as_str()).collect::<Vec<_>>()
+            );
+            failures += 1;
+        }
+    }
+
+    println!("-- trace mutants --");
+    let bases: Vec<(&str, Trace)> = vec![
+        ("loops_simple", loops_em::simple_trace(8)),
+        (
+            "exp_fexpa_corrected",
+            exp_trace(8, ExpVariant::FexpaEstrinCorrected),
+        ),
+    ];
+    let xs: Vec<f64> = (0..64).map(|i| -2.0 + 4.0 * f64::from(i) / 64.0).collect();
+    for (name, base) in &bases {
+        let reference = base.map(&xs);
+        let mut rejected = 0usize;
+        let mut semantic = 0usize;
+        for seed in 0..24u64 {
+            let m = base.mutated(seed);
+            let diags = verify(&Program::from_trace("mutant", &m));
+            let errors = diags.iter().filter(|d| d.is_error()).count();
+            if seed % 4 == 3 {
+                // Semantic mutants pass the verifier but must change the
+                // observable output — otherwise the mutation self-test
+                // proves nothing.
+                if errors != 0 {
+                    eprintln!("{name}: semantic mutant seed={seed} rejected: {diags:?}");
+                    failures += 1;
+                } else if m.map(&xs) == reference {
+                    eprintln!("{name}: semantic mutant seed={seed} output unchanged");
+                    failures += 1;
+                } else {
+                    semantic += 1;
+                }
+            } else if errors == 0 {
+                eprintln!("{name}: structural mutant seed={seed} not rejected");
+                failures += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        println!("{name:>22}  {rejected} structural rejected, {semantic} semantic diverged");
+    }
+    failures
+}
+
+/// Record a real pool run (all three schedules + a trace replay) and
+/// race-check its timeline. Returns (events, races) — only meaningful
+/// with obs compiled in.
+fn race_check_kernels() -> (usize, usize) {
+    timeline::start(timeline::DEFAULT_CAPACITY);
+    let n = 10_000;
+    let mut buf = vec![0.0f64; n];
+    for sched in [
+        Schedule::Static,
+        Schedule::Dynamic { chunk: 64 },
+        Schedule::Guided,
+    ] {
+        ookami_core::par_chunks_mut_with(4, &mut buf, 16, sched, |i, c| {
+            for (k, x) in c.iter_mut().enumerate() {
+                *x = (i * 16 + k) as f64;
+            }
+        });
+    }
+    // A trace replay drives the pool through the static path once more.
+    let xs: Vec<f64> = (0..4096).map(|i| f64::from(i) * 1.0e-3).collect();
+    std::hint::black_box(loops_em::simple_trace(8).par_map(4, &xs));
+    timeline::stop();
+    let events = timeline::export_events();
+    let races = detect_races(&events);
+    for r in &races {
+        eprintln!("race: {r}");
+    }
+    (events.len(), races.len())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mutations = false;
+    let mut inject_race = false;
+    let mut json_path = String::from("target/OOKAMICHECK.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mutations" => mutations = true,
+            "--inject-race" => inject_race = true,
+            "--json" => {
+                if let Some(p) = it.next() {
+                    json_path.clone_from(p)
+                } else {
+                    eprintln!("error: --json needs a path argument");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if inject_race {
+        let races = detect_races(&injected_race_events());
+        if races.is_empty() {
+            eprintln!("inject-race: detector missed the injected overlap");
+            std::process::exit(0); // caller treats exit 0 as THE failure
+        }
+        for r in &races {
+            println!("inject-race: flagged {r}");
+        }
+        std::process::exit(1);
+    }
+
+    let mut failures = 0usize;
+
+    // -- verifier gate over every shipped workload trace --
+    println!("== ookamicheck: static verifier ==");
+    println!(
+        "{:>22}  {:>6}  {:>6}  {:>8}",
+        "program", "instrs", "diags", "verdict"
+    );
+    let programs = shipped_programs();
+    let mut reports = Vec::new();
+    for p in &programs {
+        let diags = verify(p);
+        println!(
+            "{:>22}  {:>6}  {:>6}  {:>8}",
+            p.name,
+            p.instrs.len(),
+            diags.len(),
+            if diags.is_empty() { "clean" } else { "DIRTY" }
+        );
+        if !diags.is_empty() {
+            eprint!("{}", render_all(p, &diags));
+            failures += 1;
+        }
+        reports.push(to_json(p, &diags));
+    }
+
+    if mutations {
+        println!("== ookamicheck: mutation self-tests ==");
+        failures += run_mutations();
+    }
+
+    // -- race gate --
+    println!("== ookamicheck: happens-before race detector ==");
+    let race_summary = if ookami_core::obs::enabled() {
+        let (events, races) = race_check_kernels();
+        println!("pool kernels: {events} timeline events, {races} race(s)");
+        if races > 0 {
+            failures += 1;
+        }
+        format!("{{\"checked\": true, \"events\": {events}, \"races\": {races}}}")
+    } else {
+        println!(
+            "SKIPPED: built without the `obs` feature — timeline events do \
+             not record, so the real-kernel race gate cannot run here \
+             (CI runs it under --features obs; --inject-race still works)"
+        );
+        String::from("{\"checked\": false, \"events\": 0, \"races\": 0}")
+    };
+
+    // -- machine-readable report --
+    let doc = format!(
+        "{{\n\"schema\": \"ookamicheck-v1\",\n\"programs\": [\n{}\n],\n\"race\": {race_summary},\n\"failures\": {failures}\n}}\n",
+        reports.join(",\n")
+    );
+    Json::parse(&doc).expect("ookamicheck report must be valid JSON");
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&json_path, &doc).expect("write report");
+    println!("wrote {json_path}");
+
+    if failures > 0 {
+        eprintln!("ookamicheck: {failures} gate failure(s)");
+        std::process::exit(1);
+    }
+    println!("ookamicheck: all gates clean");
+}

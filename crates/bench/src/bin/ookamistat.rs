@@ -57,13 +57,14 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
-            "--trace" => match it.next() {
-                Some(p) => trace_path = Some(p.clone()),
-                None => {
+            "--trace" => {
+                if let Some(p) = it.next() {
+                    trace_path = Some(p.clone())
+                } else {
                     eprintln!("error: --trace needs a path argument");
                     std::process::exit(2);
                 }
-            },
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument `{other}` (try --help)");
@@ -158,9 +159,8 @@ fn main() {
         // before the file lands on disk.
         let parsed = Json::parse(&doc).expect("exported Chrome trace must be valid JSON");
         if obs::enabled() {
-            let events = match parsed.get("traceEvents") {
-                Some(Json::Arr(a)) => a,
-                _ => panic!("trace missing traceEvents array"),
+            let Some(Json::Arr(events)) = parsed.get("traceEvents") else {
+                panic!("trace missing traceEvents array")
             };
             // ≥ 1 span per workload family: every family slice above ran
             // under obs::region, so each name must open at least once.

@@ -3,14 +3,84 @@
 //!
 //! `cargo run --release -p ookami-bench --bin report > REPORT.txt`
 //!
-//! With `--validate <file>...` it instead checks each `BENCH_*.json`
-//! against the shared `ookami-bench-v1` schema and exits nonzero on the
-//! first violation — the CI hook that keeps every probe's output loadable
-//! by the same tooling.
+//! With `--validate <file>...` it instead checks each report file and
+//! exits nonzero on the first violation — the CI hook that keeps every
+//! probe's output loadable by the same tooling. Files are dispatched on
+//! their `schema` tag: `BENCH_*.json` (`ookami-bench-v1`) and the
+//! `ookamicheck` analyzer report (`ookamicheck-v1`) are both accepted.
 //!
 //! With `--derive <file> [--threads N]` it prints the roofline /
 //! bottleneck table `obs::derive` computes from the file's counter
 //! snapshots (per span and in total) against the A64FX machine model.
+
+/// Shape-check an `ookamicheck-v1` document (written by the
+/// `ookamicheck` bin): per-program diagnostic counts plus the race
+/// summary, everything CI consumes from the uploaded artifact.
+fn validate_ookamicheck_json(text: &str) -> Result<(), String> {
+    use ookami_core::obs::Json;
+    let v = Json::parse(text)?;
+    let Json::Obj(obj) = &v else {
+        return Err("top level must be an object".to_string());
+    };
+    let Some(Json::Arr(programs)) = obj.get("programs") else {
+        return Err("`programs` must be an array".to_string());
+    };
+    for (i, p) in programs.iter().enumerate() {
+        let Json::Obj(m) = p else {
+            return Err(format!("`programs[{i}]` must be an object"));
+        };
+        match m.get("program") {
+            Some(Json::Str(s)) if !s.is_empty() => {}
+            _ => {
+                return Err(format!(
+                    "`programs[{i}].program` must be a non-empty string"
+                ))
+            }
+        }
+        for key in ["instructions", "errors", "warnings"] {
+            match m.get(key) {
+                Some(Json::Num(n)) if *n >= 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "`programs[{i}].{key}` must be a non-negative number"
+                    ))
+                }
+            }
+        }
+        if !matches!(m.get("diagnostics"), Some(Json::Arr(_))) {
+            return Err(format!("`programs[{i}].diagnostics` must be an array"));
+        }
+    }
+    let Some(Json::Obj(race)) = obj.get("race") else {
+        return Err("`race` must be an object".to_string());
+    };
+    for key in ["events", "races"] {
+        if !matches!(race.get(key), Some(Json::Num(_))) {
+            return Err(format!("`race.{key}` must be a number"));
+        }
+    }
+    if !matches!(obj.get("failures"), Some(Json::Num(_))) {
+        return Err("`failures` must be a number".to_string());
+    }
+    Ok(())
+}
+
+/// Dispatch on the document's `schema` tag so one `--validate` invocation
+/// covers every report kind the repo writes.
+fn validate_any(text: &str) -> Result<(), String> {
+    use ookami_core::obs::Json;
+    let tag = match Json::parse(text)? {
+        Json::Obj(m) => match m.get("schema") {
+            Some(Json::Str(s)) => s.clone(),
+            other => return Err(format!("`schema` must be a string, got {other:?}")),
+        },
+        _ => return Err("top level must be an object".to_string()),
+    };
+    match tag.as_str() {
+        "ookamicheck-v1" => validate_ookamicheck_json(text),
+        _ => ookami_core::obs::validate_bench_json(text),
+    }
+}
 
 fn usage(code: i32) -> ! {
     println!(
@@ -18,7 +88,8 @@ fn usage(code: i32) -> ! {
          \n\
          usage:\n\
            report                         full report on stdout\n\
-           report --validate <file>...    schema-check BENCH_*.json files\n\
+           report --validate <file>...    schema-check report files\n\
+                                          (BENCH_*.json, OOKAMICHECK*.json)\n\
            report --derive <file> [--threads N]\n\
                                           roofline/bottleneck table from a\n\
                                           BENCH_*.json with counters (default\n\
@@ -105,7 +176,7 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            match ookami_core::obs::validate_bench_json(&text) {
+            match validate_any(&text) {
                 Ok(()) => println!("OK {f}"),
                 Err(e) => {
                     eprintln!("FAIL {f}: {e}");

@@ -146,13 +146,13 @@ fn main() {
     let speedup = replay_eps / interp_eps;
 
     println!("svereplay: exp sweep, {n} elements, vl={vl}, {headline:?}");
-    println!("  interpreter : {:>12.0} elems/s", interp_eps);
+    println!("  interpreter : {interp_eps:>12.0} elems/s");
     println!(
         "  trace replay: {:>12.0} elems/s  ({speedup:.1}x, record cost {:.1} µs)",
         replay_eps,
         record_s * 1e6
     );
-    println!("  replay par4 : {:>12.0} elems/s", par_eps);
+    println!("  replay par4 : {par_eps:>12.0} elems/s");
     println!(
         "  bit-identical: {bit_identical}   instruction streams identical: {instrs_identical}"
     );

@@ -1,0 +1,104 @@
+//! Representative model-kernel traces for the NPB, LULESH and HPCC
+//! workload families, recorded through the SVE trace builder so the
+//! `ookamicheck` static verifier covers every family the paper measures.
+//!
+//! The big ports (CG's full solver, the Sedov hydro step, blocked DGEMM)
+//! run through the native `par_*` runtime, not the emulator — so each
+//! family contributes the *vector inner loop* that dominates its profile,
+//! written exactly as the Section III–VII analyses model it: CG's
+//! gather + FMA sparse row product, LULESH's EOS polynomial with a
+//! predicated pressure clamp, and HPCC's STREAM triad / DGEMM rank-1 FMA
+//! chain.
+
+use ookami_sve::{Trace, TraceBuilder};
+
+/// NPB CG: one sparse row-times-vector step — gather `x[col[j]]`, FMA
+/// into the carried row accumulator (the gather-bound loop behind the
+/// paper's CG scaling discussion).
+pub fn cg_matvec_trace(vl: usize) -> Trace {
+    // A stand-in for the solver's `x` vector: the verifier only needs the
+    // real table length the gather is bound to.
+    let x_table: Vec<f64> = (0..256).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    let mut b = TraceBuilder::new(vl);
+    let pg = b.loop_pred();
+    let col = b.input_i64();
+    let a = b.input_f64();
+    b.begin_body();
+    let ctx = b.ctx();
+    let acc0 = ctx.dup_f64(0.0);
+    let xg = ctx.ld1d_gather(&pg, &x_table, &col, 8);
+    let acc1 = ctx.fmla(&pg, &acc0, &a, &xg);
+    b.carry(&acc0, &acc1);
+    b.finish(&[&acc1])
+}
+
+/// LULESH: the EOS inner loop — a Horner pressure polynomial
+/// `p = (c2·e + c1)·e + c0` with the hydro's floor clamp
+/// `p = max(p, pmin)` done as compare + select (the predicated pattern
+/// `CalcPressureForElems` vectorizes to).
+pub fn lulesh_eos_trace(vl: usize) -> Trace {
+    let mut b = TraceBuilder::new(vl);
+    let pg = b.loop_pred();
+    let e = b.input_f64();
+    b.begin_body();
+    let ctx = b.ctx();
+    let c0 = ctx.dup_f64(1.0e-9);
+    let c1 = ctx.dup_f64(2.0 / 3.0);
+    let c2 = ctx.dup_f64(1.0e-4);
+    let pmin = ctx.dup_f64(0.0);
+    let t = ctx.fmla(&pg, &c1, &c2, &e);
+    let p = ctx.fmla(&pg, &c0, &t, &e);
+    let ok = ctx.fcmgt(&pg, &p, &pmin);
+    let clamped = ctx.sel(&ok, &p, &pmin);
+    b.finish(&[&clamped])
+}
+
+/// HPCC STREAM triad: `a[i] = b[i] + s·c[i]` — one FMA per element, the
+/// bandwidth-bound kernel anchoring the Fig. 8 STREAM columns.
+pub fn hpcc_triad_trace(vl: usize) -> Trace {
+    let mut b = TraceBuilder::new(vl);
+    let pg = b.loop_pred();
+    let bv = b.input_f64();
+    let cv = b.input_f64();
+    b.begin_body();
+    let ctx = b.ctx();
+    let s = ctx.dup_f64(3.0);
+    let a = ctx.fmla(&pg, &bv, &s, &cv);
+    b.finish(&[&a])
+}
+
+/// HPCC DGEMM microkernel: a rank-1 update `acc += a·b` carried across
+/// the k loop — the FMA chain the Fig. 8/9 DGEMM peak fractions rest on.
+pub fn hpcc_dgemm_trace(vl: usize) -> Trace {
+    let mut b = TraceBuilder::new(vl);
+    let pg = b.loop_pred();
+    let a = b.input_f64();
+    let bb = b.input_f64();
+    b.begin_body();
+    let ctx = b.ctx();
+    let acc0 = ctx.dup_f64(0.0);
+    let acc1 = ctx.fmla(&pg, &acc0, &a, &bb);
+    b.carry(&acc0, &acc1);
+    b.finish(&[&acc1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_traces_record_and_replay() {
+        // Each family trace must at least be a well-formed recording; the
+        // triad one is checked numerically end-to-end.
+        assert!(cg_matvec_trace(8).body_len() >= 2);
+        assert!(lulesh_eos_trace(8).body_len() >= 4);
+        assert!(hpcc_dgemm_trace(8).body_len() >= 1);
+        let t = hpcc_triad_trace(8);
+        let b: Vec<f64> = (0..32).map(f64::from).collect();
+        let c: Vec<f64> = (0..32).map(|i| 0.5 * f64::from(i)).collect();
+        let out = t.map2(&b, &c);
+        for i in 0..32 {
+            assert_eq!(out[i], b[i] + 3.0 * c[i]);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Golden mutation corpus: hand-built broken instruction streams, one per
+//! diagnostic class, with the codes the verifier must report. The
+//! `lint_corpus` integration test snapshots each entry's rendered listing
+//! and diagnostics under `tests/lint_corpus/` (regenerate with
+//! `UPDATE_GOLDEN=1`).
+
+use crate::diag::Code;
+use crate::program::{Convention, Program};
+use ookami_uarch::{Instr, OpClass, Reg, Width};
+
+pub struct CorpusEntry {
+    pub name: &'static str,
+    pub program: Program,
+    /// Exact multiset of codes the verifier must report, in diagnostic
+    /// order.
+    pub expected: Vec<Code>,
+}
+
+/// Scaffold shared by most entries: a V512 stream with two live-in
+/// inputs `v0, v1`, eight vector registers, and `p0` as the loop
+/// predicate (predicate registers start at 8).
+fn base(name: &'static str, instrs: Vec<Instr>, live_out: Vec<Reg>) -> Program {
+    let n = instrs.len();
+    Program {
+        name: name.to_string(),
+        convention: Convention::Traced,
+        instrs,
+        width: Some(Width::V512),
+        n_vec_regs: 8,
+        n_pred_regs: 3,
+        live_in_vec: vec![0, 1],
+        live_in_pred: Vec::new(),
+        loop_pred: Some(8),
+        ptrue_preds: Vec::new(),
+        const_lanes: Vec::new(),
+        table_len: vec![None; n],
+        live_out,
+    }
+}
+
+const PG: Reg = 8; // loop predicate under the scaffold numbering
+
+pub fn entries() -> Vec<CorpusEntry> {
+    let w = Width::V512;
+    let mut out = Vec::new();
+
+    // OC0001 — a source register no instruction ever defines.
+    out.push(CorpusEntry {
+        name: "undefined_use",
+        program: base(
+            "undefined_use",
+            vec![Instr::def(OpClass::FMul, w, 2, &[PG, 0, 7])],
+            vec![2],
+        ),
+        expected: vec![Code::UndefinedUse],
+    });
+
+    // OC0001 — defined, but only *after* the use (SSA order violation).
+    out.push(CorpusEntry {
+        name: "use_before_def",
+        program: base(
+            "use_before_def",
+            vec![
+                Instr::def(OpClass::FAdd, w, 3, &[PG, 0, 2]),
+                Instr::def(OpClass::FMul, w, 2, &[PG, 0, 1]),
+            ],
+            vec![3, 2],
+        ),
+        expected: vec![Code::UndefinedUse],
+    });
+
+    // OC0007 — the same register defined twice.
+    out.push(CorpusEntry {
+        name: "double_def",
+        program: base(
+            "double_def",
+            vec![
+                Instr::def(OpClass::FMul, w, 2, &[PG, 0, 1]),
+                Instr::def(OpClass::FAdd, w, 2, &[PG, 2, 0]),
+            ],
+            vec![2],
+        ),
+        expected: vec![Code::DoubleDef],
+    });
+
+    // OC0002 — a vector register where the governing predicate belongs.
+    out.push(CorpusEntry {
+        name: "domain_mixup",
+        program: base(
+            "domain_mixup",
+            vec![Instr::def(OpClass::FMul, w, 2, &[0, 0, 1])],
+            vec![2],
+        ),
+        expected: vec![Code::DomainMismatch],
+    });
+
+    // OC0003 — one op at the wrong vector length.
+    out.push(CorpusEntry {
+        name: "width_jitter",
+        program: base(
+            "width_jitter",
+            vec![
+                Instr::def(OpClass::FMul, w, 2, &[PG, 0, 1]),
+                Instr::def(OpClass::FAdd, Width::V256, 3, &[PG, 2, 0]),
+            ],
+            vec![3],
+        ),
+        expected: vec![Code::WidthMismatch],
+    });
+
+    // OC0004 — a constant index vector provably past its table's end.
+    out.push(CorpusEntry {
+        name: "oob_gather",
+        program: {
+            let mut p = base(
+                "oob_gather",
+                vec![Instr::def(OpClass::Gather, w, 3, &[PG, 2]).with_uops(8)],
+                vec![3],
+            );
+            p.live_in_vec.push(2);
+            p.const_lanes.push((2, vec![0, 2, 4, 9]));
+            p.table_len[0] = Some(8);
+            p
+        },
+        expected: vec![Code::OutOfBoundsIndex],
+    });
+
+    // OC0006 — a scatter governed by an all-true predicate instead of the
+    // loop predicate: lanes past the loop bound would reach memory.
+    out.push(CorpusEntry {
+        name: "wide_scatter",
+        program: {
+            let mut p = base(
+                "wide_scatter",
+                vec![Instr::effect(OpClass::Scatter, w, &[9, 0, 1])],
+                vec![],
+            );
+            p.live_in_pred.push(9);
+            p.ptrue_preds.push(9);
+            p.table_len[0] = Some(1 << 20);
+            p
+        },
+        expected: vec![Code::OverWidePredicate],
+    });
+
+    // OC0005 — an FMLA missing its multiplicand, and a scatter that
+    // claims to define a register.
+    out.push(CorpusEntry {
+        name: "malformed_arity",
+        program: base(
+            "malformed_arity",
+            vec![
+                Instr::def(OpClass::Fma, w, 2, &[PG, 0]),
+                Instr::def(OpClass::Scatter, w, 3, &[PG, 0, 1]),
+            ],
+            vec![2, 3],
+        ),
+        expected: vec![Code::MalformedArity, Code::MalformedArity],
+    });
+
+    // OC1001 — a def nothing reads and nothing exports.
+    out.push(CorpusEntry {
+        name: "dead_def",
+        program: base(
+            "dead_def",
+            vec![
+                Instr::def(OpClass::FMul, w, 2, &[PG, 0, 1]),
+                Instr::def(OpClass::FAdd, w, 3, &[PG, 0, 1]),
+            ],
+            vec![3],
+        ),
+        expected: vec![Code::DeadDef],
+    });
+
+    // OC1002 — the same compare computed twice into different predicates.
+    out.push(CorpusEntry {
+        name: "redundant_pred",
+        program: base(
+            "redundant_pred",
+            vec![
+                Instr::def(OpClass::FCmp, w, 9, &[PG, 0, 1]),
+                Instr::def(OpClass::FCmp, w, 10, &[PG, 0, 1]),
+                Instr::def(OpClass::Select, w, 2, &[9, 0, 1]),
+                Instr::def(OpClass::Select, w, 3, &[10, 1, 0]),
+            ],
+            vec![2, 3],
+        ),
+        expected: vec![Code::RedundantPredicate],
+    });
+
+    // OC1003 — a 512-bit op fed exclusively by scalar-width defs
+    // (mixed-width stream: the uniformity check is off).
+    out.push(CorpusEntry {
+        name: "widen",
+        program: {
+            let mut p = base(
+                "widen",
+                vec![
+                    Instr::def(OpClass::FMul, Width::Scalar, 2, &[PG, 0, 1]),
+                    Instr::def(OpClass::FAdd, w, 3, &[PG, 2, 2]),
+                ],
+                vec![3],
+            );
+            p.width = None;
+            p
+        },
+        expected: vec![Code::UnnecessaryWidening],
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify;
+
+    #[test]
+    fn every_entry_reports_exactly_its_expected_codes() {
+        for e in entries() {
+            let got: Vec<Code> = verify(&e.program).iter().map(|d| d.code).collect();
+            assert_eq!(
+                got, e.expected,
+                "corpus entry {:?} diagnostics mismatch",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn entry_names_are_unique() {
+        let mut names: Vec<_> = entries().iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), entries().len());
+    }
+}

@@ -1,0 +1,205 @@
+//! Diagnostics: stable codes, severities, source-span-style rendering,
+//! and machine-readable JSON output.
+//!
+//! Codes are stable across releases (golden corpus files assert them):
+//! `OC0xxx` are errors (the verifier's exit status is non-zero if any is
+//! present), `OC1xxx` are lints (warnings; the `ookamicheck` gate holds
+//! shipped traces to zero diagnostics of *either* class).
+
+use crate::program::Program;
+
+/// Stable diagnostic codes. The numeric part never changes meaning; new
+/// checks get new codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// Use of a register that is not defined at this point (covers both
+    /// never-defined and use-before-def in SSA streams).
+    UndefinedUse,
+    /// Operand register lives in the wrong domain (vector where a
+    /// predicate is required, or vice versa).
+    DomainMismatch,
+    /// Instruction width differs from the stream's vector length.
+    WidthMismatch,
+    /// Gather/scatter index vector provably indexes outside its bound
+    /// buffer.
+    OutOfBoundsIndex,
+    /// Operand count or destination presence is malformed for the op
+    /// class under the stream's convention.
+    MalformedArity,
+    /// A memory write is governed by a predicate that may be wider than
+    /// the loop predicate (inactive lanes could flow into memory).
+    OverWidePredicate,
+    /// A register is defined twice (SSA violation in a traced stream).
+    DoubleDef,
+    /// Lint: a body definition is never used and is not live-out.
+    DeadDef,
+    /// Lint: a predicate is recomputed from identical operands.
+    RedundantPredicate,
+    /// Lint: a vector-width op whose every in-body source is scalar.
+    UnnecessaryWidening,
+}
+
+impl Code {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UndefinedUse => "OC0001",
+            Code::DomainMismatch => "OC0002",
+            Code::WidthMismatch => "OC0003",
+            Code::OutOfBoundsIndex => "OC0004",
+            Code::MalformedArity => "OC0005",
+            Code::OverWidePredicate => "OC0006",
+            Code::DoubleDef => "OC0007",
+            Code::DeadDef => "OC1001",
+            Code::RedundantPredicate => "OC1002",
+            Code::UnnecessaryWidening => "OC1003",
+        }
+    }
+
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::DeadDef | Code::RedundantPredicate | Code::UnnecessaryWidening => {
+                Severity::Warning
+            }
+            _ => Severity::Error,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One finding, anchored to an instruction index in the verified stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    pub code: Code,
+    /// Index of the offending instruction in the program body.
+    pub index: usize,
+    /// Operand position the finding points at (`None` = whole instr).
+    pub operand: Option<usize>,
+    pub message: String,
+}
+
+impl Diag {
+    pub fn new(code: Code, index: usize, operand: Option<usize>, message: String) -> Diag {
+        Diag {
+            code,
+            index,
+            operand,
+            message,
+        }
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.code.severity() == Severity::Error
+    }
+}
+
+/// Render one diagnostic in the source-span style:
+///
+/// ```text
+/// error[OC0001]: use of undefined vector register v7
+///   --> loops_simple:2
+///    |
+///  2 | FMul.V512 v4 <- p5, v7, v1
+///    |                     ^^ never defined at this point
+/// ```
+pub fn render(p: &Program, d: &Diag) -> String {
+    let line = p.render_instr(d.index);
+    let gutter = format!("{:>3}", d.index);
+    let blank = " ".repeat(gutter.len());
+    // Caret span: the operand the finding points at, or the whole line.
+    let (col, width) = match d.operand.and_then(|o| p.operand_span(d.index, o)) {
+        Some((c, w)) => (c, w),
+        None => (0, line.len().max(1)),
+    };
+    format!(
+        "{}[{}]: {}\n  --> {}:{}\n {blank}|\n {gutter} | {}\n {blank}| {}{}\n",
+        d.code.severity().as_str(),
+        d.code.as_str(),
+        d.message,
+        p.name,
+        d.index,
+        line,
+        " ".repeat(col),
+        "^".repeat(width.max(1)),
+    )
+}
+
+/// Render all diagnostics of one program, with a trailing summary line.
+pub fn render_all(p: &Program, diags: &[Diag]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&render(p, d));
+        out.push('\n');
+    }
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
+    out.push_str(&format!(
+        "{}: {errors} error(s), {warnings} warning(s)\n",
+        p.name
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Machine-readable report for one program: parses with the in-repo
+/// `ookami_core::obs::Json` parser (asserted by tests).
+pub fn to_json(p: &Program, diags: &[Diag]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"program\": {},\n", json_escape(&p.name)));
+    out.push_str(&format!("  \"instructions\": {},\n", p.instrs.len()));
+    out.push_str(&format!(
+        "  \"errors\": {},\n",
+        diags.iter().filter(|d| d.is_error()).count()
+    ));
+    out.push_str(&format!(
+        "  \"warnings\": {},\n",
+        diags.iter().filter(|d| !d.is_error()).count()
+    ));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"code\": {}, \"severity\": {}, \"index\": {}, \"message\": {}, \"instr\": {}}}",
+            json_escape(d.code.as_str()),
+            json_escape(d.code.severity().as_str()),
+            d.index,
+            json_escape(&d.message),
+            json_escape(&p.render_instr(d.index)),
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}

@@ -1,0 +1,187 @@
+//! The verifier's input: an [`Instr`] stream plus the wiring facts the
+//! abstract interpretation keys on (live-in/live-out sets, the loop
+//! predicate, constant lanes, table bounds), under one of two register
+//! conventions.
+
+use ookami_sve::Trace;
+use ookami_uarch::{Domain, Instr, Reg, Width};
+
+/// How registers in the stream are numbered, which decides how much the
+/// verifier can assume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Convention {
+    /// `Trace::to_instrs` numbering: SSA, vector regs `0..n_vec_regs`,
+    /// predicate regs above. Every check runs.
+    Traced,
+    /// Interpreter-recorded streams (`record_kernel`): registers are
+    /// renamed per write and live-in bases appear undefined, so the SSA,
+    /// domain and predicate passes are skipped — only width uniformity,
+    /// arity ceilings and effect sanity apply.
+    Lowered,
+}
+
+/// One verifiable instruction stream. The corpus builds these directly
+/// (fields are public); shipped traces come in via [`Program::from_trace`].
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub name: String,
+    pub convention: Convention,
+    pub instrs: Vec<Instr>,
+    /// Expected uniform width. `None` disables the uniformity check
+    /// (mixed-width streams; used by the widening-lint corpus entry).
+    pub width: Option<Width>,
+    /// Vector register file size — predicate registers start here
+    /// (Traced convention only).
+    pub n_vec_regs: Reg,
+    pub n_pred_regs: Reg,
+    /// Vector registers defined before the stream runs.
+    pub live_in_vec: Vec<Reg>,
+    /// Predicate registers defined before the stream runs.
+    pub live_in_pred: Vec<Reg>,
+    /// The loop-governing predicate (bounded to the active block).
+    pub loop_pred: Option<Reg>,
+    /// Live-in predicates known all-true (wider than the loop bound).
+    pub ptrue_preds: Vec<Reg>,
+    /// Live-in constants with exact record-time lane bits.
+    pub const_lanes: Vec<(Reg, Vec<u64>)>,
+    /// Per-instruction bound-buffer length for gather/scatter, aligned
+    /// with `instrs`; `None` for non-table ops.
+    pub table_len: Vec<Option<usize>>,
+    /// Registers consumed after the stream (outputs, carries, taps).
+    pub live_out: Vec<Reg>,
+}
+
+impl Program {
+    /// Build the verifier view of a recorded trace via [`Trace::analysis`].
+    pub fn from_trace(name: &str, t: &Trace) -> Program {
+        let info = t.analysis();
+        let width = match info.vl {
+            1 => Width::Scalar,
+            2 => Width::V128,
+            4 => Width::V256,
+            _ => Width::V512,
+        };
+        Program {
+            name: name.to_string(),
+            convention: Convention::Traced,
+            instrs: info.body,
+            width: Some(width),
+            n_vec_regs: info.n_vec_regs as Reg,
+            n_pred_regs: info.n_pred_regs as Reg,
+            live_in_vec: info.live_in_vec,
+            live_in_pred: info.live_in_pred,
+            loop_pred: info.loop_pred,
+            ptrue_preds: info.ptrue_preds,
+            const_lanes: info.const_lanes,
+            table_len: info.table_len,
+            live_out: info.live_out,
+        }
+    }
+
+    /// Wrap an interpreter-recorded stream (non-SSA `Lowered` convention).
+    pub fn from_stream(name: &str, instrs: Vec<Instr>) -> Program {
+        let width = instrs.first().map(|i| i.width);
+        let n = instrs.len();
+        Program {
+            name: name.to_string(),
+            convention: Convention::Lowered,
+            instrs,
+            width,
+            n_vec_regs: 0,
+            n_pred_regs: 0,
+            live_in_vec: Vec::new(),
+            live_in_pred: Vec::new(),
+            loop_pred: None,
+            ptrue_preds: Vec::new(),
+            const_lanes: Vec::new(),
+            table_len: vec![None; n],
+            live_out: Vec::new(),
+        }
+    }
+
+    /// Which register file a register number falls in (Traced numbering;
+    /// Lowered streams have no domain information).
+    pub fn domain_of(&self, r: Reg) -> Domain {
+        if self.convention == Convention::Traced && r >= self.n_vec_regs {
+            Domain::Predicate
+        } else {
+            Domain::Vector
+        }
+    }
+
+    /// Human name of a register under the stream's convention:
+    /// `v3`/`p1` for Traced, `r3` for Lowered.
+    pub fn reg_name(&self, r: Reg) -> String {
+        match self.convention {
+            Convention::Traced => {
+                if r < self.n_vec_regs {
+                    format!("v{r}")
+                } else {
+                    format!("p{}", r - self.n_vec_regs)
+                }
+            }
+            Convention::Lowered => format!("r{r}"),
+        }
+    }
+
+    /// Render instruction `i` as one assembly-style line:
+    /// `Fma.V512 v9 <- p5, v0, v1, v2` (defs) or
+    /// `Scatter.V512 <- p5, v2, v3` (effect-only ops).
+    pub fn render_instr(&self, i: usize) -> String {
+        let ins = &self.instrs[i];
+        let mut s = format!("{:?}.{:?}", ins.op, ins.width);
+        if let Some(d) = ins.dst {
+            s.push(' ');
+            s.push_str(&self.reg_name(d));
+        }
+        if ins.dst.is_some() || !ins.srcs.is_empty() {
+            s.push_str(" <-");
+        }
+        for (k, &r) in ins.srcs.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push(' ');
+            s.push_str(&self.reg_name(r));
+        }
+        if let Some(u) = ins.uops_hint {
+            s.push_str(&format!(" [uops={u}]"));
+        }
+        s
+    }
+
+    /// `(column, width)` of source operand `o` of instruction `i` inside
+    /// [`Program::render_instr`]'s line — drives the diagnostic carets.
+    pub fn operand_span(&self, i: usize, o: usize) -> Option<(usize, usize)> {
+        let ins = &self.instrs[i];
+        if o >= ins.srcs.len() {
+            return None;
+        }
+        let mut col = format!("{:?}.{:?}", ins.op, ins.width).len();
+        if let Some(d) = ins.dst {
+            col += 1 + self.reg_name(d).len();
+        }
+        col += " <-".len();
+        for (k, &r) in ins.srcs.iter().enumerate() {
+            if k > 0 {
+                col += 1; // ','
+            }
+            col += 1; // ' '
+            let w = self.reg_name(r).len();
+            if k == o {
+                return Some((col, w));
+            }
+            col += w;
+        }
+        None
+    }
+
+    /// Full listing (used by the golden corpus snapshots).
+    pub fn render_listing(&self) -> String {
+        let mut out = String::new();
+        for i in 0..self.instrs.len() {
+            out.push_str(&format!("{i:>3} | {}\n", self.render_instr(i)));
+        }
+        out
+    }
+}

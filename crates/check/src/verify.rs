@@ -1,0 +1,409 @@
+//! The static verifier: abstract interpretation over one [`Program`].
+//!
+//! Under the `Traced` convention (SSA streams from `Trace::to_instrs`)
+//! every pass runs:
+//!
+//! * **def-before-use / SSA** — every source register must be live-in or
+//!   defined earlier (`OC0001`); no register is defined twice (`OC0007`);
+//! * **arity** — each op class lowers with a fixed operand shape
+//!   (`OC0005`);
+//! * **domain** — operand positions expect vector or predicate registers
+//!   per class metadata (`OC0002`);
+//! * **width** — one stream, one vector length (`OC0003`);
+//! * **predicate domain** — a two-point lattice `Bounded ⊑ Wide` proves
+//!   memory writes are governed by the loop-bounded predicate, so
+//!   inactive lanes never reach memory (`OC0006`);
+//! * **bounds** — constant index vectors are checked against their
+//!   gather/scatter table length (`OC0004`);
+//! * **lints** — dead defs (`OC1001`), redundant predicate recompute
+//!   (`OC1002`), unnecessary widening (`OC1003`).
+//!
+//! `Lowered` streams (interpreter recordings, non-SSA) only get width
+//! uniformity and effect sanity.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::diag::{Code, Diag};
+use crate::program::{Convention, Program};
+use ookami_uarch::{Domain, EffectClass, Instr, OpClass, Reg, Width};
+
+/// Predicate lattice: `Bounded` predicates are provably no wider than the
+/// loop predicate (`whilelt`-shaped); `Wide` ones may have lanes active
+/// past the loop bound (`ptrue`, unknown live-ins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PredDom {
+    Bounded,
+    Wide,
+}
+
+/// Allowed source counts for a class under the traced lowering, plus
+/// whether a destination is required. `None` = the class is never
+/// produced by `Trace::to_instrs` (always `OC0005` when seen).
+fn traced_arity(op: OpClass) -> Option<(&'static [usize], bool)> {
+    Some(match op {
+        OpClass::FAdd | OpClass::FMul | OpClass::FDiv | OpClass::FMinMax => (&[3][..], true),
+        OpClass::VecIntOp => (&[2, 3][..], true),
+        OpClass::FSqrt | OpClass::FAbsNeg | OpClass::FRound | OpClass::FCvt | OpClass::Permute => {
+            (&[2][..], true)
+        }
+        OpClass::Fma => (&[3, 4][..], true),
+        OpClass::FRecpe | OpClass::FRsqrte | OpClass::Fexpa => (&[1][..], true),
+        OpClass::Ftmad => (&[3][..], true),
+        OpClass::FCmp => (&[2, 3][..], true),
+        OpClass::PredOp => (&[2][..], true),
+        OpClass::Select => (&[3][..], true),
+        OpClass::Gather => (&[2][..], true),
+        OpClass::Scatter => (&[3][..], false),
+        OpClass::IntAlu | OpClass::Branch | OpClass::ScalarLibmCall => (&[0][..], false),
+        OpClass::Load | OpClass::Store | OpClass::IntMul => return None,
+    })
+}
+
+/// Expected domain of source `k` of `ins` under the traced lowering.
+fn expected_src_domain(ins: &Instr, k: usize) -> Domain {
+    if ins.op == OpClass::PredOp {
+        return Domain::Predicate;
+    }
+    if k == 0 && ins.op.first_src_is_governing_pred() {
+        return Domain::Predicate;
+    }
+    Domain::Vector
+}
+
+/// Run every applicable pass over `p`. Diagnostics come out in
+/// instruction order (stable across runs — the golden corpus depends on
+/// it).
+pub fn verify(p: &Program) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    match p.convention {
+        Convention::Traced => verify_traced(p, &mut diags),
+        Convention::Lowered => verify_lowered(p, &mut diags),
+    }
+    diags.sort_by_key(|d| (d.index, d.code.as_str()));
+    diags
+}
+
+fn verify_lowered(p: &Program, diags: &mut Vec<Diag>) {
+    for (i, ins) in p.instrs.iter().enumerate() {
+        if let Some(w) = p.width {
+            if ins.width != w {
+                diags.push(Diag::new(
+                    Code::WidthMismatch,
+                    i,
+                    None,
+                    format!("{:?} op in a {w:?} stream", ins.width),
+                ));
+            }
+        }
+        // Effect sanity: stores and branches never define a register.
+        let effectful = matches!(
+            ins.effect_class(),
+            EffectClass::MemWrite | EffectClass::Control
+        );
+        if effectful && ins.dst.is_some() {
+            diags.push(Diag::new(
+                Code::MalformedArity,
+                i,
+                None,
+                format!("{:?} must not define a register", ins.op),
+            ));
+        }
+    }
+}
+
+fn verify_traced(p: &Program, diags: &mut Vec<Diag>) {
+    // Live-in state.
+    let mut defined: HashSet<Reg> = HashSet::new();
+    defined.extend(&p.live_in_vec);
+    defined.extend(&p.live_in_pred);
+    if let Some(lp) = p.loop_pred {
+        defined.insert(lp);
+    }
+
+    // Predicate lattice: the loop predicate is the only live-in proved
+    // Bounded; ptrue and unknown live-in predicates may be wide. With no
+    // loop predicate the pass has nothing to prove against and is skipped.
+    let mut pred_dom: HashMap<Reg, PredDom> = HashMap::new();
+    for &r in p.live_in_pred.iter().chain(&p.ptrue_preds) {
+        pred_dom.insert(r, PredDom::Wide);
+    }
+    if let Some(lp) = p.loop_pred {
+        pred_dom.insert(lp, PredDom::Bounded);
+    }
+
+    // Interval domain, seeded only from exact setup constants (lanes
+    // reinterpreted as i64 — how gather/scatter consume index vectors).
+    let mut interval: HashMap<Reg, (i64, i64)> = HashMap::new();
+    for (r, lanes) in &p.const_lanes {
+        if let (Some(&lo), Some(&hi)) = (
+            lanes.iter().min_by_key(|&&l| l as i64),
+            lanes.iter().max_by_key(|&&l| l as i64),
+        ) {
+            interval.insert(*r, (lo as i64, hi as i64));
+        }
+    }
+
+    // Lint state.
+    let mut def_site: HashMap<Reg, usize> = HashMap::new();
+    let mut used: HashSet<Reg> = HashSet::new();
+    let mut pred_exprs: HashMap<(OpClass, Vec<Reg>), usize> = HashMap::new();
+    let mut def_width: HashMap<Reg, Width> = HashMap::new();
+
+    for (i, ins) in p.instrs.iter().enumerate() {
+        // -- arity (OC0005) --
+        let arity = traced_arity(ins.op);
+        match arity {
+            None => diags.push(Diag::new(
+                Code::MalformedArity,
+                i,
+                None,
+                format!("{:?} is not produced by the trace lowering", ins.op),
+            )),
+            Some((counts, needs_dst)) => {
+                if !counts.contains(&ins.srcs.len()) {
+                    diags.push(Diag::new(
+                        Code::MalformedArity,
+                        i,
+                        None,
+                        format!(
+                            "{:?} takes {counts:?} sources, found {}",
+                            ins.op,
+                            ins.srcs.len()
+                        ),
+                    ));
+                }
+                if needs_dst != ins.dst.is_some() {
+                    let what = if needs_dst {
+                        "requires"
+                    } else {
+                        "must not have"
+                    };
+                    diags.push(Diag::new(
+                        Code::MalformedArity,
+                        i,
+                        None,
+                        format!("{:?} {what} a destination", ins.op),
+                    ));
+                }
+            }
+        }
+
+        // -- width (OC0003) --
+        if let Some(w) = p.width {
+            if ins.width != w {
+                diags.push(Diag::new(
+                    Code::WidthMismatch,
+                    i,
+                    None,
+                    format!("{:?} op in a {w:?} stream", ins.width),
+                ));
+            }
+        }
+
+        // -- def-before-use (OC0001) + domain (OC0002) per operand --
+        let arity_ok = arity.is_some_and(|(c, _)| c.contains(&ins.srcs.len()));
+        for (k, &r) in ins.srcs.iter().enumerate() {
+            if !defined.contains(&r) {
+                diags.push(Diag::new(
+                    Code::UndefinedUse,
+                    i,
+                    Some(k),
+                    format!(
+                        "use of {} register {} before any definition",
+                        match p.domain_of(r) {
+                            Domain::Vector => "vector",
+                            Domain::Predicate => "predicate",
+                        },
+                        p.reg_name(r)
+                    ),
+                ));
+            }
+            // Operand domains only make sense when the shape matched.
+            if arity_ok {
+                let want = expected_src_domain(ins, k);
+                if p.domain_of(r) != want {
+                    diags.push(Diag::new(
+                        Code::DomainMismatch,
+                        i,
+                        Some(k),
+                        format!(
+                            "operand {k} of {:?} expects a {} register, found {}",
+                            ins.op,
+                            match want {
+                                Domain::Vector => "vector",
+                                Domain::Predicate => "predicate",
+                            },
+                            p.reg_name(r)
+                        ),
+                    ));
+                }
+            }
+            used.insert(r);
+        }
+
+        // -- predicate-domain pass (OC0006) --
+        if p.loop_pred.is_some() && ins.effect_class() == EffectClass::MemWrite && arity_ok {
+            let pg = ins.srcs[0];
+            let dom = pred_dom.get(&pg).copied().unwrap_or(PredDom::Wide);
+            if dom != PredDom::Bounded {
+                diags.push(Diag::new(
+                    Code::OverWidePredicate,
+                    i,
+                    Some(0),
+                    format!(
+                        "memory write governed by {}, which may be wider than \
+                         the loop predicate",
+                        p.reg_name(pg)
+                    ),
+                ));
+            }
+        }
+
+        // -- bounds pass (OC0004): constant index vectors vs table --
+        if arity_ok {
+            let idx_operand = match ins.op {
+                OpClass::Gather => Some(1),
+                OpClass::Scatter => Some(2),
+                _ => None,
+            };
+            if let (Some(k), Some(Some(len))) = (idx_operand, p.table_len.get(i)) {
+                if let Some(&(lo, hi)) = interval.get(&ins.srcs[k]) {
+                    if lo < 0 || hi >= *len as i64 {
+                        diags.push(Diag::new(
+                            Code::OutOfBoundsIndex,
+                            i,
+                            Some(k),
+                            format!(
+                                "index vector {} spans [{lo}, {hi}] but the \
+                                 bound table has {len} elements",
+                                p.reg_name(ins.srcs[k])
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // -- defs: SSA (OC0007), lattice/lint transfer --
+        if let Some(d) = ins.dst {
+            if defined.contains(&d) {
+                diags.push(Diag::new(
+                    Code::DoubleDef,
+                    i,
+                    None,
+                    format!("register {} is already defined", p.reg_name(d)),
+                ));
+            }
+            defined.insert(d);
+            def_site.insert(d, i);
+            def_width.insert(d, ins.width);
+
+            // dst-domain sanity: the register file must match the class.
+            if p.domain_of(d) != ins.def_domain() {
+                diags.push(Diag::new(
+                    Code::DomainMismatch,
+                    i,
+                    None,
+                    format!(
+                        "{:?} defines a {} register, but {} is in the {} file",
+                        ins.op,
+                        match ins.def_domain() {
+                            Domain::Vector => "vector",
+                            Domain::Predicate => "predicate",
+                        },
+                        p.reg_name(d),
+                        match p.domain_of(d) {
+                            Domain::Vector => "vector",
+                            Domain::Predicate => "predicate",
+                        },
+                    ),
+                ));
+            }
+
+            if ins.def_domain() == Domain::Predicate {
+                // Transfer: a compare inherits its governing predicate's
+                // domain; predicate logic is Bounded if either input is.
+                let dom = match ins.op {
+                    OpClass::FCmp => ins
+                        .srcs
+                        .first()
+                        .and_then(|pg| pred_dom.get(pg).copied())
+                        .unwrap_or(PredDom::Wide),
+                    OpClass::PredOp => {
+                        if ins
+                            .srcs
+                            .iter()
+                            .any(|s| pred_dom.get(s) == Some(&PredDom::Bounded))
+                        {
+                            PredDom::Bounded
+                        } else {
+                            PredDom::Wide
+                        }
+                    }
+                    _ => PredDom::Wide,
+                };
+                pred_dom.insert(d, dom);
+
+                // OC1002: identical predicate recompute.
+                if !ins.srcs.is_empty() {
+                    let key = (ins.op, ins.srcs.to_vec());
+                    if let Some(&first) = pred_exprs.get(&key) {
+                        diags.push(Diag::new(
+                            Code::RedundantPredicate,
+                            i,
+                            None,
+                            format!(
+                                "predicate {} recomputes the expression of \
+                                 instruction {first}",
+                                p.reg_name(d)
+                            ),
+                        ));
+                    } else {
+                        pred_exprs.insert(key, i);
+                    }
+                }
+            }
+
+            // OC1003: a vector-width op whose value inputs were all
+            // produced at scalar width (mixed-width streams only — with a
+            // uniform width the condition cannot arise).
+            if p.width.is_none() && ins.width != Width::Scalar {
+                let value_srcs: Vec<Reg> = ins
+                    .srcs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| expected_src_domain(ins, k) == Domain::Vector)
+                    .map(|(_, &r)| r)
+                    .collect();
+                if !value_srcs.is_empty()
+                    && value_srcs
+                        .iter()
+                        .all(|r| def_width.get(r) == Some(&Width::Scalar))
+                {
+                    diags.push(Diag::new(
+                        Code::UnnecessaryWidening,
+                        i,
+                        None,
+                        format!(
+                            "{:?} runs at {:?} but every input is scalar",
+                            ins.op, ins.width
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // -- OC1001: dead body defs --
+    let live_out: HashSet<Reg> = p.live_out.iter().copied().collect();
+    for (&d, &i) in &def_site {
+        if !used.contains(&d) && !live_out.contains(&d) {
+            diags.push(Diag::new(
+                Code::DeadDef,
+                i,
+                None,
+                format!("{} is never used and is not live-out", p.reg_name(d)),
+            ));
+        }
+    }
+}

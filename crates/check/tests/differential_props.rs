@@ -1,0 +1,138 @@
+//! Differential properties tying the static verifier to the executable
+//! semantics: every straight-line trace the builder can record — i.e.
+//! everything the interpreter can execute — must verify clean, and a
+//! `Trace::mutated` stream must either be rejected by the verifier
+//! (structural mutants: dangling sources, double defs, undefined
+//! predicates) or, when it verifies clean, provably change the kernel's
+//! output. Together the two properties pin the verifier between "no false
+//! positives on executable programs" and "no blind spot the mutation
+//! operator can slip through".
+
+use ookami_check::{verify, Program};
+use ookami_sve::Trace;
+use proptest::prelude::*;
+
+/// One step of a generated kernel; `acc` threads through every step.
+#[derive(Debug, Clone)]
+enum Op {
+    /// fadd/fsub/fmul/fmax against a broadcast constant.
+    Bin(u8, f64),
+    /// fabs/fneg/frintn/fsqrt.
+    Un(u8),
+    /// fmla with a broadcast multiplicand and the input as multiplier.
+    Fma(f64),
+    /// m = acc > t; acc = sel(m, acc, c).
+    CmpSel(f64, f64),
+}
+
+/// The full op set: anything recordable must verify clean.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, -8.0..8.0f64).prop_map(|(k, c)| Op::Bin(k, c)),
+        (0u8..4).prop_map(Op::Un),
+        (-4.0..4.0f64).prop_map(Op::Fma),
+        (-2.0..2.0f64, -8.0..8.0f64).prop_map(|(t, c)| Op::CmpSel(t, c)),
+    ]
+}
+
+/// Injective ops only (affine in `acc` with nonzero scale): a bitwise
+/// difference introduced at the head of the chain survives to the output,
+/// so the divergence check below can't be masked by a max/select/round.
+fn affine_op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..2, -8.0..8.0f64).prop_map(|(k, c)| Op::Bin(k, c)),
+        (0.25..4.0f64, any::<bool>()).prop_map(|(c, n)| Op::Bin(2, if n { -c } else { c })),
+        Just(Op::Un(1)), // fneg
+        (-4.0..4.0f64).prop_map(Op::Fma),
+    ]
+}
+
+fn record(vl: usize, prog: &[Op]) -> Trace {
+    Trace::record1(vl, |ctx, pg, x| {
+        // Anchor with an fmla so the semantic mutant class always has a
+        // sign to flip: acc = x + 2.5·x² diverges from x − 2.5·x²
+        // wherever x ≠ 0.
+        let coef = ctx.dup_f64(2.5);
+        let mut acc = ctx.fmla(pg, x, &coef, x);
+        for op in prog {
+            acc = match *op {
+                Op::Bin(k, c) => {
+                    let cv = ctx.dup_f64(c);
+                    match k % 4 {
+                        0 => ctx.fadd(pg, &acc, &cv),
+                        1 => ctx.fsub(pg, &acc, &cv),
+                        2 => ctx.fmul(pg, &acc, &cv),
+                        _ => ctx.fmax(pg, &acc, &cv),
+                    }
+                }
+                Op::Un(k) => match k % 4 {
+                    0 => ctx.fabs(pg, &acc),
+                    1 => ctx.fneg(pg, &acc),
+                    2 => ctx.frintn(pg, &acc),
+                    _ => ctx.fsqrt(pg, &acc),
+                },
+                Op::Fma(c) => {
+                    let cv = ctx.dup_f64(c);
+                    ctx.fmla(pg, &acc, &cv, x)
+                }
+                Op::CmpSel(t, c) => {
+                    let tv = ctx.dup_f64(t);
+                    let cv = ctx.dup_f64(c);
+                    let m = ctx.fcmgt(pg, &acc, &tv);
+                    ctx.sel(&m, &acc, &cv)
+                }
+            };
+        }
+        acc
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No false positives: an executable recorded trace — any op mix, any
+    /// vector length — produces zero diagnostics, warnings included.
+    #[test]
+    fn recorded_traces_verify_clean(
+        vl in 1usize..=8,
+        prog in prop::collection::vec(op_strategy(), 0..10),
+    ) {
+        let t = record(vl, &prog);
+        let diags = verify(&Program::from_trace("generated", &t));
+        prop_assert!(diags.is_empty(), "vl={}: {:?}", vl, diags);
+    }
+
+    /// No blind spots: a mutant is either statically rejected, or it is a
+    /// semantic mutant — still executable, verifies clean, and its output
+    /// differs bitwise from the original kernel's on the probe inputs.
+    #[test]
+    fn mutants_are_rejected_or_change_output(
+        vl in 1usize..=8,
+        seed in 0u64..256,
+        prog in prop::collection::vec(affine_op_strategy(), 0..10),
+        xs in prop::collection::vec(
+            prop_oneof![0.5..100.0f64, -100.0..-0.5f64],
+            1..40,
+        ),
+    ) {
+        let t = record(vl, &prog);
+        let m = t.mutated(seed);
+        let diags = verify(&Program::from_trace("mutant", &m));
+        // Structural mutants are statically rejected; otherwise the
+        // verifier accepted it, so it must still be executable — and the
+        // mutation must have moved the kernel, not just the wiring.
+        if !diags.iter().any(ookami_check::Diag::is_error) {
+            let want = t.map(&xs);
+            let got = m.map(&xs);
+            let diverged = want
+                .iter()
+                .zip(&got)
+                .any(|(a, b)| a.to_bits() != b.to_bits());
+            prop_assert!(
+                diverged,
+                "verifier-clean mutant did not change the kernel (seed={})",
+                seed
+            );
+        }
+    }
+}

@@ -23,6 +23,11 @@
 //!   derived-metrics engine built on the counter snapshots;
 //! * [`stats`] — mean/stddev/median helpers (the paper's error bars).
 
+// Every `unsafe` operation must sit in an explicit `unsafe { }` block with
+// its own `// SAFETY:` justification, even inside `unsafe fn` (the
+// workspace unsafe-audit test enforces the comments).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod measure;
 pub mod obs;
 pub mod pool;

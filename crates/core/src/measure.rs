@@ -100,7 +100,10 @@ impl Table {
     pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
         Table {
             title: title.into(),
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -113,7 +116,7 @@ impl Table {
 
     pub fn render(&self) -> String {
         let ncol = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(std::string::String::len).collect();
         for r in &self.rows {
             for c in 0..ncol {
                 widths[c] = widths[c].max(r[c].len());
@@ -194,7 +197,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "column count mismatch")]
     fn table_column_mismatch_panics() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(&["only-one".into()]);

@@ -502,7 +502,7 @@ pub fn thread_snapshot() -> Snapshot {
 
 /// Zero every thread's counters and clear the span registry.
 pub fn reset() {
-    imp::reset()
+    imp::reset();
 }
 
 /// Open a named span; the guard closes it on drop. Nested spans aggregate
@@ -889,9 +889,9 @@ fn parse_number(b: &[u8], i: &mut usize) -> Result<Json, String> {
             *i += 1;
         }
     }
-    if matches!(b.get(*i), Some(&b'e') | Some(&b'E')) {
+    if matches!(b.get(*i), Some(&b'e' | &b'E')) {
         *i += 1;
-        if matches!(b.get(*i), Some(&b'+') | Some(&b'-')) {
+        if matches!(b.get(*i), Some(&b'+' | &b'-')) {
             *i += 1;
         }
         while matches!(b.get(*i), Some(c) if c.is_ascii_digit()) {
@@ -908,9 +908,8 @@ fn parse_number(b: &[u8], i: &mut usize) -> Result<Json, String> {
 /// `BENCH_*.json` this repo writes.
 pub fn validate_bench_json(s: &str) -> Result<(), String> {
     let v = Json::parse(s)?;
-    let obj = match &v {
-        Json::Obj(m) => m,
-        _ => return Err("top level must be an object".to_string()),
+    let Json::Obj(obj) = &v else {
+        return Err("top level must be an object".to_string());
     };
     match obj.get("schema") {
         Some(Json::Str(tag)) if tag == "ookami-bench-v1" => {}
@@ -961,9 +960,8 @@ pub fn validate_bench_json(s: &str) -> Result<(), String> {
         other => return Err(format!("`spans` must be an array, got {other:?}")),
     };
     for (i, s) in spans.iter().enumerate() {
-        let m = match s {
-            Json::Obj(m) => m,
-            _ => return Err(format!("`spans[{i}]` must be an object")),
+        let Json::Obj(m) = s else {
+            return Err(format!("`spans[{i}]` must be an object"));
         };
         match m.get("path") {
             Some(Json::Str(p)) if !p.is_empty() => {}

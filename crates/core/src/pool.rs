@@ -118,6 +118,9 @@ impl SenseBarrier {
 #[derive(Clone, Copy)]
 struct TaskPtr(*const (dyn Fn(usize) + Sync));
 
+// SAFETY: the pointee is `Sync` (bound in the type), and the pool's
+// barrier protocol keeps the borrow alive until every worker is done with
+// it — workers only read the pointer between publication and completion.
 unsafe impl Send for TaskPtr {}
 
 struct State {
@@ -164,9 +167,7 @@ pub struct Pool {
 /// Logical thread count from the OS (`available_parallelism`), the
 /// value `threads == 0` resolves to in the `par_*` helpers.
 pub fn auto_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 impl Pool {
@@ -228,7 +229,7 @@ impl Pool {
     /// calls on one pool are safe: regions are serialized, so a second
     /// caller blocks until the active region completes.
     pub fn run<F: Fn(usize) + Sync>(&self, parts: usize, f: F) {
-        self.run_dyn(parts, &f)
+        self.run_dyn(parts, &f);
     }
 
     fn run_dyn(&self, parts: usize, f: &(dyn Fn(usize) + Sync)) {
@@ -272,6 +273,9 @@ impl Pool {
         // SAFETY: the pointee outlives the region — run_dyn does not
         // return until every participant has passed the barrier, and
         // workers only dereference the pointer before arriving at it.
+        // A plain `as` cast cannot erase the trait object's lifetime
+        // bound, so this stays a transmute.
+        #[allow(clippy::transmute_ptr_to_ptr)]
         let task = TaskPtr(unsafe {
             std::mem::transmute::<
                 *const (dyn Fn(usize) + Sync + '_),
@@ -387,8 +391,9 @@ impl Pool {
             return;
         }
         let threads = resolve_threads(threads, n);
+        let lid = fresh_loop_id();
         if threads == 1 {
-            let _chunk = count_chunk(sched, 0, n);
+            let _chunk = count_chunk(sched, lid, 0, n);
             f(0, 0, n);
             return;
         }
@@ -399,7 +404,7 @@ impl Pool {
                     let start = t * chunk;
                     let end = ((t + 1) * chunk).min(n);
                     if start < end {
-                        let _chunk = count_chunk(sched, start, end);
+                        let _chunk = count_chunk(sched, lid, start, end);
                         f(t, start, end);
                     }
                 });
@@ -412,7 +417,7 @@ impl Pool {
                     if s >= n {
                         break;
                     }
-                    let _chunk = count_chunk(sched, s, (s + chunk).min(n));
+                    let _chunk = count_chunk(sched, lid, s, (s + chunk).min(n));
                     f(slot, s, (s + chunk).min(n));
                 });
             }
@@ -428,7 +433,7 @@ impl Pool {
                         .compare_exchange_weak(cur, cur + c, Ordering::Relaxed, Ordering::Relaxed)
                         .is_ok()
                     {
-                        let _chunk = count_chunk(sched, cur, (cur + c).min(n));
+                        let _chunk = count_chunk(sched, lid, cur, (cur + c).min(n));
                         f(slot, cur, (cur + c).min(n));
                     }
                 });
@@ -454,9 +459,10 @@ impl Pool {
         C: Fn(A, A) -> A,
     {
         let threads = resolve_threads(threads, n);
+        let lid = fresh_loop_id();
         if threads == 1 {
             if n > 0 {
-                let _chunk = count_chunk(sched, 0, n);
+                let _chunk = count_chunk(sched, lid, 0, n);
                 return f(0, n, init);
             }
             return f(0, n, init);
@@ -477,7 +483,7 @@ impl Pool {
                     let start = t * chunk;
                     let end = ((t + 1) * chunk).min(n);
                     if start < end {
-                        let _chunk = count_chunk(sched, start, end);
+                        let _chunk = count_chunk(sched, lid, start, end);
                         *slots[t].lock() = Some(f(start, end, take_seed(t)));
                     }
                 });
@@ -492,7 +498,7 @@ impl Pool {
                         if s >= n {
                             break;
                         }
-                        let _chunk = count_chunk(sched, s, (s + chunk).min(n));
+                        let _chunk = count_chunk(sched, lid, s, (s + chunk).min(n));
                         let seed = acc.take().unwrap_or_else(|| take_seed(slot));
                         acc = Some(f(s, (s + chunk).min(n), seed));
                     }
@@ -520,7 +526,7 @@ impl Pool {
                             )
                             .is_ok()
                         {
-                            let _chunk = count_chunk(sched, cur, (cur + c).min(n));
+                            let _chunk = count_chunk(sched, lid, cur, (cur + c).min(n));
                             let seed = acc.take().unwrap_or_else(|| take_seed(slot));
                             acc = Some(f(cur, (cur + c).min(n), seed));
                         }
@@ -533,7 +539,7 @@ impl Pool {
         }
         slots
             .into_iter()
-            .filter_map(|s| s.into_inner())
+            .filter_map(parking_lot::Mutex::into_inner)
             .fold(init, combine)
     }
 }
@@ -547,9 +553,19 @@ fn slots_take<A>(seeds: &[Mutex<Option<A>>], slot: usize) -> A {
 /// completed loop — an invariant the schedule property tests assert) and
 /// return a timeline guard: hold it across the chunk body so the trace
 /// records the chunk's duration as a complete event.
+/// Loop ids for timeline chunk events: one fresh id per `par_for_with` /
+/// `par_reduce_with` call, process-global, so the race detector can group
+/// the chunks of one parallel loop even when several loops interleave on
+/// the trace (nested inline regions included).
+static NEXT_LOOP_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn fresh_loop_id() -> u64 {
+    NEXT_LOOP_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 #[inline]
 #[must_use = "hold the guard across the chunk body so its duration is traced"]
-fn count_chunk(sched: Schedule, s: usize, e: usize) -> crate::timeline::ChunkGuard {
+fn count_chunk(sched: Schedule, loop_id: u64, s: usize, e: usize) -> crate::timeline::ChunkGuard {
     let (chunks, iters, name) = match sched {
         Schedule::Static => (
             Counter::ChunksStatic,
@@ -569,7 +585,7 @@ fn count_chunk(sched: Schedule, s: usize, e: usize) -> crate::timeline::ChunkGua
     };
     obs::add(chunks, 1);
     obs::add(iters, (e - s) as u64);
-    crate::timeline::chunk(name, s, e - s)
+    crate::timeline::chunk(name, loop_id, s, e - s)
 }
 
 fn resolve_threads(threads: usize, n: usize) -> usize {
@@ -660,9 +676,7 @@ mod tests {
         let pool = Pool::new(2);
         let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.run(8, |i| {
-                if i == 5 {
-                    panic!("part five failed");
-                }
+                assert!(i != 5, "part five failed");
             });
         }));
         let payload = res.expect_err("panic must propagate");

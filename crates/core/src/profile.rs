@@ -216,7 +216,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "(0.0..=1.0).contains")]
     fn invalid_fraction_panics() {
         let _ = WorkloadProfile::new("x", 1.0, 1.0).with_vec_fraction(1.5);
     }

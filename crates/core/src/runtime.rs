@@ -37,7 +37,11 @@ impl<T> Clone for SendPtr<T> {
 }
 impl<T> Copy for SendPtr<T> {}
 
+// SAFETY: the wrapper only carries the address; every dereference happens
+// inside an `unsafe` block whose caller guarantees disjointness (each pool
+// chunk derives a non-overlapping window exactly once per region).
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: as above — shared `&SendPtr` access only copies the address.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -61,7 +65,8 @@ impl<T> SendPtr<T> {
     /// claimed range derived exactly once per region, and the borrow the
     /// pointer came from outlives the region).
     pub unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [T] {
-        std::slice::from_raw_parts_mut(self.0.add(offset), len)
+        // SAFETY: forwarded to the caller — see the function's contract.
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(offset), len) }
     }
 }
 

@@ -71,6 +71,53 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// One recorded event, decoded for programmatic consumers (the
+/// `ookami_check` race detector replays these). [`export_events`] returns
+/// them sorted by timestamp across all threads of the current session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Recording thread (dense ids assigned at first event, caller = the
+    /// thread that called [`start`] or the pool worker's own id).
+    pub tid: u64,
+    /// Event timestamp (session-relative); for duration payloads this is
+    /// the *start* of the measured interval.
+    pub ts_ns: u64,
+    /// Interned event name (span name, schedule name, counter name).
+    pub name: String,
+    pub payload: EventPayload,
+}
+
+/// Decoded payload of a [`TimelineEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventPayload {
+    SpanBegin,
+    SpanEnd,
+    /// Pool region forked into `parts` logical threads (caller thread).
+    Fork {
+        parts: u64,
+    },
+    /// Pool region joined after the completion barrier (caller thread).
+    Join {
+        parts: u64,
+    },
+    /// One scheduled chunk `[start, start+len)` of parallel-for `loop_id`
+    /// (ids are unique per top-level pool call within a process).
+    Chunk {
+        loop_id: u64,
+        start: u64,
+        len: u64,
+        dur_ns: u64,
+    },
+    /// Time spent waiting at the pool completion barrier.
+    BarrierWait {
+        ns: u64,
+    },
+    /// Periodic cumulative counter sample.
+    Counter {
+        value: u64,
+    },
+}
+
 /// Recording statistics over the rings of the current recording session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TimelineStats {
@@ -109,6 +156,7 @@ mod imp {
         name: AtomicU64,
         a: AtomicU64,
         b: AtomicU64,
+        c: AtomicU64,
     }
 
     impl Slot {
@@ -120,6 +168,7 @@ mod imp {
                 name: AtomicU64::new(0),
                 a: AtomicU64::new(0),
                 b: AtomicU64::new(0),
+                c: AtomicU64::new(0),
             }
         }
     }
@@ -138,7 +187,7 @@ mod imp {
 
     impl ThreadRing {
         /// Owner-thread only.
-        fn push(&self, ts_ns: u64, kind: u64, name: u64, a: u64, b: u64) {
+        fn push(&self, ts_ns: u64, kind: u64, name: u64, a: u64, b: u64, c: u64) {
             let h = self.head.load(Ordering::Relaxed);
             let slot = &self.slots[(h as usize) % self.capacity];
             slot.seq.store(2 * h + 1, Ordering::Release);
@@ -147,6 +196,7 @@ mod imp {
             slot.name.store(name, Ordering::Relaxed);
             slot.a.store(a, Ordering::Relaxed);
             slot.b.store(b, Ordering::Relaxed);
+            slot.c.store(c, Ordering::Relaxed);
             slot.seq.store(2 * (h + 1), Ordering::Release);
             self.head.store(h + 1, Ordering::Release);
         }
@@ -169,6 +219,7 @@ mod imp {
                     name: slot.name.load(Ordering::Relaxed),
                     a: slot.a.load(Ordering::Relaxed),
                     b: slot.b.load(Ordering::Relaxed),
+                    c: slot.c.load(Ordering::Relaxed),
                 };
                 if slot.seq.load(Ordering::Acquire) == seq1 {
                     out.push(ev);
@@ -185,6 +236,7 @@ mod imp {
         name: u64,
         a: u64,
         b: u64,
+        c: u64,
     }
 
     static RECORDING: AtomicBool = AtomicBool::new(false);
@@ -220,7 +272,7 @@ mod imp {
     fn intern_table() -> &'static Mutex<Intern> {
         static TABLE: OnceLock<Mutex<Intern>> = OnceLock::new();
         TABLE.get_or_init(|| {
-            let names: Vec<String> = WELL_KNOWN.iter().map(|s| s.to_string()).collect();
+            let names: Vec<String> = WELL_KNOWN.iter().map(ToString::to_string).collect();
             let ids = names
                 .iter()
                 .enumerate()
@@ -273,7 +325,7 @@ mod imp {
 
     /// Push one event on this thread's current-generation ring, creating
     /// and registering the ring on first use.
-    fn push(kind: u64, name: u64, ts_ns: u64, a: u64, b: u64) {
+    fn push(kind: u64, name: u64, ts_ns: u64, a: u64, b: u64, c: u64) {
         RING.with(|cell| {
             let mut cell = cell.borrow_mut();
             let generation = GENERATION.load(Ordering::Acquire);
@@ -305,7 +357,7 @@ mod imp {
             }
             cell.as_ref()
                 .expect("ring just installed")
-                .push(ts_ns, kind, name, a, b);
+                .push(ts_ns, kind, name, a, b, c);
         });
     }
 
@@ -314,7 +366,7 @@ mod imp {
             return;
         }
         let id = intern(name);
-        push(kind::SPAN_BEGIN, id, now_ns(), 0, 0);
+        push(kind::SPAN_BEGIN, id, now_ns(), 0, 0, 0);
     }
 
     pub fn span_end(name: &str) {
@@ -322,21 +374,21 @@ mod imp {
             return;
         }
         let id = intern(name);
-        push(kind::SPAN_END, id, now_ns(), 0, 0);
+        push(kind::SPAN_END, id, now_ns(), 0, 0, 0);
     }
 
     pub fn fork(parts: usize) {
         if !recording() {
             return;
         }
-        push(kind::FORK, NAME_FORK, now_ns(), parts as u64, 0);
+        push(kind::FORK, NAME_FORK, now_ns(), parts as u64, 0, 0);
     }
 
     pub fn join(parts: usize) {
         if !recording() {
             return;
         }
-        push(kind::JOIN, NAME_JOIN, now_ns(), parts as u64, 0);
+        push(kind::JOIN, NAME_JOIN, now_ns(), parts as u64, 0, 0);
     }
 
     /// Chunk guard: measures the chunk body and records one complete event
@@ -344,16 +396,18 @@ mod imp {
     pub struct ChunkGuard {
         t0_ns: u64,
         name: u64,
+        loop_id: u64,
         start: u32,
         len: u32,
         active: bool,
     }
 
-    pub fn chunk(sched_name_id: u64, start: usize, len: usize) -> ChunkGuard {
+    pub fn chunk(sched_name_id: u64, loop_id: u64, start: usize, len: usize) -> ChunkGuard {
         if !recording() {
             return ChunkGuard {
                 t0_ns: 0,
                 name: 0,
+                loop_id: 0,
                 start: 0,
                 len: 0,
                 active: false,
@@ -362,6 +416,7 @@ mod imp {
         ChunkGuard {
             t0_ns: now_ns(),
             name: sched_name_id,
+            loop_id,
             start: start.min(u32::MAX as usize) as u32,
             len: len.min(u32::MAX as usize) as u32,
             active: true,
@@ -374,8 +429,15 @@ mod imp {
                 return;
             }
             let dur = now_ns().saturating_sub(self.t0_ns);
-            let packed = ((self.start as u64) << 32) | self.len as u64;
-            push(kind::CHUNK, self.name, self.t0_ns, dur, packed);
+            let packed = (u64::from(self.start) << 32) | u64::from(self.len);
+            push(
+                kind::CHUNK,
+                self.name,
+                self.t0_ns,
+                dur,
+                packed,
+                self.loop_id,
+            );
         }
     }
 
@@ -384,7 +446,14 @@ mod imp {
             return;
         }
         let end = now_ns();
-        push(kind::BARRIER, NAME_BARRIER, end.saturating_sub(ns), ns, 0);
+        push(
+            kind::BARRIER,
+            NAME_BARRIER,
+            end.saturating_sub(ns),
+            ns,
+            0,
+            0,
+        );
     }
 
     pub fn counter_sample(c: Counter, value: u64) {
@@ -392,7 +461,7 @@ mod imp {
             return;
         }
         let id = intern(c.name());
-        push(kind::COUNTER, id, now_ns(), value, 0);
+        push(kind::COUNTER, id, now_ns(), value, 0, 0);
     }
 
     fn current_rings() -> Vec<Arc<ThreadRing>> {
@@ -532,10 +601,11 @@ mod imp {
                     }
                     kind::CHUNK => {
                         let extra = format!(
-                            ",\"dur\":{},\"args\":{{\"start\":{},\"len\":{}}}",
+                            ",\"dur\":{},\"args\":{{\"start\":{},\"len\":{},\"loop\":{}}}",
                             us(ev.a),
                             ev.b >> 32,
-                            ev.b & 0xffff_ffff
+                            ev.b & 0xffff_ffff,
+                            ev.c
                         );
                         emit(
                             &mut out,
@@ -602,6 +672,47 @@ mod imp {
         );
         out
     }
+
+    pub fn export_events() -> Vec<super::TimelineEvent> {
+        use super::EventPayload as P;
+        let rings = current_rings();
+        let names: Vec<String> = intern_table().lock().names.clone();
+        let name_of = |id: u64| -> String {
+            names
+                .get(id as usize)
+                .map_or("?", |s| s.as_str())
+                .to_string()
+        };
+        let mut out = Vec::new();
+        for ring in &rings {
+            for ev in ring.read() {
+                let payload = match ev.kind {
+                    kind::SPAN_BEGIN => P::SpanBegin,
+                    kind::SPAN_END => P::SpanEnd,
+                    kind::FORK => P::Fork { parts: ev.a },
+                    kind::JOIN => P::Join { parts: ev.a },
+                    kind::CHUNK => P::Chunk {
+                        loop_id: ev.c,
+                        start: ev.b >> 32,
+                        len: ev.b & 0xffff_ffff,
+                        dur_ns: ev.a,
+                    },
+                    kind::BARRIER => P::BarrierWait { ns: ev.a },
+                    kind::COUNTER => P::Counter { value: ev.a },
+                    _ => continue,
+                };
+                out.push(super::TimelineEvent {
+                    tid: ring.tid,
+                    ts_ns: ev.ts_ns,
+                    name: name_of(ev.name),
+                    payload,
+                });
+            }
+        }
+        // Deterministic global order: by timestamp, ties by thread.
+        out.sort_by_key(|e| (e.ts_ns, e.tid));
+        out
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -645,7 +756,7 @@ mod imp {
     pub struct ChunkGuard;
 
     #[inline(always)]
-    pub fn chunk(_sched_name_id: u64, _start: usize, _len: usize) -> ChunkGuard {
+    pub fn chunk(_sched_name_id: u64, _loop_id: u64, _start: usize, _len: usize) -> ChunkGuard {
         ChunkGuard
     }
 
@@ -663,6 +774,10 @@ mod imp {
         "{\"traceEvents\":[],\n\"otherData\":{\"threads\":0,\"events_retained\":0,\"events_dropped\":0}\n}\n"
             .to_string()
     }
+
+    pub fn export_events() -> Vec<super::TimelineEvent> {
+        Vec::new()
+    }
 }
 
 pub use imp::{ChunkGuard, DEFAULT_CAPACITY, NAME_DYNAMIC, NAME_GUIDED, NAME_STATIC};
@@ -678,58 +793,60 @@ pub fn recording() -> bool {
 /// per-thread rings of `capacity_per_thread` slots (drop-oldest beyond
 /// that). Rings from a previous session are discarded.
 pub fn start(capacity_per_thread: usize) {
-    imp::start(capacity_per_thread)
+    imp::start(capacity_per_thread);
 }
 
 /// Stop recording. Already-recorded events stay exportable until the next
 /// [`start`].
 pub fn stop() {
-    imp::stop()
+    imp::stop();
 }
 
 /// Record a span open (called by [`crate::obs::region`]).
 #[inline(always)]
 pub fn span_begin(name: &str) {
-    imp::span_begin(name)
+    imp::span_begin(name);
 }
 
 /// Record a span close (called by the [`crate::obs::Region`] guard).
 #[inline(always)]
 pub fn span_end(name: &str) {
-    imp::span_end(name)
+    imp::span_end(name);
 }
 
 /// Record a pool region fork of `parts` logical threads (caller thread).
 #[inline(always)]
 pub fn fork(parts: usize) {
-    imp::fork(parts)
+    imp::fork(parts);
 }
 
 /// Record a pool region join (caller thread, after the barrier).
 #[inline(always)]
 pub fn join(parts: usize) {
-    imp::join(parts)
+    imp::join(parts);
 }
 
-/// Guard measuring one scheduled chunk `[start, start+len)`; records a
-/// complete event with its duration on drop. `sched_name_id` is one of
-/// [`NAME_STATIC`], [`NAME_DYNAMIC`], [`NAME_GUIDED`].
+/// Guard measuring one scheduled chunk `[start, start+len)` of
+/// parallel-for `loop_id`; records a complete event with its duration on
+/// drop. `sched_name_id` is one of [`NAME_STATIC`], [`NAME_DYNAMIC`],
+/// [`NAME_GUIDED`]; the pool assigns one fresh `loop_id` per top-level
+/// region so the race detector can group chunks by loop.
 #[inline(always)]
-pub fn chunk(sched_name_id: u64, start: usize, len: usize) -> ChunkGuard {
-    imp::chunk(sched_name_id, start, len)
+pub fn chunk(sched_name_id: u64, loop_id: u64, start: usize, len: usize) -> ChunkGuard {
+    imp::chunk(sched_name_id, loop_id, start, len)
 }
 
 /// Record `ns` nanoseconds spent waiting at the pool completion barrier.
 #[inline(always)]
 pub fn barrier_wait(ns: u64) {
-    imp::barrier_wait(ns)
+    imp::barrier_wait(ns);
 }
 
 /// Record a periodic counter sample: this thread's cumulative `value` for
 /// counter `c` (plotted as a Chrome `C` counter track).
 #[inline(always)]
 pub fn counter_sample(c: Counter, value: u64) {
-    imp::counter_sample(c, value)
+    imp::counter_sample(c, value);
 }
 
 /// Statistics over the current recording session's rings.
@@ -744,10 +861,22 @@ pub fn export_chrome_trace() -> String {
     imp::export_chrome_trace()
 }
 
+/// Export the current session as decoded [`TimelineEvent`]s, sorted by
+/// `(ts_ns, tid)` across all threads — the input the `ookami_check`
+/// happens-before race detector replays. Empty without the `obs` feature
+/// or when nothing was recorded.
+pub fn export_events() -> Vec<TimelineEvent> {
+    imp::export_events()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::obs::Json;
+
+    /// Serializes the session tests: concurrent `start()` calls steal each
+    /// other's recording generation.
+    static TL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn disabled_or_idle_export_is_valid_json() {
@@ -773,15 +902,15 @@ mod tests {
     #[cfg(feature = "obs")]
     #[test]
     fn record_export_roundtrip() {
-        // Runs in its own test binary thread; generation isolation means a
-        // concurrent test that also start()s would steal the session, so
-        // this test does everything in one go without yielding.
+        let _g = TL_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         start(64);
         span_begin("outer");
         span_begin("inner");
         counter_sample(Counter::SveInstrs, 42);
         {
-            let _c = chunk(NAME_STATIC, 0, 10);
+            let _c = chunk(NAME_STATIC, 7, 0, 10);
         }
         barrier_wait(1000);
         fork(4);
@@ -813,9 +942,53 @@ mod tests {
         }
     }
 
+    #[test]
+    fn export_events_decodes_payloads() {
+        let _g = TL_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        start(64);
+        fork(2);
+        {
+            let _c = chunk(NAME_DYNAMIC, 42, 8, 4);
+        }
+        barrier_wait(500);
+        join(2);
+        stop();
+        let events = export_events();
+        if cfg!(feature = "obs") {
+            let chunk_ev = events
+                .iter()
+                .find(|e| matches!(e.payload, EventPayload::Chunk { .. }))
+                .expect("chunk event present");
+            assert_eq!(chunk_ev.name, "chunk_dynamic");
+            assert!(matches!(
+                chunk_ev.payload,
+                EventPayload::Chunk {
+                    loop_id: 42,
+                    start: 8,
+                    len: 4,
+                    ..
+                }
+            ));
+            assert!(events
+                .iter()
+                .any(|e| matches!(e.payload, EventPayload::Fork { parts: 2 })));
+            assert!(events
+                .iter()
+                .any(|e| matches!(e.payload, EventPayload::Join { parts: 2 })));
+            assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        } else {
+            assert!(events.is_empty());
+        }
+    }
+
     #[cfg(feature = "obs")]
     #[test]
     fn drop_oldest_bounds_memory_and_keeps_nesting() {
+        let _g = TL_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         start(32);
         {
             let _g = crate::obs::region("tl_outer");
@@ -830,7 +1003,7 @@ mod tests {
         let v = Json::parse(&doc).expect("trace must parse");
         if let Some(Json::Arr(events)) = v.get("traceEvents") {
             // Per-tid B/E discipline must survive the dropped prefix.
-            let mut depth: std::collections::BTreeMap<i64, i64> = Default::default();
+            let mut depth = std::collections::BTreeMap::<i64, i64>::new();
             for e in events {
                 let tid = match e.get("tid") {
                     Some(Json::Num(n)) => *n as i64,

@@ -43,7 +43,7 @@ proptest! {
         threads in 1usize..6,
         sched in sched_strategy(),
     ) {
-        let _g = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = POOL_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let visits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
         let before = obs::snapshot();
         par_for_with(threads, len, sched, |_tid, s, e| {
@@ -87,7 +87,7 @@ proptest! {
         threads in 1usize..6,
         sched in sched_strategy(),
     ) {
-        let _g = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = POOL_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let before = obs::snapshot();
         let total = par_reduce_with(
             threads,
@@ -114,7 +114,9 @@ fn dynamic_chunk_count_is_exact() {
     if !obs::enabled() {
         return;
     }
-    let _g = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _g = POOL_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     for (len, chunk) in [(96usize, 8usize), (97, 8), (100, 7), (5, 32)] {
         let before = obs::snapshot();
         par_for_with(2, len, Schedule::Dynamic { chunk }, |_tid, _s, _e| {});

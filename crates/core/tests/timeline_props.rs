@@ -116,7 +116,7 @@ proptest! {
         threads in 1usize..6,
         sched in sched_strategy(),
     ) {
-        let _g = TL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = TL_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         timeline::start(1 << 14);
         {
             let _outer = obs::region("tlp_region");
@@ -153,7 +153,7 @@ proptest! {
     fn exporter_roundtrips_arbitrary_span_names(
         names in proptest::collection::vec(name_strategy(), 1..8),
     ) {
-        let _g = TL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = TL_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         timeline::start(1 << 12);
         fn nest(names: &[String]) {
             if let Some((first, rest)) = names.split_first() {
@@ -183,7 +183,7 @@ proptest! {
     /// thread's spans balance.
     #[test]
     fn drop_oldest_preserves_nesting(spans in 40usize..200, cap in 16usize..64) {
-        let _g = TL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = TL_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         timeline::start(cap);
         {
             let _outer = obs::region("tlp_drop_outer");
@@ -206,7 +206,9 @@ proptest! {
 /// and the document parses — the non-property integration smoke.
 #[test]
 fn pooled_region_emits_fork_join_events() {
-    let _g = TL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _g = TL_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     // A private pool with workers guarantees the forked (non-inline) path.
     let pool = ookami_core::Pool::new(2);
     timeline::start(1 << 14);

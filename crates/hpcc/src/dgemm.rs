@@ -52,7 +52,7 @@ pub fn dgemm_blocked(
     assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
     let _span = ookami_core::obs::region("hpcc_dgemm");
     // β pass first, then accumulate.
-    for v in c[..m * n].iter_mut() {
+    for v in &mut c[..m * n] {
         *v *= beta;
     }
     for i0 in (0..m).step_by(MC) {
@@ -92,7 +92,7 @@ pub fn dgemm_micro(
     const MR: usize = 4;
     const NR: usize = 4;
     assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
-    for v in c[..m * n].iter_mut() {
+    for v in &mut c[..m * n] {
         *v *= beta;
     }
     let mut i0 = 0;

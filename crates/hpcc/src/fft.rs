@@ -63,7 +63,7 @@ impl Fft {
     pub fn inverse(&self, input: &[C64]) -> Vec<C64> {
         let mut out = self.transform(input, true);
         let s = 1.0 / self.n as f64;
-        for v in out.iter_mut() {
+        for v in &mut out {
             v.0 *= s;
             v.1 *= s;
         }

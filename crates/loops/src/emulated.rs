@@ -13,12 +13,12 @@
 
 use crate::suite::LoopSuite;
 use ookami_mem::gather::analyze_indices;
-use ookami_sve::TraceBuilder;
+use ookami_sve::{PSlot, Trace, TraceBuilder, VSlot};
 use ookami_uarch::Machine;
 
-/// `y[i] = 2x[i] + 3x[i]²` via predicated SVE (whilelt-governed VLA loop).
-pub fn run_simple_sve(suite: &mut LoopSuite, vl: usize) {
-    let _span = ookami_core::obs::region("loops_simple");
+/// Record the `simple` loop body (`y = 2x + 3x²`) as a standalone trace —
+/// shared by [`run_simple_sve`] and the `ookamicheck` static verifier.
+pub fn simple_trace(vl: usize) -> Trace {
     let mut b = TraceBuilder::new(vl);
     let pg = b.loop_pred();
     let x = b.input_f64();
@@ -33,15 +33,20 @@ pub fn run_simple_sve(suite: &mut LoopSuite, vl: usize) {
     let t3xx = ctx.fmul(&pg, &t3x, &x);
     let t2x = ctx.fmul(&pg, &two, &x);
     let y = ctx.fadd(&pg, &t2x, &t3xx);
-    let t = b.finish(&[&y]);
+    b.finish(&[&y])
+}
 
+/// `y[i] = 2x[i] + 3x[i]²` via predicated SVE (whilelt-governed VLA loop).
+pub fn run_simple_sve(suite: &mut LoopSuite, vl: usize) {
+    let _span = ookami_core::obs::region("loops_simple");
+    let t = simple_trace(vl);
     let out = t.map(&suite.x[..suite.n]);
     suite.y[..suite.n].copy_from_slice(&out);
 }
 
-/// `if x[i] > 0 { y[i] = x[i] }` via compare-to-predicate + merging store.
-pub fn run_predicate_sve(suite: &mut LoopSuite, vl: usize) {
-    let _span = ookami_core::obs::region("loops_predicate");
+/// Record the predicated-store body (`p = pg ∧ x > 0`, tap `p` and `x`)
+/// as a standalone trace; returns `(trace, pred_tap, value_tap)`.
+pub fn predicate_trace(vl: usize) -> (Trace, PSlot, VSlot) {
     let mut b = TraceBuilder::new(vl);
     let pg = b.loop_pred();
     let x = b.input_f64();
@@ -51,7 +56,13 @@ pub fn run_predicate_sve(suite: &mut LoopSuite, vl: usize) {
     let p = ctx.fcmgt(&pg, &x, &zero);
     let ps = b.pslot_of(&p);
     let xs = b.slot_of(&x);
-    let t = b.finish(&[]);
+    (b.finish(&[]), ps, xs)
+}
+
+/// `if x[i] > 0 { y[i] = x[i] }` via compare-to-predicate + merging store.
+pub fn run_predicate_sve(suite: &mut LoopSuite, vl: usize) {
+    let _span = ookami_core::obs::region("loops_predicate");
+    let (t, ps, xs) = predicate_trace(vl);
 
     // Replay block-by-block; the store is governed by the *computed*
     // predicate (p = pg ∧ x>0), so untaken lanes leave `y` untouched —
@@ -93,12 +104,7 @@ pub fn run_gather_sve(suite: &mut LoopSuite, vl: usize, short: bool, machine: &M
         machine.vector_width,
     );
 
-    let mut b = TraceBuilder::new(vl);
-    let pg = b.loop_pred();
-    let iv = b.input_i64();
-    b.begin_body();
-    let g = b.ctx().ld1d_gather(&pg, &suite.x, &iv, pat.uops as u32);
-    let t = b.finish(&[&g]);
+    let t = gather_trace(vl, &suite.x, pat.uops as u32);
     let o = t.output(0);
 
     let mut r = t.replayer();
@@ -119,6 +125,30 @@ pub fn run_gather_sve(suite: &mut LoopSuite, vl: usize, short: bool, machine: &M
     }
 }
 
+/// Record the gather body (`y[i] = tab[index[i]]`) as a standalone trace.
+/// `uops` is the per-vector µop count from the index-pattern analysis.
+pub fn gather_trace(vl: usize, tab: &[f64], uops: u32) -> Trace {
+    let mut b = TraceBuilder::new(vl);
+    let pg = b.loop_pred();
+    let iv = b.input_i64();
+    b.begin_body();
+    let g = b.ctx().ld1d_gather(&pg, tab, &iv, uops);
+    b.finish(&[&g])
+}
+
+/// Record the scatter body (`y[index[i]] = x[i]`) as a standalone trace.
+/// The recording itself touches one stray lane of `y` (record-time write);
+/// callers replay into the trace's captured table and publish it back.
+pub fn scatter_trace(vl: usize, y: &mut [f64]) -> Trace {
+    let mut b = TraceBuilder::new(vl);
+    let pg = b.loop_pred();
+    let iv = b.input_i64();
+    let x = b.input_f64();
+    b.begin_body();
+    b.ctx().st1d_scatter(&pg, &x, y, &iv);
+    b.finish(&[])
+}
+
 /// `y[index[i]] = x[i]` via scatter.
 pub fn run_scatter_sve(suite: &mut LoopSuite, vl: usize, short: bool) {
     let _span = ookami_core::obs::region("loops_scatter");
@@ -129,13 +159,7 @@ pub fn run_scatter_sve(suite: &mut LoopSuite, vl: usize, short: bool) {
         suite.index_full.clone()
     };
 
-    let mut b = TraceBuilder::new(vl);
-    let pg = b.loop_pred();
-    let iv = b.input_i64();
-    let x = b.input_f64();
-    b.begin_body();
-    b.ctx().st1d_scatter(&pg, &x, &mut suite.y, &iv);
-    let t = b.finish(&[]);
+    let t = scatter_trace(vl, &mut suite.y);
 
     // Replay scatters into the Replayer's working copy of `y` (captured
     // before the record-time write), then publish the final table — this

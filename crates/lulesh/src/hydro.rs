@@ -334,6 +334,9 @@ impl Hydro {
                 ookami_core::Schedule::Static,
                 vec![[0.0f64; 3]; nnode],
                 |start, end, mut acc| {
+                    // SAFETY: each reduce range gets the matching
+                    // `start..end` window of `grads_all`; static ranges are
+                    // disjoint and the borrow outlives the region.
                     let grads_out = unsafe { gbase.slice_mut(start, end.saturating_sub(start)) };
                     for (gi, el) in (start..end).enumerate() {
                         let nodes = this.elem_nodes(el);
@@ -369,6 +372,9 @@ impl Hydro {
             let fb = SendPtr::new(self.f.as_mut_ptr());
             let mass = &self.nodal_mass;
             par_for(threads, nnode, |_, s0, e0| {
+                // SAFETY: (all three) each thread derives only its own
+                // `s0..e0` node window of x/v/f; static ranges partition
+                // `0..nnode` and the borrows outlive the region.
                 let x = unsafe { xb.slice_mut(s0, e0 - s0) };
                 let v = unsafe { vb.slice_mut(s0, e0 - s0) };
                 let f = unsafe { fb.slice_mut(s0, e0 - s0) };
@@ -424,6 +430,9 @@ impl Hydro {
                 ((i + di) * nn + (j + dj)) * nn + (k + dk)
             };
             par_for(threads, nelem, |_, s0, e0| {
+                // SAFETY: (all three) per-thread `s0..e0` element windows
+                // of e/q/vol; static ranges partition `0..nelem` and the
+                // buffers outlive the region.
                 let ee = unsafe { eb.slice_mut(s0, e0 - s0) };
                 let qq = unsafe { qb.slice_mut(s0, e0 - s0) };
                 let vv = unsafe { volb.slice_mut(s0, e0 - s0) };
@@ -635,7 +644,7 @@ mod tests {
 
     fn shock_front(profile: &[f64]) -> usize {
         // outermost element with pressure above 1% of max
-        let pmax = profile.iter().cloned().fold(0.0, f64::max);
+        let pmax = profile.iter().copied().fold(0.0, f64::max);
         profile.iter().rposition(|&p| p > 0.01 * pmax).unwrap_or(0)
     }
 

@@ -114,8 +114,8 @@ mod tests {
         .iter()
         .map(|&c| time_s(c, Variant::Base, false))
         .collect();
-        let spread = a64.iter().cloned().fold(0.0, f64::max)
-            / a64.iter().cloned().fold(f64::INFINITY, f64::min);
+        let spread = a64.iter().copied().fold(0.0, f64::max)
+            / a64.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(spread < 1.05, "A64FX Base(st) spread {spread}: {a64:?}");
         // Magnitude ≈ 2.05 s and Intel ratio ≈ 5×.
         assert!((a64[0] / 2.05 - 1.0).abs() < 0.2, "Base(st) {}", a64[0]);

@@ -111,7 +111,7 @@ fn run_base(n: usize, t_end: f64, max_cycles: usize) -> (f64, usize, f64, f64) {
         dt = dt.min(1e-2);
 
         // forces
-        for node in nodes.iter_mut() {
+        for node in &mut nodes {
             node.f = [0.0; 3];
         }
         for (el_idx, el) in elems.iter().enumerate() {

@@ -70,10 +70,18 @@ fn metropolis_step(
     (c2, p_acc, x_out)
 }
 
-/// Run `iters` vectorized Metropolis steps across `vl` independent chains;
-/// returns (mean, acceptance rate). Records the step once, replays `iters`
-/// times (no per-op dispatch, no per-op allocation).
-pub fn sample_emulated(vl: usize, iters: usize, seed: u64) -> (f64, f64) {
+/// Record one carried Metropolis step as a standalone trace; returns the
+/// trace plus its `(accept-pred, all-lanes-pred, x)` taps. Shared by
+/// [`sample_emulated`] and the `ookamicheck` static verifier.
+pub fn metropolis_trace(
+    vl: usize,
+    seed: u64,
+) -> (
+    ookami_sve::Trace,
+    ookami_sve::PSlot,
+    ookami_sve::PSlot,
+    ookami_sve::VSlot,
+) {
     let mut b = TraceBuilder::new(vl);
     let ctx = b.ctx();
     let pg = ctx.ptrue();
@@ -97,8 +105,14 @@ pub fn sample_emulated(vl: usize, iters: usize, seed: u64) -> (f64, f64) {
     let ps_acc = b.pslot_of(&p_acc);
     let ps_all = b.pslot_of(&pg);
     let xs_out = b.slot_of(&x_out);
-    let t = b.finish(&[]);
+    (b.finish(&[]), ps_acc, ps_all, xs_out)
+}
 
+/// Run `iters` vectorized Metropolis steps across `vl` independent chains;
+/// returns (mean, acceptance rate). Records the step once, replays `iters`
+/// times (no per-op dispatch, no per-op allocation).
+pub fn sample_emulated(vl: usize, iters: usize, seed: u64) -> (f64, f64) {
+    let (t, ps_acc, ps_all, xs_out) = metropolis_trace(vl, seed);
     let mut r = t.replayer();
     let mut sum = 0.0f64;
     let mut accepted = 0u64;

@@ -101,7 +101,7 @@ impl AccessStats {
         if self.accesses == 0 {
             return 0.0;
         }
-        let l3lat = spec.l3.map(|(_, lat, _)| lat).unwrap_or(spec.mem_latency);
+        let l3lat = spec.l3.map_or(spec.mem_latency, |(_, lat, _)| lat);
         (self.l1_hits as f64 * spec.l1_latency
             + self.l2_hits as f64 * spec.l2_latency
             + self.l3_hits as f64 * l3lat

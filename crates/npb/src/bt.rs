@@ -84,7 +84,7 @@ impl Bt {
     fn point_block(&self, u0: f64) -> Block {
         let s = 1.0 + self.eps * u0;
         let mut b = self.coupling;
-        for v in b.iter_mut() {
+        for v in &mut b {
             *v *= s;
         }
         b
@@ -100,9 +100,11 @@ impl Bt {
         let u = &self.u;
         let sigma = self.sigma();
         par_for(threads, n - 2, |_, s, e| {
-            // each thread owns planes i in [s+1, e+1)
+            // SAFETY: each thread owns planes i in [s+1, e+1); static
+            // ranges partition the interior planes and `rhs` outlives the
+            // region.
             let out = unsafe { rbase.slice_mut((s + 1) * plane, (e - s) * plane) };
-            for (pi, i) in (s + 1..e + 1).enumerate() {
+            for (pi, i) in ((s + 1)..=e).enumerate() {
                 for j in 1..n - 1 {
                     for k in 1..n - 1 {
                         let mut lap = [0.0f64; NC];
@@ -173,6 +175,9 @@ impl Bt {
                     upper[p] = up;
                     let off = idx(i, j, k);
                     for c in 0..NC {
+                        // SAFETY: line `li = (a, b)` is claimed by exactly
+                        // one thread; its grid points along `dim` are
+                        // disjoint from every other line's.
                         line[p][c] = unsafe { *rdata.add(off + c) };
                     }
                 }
@@ -185,6 +190,9 @@ impl Bt {
                     };
                     let off = idx(i, j, k);
                     for c in 0..NC {
+                        // SAFETY: writes stay on this thread's own line
+                        // (see the read above) — no other thread touches
+                        // these points this region.
                         unsafe {
                             *rdata.add(off + c) = lp[c];
                         }

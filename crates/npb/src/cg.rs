@@ -48,6 +48,8 @@ impl Csr {
             self.n,
             Schedule::Dynamic { chunk: 64 },
             |_, s, e| {
+                // SAFETY: dynamic chunks hand out disjoint `s..e` row
+                // ranges exactly once; `y` outlives the region.
                 let y = unsafe { ybase.slice_mut(s, e - s) };
                 for (row, yo) in (s..e).zip(y.iter_mut()) {
                     let mut sum = 0.0;
@@ -88,12 +90,11 @@ fn sprnvc(
         val.push(vecelt);
     }
     // vecset: force entry iouter to 0.5.
-    match idx.iter().position(|&j| j as usize == iouter) {
-        Some(p) => val[p] = 0.5,
-        None => {
-            idx.push(iouter as u32);
-            val.push(0.5);
-        }
+    if let Some(p) = idx.iter().position(|&j| j as usize == iouter) {
+        val[p] = 0.5
+    } else {
+        idx.push(iouter as u32);
+        val.push(0.5);
     }
 }
 
@@ -176,7 +177,7 @@ pub fn conj_grad(m: &Csr, x: &[f64], z: &mut [f64], threads: usize) -> f64 {
     let mut q = vec![0.0; n];
     let mut r: Vec<f64> = x.to_vec();
     let mut p = r.clone();
-    z.iter_mut().for_each(|v| *v = 0.0);
+    z.fill(0.0);
     let mut rho = dot(&r, &r, threads);
 
     for _ in 0..CGITMAX {
@@ -218,7 +219,7 @@ pub fn run_params(na: usize, nonzer: usize, niter: usize, shift: f64, threads: u
 
     // Untimed warm-up iteration, then reset (as the reference does).
     let _ = conj_grad(&m, &x, &mut z, threads);
-    x.iter_mut().for_each(|v| *v = 1.0);
+    x.fill(1.0);
 
     let mut zeta = 0.0;
     let mut rnorm = 0.0;

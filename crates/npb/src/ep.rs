@@ -51,7 +51,7 @@ pub fn run_m(m: u32, threads: usize) -> EpResult {
                 // Batch seed: S·an^k mod 2^46 (binary-expansion walk, as in
                 // the reference; here via pow_mod directly).
                 let mut t1 = step(SEED, pow_mod(an, k as u64));
-                for xi in x.iter_mut() {
+                for xi in &mut x {
                     *xi = randlc(&mut t1, A);
                 }
                 for i in 0..NK {

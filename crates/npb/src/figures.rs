@@ -157,7 +157,7 @@ pub fn render(rows: &[Measurement], title: &str, value_fmt: usize) -> String {
         }
     }
     let header: Vec<&str> = std::iter::once("app")
-        .chain(cols.iter().map(|s| s.as_str()))
+        .chain(cols.iter().map(std::string::String::as_str))
         .collect();
     let mut t = Table::new(title, &header);
     for w in &works {
@@ -173,9 +173,8 @@ pub fn render(rows: &[Measurement], title: &str, value_fmt: usize) -> String {
                             &r.toolchain == col
                         }
                 })
-                .map(|r| r.value)
-                .unwrap_or(f64::NAN);
-            cells.push(format!("{:.*}", value_fmt, v));
+                .map_or(f64::NAN, |r| r.value);
+            cells.push(format!("{v:.value_fmt$}"));
         }
         t.row(&cells);
     }

@@ -72,8 +72,11 @@ impl Lu {
         let sigma = self.sigma();
         let cb = self.coupling;
         par_for(threads, n - 2, |_, s, e| {
+            // SAFETY: each thread owns planes i in [s+1, e+1); static
+            // ranges partition the interior planes and `rhs` outlives the
+            // region.
             let out = unsafe { rbase.slice_mut((s + 1) * plane, (e - s) * plane) };
-            for (pi, i) in (s + 1..e + 1).enumerate() {
+            for (pi, i) in ((s + 1)..=e).enumerate() {
                 for j in 1..n - 1 {
                     for k in 1..n - 1 {
                         let mut lap = [0.0f64; NC];
@@ -147,6 +150,10 @@ impl Lu {
                         // t = rhs + σC·(Σ neighbor deltas)
                         let mut nb = [0.0f64; NC];
                         for c in 0..NC {
+                            // SAFETY: all six neighbors of a hyperplane
+                            // point lie on *other* hyperplanes, relaxed in
+                            // earlier regions (ordered by the pool
+                            // barrier) — never written concurrently.
                             unsafe {
                                 nb[c] = *dd.add(idx(i - 1, j, k) + c)
                                     + *dd.add(idx(i + 1, j, k) + c)
@@ -163,6 +170,9 @@ impl Lu {
                         }
                         lu_solve(&dblock, &piv, &mut t);
                         for c in 0..NC {
+                            // SAFETY: point (i, j, k) is claimed by exactly
+                            // one thread this region; neighbor reads above
+                            // never target the current hyperplane.
                             unsafe {
                                 let p = dd.add(idx(i, j, k) + c);
                                 *p = (1.0 - self.omega) * *p + self.omega * t[c];
@@ -173,7 +183,7 @@ impl Lu {
             );
         };
 
-        for pts in planes.iter() {
+        for pts in &planes {
             relax(pts);
         }
         for pts in planes.iter().rev() {
@@ -241,7 +251,7 @@ mod tests {
     fn hyperplanes_cover_interior_once() {
         let lu = Lu::with_grid(8);
         let planes = lu.hyperplanes();
-        let total: usize = planes.iter().map(|p| p.len()).sum();
+        let total: usize = planes.iter().map(std::vec::Vec::len).sum();
         assert_eq!(total, 6 * 6 * 6);
         // points within a plane share i+j+k
         for (d, pts) in planes.iter().enumerate() {

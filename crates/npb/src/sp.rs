@@ -66,8 +66,11 @@ impl Sp {
         let plane = n * n * NC;
         let u = &self.u;
         par_for(threads, n - 2, |_, s, e| {
+            // SAFETY: each thread owns planes i in [s+1, e+1); static
+            // ranges partition the interior planes and `rhs` outlives the
+            // region.
             let out = unsafe { rbase.slice_mut((s + 1) * plane, (e - s) * plane) };
-            for (pi, i) in (s + 1..e + 1).enumerate() {
+            for (pi, i) in ((s + 1)..=e).enumerate() {
                 for j in 1..n - 1 {
                     for k in 1..n - 1 {
                         for c in 0..NC {
@@ -145,11 +148,16 @@ impl Sp {
                         band_d[p] = -sg - dd4;
                         band_c[p] = 1.0 + 2.0 * sg + if has4 { 6.0 * sg * g } else { 0.0 };
                         let (i, j, k) = line_point(dim, a, b, p);
+                        // SAFETY: line `li = (a, b)` is claimed by exactly
+                        // one thread; its points along `dim` are disjoint
+                        // from every other line's.
                         line[p] = unsafe { *rdata.add(idx(i, j, k) + comp) };
                     }
                     pentadiag_solve(&band_a, &band_b, &band_c, &band_d, &band_e, &mut line);
                     for (p, &v) in line.iter().enumerate() {
                         let (i, j, k) = line_point(dim, a, b, p);
+                        // SAFETY: writes stay on this thread's own line
+                        // (see the read above).
                         unsafe {
                             *rdata.add(idx(i, j, k) + comp) = v;
                         }

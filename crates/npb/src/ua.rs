@@ -214,7 +214,7 @@ impl Ua {
         let min_size = self
             .leaves
             .iter()
-            .map(|l| l.size())
+            .map(Leaf::size)
             .fold(f64::INFINITY, f64::min);
         let dt = 0.1 * min_size * min_size / self.kappa;
 
@@ -390,7 +390,7 @@ mod tests {
                             let lv = k.0 + 1;
                             let (fx, fy, fz) = (2 * k.1, 2 * k.2, 2 * k.3);
                             // face coordinate: the child layer nearest to l
-                            let off = if dir == 1 { 0 } else { 1 };
+                            let off = u32::from(dir != 1);
                             (0..2u32).all(|a| {
                                 (0..2u32).all(|b| {
                                     let key = match dim {
@@ -429,7 +429,7 @@ mod tests {
     fn refinement_conserves_heat() {
         let mut ua = Ua::with_levels(5);
         // seed some heat, then adapt without stepping
-        for l in ua.leaves.iter_mut() {
+        for l in &mut ua.leaves {
             l.t = 1.0 + l.ix as f64 * 0.1;
         }
         let before = ua.total_heat();

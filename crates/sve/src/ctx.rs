@@ -683,15 +683,15 @@ impl SveCtx {
     }
 
     pub fn add_i(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2i(BinOp::IAdd, pg, a, b, |x, y| x.wrapping_add(y))
+        self.map2i(BinOp::IAdd, pg, a, b, i64::wrapping_add)
     }
 
     pub fn sub_i(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2i(BinOp::ISub, pg, a, b, |x, y| x.wrapping_sub(y))
+        self.map2i(BinOp::ISub, pg, a, b, i64::wrapping_sub)
     }
 
     pub fn mul_i(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {
-        self.map2i(BinOp::IMul, pg, a, b, |x, y| x.wrapping_mul(y))
+        self.map2i(BinOp::IMul, pg, a, b, i64::wrapping_mul)
     }
 
     pub fn and_u(&mut self, pg: &Pred, a: &VVal, b: &VVal) -> VVal {

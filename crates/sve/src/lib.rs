@@ -30,7 +30,7 @@ pub mod value;
 
 pub use ctx::SveCtx;
 pub use record::{record_kernel, Recording};
-pub use trace::{PSlot, Replayer, Trace, TraceBuilder, VSlot};
+pub use trace::{PSlot, Replayer, Trace, TraceBuilder, TraceInfo, VSlot};
 pub use value::{Pred, VVal};
 
 /// The A64FX vector length in 64-bit lanes (512-bit SVE).

@@ -328,6 +328,8 @@ pub struct TraceBuilder {
     inputs: Vec<Slot>,
     loop_pred: Option<Slot>,
     carries: Vec<(Slot, Slot)>,
+    tap_v: Vec<Slot>,
+    tap_p: Vec<Slot>,
 }
 
 impl TraceBuilder {
@@ -339,6 +341,8 @@ impl TraceBuilder {
             inputs: Vec::new(),
             loop_pred: None,
             carries: Vec::new(),
+            tap_v: Vec::new(),
+            tap_p: Vec::new(),
         }
     }
 
@@ -401,14 +405,21 @@ impl TraceBuilder {
         self.carries.push(pair);
     }
 
-    /// Replay-time handle for reading a traced vector's lanes.
+    /// Replay-time handle for reading a traced vector's lanes. Tapped
+    /// slots count as live-out for the static analysis in
+    /// [`Trace::analysis`] (a manual replayer reads them post-step).
     pub fn slot_of(&mut self, v: &VVal) -> VSlot {
-        VSlot(self.ctx.trace_sink().vs(v.id))
+        let s = self.ctx.trace_sink().vs(v.id);
+        self.tap_v.push(s);
+        VSlot(s)
     }
 
-    /// Replay-time handle for reading a traced predicate's mask.
+    /// Replay-time handle for reading a traced predicate's mask. Tapped
+    /// like [`TraceBuilder::slot_of`].
     pub fn pslot_of(&mut self, p: &Pred) -> PSlot {
-        PSlot(self.ctx.trace_sink().ps(p.id))
+        let s = self.ctx.trace_sink().ps(p.id);
+        self.tap_p.push(s);
+        PSlot(s)
     }
 
     pub fn finish(mut self, outputs: &[&VVal]) -> Trace {
@@ -429,6 +440,8 @@ impl TraceBuilder {
             loop_pred: self.loop_pred,
             carries: self.carries,
             outputs: outs,
+            tap_v: self.tap_v,
+            tap_p: self.tap_p,
         }
     }
 }
@@ -448,6 +461,47 @@ pub struct Trace {
     loop_pred: Option<Slot>,
     carries: Vec<(Slot, Slot)>,
     outputs: Vec<Slot>,
+    tap_v: Vec<Slot>,
+    tap_p: Vec<Slot>,
+}
+
+/// Static-analysis view of a [`Trace`] for the `ookami_check` verifier:
+/// the body as the lowered [`Instr`] stream plus the slot-wiring facts the
+/// abstract interpretation needs (live-in/live-out register sets, the
+/// loop predicate, setup constants with exact lanes, and per-instruction
+/// gather/scatter table bounds).
+///
+/// Register numbering matches [`Trace::to_instrs`]: vector slot `k` is
+/// register `k`, predicate slot `k` is register `n_vec_regs + k`.
+#[derive(Debug, Clone)]
+pub struct TraceInfo {
+    pub vl: usize,
+    /// Vector register file size (`n_v`); predicate regs start here.
+    pub n_vec_regs: usize,
+    /// Predicate register file size.
+    pub n_pred_regs: usize,
+    /// The body as the `to_instrs` stream.
+    pub body: Vec<Instr>,
+    /// Vector registers defined before the body runs (setup defs and
+    /// replayer-bound inputs).
+    pub live_in_vec: Vec<Reg>,
+    /// Predicate registers defined before the body runs (setup `ptrue`
+    /// and compares, plus the loop predicate).
+    pub live_in_pred: Vec<Reg>,
+    /// The loop-governing predicate register (the trace-native
+    /// `whilelt`), if the trace was recorded with one.
+    pub loop_pred: Option<Reg>,
+    /// Predicate registers known all-true (setup `ptrue`); the loop
+    /// predicate is *not* here — `set_block` narrows it per block.
+    pub ptrue_preds: Vec<Reg>,
+    /// Setup constants with their exact record-time lane bits.
+    pub const_lanes: Vec<(Reg, Vec<u64>)>,
+    /// For each body instruction (aligned with `body`), the bound-buffer
+    /// length a gather/scatter indexes into, `None` for non-table ops.
+    pub table_len: Vec<Option<usize>>,
+    /// Registers consumed after the body: declared outputs, carried
+    /// next-iteration values, and replay-time taps.
+    pub live_out: Vec<Reg>,
 }
 
 impl Trace {
@@ -745,6 +799,251 @@ impl Trace {
             }
         }
         out
+    }
+
+    /// The static-analysis facts the `ookami_check` verifier consumes:
+    /// the `to_instrs` stream plus live-in/live-out register sets, setup
+    /// constants, and gather/scatter table bounds. See [`TraceInfo`].
+    pub fn analysis(&self) -> TraceInfo {
+        let vr = |s: Slot| Reg::from(s);
+        let pr = |s: Slot| self.n_v as Reg + Reg::from(s);
+        let mut live_in_vec = Vec::new();
+        let mut live_in_pred = Vec::new();
+        let mut ptrue_preds = Vec::new();
+        let mut const_lanes = Vec::new();
+        for op in &self.setup {
+            match *op {
+                TOp::ConstV { dst, ref lanes } => const_lanes.push((vr(dst), lanes.clone())),
+                TOp::Ptrue { dst } => ptrue_preds.push(pr(dst)),
+                _ => {}
+            }
+            match top_def(op) {
+                (Some(v), None) => live_in_vec.push(vr(v)),
+                (None, Some(p)) => live_in_pred.push(pr(p)),
+                _ => {}
+            }
+        }
+        live_in_vec.extend(self.inputs.iter().map(|&s| vr(s)));
+        if let Some(lp) = self.loop_pred {
+            live_in_pred.push(pr(lp));
+        }
+        let mut live_out: Vec<Reg> = self.outputs.iter().map(|&s| vr(s)).collect();
+        live_out.extend(self.carries.iter().map(|&(_, upd)| vr(upd)));
+        live_out.extend(self.tap_v.iter().map(|&s| vr(s)));
+        live_out.extend(self.tap_p.iter().map(|&s| pr(s)));
+        // Table bounds aligned with the `to_instrs` expansion: every TOp
+        // lowers to one Instr except Overhead (int_ops IntAlu + a Branch).
+        let mut table_len = Vec::new();
+        for op in &self.body {
+            match *op {
+                TOp::Gather { tab, .. } | TOp::Scatter { tab, .. } => {
+                    table_len.push(Some(self.tabs[tab as usize].len()));
+                }
+                TOp::Overhead { int_ops } => {
+                    table_len.extend(std::iter::repeat_n(None, int_ops + 1));
+                }
+                _ => table_len.push(None),
+            }
+        }
+        TraceInfo {
+            vl: self.vl,
+            n_vec_regs: self.n_v,
+            n_pred_regs: self.n_p,
+            body: self.to_instrs(),
+            live_in_vec,
+            live_in_pred,
+            loop_pred: self.loop_pred.map(pr),
+            ptrue_preds,
+            const_lanes,
+            table_len,
+            live_out,
+        }
+    }
+
+    /// Test support for the differential verifier tests: derive a mutant
+    /// differing from `self` by one op. `seed % 4` picks the class:
+    ///
+    /// - `0` — a vector source redirected to a never-defined slot
+    ///   (use-of-undefined; always verifier-rejected),
+    /// - `1` — a body destination rewritten onto an earlier body def
+    ///   (double def; always verifier-rejected; falls back to class 0
+    ///   when the body has fewer than two vector defs),
+    /// - `2` — a governing predicate swapped for a never-defined
+    ///   predicate slot (always verifier-rejected; falls back to 0),
+    /// - `3` — a semantic single-op change (FMLA sign flip, non-commutative
+    ///   operand swap, or a perturbed setup-constant lane) that must alter
+    ///   observable replay output on generic inputs.
+    ///
+    /// Classes 0–2 break the SSA slot-ordering invariant the [`Replayer`]
+    /// asserts, so only verifier-accepted mutants (class 3 — which keeps
+    /// slot wiring intact) may be replayed.
+    pub fn mutated(&self, seed: u64) -> Trace {
+        let mut t = self.clone();
+        let pick = (seed >> 2) as usize;
+        match seed % 4 {
+            1 => {
+                let defs: Vec<usize> = t
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, op)| top_def(op).0.is_some())
+                    .map(|(i, _)| i)
+                    .collect();
+                if defs.len() >= 2 {
+                    let pj = 1 + pick % (defs.len() - 1);
+                    let (i, j) = (defs[pick % pj], defs[pj]);
+                    let dst = top_def(&t.body[i]).0.unwrap();
+                    *vdst_mut(&mut t.body[j]).unwrap() = dst;
+                    return t;
+                }
+            }
+            2 => {
+                let pgs: Vec<usize> = (0..t.body.len())
+                    .filter(|&i| pg_mut(&mut t.body[i]).is_some())
+                    .collect();
+                if !pgs.is_empty() {
+                    let k = pgs[pick % pgs.len()];
+                    let fresh = t.n_p as Slot;
+                    t.n_p += 1;
+                    *pg_mut(&mut t.body[k]).unwrap() = fresh;
+                    return t;
+                }
+            }
+            3 => {
+                for op in &mut t.body {
+                    if let TOp::Fmla { neg, .. } = op {
+                        *neg = !*neg;
+                        return t;
+                    }
+                }
+                for op in &mut t.body {
+                    if let TOp::Bin { op: bo, a, b, .. } = op {
+                        if matches!(bo, BinOp::FSub | BinOp::FDiv) && a != b {
+                            std::mem::swap(a, b);
+                            return t;
+                        }
+                    }
+                }
+                for op in &mut t.setup {
+                    if let TOp::ConstV { lanes, .. } = op {
+                        // Flip a high mantissa bit: a generic constant
+                        // moves by ~2^-23 of its magnitude.
+                        lanes[0] ^= 1 << 30;
+                        return t;
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Class 0 and every fallback: redirect a vector source of some
+        // body op to a fresh never-defined slot.
+        let cands: Vec<usize> = (0..t.body.len())
+            .filter(|&i| !v_srcs_mut(&mut t.body[i]).is_empty())
+            .collect();
+        assert!(!cands.is_empty(), "trace body has no vector-source op");
+        let k = cands[pick % cands.len()];
+        let fresh = t.n_v as Slot;
+        t.n_v += 1;
+        let mut srcs = v_srcs_mut(&mut t.body[k]);
+        let s = (pick / cands.len().max(1)) % srcs.len();
+        *srcs[s] = fresh;
+        t
+    }
+}
+
+/// The slot a [`TOp`] defines, as `(vector, predicate)` — at most one.
+fn top_def(op: &TOp) -> (Option<Slot>, Option<Slot>) {
+    match *op {
+        TOp::ConstV { dst, .. }
+        | TOp::Bin { dst, .. }
+        | TOp::Un { dst, .. }
+        | TOp::Fmla { dst, .. }
+        | TOp::Est { dst, .. }
+        | TOp::NewtonStep { dst, .. }
+        | TOp::Fexpa { dst, .. }
+        | TOp::Ftmad { dst, .. }
+        | TOp::Sel { dst, .. }
+        | TOp::Shift { dst, .. }
+        | TOp::Cvt { dst, .. }
+        | TOp::Compact { dst, .. }
+        | TOp::Gather { dst, .. } => (Some(dst), None),
+        TOp::Ptrue { dst }
+        | TOp::Cmp { dst, .. }
+        | TOp::CmpNeImm { dst, .. }
+        | TOp::Pand { dst, .. } => (None, Some(dst)),
+        TOp::Scatter { .. } | TOp::Overhead { .. } | TOp::LibmCall => (None, None),
+    }
+}
+
+/// Mutable refs to a [`TOp`]'s vector-slot sources (mutation support).
+fn v_srcs_mut(op: &mut TOp) -> Vec<&mut Slot> {
+    match op {
+        TOp::Bin { a, b, .. }
+        | TOp::NewtonStep { a, b, .. }
+        | TOp::Ftmad { a, b, .. }
+        | TOp::Cmp { a, b, .. }
+        | TOp::Sel { a, b, .. } => vec![a, b],
+        TOp::Un { a, .. }
+        | TOp::Est { a, .. }
+        | TOp::Fexpa { a, .. }
+        | TOp::CmpNeImm { a, .. }
+        | TOp::Shift { a, .. }
+        | TOp::Cvt { a, .. }
+        | TOp::Compact { a, .. } => vec![a],
+        TOp::Fmla { c, a, b, .. } => vec![c, a, b],
+        TOp::Gather { idx, .. } => vec![idx],
+        TOp::Scatter { v, idx, .. } => vec![v, idx],
+        TOp::ConstV { .. }
+        | TOp::Ptrue { .. }
+        | TOp::Pand { .. }
+        | TOp::Overhead { .. }
+        | TOp::LibmCall => Vec::new(),
+    }
+}
+
+/// Mutable ref to a [`TOp`]'s governing predicate, if predicated.
+fn pg_mut(op: &mut TOp) -> Option<&mut Slot> {
+    match op {
+        TOp::Bin { pg, .. }
+        | TOp::Un { pg, .. }
+        | TOp::Fmla { pg, .. }
+        | TOp::NewtonStep { pg, .. }
+        | TOp::Ftmad { pg, .. }
+        | TOp::Cmp { pg, .. }
+        | TOp::CmpNeImm { pg, .. }
+        | TOp::Sel { pg, .. }
+        | TOp::Shift { pg, .. }
+        | TOp::Cvt { pg, .. }
+        | TOp::Compact { pg, .. }
+        | TOp::Gather { pg, .. }
+        | TOp::Scatter { pg, .. } => Some(pg),
+        TOp::ConstV { .. }
+        | TOp::Ptrue { .. }
+        | TOp::Est { .. }
+        | TOp::Fexpa { .. }
+        | TOp::Pand { .. }
+        | TOp::Overhead { .. }
+        | TOp::LibmCall => None,
+    }
+}
+
+/// The vector destination of a body op, mutable (mutation support).
+fn vdst_mut(op: &mut TOp) -> Option<&mut Slot> {
+    match op {
+        TOp::ConstV { dst, .. }
+        | TOp::Bin { dst, .. }
+        | TOp::Un { dst, .. }
+        | TOp::Fmla { dst, .. }
+        | TOp::Est { dst, .. }
+        | TOp::NewtonStep { dst, .. }
+        | TOp::Fexpa { dst, .. }
+        | TOp::Ftmad { dst, .. }
+        | TOp::Sel { dst, .. }
+        | TOp::Shift { dst, .. }
+        | TOp::Cvt { dst, .. }
+        | TOp::Compact { dst, .. }
+        | TOp::Gather { dst, .. } => Some(dst),
+        _ => None,
     }
 }
 
@@ -1369,6 +1668,92 @@ mod tests {
                 par.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
                 "threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn analysis_reports_slot_wiring() {
+        // y = (x + 0.5) * x: setup = {const 0.5}, live-in = {const, x},
+        // loop predicate present, two body instrs, output live-out.
+        let t = Trace::record1(8, |c, pg, x| {
+            let half = c.dup_f64(0.5);
+            let s = c.fadd(pg, x, &half);
+            c.fmul(pg, &s, x)
+        });
+        let info = t.analysis();
+        assert_eq!(info.vl, 8);
+        assert_eq!(info.body.len(), 2);
+        assert_eq!(info.body.len(), info.table_len.len());
+        assert!(info.table_len.iter().all(Option::is_none));
+        assert_eq!(info.const_lanes.len(), 1);
+        assert_eq!(info.const_lanes[0].1[0], 0.5f64.to_bits());
+        assert_eq!(info.live_in_vec.len(), 2, "const + input");
+        let lp = info.loop_pred.expect("record1 uses a loop predicate");
+        assert_eq!(info.live_in_pred, vec![lp]);
+        assert!(info.ptrue_preds.is_empty());
+        // Every body instr leads with the loop predicate and defines a reg
+        // that def-use metadata exposes.
+        for i in &info.body {
+            assert_eq!(i.use_regs()[0], lp);
+            assert!(i.def_reg().is_some());
+        }
+        assert_eq!(info.live_out, vec![info.body[1].def_reg().unwrap()]);
+    }
+
+    #[test]
+    fn analysis_taps_count_as_live_out() {
+        let mut b = TraceBuilder::new(8);
+        let pg = b.loop_pred();
+        let x = b.input_f64();
+        b.begin_body();
+        let (p, y) = {
+            let c = b.ctx();
+            let zero = c.dup_f64(0.0);
+            let p = c.fcmgt(&pg, &x, &zero);
+            let y = c.fadd(&p, &x, &x);
+            (p, y)
+        };
+        let _ps = b.pslot_of(&p);
+        let _ys = b.slot_of(&y);
+        let t = b.finish(&[]);
+        let info = t.analysis();
+        // No declared outputs, but both taps are live-out (one vector,
+        // one predicate — the predicate is numbered above n_vec_regs).
+        assert_eq!(info.live_out.len(), 2);
+        assert!(info.live_out.iter().any(|&r| r >= info.n_vec_regs as u32));
+    }
+
+    #[test]
+    fn mutated_classes_produce_replayable_mutants() {
+        let t = Trace::record1(8, |c, pg, x| {
+            let half = c.dup_f64(0.5);
+            let s = c.fadd(pg, x, &half);
+            c.fmul(pg, &s, x)
+        });
+        let xs: Vec<f64> = (0..17).map(|i| 1.0 + i as f64 * 0.061).collect();
+        let base = t.map(&xs);
+        for seed in 0..16u64 {
+            let m = t.mutated(seed);
+            if seed % 4 == 3 {
+                // Semantic mutants keep slot wiring valid, so they replay —
+                // and must actually change the output.
+                let got = m.map(&xs);
+                assert_ne!(
+                    base.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "semantic mutant (seed {seed}) left output unchanged"
+                );
+            } else {
+                // Structural mutants differ from the original by exactly
+                // one op in the lowered stream (or a grown register file).
+                let same_stream = m.to_instrs() == t.to_instrs();
+                let same_files = m.analysis().n_vec_regs == t.analysis().n_vec_regs
+                    && m.analysis().n_pred_regs == t.analysis().n_pred_regs;
+                assert!(
+                    !(same_stream && same_files),
+                    "structural mutant (seed {seed}) is identical to the original"
+                );
+            }
         }
     }
 

@@ -237,13 +237,12 @@ impl KernelLoop {
             for &s in &ins.srcs {
                 if let Some(ws) = writers.get(&s) {
                     // latest writer strictly before i
-                    match ws.iter().rev().find(|&&w| w < i) {
-                        Some(&w) => fwd[w].push(i),
-                        None => {
-                            // carried from the last writer in the body
-                            let w = *ws.last().expect("non-empty writer list");
-                            carried.push((w, i));
-                        }
+                    if let Some(&w) = ws.iter().rev().find(|&&w| w < i) {
+                        fwd[w].push(i)
+                    } else {
+                        // carried from the last writer in the body
+                        let w = *ws.last().expect("non-empty writer list");
+                        carried.push((w, i));
                     }
                 }
             }

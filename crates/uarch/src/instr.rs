@@ -218,7 +218,74 @@ pub enum OpClass {
     ScalarLibmCall,
 }
 
+/// Register domain of a value: SVE keeps vector registers (`z0..`) and
+/// predicate registers (`p0..`) in separate files, and the static verifier
+/// (`ookami_check`) rejects streams that feed one where the other belongs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Data lanes (`z` registers): arithmetic results, loads, indices.
+    Vector,
+    /// Governing masks (`p` registers): compare results, `WHILELT`, mask ops.
+    Predicate,
+}
+
+/// What an instruction does to machine state beyond its register def —
+/// the effect classification the verifier's memory/ordering passes key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EffectClass {
+    /// Pure register-to-register computation.
+    Compute,
+    /// Reads memory (contiguous or indexed load).
+    MemRead,
+    /// Writes memory (contiguous or indexed store) — the class the
+    /// predicate-domain analysis guards: an over-wide mask here corrupts
+    /// lanes past the loop bound.
+    MemWrite,
+    /// Control flow (loop back-edge).
+    Control,
+}
+
 impl OpClass {
+    /// Domain of the register this class defines (meaningful when
+    /// `Instr::dst` is `Some`). Compares and predicate manipulation define
+    /// predicates; everything else defines vectors (scalar values live in
+    /// the vector file at `Width::Scalar`).
+    pub fn dst_domain(self) -> Domain {
+        match self {
+            OpClass::FCmp | OpClass::PredOp => Domain::Predicate,
+            _ => Domain::Vector,
+        }
+    }
+
+    /// Effect classification (see [`EffectClass`]).
+    pub fn effect_class(self) -> EffectClass {
+        match self {
+            OpClass::Load | OpClass::Gather => EffectClass::MemRead,
+            OpClass::Store | OpClass::Scatter => EffectClass::MemWrite,
+            OpClass::Branch => EffectClass::Control,
+            _ => EffectClass::Compute,
+        }
+    }
+
+    /// True for classes whose first source, when present, is a governing
+    /// predicate under the emulator's recording conventions
+    /// (`SveCtx`/`Trace::to_instrs` always emit `pg` first). Estimates,
+    /// FEXPA and pure predicate ops are unpredicated or all-predicate.
+    pub fn first_src_is_governing_pred(self) -> bool {
+        !matches!(
+            self,
+            OpClass::FRecpe
+                | OpClass::FRsqrte
+                | OpClass::Fexpa
+                | OpClass::PredOp
+                | OpClass::IntAlu
+                | OpClass::IntMul
+                | OpClass::Branch
+                | OpClass::ScalarLibmCall
+                | OpClass::Load
+        )
+    }
+
     /// True for classes that perform double-precision FLOPs (used when
     /// counting arithmetic intensity). FMA counts as 2 FLOPs per lane.
     pub fn flops_per_lane(self) -> u32 {
@@ -282,6 +349,29 @@ impl Instr {
     /// Shorthand for an effect-only op (store, branch, …).
     pub fn effect(op: OpClass, width: Width, srcs: &[Reg]) -> Self {
         Instr::new(op, width, None, srcs)
+    }
+
+    /// The register this instruction defines, if any (the def set is at
+    /// most one register in this IR).
+    pub fn def_reg(&self) -> Option<Reg> {
+        self.dst
+    }
+
+    /// The registers this instruction reads (the use set, in operand
+    /// order — for predicated classes the governing predicate comes
+    /// first; see [`OpClass::first_src_is_governing_pred`]).
+    pub fn use_regs(&self) -> &[Reg] {
+        &self.srcs
+    }
+
+    /// Domain of the defined register (see [`OpClass::dst_domain`]).
+    pub fn def_domain(&self) -> Domain {
+        self.op.dst_domain()
+    }
+
+    /// Effect classification of this instruction.
+    pub fn effect_class(&self) -> EffectClass {
+        self.op.effect_class()
     }
 }
 
@@ -406,6 +496,45 @@ mod tests {
         }
         assert_eq!(s.as_slice(), &[8, 9]);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn opclass_metadata_partitions() {
+        // dst domain: only compare and predicate-logic ops define predicates.
+        assert_eq!(OpClass::FCmp.dst_domain(), Domain::Predicate);
+        assert_eq!(OpClass::PredOp.dst_domain(), Domain::Predicate);
+        assert_eq!(OpClass::FAdd.dst_domain(), Domain::Vector);
+        assert_eq!(OpClass::Gather.dst_domain(), Domain::Vector);
+        // effect class: memory ops split by direction, Branch is control,
+        // everything else is pure compute.
+        assert_eq!(OpClass::Load.effect_class(), EffectClass::MemRead);
+        assert_eq!(OpClass::Gather.effect_class(), EffectClass::MemRead);
+        assert_eq!(OpClass::Store.effect_class(), EffectClass::MemWrite);
+        assert_eq!(OpClass::Scatter.effect_class(), EffectClass::MemWrite);
+        assert_eq!(OpClass::Branch.effect_class(), EffectClass::Control);
+        assert_eq!(OpClass::Fma.effect_class(), EffectClass::Compute);
+        // governing-predicate position: estimate ops and scalar bookkeeping
+        // are unpredicated; everything lowered from a predicated TOp leads
+        // with pg (Permute included — Compact lowers to it).
+        assert!(OpClass::Fma.first_src_is_governing_pred());
+        assert!(OpClass::Permute.first_src_is_governing_pred());
+        assert!(OpClass::Scatter.first_src_is_governing_pred());
+        assert!(!OpClass::FRecpe.first_src_is_governing_pred());
+        assert!(!OpClass::Fexpa.first_src_is_governing_pred());
+        assert!(!OpClass::PredOp.first_src_is_governing_pred());
+        assert!(!OpClass::IntAlu.first_src_is_governing_pred());
+    }
+
+    #[test]
+    fn instr_def_use_accessors() {
+        let i = Instr::new(OpClass::Fma, Width::V512, Some(9), [1, 2, 3]);
+        assert_eq!(i.def_reg(), Some(9));
+        assert_eq!(i.use_regs(), &[1, 2, 3]);
+        assert_eq!(i.def_domain(), Domain::Vector);
+        assert_eq!(i.effect_class(), EffectClass::Compute);
+        let s = Instr::effect(OpClass::Store, Width::V512, &[0, 4, 5]);
+        assert_eq!(s.def_reg(), None);
+        assert_eq!(s.effect_class(), EffectClass::MemWrite);
     }
 
     #[test]

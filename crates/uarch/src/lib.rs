@@ -35,7 +35,7 @@ pub mod ports;
 
 pub use analyzer::{CycleEstimate, KernelLoop};
 pub use cost::{CostEntry, CostTable};
-pub use instr::{Instr, OpClass, Reg, Srcs, StreamBuilder, Width, MAX_SRCS};
+pub use instr::{Domain, EffectClass, Instr, OpClass, Reg, Srcs, StreamBuilder, Width, MAX_SRCS};
 pub use machine::{GatherSpec, Machine, MemSpec, NumaSpec};
 pub use memo::analyze_cached;
 pub use ports::{Port, PortSet};

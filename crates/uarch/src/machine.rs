@@ -126,7 +126,7 @@ impl std::fmt::Debug for Machine {
             .field("simd", &self.simd)
             .field("cores_per_node", &self.cores_per_node)
             .field("base_ghz", &self.base_ghz)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 

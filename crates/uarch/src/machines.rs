@@ -849,7 +849,7 @@ mod tests {
     #[test]
     fn clock_ratio_near_two() {
         let r = skylake_6140().turbo_1c_ghz / a64fx().turbo_1c_ghz;
-        assert!(r > 1.9 && r < 2.1, "ratio {}", r);
+        assert!(r > 1.9 && r < 2.1, "ratio {r}");
     }
 
     /// A64FX gather pairs inside 128-byte windows; x86 never pairs.

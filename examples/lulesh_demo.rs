@@ -16,7 +16,7 @@ fn main() {
     for target in [0.005, 0.02, 0.05, 0.1] {
         h.run(target, 100_000);
         let profile = h.pressure_profile_x();
-        let pmax = profile.iter().cloned().fold(0.0, f64::max);
+        let pmax = profile.iter().copied().fold(0.0, f64::max);
         let front = profile.iter().rposition(|&p| p > 0.01 * pmax).unwrap_or(0);
         println!(
             "  {:<9.4}  {:>6}  {:>12.6}  {:>3} / {}",

@@ -22,9 +22,7 @@ fn main() {
     let t0 = Instant::now();
     let serial = sample_serial(n, 42);
     let t_serial = t0.elapsed();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let t0 = Instant::now();
     let par = sample_parallel(n, 42, threads, 8);
     let t_par = t0.elapsed();

@@ -8,9 +8,7 @@ use ookami::npb::{bt::Bt, cg, ep, lu::Lu, sp::Sp, ua::Ua, Class};
 use std::time::Instant;
 
 fn main() {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     println!("== Native runs (class S scale, {threads} threads) ==\n");
 
     // EP with the official verification sums.

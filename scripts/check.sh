@@ -54,4 +54,32 @@ fi
 # full-mode baselines with their small-problem numbers.
 cp "$baseline_dir"/BENCH_*.json .
 
+echo "== static verifier + mutation corpus (ookamicheck, both obs modes)"
+cargo run -p ookami-bench --bin ookamicheck --release -- \
+  --mutations --json target/OOKAMICHECK.json
+cargo run -p ookami-bench --features obs --bin ookamicheck --release -- \
+  --mutations --json target/OOKAMICHECK.obs.json
+cargo run -p ookami-bench --bin report --release -- \
+  --validate target/OOKAMICHECK.json target/OOKAMICHECK.obs.json
+
+echo "== race detector over real pool kernels (obs timeline) + inject self-test"
+# Under obs the binary replays recorded timeline events from the shipped
+# kernels and requires zero races; without obs it prints a SKIPPED notice.
+cargo run -p ookami-bench --features obs --bin ookamicheck --release
+# Self-test: the injected unordered-write stream must be flagged (exit 1).
+if cargo run -p ookami-bench --features obs --bin ookamicheck --release -- \
+  --inject-race >/dev/null 2>&1; then
+  echo "ookamicheck failed to flag the injected race" >&2
+  exit 1
+fi
+
+echo "== miri (strict provenance) over the pool runtime, if available"
+if cargo miri --version >/dev/null 2>&1; then
+  # SendPtr keeps provenance through the pool (no usize round-trips), so
+  # the runtime and pool suites must pass under strict provenance.
+  MIRIFLAGS="-Zmiri-strict-provenance" cargo miri test -p ookami-core runtime:: pool::
+else
+  echo "   SKIPPED: cargo miri not installed (rustup component add miri)"
+fi
+
 echo "== all checks passed"

@@ -13,12 +13,14 @@ fn committed_bench_files() -> Vec<std::path::PathBuf> {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut out: Vec<_> = std::fs::read_dir(root)
         .expect("read repo root")
-        .filter_map(|e| e.ok())
+        .filter_map(std::result::Result::ok)
         .map(|e| e.path())
         .filter(|p| {
             p.file_name()
                 .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .is_some_and(|n| n.starts_with("BENCH_"))
+                && p.extension()
+                    .is_some_and(|e| e.eq_ignore_ascii_case("json"))
         })
         .collect();
     out.sort();

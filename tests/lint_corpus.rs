@@ -1,0 +1,88 @@
+//! Golden-file snapshots of the `ookami-check` mutation corpus: for each
+//! broken instruction stream, the rendered listing plus every diagnostic
+//! the verifier reports. Diagnostic *codes* are a stable public contract
+//! (scripts parse them), so any change to a code, a span, or a message
+//! shows up here as a readable diff.
+//!
+//! Regenerate after an *intentional* diagnostics change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test lint_corpus
+//! git diff tests/lint_corpus/   # review every changed diagnostic
+//! ```
+
+use ookami_check::{corpus, render_all, verify};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/lint_corpus")
+        .join(format!("{name}.txt"))
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test --test lint_corpus",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, actual,
+        "{name} drifted from its golden snapshot; if the diagnostics change \
+         is intentional, regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn corpus_diagnostics_are_stable() {
+    for e in corpus::entries() {
+        let diags = verify(&e.program);
+        // The golden file is the full picture: the listing the spans
+        // index into, then every rendered diagnostic.
+        let snapshot = format!(
+            "{}\n{}",
+            e.program.render_listing(),
+            render_all(&e.program, &diags)
+        );
+        check(e.name, &snapshot);
+    }
+}
+
+#[test]
+fn corpus_reports_expected_codes() {
+    // Independent of the snapshots: the code multiset is the contract.
+    for e in corpus::entries() {
+        let got: Vec<_> = verify(&e.program).iter().map(|d| d.code).collect();
+        assert_eq!(got, e.expected, "corpus entry {:?}", e.name);
+    }
+}
+
+#[test]
+fn no_stale_golden_files() {
+    // Every file under tests/lint_corpus/ must correspond to a live
+    // corpus entry — deleting an entry without its snapshot would leave
+    // dead fixtures that still look authoritative.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/lint_corpus");
+    let names: Vec<String> = corpus::entries()
+        .iter()
+        .map(|e| e.name.to_string())
+        .collect();
+    for f in std::fs::read_dir(dir).unwrap() {
+        let f = f.unwrap().path();
+        if f.extension().and_then(|e| e.to_str()) == Some("txt") {
+            let stem = f.file_stem().unwrap().to_str().unwrap().to_string();
+            assert!(
+                names.contains(&stem),
+                "stale golden file {} (no corpus entry `{stem}`)",
+                f.display()
+            );
+        }
+    }
+}

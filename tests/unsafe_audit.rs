@@ -1,0 +1,104 @@
+//! Source-scanning unsafe audit: every `unsafe` block or `unsafe impl`
+//! in the workspace must carry a `// SAFETY:` justification, and every
+//! `unsafe fn` declaration must document its contract with a `# Safety`
+//! doc section. Pairs with `#![deny(unsafe_op_in_unsafe_fn)]` in
+//! `ookami-core` (the only crate that *mints* unsafety — everything else
+//! just derives disjoint slices from `SendPtr`): together they guarantee
+//! each unsafe operation sits in its own block next to its own argument.
+//!
+//! This is a plain-text scan, not a parser — it is deliberately strict:
+//! mentioning `unsafe` in code requires the justification nearby even if
+//! a clever layout would be sound.
+
+use std::path::{Path, PathBuf};
+
+/// How many lines above an `unsafe` site the justification may sit
+/// (attributes/derives and the statement's own wrapped lines intervene).
+const SAFETY_WINDOW: usize = 6;
+/// `# Safety` doc sections can sit further up a long doc comment.
+const DOC_WINDOW: usize = 20;
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let p = entry.unwrap().path();
+        if p.is_dir() {
+            // Skip build artifacts; everything else (src, tests, benches,
+            // bins) is audited.
+            if p.file_name().and_then(|n| n.to_str()) != Some("target") {
+                rust_sources(&p, out);
+            }
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// True if the line is code that *uses* unsafety (not a comment, a
+/// string, or the lint name).
+fn is_unsafe_code_line(line: &str) -> bool {
+    let t = line.trim_start();
+    if t.starts_with("//") {
+        return false;
+    }
+    // Strip line comments so prose like "no unsafe here" doesn't count.
+    let code = t.split("//").next().unwrap_or(t);
+    code.contains("unsafe") && !code.contains("unsafe_op_in_unsafe_fn")
+}
+
+#[test]
+fn every_unsafe_site_is_justified() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    for dir in ["crates", "vendor", "src", "tests"] {
+        let d = root.join(dir);
+        if d.is_dir() {
+            rust_sources(&d, &mut files);
+        }
+    }
+    assert!(files.len() > 30, "audit scanned suspiciously few files");
+
+    let mut violations = Vec::new();
+    let mut sites = 0usize;
+    for f in &files {
+        // The audit's own string literals mention `unsafe` constantly.
+        if f.file_name().and_then(|n| n.to_str()) == Some("unsafe_audit.rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(f).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if !is_unsafe_code_line(line) {
+                continue;
+            }
+            sites += 1;
+            let code = line.trim_start().split("//").next().unwrap_or("");
+            let is_decl = code.contains("unsafe fn") && !code.contains("unsafe {");
+            let (needle, window) = if is_decl {
+                ("# Safety", DOC_WINDOW)
+            } else {
+                ("SAFETY:", SAFETY_WINDOW)
+            };
+            let lo = i.saturating_sub(window);
+            let justified = lines[lo..=i].iter().any(|l| l.contains(needle));
+            if !justified {
+                violations.push(format!(
+                    "{}:{}: `{}` lacks a `{needle}` within {window} lines",
+                    f.strip_prefix(&root).unwrap().display(),
+                    i + 1,
+                    line.trim()
+                ));
+            }
+        }
+    }
+    // The audit must actually be auditing something: the pool runtime and
+    // the workload crates all derive slices through SendPtr.
+    assert!(
+        sites >= 20,
+        "only {sites} unsafe sites found — scan broken?"
+    );
+    assert!(
+        violations.is_empty(),
+        "unjustified unsafe:\n{}",
+        violations.join("\n")
+    );
+}

@@ -96,6 +96,8 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    // Upstream criterion's API name — shims must match it verbatim.
+    #[allow(clippy::iter_not_returning_iterator)]
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         let start = Instant::now();
         for _ in 0..self.iters {
@@ -263,10 +265,10 @@ mod tests {
         g.sample_size(3);
         g.throughput(Throughput::Elements(10));
         g.bench_function("batched", |b| {
-            b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput)
+            b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput);
         });
         g.bench_function("batched_ref", |b| {
-            b.iter_batched_ref(|| vec![0u8; 16], |v| v.push(1), BatchSize::SmallInput)
+            b.iter_batched_ref(|| vec![0u8; 16], |v| v.push(1), BatchSize::SmallInput);
         });
         g.finish();
     }

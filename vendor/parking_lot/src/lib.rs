@@ -25,13 +25,18 @@ impl<T> Mutex<T> {
     }
 
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let g = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         MutexGuard { inner: Some(g) }
     }
 
@@ -91,7 +96,10 @@ impl Condvar {
     /// (`T: Sized` here because `std::sync::Condvar::wait` requires it.)
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard already taken");
-        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         guard.inner = Some(inner);
     }
 
@@ -134,11 +142,19 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard(self.inner.read().unwrap_or_else(|e| e.into_inner()))
+        RwLockReadGuard(
+            self.inner
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard(self.inner.write().unwrap_or_else(|e| e.into_inner()))
+        RwLockWriteGuard(
+            self.inner
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 }
 
