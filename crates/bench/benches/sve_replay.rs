@@ -1,11 +1,15 @@
-//! Record-once/replay-many vs the per-op interpreter.
+//! Record-once/replay-many vs the per-op interpreter vs compiled closures.
 //!
-//! The trace engine's whole claim: recording one VLA iteration of a kernel
-//! into a compact `Trace` and replaying it from a preallocated arena beats
-//! re-interpreting (and re-allocating) every op on every vector. This
-//! bench measures the exp accuracy-sweep kernel three ways — interpreter,
-//! serial replay, and replay over the worker pool — plus the build cost of
-//! the trace itself (paid once per sweep, amortized over every element).
+//! The trace engine's claim, in two steps. First: recording one VLA
+//! iteration of a kernel into a compact `Trace` and replaying it from a
+//! preallocated arena beats re-interpreting (and re-allocating) every op
+//! on every vector. Second: compiling that trace once through the
+//! `ookami_sve::compile` pass pipeline into fused native kernels over
+//! lane blocks beats the replayer again (the `svereplay` probe gates the
+//! ratio at ≥5x under obs). This bench measures the exp accuracy-sweep
+//! kernel five ways — interpreter, serial replay, pooled replay, serial
+//! compiled, pooled compiled — plus both one-time costs: recording the
+//! trace and compiling it (each amortized over every element of a sweep).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ookami_vecmath::exp::{exp_slice_interp, exp_trace, ExpVariant};
@@ -23,14 +27,26 @@ fn sve_replay(c: &mut Criterion) {
 
     let t = exp_trace(vl, variant);
     g.bench_function("exp/replay", |b| {
-        b.iter(|| criterion::black_box(t.map(&xs)));
+        b.iter(|| criterion::black_box(t.replay_map(&xs)));
     });
     g.bench_function("exp/replay_par4", |b| {
-        b.iter(|| criterion::black_box(t.par_map(4, &xs)));
+        b.iter(|| criterion::black_box(t.replay_par_map(4, &xs)));
+    });
+
+    let ct = t.compile();
+    assert!(ct.is_native(), "bench body must take the native path");
+    g.bench_function("exp/compiled", |b| {
+        b.iter(|| criterion::black_box(ct.map(&xs)));
+    });
+    g.bench_function("exp/compiled_par4", |b| {
+        b.iter(|| criterion::black_box(ct.par_map(4, &xs)));
     });
 
     g.bench_function("exp/record", |b| {
         b.iter(|| criterion::black_box(exp_trace(vl, variant)));
+    });
+    g.bench_function("exp/compile", |b| {
+        b.iter(|| criterion::black_box(t.compile()));
     });
     g.finish();
 }

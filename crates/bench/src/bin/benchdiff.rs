@@ -15,9 +15,11 @@
 //!    `"true"` — these encode correctness invariants, not measurements.
 //! 2. **Absolute floors** (full-mode current files only): `speedup ≥ 5`
 //!    (trace replay vs interpreter) and `ratio_at_8 ≥ 5` (pool vs
-//!    spawn-per-region) — the repo's standing perf acceptance bars. Smoke
-//!    runs shrink the problem until fixed costs dominate, which is exactly
-//!    why the probes themselves only enforce these bars in full mode.
+//!    spawn-per-region) — the repo's standing perf acceptance bars; when
+//!    the current run also has obs, `compiled_speedup ≥ 5` (compiled
+//!    closures vs the accounting-carrying replayer). Smoke runs shrink
+//!    the problem until fixed costs dominate, which is exactly why the
+//!    probes themselves only enforce these bars in full mode.
 //! 3. **Matched-mode gates** (only when `mode` and `obs_enabled` agree, so
 //!    smoke CI runs are never judged against full-mode baselines):
 //!    `max_ulp*` metrics may not increase (accuracy is deterministic), the
@@ -67,6 +69,13 @@ const GATED_FLAGS: [&str; 3] = ["bit_identical", "instr_streams_identical", "gat
 
 /// `(metric, floor)` pairs gated whenever the current file is a full run.
 const ABSOLUTE_FLOORS: [(&str, f64); 2] = [("speedup", 5.0), ("ratio_at_8", 5.0)];
+
+/// `(metric, floor)` pairs additionally gated on full runs **with obs**:
+/// the compiled-vs-replay bar is defined against the replayer carrying its
+/// per-block accounting — without obs both sides shed different amounts of
+/// bookkeeping and the ratio measures something else (the `svereplay`
+/// probe enforces the same split).
+const ABSOLUTE_FLOORS_OBS: [(&str, f64); 1] = [("compiled_speedup", 5.0)];
 
 fn usage(code: i32) -> ! {
     println!(
@@ -209,7 +218,12 @@ fn diff_file(name: &str, base: &Json, cur: &Json, tol: f64) -> FileVerdict {
     // 2. absolute floors — standing perf bars; only full runs are sized
     // to meet them (smoke problems are fixed-cost-dominated by design).
     if str_field(cur, "mode") == "full" {
-        for (metric, floor) in ABSOLUTE_FLOORS {
+        let obs_floors = if matches!(cur.get("obs_enabled"), Some(Json::Bool(true))) {
+            &ABSOLUTE_FLOORS_OBS[..]
+        } else {
+            &[]
+        };
+        for &(metric, floor) in ABSOLUTE_FLOORS.iter().chain(obs_floors) {
             if let Some(&val) = cm.get(metric) {
                 if val < floor {
                     v.regressions.push(format!(

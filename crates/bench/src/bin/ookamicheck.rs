@@ -47,61 +47,43 @@ fn usage() -> ! {
 
 /// Every shipped trace the verifier gates, one per workload-family
 /// kernel: Section III loops, Section IV exp, the Monte Carlo example,
-/// and the NPB/LULESH/HPCC model kernels.
+/// and the NPB/LULESH/HPCC model kernels. Each trace is verified twice:
+/// as recorded, and after the trace compiler's pass pipeline
+/// ([`Trace::optimized`], the `+opt` rows) — an optimizer pass that broke
+/// SSA wiring, predicate safety, or operand domains would turn its `+opt`
+/// form DIRTY right here.
 fn shipped_programs() -> Vec<Program> {
     let vl = 8;
-    let mut out = Vec::new();
-    // -- loops (Section III) --
-    out.push(Program::from_trace(
-        "loops_simple",
-        &loops_em::simple_trace(vl),
-    ));
-    out.push(Program::from_trace(
-        "loops_predicate",
-        &loops_em::predicate_trace(vl).0,
-    ));
     let tab: Vec<f64> = (0..128).map(|i| f64::from(i) * 0.5).collect();
-    out.push(Program::from_trace(
-        "loops_gather",
-        &loops_em::gather_trace(vl, &tab, 8),
-    ));
     let mut scratch = vec![0.0f64; 128];
-    out.push(Program::from_trace(
-        "loops_scatter",
-        &loops_em::scatter_trace(vl, &mut scratch),
-    ));
-    // -- vecmath exp (Section IV), every variant --
-    for (name, v) in [
-        ("exp_fexpa_horner", ExpVariant::FexpaHorner),
-        ("exp_fexpa_estrin", ExpVariant::FexpaEstrin),
-        ("exp_fexpa_corrected", ExpVariant::FexpaEstrinCorrected),
-        ("exp_poly13", ExpVariant::Poly13),
-        ("exp_poly13_sleef", ExpVariant::Poly13Sleef),
-    ] {
-        out.push(Program::from_trace(name, &exp_trace(vl, v)));
+    let traces: Vec<(&str, Trace)> = vec![
+        // -- loops (Section III) --
+        ("loops_simple", loops_em::simple_trace(vl)),
+        ("loops_predicate", loops_em::predicate_trace(vl).0),
+        ("loops_gather", loops_em::gather_trace(vl, &tab, 8)),
+        ("loops_scatter", loops_em::scatter_trace(vl, &mut scratch)),
+        // -- vecmath exp (Section IV), every variant --
+        ("exp_fexpa_horner", exp_trace(vl, ExpVariant::FexpaHorner)),
+        ("exp_fexpa_estrin", exp_trace(vl, ExpVariant::FexpaEstrin)),
+        (
+            "exp_fexpa_corrected",
+            exp_trace(vl, ExpVariant::FexpaEstrinCorrected),
+        ),
+        ("exp_poly13", exp_trace(vl, ExpVariant::Poly13)),
+        ("exp_poly13_sleef", exp_trace(vl, ExpVariant::Poly13Sleef)),
+        // -- Monte Carlo (Section II example) --
+        ("mc_metropolis", mc_em::metropolis_trace(vl, 42).0),
+        // -- NPB / LULESH / HPCC model kernels (Sections V–VII) --
+        ("npb_cg_matvec", family::cg_matvec_trace(vl)),
+        ("lulesh_eos", family::lulesh_eos_trace(vl)),
+        ("hpcc_triad", family::hpcc_triad_trace(vl)),
+        ("hpcc_dgemm", family::hpcc_dgemm_trace(vl)),
+    ];
+    let mut out = Vec::new();
+    for (name, t) in &traces {
+        out.push(Program::from_trace(name, t));
+        out.push(Program::from_trace(&format!("{name}+opt"), &t.optimized()));
     }
-    // -- Monte Carlo (Section II example) --
-    out.push(Program::from_trace(
-        "mc_metropolis",
-        &mc_em::metropolis_trace(vl, 42).0,
-    ));
-    // -- NPB / LULESH / HPCC model kernels (Sections V–VII) --
-    out.push(Program::from_trace(
-        "npb_cg_matvec",
-        &family::cg_matvec_trace(vl),
-    ));
-    out.push(Program::from_trace(
-        "lulesh_eos",
-        &family::lulesh_eos_trace(vl),
-    ));
-    out.push(Program::from_trace(
-        "hpcc_triad",
-        &family::hpcc_triad_trace(vl),
-    ));
-    out.push(Program::from_trace(
-        "hpcc_dgemm",
-        &family::hpcc_dgemm_trace(vl),
-    ));
     out
 }
 
@@ -166,6 +148,46 @@ fn run_mutations() -> usize {
         }
         println!("{name:>22}  {rejected} structural rejected, {semantic} semantic diverged");
     }
+
+    // The same discipline holds *after* the pass pipeline: optimized
+    // traces must verify clean, and wiring damage inflicted on an
+    // optimized trace must still be rejected — i.e. the verifier keeps
+    // its teeth on exactly the programs the trace compiler executes.
+    println!("-- optimized-trace mutants --");
+    for (name, base) in &bases {
+        let opt = base.optimized();
+        let clean = verify(&Program::from_trace("opt", &opt))
+            .iter()
+            .all(|d| !d.is_error());
+        if !clean {
+            eprintln!("{name}+opt: pass pipeline produced a DIRTY trace");
+            failures += 1;
+        }
+        let reference = opt.replay_map(&xs);
+        let mut rejected = 0usize;
+        let mut semantic = 0usize;
+        for seed in 0..24u64 {
+            let m = opt.mutated(seed);
+            let errors = verify(&Program::from_trace("mutant", &m))
+                .iter()
+                .filter(|d| d.is_error())
+                .count();
+            if seed % 4 == 3 {
+                if errors == 0 && m.replay_map(&xs) != reference {
+                    semantic += 1;
+                }
+            } else if errors == 0 {
+                eprintln!("{name}+opt: structural mutant seed={seed} not rejected");
+                failures += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        println!(
+            "{:>22}  {rejected} structural rejected, {semantic} semantic diverged",
+            format!("{name}+opt")
+        );
+    }
     failures
 }
 
@@ -211,7 +233,7 @@ fn main() {
             "--inject-race" => inject_race = true,
             "--json" => {
                 if let Some(p) = it.next() {
-                    json_path.clone_from(p)
+                    json_path.clone_from(p);
                 } else {
                     eprintln!("error: --json needs a path argument");
                     std::process::exit(2);

@@ -59,7 +59,7 @@ fn main() {
             "--smoke" => smoke = true,
             "--trace" => {
                 if let Some(p) = it.next() {
-                    trace_path = Some(p.clone())
+                    trace_path = Some(p.clone());
                 } else {
                     eprintln!("error: --trace needs a path argument");
                     std::process::exit(2);

@@ -1,19 +1,24 @@
-//! Trace-replay probe: record-once/replay-many vs the per-op interpreter.
+//! Trace-replay probe: record-once/replay-many vs the per-op interpreter,
+//! plus the AOT trace compiler (`ookami_sve::compile`) vs the replayer.
 //!
 //! Runs the exp accuracy sweep (the hot caller the trace engine was built
-//! for) through both executors, verifies the results are **bit-identical**
-//! and that the trace lowers to the **same instruction stream** the
-//! interpreter records (modulo register naming), then measures
-//! elements/second and writes `BENCH_sve.json`. Run with:
+//! for) through all three executors, verifies the results are
+//! **bit-identical**, the obs counters **exactly equal**, and that the
+//! trace lowers to the **same instruction stream** the interpreter records
+//! (modulo register naming), then measures elements/second and writes
+//! `BENCH_sve.json` plus a per-variant pass-pipeline summary to
+//! `target/COMPILE_REPORT.json`. Run with:
 //!
 //! ```text
 //! cargo run -p ookami-bench --bin svereplay --release [--smoke]
 //! ```
 //!
-//! `--smoke` (CI mode) shrinks the sweep and skips the ≥5× speedup gate —
-//! shared runners are too noisy for a hard perf assertion — but still
-//! enforces both identity checks. The full run fails (exit 1) unless
-//! replay is at least 5× the interpreter's elements/second.
+//! `--smoke` (CI mode) shrinks the sweep and skips the speedup gates —
+//! shared runners are too noisy for hard perf assertions — but still
+//! enforces every identity check. The full run fails (exit 1) unless
+//! replay is at least 5× the interpreter, and (with obs compiled in, the
+//! configuration the committed baseline records) the compiled path is at
+//! least 5× replay.
 
 use ookami_core::obs;
 use ookami_sve::SveCtx;
@@ -80,6 +85,42 @@ fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
+/// The counters that must be exactly equal across the three executors
+/// (byte counters are compared separately: the interpreter's harness
+/// stages padded tail lanes, so only replay-vs-compiled agree on bytes).
+const IDENTITY_COUNTERS: [&str; 13] = [
+    "sve_instrs",
+    "sve_lanes_active",
+    "port_fla",
+    "port_flb",
+    "port_pr",
+    "port_exa",
+    "port_exb",
+    "port_eaga",
+    "port_eagb",
+    "port_br",
+    "gather_elems",
+    "scatter_elems",
+    "fexpa_issues",
+];
+
+/// Per-thread obs deltas of `f`, projected onto [`IDENTITY_COUNTERS`]
+/// (first array) and the byte counters (second).
+fn counter_delta(f: impl FnOnce()) -> ([u64; 13], [u64; 2]) {
+    let before = obs::thread_snapshot();
+    f();
+    let d = obs::thread_snapshot().since(&before);
+    let mut out = [0u64; 13];
+    for (slot, name) in out.iter_mut().zip(IDENTITY_COUNTERS.iter()) {
+        *slot = d.get(obs::Counter::from_name(name).expect("known counter"));
+    }
+    let bytes = [
+        d.get(obs::Counter::BytesLoaded),
+        d.get(obs::Counter::BytesStored),
+    ];
+    (out, bytes)
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     obs::reset();
@@ -90,26 +131,63 @@ fn main() {
     let xs = sample_range(-700.0, 700.0, n);
     let headline = ExpVariant::FexpaEstrinCorrected;
 
-    // --- correctness gates: every variant, both executors, same bits ---
+    // --- correctness gates: every variant, all three executors, same
+    // bits, same counters ---
     let mut bit_identical = true;
     let mut instrs_identical = true;
+    let mut counters_identical = true;
+    let mut compile_reports = Vec::new();
     for v in VARIANTS {
         let want = exp_slice_interp(vl, &xs, v);
         let t = exp_trace(vl, v);
-        let got = t.map(&xs);
-        let par = t.par_map(4, &xs);
-        let same = want.len() == got.len()
-            && want
-                .iter()
-                .zip(&got)
-                .all(|(a, b)| a.to_bits() == b.to_bits())
-            && want
-                .iter()
-                .zip(&par)
-                .all(|(a, b)| a.to_bits() == b.to_bits());
-        if !same {
+        let ct = t.compile();
+        let same_as = |got: &[f64], what: &str| {
+            let same = want.len() == got.len()
+                && want
+                    .iter()
+                    .zip(got)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !same {
+                eprintln!("FAIL: {v:?} {what} is not bit-identical to the interpreter");
+            }
+            same
+        };
+        bit_identical &= same_as(&t.replay_map(&xs), "replay");
+        bit_identical &= same_as(&t.replay_par_map(4, &xs), "parallel replay");
+        bit_identical &= same_as(&ct.map(&xs), "compiled execution");
+        bit_identical &= same_as(&ct.par_map(4, &xs), "parallel compiled execution");
+        if !ct.is_native() {
+            eprintln!("FAIL: {v:?} was rejected by the native-compilation gate");
             bit_identical = false;
-            eprintln!("FAIL: {v:?} replay is not bit-identical to the interpreter");
+        }
+        compile_reports.push((format!("{v:?}"), ct.report()));
+
+        // Counter identity across the three executors (vacuous without
+        // obs): the kernel's retired-op totals must not depend on the
+        // execution strategy.
+        if obs::enabled() {
+            let (ci, _) = counter_delta(|| {
+                std::hint::black_box(exp_slice_interp(vl, &xs, v));
+            });
+            let (cr, br) = counter_delta(|| {
+                std::hint::black_box(t.replay_map(&xs));
+            });
+            let (cc, bc) = counter_delta(|| {
+                std::hint::black_box(ct.map(&xs));
+            });
+            for (k, name) in IDENTITY_COUNTERS.iter().enumerate() {
+                if !(ci[k] == cr[k] && cr[k] == cc[k]) {
+                    counters_identical = false;
+                    eprintln!(
+                        "FAIL: {v:?} counter {name}: interp {} / replay {} / compiled {}",
+                        ci[k], cr[k], cc[k]
+                    );
+                }
+            }
+            if br != bc {
+                counters_identical = false;
+                eprintln!("FAIL: {v:?} byte counters: replay {br:?} vs compiled {bc:?}");
+            }
         }
 
         let mut ctx = SveCtx::new(vl);
@@ -131,19 +209,35 @@ fn main() {
     });
     let t = exp_trace(vl, headline);
     let replay_s = best_of(reps * 4, || {
-        std::hint::black_box(t.map(&xs));
+        std::hint::black_box(t.replay_map(&xs));
     });
     let par_s = best_of(reps * 4, || {
-        std::hint::black_box(t.par_map(4, &xs));
+        std::hint::black_box(t.replay_par_map(4, &xs));
     });
     let record_s = best_of(reps, || {
         std::hint::black_box(exp_trace(vl, headline));
+    });
+    let ct = t.compile();
+    let compiled_s = best_of(reps * 4, || {
+        std::hint::black_box(ct.map(&xs));
+    });
+    let compiled_par_s = best_of(reps * 4, || {
+        std::hint::black_box(ct.par_map(4, &xs));
+    });
+    // `Trace::compile` clones the trace, so every call re-runs the full
+    // pass pipeline + kernel emission: the one-time cost a caller pays
+    // before amortizing it over replays.
+    let compile_s = best_of(reps, || {
+        std::hint::black_box(t.compile());
     });
 
     let interp_eps = n as f64 / interp_s;
     let replay_eps = n as f64 / replay_s;
     let par_eps = n as f64 / par_s;
+    let compiled_eps = n as f64 / compiled_s;
+    let compiled_par_eps = n as f64 / compiled_par_s;
     let speedup = replay_eps / interp_eps;
+    let compiled_speedup = compiled_eps / replay_eps;
 
     println!("svereplay: exp sweep, {n} elements, vl={vl}, {headline:?}");
     println!("  interpreter : {interp_eps:>12.0} elems/s");
@@ -154,7 +248,14 @@ fn main() {
     );
     println!("  replay par4 : {par_eps:>12.0} elems/s");
     println!(
-        "  bit-identical: {bit_identical}   instruction streams identical: {instrs_identical}"
+        "  compiled    : {:>12.0} elems/s  ({compiled_speedup:.1}x replay, compile cost {:.1} µs)",
+        compiled_eps,
+        compile_s * 1e6
+    );
+    println!("  compiled par4: {compiled_par_eps:>11.0} elems/s");
+    println!(
+        "  bit-identical: {bit_identical}   counters identical: {counters_identical}   \
+         instruction streams identical: {instrs_identical}"
     );
 
     let mut report = obs::BenchReport::new("svereplay", if smoke { "smoke" } else { "full" });
@@ -164,10 +265,15 @@ fn main() {
         .metric("interp_elems_per_sec", interp_eps)
         .metric("replay_elems_per_sec", replay_eps)
         .metric("replay_par4_elems_per_sec", par_eps)
+        .metric("compiled_elems_per_sec", compiled_eps)
+        .metric("compiled_par4_elems_per_sec", compiled_par_eps)
         .metric("record_cost_us", record_s * 1e6)
+        .metric("compile_cost_us", compile_s * 1e6)
         .metric("speedup", speedup)
+        .metric("compiled_speedup", compiled_speedup)
         .flag("variant", format!("{headline:?}"))
         .flag("bit_identical", bit_identical)
+        .flag("counters_identical", counters_identical)
         .flag("instr_streams_identical", instrs_identical)
         .attach_obs(&obs::snapshot().since(&obs_before));
     report
@@ -175,16 +281,57 @@ fn main() {
         .expect("write BENCH_sve.json");
     println!("wrote BENCH_sve.json");
 
-    if !bit_identical || !instrs_identical {
+    // Per-variant pass-pipeline summary (uploaded as a CI artifact).
+    let entries: Vec<String> = compile_reports
+        .iter()
+        .map(|(name, r)| {
+            format!(
+                "{{\"variant\": \"{name}\", \"native\": {}, \"body_ops\": {}, \
+                 \"opt_ops\": {}, \"kernels\": {}, \"fused\": {}, \"folded\": {}, \
+                 \"pred_simplified\": {}, \"dead_removed\": {}}}",
+                r.native,
+                r.body_ops,
+                r.opt_ops,
+                r.kernels,
+                r.fused,
+                r.folded,
+                r.pred_simplified,
+                r.dead_removed
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n\"schema\": \"compile-report-v1\",\n\"traces\": [\n{}\n]\n}}\n",
+        entries.join(",\n")
+    );
+    obs::Json::parse(&doc).expect("compile report must be valid JSON");
+    let _ = std::fs::create_dir_all("target");
+    std::fs::write("target/COMPILE_REPORT.json", &doc).expect("write compile report");
+    println!("wrote target/COMPILE_REPORT.json");
+
+    if !bit_identical || !instrs_identical || !counters_identical {
         std::process::exit(1);
     }
     if !smoke && speedup < 5.0 {
         eprintln!("FAIL: replay speedup {speedup:.2}x < 5x over the per-op interpreter");
         std::process::exit(1);
     }
+    // The compiled floor is calibrated against the obs-on accounting the
+    // committed baseline records; without obs the replayer's fast paths
+    // close part of the gap and the ratio is not comparable.
+    if !smoke && obs::enabled() && compiled_speedup < 5.0 {
+        eprintln!("FAIL: compiled speedup {compiled_speedup:.2}x < 5x over the replayer");
+        std::process::exit(1);
+    }
     if smoke {
-        println!("OK (smoke): identity checks passed; speedup {speedup:.1}x (not gated)");
+        println!(
+            "OK (smoke): identity checks passed; replay {speedup:.1}x, \
+             compiled {compiled_speedup:.1}x (not gated)"
+        );
     } else {
-        println!("OK: replay is {speedup:.1}x the interpreter (>= 5x)");
+        println!(
+            "OK: replay is {speedup:.1}x the interpreter (>= 5x); compiled is \
+             {compiled_speedup:.1}x replay"
+        );
     }
 }

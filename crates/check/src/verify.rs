@@ -25,50 +25,8 @@ use std::collections::{HashMap, HashSet};
 
 use crate::diag::{Code, Diag};
 use crate::program::{Convention, Program};
-use ookami_uarch::{Domain, EffectClass, Instr, OpClass, Reg, Width};
-
-/// Predicate lattice: `Bounded` predicates are provably no wider than the
-/// loop predicate (`whilelt`-shaped); `Wide` ones may have lanes active
-/// past the loop bound (`ptrue`, unknown live-ins).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PredDom {
-    Bounded,
-    Wide,
-}
-
-/// Allowed source counts for a class under the traced lowering, plus
-/// whether a destination is required. `None` = the class is never
-/// produced by `Trace::to_instrs` (always `OC0005` when seen).
-fn traced_arity(op: OpClass) -> Option<(&'static [usize], bool)> {
-    Some(match op {
-        OpClass::FAdd | OpClass::FMul | OpClass::FDiv | OpClass::FMinMax => (&[3][..], true),
-        OpClass::VecIntOp => (&[2, 3][..], true),
-        OpClass::FSqrt | OpClass::FAbsNeg | OpClass::FRound | OpClass::FCvt | OpClass::Permute => {
-            (&[2][..], true)
-        }
-        OpClass::Fma => (&[3, 4][..], true),
-        OpClass::FRecpe | OpClass::FRsqrte | OpClass::Fexpa => (&[1][..], true),
-        OpClass::Ftmad => (&[3][..], true),
-        OpClass::FCmp => (&[2, 3][..], true),
-        OpClass::PredOp => (&[2][..], true),
-        OpClass::Select => (&[3][..], true),
-        OpClass::Gather => (&[2][..], true),
-        OpClass::Scatter => (&[3][..], false),
-        OpClass::IntAlu | OpClass::Branch | OpClass::ScalarLibmCall => (&[0][..], false),
-        OpClass::Load | OpClass::Store | OpClass::IntMul => return None,
-    })
-}
-
-/// Expected domain of source `k` of `ins` under the traced lowering.
-fn expected_src_domain(ins: &Instr, k: usize) -> Domain {
-    if ins.op == OpClass::PredOp {
-        return Domain::Predicate;
-    }
-    if k == 0 && ins.op.first_src_is_governing_pred() {
-        return Domain::Predicate;
-    }
-    Domain::Vector
-}
+use ookami_uarch::meta::{expected_src_domain, pred_transfer, traced_arity, PredDom};
+use ookami_uarch::{Domain, EffectClass, OpClass, Reg, Width};
 
 /// Run every applicable pass over `p`. Diagnostics come out in
 /// instruction order (stable across runs — the golden corpus depends on
@@ -321,28 +279,14 @@ fn verify_traced(p: &Program, diags: &mut Vec<Diag>) {
             }
 
             if ins.def_domain() == Domain::Predicate {
-                // Transfer: a compare inherits its governing predicate's
-                // domain; predicate logic is Bounded if either input is.
-                let dom = match ins.op {
-                    OpClass::FCmp => ins
-                        .srcs
-                        .first()
-                        .and_then(|pg| pred_dom.get(pg).copied())
-                        .unwrap_or(PredDom::Wide),
-                    OpClass::PredOp => {
-                        if ins
-                            .srcs
-                            .iter()
-                            .any(|s| pred_dom.get(s) == Some(&PredDom::Bounded))
-                        {
-                            PredDom::Bounded
-                        } else {
-                            PredDom::Wide
-                        }
-                    }
-                    _ => PredDom::Wide,
-                };
-                pred_dom.insert(d, dom);
+                // Transfer function lives in the shared metadata table so
+                // the trace compiler's passes reuse identical facts.
+                let src_doms: Vec<PredDom> = ins
+                    .srcs
+                    .iter()
+                    .map(|s| pred_dom.get(s).copied().unwrap_or(PredDom::Wide))
+                    .collect();
+                pred_dom.insert(d, pred_transfer(ins.op, &src_doms));
 
                 // OC1002: identical predicate recompute.
                 if !ins.srcs.is_empty() {

@@ -91,7 +91,7 @@ fn sprnvc(
     }
     // vecset: force entry iouter to 0.5.
     if let Some(p) = idx.iter().position(|&j| j as usize == iouter) {
-        val[p] = 0.5
+        val[p] = 0.5;
     } else {
         idx.push(iouter as u32);
         val.push(0.5);

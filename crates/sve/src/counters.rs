@@ -101,6 +101,52 @@ pub(crate) fn bump(class: OpClass, instrs: u64, lanes: u64, uops: u64) {
     maybe_sample(instrs);
 }
 
+/// [`bump`] into a local snapshot instead of the live thread counters.
+/// The compiled path ([`crate::compile`]) pre-folds one block's static
+/// accounting at plan-build time and [`flush`]es `blocks × snapshot` per
+/// bulk call — per-block `bump`s would spend more time in thread-local
+/// atomics than in the kernels themselves. Must mirror [`bump`] field for
+/// field: every counter here is linear in `(instrs, lanes)`, so scaling
+/// by the block count is exact, and the cross-executor identity tests
+/// assert it stays that way.
+pub(crate) fn bump_into(s: &mut obs::Snapshot, class: OpClass, instrs: u64, lanes: u64, uops: u64) {
+    if instrs == 0 {
+        return;
+    }
+    let mut add = |c: Counter, n: u64| s.set(c, s.get(c) + n);
+    add(Counter::SveInstrs, instrs);
+    add(Counter::SveLanesActive, lanes);
+    let flops = lanes * class.flops_per_lane() as u64;
+    if flops > 0 {
+        add(Counter::FlopsModel, flops);
+    }
+    let cost = ookami_uarch::machines::A64fxTable.cost(class, Width::V512);
+    for p in cost.ports.iter() {
+        add(Counter::port(p), instrs * uops);
+    }
+}
+
+/// [`bump_fexpa`] into a local snapshot (see [`bump_into`]).
+pub(crate) fn bump_fexpa_into(s: &mut obs::Snapshot, instrs: u64, lanes: u64) {
+    bump_into(s, OpClass::Fexpa, instrs, lanes, 1);
+    s.set(Counter::FexpaIssues, s.get(Counter::FexpaIssues) + instrs);
+}
+
+/// Drain `times` copies of a pre-folded block snapshot into the live
+/// counters: at most one [`obs::add`] per counter per bulk call.
+pub(crate) fn flush(s: &obs::Snapshot, times: u64) {
+    if !obs::enabled() || times == 0 {
+        return;
+    }
+    for c in obs::COUNTERS {
+        let v = s.get(c);
+        if v != 0 {
+            obs::add(c, v * times);
+        }
+    }
+    maybe_sample(s.get(Counter::SveInstrs) * times);
+}
+
 /// Active lanes of an interpreter predicate mask.
 #[inline]
 pub(crate) fn popcount(mask: &[bool]) -> u64 {

@@ -6,6 +6,7 @@ use crate::lanes;
 use crate::trace::{BinOp, CmpOp, CvtOp, ShiftOp, TOp, TraceSink, UnOp};
 use crate::value::{Pred, VVal};
 use ookami_core::obs::{self, Counter};
+use ookami_uarch::meta::{self, LaneAccounting};
 use ookami_uarch::{Instr, OpClass, Reg, Width};
 
 /// Emulated SVE machine state: a vector length and an instruction recorder.
@@ -122,9 +123,20 @@ impl SveCtx {
     /// trace sink is installed: record-time execution is re-counted by the
     /// replay that re-runs it, which keeps interpreter and replay totals
     /// identical for a kernel (see [`crate::counters`]).
+    ///
+    /// `governed` is the active-lane count of the governing (or result)
+    /// predicate; the shared [`meta::lane_accounting`] table decides
+    /// whether the class retires that, the full vector, or nothing — the
+    /// same classification the replayer and the trace compiler apply, so
+    /// all executors agree by construction.
     #[inline]
-    fn count(&self, class: OpClass, lanes: u64) {
+    fn count(&self, class: OpClass, governed: u64) {
         if self.trace.is_none() {
+            let lanes = match meta::lane_accounting(class) {
+                LaneAccounting::Governed | LaneAccounting::ResultPop => governed,
+                LaneAccounting::FullVector => self.vl as u64,
+                LaneAccounting::Scalar => 0,
+            };
             counters::bump(class, 1, lanes, 1);
         }
     }
@@ -430,8 +442,8 @@ impl SveCtx {
         } else {
             OpClass::FRecpe
         };
-        // Estimates are unpredicated: all `vl` lanes retire.
-        self.count(op, self.vl as u64);
+        // Estimates are unpredicated: lane accounting derives `vl`.
+        self.count(op, 0);
         self.rec(op, Some(id), &[a.id]);
         if let Some(tr) = &mut self.trace {
             let sa = tr.vs(a.id);

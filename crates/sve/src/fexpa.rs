@@ -18,6 +18,13 @@ fn mantissa(j: usize) -> u64 {
     v.to_bits() & ((1u64 << 52) - 1)
 }
 
+/// The full 64-entry table, materialized for executors that hoist it out
+/// of the lane loop (the trace compiler). Entry `j` is bit-identical to
+/// what [`fexpa_lane`] assembles from `mantissa(j)`.
+pub(crate) fn mantissa_table() -> [u64; 64] {
+    std::array::from_fn(mantissa)
+}
+
 /// `FEXPA` on one 64-bit lane: bits `[5:0]` = i (table index), bits `[16:6]` =
 /// biased exponent. All other input bits are ignored (architecturally they
 /// must be zero for a canonical encoding; hardware ignores them too).

@@ -20,6 +20,7 @@
 //! The emulator computes real IEEE-754 arithmetic; it makes no attempt to
 //! model flush-to-zero or rounding-mode differences.
 
+pub mod compile;
 pub(crate) mod counters;
 pub mod ctx;
 pub mod fexpa;
@@ -28,6 +29,7 @@ pub mod record;
 pub mod trace;
 pub mod value;
 
+pub use compile::{CompileReport, CompiledTrace};
 pub use ctx::SveCtx;
 pub use record::{record_kernel, Recording};
 pub use trace::{PSlot, Replayer, Trace, TraceBuilder, TraceInfo, VSlot};

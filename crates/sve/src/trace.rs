@@ -25,7 +25,9 @@
 //! (the loop predicate, bound inputs, and post-step taps).
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
+use crate::compile::Compiled;
 use crate::counters;
 use crate::ctx::SveCtx;
 use crate::fexpa::fexpa_lane;
@@ -34,6 +36,7 @@ use crate::value::{Pred, VVal};
 use ookami_core::obs::{self, Counter};
 use ookami_core::pool::Schedule;
 use ookami_core::runtime::{par_for_with, SendPtr};
+use ookami_uarch::meta::{self, LaneAccounting};
 use ookami_uarch::{Instr, OpClass, Reg, Width};
 
 /// Dense index into a trace's vector or predicate register file.
@@ -442,6 +445,7 @@ impl TraceBuilder {
             outputs: outs,
             tap_v: self.tap_v,
             tap_p: self.tap_p,
+            compiled: OnceLock::new(),
         }
     }
 }
@@ -449,20 +453,46 @@ impl TraceBuilder {
 /// A recorded kernel iteration: setup ops (run once per [`Replayer`]),
 /// body ops (run once per [`Replayer::step`]), captured gather/scatter
 /// tables, input/output/carry slot wiring.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Trace {
-    vl: usize,
-    setup: Vec<TOp>,
-    body: Vec<TOp>,
-    n_v: usize,
-    n_p: usize,
-    tabs: Vec<Vec<f64>>,
-    inputs: Vec<Slot>,
-    loop_pred: Option<Slot>,
-    carries: Vec<(Slot, Slot)>,
-    outputs: Vec<Slot>,
-    tap_v: Vec<Slot>,
-    tap_p: Vec<Slot>,
+    pub(crate) vl: usize,
+    pub(crate) setup: Vec<TOp>,
+    pub(crate) body: Vec<TOp>,
+    pub(crate) n_v: usize,
+    pub(crate) n_p: usize,
+    pub(crate) tabs: Vec<Vec<f64>>,
+    pub(crate) inputs: Vec<Slot>,
+    pub(crate) loop_pred: Option<Slot>,
+    pub(crate) carries: Vec<(Slot, Slot)>,
+    pub(crate) outputs: Vec<Slot>,
+    pub(crate) tap_v: Vec<Slot>,
+    pub(crate) tap_p: Vec<Slot>,
+    /// Lazily built compiled engine (see [`crate::compile`]); the bulk
+    /// drivers share it across calls.
+    pub(crate) compiled: OnceLock<Arc<Compiled>>,
+}
+
+impl Clone for Trace {
+    /// Clones the recording but *not* the compiled engine: a clone is
+    /// usually about to be mutated (see [`Trace::mutated`]), so it must
+    /// recompile from its own ops.
+    fn clone(&self) -> Trace {
+        Trace {
+            vl: self.vl,
+            setup: self.setup.clone(),
+            body: self.body.clone(),
+            n_v: self.n_v,
+            n_p: self.n_p,
+            tabs: self.tabs.clone(),
+            inputs: self.inputs.clone(),
+            loop_pred: self.loop_pred,
+            carries: self.carries.clone(),
+            outputs: self.outputs.clone(),
+            tap_v: self.tap_v.clone(),
+            tap_p: self.tap_p.clone(),
+            compiled: OnceLock::new(),
+        }
+    }
 }
 
 /// Static-analysis view of a [`Trace`] for the `ookami_check` verifier:
@@ -544,12 +574,12 @@ impl Trace {
     /// True for purely lanewise bodies; loop-carried state serializes
     /// iterations and `compact` permutes across the whole vector, so
     /// either forces block-at-a-time replay.
-    fn batchable(&self) -> bool {
+    pub(crate) fn batchable(&self) -> bool {
         self.carries.is_empty() && !self.body.iter().any(|o| matches!(o, TOp::Compact { .. }))
     }
 
     /// Blocks fused per step for the bulk `map`/`par_map` drivers.
-    fn auto_batch(&self) -> usize {
+    pub(crate) fn auto_batch(&self) -> usize {
         if self.batchable() {
             (64 / self.vl).max(1)
         } else {
@@ -557,36 +587,39 @@ impl Trace {
         }
     }
 
-    /// Replay the trace over `xs` (single-input, single-output traces),
-    /// block by block — bit-identical to `vecmath::map_f64` over the
-    /// interpreter.
+    /// The lazily built compiled engine behind the bulk drivers.
+    pub(crate) fn engine(&self) -> &Arc<Compiled> {
+        self.compiled
+            .get_or_init(|| Arc::new(Compiled::build(self)))
+    }
+
+    /// Compile the trace ahead of time and keep the artifact: the
+    /// [`CompiledTrace`] drives the same bulk entry points without the
+    /// first-call compile hit, and exposes the compile report.
+    pub fn compile(&self) -> crate::compile::CompiledTrace {
+        crate::compile::CompiledTrace::new(self.clone())
+    }
+
+    /// The trace after the compiler's SSA pass pipeline (constant folding,
+    /// predicate simplification, dead-def elimination). Still a valid,
+    /// replayable trace with bit-identical `map` output; its obs counters
+    /// reflect the *optimized* op stream, so only the compiled engine —
+    /// which accounts with the original body — preserves counter totals.
+    pub fn optimized(&self) -> Trace {
+        crate::compile::optimize(self).0
+    }
+
+    /// Map `xs` through the kernel (single-input, single-output traces) —
+    /// bit-identical to `vecmath::map_f64` over the interpreter. Runs the
+    /// compiled engine when the trace admits one, otherwise replays block
+    /// by block.
     pub fn map(&self, xs: &[f64]) -> Vec<f64> {
-        let mut out = vec![0.0f64; xs.len()];
-        let mut r = Replayer::with_batch(self, self.auto_batch());
-        let w = r.width();
-        self.map_range(&mut r, xs, &mut out, 0, xs.len().div_ceil(w));
-        out
+        self.engine().clone().map(self, xs)
     }
 
     /// [`Trace::map`] with two input streams (`pow`-style kernels).
     pub fn map2(&self, xs: &[f64], ys: &[f64]) -> Vec<f64> {
-        assert_eq!(xs.len(), ys.len());
-        assert_eq!(self.inputs.len(), 2, "map2 needs a two-input trace");
-        let mut out = vec![0.0f64; xs.len()];
-        let mut r = Replayer::with_batch(self, self.auto_batch());
-        let w = r.width();
-        let o = self.output(0);
-        for i in (0..xs.len()).step_by(w) {
-            let m = w.min(xs.len() - i);
-            r.set_block(i, xs.len());
-            r.bind_f64(0, &xs[i..i + m]);
-            r.bind_f64(1, &ys[i..i + m]);
-            r.step();
-            for (l, slot) in out[i..i + m].iter_mut().enumerate() {
-                *slot = r.lane_f64(o, l);
-            }
-        }
-        out
+        self.engine().clone().map2(self, xs, ys)
     }
 
     /// [`Trace::map`] parallelized over the PR-1 worker pool with a static
@@ -594,6 +627,38 @@ impl Trace {
     /// independent, so results stay bit-identical to the serial replay).
     /// `threads == 0` means auto.
     pub fn par_map(&self, threads: usize, xs: &[f64]) -> Vec<f64> {
+        self.engine().clone().par_map(self, threads, xs)
+    }
+
+    /// [`Trace::map2`] parallelized over the worker pool (static schedule,
+    /// bit-identical to the serial replay). `threads == 0` means auto.
+    pub fn par_map2(&self, threads: usize, xs: &[f64], ys: &[f64]) -> Vec<f64> {
+        self.engine().clone().par_map2(self, threads, xs, ys)
+    }
+
+    /// Replayer-only [`Trace::map`] (the compiled engine's fallback and
+    /// tail path, and the `replay_elems_per_sec` baseline in the probes).
+    pub fn replay_map(&self, xs: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0f64; xs.len()];
+        let mut r = Replayer::with_batch(self, self.auto_batch());
+        let w = r.width();
+        self.map_range(&mut r, xs, &mut out, 0, xs.len().div_ceil(w));
+        out
+    }
+
+    /// Replayer-only [`Trace::map2`].
+    pub fn replay_map2(&self, xs: &[f64], ys: &[f64]) -> Vec<f64> {
+        assert_eq!(xs.len(), ys.len());
+        assert_eq!(self.inputs.len(), 2, "map2 needs a two-input trace");
+        let mut out = vec![0.0f64; xs.len()];
+        let mut r = Replayer::with_batch(self, self.auto_batch());
+        let w = r.width();
+        self.map2_range(&mut r, xs, ys, &mut out, 0, xs.len().div_ceil(w));
+        out
+    }
+
+    /// Replayer-only [`Trace::par_map`].
+    pub fn replay_par_map(&self, threads: usize, xs: &[f64]) -> Vec<f64> {
         let batch = self.auto_batch();
         let w = batch * self.vl;
         let n_blocks = xs.len().div_ceil(w);
@@ -609,9 +674,8 @@ impl Trace {
         out
     }
 
-    /// [`Trace::map2`] parallelized over the worker pool (static schedule,
-    /// bit-identical to the serial replay). `threads == 0` means auto.
-    pub fn par_map2(&self, threads: usize, xs: &[f64], ys: &[f64]) -> Vec<f64> {
+    /// Replayer-only [`Trace::par_map2`].
+    pub fn replay_par_map2(&self, threads: usize, xs: &[f64], ys: &[f64]) -> Vec<f64> {
         assert_eq!(xs.len(), ys.len());
         assert_eq!(self.inputs.len(), 2, "par_map2 needs a two-input trace");
         let batch = self.auto_batch();
@@ -643,7 +707,14 @@ impl Trace {
     /// Replay blocks `[b0, b1)` of `xs`, writing into `out` (which starts
     /// at element `b0 * w` of the logical output, where `w` is the
     /// replayer's step width — `vl` times its batch factor).
-    fn map_range(&self, r: &mut Replayer, xs: &[f64], out: &mut [f64], b0: usize, b1: usize) {
+    pub(crate) fn map_range(
+        &self,
+        r: &mut Replayer,
+        xs: &[f64],
+        out: &mut [f64],
+        b0: usize,
+        b1: usize,
+    ) {
         assert_eq!(self.inputs.len(), 1, "map needs a one-input trace");
         let w = r.width();
         let o = self.output(0);
@@ -652,6 +723,32 @@ impl Trace {
             let m = w.min(xs.len() - i);
             r.set_block(i, xs.len());
             r.bind_f64(0, &xs[i..i + m]);
+            r.step();
+            let lo = i - b0 * w;
+            for (l, slot) in out[lo..lo + m].iter_mut().enumerate() {
+                *slot = r.lane_f64(o, l);
+            }
+        }
+    }
+
+    /// [`Trace::map_range`] with two input streams.
+    pub(crate) fn map2_range(
+        &self,
+        r: &mut Replayer,
+        xs: &[f64],
+        ys: &[f64],
+        out: &mut [f64],
+        b0: usize,
+        b1: usize,
+    ) {
+        let w = r.width();
+        let o = self.output(0);
+        for blk in b0..b1 {
+            let i = blk * w;
+            let m = w.min(xs.len() - i);
+            r.set_block(i, xs.len());
+            r.bind_f64(0, &xs[i..i + m]);
+            r.bind_f64(1, &ys[i..i + m]);
             r.step();
             let lo = i - b0 * w;
             for (l, slot) in out[lo..lo + m].iter_mut().enumerate() {
@@ -687,22 +784,12 @@ impl Trace {
                 TOp::ConstV { .. } | TOp::Ptrue { .. } => {
                     unreachable!("constants always land in setup")
                 }
-                TOp::Bin { op, dst, pg, a, b } => {
-                    let class = match op {
-                        BinOp::FAdd | BinOp::FSub => OpClass::FAdd,
-                        BinOp::FMul => OpClass::FMul,
-                        BinOp::FDiv => OpClass::FDiv,
-                        BinOp::FMax | BinOp::FMin => OpClass::FMinMax,
-                        _ => OpClass::VecIntOp,
-                    };
+                TOp::Bin { dst, pg, a, b, .. } => {
+                    let class = top_class(op).expect("Bin has a class");
                     out.push(Instr::new(class, w, Some(vr(dst)), [pr(pg), vr(a), vr(b)]));
                 }
-                TOp::Un { op, dst, pg, a } => {
-                    let class = match op {
-                        UnOp::Sqrt => OpClass::FSqrt,
-                        UnOp::Neg | UnOp::Abs => OpClass::FAbsNeg,
-                        UnOp::Rintn => OpClass::FRound,
-                    };
+                TOp::Un { dst, pg, a, .. } => {
+                    let class = top_class(op).expect("Un has a class");
                     out.push(Instr::new(class, w, Some(vr(dst)), [pr(pg), vr(a)]));
                 }
                 TOp::Fmla {
@@ -713,12 +800,8 @@ impl Trace {
                     Some(vr(dst)),
                     [pr(pg), vr(c), vr(a), vr(b)],
                 )),
-                TOp::Est { rsqrt, dst, a } => {
-                    let class = if rsqrt {
-                        OpClass::FRsqrte
-                    } else {
-                        OpClass::FRecpe
-                    };
+                TOp::Est { dst, a, .. } => {
+                    let class = top_class(op).expect("Est has a class");
                     out.push(Instr::new(class, w, Some(vr(dst)), [vr(a)]));
                 }
                 TOp::NewtonStep { dst, pg, a, b, .. } => out.push(Instr::new(
@@ -951,8 +1034,70 @@ impl Trace {
     }
 }
 
+/// The [`OpClass`] a body [`TOp`] lowers to — the one dispatch table
+/// behind [`Trace::to_instrs`], the replayer's counters, and the compiled
+/// engine's accounting. `None` for setup constants (never counted or
+/// lowered from a body) and `Overhead` (expands to several instrs).
+pub(crate) fn top_class(op: &TOp) -> Option<OpClass> {
+    Some(match op {
+        TOp::ConstV { .. } | TOp::Ptrue { .. } | TOp::Overhead { .. } => return None,
+        TOp::Bin { op, .. } => match op {
+            BinOp::FAdd | BinOp::FSub => OpClass::FAdd,
+            BinOp::FMul => OpClass::FMul,
+            BinOp::FDiv => OpClass::FDiv,
+            BinOp::FMax | BinOp::FMin => OpClass::FMinMax,
+            _ => OpClass::VecIntOp,
+        },
+        TOp::Un { op, .. } => match op {
+            UnOp::Sqrt => OpClass::FSqrt,
+            UnOp::Neg | UnOp::Abs => OpClass::FAbsNeg,
+            UnOp::Rintn => OpClass::FRound,
+        },
+        TOp::Fmla { .. } | TOp::NewtonStep { .. } => OpClass::Fma,
+        TOp::Est { rsqrt: true, .. } => OpClass::FRsqrte,
+        TOp::Est { rsqrt: false, .. } => OpClass::FRecpe,
+        TOp::Fexpa { .. } => OpClass::Fexpa,
+        TOp::Ftmad { .. } => OpClass::Ftmad,
+        TOp::Cmp { .. } | TOp::CmpNeImm { .. } => OpClass::FCmp,
+        TOp::Pand { .. } => OpClass::PredOp,
+        TOp::Sel { .. } => OpClass::Select,
+        TOp::Shift { .. } => OpClass::VecIntOp,
+        TOp::Cvt { .. } => OpClass::FCvt,
+        TOp::Compact { .. } => OpClass::Permute,
+        TOp::Gather { .. } => OpClass::Gather,
+        TOp::Scatter { .. } => OpClass::Scatter,
+        TOp::LibmCall => OpClass::ScalarLibmCall,
+    })
+}
+
+/// The governing predicate of a [`TOp`], if predicated.
+pub(crate) fn top_pg(op: &TOp) -> Option<Slot> {
+    match *op {
+        TOp::Bin { pg, .. }
+        | TOp::Un { pg, .. }
+        | TOp::Fmla { pg, .. }
+        | TOp::NewtonStep { pg, .. }
+        | TOp::Ftmad { pg, .. }
+        | TOp::Cmp { pg, .. }
+        | TOp::CmpNeImm { pg, .. }
+        | TOp::Sel { pg, .. }
+        | TOp::Shift { pg, .. }
+        | TOp::Cvt { pg, .. }
+        | TOp::Compact { pg, .. }
+        | TOp::Gather { pg, .. }
+        | TOp::Scatter { pg, .. } => Some(pg),
+        TOp::ConstV { .. }
+        | TOp::Ptrue { .. }
+        | TOp::Est { .. }
+        | TOp::Fexpa { .. }
+        | TOp::Pand { .. }
+        | TOp::Overhead { .. }
+        | TOp::LibmCall => None,
+    }
+}
+
 /// The slot a [`TOp`] defines, as `(vector, predicate)` — at most one.
-fn top_def(op: &TOp) -> (Option<Slot>, Option<Slot>) {
+pub(crate) fn top_def(op: &TOp) -> (Option<Slot>, Option<Slot>) {
     match *op {
         TOp::ConstV { dst, .. }
         | TOp::Bin { dst, .. }
@@ -975,8 +1120,9 @@ fn top_def(op: &TOp) -> (Option<Slot>, Option<Slot>) {
     }
 }
 
-/// Mutable refs to a [`TOp`]'s vector-slot sources (mutation support).
-fn v_srcs_mut(op: &mut TOp) -> Vec<&mut Slot> {
+/// Mutable refs to a [`TOp`]'s vector-slot sources (mutation and
+/// pass-rewrite support).
+pub(crate) fn v_srcs_mut(op: &mut TOp) -> Vec<&mut Slot> {
     match op {
         TOp::Bin { a, b, .. }
         | TOp::NewtonStep { a, b, .. }
@@ -1002,7 +1148,7 @@ fn v_srcs_mut(op: &mut TOp) -> Vec<&mut Slot> {
 }
 
 /// Mutable ref to a [`TOp`]'s governing predicate, if predicated.
-fn pg_mut(op: &mut TOp) -> Option<&mut Slot> {
+pub(crate) fn pg_mut(op: &mut TOp) -> Option<&mut Slot> {
     match op {
         TOp::Bin { pg, .. }
         | TOp::Un { pg, .. }
@@ -1215,8 +1361,10 @@ impl<'t> Replayer<'t> {
     /// Count one body op against the obs registry with exactly the totals
     /// the interpreter produces for the same op over the same range: this
     /// step stands for [`Replayer::blocks`] `vl`-wide iterations, block
-    /// masks concatenate lanewise under batching (popcounts sum), and the
-    /// class mapping mirrors [`Trace::to_instrs`] / the `SveCtx` methods.
+    /// masks concatenate lanewise under batching (popcounts sum), the
+    /// class mapping is [`top_class`] (shared with [`Trace::to_instrs`]
+    /// and the compiled engine), and the lane weight follows
+    /// `ookami_uarch::meta::lane_accounting`.
     fn count_op(&self, op: &TOp) {
         let n = self.blocks as u64;
         if n == 0 {
@@ -1224,60 +1372,36 @@ impl<'t> Replayer<'t> {
         }
         let full = n * self.t.vl as u64;
         let pc = |s: Slot| u64::from(self.pbuf[s as usize].count_ones());
+        // Classes with bespoke counter side effects (derived memory and
+        // FEXPA-issue counters, the multi-instr Overhead expansion).
         match *op {
-            TOp::ConstV { .. } | TOp::Ptrue { .. } => {}
-            TOp::Bin { op, pg, .. } => {
-                let class = match op {
-                    BinOp::FAdd | BinOp::FSub => OpClass::FAdd,
-                    BinOp::FMul => OpClass::FMul,
-                    BinOp::FDiv => OpClass::FDiv,
-                    BinOp::FMax | BinOp::FMin => OpClass::FMinMax,
-                    _ => OpClass::VecIntOp,
-                };
-                counters::bump(class, n, pc(pg), 1);
-            }
-            TOp::Un { op, pg, .. } => {
-                let class = match op {
-                    UnOp::Sqrt => OpClass::FSqrt,
-                    UnOp::Neg | UnOp::Abs => OpClass::FAbsNeg,
-                    UnOp::Rintn => OpClass::FRound,
-                };
-                counters::bump(class, n, pc(pg), 1);
-            }
-            TOp::Fmla { pg, .. } | TOp::NewtonStep { pg, .. } => {
-                counters::bump(OpClass::Fma, n, pc(pg), 1);
-            }
-            TOp::Est { rsqrt, .. } => {
-                let class = if rsqrt {
-                    OpClass::FRsqrte
-                } else {
-                    OpClass::FRecpe
-                };
-                counters::bump(class, n, full, 1);
-            }
-            TOp::Fexpa { .. } => counters::bump_fexpa(n, full),
-            TOp::Ftmad { pg, .. } => counters::bump(OpClass::Ftmad, n, pc(pg), 1),
-            TOp::Cmp { pg, .. } | TOp::CmpNeImm { pg, .. } => {
-                counters::bump(OpClass::FCmp, n, pc(pg), 1);
-            }
-            TOp::Pand { a, b, .. } => {
-                let res = self.pbuf[a as usize] & self.pbuf[b as usize];
-                counters::bump(OpClass::PredOp, n, u64::from(res.count_ones()), 1);
-            }
-            TOp::Sel { pg, .. } => counters::bump(OpClass::Select, n, pc(pg), 1),
-            TOp::Shift { pg, .. } => counters::bump(OpClass::VecIntOp, n, pc(pg), 1),
-            TOp::Cvt { pg, .. } => counters::bump(OpClass::FCvt, n, pc(pg), 1),
-            TOp::Compact { pg, .. } => counters::bump(OpClass::Permute, n, pc(pg), 1),
             TOp::Gather { pg, uops, .. } => {
-                counters::bump_gather(n, pc(pg), u64::from(uops.max(1)));
+                return counters::bump_gather(n, pc(pg), u64::from(uops.max(1)));
             }
-            TOp::Scatter { pg, .. } => counters::bump_scatter(n, pc(pg)),
+            TOp::Scatter { pg, .. } => return counters::bump_scatter(n, pc(pg)),
+            TOp::Fexpa { .. } => return counters::bump_fexpa(n, full),
             TOp::Overhead { int_ops } => {
                 counters::bump(OpClass::IntAlu, n * int_ops as u64, 0, 1);
                 counters::bump(OpClass::Branch, n, 0, 1);
+                return;
             }
-            TOp::LibmCall => counters::bump(OpClass::ScalarLibmCall, n, 0, 1),
+            _ => {}
         }
+        let Some(class) = top_class(op) else {
+            return; // setup constants are never counted
+        };
+        let lanes = match meta::lane_accounting(class) {
+            LaneAccounting::Governed => pc(top_pg(op).expect("governed op has a predicate")),
+            LaneAccounting::FullVector => full,
+            LaneAccounting::ResultPop => match *op {
+                TOp::Pand { a, b, .. } => {
+                    u64::from((self.pbuf[a as usize] & self.pbuf[b as usize]).count_ones())
+                }
+                _ => unreachable!("PredOp lowers only from pand"),
+            },
+            LaneAccounting::Scalar => 0,
+        };
+        counters::bump(class, n, lanes, 1);
     }
 
     #[inline]
@@ -1589,7 +1713,7 @@ fn cmp_rows(a: &[u64], b: &[u64], m: u64, f: impl Fn(f64, f64) -> bool) -> u64 {
 }
 
 #[inline(always)]
-fn bin_lane(op: BinOp, x: u64, y: u64) -> u64 {
+pub(crate) fn bin_lane(op: BinOp, x: u64, y: u64) -> u64 {
     match op {
         BinOp::FAdd => lanes::dn(f64::from_bits(x) + f64::from_bits(y)).to_bits(),
         BinOp::FSub => lanes::dn(f64::from_bits(x) - f64::from_bits(y)).to_bits(),
@@ -1607,7 +1731,7 @@ fn bin_lane(op: BinOp, x: u64, y: u64) -> u64 {
 }
 
 #[inline(always)]
-fn un_lane(op: UnOp, x: u64) -> u64 {
+pub(crate) fn un_lane(op: UnOp, x: u64) -> u64 {
     match op {
         UnOp::Sqrt => lanes::dn(f64::from_bits(x).sqrt()).to_bits(),
         UnOp::Neg => (-f64::from_bits(x)).to_bits(),

@@ -377,6 +377,107 @@ proptest! {
         prop_assert_eq!(want, got);
     }
 
+    /// The compiled engine is bit-identical to the replayer for arbitrary
+    /// recordable programs and input lengths spanning several 512-lane
+    /// blocks plus a ragged tail. Bodies the native gate rejects (gather,
+    /// compact, non-power-of-two vl) must fall back invisibly.
+    #[test]
+    fn compiled_matches_replay_bit_identical(
+        vl in 1usize..=8,
+        xs in prop::collection::vec(
+            prop_oneof![Just(0.0f64), Just(-0.0), Just(1e308), Just(-4.25), -1e3..1e3f64],
+            400..1300,
+        ),
+        prog in prop::collection::vec(op_strategy(), 1..14),
+    ) {
+        let t = Trace::record1(vl, |ctx, pg, x| run_program(ctx, pg, x, &prog));
+        let want = t.replay_map(&xs);
+        let ct = t.compile();
+        let got = ct.map(&xs);
+        prop_assert_eq!(want.len(), got.len());
+        for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+            prop_assert_eq!(
+                w.to_bits(), g.to_bits(),
+                "lane {} differs: replay {} vs compiled {} (vl={}, native={})",
+                i, w, g, vl, ct.is_native()
+            );
+        }
+        let par = ct.par_map(3, &xs);
+        for (w, g) in want.iter().zip(&par) {
+            prop_assert_eq!(w.to_bits(), g.to_bits(), "par_map (vl={})", vl);
+        }
+    }
+
+    /// The optimizer alone (constant folding, predicate simplification,
+    /// dead-code elimination) preserves replay bits: `Trace::optimized`
+    /// yields a plain trace the unmodified replayer runs to the same
+    /// output, for arbitrary programs and ragged lengths.
+    #[test]
+    fn optimized_trace_replays_bit_identically(
+        vl in 1usize..=8,
+        xs in prop::collection::vec(
+            prop_oneof![Just(0.0f64), Just(-0.0), Just(1e308), Just(-4.25), -1e3..1e3f64],
+            1..160,
+        ),
+        prog in prop::collection::vec(op_strategy(), 1..14),
+    ) {
+        let t = Trace::record1(vl, |ctx, pg, x| run_program(ctx, pg, x, &prog));
+        let want = t.replay_map(&xs);
+        let got = t.optimized().replay_map(&xs);
+        prop_assert_eq!(want.len(), got.len());
+        for (w, g) in want.iter().zip(&got) {
+            prop_assert_eq!(w.to_bits(), g.to_bits(), "vl={}", vl);
+        }
+    }
+
+    /// Counter identity for the compiled engine (needs `--features obs`,
+    /// vacuous otherwise): block-scaled accounting over the *original*
+    /// body must reproduce the replayer's per-op totals exactly — dead or
+    /// folded ops included — so `compiled == replayer == interpreter`
+    /// holds for counters, not just bits. Byte counters are included
+    /// here: both executors stage exactly 8·n input bytes.
+    #[test]
+    fn compiled_counters_equal_replay_counters(
+        vl in 1usize..=8,
+        xs in prop::collection::vec(
+            prop_oneof![Just(0.0f64), Just(-0.0), Just(1e308), Just(-4.25), -1e3..1e3f64],
+            400..1300,
+        ),
+        prog in prop::collection::vec(op_strategy(), 1..14),
+    ) {
+        if obs::enabled() {
+            let t = Trace::record1(vl, |ctx, pg, x| run_program(ctx, pg, x, &prog));
+            let ct = t.compile();
+            let replay = counter_delta(|| {
+                let _ = t.replay_map(&xs);
+            });
+            let compiled = counter_delta(|| {
+                let _ = ct.map(&xs);
+            });
+            for (i, (&a, &b)) in replay.iter().zip(compiled.iter()).enumerate() {
+                prop_assert_eq!(
+                    a, b,
+                    "counter {} differs: replay {} vs compiled {} (vl={}, n={}, native={})",
+                    IDENTITY_COUNTERS[i].name(), a, b, vl, xs.len(), ct.is_native()
+                );
+            }
+            let bytes = |f: &dyn Fn()| {
+                let before = obs::thread_snapshot();
+                f();
+                obs::thread_snapshot().since(&before).get(Counter::BytesLoaded)
+            };
+            let rb = bytes(&|| {
+                let _ = t.replay_map(&xs);
+            });
+            let cb = bytes(&|| {
+                let _ = ct.map(&xs);
+            });
+            prop_assert_eq!(rb, cb, "BytesLoaded (vl={}, n={})", vl, xs.len());
+            // Both stage 8·n input bytes; gathers may add table reads on top.
+            prop_assert!(rb >= 8 * xs.len() as u64);
+        }
+    }
+
     /// Scatter: replays write into the captured working table exactly as
     /// the interpreter writes into live memory (including dropped
     /// out-of-bounds lanes and last-write-wins ordering).

@@ -238,7 +238,7 @@ impl KernelLoop {
                 if let Some(ws) = writers.get(&s) {
                     // latest writer strictly before i
                     if let Some(&w) = ws.iter().rev().find(|&&w| w < i) {
-                        fwd[w].push(i)
+                        fwd[w].push(i);
                     } else {
                         // carried from the last writer in the body
                         let w = *ws.last().expect("non-empty writer list");

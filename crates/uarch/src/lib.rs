@@ -30,6 +30,7 @@ pub mod instr;
 pub mod machine;
 pub mod machines;
 pub mod memo;
+pub mod meta;
 pub mod peak;
 pub mod ports;
 

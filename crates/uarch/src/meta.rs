@@ -1,0 +1,190 @@
+//! The single op-metadata table shared by every executor and analysis.
+//!
+//! Four consumers read these facts (and none keeps a private copy):
+//!
+//! * the **interpreter** (`ookami_sve::ctx`) — lane-accounting weights for
+//!   the obs counters;
+//! * the **trace replayer** (`ookami_sve::trace`) — the same weights,
+//!   block-scaled;
+//! * the **trace compiler** (`ookami_sve::compile`) — arity, lane
+//!   accounting, and the predicate lattice its passes reuse;
+//! * the **static verifier** (`ookami_check::verify`) — arity, operand
+//!   domains, and the lattice transfer function.
+//!
+//! Before this table existed, the arity/effect facts lived in three
+//! places (interpreter recording, replayer dispatch, verifier table) and
+//! could drift independently; a compiler adding a fourth copy was the
+//! forcing function to centralize them here.
+
+use crate::instr::{Domain, Instr, OpClass};
+
+/// Predicate lattice: `Bounded` predicates are provably no wider than the
+/// loop predicate (`whilelt`-shaped); `Wide` ones may have lanes active
+/// past the loop bound (`ptrue`, unknown live-ins). The verifier uses the
+/// lattice to prove memory writes stay inside the loop bound (`OC0006`);
+/// the trace compiler reuses the same facts to decide which predicates
+/// are statically full on a full block (a `Wide` all-true setup predicate
+/// or the loop predicate itself) and may take the unmasked fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredDom {
+    Bounded,
+    Wide,
+}
+
+/// Lattice transfer for an op defining a predicate, given the resolved
+/// domains of its sources (callers substitute `Wide` for unknown regs):
+/// a compare inherits its governing predicate's domain; predicate logic
+/// is `Bounded` if any input is (AND can only narrow); everything else
+/// must be assumed `Wide`.
+pub fn pred_transfer(op: OpClass, src_doms: &[PredDom]) -> PredDom {
+    match op {
+        OpClass::FCmp => src_doms.first().copied().unwrap_or(PredDom::Wide),
+        OpClass::PredOp => {
+            if src_doms.contains(&PredDom::Bounded) {
+                PredDom::Bounded
+            } else {
+                PredDom::Wide
+            }
+        }
+        _ => PredDom::Wide,
+    }
+}
+
+/// Allowed source counts for a class under the traced lowering, plus
+/// whether a destination is required. `None` = the class is never
+/// produced by `Trace::to_instrs` (always `OC0005` when seen).
+pub fn traced_arity(op: OpClass) -> Option<(&'static [usize], bool)> {
+    Some(match op {
+        OpClass::FAdd | OpClass::FMul | OpClass::FDiv | OpClass::FMinMax => (&[3][..], true),
+        OpClass::VecIntOp => (&[2, 3][..], true),
+        OpClass::FSqrt | OpClass::FAbsNeg | OpClass::FRound | OpClass::FCvt | OpClass::Permute => {
+            (&[2][..], true)
+        }
+        OpClass::Fma => (&[3, 4][..], true),
+        OpClass::FRecpe | OpClass::FRsqrte | OpClass::Fexpa => (&[1][..], true),
+        OpClass::Ftmad => (&[3][..], true),
+        OpClass::FCmp => (&[2, 3][..], true),
+        OpClass::PredOp => (&[2][..], true),
+        OpClass::Select => (&[3][..], true),
+        OpClass::Gather => (&[2][..], true),
+        OpClass::Scatter => (&[3][..], false),
+        OpClass::IntAlu | OpClass::Branch | OpClass::ScalarLibmCall => (&[0][..], false),
+        OpClass::Load | OpClass::Store | OpClass::IntMul => return None,
+    })
+}
+
+/// Expected domain of source `k` of `ins` under the traced lowering.
+pub fn expected_src_domain(ins: &Instr, k: usize) -> Domain {
+    if ins.op == OpClass::PredOp {
+        return Domain::Predicate;
+    }
+    if k == 0 && ins.op.first_src_is_governing_pred() {
+        return Domain::Predicate;
+    }
+    Domain::Vector
+}
+
+/// How a class's `lanes` counter weight is derived — the rule both
+/// executors (and the compiler's block-scaled accounting) apply so the
+/// `sve_lanes_active` totals stay bit-identical across execution
+/// strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneAccounting {
+    /// Active lanes of the governing predicate.
+    Governed,
+    /// The full vector length (unpredicated estimates and `FEXPA`).
+    FullVector,
+    /// Population of the *result* predicate (`pand`: both executors can
+    /// derive it without re-deciding what "active" means for an AND).
+    ResultPop,
+    /// Scalar bookkeeping — no lanes touched.
+    Scalar,
+}
+
+/// Lane-accounting rule for a class (see [`LaneAccounting`]).
+pub fn lane_accounting(op: OpClass) -> LaneAccounting {
+    match op {
+        OpClass::FRecpe | OpClass::FRsqrte | OpClass::Fexpa => LaneAccounting::FullVector,
+        OpClass::PredOp => LaneAccounting::ResultPop,
+        OpClass::IntAlu | OpClass::IntMul | OpClass::Branch | OpClass::ScalarLibmCall => {
+            LaneAccounting::Scalar
+        }
+        _ => LaneAccounting::Governed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_and_governing_pred_agree() {
+        // Every class whose traced shape has ≥1 source and a governing
+        // predicate leads with it; unpredicated classes must not claim one.
+        for op in [
+            OpClass::Fma,
+            OpClass::FAdd,
+            OpClass::FMul,
+            OpClass::FDiv,
+            OpClass::FMinMax,
+            OpClass::FSqrt,
+            OpClass::FCvt,
+            OpClass::Permute,
+            OpClass::Ftmad,
+            OpClass::FCmp,
+            OpClass::Select,
+            OpClass::Gather,
+            OpClass::Scatter,
+            OpClass::VecIntOp,
+        ] {
+            assert!(op.first_src_is_governing_pred(), "{op:?}");
+            let ins = Instr::new(op, crate::Width::V512, None, [0u32, 1, 2]);
+            assert_eq!(expected_src_domain(&ins, 0), Domain::Predicate, "{op:?}");
+            assert_eq!(expected_src_domain(&ins, 1), Domain::Vector, "{op:?}");
+        }
+        for op in [OpClass::FRecpe, OpClass::FRsqrte, OpClass::Fexpa] {
+            assert!(!op.first_src_is_governing_pred(), "{op:?}");
+            let ins = Instr::new(op, crate::Width::V512, None, [0u32]);
+            assert_eq!(expected_src_domain(&ins, 0), Domain::Vector, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn lattice_transfer() {
+        use PredDom::{Bounded, Wide};
+        // FCmp inherits the governing predicate (first source).
+        assert_eq!(pred_transfer(OpClass::FCmp, &[Bounded, Wide]), Bounded);
+        assert_eq!(pred_transfer(OpClass::FCmp, &[Wide]), Wide);
+        assert_eq!(pred_transfer(OpClass::FCmp, &[]), Wide);
+        // PredOp (AND) narrows: Bounded if any input is.
+        assert_eq!(pred_transfer(OpClass::PredOp, &[Wide, Bounded]), Bounded);
+        assert_eq!(pred_transfer(OpClass::PredOp, &[Wide, Wide]), Wide);
+        // Anything else defining a predicate is unknown → Wide.
+        assert_eq!(pred_transfer(OpClass::Select, &[Bounded]), Wide);
+    }
+
+    #[test]
+    fn lane_accounting_partitions() {
+        assert_eq!(lane_accounting(OpClass::Fma), LaneAccounting::Governed);
+        assert_eq!(lane_accounting(OpClass::Fexpa), LaneAccounting::FullVector);
+        assert_eq!(lane_accounting(OpClass::FRecpe), LaneAccounting::FullVector);
+        assert_eq!(lane_accounting(OpClass::PredOp), LaneAccounting::ResultPop);
+        assert_eq!(lane_accounting(OpClass::IntAlu), LaneAccounting::Scalar);
+        assert_eq!(
+            lane_accounting(OpClass::ScalarLibmCall),
+            LaneAccounting::Scalar
+        );
+    }
+
+    #[test]
+    fn traced_arity_covers_every_lowered_class() {
+        // Classes the trace lowering emits must have a shape; the three
+        // it never emits must stay None so the verifier flags them.
+        assert!(traced_arity(OpClass::Fma).is_some());
+        assert!(traced_arity(OpClass::Load).is_none());
+        assert!(traced_arity(OpClass::Store).is_none());
+        assert!(traced_arity(OpClass::IntMul).is_none());
+        let (counts, dst) = traced_arity(OpClass::Scatter).unwrap();
+        assert_eq!((counts, dst), (&[3][..], false));
+    }
+}

@@ -33,8 +33,13 @@ baseline_dir="$(mktemp -d)"
 trap 'rm -rf "$baseline_dir"' EXIT
 cp BENCH_*.json "$baseline_dir"/
 
-echo "== trace-replay identity smoke (svereplay --smoke)"
+echo "== trace-replay + compiled-trace identity smoke (svereplay --smoke, both obs modes)"
+# The probe drives interpreter, replayer, and the compiled native path and
+# asserts bit/instruction identity in both builds; with obs it additionally
+# asserts exact counter identity across all three executors. Each run also
+# rewrites target/COMPILE_REPORT.json (pass-pipeline stats per variant).
 cargo run -p ookami-bench --bin svereplay --release -- --smoke
+cargo run -p ookami-bench --features obs --bin svereplay --release -- --smoke
 
 echo "== counter-layer smoke (ookamistat --smoke, obs on) + trace + schema check"
 cargo run -p ookami-bench --features obs --bin ookamistat --release -- --smoke --trace target/trace.json
