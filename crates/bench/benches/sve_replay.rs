@@ -51,5 +51,29 @@ fn sve_replay(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, sve_replay);
+/// Thread-scaling curve for both parallel executors: replay and compiled
+/// at 1–8 pool threads over the same sweep. On a many-core host the
+/// compiled curve should approach linear until the memory wall; the
+/// worker-resident arenas keep the per-region setup cost off the curve
+/// (steady state does zero allocation).
+fn sve_replay_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sve_replay_scaling");
+    let vl = 8;
+    let variant = ExpVariant::FexpaEstrinCorrected;
+    let xs = sample_range(-700.0, 700.0, 16_001);
+    let t = exp_trace(vl, variant);
+    let ct = t.compile();
+    assert!(ct.is_native(), "bench body must take the native path");
+    for threads in 1usize..=8 {
+        g.bench_function(&format!("replay/t{threads}"), |b| {
+            b.iter(|| criterion::black_box(t.replay_par_map(threads, &xs)));
+        });
+        g.bench_function(&format!("compiled/t{threads}"), |b| {
+            b.iter(|| criterion::black_box(ct.par_map(threads, &xs)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sve_replay, sve_replay_scaling);
 criterion_main!(benches);

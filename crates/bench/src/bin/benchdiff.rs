@@ -20,6 +20,12 @@
 //!    closures vs the accounting-carrying replayer). Smoke runs shrink
 //!    the problem until fixed costs dominate, which is exactly why the
 //!    probes themselves only enforce these bars in full mode.
+//!    Parallel-scaling floors (`replay_par_speedup` / `compiled_par_speedup`
+//!    ≥ 3, `cachesim_par_speedup` ≥ 2) are additionally
+//!    **capability-gated** on the current file's `host_cores` metric: a
+//!    probe run on a box with fewer than 4 cores records ratios near 1.0
+//!    by construction (the pool clamps its worker count), so the floors
+//!    only apply where the host can actually scale.
 //! 3. **Matched-mode gates** (only when `mode` and `obs_enabled` agree, so
 //!    smoke CI runs are never judged against full-mode baselines):
 //!    `max_ulp*` metrics may not increase (accuracy is deterministic), the
@@ -76,6 +82,22 @@ const ABSOLUTE_FLOORS: [(&str, f64); 2] = [("speedup", 5.0), ("ratio_at_8", 5.0)
 /// bookkeeping and the ratio measures something else (the `svereplay`
 /// probe enforces the same split).
 const ABSOLUTE_FLOORS_OBS: [(&str, f64); 1] = [("compiled_speedup", 5.0)];
+
+/// `(metric, floor, needs_obs)` triples gated on full runs whose
+/// **current** file reports `host_cores ≥ PAR_FLOOR_MIN_CORES`: parallel
+/// speedups are only meaningful where the pool has real workers. The two
+/// trace-engine floors carry the same obs caveat as `compiled_speedup`
+/// (the bars are calibrated against the accounting-carrying serial
+/// paths); the cache-sim floor is obs-independent (the simulator does no
+/// per-lane accounting).
+const PAR_FLOORS: [(&str, f64, bool); 3] = [
+    ("replay_par_speedup", 3.0, true),
+    ("compiled_par_speedup", 3.0, true),
+    ("cachesim_par_speedup", 2.0, false),
+];
+
+/// Minimum `host_cores` for the parallel floors to apply.
+const PAR_FLOOR_MIN_CORES: f64 = 4.0;
 
 fn usage(code: i32) -> ! {
     println!(
@@ -169,7 +191,11 @@ fn inject_regression(doc: &mut Json) {
                 if let Json::Num(n) = v {
                     if is_time_metric(k) {
                         *n *= 10.0;
-                    } else if is_rate_metric(k) || k == "speedup" || k == "ratio_at_8" {
+                    } else if is_rate_metric(k)
+                        || k == "speedup"
+                        || k == "ratio_at_8"
+                        || k.ends_with("_par_speedup")
+                    {
                         *n /= 10.0;
                     }
                 }
@@ -231,6 +257,28 @@ fn diff_file(name: &str, base: &Json, cur: &Json, tol: f64) -> FileVerdict {
                     ));
                 }
             }
+        }
+        // Parallel floors: only where the current run's host can scale.
+        let cores = cm.get("host_cores").copied().unwrap_or(0.0);
+        let obs_on_cur = matches!(cur.get("obs_enabled"), Some(Json::Bool(true)));
+        if cores >= PAR_FLOOR_MIN_CORES {
+            for &(metric, floor, needs_obs) in &PAR_FLOORS {
+                if needs_obs && !obs_on_cur {
+                    continue;
+                }
+                if let Some(&val) = cm.get(metric) {
+                    if val < floor {
+                        v.regressions.push(format!(
+                            "metric `{metric}`: {val:.3} below parallel floor {floor:.1} \
+                             ({cores:.0}-core host)"
+                        ));
+                    }
+                }
+            }
+        } else if PAR_FLOORS.iter().any(|&(m, _, _)| cm.contains_key(m)) {
+            v.notes.push(format!(
+                "parallel floors skipped: host_cores {cores:.0} < {PAR_FLOOR_MIN_CORES:.0}"
+            ));
         }
     }
 
@@ -472,4 +520,119 @@ fn main() {
     println!("wrote {out_path}");
 
     std::process::exit(i32::from(!pass));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal current-side document with the given mode/obs/metrics (the
+    /// floor gates only inspect these fields).
+    fn doc(mode: &str, obs_on: bool, metrics: &[(&str, f64)]) -> Json {
+        let ms: Vec<String> = metrics
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        Json::parse(&format!(
+            "{{\"schema\": \"ookami-bench-v1\", \"probe\": \"t\", \"mode\": \"{mode}\", \
+             \"obs_enabled\": {obs_on}, \"metrics\": {{{}}}, \"flags\": {{}}}}",
+            ms.join(", ")
+        ))
+        .expect("test doc parses")
+    }
+
+    fn regressions(base: &Json, cur: &Json) -> Vec<String> {
+        diff_file("BENCH_t.json", base, cur, 0.5).regressions
+    }
+
+    #[test]
+    fn par_floor_trips_on_a_capable_host() {
+        let base = doc("full", true, &[]);
+        let cur = doc(
+            "full",
+            true,
+            &[
+                ("host_cores", 8.0),
+                ("replay_par_speedup", 1.2),
+                ("compiled_par_speedup", 3.4),
+            ],
+        );
+        let r = regressions(&base, &cur);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("replay_par_speedup"), "{r:?}");
+    }
+
+    #[test]
+    fn par_floor_skipped_below_min_cores() {
+        let base = doc("full", true, &[]);
+        let cur = doc(
+            "full",
+            true,
+            &[("host_cores", 1.0), ("replay_par_speedup", 1.0)],
+        );
+        let v = diff_file("BENCH_t.json", &base, &cur, 0.5);
+        assert!(v.regressions.is_empty(), "{:?}", v.regressions);
+        assert!(
+            v.notes
+                .iter()
+                .any(|n| n.contains("parallel floors skipped")),
+            "{:?}",
+            v.notes
+        );
+    }
+
+    #[test]
+    fn par_floor_skipped_when_host_cores_missing() {
+        let base = doc("full", true, &[]);
+        let cur = doc("full", true, &[("compiled_par_speedup", 0.5)]);
+        assert!(regressions(&base, &cur).is_empty());
+    }
+
+    #[test]
+    fn trace_engine_par_floors_need_obs_but_cachesim_does_not() {
+        let base = doc("full", false, &[]);
+        let cur = doc(
+            "full",
+            false,
+            &[
+                ("host_cores", 8.0),
+                ("replay_par_speedup", 1.0),
+                ("cachesim_par_speedup", 1.0),
+            ],
+        );
+        let r = regressions(&base, &cur);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("cachesim_par_speedup"), "{r:?}");
+    }
+
+    #[test]
+    fn par_floor_ignored_in_smoke_mode() {
+        let base = doc("smoke", true, &[]);
+        let cur = doc(
+            "smoke",
+            true,
+            &[("host_cores", 8.0), ("replay_par_speedup", 1.0)],
+        );
+        assert!(regressions(&base, &cur).is_empty());
+    }
+
+    #[test]
+    fn inject_regression_degrades_par_speedups() {
+        let mut cur = doc(
+            "full",
+            true,
+            &[("host_cores", 8.0), ("replay_par_speedup", 4.0)],
+        );
+        inject_regression(&mut cur);
+        let m = num_metrics(&cur);
+        assert!((m["replay_par_speedup"] - 0.4).abs() < 1e-12, "{m:?}");
+        // host_cores is a capability, not a measurement: untouched.
+        assert!((m["host_cores"] - 8.0).abs() < 1e-12, "{m:?}");
+        let base = doc("full", true, &[]);
+        let r = regressions(&base, &cur);
+        assert!(
+            r.iter().any(|r| r.contains("replay_par_speedup")),
+            "injected par regression must trip the floor: {r:?}"
+        );
+    }
 }

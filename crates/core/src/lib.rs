@@ -33,6 +33,7 @@ pub mod obs;
 pub mod pool;
 pub mod profile;
 pub mod runtime;
+pub mod scratch;
 pub mod stats;
 pub mod timeline;
 

@@ -1,0 +1,176 @@
+//! Worker-resident scratch arenas.
+//!
+//! The bulk executors in `ookami-sve` and the sharded cache simulator hand
+//! each pool worker a per-region working set (lane arenas, row buffers).
+//! Allocating those inside every `par_for_with` closure puts `malloc`/
+//! `free` — and the page faults behind them — on the fork/join critical
+//! path of *every* region. Because the PR-1 pool parks its workers between
+//! regions instead of respawning them, a `thread_local!` cache **is**
+//! worker-local storage: a buffer parked here by one region is still warm
+//! (same thread, same physical pages, likely still in cache) when the next
+//! region claims it.
+//!
+//! The protocol is take/put:
+//!
+//! * [`take`] removes and returns the cached value for `(owner, shape)`,
+//!   if this thread has one. While taken, the entry is absent — concurrent
+//!   re-entry on the same thread (nested regions run inline) falls back to
+//!   a fresh allocation instead of aliasing.
+//! * [`put`] parks a value for the next taker, evicting the least-recently
+//!   parked entry beyond [`MAX_RESIDENT`] so dropped owners (temporary
+//!   traces in tests, mutants) cannot grow the cache without bound.
+//!
+//! Keys are `(owner, shape)` pairs: `owner` comes from [`unique_id`] — a
+//! process-global monotone counter, so two live owners can never collide
+//! and a recycled allocation cannot masquerade as its predecessor — and
+//! `shape` encodes whatever geometry makes a cached value reusable (the
+//! replayer keys on its step width). **Cached contents are stale data**:
+//! the taker must re-establish every invariant it needs (the replayer
+//! zeroes its arenas and re-runs trace setup; the compiled engine re-tiles
+//! its splat/constant rows).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Scratch entries a thread keeps parked at once. Steady state needs one
+/// entry per live (trace × width) or plan actually executing on the
+/// thread — a handful; the cap only matters for test suites that mint
+/// thousands of short-lived traces.
+const MAX_RESIDENT: usize = 32;
+
+/// A process-unique owner id for scratch keys (and anything else that
+/// needs a cheap never-reused handle). Starts at 1 so 0 can mean "no id".
+pub fn unique_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+struct Entry {
+    /// Insertion stamp for LRU eviction (monotone per thread).
+    stamp: u64,
+    val: Box<dyn Any>,
+}
+
+thread_local! {
+    static CACHE: RefCell<(u64, HashMap<(u64, u64), Entry>)> =
+        RefCell::new((0, HashMap::new()));
+}
+
+/// Claim this thread's parked value for `key`, if any. The entry is
+/// removed; park it again with [`put`] when done.
+pub fn take<T: 'static>(key: (u64, u64)) -> Option<Box<T>> {
+    CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        match c.1.remove(&key) {
+            Some(e) => match e.val.downcast::<T>() {
+                Ok(v) => Some(v),
+                // A type mismatch under a unique owner id means the caller
+                // changed the cached type between put and take — park it
+                // back rather than silently dropping someone's buffer.
+                Err(v) => {
+                    c.1.insert(
+                        key,
+                        Entry {
+                            stamp: e.stamp,
+                            val: v,
+                        },
+                    );
+                    None
+                }
+            },
+            None => None,
+        }
+    })
+}
+
+/// Park `val` for the next [`take`] of `key` on this thread, evicting the
+/// least-recently parked entry if the cache is full.
+pub fn put<T: 'static>(key: (u64, u64), val: Box<T>) {
+    CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        c.0 += 1;
+        let stamp = c.0;
+        c.1.insert(key, Entry { stamp, val });
+        if c.1.len() > MAX_RESIDENT {
+            if let Some(&victim) = c.1.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k) {
+                c.1.remove(&victim);
+            }
+        }
+    });
+}
+
+/// Number of entries parked on this thread (test/diagnostic support).
+pub fn resident() -> usize {
+    CACHE.with(|c| c.borrow().1.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_ids_never_repeat() {
+        let a = unique_id();
+        let b = unique_id();
+        assert_ne!(a, b);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn take_put_roundtrip_preserves_contents() {
+        let key = (unique_id(), 64);
+        assert!(take::<Vec<u64>>(key).is_none(), "fresh key starts empty");
+        put(key, Box::new(vec![7u64; 16]));
+        let v = take::<Vec<u64>>(key).expect("parked value comes back");
+        assert_eq!(*v, vec![7u64; 16]);
+        assert!(take::<Vec<u64>>(key).is_none(), "take removes the entry");
+    }
+
+    #[test]
+    fn distinct_shapes_are_distinct_entries() {
+        let owner = unique_id();
+        put((owner, 8), Box::new(8usize));
+        put((owner, 64), Box::new(64usize));
+        assert_eq!(*take::<usize>((owner, 8)).unwrap(), 8);
+        assert_eq!(*take::<usize>((owner, 64)).unwrap(), 64);
+    }
+
+    #[test]
+    fn type_mismatch_leaves_entry_parked() {
+        let key = (unique_id(), 0);
+        put(key, Box::new(5u32));
+        assert!(take::<String>(key).is_none());
+        assert_eq!(*take::<u32>(key).unwrap(), 5, "entry survived the miss");
+    }
+
+    #[test]
+    fn eviction_caps_resident_entries() {
+        // Fill far past the cap from a clean slate of unique owners; the
+        // oldest entries must be the ones evicted.
+        let owners: Vec<u64> = (0..2 * MAX_RESIDENT).map(|_| unique_id()).collect();
+        for &o in &owners {
+            put((o, 1), Box::new(o));
+        }
+        assert!(resident() <= MAX_RESIDENT);
+        assert!(
+            take::<u64>((owners[0], 1)).is_none(),
+            "oldest entry was evicted"
+        );
+        let newest = *owners.last().unwrap();
+        assert_eq!(*take::<u64>((newest, 1)).unwrap(), newest);
+    }
+
+    #[test]
+    fn worker_threads_have_independent_caches() {
+        let key = (unique_id(), 3);
+        put(key, Box::new(1u8));
+        std::thread::spawn(move || {
+            assert!(take::<u8>(key).is_none(), "other thread sees no entry");
+        })
+        .join()
+        .unwrap();
+        assert_eq!(*take::<u8>(key).unwrap(), 1);
+    }
+}

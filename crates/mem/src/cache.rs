@@ -6,7 +6,14 @@
 //! "collectively fill the L1 cache"), to quantify the effect of the A64FX's
 //! 256-byte line versus the x86 64-byte line, and in tests of the gather
 //! analysis.
+//!
+//! Two drivers share the level machinery: the serial [`CacheSim`] and the
+//! [`ShardedCacheSim`], which partitions the hierarchy by set index across
+//! the PR-1 worker pool so full-sweep replays stop being serial. Sharding
+//! is exact, not approximate — see the invariant note on
+//! [`ShardedCacheSim`].
 
+use ookami_core::par_chunks_mut;
 use ookami_uarch::MemSpec;
 
 /// One cache level: `sets × assoc` lines with LRU replacement.
@@ -22,11 +29,24 @@ struct Level {
     clock: u64,
 }
 
+/// Result of one line access at one level: hit, or a filling miss that may
+/// have displaced a resident line.
+#[derive(Debug, Clone, Copy)]
+struct LineOutcome {
+    hit: bool,
+    evicted: bool,
+}
+
 impl Level {
     fn new(bytes: usize, assoc: usize, line_bytes: usize) -> Self {
-        assert!(bytes > 0 && assoc > 0 && line_bytes.is_power_of_two());
-        let lines = (bytes / line_bytes).max(assoc);
-        let sets = (lines / assoc).max(1);
+        let sets = level_sets(bytes, assoc, line_bytes);
+        Level::with_geometry(sets, assoc, line_bytes)
+    }
+
+    /// A level with an explicit set count — the sharded simulator carves
+    /// each full-size level into `sets / n_shards`-set slices.
+    fn with_geometry(sets: usize, assoc: usize, line_bytes: usize) -> Self {
+        assert!(sets > 0 && assoc > 0 && line_bytes.is_power_of_two());
         Level {
             line_bytes,
             sets,
@@ -37,9 +57,14 @@ impl Level {
         }
     }
 
-    /// Access one line; returns true on hit. Misses fill (allocate-on-miss).
-    fn access(&mut self, addr: u64) -> bool {
-        let line = addr / self.line_bytes as u64;
+    /// Access one line by address; see [`Level::access_by_line`].
+    fn access(&mut self, addr: u64) -> LineOutcome {
+        self.access_by_line(addr / self.line_bytes as u64)
+    }
+
+    /// Access one line by line number. Misses fill (allocate-on-miss);
+    /// `evicted` reports whether the fill displaced a resident line.
+    fn access_by_line(&mut self, line: u64) -> LineOutcome {
         let set = (line % self.sets as u64) as usize;
         let tag = line / self.sets as u64;
         self.clock += 1;
@@ -48,7 +73,10 @@ impl Level {
         for w in 0..self.assoc {
             if self.tags[base + w] == Some(tag) {
                 self.stamps[base + w] = self.clock;
-                return true;
+                return LineOutcome {
+                    hit: true,
+                    evicted: false,
+                };
             }
         }
         // miss: evict LRU way
@@ -64,9 +92,13 @@ impl Level {
                 victim = w;
             }
         }
+        let evicted = self.tags[base + victim].is_some();
         self.tags[base + victim] = Some(tag);
         self.stamps[base + victim] = self.clock;
-        false
+        LineOutcome {
+            hit: false,
+            evicted,
+        }
     }
 
     fn flush(&mut self) {
@@ -76,7 +108,15 @@ impl Level {
     }
 }
 
-/// Hit/miss counts from a replay.
+/// Set count of a level sized `bytes` with `assoc` ways of `line_bytes`
+/// lines (the [`Level::new`] geometry rule, shared with the shard carver).
+fn level_sets(bytes: usize, assoc: usize, line_bytes: usize) -> usize {
+    assert!(bytes > 0 && assoc > 0 && line_bytes.is_power_of_two());
+    let lines = (bytes / line_bytes).max(assoc);
+    (lines / assoc).max(1)
+}
+
+/// Hit/miss/eviction counts from a replay.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccessStats {
     pub accesses: u64,
@@ -85,9 +125,31 @@ pub struct AccessStats {
     pub l3_hits: u64,
     /// Accesses served by main memory.
     pub mem: u64,
+    /// Resident lines displaced by fills, summed over every level.
+    pub evictions: u64,
 }
 
 impl AccessStats {
+    /// Component-wise sum — the sharded simulator's merge step.
+    fn accumulate(&mut self, o: &AccessStats) {
+        self.accesses += o.accesses;
+        self.l1_hits += o.l1_hits;
+        self.l2_hits += o.l2_hits;
+        self.l3_hits += o.l3_hits;
+        self.mem += o.mem;
+        self.evictions += o.evictions;
+    }
+
+    fn since(&self, before: &AccessStats) -> AccessStats {
+        AccessStats {
+            accesses: self.accesses - before.accesses,
+            l1_hits: self.l1_hits - before.l1_hits,
+            l2_hits: self.l2_hits - before.l2_hits,
+            l3_hits: self.l3_hits - before.l3_hits,
+            mem: self.mem - before.mem,
+            evictions: self.evictions - before.evictions,
+        }
+    }
     pub fn l1_hit_rate(&self) -> f64 {
         if self.accesses == 0 {
             0.0
@@ -154,16 +216,22 @@ impl CacheSim {
 
     fn access_line(&mut self, addr: u64) {
         self.stats.accesses += 1;
-        if self.l1.access(addr) {
+        let o = self.l1.access(addr);
+        self.stats.evictions += u64::from(o.evicted);
+        if o.hit {
             self.stats.l1_hits += 1;
             return;
         }
-        if self.l2.access(addr) {
+        let o = self.l2.access(addr);
+        self.stats.evictions += u64::from(o.evicted);
+        if o.hit {
             self.stats.l2_hits += 1;
             return;
         }
         if let Some(l3) = &mut self.l3 {
-            if l3.access(addr) {
+            let o = l3.access(addr);
+            self.stats.evictions += u64::from(o.evicted);
+            if o.hit {
                 self.stats.l3_hits += 1;
                 return;
             }
@@ -177,13 +245,7 @@ impl CacheSim {
         for (a, b) in trace {
             self.access(a, b);
         }
-        AccessStats {
-            accesses: self.stats.accesses - before.accesses,
-            l1_hits: self.stats.l1_hits - before.l1_hits,
-            l2_hits: self.stats.l2_hits - before.l2_hits,
-            l3_hits: self.stats.l3_hits - before.l3_hits,
-            mem: self.stats.mem - before.mem,
-        }
+        self.stats.since(&before)
     }
 
     /// Drop all cached state and counters.
@@ -204,6 +266,186 @@ impl CacheSim {
         while a < end {
             self.access(a, 8);
             a += lb as u64;
+        }
+    }
+}
+
+/// One set-index partition of the full hierarchy: every level carved down
+/// to `sets / n_shards` sets, with its own stats and LRU clocks.
+#[derive(Debug, Clone)]
+struct Shard {
+    /// This shard's line residue: it owns lines with
+    /// `line & (n_shards - 1) == r`.
+    r: u64,
+    l1: Level,
+    l2: Level,
+    l3: Option<Level>,
+    stats: AccessStats,
+}
+
+impl Shard {
+    /// Walk one owned line (already shifted to shard-local numbering)
+    /// through the inclusive hierarchy — the shard-local image of
+    /// [`CacheSim::access_line`].
+    fn access_local_line(&mut self, line: u64) {
+        self.stats.accesses += 1;
+        let o = self.l1.access_by_line(line);
+        self.stats.evictions += u64::from(o.evicted);
+        if o.hit {
+            self.stats.l1_hits += 1;
+            return;
+        }
+        let o = self.l2.access_by_line(line);
+        self.stats.evictions += u64::from(o.evicted);
+        if o.hit {
+            self.stats.l2_hits += 1;
+            return;
+        }
+        if let Some(l3) = &mut self.l3 {
+            let o = l3.access_by_line(line);
+            self.stats.evictions += u64::from(o.evicted);
+            if o.hit {
+                self.stats.l3_hits += 1;
+                return;
+            }
+        }
+        self.stats.mem += 1;
+    }
+}
+
+/// [`CacheSim`] partitioned by set index across the PR-1 worker pool.
+///
+/// Sharding is **exact**: with `n` a power of two dividing every level's
+/// set count, a line `L = q·n + r` maps in the serial level (S sets) to
+/// set `n·(q mod S/n) + r` with tag `q div (S/n)`, and in shard `r`'s
+/// carved level (`S/n` sets, local line `q = L >> log2 n`) to set
+/// `q mod (S/n)` with the same tag — a bijection on (set, way-candidates).
+/// Every access to one serial set carries the same residue `r`, so it
+/// lands in exactly one shard, and per-shard LRU clocks preserve the
+/// serial per-set recency order (LRU only compares stamps within a set).
+/// Hence hit/miss/eviction counts are identical to [`CacheSim`] on any
+/// trace, access by access — the property tests pin this.
+///
+/// `n` is the largest power of two ≤ the requested shard count that
+/// divides every level's set count (1 if the hint is 0 or geometry
+/// forbids sharding, degenerating to the serial simulator).
+#[derive(Debug, Clone)]
+pub struct ShardedCacheSim {
+    spec: MemSpec,
+    /// `log2(n_shards)`: shard of a line is `line & (n_shards - 1)`, the
+    /// shard-local line is `line >> shift`.
+    shift: u32,
+    shards: Vec<Shard>,
+}
+
+impl ShardedCacheSim {
+    pub fn new(spec: MemSpec, shards_hint: usize) -> Self {
+        let s1 = level_sets(spec.l1_bytes, spec.l1_assoc, spec.line_bytes);
+        let s2 = level_sets(spec.l2_bytes, spec.l2_assoc, spec.line_bytes);
+        let s3 = spec
+            .l3
+            .map(|(bytes, _, _)| level_sets(bytes, 16, spec.line_bytes));
+        // Largest power of two ≤ hint dividing every level's set count.
+        let mut n = shards_hint.max(1).next_power_of_two();
+        if n > shards_hint.max(1) {
+            n >>= 1;
+        }
+        let align = |sets: usize| 1usize << sets.trailing_zeros().min(63);
+        n = n.min(align(s1)).min(align(s2));
+        if let Some(s3) = s3 {
+            n = n.min(align(s3));
+        }
+        let shift = n.trailing_zeros();
+        let shards = (0..n as u64)
+            .map(|r| Shard {
+                r,
+                l1: Level::with_geometry(s1 / n, spec.l1_assoc, spec.line_bytes),
+                l2: Level::with_geometry(s2 / n, spec.l2_assoc, spec.line_bytes),
+                l3: s3.map(|s| Level::with_geometry(s / n, 16, spec.line_bytes)),
+                stats: AccessStats::default(),
+            })
+            .collect();
+        ShardedCacheSim {
+            spec,
+            shift,
+            shards,
+        }
+    }
+
+    pub fn spec(&self) -> &MemSpec {
+        &self.spec
+    }
+
+    /// Shards actually carved (≤ the hint; 1 means effectively serial).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Serial access path (single address, no pool round trip).
+    pub fn access(&mut self, addr: u64, bytes: usize) {
+        let lb = self.spec.line_bytes as u64;
+        let mask = self.shards.len() as u64 - 1;
+        let first = addr / lb;
+        let last = (addr + bytes.max(1) as u64 - 1) / lb;
+        for line in first..=last {
+            let shard = &mut self.shards[(line & mask) as usize];
+            shard.access_local_line(line >> self.shift);
+        }
+    }
+
+    /// Replay a trace serially (shard dispatch inline, no pool).
+    pub fn replay(&mut self, trace: &[(u64, usize)]) -> AccessStats {
+        let before = self.stats();
+        for &(a, b) in trace {
+            self.access(a, b);
+        }
+        self.stats().since(&before)
+    }
+
+    /// Replay a trace with one pool task per shard: every worker scans
+    /// the whole trace and simulates only its shard's lines. Deterministic
+    /// and bit-identical to [`ShardedCacheSim::replay`] — shards never
+    /// share a serial set, and the merge sums per-shard stats in shard
+    /// index order. `threads == 0` means auto.
+    pub fn replay_par(&mut self, threads: usize, trace: &[(u64, usize)]) -> AccessStats {
+        let before = self.stats();
+        let lb = self.spec.line_bytes as u64;
+        let mask = self.shards.len() as u64 - 1;
+        let shift = self.shift;
+        par_chunks_mut(threads, &mut self.shards, 1, |_, chunk| {
+            for shard in chunk.iter_mut() {
+                for &(addr, bytes) in trace {
+                    let first = addr / lb;
+                    let last = (addr + bytes.max(1) as u64 - 1) / lb;
+                    for line in first..=last {
+                        if line & mask == shard.r {
+                            shard.access_local_line(line >> shift);
+                        }
+                    }
+                }
+            }
+        });
+        self.stats().since(&before)
+    }
+
+    /// Merged stats, summed in shard index order (deterministic).
+    pub fn stats(&self) -> AccessStats {
+        let mut total = AccessStats::default();
+        for s in &self.shards {
+            total.accumulate(&s.stats);
+        }
+        total
+    }
+
+    /// Drop all cached state and counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.shards {
+            s.l1.flush();
+            s.l2.flush();
+            if let Some(l3) = &mut s.l3 {
+                l3.flush();
+            }
+            s.stats = AccessStats::default();
         }
     }
 }

@@ -28,7 +28,7 @@ pub mod scaling;
 pub mod traces;
 
 pub use bandwidth::{roofline_time_s, Traffic};
-pub use cache::{AccessStats, CacheSim};
+pub use cache::{AccessStats, CacheSim, ShardedCacheSim};
 pub use gather::{analyze_indices, IndexPattern};
 pub use placement::{effective_bandwidth_gbs, Placement};
 pub use scaling::{parallel_time_s, ParallelWorkload};

@@ -1,0 +1,134 @@
+//! Differential properties for the sharded cache simulator: on any trace,
+//! [`ShardedCacheSim`] must produce **identical** hit/miss/eviction counts
+//! to the serial [`CacheSim`] — sharding by set index is a bijection on
+//! (set, tag) that preserves per-set LRU order, so this is exact equality,
+//! not a tolerance check. The parallel replay must in turn match the
+//! serial sharded replay for every thread count (shards share nothing and
+//! the merge is ordered).
+
+use ookami_mem::{AccessStats, CacheSim, ShardedCacheSim};
+use ookami_uarch::{machines, MemSpec};
+use proptest::prelude::*;
+
+fn specs() -> Vec<MemSpec> {
+    vec![machines::a64fx().mem, machines::skylake_6140().mem]
+}
+
+/// Random (addr, bytes) traces mixing streams, strides, and point hits —
+/// enough structure to exercise hits, conflict evictions, and multi-line
+/// spans.
+fn trace_strategy() -> impl Strategy<Value = Vec<(u64, usize)>> {
+    prop::collection::vec(
+        prop_oneof![
+            // Point accesses in a modest window (re-touches produce hits).
+            (0u64..1 << 22, 1usize..64).prop_map(|(a, b)| (a, b)),
+            // Strided doubles across a wide window (conflict pressure).
+            (0u64..1 << 16, 1u64..4096).prop_map(|(i, s)| (i * s * 8, 8usize)),
+            // Wide vector touches spanning lines.
+            (0u64..1 << 20, 64usize..512).prop_map(|(a, b)| (a * 8, b)),
+        ],
+        1..400,
+    )
+}
+
+fn serial_stats(spec: MemSpec, trace: &[(u64, usize)]) -> AccessStats {
+    let mut c = CacheSim::new(spec);
+    c.replay(trace.iter().copied())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharded_access_matches_serial(trace in trace_strategy(), hint in 1usize..16) {
+        for spec in specs() {
+            let want = serial_stats(spec, &trace);
+            let mut s = ShardedCacheSim::new(spec, hint);
+            let got = s.replay(&trace);
+            prop_assert_eq!(got, want, "hint {} carved {} shards", hint, s.n_shards());
+            prop_assert_eq!(s.stats(), want);
+        }
+    }
+
+    #[test]
+    fn parallel_replay_matches_serial_for_all_thread_counts(
+        trace in trace_strategy(),
+        hint in 1usize..16,
+    ) {
+        // threads == 0 is "auto"; the rest over/under-subscribe the pool.
+        for threads in [0usize, 1, 2, 4] {
+            for spec in specs() {
+                let want = serial_stats(spec, &trace);
+                let mut s = ShardedCacheSim::new(spec, hint);
+                let got = s.replay_par(threads, &trace);
+                prop_assert_eq!(got, want, "threads {} shards {}", threads, s.n_shards());
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_cold_state(trace in trace_strategy()) {
+        let spec = machines::a64fx().mem;
+        let mut s = ShardedCacheSim::new(spec, 8);
+        s.replay(&trace);
+        s.reset();
+        prop_assert_eq!(s.stats(), AccessStats::default());
+        let cold = s.replay(&trace);
+        prop_assert_eq!(cold, serial_stats(spec, &trace), "replay after reset is cold");
+    }
+}
+
+#[test]
+fn shard_count_respects_geometry_and_hint() {
+    let spec = machines::a64fx().mem;
+    // Hints round down to powers of two and never exceed what the set
+    // counts divide by.
+    assert_eq!(ShardedCacheSim::new(spec, 1).n_shards(), 1);
+    assert_eq!(ShardedCacheSim::new(spec, 3).n_shards(), 2);
+    assert_eq!(ShardedCacheSim::new(spec, 8).n_shards(), 8);
+    assert_eq!(ShardedCacheSim::new(spec, 0).n_shards(), 1);
+    // An odd set count forbids sharding entirely.
+    let awkward = MemSpec {
+        line_bytes: 64,
+        l1_bytes: 64 * 4 * 7, // 7 sets × 4 ways
+        l1_assoc: 4,
+        l1_latency: 4.0,
+        l2_bytes: 1 << 20,
+        l2_assoc: 16,
+        l2_latency: 14.0,
+        l2_shared_by: 1,
+        l3: None,
+        mem_latency: 200.0,
+    };
+    assert_eq!(ShardedCacheSim::new(awkward, 8).n_shards(), 1);
+}
+
+#[test]
+fn evictions_count_displacements_only() {
+    // 5 lines thrashing one 4-way set: first 4 fills displace nothing,
+    // every subsequent L1 fill displaces the LRU way.
+    let spec = MemSpec {
+        line_bytes: 64,
+        l1_bytes: 64 * 4 * 8, // 8 sets × 4 ways
+        l1_assoc: 4,
+        l1_latency: 4.0,
+        l2_bytes: 1 << 20,
+        l2_assoc: 16,
+        l2_latency: 14.0,
+        l2_shared_by: 1,
+        l3: None,
+        mem_latency: 200.0,
+    };
+    let conflict: Vec<(u64, usize)> = (0..5u64)
+        .map(|w| (w * 8 * 64, 8usize))
+        .cycle()
+        .take(50)
+        .collect();
+    let mut c = CacheSim::new(spec);
+    let st = c.replay(conflict.iter().copied());
+    // 50 L1 fills (every access misses L1), 4 of them into empty ways.
+    assert_eq!(st.l1_hits, 0);
+    assert_eq!(st.evictions, 50 - 4, "{st:?}");
+    let mut s = ShardedCacheSim::new(spec, 8);
+    assert_eq!(s.replay(&conflict), st);
+}

@@ -48,6 +48,7 @@ use crate::trace::{
 use ookami_core::obs::{self, Counter, Snapshot};
 use ookami_core::pool::Schedule;
 use ookami_core::runtime::{par_for_with, SendPtr};
+use ookami_core::scratch;
 use ookami_uarch::meta::{self, LaneAccounting, PredDom};
 use ookami_uarch::OpClass;
 
@@ -658,6 +659,10 @@ struct Plan {
     /// cost more in thread-local atomics than the kernels themselves).
     acct_static: Snapshot,
     tab: [u64; 64],
+    /// Process-unique identity for worker-resident [`State`] caching (see
+    /// [`ookami_core::scratch`]): a parked state can only ever be
+    /// re-claimed by the plan that shaped it.
+    uid: u64,
 }
 
 /// The compiled engine cached on a [`Trace`]. `plan: None` means every
@@ -669,9 +674,25 @@ pub(crate) struct Compiled {
     pub(crate) report: CompileReport,
 }
 
+#[derive(Default)]
 struct State {
     rows: Vec<Row>,
     prows: Vec<Row>,
+}
+
+/// RAII handle over a worker-resident [`State`]: claimed from thread-local
+/// scratch on region entry (pool workers persist across regions, so a
+/// parked state is still warm), parked back when the region's chunk loop
+/// drops it. Steady-state `par_map` allocates nothing per region.
+struct StateGuard {
+    uid: u64,
+    st: State,
+}
+
+impl Drop for StateGuard {
+    fn drop(&mut self) {
+        scratch::put((self.uid, 0), Box::new(std::mem::take(&mut self.st)));
+    }
 }
 
 impl Compiled {
@@ -790,6 +811,7 @@ impl Compiled {
                 acct,
                 acct_static,
                 tab: mantissa_table(),
+                uid: scratch::unique_id(),
             }),
             report,
         }
@@ -824,9 +846,9 @@ impl Compiled {
             _ => return replay_into(t, ins, out, 0),
         };
         let nfull = n / W;
-        let mut st = plan.new_state();
+        let mut g = plan.acquire_state();
         for c in 0..nfull {
-            plan.run_chunk(&mut st, ins, &mut out[c * W..(c + 1) * W], c * W);
+            plan.run_chunk(&mut g.st, ins, &mut out[c * W..(c + 1) * W], c * W);
         }
         counters::flush(&plan.acct_static, nfull as u64);
         replay_into(t, ins, out, nfull * W);
@@ -848,12 +870,12 @@ impl Compiled {
         let mut out = vec![0.0f64; n];
         let base = SendPtr::new(out.as_mut_ptr());
         par_for_with(threads, nfull, Schedule::Static, |_, s, e| {
-            let mut st = plan.new_state();
+            let mut g = plan.acquire_state();
             for c in s..e {
                 // SAFETY: chunk ranges are disjoint and claimed exactly
                 // once; `out` outlives the region (par_for_with blocks).
                 let chunk = unsafe { base.slice_mut(c * W, W) };
-                plan.run_chunk(&mut st, ins, chunk, c * W);
+                plan.run_chunk(&mut g.st, ins, chunk, c * W);
             }
         });
         counters::flush(&plan.acct_static, nfull as u64);
@@ -1229,28 +1251,40 @@ fn build_acct(t: &Trace, psubst: &HashMap<Slot, Slot>, full: &HashSet<Slot>) -> 
 }
 
 impl Plan {
-    fn new_state(&self) -> State {
-        let mut rows = vec![[0u64; W]; self.n_v];
-        let mut prows = vec![[0u64; W]; self.n_p];
+    /// Claim this worker's parked [`State`] for the plan — or allocate a
+    /// fresh one — and (re-)establish the setup row images. Nothing else
+    /// needs resetting: every other row a chunk reads is written earlier
+    /// in the same chunk (inputs re-tile, kernel destinations are SSA),
+    /// which is the same invariant the serial chunk loop already reuses
+    /// its state under.
+    fn acquire_state(&self) -> StateGuard {
+        let mut st = match scratch::take::<State>((self.uid, 0)) {
+            Some(s) => *s,
+            None => State {
+                rows: vec![[0u64; W]; self.n_v],
+                prows: vec![[0u64; W]; self.n_p],
+            },
+        };
+        debug_assert_eq!(st.rows.len(), self.n_v);
         for &(s, v) in &self.splats {
-            rows[s as usize] = [v; W];
+            st.rows[s as usize] = [v; W];
         }
         for (s, lanes) in &self.tiles {
-            let r = &mut rows[*s as usize];
+            let r = &mut st.rows[*s as usize];
             for (l, slot) in r.iter_mut().enumerate() {
                 *slot = lanes[l % lanes.len()];
             }
         }
         for &s in &self.pfull {
-            prows[s as usize] = [u64::MAX; W];
+            st.prows[s as usize] = [u64::MAX; W];
         }
         for (s, mask) in &self.ptiles {
-            let r = &mut prows[*s as usize];
+            let r = &mut st.prows[*s as usize];
             for (l, slot) in r.iter_mut().enumerate() {
                 *slot = if mask[l % mask.len()] { u64::MAX } else { 0 };
             }
         }
-        State { rows, prows }
+        StateGuard { uid: self.uid, st }
     }
 
     /// Execute one full 512-lane block starting at element `i`.

@@ -36,6 +36,7 @@ use crate::value::{Pred, VVal};
 use ookami_core::obs::{self, Counter};
 use ookami_core::pool::Schedule;
 use ookami_core::runtime::{par_for_with, SendPtr};
+use ookami_core::scratch;
 use ookami_uarch::meta::{self, LaneAccounting};
 use ookami_uarch::{Instr, OpClass, Reg, Width};
 
@@ -446,6 +447,7 @@ impl TraceBuilder {
             tap_v: self.tap_v,
             tap_p: self.tap_p,
             compiled: OnceLock::new(),
+            uid: scratch::unique_id(),
         }
     }
 }
@@ -470,6 +472,11 @@ pub struct Trace {
     /// Lazily built compiled engine (see [`crate::compile`]); the bulk
     /// drivers share it across calls.
     pub(crate) compiled: OnceLock<Arc<Compiled>>,
+    /// Process-unique identity for worker-resident scratch keys (see
+    /// [`ookami_core::scratch`]). Never reused: a clone gets a fresh id,
+    /// so a cached arena can only ever be re-claimed by the exact trace
+    /// instance that shaped it.
+    pub(crate) uid: u64,
 }
 
 impl Clone for Trace {
@@ -491,6 +498,10 @@ impl Clone for Trace {
             tap_v: self.tap_v.clone(),
             tap_p: self.tap_p.clone(),
             compiled: OnceLock::new(),
+            // A clone is usually about to be mutated, so it must not be
+            // able to claim scratch shaped by (or shape scratch for) the
+            // original.
+            uid: scratch::unique_id(),
         }
     }
 }
@@ -576,6 +587,17 @@ impl Trace {
     /// either forces block-at-a-time replay.
     pub(crate) fn batchable(&self) -> bool {
         self.carries.is_empty() && !self.body.iter().any(|o| matches!(o, TOp::Compact { .. }))
+    }
+
+    /// Whether any recorded op writes a captured table. Only then does a
+    /// [`Replayer`] need private working copies of `tabs`; pure-gather
+    /// traces read the captured tables in place, shared across every
+    /// replayer and worker.
+    pub(crate) fn scatters(&self) -> bool {
+        self.setup
+            .iter()
+            .chain(&self.body)
+            .any(|o| matches!(o, TOp::Scatter { .. }))
     }
 
     /// Blocks fused per step for the bulk `map`/`par_map` drivers.
@@ -1193,10 +1215,36 @@ fn vdst_mut(op: &mut TOp) -> Option<&mut Slot> {
     }
 }
 
+/// The worker-resident half of a [`Replayer`]: the SoA lane arena, the
+/// predicate masks, optional private table copies, and the resolved body
+/// program. Parked in [`ookami_core::scratch`] keyed by
+/// `(trace uid, step width)` when a replayer drops, and re-claimed by the
+/// next replayer for the same trace × width on the same pool worker — so
+/// steady-state `par_map` regions allocate nothing.
+#[derive(Default)]
+struct ReplayScratch {
+    /// SoA vector arena: slot `s` owns the contiguous lane block
+    /// `[s*w, (s+1)*w)`. All body addressing is via offsets precomputed
+    /// into [`RProgram`], not per-step `slot × w` arithmetic.
+    vbuf: Vec<u64>,
+    /// One `w`-lane bitmask per predicate slot.
+    pbuf: Vec<u64>,
+    /// Private working copies of the captured tables — only populated
+    /// when the trace scatters ([`Trace::scatters`]); gather-only traces
+    /// read `Trace::tabs` shared, and this stays empty.
+    tabs: Vec<Vec<f64>>,
+    /// The body with operands resolved to arena offsets and per-op
+    /// counter recipes resolved from the `ookami_uarch::meta` tables.
+    prog: RProgram,
+}
+
 /// Preallocated replay arena for one [`Trace`]: a flat `u64` buffer of
-/// `n_v × vl` vector lanes, one bitmask per predicate slot, and working
-/// copies of the captured tables. SSA slot numbering guarantees an op's
-/// destination never aliases its sources, so execution writes in place.
+/// `n_v × vl` vector lanes, one bitmask per predicate slot, and (for
+/// scattering traces) working copies of the captured tables. SSA slot
+/// numbering guarantees an op's destination never aliases its sources, so
+/// execution writes in place. The arena and the resolved body program are
+/// worker-resident: dropped replayers park them in thread-local scratch
+/// for the next replayer of the same trace and width to re-claim.
 pub struct Replayer<'t> {
     t: &'t Trace,
     /// Lanes processed per step: `batch × vl`. Elementwise traces (no
@@ -1211,9 +1259,19 @@ pub struct Replayer<'t> {
     /// stay identical to interpreting the same range (ragged tails count
     /// one partial iteration, exactly as the interpreter would).
     blocks: usize,
-    vbuf: Vec<u64>,
-    pbuf: Vec<u64>,
-    tabs: Vec<Vec<f64>>,
+    s: ReplayScratch,
+}
+
+impl Drop for Replayer<'_> {
+    /// Park the arena + resolved program for the next replayer of this
+    /// trace × width on this thread (pool workers persist across regions,
+    /// so this is worker-local storage).
+    fn drop(&mut self) {
+        scratch::put(
+            (self.t.uid, self.w as u64),
+            Box::new(std::mem::take(&mut self.s)),
+        );
+    }
 }
 
 impl<'t> Replayer<'t> {
@@ -1225,20 +1283,53 @@ impl<'t> Replayer<'t> {
         assert!(batch >= 1 && (batch == 1 || t.batchable()));
         let w = batch * t.vl;
         assert!(w <= 64, "predicate bitmasks hold at most 64 lanes");
+        // Re-claim this worker's parked arena for (trace, width), falling
+        // back to a fresh allocation + program resolve. A hit always has
+        // matching shapes: uids are never reused, and a trace's register
+        // files and tables are fixed after recording.
+        let mut s = match scratch::take::<ReplayScratch>((t.uid, w as u64)) {
+            Some(s) => *s,
+            None => ReplayScratch {
+                vbuf: vec![0u64; t.n_v * w],
+                pbuf: vec![0u64; t.n_p],
+                tabs: Vec::new(),
+                prog: RProgram::build(t, w),
+            },
+        };
+        debug_assert_eq!(s.vbuf.len(), t.n_v * w);
+        // Parked contents are stale data from an earlier region: re-zero
+        // the arenas (two memsets, no allocation) and re-establish every
+        // setup invariant below, exactly as a fresh replayer would.
+        s.vbuf.fill(0);
+        s.pbuf.fill(0);
+        if t.scatters() {
+            // Scatter-visible tables must start from the captured bits
+            // each replay; re-sync the private copies in place.
+            if s.tabs.len() == t.tabs.len() {
+                for (dst, src) in s.tabs.iter_mut().zip(&t.tabs) {
+                    dst.copy_from_slice(src);
+                }
+            } else {
+                s.tabs.clone_from(&t.tabs);
+            }
+        } else {
+            s.tabs.clear();
+        }
         let mut r = Replayer {
             t,
             w,
             blocks: batch,
-            vbuf: vec![0u64; t.n_v * w],
-            pbuf: vec![0u64; t.n_p],
-            tabs: t.tabs.clone(),
+            s,
         };
         if let Some(lp) = t.loop_pred {
-            r.pbuf[lp as usize] = r.full_mask();
+            r.s.pbuf[lp as usize] = r.full_mask();
         }
         // Setup ops replay once per replayer and are never counted: the
         // interpreter's constants/ptrue are setup too and equally uncounted.
-        r.exec(&t.setup, false);
+        let setup: &'t [TOp] = &t.setup;
+        for op in setup {
+            r.exec_one(op);
+        }
         r
     }
 
@@ -1269,7 +1360,7 @@ impl<'t> Replayer<'t> {
                 m |= 1 << l;
             }
         }
-        self.pbuf[lp as usize] = m;
+        self.s.pbuf[lp as usize] = m;
         self.blocks = n.saturating_sub(i).min(self.w).div_ceil(self.t.vl);
     }
 
@@ -1279,7 +1370,7 @@ impl<'t> Replayer<'t> {
         let s = self.t.inputs[ord] as usize * self.w;
         assert!(lanes.len() <= self.w);
         obs::add(Counter::BytesLoaded, 8 * lanes.len() as u64);
-        for (l, lane) in self.vbuf[s..s + self.w].iter_mut().enumerate() {
+        for (l, lane) in self.s.vbuf[s..s + self.w].iter_mut().enumerate() {
             *lane = lanes.get(l).map_or(0, |x| x.to_bits());
         }
     }
@@ -1289,15 +1380,37 @@ impl<'t> Replayer<'t> {
         let s = self.t.inputs[ord] as usize * self.w;
         assert!(lanes.len() <= self.w);
         obs::add(Counter::BytesLoaded, 8 * lanes.len() as u64);
-        for (l, lane) in self.vbuf[s..s + self.w].iter_mut().enumerate() {
+        for (l, lane) in self.s.vbuf[s..s + self.w].iter_mut().enumerate() {
             *lane = lanes.get(l).map_or(0, |&x| x as u64);
         }
     }
 
-    /// Execute one body iteration.
+    /// Execute one body iteration through the resolved program: operand
+    /// offsets were precomputed at [`RProgram::build`] time, and counter
+    /// recipes resolved from the `ookami_uarch::meta` tables, so the hot
+    /// loop does no slot arithmetic and no class lookups. Counting
+    /// interleaves with execution per op — a recipe reads the predicate
+    /// masks *current at that op's position*, exactly as the interpreter
+    /// counts in program order.
     pub fn step(&mut self) {
+        let w = self.w;
+        let full = self.full_mask();
+        let blocks = self.blocks as u64;
+        let counting = obs::enabled() && blocks > 0;
+        let full_lanes = blocks * self.t.vl as u64;
         let t = self.t;
-        self.exec(&t.body, true);
+        let ReplayScratch {
+            vbuf,
+            pbuf,
+            tabs,
+            prog,
+        } = &mut self.s;
+        for step in &prog.body {
+            if counting {
+                count_step(&step.count, pbuf, blocks, full_lanes);
+            }
+            exec_rop(&step.op, vbuf, pbuf, tabs, &t.tabs, w, full);
+        }
     }
 
     /// Commit carried values: each `(init, updated)` pair copies the
@@ -1307,13 +1420,13 @@ impl<'t> Replayer<'t> {
         for &(init, updated) in &self.t.carries {
             let (di, si) = (init as usize * w, updated as usize * w);
             for l in 0..w {
-                self.vbuf[di + l] = self.vbuf[si + l];
+                self.s.vbuf[di + l] = self.s.vbuf[si + l];
             }
         }
     }
 
     pub fn lane_bits(&self, v: VSlot, l: usize) -> u64 {
-        self.vbuf[v.0 as usize * self.w + l]
+        self.s.vbuf[v.0 as usize * self.w + l]
     }
 
     pub fn lane_f64(&self, v: VSlot, l: usize) -> f64 {
@@ -1325,296 +1438,617 @@ impl<'t> Replayer<'t> {
     }
 
     pub fn pred_lane(&self, p: PSlot, l: usize) -> bool {
-        self.pbuf[p.0 as usize] >> l & 1 == 1
+        self.s.pbuf[p.0 as usize] >> l & 1 == 1
     }
 
     /// Active-lane count of a traced predicate (the `count_active` tap).
     pub fn count_active(&self, p: PSlot) -> usize {
-        self.pbuf[p.0 as usize].count_ones() as usize
+        self.s.pbuf[p.0 as usize].count_ones() as usize
     }
 
     /// Horizontal sum of `v`'s active lanes in lane order — identical
     /// association to the interpreter's `faddv`.
     pub fn faddv(&self, p: PSlot, v: VSlot) -> f64 {
-        let m = self.pbuf[p.0 as usize];
+        let m = self.s.pbuf[p.0 as usize];
         (0..self.w)
             .filter(|&l| m >> l & 1 == 1)
             .map(|l| self.lane_f64(v, l))
             .sum()
     }
 
-    /// The replayer's working copy of captured table `k` — read back
-    /// scatter results from here.
+    /// The replayer's view of captured table `k` — read back scatter
+    /// results from here. Scattering traces expose their private working
+    /// copy; everything else reads the trace's captured table in place.
     pub fn table(&self, k: usize) -> &[f64] {
-        &self.tabs[k]
-    }
-
-    fn exec(&mut self, ops: &'t [TOp], count: bool) {
-        for op in ops {
-            if count && obs::enabled() {
-                self.count_op(op);
-            }
-            self.exec_one(op);
+        if self.s.tabs.is_empty() {
+            &self.t.tabs[k]
+        } else {
+            &self.s.tabs[k]
         }
     }
 
-    /// Count one body op against the obs registry with exactly the totals
-    /// the interpreter produces for the same op over the same range: this
-    /// step stands for [`Replayer::blocks`] `vl`-wide iterations, block
-    /// masks concatenate lanewise under batching (popcounts sum), the
-    /// class mapping is [`top_class`] (shared with [`Trace::to_instrs`]
-    /// and the compiled engine), and the lane weight follows
-    /// `ookami_uarch::meta::lane_accounting`.
-    fn count_op(&self, op: &TOp) {
-        let n = self.blocks as u64;
-        if n == 0 {
-            return;
-        }
-        let full = n * self.t.vl as u64;
-        let pc = |s: Slot| u64::from(self.pbuf[s as usize].count_ones());
-        // Classes with bespoke counter side effects (derived memory and
-        // FEXPA-issue counters, the multi-instr Overhead expansion).
-        match *op {
-            TOp::Gather { pg, uops, .. } => {
-                return counters::bump_gather(n, pc(pg), u64::from(uops.max(1)));
-            }
-            TOp::Scatter { pg, .. } => return counters::bump_scatter(n, pc(pg)),
-            TOp::Fexpa { .. } => return counters::bump_fexpa(n, full),
-            TOp::Overhead { int_ops } => {
-                counters::bump(OpClass::IntAlu, n * int_ops as u64, 0, 1);
-                counters::bump(OpClass::Branch, n, 0, 1);
-                return;
-            }
-            _ => {}
-        }
-        let Some(class) = top_class(op) else {
-            return; // setup constants are never counted
-        };
-        let lanes = match meta::lane_accounting(class) {
-            LaneAccounting::Governed => pc(top_pg(op).expect("governed op has a predicate")),
-            LaneAccounting::FullVector => full,
-            LaneAccounting::ResultPop => match *op {
-                TOp::Pand { a, b, .. } => {
-                    u64::from((self.pbuf[a as usize] & self.pbuf[b as usize]).count_ones())
-                }
-                _ => unreachable!("PredOp lowers only from pand"),
-            },
-            LaneAccounting::Scalar => 0,
-        };
-        counters::bump(class, n, lanes, 1);
-    }
-
-    #[inline]
-    fn vbase(&self, s: Slot) -> usize {
-        s as usize * self.w
-    }
-
+    /// Execute one op the slow TOp-walking way — the setup path (run once
+    /// per arena acquisition, never counted). The body goes through the
+    /// resolved [`RProgram`] in [`Replayer::step`] instead.
     fn exec_one(&mut self, op: &TOp) {
         let w = self.w;
         let full = self.full_mask();
         match *op {
             TOp::ConstV { dst, ref lanes } => {
-                let d = self.vbase(dst);
+                let d = dst as usize * w;
                 // Broadcast the recorded block's constant lanes across
                 // every batched block.
-                for chunk in self.vbuf[d..d + w].chunks_exact_mut(lanes.len()) {
+                for chunk in self.s.vbuf[d..d + w].chunks_exact_mut(lanes.len()) {
                     chunk.copy_from_slice(lanes);
                 }
             }
             TOp::Ptrue { dst } => {
-                self.pbuf[dst as usize] = full;
+                self.s.pbuf[dst as usize] = full;
             }
-            TOp::Bin { op, dst, pg, a, b } => {
-                let m = self.pbuf[pg as usize];
-                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
-                bin_rows(op, d, src_row(lo, w, a), src_row(lo, w, b), m, full);
+            ref op => {
+                let rop = resolve_op(op, w);
+                let t = self.t;
+                let ReplayScratch {
+                    vbuf, pbuf, tabs, ..
+                } = &mut self.s;
+                exec_rop(&rop, vbuf, pbuf, tabs, &t.tabs, w, full);
             }
-            TOp::Un { op, dst, pg, a } => {
-                let m = self.pbuf[pg as usize];
-                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
-                un_rows(op, d, src_row(lo, w, a), m, full);
-            }
-            TOp::Fmla {
-                neg,
-                dst,
-                pg,
-                c,
-                a,
-                b,
-            } => {
-                let m = self.pbuf[pg as usize];
-                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
-                let (c, a, b) = (src_row(lo, w, c), src_row(lo, w, a), src_row(lo, w, b));
-                if neg {
-                    fmla_rows::<true>(d, c, a, b, m, full);
-                } else {
-                    fmla_rows::<false>(d, c, a, b, m, full);
-                }
-            }
-            TOp::Est { rsqrt, dst, a } => {
-                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
-                let a = src_row(lo, w, a);
-                if rsqrt {
-                    lanes1(d, a, full, full, lanes::rsqrte_lane);
-                } else {
-                    lanes1(d, a, full, full, lanes::recpe_lane);
-                }
-            }
-            TOp::NewtonStep {
-                rsqrt,
-                dst,
-                pg,
-                a,
-                b,
-            } => {
-                let m = self.pbuf[pg as usize];
-                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
-                let (a, b) = (src_row(lo, w, a), src_row(lo, w, b));
-                if rsqrt {
-                    lanes2(d, a, b, m, full, |x, y| {
-                        lanes::rsqrts_lane(f64::from_bits(x), f64::from_bits(y)).to_bits()
-                    });
-                } else {
-                    lanes2(d, a, b, m, full, |x, y| {
-                        lanes::recps_lane(f64::from_bits(x), f64::from_bits(y)).to_bits()
-                    });
-                }
-            }
-            TOp::Fexpa { dst, a } => {
-                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
-                lanes1(d, src_row(lo, w, a), full, full, |x| {
-                    fexpa_lane(x).to_bits()
-                });
-            }
-            TOp::Ftmad {
-                dst,
-                pg,
-                a,
-                b,
-                coeff,
-            } => {
-                let m = self.pbuf[pg as usize];
-                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
-                lanes2(d, src_row(lo, w, a), src_row(lo, w, b), m, full, |x, y| {
-                    lanes::dn(f64::from_bits(x).mul_add(f64::from_bits(y), coeff)).to_bits()
-                });
-            }
-            TOp::Cmp { op, dst, pg, a, b } => {
-                let (ab, bb) = (self.vbase(a), self.vbase(b));
-                let m = self.pbuf[pg as usize];
-                let (a, b) = (&self.vbuf[ab..ab + w], &self.vbuf[bb..bb + w]);
-                self.pbuf[dst as usize] = match op {
-                    CmpOp::Gt => cmp_rows(a, b, m, |x, y| x > y),
-                    CmpOp::Ge => cmp_rows(a, b, m, |x, y| x >= y),
-                    CmpOp::Eq => cmp_rows(a, b, m, |x, y| x == y),
-                };
-            }
-            TOp::CmpNeImm { dst, pg, a, imm } => {
-                let ab = self.vbase(a);
-                let m = self.pbuf[pg as usize];
-                let mut r = 0u64;
-                for (l, &x) in self.vbuf[ab..ab + w].iter().enumerate() {
-                    if m >> l & 1 == 1 && (x as i64) != imm {
-                        r |= 1 << l;
-                    }
-                }
-                self.pbuf[dst as usize] = r;
-            }
-            TOp::Pand { dst, a, b } => {
-                self.pbuf[dst as usize] = self.pbuf[a as usize] & self.pbuf[b as usize];
-            }
-            TOp::Sel { dst, pg, a, b } => {
-                let m = self.pbuf[pg as usize];
-                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
-                let (a, b) = (src_row(lo, w, a), src_row(lo, w, b));
-                if m == full {
-                    d.copy_from_slice(a);
-                } else {
-                    for (l, (dl, (&x, &y))) in d.iter_mut().zip(a.iter().zip(b)).enumerate() {
-                        *dl = if m >> l & 1 == 1 { x } else { y };
-                    }
-                }
-            }
-            TOp::Shift { op, dst, pg, a, sh } => {
-                let m = self.pbuf[pg as usize];
-                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
-                let a = src_row(lo, w, a);
-                match op {
-                    ShiftOp::Lsl => lanes1(d, a, m, full, |x| x << sh),
-                    ShiftOp::Lsr => lanes1(d, a, m, full, |x| x >> sh),
-                    ShiftOp::Asr => lanes1(d, a, m, full, |x| ((x as i64) >> sh) as u64),
-                }
-            }
-            TOp::Cvt { op, dst, pg, a } => {
-                let m = self.pbuf[pg as usize];
-                let (d, lo) = dst_row(&mut self.vbuf, w, dst);
-                let a = src_row(lo, w, a);
-                match op {
-                    CvtOp::Ucvtf => lanes1(d, a, m, full, lanes::ucvtf_lane),
-                    CvtOp::Fcvtns => lanes1(d, a, m, full, lanes::fcvtns_lane),
-                    CvtOp::Fcvtzs => lanes1(d, a, m, full, lanes::fcvtzs_lane),
-                    CvtOp::Scvtf => lanes1(d, a, m, full, lanes::scvtf_lane),
-                }
-            }
-            TOp::Compact { dst, pg, a } => {
-                let (d, ab) = (self.vbase(dst), self.vbase(a));
-                let m = self.pbuf[pg as usize];
-                let mut k = 0usize;
-                for l in 0..w {
-                    if m >> l & 1 == 1 {
-                        self.vbuf[d + k] = self.vbuf[ab + l];
-                        k += 1;
-                    }
-                }
-                for slot in &mut self.vbuf[d + k..d + w] {
-                    *slot = 0;
-                }
-            }
-            TOp::Gather {
-                dst, pg, idx, tab, ..
-            } => {
-                let (d, ib) = (self.vbase(dst), self.vbase(idx));
-                let m = self.pbuf[pg as usize];
-                for l in 0..w {
-                    let i = self.vbuf[ib + l] as usize;
-                    self.vbuf[d + l] = if m >> l & 1 == 1 && i < self.tabs[tab as usize].len() {
-                        self.tabs[tab as usize][i].to_bits()
-                    } else {
-                        0
-                    };
-                }
-            }
-            TOp::Scatter { pg, v, idx, tab } => {
-                let (vb, ib) = (self.vbase(v), self.vbase(idx));
-                let m = self.pbuf[pg as usize];
-                for l in 0..w {
-                    let i = self.vbuf[ib + l] as usize;
-                    if m >> l & 1 == 1 && i < self.tabs[tab as usize].len() {
-                        self.tabs[tab as usize][i] = f64::from_bits(self.vbuf[vb + l]);
-                    }
-                }
-            }
-            TOp::Overhead { .. } | TOp::LibmCall => {}
         }
     }
 }
 
+/// The replayer body with every operand resolved ahead of time: vector
+/// slots become element offsets into the SoA arena (`slot × w`, computed
+/// once per (trace, width) instead of per step per op), and each op's obs
+/// recipe ([`RCount`]) is resolved from `top_class` + the unified
+/// `ookami_uarch::meta::lane_accounting` table at build time, so the hot
+/// loop never consults the class tables. Built on first arena acquisition
+/// and parked with the arena in worker-resident scratch.
+#[derive(Default)]
+struct RProgram {
+    body: Vec<RStep>,
+}
+
+/// One resolved body op: how to execute it and how to count it.
+struct RStep {
+    op: ROp,
+    count: RCount,
+}
+
+/// [`TOp`] with vector operands pre-resolved to arena element offsets.
+/// Predicate operands stay slot-indexed (`pbuf` is one mask per slot, no
+/// scaling to precompute). Setup-only ops (`ConstV`, `Ptrue`) have no
+/// image here — constants always land in setup.
+enum ROp {
+    Bin {
+        op: BinOp,
+        d: u32,
+        pg: Slot,
+        a: u32,
+        b: u32,
+    },
+    Un {
+        op: UnOp,
+        d: u32,
+        pg: Slot,
+        a: u32,
+    },
+    Fmla {
+        neg: bool,
+        d: u32,
+        pg: Slot,
+        c: u32,
+        a: u32,
+        b: u32,
+    },
+    Est {
+        rsqrt: bool,
+        d: u32,
+        a: u32,
+    },
+    NewtonStep {
+        rsqrt: bool,
+        d: u32,
+        pg: Slot,
+        a: u32,
+        b: u32,
+    },
+    Fexpa {
+        d: u32,
+        a: u32,
+    },
+    Ftmad {
+        d: u32,
+        pg: Slot,
+        a: u32,
+        b: u32,
+        coeff: f64,
+    },
+    Cmp {
+        op: CmpOp,
+        d: Slot,
+        pg: Slot,
+        a: u32,
+        b: u32,
+    },
+    CmpNeImm {
+        d: Slot,
+        pg: Slot,
+        a: u32,
+        imm: i64,
+    },
+    Pand {
+        d: Slot,
+        a: Slot,
+        b: Slot,
+    },
+    Sel {
+        d: u32,
+        pg: Slot,
+        a: u32,
+        b: u32,
+    },
+    Shift {
+        op: ShiftOp,
+        d: u32,
+        pg: Slot,
+        a: u32,
+        sh: u32,
+    },
+    Cvt {
+        op: CvtOp,
+        d: u32,
+        pg: Slot,
+        a: u32,
+    },
+    Compact {
+        d: u32,
+        pg: Slot,
+        a: u32,
+    },
+    Gather {
+        d: u32,
+        pg: Slot,
+        idx: u32,
+        tab: u16,
+    },
+    Scatter {
+        pg: Slot,
+        v: u32,
+        idx: u32,
+        tab: u16,
+    },
+    /// Ops that execute nothing but may still count (`Overhead`,
+    /// `LibmCall`).
+    Nop,
+}
+
+/// Lane-weight source for an [`RCount::Class`] recipe — the build-time
+/// image of `ookami_uarch::meta::LaneAccounting` with predicate operands
+/// already bound.
+#[derive(Clone, Copy)]
+enum RLanes {
+    /// Popcount of the governing predicate at execution time.
+    Governed(Slot),
+    /// All `blocks × vl` lanes of the step.
+    Full,
+    /// Popcount of `a & b` (the `pand` result-population rule).
+    AndPop(Slot, Slot),
+    /// Scalar classes count no lanes.
+    Zero,
+}
+
+/// Per-op counting recipe, resolved once at program build. Mirrors the
+/// interpreter's accounting exactly: `n` instructions per step (one per
+/// represented `vl`-wide iteration), lane weights per [`RLanes`], and the
+/// bespoke side-counter classes get their own variants.
+enum RCount {
+    Class { class: OpClass, lanes: RLanes },
+    Gather { pg: Slot, uops: u64 },
+    Scatter { pg: Slot },
+    Fexpa,
+    Overhead { int_ops: u64 },
+    None,
+}
+
+impl RProgram {
+    fn build(t: &Trace, w: usize) -> RProgram {
+        RProgram {
+            body: t
+                .body
+                .iter()
+                .map(|op| RStep {
+                    op: resolve_op(op, w),
+                    count: resolve_count(op),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Resolve one body [`TOp`] to its offset-addressed image. `w ≤ 64` and
+/// slots are `u16`, so `slot × w` always fits a `u32`.
+fn resolve_op(op: &TOp, w: usize) -> ROp {
+    let o = |s: Slot| (s as usize * w) as u32;
+    match *op {
+        TOp::ConstV { .. } | TOp::Ptrue { .. } => {
+            unreachable!("constants always land in setup")
+        }
+        TOp::Bin { op, dst, pg, a, b } => ROp::Bin {
+            op,
+            d: o(dst),
+            pg,
+            a: o(a),
+            b: o(b),
+        },
+        TOp::Un { op, dst, pg, a } => ROp::Un {
+            op,
+            d: o(dst),
+            pg,
+            a: o(a),
+        },
+        TOp::Fmla {
+            neg,
+            dst,
+            pg,
+            c,
+            a,
+            b,
+        } => ROp::Fmla {
+            neg,
+            d: o(dst),
+            pg,
+            c: o(c),
+            a: o(a),
+            b: o(b),
+        },
+        TOp::Est { rsqrt, dst, a } => ROp::Est {
+            rsqrt,
+            d: o(dst),
+            a: o(a),
+        },
+        TOp::NewtonStep {
+            rsqrt,
+            dst,
+            pg,
+            a,
+            b,
+        } => ROp::NewtonStep {
+            rsqrt,
+            d: o(dst),
+            pg,
+            a: o(a),
+            b: o(b),
+        },
+        TOp::Fexpa { dst, a } => ROp::Fexpa { d: o(dst), a: o(a) },
+        TOp::Ftmad {
+            dst,
+            pg,
+            a,
+            b,
+            coeff,
+        } => ROp::Ftmad {
+            d: o(dst),
+            pg,
+            a: o(a),
+            b: o(b),
+            coeff,
+        },
+        TOp::Cmp { op, dst, pg, a, b } => ROp::Cmp {
+            op,
+            d: dst,
+            pg,
+            a: o(a),
+            b: o(b),
+        },
+        TOp::CmpNeImm { dst, pg, a, imm } => ROp::CmpNeImm {
+            d: dst,
+            pg,
+            a: o(a),
+            imm,
+        },
+        TOp::Pand { dst, a, b } => ROp::Pand { d: dst, a, b },
+        TOp::Sel { dst, pg, a, b } => ROp::Sel {
+            d: o(dst),
+            pg,
+            a: o(a),
+            b: o(b),
+        },
+        TOp::Shift { op, dst, pg, a, sh } => ROp::Shift {
+            op,
+            d: o(dst),
+            pg,
+            a: o(a),
+            sh,
+        },
+        TOp::Cvt { op, dst, pg, a } => ROp::Cvt {
+            op,
+            d: o(dst),
+            pg,
+            a: o(a),
+        },
+        TOp::Compact { dst, pg, a } => ROp::Compact {
+            d: o(dst),
+            pg,
+            a: o(a),
+        },
+        TOp::Gather {
+            dst, pg, idx, tab, ..
+        } => ROp::Gather {
+            d: o(dst),
+            pg,
+            idx: o(idx),
+            tab,
+        },
+        TOp::Scatter { pg, v, idx, tab } => ROp::Scatter {
+            pg,
+            v: o(v),
+            idx: o(idx),
+            tab,
+        },
+        TOp::Overhead { .. } | TOp::LibmCall => ROp::Nop,
+    }
+}
+
+/// Resolve one body op's counting recipe — the build-time half of what
+/// `count_op` used to decide per step: class via [`top_class`] (shared
+/// with [`Trace::to_instrs`] and the compiled engine), lane weight via
+/// the unified `ookami_uarch::meta::lane_accounting` table.
+fn resolve_count(op: &TOp) -> RCount {
+    match *op {
+        TOp::Gather { pg, uops, .. } => RCount::Gather {
+            pg,
+            uops: u64::from(uops.max(1)),
+        },
+        TOp::Scatter { pg, .. } => RCount::Scatter { pg },
+        TOp::Fexpa { .. } => RCount::Fexpa,
+        TOp::Overhead { int_ops } => RCount::Overhead {
+            int_ops: int_ops as u64,
+        },
+        _ => {
+            let Some(class) = top_class(op) else {
+                return RCount::None; // setup constants are never counted
+            };
+            let lanes = match meta::lane_accounting(class) {
+                LaneAccounting::Governed => {
+                    RLanes::Governed(top_pg(op).expect("governed op has a predicate"))
+                }
+                LaneAccounting::FullVector => RLanes::Full,
+                LaneAccounting::ResultPop => match *op {
+                    TOp::Pand { a, b, .. } => RLanes::AndPop(a, b),
+                    _ => unreachable!("PredOp lowers only from pand"),
+                },
+                LaneAccounting::Scalar => RLanes::Zero,
+            };
+            RCount::Class { class, lanes }
+        }
+    }
+}
+
+/// Count one resolved body op with exactly the totals the interpreter
+/// produces for the same op over the same range: this step stands for
+/// `n` `vl`-wide iterations, block masks concatenate lanewise under
+/// batching (popcounts sum), and lane weights read the predicate masks
+/// current at this op's position in the program.
+fn count_step(c: &RCount, pbuf: &[u64], n: u64, full: u64) {
+    let pc = |s: Slot| u64::from(pbuf[s as usize].count_ones());
+    match *c {
+        RCount::Class { class, lanes } => {
+            let lanes = match lanes {
+                RLanes::Governed(s) => pc(s),
+                RLanes::Full => full,
+                RLanes::AndPop(a, b) => {
+                    u64::from((pbuf[a as usize] & pbuf[b as usize]).count_ones())
+                }
+                RLanes::Zero => 0,
+            };
+            counters::bump(class, n, lanes, 1);
+        }
+        RCount::Gather { pg, uops } => counters::bump_gather(n, pc(pg), uops),
+        RCount::Scatter { pg } => counters::bump_scatter(n, pc(pg)),
+        RCount::Fexpa => counters::bump_fexpa(n, full),
+        RCount::Overhead { int_ops } => {
+            counters::bump(OpClass::IntAlu, n * int_ops, 0, 1);
+            counters::bump(OpClass::Branch, n, 0, 1);
+        }
+        RCount::None => {}
+    }
+}
+
+/// Execute one resolved op against the SoA arena. `tabs` is the private
+/// working-table set (non-empty only for scattering traces); `ttabs` the
+/// trace's shared captured tables.
+fn exec_rop(
+    op: &ROp,
+    vbuf: &mut [u64],
+    pbuf: &mut [u64],
+    tabs: &mut [Vec<f64>],
+    ttabs: &[Vec<f64>],
+    w: usize,
+    full: u64,
+) {
+    match *op {
+        ROp::Bin { op, d, pg, a, b } => {
+            let m = pbuf[pg as usize];
+            let (d, lo) = dst_row(vbuf, w, d);
+            bin_rows(op, d, src_row(lo, w, a), src_row(lo, w, b), m, full);
+        }
+        ROp::Un { op, d, pg, a } => {
+            let m = pbuf[pg as usize];
+            let (d, lo) = dst_row(vbuf, w, d);
+            un_rows(op, d, src_row(lo, w, a), m, full);
+        }
+        ROp::Fmla {
+            neg,
+            d,
+            pg,
+            c,
+            a,
+            b,
+        } => {
+            let m = pbuf[pg as usize];
+            let (d, lo) = dst_row(vbuf, w, d);
+            let (c, a, b) = (src_row(lo, w, c), src_row(lo, w, a), src_row(lo, w, b));
+            if neg {
+                fmla_rows::<true>(d, c, a, b, m, full);
+            } else {
+                fmla_rows::<false>(d, c, a, b, m, full);
+            }
+        }
+        ROp::Est { rsqrt, d, a } => {
+            let (d, lo) = dst_row(vbuf, w, d);
+            let a = src_row(lo, w, a);
+            if rsqrt {
+                lanes1(d, a, full, full, lanes::rsqrte_lane);
+            } else {
+                lanes1(d, a, full, full, lanes::recpe_lane);
+            }
+        }
+        ROp::NewtonStep { rsqrt, d, pg, a, b } => {
+            let m = pbuf[pg as usize];
+            let (d, lo) = dst_row(vbuf, w, d);
+            let (a, b) = (src_row(lo, w, a), src_row(lo, w, b));
+            if rsqrt {
+                lanes2(d, a, b, m, full, |x, y| {
+                    lanes::rsqrts_lane(f64::from_bits(x), f64::from_bits(y)).to_bits()
+                });
+            } else {
+                lanes2(d, a, b, m, full, |x, y| {
+                    lanes::recps_lane(f64::from_bits(x), f64::from_bits(y)).to_bits()
+                });
+            }
+        }
+        ROp::Fexpa { d, a } => {
+            let (d, lo) = dst_row(vbuf, w, d);
+            lanes1(d, src_row(lo, w, a), full, full, |x| {
+                fexpa_lane(x).to_bits()
+            });
+        }
+        ROp::Ftmad { d, pg, a, b, coeff } => {
+            let m = pbuf[pg as usize];
+            let (d, lo) = dst_row(vbuf, w, d);
+            lanes2(d, src_row(lo, w, a), src_row(lo, w, b), m, full, |x, y| {
+                lanes::dn(f64::from_bits(x).mul_add(f64::from_bits(y), coeff)).to_bits()
+            });
+        }
+        ROp::Cmp { op, d, pg, a, b } => {
+            let (ab, bb) = (a as usize, b as usize);
+            let m = pbuf[pg as usize];
+            let (a, b) = (&vbuf[ab..ab + w], &vbuf[bb..bb + w]);
+            pbuf[d as usize] = match op {
+                CmpOp::Gt => cmp_rows(a, b, m, |x, y| x > y),
+                CmpOp::Ge => cmp_rows(a, b, m, |x, y| x >= y),
+                CmpOp::Eq => cmp_rows(a, b, m, |x, y| x == y),
+            };
+        }
+        ROp::CmpNeImm { d, pg, a, imm } => {
+            let ab = a as usize;
+            let m = pbuf[pg as usize];
+            let mut r = 0u64;
+            for (l, &x) in vbuf[ab..ab + w].iter().enumerate() {
+                if m >> l & 1 == 1 && (x as i64) != imm {
+                    r |= 1 << l;
+                }
+            }
+            pbuf[d as usize] = r;
+        }
+        ROp::Pand { d, a, b } => {
+            pbuf[d as usize] = pbuf[a as usize] & pbuf[b as usize];
+        }
+        ROp::Sel { d, pg, a, b } => {
+            let m = pbuf[pg as usize];
+            let (d, lo) = dst_row(vbuf, w, d);
+            let (a, b) = (src_row(lo, w, a), src_row(lo, w, b));
+            if m == full {
+                d.copy_from_slice(a);
+            } else {
+                for (l, (dl, (&x, &y))) in d.iter_mut().zip(a.iter().zip(b)).enumerate() {
+                    *dl = if m >> l & 1 == 1 { x } else { y };
+                }
+            }
+        }
+        ROp::Shift { op, d, pg, a, sh } => {
+            let m = pbuf[pg as usize];
+            let (d, lo) = dst_row(vbuf, w, d);
+            let a = src_row(lo, w, a);
+            match op {
+                ShiftOp::Lsl => lanes1(d, a, m, full, |x| x << sh),
+                ShiftOp::Lsr => lanes1(d, a, m, full, |x| x >> sh),
+                ShiftOp::Asr => lanes1(d, a, m, full, |x| ((x as i64) >> sh) as u64),
+            }
+        }
+        ROp::Cvt { op, d, pg, a } => {
+            let m = pbuf[pg as usize];
+            let (d, lo) = dst_row(vbuf, w, d);
+            let a = src_row(lo, w, a);
+            match op {
+                CvtOp::Ucvtf => lanes1(d, a, m, full, lanes::ucvtf_lane),
+                CvtOp::Fcvtns => lanes1(d, a, m, full, lanes::fcvtns_lane),
+                CvtOp::Fcvtzs => lanes1(d, a, m, full, lanes::fcvtzs_lane),
+                CvtOp::Scvtf => lanes1(d, a, m, full, lanes::scvtf_lane),
+            }
+        }
+        ROp::Compact { d, pg, a } => {
+            let (d, ab) = (d as usize, a as usize);
+            let m = pbuf[pg as usize];
+            let mut k = 0usize;
+            for l in 0..w {
+                if m >> l & 1 == 1 {
+                    vbuf[d + k] = vbuf[ab + l];
+                    k += 1;
+                }
+            }
+            for slot in &mut vbuf[d + k..d + w] {
+                *slot = 0;
+            }
+        }
+        ROp::Gather { d, pg, idx, tab } => {
+            let (d, ib) = (d as usize, idx as usize);
+            let m = pbuf[pg as usize];
+            let tr: &[f64] = if tabs.is_empty() {
+                &ttabs[tab as usize]
+            } else {
+                &tabs[tab as usize]
+            };
+            for l in 0..w {
+                let i = vbuf[ib + l] as usize;
+                vbuf[d + l] = if m >> l & 1 == 1 && i < tr.len() {
+                    tr[i].to_bits()
+                } else {
+                    0
+                };
+            }
+        }
+        ROp::Scatter { pg, v, idx, tab } => {
+            let (vb, ib) = (v as usize, idx as usize);
+            let m = pbuf[pg as usize];
+            let tr = &mut tabs[tab as usize];
+            for l in 0..w {
+                let i = vbuf[ib + l] as usize;
+                if m >> l & 1 == 1 && i < tr.len() {
+                    tr[i] = f64::from_bits(vbuf[vb + l]);
+                }
+            }
+        }
+        ROp::Nop => {}
+    }
+}
+
 /// Split the arena into the destination row and the region below it.
-/// Sound because slots are SSA-numbered: an op's destination slot is
-/// always fresher (numerically larger) than its source slots, so every
-/// source row lives strictly below the split. A source slot that somehow
-/// violated the invariant would index past `lo` and panic rather than
-/// alias the destination.
+/// Sound because slots are SSA-numbered: an op's destination offset is
+/// always higher than its source offsets, so every source row lives
+/// strictly below the split. A source offset that somehow violated the
+/// invariant would index past `lo` and panic rather than alias the
+/// destination.
 #[inline(always)]
-fn dst_row(vbuf: &mut [u64], w: usize, dst: Slot) -> (&mut [u64], &[u64]) {
-    let d = dst as usize * w;
-    let (lo, hi) = vbuf.split_at_mut(d);
+fn dst_row(vbuf: &mut [u64], w: usize, d: u32) -> (&mut [u64], &[u64]) {
+    let (lo, hi) = vbuf.split_at_mut(d as usize);
     (&mut hi[..w], lo)
 }
 
 #[inline(always)]
-fn src_row(lo: &[u64], w: usize, s: Slot) -> &[u64] {
-    &lo[s as usize * w..(s as usize + 1) * w]
+fn src_row(lo: &[u64], w: usize, o: u32) -> &[u64] {
+    &lo[o as usize..o as usize + w]
 }
 
 /// Merging-predication lanewise loop over one source row: active lanes

@@ -357,10 +357,22 @@ proptest! {
     ) {
         let t = Trace::record1(vl, |ctx, pg, x| run_program(ctx, pg, x, &prog));
         let serial = t.map(&xs);
-        let par = t.par_map(threads, &xs);
-        prop_assert_eq!(serial.len(), par.len());
-        for (s, p) in serial.iter().zip(&par) {
-            prop_assert_eq!(s.to_bits(), p.to_bits());
+        // threads == 0 is "auto": the pool picks its own width.
+        for th in [threads, 0] {
+            let par = t.par_map(th, &xs);
+            prop_assert_eq!(serial.len(), par.len());
+            for (s, p) in serial.iter().zip(&par) {
+                prop_assert_eq!(s.to_bits(), p.to_bits());
+            }
+        }
+        // Replayer-only parallel path (bypasses the compiled dispatch).
+        let rserial = t.replay_map(&xs);
+        for th in [threads, 0] {
+            let rpar = t.replay_par_map(th, &xs);
+            prop_assert_eq!(rserial.len(), rpar.len());
+            for (s, p) in rserial.iter().zip(&rpar) {
+                prop_assert_eq!(s.to_bits(), p.to_bits());
+            }
         }
     }
 

@@ -41,6 +41,12 @@ echo "== trace-replay + compiled-trace identity smoke (svereplay --smoke, both o
 cargo run -p ookami-bench --bin svereplay --release -- --smoke
 cargo run -p ookami-bench --features obs --bin svereplay --release -- --smoke
 
+echo "== sharded cache-sim identity smoke (cachesim --smoke, both obs modes)"
+# Serial CacheSim vs ShardedCacheSim (serial dispatch and pool-parallel at
+# several thread counts) must agree exactly on both machine geometries.
+cargo run -p ookami-bench --bin cachesim --release -- --smoke
+cargo run -p ookami-bench --features obs --bin cachesim --release -- --smoke
+
 echo "== counter-layer smoke (ookamistat --smoke, obs on) + trace + schema check"
 cargo run -p ookami-bench --features obs --bin ookamistat --release -- --smoke --trace target/trace.json
 cargo run -p ookami-bench --bin report --release -- --validate BENCH_obs.json

@@ -31,8 +31,8 @@ fn committed_bench_files() -> Vec<std::path::PathBuf> {
 fn every_committed_bench_file_validates() {
     let files = committed_bench_files();
     assert!(
-        files.len() >= 5,
-        "expected the five committed baselines, found {files:?}"
+        files.len() >= 6,
+        "expected the six committed baselines, found {files:?}"
     );
     for path in &files {
         let text = std::fs::read_to_string(path)
