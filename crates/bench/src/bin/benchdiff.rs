@@ -13,9 +13,15 @@
 //! 1. **Flag gates** (always on): a baseline flag of `"true"` for
 //!    `bit_identical`, `instr_streams_identical` or `gate` must still be
 //!    `"true"` — these encode correctness invariants, not measurements.
+//!    Flags starting with `ecm_` are pinned to the baseline's exact value:
+//!    they carry the ECM model's bound attributions (`bandwidth_bound` vs
+//!    `core_bound`), which are deterministic claims about the machine
+//!    model, so any flip is a model change.
 //! 2. **Absolute floors** (full-mode current files only): `speedup ≥ 5`
 //!    (trace replay vs interpreter) and `ratio_at_8 ≥ 5` (pool vs
-//!    spawn-per-region) — the repo's standing perf acceptance bars; when
+//!    spawn-per-region) — the repo's standing perf acceptance bars — plus
+//!    the lower irregular-family bars `spmv_replay_speedup ≥ 1.2` and
+//!    `stream_replay_speedup ≥ 0.4`; when
 //!    the current run also has obs, `compiled_speedup ≥ 5` (compiled
 //!    closures vs the accounting-carrying replayer). Smoke runs shrink
 //!    the problem until fixed costs dominate, which is exactly why the
@@ -73,8 +79,25 @@ const EXACT_COUNTERS: [&str; 16] = [
 /// Flags that encode correctness invariants: baseline `"true"` must hold.
 const GATED_FLAGS: [&str; 3] = ["bit_identical", "instr_streams_identical", "gate"];
 
+/// Flag prefix for pinned attributions: any flag starting with this must
+/// equal the baseline's value exactly (the ECM model's bound verdicts —
+/// e.g. `ecm_crs_bound = "bandwidth_bound"` — are deterministic claims
+/// about the machine model, so a flip is a model change, never noise).
+const PINNED_FLAG_PREFIX: &str = "ecm_";
+
 /// `(metric, floor)` pairs gated whenever the current file is a full run.
-const ABSOLUTE_FLOORS: [(&str, f64); 2] = [("speedup", 5.0), ("ratio_at_8", 5.0)];
+/// The replay-over-interpreter floors for the irregular-memory families
+/// are deliberately lower than the dense-loop `speedup` bar: SpMV replay
+/// rebinds three gather streams per block, and STREAM's one-op body is
+/// the replayer's worst case — with obs on, per-block counter accounting
+/// outweighs the single fused op and the interpreter wins (~0.5x), so
+/// that floor is a catastrophic-slowdown guard only.
+const ABSOLUTE_FLOORS: [(&str, f64); 4] = [
+    ("speedup", 5.0),
+    ("ratio_at_8", 5.0),
+    ("spmv_replay_speedup", 1.2),
+    ("stream_replay_speedup", 0.4),
+];
 
 /// `(metric, floor)` pairs additionally gated on full runs **with obs**:
 /// the compiled-vs-replay bar is defined against the replayer carrying its
@@ -195,6 +218,7 @@ fn inject_regression(doc: &mut Json) {
                         || k == "speedup"
                         || k == "ratio_at_8"
                         || k.ends_with("_par_speedup")
+                        || k.ends_with("_replay_speedup")
                     {
                         *n /= 10.0;
                     }
@@ -237,6 +261,18 @@ fn diff_file(name: &str, base: &Json, cur: &Json, tol: f64) -> FileVerdict {
             if now != "true" {
                 v.regressions
                     .push(format!("flag `{gf}`: baseline true, current {now}"));
+            }
+        }
+    }
+
+    // 1b. pinned attribution flags — must match the baseline exactly.
+    for (k, bval) in &bf {
+        if k.starts_with(PINNED_FLAG_PREFIX) {
+            let now = cf.get(k).map_or("<missing>", String::as_str);
+            if now != bval {
+                v.regressions.push(format!(
+                    "flag `{k}`: baseline \"{bval}\", current \"{now}\" (attribution flip)"
+                ));
             }
         }
     }
@@ -614,6 +650,64 @@ mod tests {
             &[("host_cores", 8.0), ("replay_par_speedup", 1.0)],
         );
         assert!(regressions(&base, &cur).is_empty());
+    }
+
+    /// Like `doc` but with string flags.
+    fn doc_flags(mode: &str, flags: &[(&str, &str)]) -> Json {
+        let fs: Vec<String> = flags
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": \"{v}\""))
+            .collect();
+        Json::parse(&format!(
+            "{{\"schema\": \"ookami-bench-v1\", \"probe\": \"t\", \"mode\": \"{mode}\", \
+             \"obs_enabled\": false, \"metrics\": {{}}, \"flags\": {{{}}}}}",
+            fs.join(", ")
+        ))
+        .expect("test doc parses")
+    }
+
+    #[test]
+    fn pinned_ecm_flag_flip_is_a_regression() {
+        let base = doc_flags("full", &[("ecm_crs_bound", "bandwidth_bound")]);
+        let ok = doc_flags("full", &[("ecm_crs_bound", "bandwidth_bound")]);
+        assert!(regressions(&base, &ok).is_empty());
+        let flipped = doc_flags("full", &[("ecm_crs_bound", "core_bound")]);
+        let r = regressions(&base, &flipped);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("attribution flip"), "{r:?}");
+        // Missing counts as a flip too — the claim must keep being made.
+        let gone = doc_flags("full", &[]);
+        assert_eq!(regressions(&base, &gone).len(), 1);
+    }
+
+    #[test]
+    fn replay_floor_trips_in_full_mode_only() {
+        let base = doc("full", false, &[]);
+        let cur = doc(
+            "full",
+            false,
+            &[("spmv_replay_speedup", 1.0), ("stream_replay_speedup", 1.0)],
+        );
+        let r = regressions(&base, &cur);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("spmv_replay_speedup"), "{r:?}");
+        let smoke_base = doc("smoke", false, &[]);
+        let smoke = doc("smoke", false, &[("spmv_replay_speedup", 1.0)]);
+        assert!(regressions(&smoke_base, &smoke).is_empty());
+    }
+
+    #[test]
+    fn inject_regression_degrades_replay_speedups() {
+        let mut cur = doc("full", false, &[("spmv_replay_speedup", 3.0)]);
+        inject_regression(&mut cur);
+        let m = num_metrics(&cur);
+        assert!((m["spmv_replay_speedup"] - 0.3).abs() < 1e-12, "{m:?}");
+        let base = doc("full", false, &[]);
+        let r = regressions(&base, &cur);
+        assert!(
+            r.iter().any(|r| r.contains("spmv_replay_speedup")),
+            "injected replay regression must trip the floor: {r:?}"
+        );
     }
 
     #[test]

@@ -78,6 +78,15 @@ fn shipped_programs() -> Vec<Program> {
         ("lulesh_eos", family::lulesh_eos_trace(vl)),
         ("hpcc_triad", family::hpcc_triad_trace(vl)),
         ("hpcc_dgemm", family::hpcc_dgemm_trace(vl)),
+        // -- irregular-memory families (ookami-spmv) --
+        ("spmv_crs", family::spmv_crs_trace(vl)),
+        ("spmv_sell", family::spmv_sell_trace(vl)),
+        ("stream_copy", family::stream_copy_trace(vl)),
+        ("stream_scale", family::stream_scale_trace(vl)),
+        ("stream_add", family::stream_add_trace(vl)),
+        ("stream_triad", family::stream_triad_trace(vl)),
+        ("stencil4", family::stencil4_trace(vl)),
+        ("stencil7", family::stencil7_trace(vl)),
     ];
     let mut out = Vec::new();
     for (name, t) in &traces {
@@ -147,6 +156,44 @@ fn run_mutations() -> usize {
             }
         }
         println!("{name:>22}  {rejected} structural rejected, {semantic} semantic diverged");
+    }
+
+    // SpMV's CRS trace cannot go through `Trace::map` (three bound input
+    // streams plus a carried accumulator chained across row blocks), so
+    // its semantic mutants are judged under the real replay harness —
+    // the same path the `spmv` probe and the bit-identity tests use.
+    println!("-- spmv trace mutants (replay-evaluated) --");
+    {
+        let (mfix, _x) = family::spmv_fixture();
+        let base = family::spmv_crs_trace(8);
+        let reference = ookami_spmv::run_crs_replay(&base, &mfix);
+        let mut rejected = 0usize;
+        let mut semantic = 0usize;
+        for seed in 0..24u64 {
+            let m = base.mutated(seed);
+            let errors = verify(&Program::from_trace("mutant", &m))
+                .iter()
+                .filter(|d| d.is_error())
+                .count();
+            if seed % 4 == 3 {
+                if errors == 0 && ookami_spmv::run_crs_replay(&m, &mfix) != reference {
+                    semantic += 1;
+                }
+            } else if errors == 0 {
+                eprintln!("spmv_crs: structural mutant seed={seed} not rejected");
+                failures += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        if semantic == 0 {
+            eprintln!("spmv_crs: no semantic mutant diverged under replay");
+            failures += 1;
+        }
+        println!(
+            "{:>22}  {rejected} structural rejected, {semantic} semantic diverged",
+            "spmv_crs"
+        );
     }
 
     // The same discipline holds *after* the pass pipeline: optimized

@@ -10,6 +10,8 @@
 //! predicated pressure clamp, and HPCC's STREAM triad / DGEMM rank-1 FMA
 //! chain.
 
+use ookami_spmv::stream::StreamKernel;
+use ookami_spmv::{Crs, GatherHints, SellCSigma, Stencil};
 use ookami_sve::{Trace, TraceBuilder};
 
 /// NPB CG: one sparse row-times-vector step — gather `x[col[j]]`, FMA
@@ -82,6 +84,68 @@ pub fn hpcc_dgemm_trace(vl: usize) -> Trace {
     b.finish(&[&acc1])
 }
 
+// ---------------------------------------------------------------------------
+// Irregular-memory families (ookami-spmv): fixed small fixtures so the
+// static verifier covers the exact trace shapes the `spmv` probe runs at
+// scale. The fixture matrix is ragged on purpose — predicated tails and
+// SELL padding are the parts worth verifying.
+// ---------------------------------------------------------------------------
+
+/// The deterministic `(matrix, x)` pair behind every SpMV family trace
+/// (also the mutation-self-test base in `ookamicheck`).
+pub fn spmv_fixture() -> (Crs, Vec<f64>) {
+    let m = Crs::ragged(24, 32, 6, 1);
+    let x = (0..m.n_cols).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    (m, x)
+}
+
+/// CRS SpMV inner kernel: activity-predicated triple gather
+/// (value, column, `x[col]`) + carried FMA.
+pub fn spmv_crs_trace(vl: usize) -> Trace {
+    let (m, x) = spmv_fixture();
+    ookami_spmv::crs_trace(&m, &x, vl, GatherHints::uniform(vl as u32))
+}
+
+/// SELL-C-σ SpMV inner kernel: streamed slabs, single `x` gather,
+/// carried FMA (C = `vl`, σ covers the fixture).
+pub fn spmv_sell_trace(vl: usize) -> Trace {
+    let (m, x) = spmv_fixture();
+    let s = SellCSigma::from_crs(&m, vl, m.n_rows);
+    ookami_spmv::sell_trace(&s, &x, GatherHints::uniform(vl as u32))
+}
+
+/// STREAM copy (`ORR` move alias — bit-faithful).
+pub fn stream_copy_trace(vl: usize) -> Trace {
+    ookami_spmv::stream_trace(StreamKernel::Copy, vl)
+}
+
+/// STREAM scale (`b = s·c`).
+pub fn stream_scale_trace(vl: usize) -> Trace {
+    ookami_spmv::stream_trace(StreamKernel::Scale, vl)
+}
+
+/// STREAM add (`c = a + b`).
+pub fn stream_add_trace(vl: usize) -> Trace {
+    ookami_spmv::stream_trace(StreamKernel::Add, vl)
+}
+
+/// STREAM triad (`a = b + s·c`).
+pub fn stream_triad_trace(vl: usize) -> Trace {
+    ookami_spmv::stream_trace(StreamKernel::Triad, vl)
+}
+
+/// The 4-point (2-D) Wilson-Dslash-flavored periodic stencil.
+pub fn stencil4_trace(vl: usize) -> Trace {
+    let st = Stencil::d2(8, 8, 0.5, -0.125);
+    st.trace(&st.field(), vl, vl as u32)
+}
+
+/// The 7-point (3-D) stencil variant.
+pub fn stencil7_trace(vl: usize) -> Trace {
+    let st = Stencil::d3(4, 4, 4, 0.5, -0.125);
+    st.trace(&st.field(), vl, vl as u32)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +163,34 @@ mod tests {
         let out = t.map2(&b, &c);
         for i in 0..32 {
             assert_eq!(out[i], b[i] + 3.0 * c[i]);
+        }
+    }
+
+    #[test]
+    fn irregular_family_traces_record() {
+        assert!(spmv_crs_trace(8).body_len() >= 6);
+        assert!(spmv_sell_trace(8).body_len() >= 3);
+        assert!(stream_copy_trace(8).body_len() >= 1);
+        assert!(stream_scale_trace(8).body_len() >= 1);
+        assert!(stream_add_trace(8).body_len() >= 1);
+        assert!(stream_triad_trace(8).body_len() >= 1);
+        // 4 (resp. 6) neighbor gathers + center + index math + combine.
+        assert!(stencil4_trace(8).body_len() >= 4 * 3 + 2 + 3);
+        assert!(stencil7_trace(8).body_len() >= 6 * 3 + 2 + 3);
+    }
+
+    #[test]
+    fn spmv_family_traces_replay_the_fixture_bitwise() {
+        let (m, x) = spmv_fixture();
+        let want = m.spmv_ref(&x);
+        let tc = spmv_crs_trace(8);
+        let yc = ookami_spmv::run_crs_replay(&tc, &m);
+        let s = SellCSigma::from_crs(&m, 8, m.n_rows);
+        let ts = spmv_sell_trace(8);
+        let ys = ookami_spmv::run_sell_replay(&ts, &s);
+        for r in 0..m.n_rows {
+            assert_eq!(want[r].to_bits(), yc[r].to_bits(), "crs row {r}");
+            assert_eq!(want[r].to_bits(), ys[r].to_bits(), "sell row {r}");
         }
     }
 }

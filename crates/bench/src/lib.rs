@@ -22,6 +22,7 @@
 
 pub mod ablations;
 pub mod accuracy;
+pub mod ecm;
 pub mod family;
 
 use ookami_core::measure::{to_csv, Measurement};

@@ -125,6 +125,51 @@ pub fn entries() -> Vec<CorpusEntry> {
         expected: vec![Code::OutOfBoundsIndex],
     });
 
+    // OC0004 — SpMV-shaped: a CRS row's sorted column list where the
+    // last entry runs one past the x-table's end (the classic
+    // off-by-one when the row pointer of the *next* row leaks in).
+    out.push(CorpusEntry {
+        name: "spmv_col_oob",
+        program: {
+            let mut p = base(
+                "spmv_col_oob",
+                vec![
+                    Instr::def(OpClass::Gather, w, 3, &[PG, 2]).with_uops(8),
+                    Instr::def(OpClass::Fma, w, 4, &[PG, 0, 1, 3]),
+                ],
+                vec![4],
+            );
+            p.live_in_vec.push(2);
+            p.const_lanes.push((2, vec![0, 3, 7, 11, 12]));
+            p.table_len[0] = Some(12);
+            p
+        },
+        expected: vec![Code::OutOfBoundsIndex],
+    });
+
+    // OC0004 — SELL-C-σ-shaped: a packer that pads short rows with the
+    // sentinel `table_len` instead of a valid in-range column (this
+    // repo's packer pads with column 0; a sentinel-padding port would
+    // fault exactly like this on its first gather).
+    out.push(CorpusEntry {
+        name: "sell_pad_sentinel",
+        program: {
+            let mut p = base(
+                "sell_pad_sentinel",
+                vec![
+                    Instr::def(OpClass::Gather, w, 3, &[PG, 2]).with_uops(8),
+                    Instr::def(OpClass::Fma, w, 4, &[PG, 0, 1, 3]),
+                ],
+                vec![4],
+            );
+            p.live_in_vec.push(2);
+            p.const_lanes.push((2, vec![5, 2, 64, 64, 64]));
+            p.table_len[0] = Some(64);
+            p
+        },
+        expected: vec![Code::OutOfBoundsIndex],
+    });
+
     // OC0006 — a scatter governed by an all-true predicate instead of the
     // loop predicate: lanes past the loop bound would reach memory.
     out.push(CorpusEntry {

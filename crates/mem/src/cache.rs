@@ -175,6 +175,21 @@ impl AccessStats {
     pub fn mem_bytes(&self, spec: &MemSpec) -> u64 {
         self.mem * spec.line_bytes as u64
     }
+
+    /// Lines crossing the L1↔L2 link: every access the L1 could not
+    /// serve (fills from L2, L3 or memory all traverse it). One of the
+    /// two transfer volumes the ECM model in `obs::derive` consumes.
+    /// Writeback/eviction traffic is not counted separately, matching
+    /// the simulator's write-allocate store treatment.
+    pub fn l1_l2_lines(&self) -> u64 {
+        self.l2_hits + self.l3_hits + self.mem
+    }
+
+    /// Lines crossing the L2↔memory link (through L3 where one exists) —
+    /// the ECM model's memory-transfer volume.
+    pub fn l2_mem_lines(&self) -> u64 {
+        self.mem
+    }
 }
 
 /// A single-core view of one machine's cache hierarchy.
@@ -517,6 +532,7 @@ mod tests {
             l2_shared_by: 1,
             l3: None,
             mem_latency: 200.0,
+            l1_l2_bytes_per_cycle: 32.0,
         };
         let mut c = CacheSim::new(spec);
         let sets = 8u64;

@@ -17,6 +17,7 @@ fn small_spec() -> MemSpec {
         l2_shared_by: 1,
         l3: None,
         mem_latency: 200.0,
+        l1_l2_bytes_per_cycle: 32.0,
     }
 }
 

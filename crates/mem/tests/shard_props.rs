@@ -99,6 +99,7 @@ fn shard_count_respects_geometry_and_hint() {
         l2_shared_by: 1,
         l3: None,
         mem_latency: 200.0,
+        l1_l2_bytes_per_cycle: 32.0,
     };
     assert_eq!(ShardedCacheSim::new(awkward, 8).n_shards(), 1);
 }
@@ -118,6 +119,7 @@ fn evictions_count_displacements_only() {
         l2_shared_by: 1,
         l3: None,
         mem_latency: 200.0,
+        l1_l2_bytes_per_cycle: 32.0,
     };
     let conflict: Vec<(u64, usize)> = (0..5u64)
         .map(|w| (w * 8 * 64, 8usize))

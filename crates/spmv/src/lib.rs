@@ -1,0 +1,41 @@
+//! Irregular-memory workload families for the Ookami model stack.
+//!
+//! The source paper's suite is dense-kernel-heavy; the A64FX modeling
+//! literature that extends its machine model (Alappat, Hager, Wellein
+//! et al. — arXiv 2103.03013, 2009.13903) shows the interesting behavior
+//! lives in irregular, bandwidth-bound kernels. This crate adds those
+//! workloads as first-class citizens of the emulator → trace → obs →
+//! check stack:
+//!
+//! * [`matrix`] — CRS and SELL-C-σ sparse formats with deterministic
+//!   synthetic generators (banded, fixed-nnz random, ragged random,
+//!   5-point stencil-derived) and fused scalar references;
+//! * [`emulated`] — row-per-lane SpMV kernels recorded as SVE traces,
+//!   bit- and counter-identical across interpreter / replayer / parallel
+//!   replay, with CRS gathering everything and SELL-C-σ streaming its
+//!   slabs;
+//! * [`stream`] — the four STREAM kernels (copy/scale/add/triad) as
+//!   pure streaming traces, native-compilable;
+//! * [`stencil`] — a Wilson-Dslash-flavored 4/7-point periodic lattice
+//!   stencil, gather-heavy on purpose so the compiled engine exercises
+//!   its replayer fallback;
+//! * [`memtrace`] — element-level address streams per family for
+//!   `ookami_mem::CacheSim`, feeding the ECM model's transfer terms.
+//!
+//! The ECM (execution-cache-memory) model itself lives in
+//! `ookami_core::obs::derive` next to the roofline; the `spmv` probe in
+//! `ookami-bench` ties the two together into `BENCH_spmv.json`.
+
+pub mod emulated;
+pub mod matrix;
+pub mod memtrace;
+pub mod stencil;
+pub mod stream;
+
+pub use emulated::{
+    crs_trace, run_crs_interp, run_crs_replay, run_crs_replay_par, run_sell_interp,
+    run_sell_replay, run_sell_replay_par, sell_trace, GatherHints,
+};
+pub use matrix::{Crs, SellCSigma};
+pub use stencil::Stencil;
+pub use stream::{run_stream, stream_ref, stream_trace, StreamExec, StreamKernel, STREAM_SCALAR};

@@ -1,0 +1,398 @@
+//! Sparse-matrix storage formats and deterministic synthetic generators.
+//!
+//! Two formats from the A64FX SpMV modeling literature (Alappat et al.,
+//! arXiv 2103.03013 / 2009.13903):
+//!
+//! * **CRS** (compressed row storage) — the baseline: `ptr`/`col`/`val`
+//!   with rows stored back to back. Vectorizing it row-per-lane leaves
+//!   lanes idle whenever row lengths differ inside one vector block.
+//! * **SELL-C-σ** — rows are sorted by length inside windows of σ rows,
+//!   then packed into chunks of C rows stored column-major and padded to
+//!   the chunk's longest row. Sorting makes chunks near-uniform, so the
+//!   same row-per-lane kernel wastes far fewer lanes.
+//!
+//! Both formats preserve each row's entry order, and every SpMV in this
+//! crate (scalar references and emulated kernels alike) accumulates one
+//! row strictly sequentially with fused multiply-adds — so CRS, SELL-C-σ
+//! (any C, any σ) and the interpreter/replayer/compiled executors all
+//! produce **bit-identical** `y` vectors. The equivalence proptests in
+//! `tests/format_equiv.rs` pin this.
+
+/// Deterministic 64-bit mixer (splitmix64) — the generators' only
+/// randomness source, so every synthetic matrix is reproducible from its
+/// seed alone.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A value in `(0, 1]` from one mixer draw.
+fn unit_f64(state: &mut u64) -> f64 {
+    ((splitmix64(state) >> 11) + 1) as f64 / (1u64 << 53) as f64
+}
+
+/// Compressed row storage: row `r` owns `col[ptr[r]..ptr[r+1]]` /
+/// `val[ptr[r]..ptr[r+1]]`, columns ascending within each row.
+#[derive(Debug, Clone)]
+pub struct Crs {
+    pub n_rows: usize,
+    pub n_cols: usize,
+    /// Row start offsets, `n_rows + 1` entries.
+    pub ptr: Vec<usize>,
+    pub col: Vec<usize>,
+    pub val: Vec<f64>,
+}
+
+impl Crs {
+    /// Build from per-row `(col, val)` lists (cols must be in-bounds;
+    /// per-row order is preserved verbatim).
+    pub fn from_rows(n_cols: usize, rows: &[Vec<(usize, f64)>]) -> Crs {
+        let mut ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col = Vec::new();
+        let mut val = Vec::new();
+        ptr.push(0);
+        for row in rows {
+            for &(c, v) in row {
+                assert!(c < n_cols, "column {c} out of bounds (n_cols {n_cols})");
+                col.push(c);
+                val.push(v);
+            }
+            ptr.push(col.len());
+        }
+        Crs {
+            n_rows: rows.len(),
+            n_cols,
+            ptr,
+            col,
+            val,
+        }
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.val.len()
+    }
+
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.ptr[r + 1] - self.ptr[r]
+    }
+
+    pub fn max_row_nnz(&self) -> usize {
+        (0..self.n_rows).map(|r| self.row_nnz(r)).max().unwrap_or(0)
+    }
+
+    /// Banded matrix: row `r` holds columns `r-half_bw ..= r+half_bw`
+    /// clipped to the square, value `1/(1+|r-c|)` — the regular,
+    /// cache-friendly end of the spectrum.
+    pub fn banded(n: usize, half_bw: usize) -> Crs {
+        let rows: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|r| {
+                (r.saturating_sub(half_bw)..=(r + half_bw).min(n.saturating_sub(1)))
+                    .map(|c| (c, 1.0 / (1.0 + r.abs_diff(c) as f64)))
+                    .collect()
+            })
+            .collect();
+        Crs::from_rows(n, &rows)
+    }
+
+    /// Fixed nnz-per-row with uniformly random distinct columns — the
+    /// gather-hostile pattern behind the papers' "full" index vectors.
+    pub fn random_fixed(n_rows: usize, n_cols: usize, per_row: usize, seed: u64) -> Crs {
+        assert!(per_row <= n_cols);
+        let mut st = seed ^ 0x5EED_0001;
+        let rows: Vec<Vec<(usize, f64)>> = (0..n_rows)
+            .map(|_| {
+                let mut cols: Vec<usize> = Vec::with_capacity(per_row);
+                while cols.len() < per_row {
+                    let c = (splitmix64(&mut st) % n_cols as u64) as usize;
+                    if !cols.contains(&c) {
+                        cols.push(c);
+                    }
+                }
+                cols.sort_unstable();
+                cols.into_iter().map(|c| (c, unit_f64(&mut st))).collect()
+            })
+            .collect();
+        Crs::from_rows(n_cols, &rows)
+    }
+
+    /// Ragged random matrix: row lengths drawn uniformly from
+    /// `0..=max_per_row` — the worst case for row-per-lane CRS (every
+    /// vector block runs to its longest row) and the case SELL-C-σ's
+    /// sorting is designed to fix. Empty rows are legal and exercised.
+    pub fn ragged(n_rows: usize, n_cols: usize, max_per_row: usize, seed: u64) -> Crs {
+        assert!(max_per_row <= n_cols);
+        let mut st = seed ^ 0x5EED_0002;
+        let rows: Vec<Vec<(usize, f64)>> = (0..n_rows)
+            .map(|_| {
+                let k = (splitmix64(&mut st) % (max_per_row as u64 + 1)) as usize;
+                let mut cols: Vec<usize> = Vec::with_capacity(k);
+                while cols.len() < k {
+                    let c = (splitmix64(&mut st) % n_cols as u64) as usize;
+                    if !cols.contains(&c) {
+                        cols.push(c);
+                    }
+                }
+                cols.sort_unstable();
+                cols.into_iter().map(|c| (c, unit_f64(&mut st))).collect()
+            })
+            .collect();
+        Crs::from_rows(n_cols, &rows)
+    }
+
+    /// 5-point Laplacian on an `nx × ny` grid (Dirichlet boundaries):
+    /// the stencil-derived sparsity pattern — short rows, strong column
+    /// locality, the matrix the QCD-style stencil family mirrors.
+    pub fn stencil5(nx: usize, ny: usize) -> Crs {
+        let n = nx * ny;
+        let site = |x: usize, y: usize| y * nx + x;
+        let rows: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|i| {
+                let (x, y) = (i % nx, i / nx);
+                let mut row = Vec::with_capacity(5);
+                if y > 0 {
+                    row.push((site(x, y - 1), -1.0));
+                }
+                if x > 0 {
+                    row.push((site(x - 1, y), -1.0));
+                }
+                row.push((i, 4.0));
+                if x + 1 < nx {
+                    row.push((site(x + 1, y), -1.0));
+                }
+                if y + 1 < ny {
+                    row.push((site(x, y + 1), -1.0));
+                }
+                row
+            })
+            .collect();
+        Crs::from_rows(n, &rows)
+    }
+
+    /// Fused-FMA scalar reference: `y[r] = Σ val·x[col]`, one row at a
+    /// time in stored order, each term folded in with `mul_add` — the
+    /// exact per-row operation sequence of the emulated kernels, hence
+    /// bit-identical to them.
+    pub fn spmv_ref(&self, x: &[f64]) -> Vec<f64> {
+        assert!(x.len() >= self.n_cols);
+        (0..self.n_rows)
+            .map(|r| {
+                let mut acc = 0.0f64;
+                for j in self.ptr[r]..self.ptr[r + 1] {
+                    acc = self.val[j].mul_add(x[self.col[j]], acc);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Lane-slots a row-per-lane kernel at width `vl` spends on this
+    /// matrix in original row order: each block of `vl` rows runs to its
+    /// longest member. The CRS side of the SELL-C-σ padding comparison.
+    pub fn block_padded_nnz(&self, vl: usize) -> usize {
+        assert!(vl > 0);
+        (0..self.n_rows)
+            .step_by(vl)
+            .map(|r0| {
+                let end = (r0 + vl).min(self.n_rows);
+                let kmax = (r0..end).map(|r| self.row_nnz(r)).max().unwrap_or(0);
+                vl * kmax
+            })
+            .sum()
+    }
+}
+
+/// SELL-C-σ: σ-window length-sorted rows packed into C-row chunks stored
+/// column-major (`slab[chunk_ptr[k] + j*C + lane]`), padded per chunk.
+#[derive(Debug, Clone)]
+pub struct SellCSigma {
+    pub c: usize,
+    pub sigma: usize,
+    pub n_rows: usize,
+    pub n_cols: usize,
+    pub nnz: usize,
+    /// `row_order[p]` = original row stored at packed position `p`
+    /// (chunk `p / C`, lane `p % C`).
+    pub row_order: Vec<usize>,
+    /// nnz of the original row at each packed position.
+    pub row_len: Vec<usize>,
+    /// Slab offset of each chunk.
+    pub chunk_ptr: Vec<usize>,
+    /// Padded length (longest row) of each chunk.
+    pub chunk_len: Vec<usize>,
+    /// Column slab; padding entries hold the in-bounds sentinel 0.
+    pub col: Vec<usize>,
+    /// Value slab; padding entries hold 0.0.
+    pub val: Vec<f64>,
+}
+
+impl SellCSigma {
+    /// Pack `m` with chunk height `c` and sort window `sigma` (≥ 1; a
+    /// window of 1 disables sorting, `sigma >= n_rows` sorts globally).
+    /// Sorting is stable on descending row length, so the permutation is
+    /// deterministic.
+    pub fn from_crs(m: &Crs, c: usize, sigma: usize) -> SellCSigma {
+        assert!(c > 0 && sigma > 0);
+        let n = m.n_rows;
+        let mut row_order: Vec<usize> = (0..n).collect();
+        for w0 in (0..n).step_by(sigma) {
+            let w1 = (w0 + sigma).min(n);
+            row_order[w0..w1].sort_by_key(|&r| std::cmp::Reverse(m.row_nnz(r)));
+        }
+        let row_len: Vec<usize> = row_order.iter().map(|&r| m.row_nnz(r)).collect();
+        let n_chunks = n.div_ceil(c);
+        let mut chunk_ptr = Vec::with_capacity(n_chunks);
+        let mut chunk_len = Vec::with_capacity(n_chunks);
+        let mut col = Vec::new();
+        let mut val = Vec::new();
+        for k in 0..n_chunks {
+            let p0 = k * c;
+            let rows = (p0 + c).min(n) - p0;
+            let kmax = row_len[p0..p0 + rows].iter().copied().max().unwrap_or(0);
+            chunk_ptr.push(col.len());
+            chunk_len.push(kmax);
+            // Column-major chunk: step j holds lane l's j-th entry. Full
+            // C lanes even in a partial final chunk, so the slab layout
+            // is uniform; phantom lanes pad like short rows.
+            for j in 0..kmax {
+                for l in 0..c {
+                    let (cc, vv) = if l < rows && j < row_len[p0 + l] {
+                        let r = row_order[p0 + l];
+                        let o = m.ptr[r] + j;
+                        (m.col[o], m.val[o])
+                    } else {
+                        (0, 0.0)
+                    };
+                    col.push(cc);
+                    val.push(vv);
+                }
+            }
+        }
+        SellCSigma {
+            c,
+            sigma,
+            n_rows: n,
+            n_cols: m.n_cols,
+            nnz: m.nnz(),
+            row_order,
+            row_len,
+            chunk_ptr,
+            chunk_len,
+            col,
+            val,
+        }
+    }
+
+    pub fn n_chunks(&self) -> usize {
+        self.chunk_len.len()
+    }
+
+    /// Total lane-slots including padding — the SELL side of the lane
+    /// utilization comparison. Sorting can only lower this below
+    /// [`Crs::block_padded_nnz`] at the same width.
+    pub fn padded_nnz(&self) -> usize {
+        self.chunk_len.iter().map(|&k| self.c * k).sum()
+    }
+
+    /// Fraction of padded lane-slots holding real entries.
+    pub fn lane_utilization(&self) -> f64 {
+        let p = self.padded_nnz();
+        if p == 0 {
+            1.0
+        } else {
+            self.nnz as f64 / p as f64
+        }
+    }
+
+    /// Fused-FMA scalar reference, bit-identical to [`Crs::spmv_ref`]
+    /// on the source matrix: each row still accumulates its own entries
+    /// in original order, only the row visit order changes.
+    pub fn spmv_ref(&self, x: &[f64]) -> Vec<f64> {
+        assert!(x.len() >= self.n_cols);
+        let mut y = vec![0.0; self.n_rows];
+        for k in 0..self.n_chunks() {
+            let p0 = k * self.c;
+            let rows = (p0 + self.c).min(self.n_rows) - p0;
+            for l in 0..rows {
+                let mut acc = 0.0f64;
+                for j in 0..self.row_len[p0 + l] {
+                    let o = self.chunk_ptr[k] + j * self.c + l;
+                    acc = self.val[o].mul_add(x[self.col[o]], acc);
+                }
+                y[self.row_order[p0 + l]] = acc;
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x_for(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 1.0 + 0.25 * i as f64).collect()
+    }
+
+    #[test]
+    fn banded_shape() {
+        let m = Crs::banded(10, 2);
+        assert_eq!(m.n_rows, 10);
+        assert_eq!(m.row_nnz(0), 3);
+        assert_eq!(m.row_nnz(5), 5);
+        assert_eq!(m.max_row_nnz(), 5);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = Crs::random_fixed(20, 40, 6, 7);
+        let b = Crs::random_fixed(20, 40, 6, 7);
+        assert_eq!(a.col, b.col);
+        assert_eq!(a.val, b.val);
+        let c = Crs::ragged(20, 40, 9, 7);
+        let d = Crs::ragged(20, 40, 9, 7);
+        assert_eq!(c.col, d.col);
+        assert!(c.nnz() > 0);
+    }
+
+    #[test]
+    fn stencil5_row_sums_vanish_in_interior() {
+        let m = Crs::stencil5(6, 6);
+        // Interior row: 4 - 4·1 = 0 against the all-ones vector.
+        let y = m.spmv_ref(&vec![1.0; m.n_cols]);
+        assert_eq!(y[6 + 1], 0.0);
+        // Corner keeps 4 - 2.
+        assert_eq!(y[0], 2.0);
+    }
+
+    #[test]
+    fn sell_matches_crs_reference_bitwise() {
+        let m = Crs::ragged(37, 50, 11, 3);
+        let x = x_for(m.n_cols);
+        let y0 = m.spmv_ref(&x);
+        for (c, sigma) in [(4, 1), (4, 8), (8, 37), (3, 5), (8, 64)] {
+            let s = SellCSigma::from_crs(&m, c, sigma);
+            let y1 = s.spmv_ref(&x);
+            for r in 0..m.n_rows {
+                assert_eq!(
+                    y0[r].to_bits(),
+                    y1[r].to_bits(),
+                    "(C={c}, σ={sigma}) row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_reduces_padding_on_ragged_rows() {
+        let m = Crs::ragged(64, 64, 16, 11);
+        let unsorted = SellCSigma::from_crs(&m, 8, 1);
+        let sorted = SellCSigma::from_crs(&m, 8, 64);
+        assert_eq!(unsorted.padded_nnz(), m.block_padded_nnz(8));
+        assert!(sorted.padded_nnz() < unsorted.padded_nnz());
+        assert!(sorted.lane_utilization() > unsorted.lane_utilization());
+        assert!(sorted.padded_nnz() >= m.nnz());
+    }
+}

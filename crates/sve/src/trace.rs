@@ -1425,6 +1425,19 @@ impl<'t> Replayer<'t> {
         }
     }
 
+    /// Restore every carry-init slot to its recorded setup value by
+    /// re-running the setup ops (constants / `ptrue` / `index` — the only
+    /// things that can define a carry init). Lets one replayer run many
+    /// independent accumulation chains — e.g. SpMV row blocks — without
+    /// paying a fresh arena acquisition per chain. Setup replay is
+    /// uncounted on both executors, so obs totals are unaffected.
+    pub fn reset_carries(&mut self) {
+        let setup: &'t [TOp] = &self.t.setup;
+        for op in setup {
+            self.exec_one(op);
+        }
+    }
+
     pub fn lane_bits(&self, v: VSlot, l: usize) -> u64 {
         self.s.vbuf[v.0 as usize * self.w + l]
     }

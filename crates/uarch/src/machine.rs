@@ -25,6 +25,10 @@ pub struct MemSpec {
     pub l3: Option<(usize, f64, usize)>,
     /// Main-memory load-to-use latency in cycles.
     pub mem_latency: f64,
+    /// Sustained L1↔L2 transfer bandwidth per core, bytes per cycle —
+    /// the ECM model's `T_L1L2` term (64 B/cy on A64FX and SKX, 32 on
+    /// the older cores; Alappat et al., arXiv 2103.03013 Table 1).
+    pub l1_l2_bytes_per_cycle: f64,
 }
 
 /// NUMA topology and bandwidth. On A64FX a domain is one CMG (12 cores +

@@ -147,6 +147,7 @@ pub fn a64fx() -> &'static Machine {
             l2_shared_by: 12,
             l3: None,
             mem_latency: 260.0,
+            l1_l2_bytes_per_cycle: 64.0,
         },
         numa: NumaSpec {
             domains: 4,
@@ -327,6 +328,7 @@ const SKX_MEM: MemSpec = MemSpec {
     // Shared L3: ~1.375 MiB/core slices; stated per socket below.
     l3: Some((24 * 1024 * 1024, 60.0, 18)),
     mem_latency: 190.0,
+    l1_l2_bytes_per_cycle: 64.0,
 };
 
 const SKX_GATHER: GatherSpec = GatherSpec {
@@ -496,6 +498,7 @@ pub fn knl_7250() -> &'static Machine {
             l2_shared_by: 2,
             l3: None,
             mem_latency: 230.0,
+            l1_l2_bytes_per_cycle: 32.0,
         },
         numa: NumaSpec {
             domains: 1,
@@ -624,6 +627,7 @@ pub fn epyc_7742() -> &'static Machine {
             l2_shared_by: 1,
             l3: Some((16 * 1024 * 1024, 39.0, 4)), // per CCX
             mem_latency: 220.0,
+            l1_l2_bytes_per_cycle: 32.0,
         },
         numa: NumaSpec {
             domains: 2,
@@ -723,6 +727,7 @@ pub fn thunderx2() -> &'static Machine {
             l2_shared_by: 1,
             l3: Some((32 * 1024 * 1024, 40.0, 32)),
             mem_latency: 200.0,
+            l1_l2_bytes_per_cycle: 32.0,
         },
         numa: NumaSpec {
             domains: 2,

@@ -47,6 +47,13 @@ echo "== sharded cache-sim identity smoke (cachesim --smoke, both obs modes)"
 cargo run -p ookami-bench --bin cachesim --release -- --smoke
 cargo run -p ookami-bench --features obs --bin cachesim --release -- --smoke
 
+echo "== irregular-memory family smoke (spmv --smoke, both obs modes)"
+# CRS/SELL-C-σ/STREAM/stencil executors must stay bit-identical to their
+# fused scalar references, and the ECM model must keep attributing the
+# CRS family bandwidth_bound on the A64FX descriptor.
+cargo run -p ookami-bench --bin spmv --release -- --smoke
+cargo run -p ookami-bench --features obs --bin spmv --release -- --smoke
+
 echo "== counter-layer smoke (ookamistat --smoke, obs on) + trace + schema check"
 cargo run -p ookami-bench --features obs --bin ookamistat --release -- --smoke --trace target/trace.json
 cargo run -p ookami-bench --bin report --release -- --validate BENCH_obs.json

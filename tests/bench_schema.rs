@@ -31,8 +31,8 @@ fn committed_bench_files() -> Vec<std::path::PathBuf> {
 fn every_committed_bench_file_validates() {
     let files = committed_bench_files();
     assert!(
-        files.len() >= 6,
-        "expected the six committed baselines, found {files:?}"
+        files.len() >= 7,
+        "expected the seven committed baselines, found {files:?}"
     );
     for path in &files {
         let text = std::fs::read_to_string(path)
@@ -69,4 +69,41 @@ fn committed_bench_files_reparse_with_counters_intact() {
             }
         }
     }
+}
+
+#[test]
+fn spmv_baseline_carries_the_ecm_attribution() {
+    // The irregular-memory probe's headline claims are committed as data:
+    // the ECM fields must be present and CRS must be pinned
+    // bandwidth_bound (benchdiff treats `ecm_*` flags as exact pins).
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_spmv.json");
+    let doc = Json::parse(&std::fs::read_to_string(&path).expect("BENCH_spmv.json committed"))
+        .expect("BENCH_spmv.json parses");
+    let Some(Json::Obj(metrics)) = doc.get("metrics") else {
+        panic!("BENCH_spmv.json has no metrics object");
+    };
+    for key in [
+        "crs_elems_per_sec",
+        "sell_elems_per_sec",
+        "spmv_replay_speedup",
+        "stream_replay_speedup",
+        "sell_lane_utilization",
+        "ecm_crs_t_core",
+        "ecm_crs_t_data",
+        "ecm_crs_t_cl",
+        "ecm_crs_n_sat",
+        "host_cores",
+    ] {
+        assert!(metrics.contains_key(key), "BENCH_spmv.json missing `{key}`");
+    }
+    let Some(Json::Obj(flags)) = doc.get("flags") else {
+        panic!("BENCH_spmv.json has no flags object");
+    };
+    assert_eq!(
+        flags.get("ecm_crs_bound"),
+        Some(&Json::Str("bandwidth_bound".to_string())),
+        "CRS ECM attribution must be bandwidth_bound"
+    );
+    assert_eq!(flags.get("bit_identical"), Some(&Json::Str("true".into())));
+    assert_eq!(flags.get("gate"), Some(&Json::Str("true".into())));
 }

@@ -1,0 +1,86 @@
+//! Golden snapshot of the irregular-memory ECM table plus the two
+//! attribution pins the family ships with:
+//!
+//! * the CRS SpMV row on the A64FX descriptor is **bandwidth_bound** —
+//!   the acceptance claim the SELL-C-σ comparison rests on;
+//! * SELL-C-σ strictly improves on vl-blocked CRS in lane utilization
+//!   (on the ragged verifier fixture) and in per-CL core cycles (on the
+//!   large ECM fixture).
+//!
+//! The table is a pure function of the machine descriptor, the cache
+//! simulator and the recorded traces, so it is byte-stable. Regenerate
+//! after an intentional model change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test ecm_golden
+//! git diff tests/golden/ecm_table.txt
+//! ```
+
+use ookami_bench::ecm::{ecm_families, ecm_table_rows};
+use ookami_bench::family;
+use ookami_core::obs::derive::render_ecm_table;
+use ookami_spmv::SellCSigma;
+
+#[test]
+fn ecm_table_is_stable() {
+    let m = ookami_uarch::machines::a64fx();
+    let rows = ecm_families(m, 8);
+    let table = render_ecm_table(&ecm_table_rows(&rows), m);
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join("ecm_table.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &table).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test --test ecm_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, table,
+        "ECM table drifted; if the model change is intentional, regenerate \
+         with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn crs_attribution_is_bandwidth_bound_on_a64fx() {
+    let rows = ecm_families(ookami_uarch::machines::a64fx(), 8);
+    let crs = rows.iter().find(|r| r.name == "spmv_crs").expect("crs row");
+    assert!(
+        crs.model.bandwidth_bound,
+        "CRS must be bandwidth_bound on a64fx: t_core={} t_data={}",
+        crs.model.t_core, crs.model.t_data
+    );
+    assert_eq!(crs.model.bound_name(), "bandwidth_bound");
+}
+
+#[test]
+fn sell_improves_on_crs_in_utilization_and_core_cycles() {
+    // Lane utilization on the ragged verifier fixture: vl-blocked CRS
+    // pads each 8-row block to its longest row; SELL with a full sort
+    // window packs strictly tighter.
+    let (m, _x) = family::spmv_fixture();
+    let sell = SellCSigma::from_crs(&m, 8, m.n_rows);
+    let crs_padded = m.block_padded_nnz(8);
+    assert!(
+        sell.padded_nnz() < crs_padded,
+        "{} vs {crs_padded}",
+        sell.padded_nnz()
+    );
+
+    // Core cycles per cache line on the big ECM fixture.
+    let rows = ecm_families(ookami_uarch::machines::a64fx(), 8);
+    let crs = rows.iter().find(|r| r.name == "spmv_crs").expect("crs row");
+    let s = rows
+        .iter()
+        .find(|r| r.name == "spmv_sell")
+        .expect("sell row");
+    assert!(s.input.t_core < crs.input.t_core);
+    // Identical work, near-identical traffic: the data terms of the two
+    // formats agree to within a cache-line-rounding sliver.
+    assert!((s.model.t_data - crs.model.t_data).abs() / crs.model.t_data < 0.05);
+}
