@@ -106,6 +106,18 @@ const ABSOLUTE_FLOORS: [(&str, f64); 4] = [
 /// probe enforces the same split).
 const ABSOLUTE_FLOORS_OBS: [(&str, f64); 1] = [("compiled_speedup", 5.0)];
 
+/// `(metric, ceiling)` pairs gated on full runs **with obs**, tripping
+/// when the value rises *above* the bar: `prof_overhead_ratio` is the
+/// `ookamiprof` probe's profiled-vs-bare wall-time ratio for the same
+/// compiled workload, so a blowout means the region/timeline/histogram
+/// path stopped being cheap — the observability layer became the
+/// workload. The bar is deliberately loose (5×) because the probe's
+/// per-rep work shrinks in smoke mode; only full runs are gated.
+const ABSOLUTE_CEILINGS_OBS: [(&str, f64); 1] = [("prof_overhead_ratio", 5.0)];
+
+/// How many counter deltas `--explain` prints per regressed file.
+const EXPLAIN_TOP_N: usize = 5;
+
 /// `(metric, floor, needs_obs)` triples gated on full runs whose
 /// **current** file reports `host_cores ≥ PAR_FLOOR_MIN_CORES`: parallel
 /// speedups are only meaningful where the pool has real workers. The two
@@ -134,8 +146,11 @@ fn usage(code: i32) -> ! {
            --out <path>         write the machine-readable verdict JSON here\n\
                                 (default BENCHDIFF.json)\n\
            --inject-regression  degrade the current set in memory (times x10,\n\
-                                rates /10, flags flipped) — self-test that\n\
-                                the gate trips\n\
+                                rates /10, overhead x10, counters x2, flags\n\
+                                flipped) — self-test that the gate trips\n\
+           --explain            when a file regresses, print its top counter\n\
+                                deltas vs baseline (largest relative change\n\
+                                first) to point at the behavioral cause\n\
            --help               this text\n\
          \n\
          exit: 0 pass · 1 regression · 2 usage or schema error"
@@ -203,16 +218,18 @@ fn is_rate_metric(name: &str) -> bool {
 }
 
 /// Degrade a current-side document in memory: every time metric ×10,
-/// every rate and headline-ratio metric ÷10, and every gated correctness
-/// flag flipped to false. The flag flip is what keeps the self-test
-/// meaningful even for a mode-mismatched pair (smoke current vs full
-/// baseline), where the metric gates are skipped by design.
+/// every rate and headline-ratio metric ÷10, the profiling-overhead
+/// ceiling metric ×10, every deterministic model counter ×2, and every
+/// gated correctness flag flipped to false. The flag flip is what keeps
+/// the self-test meaningful even for a mode-mismatched pair (smoke
+/// current vs full baseline), where the metric gates are skipped by
+/// design; the counter doubling gives `--explain` real deltas to rank.
 fn inject_regression(doc: &mut Json) {
     if let Json::Obj(root) = doc {
         if let Some(Json::Obj(metrics)) = root.get_mut("metrics") {
             for (k, v) in metrics.iter_mut() {
                 if let Json::Num(n) = v {
-                    if is_time_metric(k) {
+                    if is_time_metric(k) || k == "prof_overhead_ratio" {
                         *n *= 10.0;
                     } else if is_rate_metric(k)
                         || k == "speedup"
@@ -221,6 +238,15 @@ fn inject_regression(doc: &mut Json) {
                         || k.ends_with("_replay_speedup")
                     {
                         *n /= 10.0;
+                    }
+                }
+            }
+        }
+        if let Some(Json::Obj(cs)) = root.get_mut("counters") {
+            for (k, v) in cs.iter_mut() {
+                if EXACT_COUNTERS.contains(&k.as_str()) {
+                    if let Json::Num(n) = v {
+                        *n *= 2.0;
                     }
                 }
             }
@@ -235,18 +261,59 @@ fn inject_regression(doc: &mut Json) {
     }
 }
 
+/// Rank every counter that differs between the two documents by relative
+/// change (`|cur − base| / max(base, 1)`), largest first, and render the
+/// top [`EXPLAIN_TOP_N`] as one line each. This is `--explain`'s payload:
+/// when a gate trips, the biggest counter movers usually name the
+/// subsystem whose behavior changed (a port counter → issue modeling, a
+/// byte counter → memory traffic, `timeline_dropped_events` → the ring
+/// overflowed and the trace is partial).
+fn rank_counter_deltas(base: &Json, cur: &Json) -> Vec<String> {
+    let bc = counters(base);
+    let cc = counters(cur);
+    let mut rows: Vec<(f64, String)> = Vec::new();
+    for key in bc.keys().chain(cc.keys()) {
+        let b = bc.get(key).copied().unwrap_or(0);
+        let c = cc.get(key).copied().unwrap_or(0);
+        if b == c {
+            continue;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let rel = (c as f64 - b as f64) / (b.max(1) as f64);
+        let line = format!("{key}: {b} → {c} ({:+.1}%)", rel * 100.0);
+        rows.push((rel.abs(), line));
+    }
+    // chain() visits shared keys twice; identical lines dedup here.
+    rows.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    rows.dedup_by(|a, b| a.1 == b.1);
+    rows.truncate(EXPLAIN_TOP_N);
+    rows.into_iter().map(|(_, line)| line).collect()
+}
+
 struct FileVerdict {
     name: String,
     regressions: Vec<String>,
     notes: Vec<String>,
+    /// Top counter deltas vs baseline; filled only when `regressions` is
+    /// non-empty (an all-green file needs no explaining).
+    explain: Vec<String>,
     compared: bool,
 }
 
 fn diff_file(name: &str, base: &Json, cur: &Json, tol: f64) -> FileVerdict {
+    let mut v = diff_gates(name, base, cur, tol);
+    if !v.regressions.is_empty() {
+        v.explain = rank_counter_deltas(base, cur);
+    }
+    v
+}
+
+fn diff_gates(name: &str, base: &Json, cur: &Json, tol: f64) -> FileVerdict {
     let mut v = FileVerdict {
         name: name.to_string(),
         regressions: Vec::new(),
         notes: Vec::new(),
+        explain: Vec::new(),
         compared: true,
     };
     let bm = num_metrics(base);
@@ -291,6 +358,21 @@ fn diff_file(name: &str, base: &Json, cur: &Json, tol: f64) -> FileVerdict {
                     v.regressions.push(format!(
                         "metric `{metric}`: {val:.3} below floor {floor:.1}"
                     ));
+                }
+            }
+        }
+        // Ceilings: overhead ratios may not blow out. Same obs caveat as
+        // the obs floors — without obs the profiled side sheds the very
+        // instrumentation the ratio is supposed to price.
+        if matches!(cur.get("obs_enabled"), Some(Json::Bool(true))) {
+            for &(metric, ceiling) in &ABSOLUTE_CEILINGS_OBS {
+                if let Some(&val) = cm.get(metric) {
+                    if val > ceiling {
+                        v.regressions.push(format!(
+                            "metric `{metric}`: {val:.3} above ceiling {ceiling:.1} \
+                             (profiling overhead blowout)"
+                        ));
+                    }
                 }
             }
         }
@@ -414,6 +496,7 @@ fn main() {
     let mut tol = 0.5f64;
     let mut out_path = "BENCHDIFF.json".to_string();
     let mut inject = false;
+    let mut explain = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -432,6 +515,7 @@ fn main() {
                 });
             }
             "--inject-regression" => inject = true,
+            "--explain" => explain = true,
             "--help" | "-h" => usage(0),
             other => {
                 eprintln!("error: unknown argument `{other}` (try --help)");
@@ -484,6 +568,7 @@ fn main() {
                 name: name.clone(),
                 regressions: Vec::new(),
                 notes: vec!["no current file: not regenerated, skipped".to_string()],
+                explain: Vec::new(),
                 compared: false,
             });
             continue;
@@ -522,6 +607,12 @@ fn main() {
         println!("{status:>5}  {}", v.name);
         for r in &v.regressions {
             println!("       regression: {r}");
+        }
+        if explain && !v.explain.is_empty() {
+            println!("       top counter deltas vs baseline:");
+            for line in &v.explain {
+                println!("         {line}");
+            }
         }
         for n in &v.notes {
             println!("       note: {n}");
@@ -707,6 +798,133 @@ mod tests {
         assert!(
             r.iter().any(|r| r.contains("spmv_replay_speedup")),
             "injected replay regression must trip the floor: {r:?}"
+        );
+    }
+
+    /// Like `doc` but with a counters object and a tripping flag so the
+    /// verdict has something to explain.
+    fn doc_counters(obs_on: bool, gate_ok: bool, counters: &[(&str, u64)]) -> Json {
+        let cs: Vec<String> = counters
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        Json::parse(&format!(
+            "{{\"schema\": \"ookami-bench-v1\", \"probe\": \"t\", \"mode\": \"full\", \
+             \"obs_enabled\": {obs_on}, \"metrics\": {{}}, \
+             \"flags\": {{\"gate\": {gate_ok}}}, \"counters\": {{{}}}}}",
+            cs.join(", ")
+        ))
+        .expect("test doc parses")
+    }
+
+    #[test]
+    fn prof_overhead_ceiling_trips_on_full_obs_runs_only() {
+        let base = doc("full", true, &[]);
+        let hot = doc("full", true, &[("prof_overhead_ratio", 6.0)]);
+        let r = regressions(&base, &hot);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("above ceiling"), "{r:?}");
+        let fine = doc("full", true, &[("prof_overhead_ratio", 1.4)]);
+        assert!(regressions(&base, &fine).is_empty());
+        // Without obs the ratio measures something else: not gated.
+        let no_obs = doc("full", false, &[("prof_overhead_ratio", 6.0)]);
+        assert!(regressions(&doc("full", false, &[]), &no_obs).is_empty());
+        // Smoke problems are fixed-cost-dominated: not gated.
+        let smoke = doc("smoke", true, &[("prof_overhead_ratio", 6.0)]);
+        assert!(regressions(&doc("smoke", true, &[]), &smoke).is_empty());
+    }
+
+    #[test]
+    fn explain_ranks_counter_deltas_by_relative_change() {
+        let base = doc_counters(
+            true,
+            true,
+            &[
+                ("sve_instrs", 1000),
+                ("port_fla", 100),
+                ("bytes_loaded", 4000),
+                ("gather_elems", 10),
+                ("fexpa_issues", 50),
+                ("port_br", 7),
+                ("scatter_elems", 10),
+            ],
+        );
+        // gate flips false (a regression) and six counters move; only the
+        // top five largest relative movers may be reported.
+        let cur = doc_counters(
+            true,
+            false,
+            &[
+                ("sve_instrs", 1100),   // +10%
+                ("port_fla", 300),      // +200%  <- biggest
+                ("bytes_loaded", 2000), // -50%
+                ("gather_elems", 18),   // +80%
+                ("fexpa_issues", 75),   // +50%
+                ("port_br", 0),         // -100%
+                ("scatter_elems", 10),  // unchanged: never listed
+            ],
+        );
+        let v = diff_file("BENCH_t.json", &base, &cur, 0.5);
+        assert!(!v.regressions.is_empty(), "gate flip must regress");
+        assert_eq!(v.explain.len(), EXPLAIN_TOP_N, "{:?}", v.explain);
+        assert!(v.explain[0].starts_with("port_fla:"), "{:?}", v.explain);
+        assert!(v.explain[0].contains("+200.0%"), "{:?}", v.explain);
+        assert!(v.explain[1].starts_with("port_br:"), "{:?}", v.explain);
+        // The +10% mover is rank six of six: cut by the top-5 truncation.
+        assert!(
+            !v.explain.iter().any(|l| l.starts_with("sve_instrs")),
+            "{:?}",
+            v.explain
+        );
+        assert!(
+            !v.explain.iter().any(|l| l.starts_with("scatter_elems")),
+            "{:?}",
+            v.explain
+        );
+    }
+
+    #[test]
+    fn explain_is_empty_for_a_clean_file() {
+        let base = doc_counters(true, true, &[("sve_instrs", 1000)]);
+        let cur = doc_counters(true, true, &[("sve_instrs", 2000)]);
+        // Counter drift alone is a regression only via EXACT_COUNTERS in
+        // matched-mode — which it is here, so check a truly clean pair.
+        let clean = diff_file("BENCH_t.json", &base, &base.clone(), 0.5);
+        assert!(clean.regressions.is_empty());
+        assert!(clean.explain.is_empty());
+        // And when the drift does regress, the explanation names it.
+        let v = diff_file("BENCH_t.json", &base, &cur, 0.5);
+        assert!(!v.regressions.is_empty());
+        assert!(v.explain[0].starts_with("sve_instrs:"), "{:?}", v.explain);
+    }
+
+    #[test]
+    fn inject_regression_doubles_counters_and_blows_the_overhead_ceiling() {
+        let mut cur = Json::parse(
+            "{\"schema\": \"ookami-bench-v1\", \"probe\": \"t\", \"mode\": \"full\", \
+             \"obs_enabled\": true, \
+             \"metrics\": {\"prof_overhead_ratio\": 1.2, \"host_cores\": 8}, \
+             \"flags\": {\"gate\": true}, \
+             \"counters\": {\"sve_instrs\": 500, \"forked_regions\": 9}}",
+        )
+        .expect("test doc parses");
+        let base = cur.clone();
+        inject_regression(&mut cur);
+        let m = num_metrics(&cur);
+        assert!((m["prof_overhead_ratio"] - 12.0).abs() < 1e-9, "{m:?}");
+        let c = counters(&cur);
+        assert_eq!(c["sve_instrs"], 1000, "exact counters double");
+        assert_eq!(c["forked_regions"], 9, "non-gated counters untouched");
+        let v = diff_file("BENCH_t.json", &base, &cur, 0.5);
+        assert!(
+            v.regressions.iter().any(|r| r.contains("above ceiling")),
+            "{:?}",
+            v.regressions
+        );
+        assert!(
+            v.explain.iter().any(|l| l.starts_with("sve_instrs:")),
+            "--explain must rank the doubled counter: {:?}",
+            v.explain
         );
     }
 

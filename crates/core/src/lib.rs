@@ -21,6 +21,12 @@
 //!   trace-event exporter (span begin/end, pool fork/join/chunk/barrier,
 //!   periodic counter samples), plus [`obs::derive`] — the roofline /
 //!   derived-metrics engine built on the counter snapshots;
+//! * [`telemetry`] — the live-observation layer on top of `obs` and
+//!   `timeline`: lock-free log-bucketed latency histograms, the span-tree
+//!   profiler with flamegraph (collapsed-stack) export
+//!   ([`telemetry::spantree`]), continuous sampling sessions, and the
+//!   dependency-free HTTP endpoint ([`telemetry::serve`]) behind
+//!   `ookamiserve`'s `/metrics`, `/profile` and `/trace`;
 //! * [`stats`] — mean/stddev/median helpers (the paper's error bars).
 
 // Every `unsafe` operation must sit in an explicit `unsafe { }` block with
@@ -35,6 +41,7 @@ pub mod profile;
 pub mod runtime;
 pub mod scratch;
 pub mod stats;
+pub mod telemetry;
 pub mod timeline;
 
 pub use measure::{Measurement, Table};

@@ -101,6 +101,13 @@ pub enum Counter {
     ItersDynamic,
     /// Iterations executed under a `Guided` schedule.
     ItersGuided,
+    /// Timeline ring events overwritten by drop-oldest in the current
+    /// recording session. Not a thread-block counter: [`snapshot`] injects
+    /// it from [`crate::timeline::stats`] so Prometheus exposition and
+    /// BENCH reports carry truncation first-class. [`thread_snapshot`]
+    /// leaves it 0 (it is a session-global quantity, and the executor
+    /// counter-identity gates compare thread snapshots).
+    TimelineDroppedEvents,
 }
 
 /// Every counter, in export order.
@@ -131,10 +138,11 @@ pub const COUNTERS: [Counter; Counter::COUNT] = [
     Counter::ItersStatic,
     Counter::ItersDynamic,
     Counter::ItersGuided,
+    Counter::TimelineDroppedEvents,
 ];
 
 impl Counter {
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 27;
 
     /// Stable snake_case export name (JSON keys, Prometheus labels).
     pub fn name(self) -> &'static str {
@@ -165,6 +173,7 @@ impl Counter {
             Counter::ItersStatic => "iters_static",
             Counter::ItersDynamic => "iters_dynamic",
             Counter::ItersGuided => "iters_guided",
+            Counter::TimelineDroppedEvents => "timeline_dropped_events",
         }
     }
 
@@ -323,11 +332,20 @@ mod imp {
 
     pub fn snapshot() -> Snapshot {
         let mut s = Snapshot::zero();
-        for block in REGISTRY.lock().iter() {
-            for (i, v) in block.vals.iter().enumerate() {
-                s.vals[i] += v.load(Ordering::Relaxed);
+        {
+            let registry = REGISTRY.lock();
+            for block in registry.iter() {
+                for (i, v) in block.vals.iter().enumerate() {
+                    s.vals[i] += v.load(Ordering::Relaxed);
+                }
             }
         }
+        // Session-global injected counter (satellite of the telemetry PR):
+        // drop-oldest truncation is surfaced like any other counter.
+        s.set(
+            Counter::TimelineDroppedEvents,
+            crate::timeline::stats().events_dropped,
+        );
         s
     }
 
@@ -348,6 +366,7 @@ mod imp {
             }
         }
         SPANS.lock().clear();
+        crate::telemetry::reset();
     }
 
     /// RAII span guard; see [`super::region`].
@@ -387,6 +406,7 @@ mod imp {
             let delta = super::snapshot().since(&self.open_snap);
             SPAN_PATH.with(|p| {
                 let mut p = p.borrow_mut();
+                crate::telemetry::record(crate::telemetry::HistKind::RegionLatencyNs, &p, ns);
                 let entry_path = p.clone();
                 {
                     let mut spans = SPANS.lock();
@@ -500,7 +520,8 @@ pub fn thread_snapshot() -> Snapshot {
     imp::thread_snapshot()
 }
 
-/// Zero every thread's counters and clear the span registry.
+/// Zero every thread's counters, clear the span registry, and zero the
+/// telemetry histograms.
 pub fn reset() {
     imp::reset();
 }
@@ -690,7 +711,7 @@ impl BenchReport {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut o = String::with_capacity(s.len() + 2);
     o.push('"');
     for c in s.chars() {

@@ -522,6 +522,9 @@ mod imp {
         let rings = current_rings();
         let names: Vec<String> = intern_table().lock().names.clone();
         let name_of = |id: u64| -> &str { names.get(id as usize).map_or("?", |s| s.as_str()) };
+        // Stats are taken once, before the rings are read, so the
+        // truncation annotation and otherData describe the same instant.
+        let s = stats();
 
         let mut out = String::from("{\"traceEvents\":[");
         let _ = write!(
@@ -529,6 +532,17 @@ mod imp {
             "\n  {{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{{\"name\":\"ookami\"}}}}"
         );
         let mut first = false;
+        if s.events_dropped > 0 {
+            // Truncated session: say so *inside* the trace (a global
+            // instant event Perfetto renders), not just in otherData —
+            // a partial trace must never pass as a complete one.
+            let _ = write!(
+                out,
+                ",\n  {{\"name\":\"timeline_truncated\",\"cat\":\"meta\",\"ph\":\"i\",\"ts\":0.000,\
+                 \"pid\":1,\"tid\":0,\"s\":\"g\",\"args\":{{\"events_dropped\":{}}}}}",
+                s.events_dropped
+            );
+        }
 
         let mut total_spans_closed = 0u64;
         let mut orphan_ends = 0u64;
@@ -664,11 +678,13 @@ mod imp {
             }
         }
 
-        let s = stats();
         let _ = write!(
             out,
-            "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{{\"threads\":{},\"events_retained\":{},\"events_dropped\":{},\"spans_closed\":{total_spans_closed},\"orphan_span_ends\":{orphan_ends}}}\n}}\n",
-            s.threads, s.events_retained, s.events_dropped
+            "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{{\"threads\":{},\"events_retained\":{},\"events_dropped\":{},\"truncated\":{},\"spans_closed\":{total_spans_closed},\"orphan_span_ends\":{orphan_ends}}}\n}}\n",
+            s.threads,
+            s.events_retained,
+            s.events_dropped,
+            s.events_dropped > 0
         );
         out
     }
@@ -771,7 +787,7 @@ mod imp {
     }
 
     pub fn export_chrome_trace() -> String {
-        "{\"traceEvents\":[],\n\"otherData\":{\"threads\":0,\"events_retained\":0,\"events_dropped\":0}\n}\n"
+        "{\"traceEvents\":[],\n\"otherData\":{\"threads\":0,\"events_retained\":0,\"events_dropped\":0,\"truncated\":false}\n}\n"
             .to_string()
     }
 
@@ -1001,6 +1017,21 @@ mod tests {
         assert!(s.events_dropped > 0, "expected drop-oldest to engage");
         let doc = export_chrome_trace();
         let v = Json::parse(&doc).expect("trace must parse");
+        // Truncated sessions must be annotated, not silently partial: an
+        // in-trace instant event plus the otherData flag.
+        match v.get("otherData").and_then(|o| o.get("truncated")) {
+            Some(Json::Bool(true)) => {}
+            other => panic!("otherData.truncated must be true, got {other:?}"),
+        }
+        if let Some(Json::Arr(events)) = v.get("traceEvents") {
+            assert!(
+                events.iter().any(|e| matches!(
+                    e.get("name"),
+                    Some(Json::Str(n)) if n == "timeline_truncated"
+                )),
+                "truncated trace must carry the timeline_truncated marker"
+            );
+        }
         if let Some(Json::Arr(events)) = v.get("traceEvents") {
             // Per-tid B/E discipline must survive the dropped prefix.
             let mut depth = std::collections::BTreeMap::<i64, i64>::new();

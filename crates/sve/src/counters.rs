@@ -39,7 +39,11 @@ thread_local! {
 
 /// Every `SAMPLE_PERIOD` retired instructions, drop a sample of this
 /// thread's cumulative hot counters into the timeline (Chrome `C` counter
-/// tracks). A pure observation: counter totals are unaffected.
+/// tracks) and publish the realized sample interval into the
+/// `sample_interval_instrs` telemetry histogram (the intervals overshoot
+/// `SAMPLE_PERIOD` by up to one bulk call's worth — the histogram makes
+/// that skid observable on `/metrics`). A pure observation: counter
+/// totals are unaffected.
 #[inline]
 fn maybe_sample(instrs: u64) {
     #[cfg(feature = "obs")]
@@ -51,13 +55,13 @@ fn maybe_sample(instrs: u64) {
             let v = s.get() + instrs;
             if v >= SAMPLE_PERIOD {
                 s.set(0);
-                true
+                Some(v)
             } else {
                 s.set(v);
-                false
+                None
             }
         });
-        if due {
+        if let Some(interval) = due {
             let snap = obs::thread_snapshot();
             for c in [
                 Counter::SveInstrs,
@@ -68,6 +72,11 @@ fn maybe_sample(instrs: u64) {
             ] {
                 timeline::counter_sample(c, snap.get(c));
             }
+            ookami_core::telemetry::record(
+                ookami_core::telemetry::HistKind::SampleInstrs,
+                "sve",
+                interval,
+            );
         }
     }
     #[cfg(not(feature = "obs"))]

@@ -58,16 +58,43 @@ echo "== counter-layer smoke (ookamistat --smoke, obs on) + trace + schema check
 cargo run -p ookami-bench --features obs --bin ookamistat --release -- --smoke --trace target/trace.json
 cargo run -p ookami-bench --bin report --release -- --validate BENCH_obs.json
 
+echo "== span-tree profiler smoke (ookamiprof --smoke, both obs modes)"
+# With obs the probe asserts histogram counts, span-tree counts, and the
+# 13 deterministic counters agree across interpreter/replayer/compiled,
+# and exports the collapsed flamegraph stacks; without obs it must still
+# produce a schema-valid report from the no-op telemetry layer.
+cargo run -p ookami-bench --bin ookamiprof --release -- --smoke
+cargo run -p ookami-bench --features obs --bin ookamiprof --release -- --smoke
+cargo run -p ookami-bench --bin report --release -- --validate BENCH_prof.json
+test -s target/PROFILE.collapsed
+
+echo "== live HTTP endpoint selfcheck (ookamiserve --selfcheck, both obs modes)"
+# Binds an ephemeral port, runs a bounded workload, and validates every
+# endpoint (/metrics /profile /trace /samples /bench/<name>) with the
+# in-repo Prometheus/Json/collapsed-stack parsers over real HTTP.
+cargo run -p ookami-bench --bin ookamiserve --release -- --selfcheck --smoke
+cargo run -p ookami-bench --features obs --bin ookamiserve --release -- --selfcheck --smoke
+
 echo "== bench-trajectory gate (benchdiff vs committed baselines)"
 cargo run -p ookami-bench --features obs --bin benchdiff --release -- \
   --baseline "$baseline_dir" --current . --out target/BENCHDIFF.json
-# Self-test: an injected synthetic regression must trip the gate (exit 1).
+# Self-test: an injected synthetic regression must trip the gate (exit 1)
+# and --explain must rank the counter deltas that caused it.
+inject_out="$(mktemp)"
 if cargo run -p ookami-bench --features obs --bin benchdiff --release -- \
   --baseline "$baseline_dir" --current . --out target/BENCHDIFF.inject.json \
-  --inject-regression >/dev/null 2>&1; then
+  --inject-regression --explain >"$inject_out" 2>&1; then
   echo "benchdiff failed to flag an injected regression" >&2
+  rm -f "$inject_out"
   exit 1
 fi
+if ! grep -q "top counter deltas vs baseline" "$inject_out"; then
+  echo "benchdiff --explain produced no counter-delta ranking" >&2
+  cat "$inject_out" >&2
+  rm -f "$inject_out"
+  exit 1
+fi
+rm -f "$inject_out"
 # Leave the working tree as committed: the probe smokes overwrote the
 # full-mode baselines with their small-problem numbers.
 cp "$baseline_dir"/BENCH_*.json .

@@ -31,8 +31,8 @@ fn committed_bench_files() -> Vec<std::path::PathBuf> {
 fn every_committed_bench_file_validates() {
     let files = committed_bench_files();
     assert!(
-        files.len() >= 7,
-        "expected the seven committed baselines, found {files:?}"
+        files.len() >= 8,
+        "expected the eight committed baselines, found {files:?}"
     );
     for path in &files {
         let text = std::fs::read_to_string(path)
@@ -68,6 +68,49 @@ fn committed_bench_files_reparse_with_counters_intact() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn prof_baseline_carries_quantiles_and_the_overhead_ratio() {
+    // The profiler probe's committed claims: per-executor p50/p99 region
+    // latencies (the live-telemetry histogram layer works end to end) and
+    // the profiling-overhead ratio that `benchdiff` ceiling-gates. The
+    // identity flags must all read true — they assert that histogram
+    // counts, span-tree counts, and the deterministic counters agree
+    // across interpreter, replayer, and compiled executors.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_prof.json");
+    let doc = Json::parse(&std::fs::read_to_string(&path).expect("BENCH_prof.json committed"))
+        .expect("BENCH_prof.json parses");
+    let Some(Json::Obj(metrics)) = doc.get("metrics") else {
+        panic!("BENCH_prof.json has no metrics object");
+    };
+    for key in [
+        "prof_overhead_ratio",
+        "interp_p50_ns",
+        "interp_p99_ns",
+        "replay_p50_ns",
+        "replay_p99_ns",
+        "compiled_p50_ns",
+        "compiled_p99_ns",
+        "host_cores",
+    ] {
+        assert!(metrics.contains_key(key), "BENCH_prof.json missing `{key}`");
+    }
+    let Some(Json::Obj(flags)) = doc.get("flags") else {
+        panic!("BENCH_prof.json has no flags object");
+    };
+    for key in [
+        "hist_counts_identical",
+        "spantree_counts_identical",
+        "counters_identical",
+        "gate",
+    ] {
+        assert_eq!(
+            flags.get(key),
+            Some(&Json::Str("true".into())),
+            "BENCH_prof.json flag `{key}` must be true"
+        );
     }
 }
 
