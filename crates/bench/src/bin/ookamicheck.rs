@@ -1,22 +1,29 @@
 //! `ookamicheck` — the repo's static-analysis gate: run the
 //! `ookami-check` verifier over the shipped traces of every workload
-//! family, replay the mutation corpus, and race-check the pool runtime.
-//! Run with:
+//! family (as recorded, `+opt`, and `+lowered`), replay the mutation
+//! corpus, race-check the pool runtime, and (under `--tv`) prove every
+//! family trace through the trace compiler's pass pipeline with the
+//! translation validator. Run with:
 //!
 //! ```text
 //! cargo run -p ookami-bench --bin ookamicheck --release [-- --mutations]
+//! cargo run -p ookami-bench --bin ookamicheck --release -- --tv
 //! ```
 //!
 //! Exit is nonzero if any shipped trace reports a diagnostic, any corpus
-//! or trace mutant is mis-judged, or any pool race is found. Without
-//! `--features obs` the real-kernel race gate is skipped with a visible
-//! notice (timeline events only record with obs); the `--inject-race`
-//! self-test is feature-independent and *exits 1 when the injected race
-//! is flagged* — the caller inverts it, mirroring `benchdiff
+//! or trace mutant is mis-judged, any TV pass transition fails to prove,
+//! or any pool race is found. Without `--features obs` the real-kernel
+//! race gate is skipped with a visible notice (timeline events only
+//! record with obs); the `--inject-race` / `--inject-tv` self-tests are
+//! feature-independent and *exit 1 when the injected defect is flagged*
+//! — the caller inverts them, mirroring `benchdiff
 //! --inject-regression`.
 
 use ookami_bench::family;
-use ookami_check::{detect_races, injected_race_events, render_all, to_json, verify, Program};
+use ookami_check::{
+    detect_races, injected_race_events, injected_sampler_race_events, render_all, to_json,
+    validate_trace, verify, MutantVerdict, Program,
+};
 use ookami_core::obs::Json;
 use ookami_core::{timeline, Schedule};
 use ookami_loops::emulated as loops_em;
@@ -26,18 +33,30 @@ use ookami_vecmath::{exp_trace, ExpVariant};
 
 fn usage() -> ! {
     println!(
-        "ookamicheck — static verifier + race detector gate\n\
+        "ookamicheck — static verifier + translation validator + race gate\n\
          \n\
-         usage: ookamicheck [--mutations] [--inject-race] [--json <path>] [--help]\n\
+         usage: ookamicheck [--mutations] [--tv] [--inject-race]\n\
+         \x20                [--inject-sampler-race] [--inject-tv]\n\
+         \x20                [--json <path>] [--help]\n\
          \n\
          options:\n\
            --mutations     also replay the golden corpus and trace-mutation\n\
                            self-tests (every broken stream must be rejected\n\
                            with its expected code)\n\
+           --tv            run the translation validator instead: prove every\n\
+                           family trace pass-by-pass through the compiler\n\
+                           pipeline, plus the 24-seed mutation self-test\n\
+                           (report goes to --json, default\n\
+                           target/OOKAMICHECK.tv.json)\n\
            --inject-race   feed the detector a synthetic overlapping-write\n\
                            stream; exits 1 when the race is flagged (the\n\
                            caller inverts this, like benchdiff's\n\
                            --inject-regression)\n\
+           --inject-sampler-race\n\
+                           same, with a telemetry-actor stream: one sampler\n\
+                           ring slot written by two unordered threads\n\
+           --inject-tv     feed the validator a trail with a tampered stage;\n\
+                           exits 1 when TV rejects it (caller inverts)\n\
            --json <path>   machine-readable report (default\n\
                            target/OOKAMICHECK.json)\n\
            --help          this text"
@@ -45,18 +64,15 @@ fn usage() -> ! {
     std::process::exit(0)
 }
 
-/// Every shipped trace the verifier gates, one per workload-family
-/// kernel: Section III loops, Section IV exp, the Monte Carlo example,
-/// and the NPB/LULESH/HPCC model kernels. Each trace is verified twice:
-/// as recorded, and after the trace compiler's pass pipeline
-/// ([`Trace::optimized`], the `+opt` rows) — an optimizer pass that broke
-/// SSA wiring, predicate safety, or operand domains would turn its `+opt`
-/// form DIRTY right here.
-fn shipped_programs() -> Vec<Program> {
+/// Every shipped workload-family trace, one per kernel: Section III
+/// loops, Section IV exp, the Monte Carlo example, and the
+/// NPB/LULESH/HPCC model kernels. Shared by the static-verifier gate and
+/// the translation-validation gate (`--tv`).
+fn family_traces() -> Vec<(&'static str, Trace)> {
     let vl = 8;
     let tab: Vec<f64> = (0..128).map(|i| f64::from(i) * 0.5).collect();
     let mut scratch = vec![0.0f64; 128];
-    let traces: Vec<(&str, Trace)> = vec![
+    vec![
         // -- loops (Section III) --
         ("loops_simple", loops_em::simple_trace(vl)),
         ("loops_predicate", loops_em::predicate_trace(vl).0),
@@ -87,11 +103,27 @@ fn shipped_programs() -> Vec<Program> {
         ("stream_triad", family::stream_triad_trace(vl)),
         ("stencil4", family::stencil4_trace(vl)),
         ("stencil7", family::stencil7_trace(vl)),
-    ];
+    ]
+}
+
+/// Each family trace is verified three ways: as recorded (`Traced` SSA
+/// convention), after the trace compiler's pass pipeline
+/// ([`Trace::optimized`], the `+opt` rows — an optimizer pass that broke
+/// SSA wiring, predicate safety, or operand domains would turn its `+opt`
+/// form DIRTY right here), and as the lowered `to_instrs` stream
+/// (`+lowered` rows, non-SSA `Lowered` convention) with the trace's
+/// constant and table facts attached — so the `OC0004` bounds pass also
+/// covers the instruction stream the cache/pipeline simulators consume.
+fn shipped_programs() -> Vec<Program> {
     let mut out = Vec::new();
-    for (name, t) in &traces {
+    for (name, t) in &family_traces() {
         out.push(Program::from_trace(name, t));
         out.push(Program::from_trace(&format!("{name}+opt"), &t.optimized()));
+        let info = t.analysis();
+        let mut low = Program::from_stream(&format!("{name}+lowered"), info.body);
+        low.const_lanes = info.const_lanes;
+        low.table_len = info.table_len;
+        out.push(low);
     }
     out
 }
@@ -238,11 +270,144 @@ fn run_mutations() -> usize {
     failures
 }
 
-/// Record a real pool run (all three schedules + a trace replay) and
-/// race-check its timeline. Returns (events, races) — only meaningful
-/// with obs compiled in.
+/// The translation-validation gate (`--tv`): prove every family trace
+/// pass-by-pass through the compiler pipeline, then challenge the
+/// validator with 24 mutated intermediate stages per map-able base —
+/// every mutant must be rejected by TV or observably divergent in
+/// replay. Returns the failure count and writes the
+/// `ookamicheck-tv-v1` JSON report.
+fn run_tv(json_path: &str) -> usize {
+    let mut failures = 0usize;
+    println!("== ookamicheck: translation validator ==");
+    println!(
+        "{:>22}  {:>6}  {:>8}  {:>8}",
+        "trace", "stages", "counters", "verdict"
+    );
+    let mut entries = Vec::new();
+    for (name, t) in &family_traces() {
+        let r = validate_trace(name, t);
+        let ok = r.is_ok();
+        println!(
+            "{:>22}  {:>6}  {:>8}  {:>8}",
+            name,
+            r.stages.len(),
+            if r.counters_checked {
+                "proved"
+            } else {
+                "skipped"
+            },
+            if ok { "proved" } else { "FAILED" }
+        );
+        if !ok {
+            for s in &r.stages {
+                if !s.diags.is_empty() {
+                    eprint!("{}", render_all(&s.program, &s.diags));
+                }
+            }
+            for d in &r.counter_diags {
+                eprintln!("{name}: counters: {}", d.message);
+            }
+            failures += 1;
+        }
+        entries.push(format!(
+            "{{\"trace\": \"{name}\", \"errors\": {}, \"counters_checked\": {}}}",
+            r.errors(),
+            r.counters_checked
+        ));
+    }
+
+    println!("-- tv mutation self-test (24 seeds per base) --");
+    let bases: Vec<(&str, Trace)> = vec![
+        ("loops_simple", loops_em::simple_trace(8)),
+        (
+            "exp_fexpa_corrected",
+            exp_trace(8, ExpVariant::FexpaEstrinCorrected),
+        ),
+    ];
+    let mut challenges = Vec::new();
+    for (name, base) in &bases {
+        let trail = base.pass_trail();
+        let (mut rejected, mut divergent) = (0usize, 0usize);
+        for seed in 0..24u64 {
+            match ookami_check::tv::challenge(&trail, seed) {
+                MutantVerdict::Rejected => rejected += 1,
+                MutantVerdict::Divergent => divergent += 1,
+                MutantVerdict::Missed => {
+                    eprintln!("{name}: TV accepted a bit-identical mutated stage, seed={seed}");
+                    failures += 1;
+                }
+            }
+        }
+        println!("{name:>22}  {rejected} rejected, {divergent} divergent");
+        challenges.push(format!(
+            "{{\"base\": \"{name}\", \"rejected\": {rejected}, \"divergent\": {divergent}}}"
+        ));
+    }
+
+    let doc = format!(
+        "{{\n\"schema\": \"ookamicheck-tv-v1\",\n\"traces\": [\n{}\n],\n\"challenge\": [\n{}\n],\n\"failures\": {failures}\n}}\n",
+        entries.join(",\n"),
+        challenges.join(",\n")
+    );
+    Json::parse(&doc).expect("ookamicheck TV report must be valid JSON");
+    if let Some(dir) = std::path::Path::new(json_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(json_path, &doc).expect("write TV report");
+    println!("wrote {json_path}");
+    failures
+}
+
+/// The `--inject-tv` self-test: tamper a known-good trail two ways — a
+/// structurally broken intermediate stage and an off-by-one static
+/// counter snapshot — and exit 1 only if the validator flags both (the
+/// caller inverts, like `--inject-race`).
+fn run_inject_tv() -> i32 {
+    let trail = loops_em::simple_trace(8).pass_trail();
+    // Structural: a double-def mutation of the pred_simplify stage.
+    let structural = ookami_check::tv::challenge(&trail, 1);
+    if structural != MutantVerdict::Rejected {
+        eprintln!("inject-tv: validator missed the mutated stage ({structural:?})");
+        return 0; // caller treats exit 0 as THE failure
+    }
+    // Counter recipe: bump one static counter in the emission plan.
+    let mut tampered = trail.clone();
+    let Some(plan) = tampered.plan.as_mut() else {
+        eprintln!("inject-tv: base trace unexpectedly has no native plan");
+        return 0;
+    };
+    let c = ookami_core::obs::Counter::SveInstrs;
+    plan.acct_static.set(c, plan.acct_static.get(c) + 1);
+    match ookami_check::tv::verify_counters(&tampered) {
+        Some(diags) if diags.iter().any(ookami_check::Diag::is_error) => {
+            for d in &diags {
+                println!("inject-tv: flagged {}: {}", d.code.as_str(), d.message);
+            }
+            println!("inject-tv: flagged the mutated stage and the counter tamper");
+            1
+        }
+        other => {
+            eprintln!("inject-tv: counter tamper not flagged ({other:?})");
+            0
+        }
+    }
+}
+
+/// Record a real pool run (all three schedules + a trace replay) with
+/// the telemetry actors live — a background `Sampler` thread and
+/// `serve` connection threads — and race-check its timeline. The actor
+/// fork/write/join events those background threads emit must all prove
+/// ordered. Returns (events, races) — only meaningful with obs
+/// compiled in.
 fn race_check_kernels() -> (usize, usize) {
     timeline::start(timeline::DEFAULT_CAPACITY);
+    // Background telemetry actors run *during* the pool workload, so
+    // their timeline events interleave with the fork/join protocol.
+    let mut sampler =
+        ookami_core::telemetry::Sampler::start(std::time::Duration::from_millis(5), 8);
+    let server =
+        ookami_core::telemetry::serve::spawn_in("127.0.0.1:0", std::path::PathBuf::from("target"))
+            .ok();
     let n = 10_000;
     let mut buf = vec![0.0f64; n];
     for sched in [
@@ -259,8 +424,31 @@ fn race_check_kernels() -> (usize, usize) {
     // A trace replay drives the pool through the static path once more.
     let xs: Vec<f64> = (0..4096).map(|i| f64::from(i) * 1.0e-3).collect();
     std::hint::black_box(loops_em::simple_trace(8).par_map(4, &xs));
+    sampler.force_sample();
+    if let Some(srv) = &server {
+        // Two requests → two connection actors in the event stream.
+        for path in ["/metrics", "/samples"] {
+            let _ = ookami_core::telemetry::serve::http_get(srv.addr(), path);
+        }
+    }
+    if let Some(srv) = server {
+        srv.stop();
+    }
+    sampler.stop();
     timeline::stop();
     let events = timeline::export_events();
+    let actor_events = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.payload,
+                timeline::EventPayload::ActorFork { .. }
+                    | timeline::EventPayload::ActorWrite { .. }
+                    | timeline::EventPayload::ActorJoin { .. }
+            )
+        })
+        .count();
+    println!("telemetry actors: {actor_events} fork/write/join event(s) in the stream");
     let races = detect_races(&events);
     for r in &races {
         eprintln!("race: {r}");
@@ -271,16 +459,22 @@ fn race_check_kernels() -> (usize, usize) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mutations = false;
+    let mut tv = false;
     let mut inject_race = false;
-    let mut json_path = String::from("target/OOKAMICHECK.json");
+    let mut inject_sampler_race = false;
+    let mut inject_tv = false;
+    let mut json_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--mutations" => mutations = true,
+            "--tv" => tv = true,
             "--inject-race" => inject_race = true,
+            "--inject-sampler-race" => inject_sampler_race = true,
+            "--inject-tv" => inject_tv = true,
             "--json" => {
                 if let Some(p) = it.next() {
-                    json_path.clone_from(p);
+                    json_path = Some(p.clone());
                 } else {
                     eprintln!("error: --json needs a path argument");
                     std::process::exit(2);
@@ -294,6 +488,22 @@ fn main() {
         }
     }
 
+    if inject_tv {
+        std::process::exit(run_inject_tv());
+    }
+
+    if tv {
+        let path = json_path.unwrap_or_else(|| String::from("target/OOKAMICHECK.tv.json"));
+        let failures = run_tv(&path);
+        if failures > 0 {
+            eprintln!("ookamicheck: {failures} TV gate failure(s)");
+            std::process::exit(1);
+        }
+        println!("ookamicheck --tv: all pass transitions proved");
+        return;
+    }
+    let json_path = json_path.unwrap_or_else(|| String::from("target/OOKAMICHECK.json"));
+
     if inject_race {
         let races = detect_races(&injected_race_events());
         if races.is_empty() {
@@ -302,6 +512,18 @@ fn main() {
         }
         for r in &races {
             println!("inject-race: flagged {r}");
+        }
+        std::process::exit(1);
+    }
+
+    if inject_sampler_race {
+        let races = detect_races(&injected_sampler_race_events());
+        if races.is_empty() {
+            eprintln!("inject-sampler-race: detector missed the unordered actor writes");
+            std::process::exit(0); // caller treats exit 0 as THE failure
+        }
+        for r in &races {
+            println!("inject-sampler-race: flagged {r}");
         }
         std::process::exit(1);
     }
@@ -372,4 +594,54 @@ fn main() {
         std::process::exit(1);
     }
     println!("ookamicheck: all gates clean");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Exit-code behavior of the TV gate, tested through the same
+    // functions `main` dispatches to (0 failures == exit 0).
+    #[test]
+    fn tv_gate_proves_every_family_and_json_parses() {
+        let path = std::env::temp_dir().join("test-ookamicheck-tv.json");
+        let path = path.to_str().expect("temp path is utf-8");
+        assert_eq!(run_tv(path), 0);
+        let doc = std::fs::read_to_string(path).expect("TV report written");
+        let v = Json::parse(&doc).expect("TV report parses");
+        match v.get("schema") {
+            Some(Json::Str(s)) => assert_eq!(s, "ookamicheck-tv-v1"),
+            other => panic!("bad schema field: {other:?}"),
+        }
+        match v.get("failures") {
+            Some(Json::Num(n)) => assert_eq!(*n, 0.0),
+            other => panic!("bad failures field: {other:?}"),
+        }
+        match v.get("traces") {
+            Some(Json::Arr(a)) => assert_eq!(a.len(), family_traces().len()),
+            other => panic!("bad traces field: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inject_tv_flags_both_tampers() {
+        // Exit 1 = both injected defects flagged; the gate script inverts.
+        assert_eq!(run_inject_tv(), 1);
+    }
+
+    #[test]
+    fn lowered_variants_carry_bounds_facts() {
+        // The +lowered programs must keep the table/constant facts that
+        // make the OC0004 pass meaningful on non-SSA streams.
+        let programs = shipped_programs();
+        let with_tables = programs
+            .iter()
+            .filter(|p| p.name.ends_with("+lowered"))
+            .filter(|p| p.table_len.iter().any(Option::is_some))
+            .count();
+        assert!(
+            with_tables >= 4,
+            "only {with_tables} lowered programs kept table facts"
+        );
+    }
 }

@@ -65,6 +65,66 @@ fn validate_ookamicheck_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Shape-check an `ookamicheck-tv-v1` document (written by `ookamicheck
+/// --tv`): per-trace translation-validation outcomes plus the mutation
+/// self-test tallies.
+fn validate_ookamicheck_tv_json(text: &str) -> Result<(), String> {
+    use ookami_core::obs::Json;
+    let v = Json::parse(text)?;
+    let Json::Obj(obj) = &v else {
+        return Err("top level must be an object".to_string());
+    };
+    let Some(Json::Arr(traces)) = obj.get("traces") else {
+        return Err("`traces` must be an array".to_string());
+    };
+    for (i, t) in traces.iter().enumerate() {
+        let Json::Obj(m) = t else {
+            return Err(format!("`traces[{i}]` must be an object"));
+        };
+        match m.get("trace") {
+            Some(Json::Str(s)) if !s.is_empty() => {}
+            _ => return Err(format!("`traces[{i}].trace` must be a non-empty string")),
+        }
+        match m.get("errors") {
+            Some(Json::Num(n)) if *n >= 0.0 => {}
+            _ => {
+                return Err(format!(
+                    "`traces[{i}].errors` must be a non-negative number"
+                ))
+            }
+        }
+        if !matches!(m.get("counters_checked"), Some(Json::Bool(_))) {
+            return Err(format!("`traces[{i}].counters_checked` must be a bool"));
+        }
+    }
+    let Some(Json::Arr(challenge)) = obj.get("challenge") else {
+        return Err("`challenge` must be an array".to_string());
+    };
+    for (i, c) in challenge.iter().enumerate() {
+        let Json::Obj(m) = c else {
+            return Err(format!("`challenge[{i}]` must be an object"));
+        };
+        match m.get("base") {
+            Some(Json::Str(s)) if !s.is_empty() => {}
+            _ => return Err(format!("`challenge[{i}].base` must be a non-empty string")),
+        }
+        for key in ["rejected", "divergent"] {
+            match m.get(key) {
+                Some(Json::Num(n)) if *n >= 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "`challenge[{i}].{key}` must be a non-negative number"
+                    ))
+                }
+            }
+        }
+    }
+    if !matches!(obj.get("failures"), Some(Json::Num(_))) {
+        return Err("`failures` must be a number".to_string());
+    }
+    Ok(())
+}
+
 /// Dispatch on the document's `schema` tag so one `--validate` invocation
 /// covers every report kind the repo writes.
 fn validate_any(text: &str) -> Result<(), String> {
@@ -78,6 +138,7 @@ fn validate_any(text: &str) -> Result<(), String> {
     };
     match tag.as_str() {
         "ookamicheck-v1" => validate_ookamicheck_json(text),
+        "ookamicheck-tv-v1" => validate_ookamicheck_tv_json(text),
         _ => ookami_core::obs::validate_bench_json(text),
     }
 }

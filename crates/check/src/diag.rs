@@ -4,7 +4,15 @@
 //! Codes are stable across releases (golden corpus files assert them):
 //! `OC0xxx` are errors (the verifier's exit status is non-zero if any is
 //! present), `OC1xxx` are lints (warnings; the `ookamicheck` gate holds
-//! shipped traces to zero diagnostics of *either* class).
+//! shipped traces to zero diagnostics of *either* class), and `TVxxxx`
+//! are translation-validation failures from [`crate::tv`] (always
+//! errors: a pass changed observable behavior, or the validator could
+//! not prove it didn't).
+//!
+//! The full code table is embedded in DESIGN.md between
+//! `<!-- diag-code-table:begin -->` markers and rendered by
+//! [`code_table`]; a drift test fails when a code is added without a
+//! doc row.
 
 use crate::program::Program;
 
@@ -37,9 +45,51 @@ pub enum Code {
     RedundantPredicate,
     /// Lint: a vector-width op whose every in-body source is scalar.
     UnnecessaryWidening,
+    /// TV: an observable (output slot, tap, carry, effect operand, or a
+    /// defining op) differs between pass stages under the witness.
+    ObservableMismatch,
+    /// TV: the pass's slot-substitution or constant-fold witness cannot
+    /// be independently justified from the source stage.
+    WitnessBroken,
+    /// TV: a pass introduced a gather/scatter index-bounds violation
+    /// (OC0004) that the previous stage did not have.
+    IndexWidened,
+    /// TV: the independently re-derived static counter recipe differs
+    /// from the compiler's pre-folded block snapshot.
+    CounterRecipeMismatch,
+    /// TV: a pass weakened an abstract-domain fact at an observable —
+    /// a Bounded store predicate widened, or a canonical-quiet NaN
+    /// output became arbitrary.
+    LatticeWeakened,
+    /// TV: a source-stage effect (scatter, overhead, libm call) has no
+    /// target-stage counterpart.
+    EffectDropped,
+    /// TV: the target stage performs an effect the source never did.
+    EffectAdded,
 }
 
 impl Code {
+    /// Every stable code, in table order (OC errors, OC lints, TV).
+    pub const ALL: [Code; 17] = [
+        Code::UndefinedUse,
+        Code::DomainMismatch,
+        Code::WidthMismatch,
+        Code::OutOfBoundsIndex,
+        Code::MalformedArity,
+        Code::OverWidePredicate,
+        Code::DoubleDef,
+        Code::DeadDef,
+        Code::RedundantPredicate,
+        Code::UnnecessaryWidening,
+        Code::ObservableMismatch,
+        Code::WitnessBroken,
+        Code::IndexWidened,
+        Code::CounterRecipeMismatch,
+        Code::LatticeWeakened,
+        Code::EffectDropped,
+        Code::EffectAdded,
+    ];
+
     pub fn as_str(self) -> &'static str {
         match self {
             Code::UndefinedUse => "OC0001",
@@ -52,6 +102,13 @@ impl Code {
             Code::DeadDef => "OC1001",
             Code::RedundantPredicate => "OC1002",
             Code::UnnecessaryWidening => "OC1003",
+            Code::ObservableMismatch => "TV0001",
+            Code::WitnessBroken => "TV0002",
+            Code::IndexWidened => "TV0003",
+            Code::CounterRecipeMismatch => "TV0004",
+            Code::LatticeWeakened => "TV0005",
+            Code::EffectDropped => "TV0006",
+            Code::EffectAdded => "TV0007",
         }
     }
 
@@ -63,6 +120,59 @@ impl Code {
             _ => Severity::Error,
         }
     }
+
+    /// One-line meaning, the doc-table row text (drift-tested against
+    /// DESIGN.md).
+    pub fn doc(self) -> &'static str {
+        match self {
+            Code::UndefinedUse => "use of a register before any definition",
+            Code::DomainMismatch => "operand register in the wrong domain (vector vs predicate)",
+            Code::WidthMismatch => "instruction width differs from the stream's vector length",
+            Code::OutOfBoundsIndex => {
+                "gather/scatter index vector provably outside its bound table"
+            }
+            Code::MalformedArity => "operand count or destination malformed for the op class",
+            Code::OverWidePredicate => {
+                "memory write governed by a predicate possibly wider than the loop bound"
+            }
+            Code::DoubleDef => "register defined twice in an SSA stream",
+            Code::DeadDef => "body definition never used and not live-out",
+            Code::RedundantPredicate => "predicate recomputed from identical operands",
+            Code::UnnecessaryWidening => "vector-width op whose every input is scalar",
+            Code::ObservableMismatch => {
+                "pass stage changes an observable (output, tap, carry, effect, or defining op)"
+            }
+            Code::WitnessBroken => {
+                "pass witness (slot substitution or constant fold) cannot be re-proved"
+            }
+            Code::IndexWidened => "pass introduced an index-bounds violation the source lacked",
+            Code::CounterRecipeMismatch => {
+                "re-derived static counter recipe differs from the compiled snapshot"
+            }
+            Code::LatticeWeakened => {
+                "pass weakened a predicate-bound or NaN-class fact at an observable"
+            }
+            Code::EffectDropped => "source-stage memory/overhead effect missing from the target",
+            Code::EffectAdded => "target stage performs an effect the source never did",
+        }
+    }
+}
+
+/// The markdown diagnostic-code table embedded in DESIGN.md between the
+/// `<!-- diag-code-table:begin -->` / `end` markers. A drift test
+/// regenerates this and compares, so adding a [`Code`] without a doc row
+/// fails CI.
+pub fn code_table() -> String {
+    let mut out = String::from("| code | severity | meaning |\n|---|---|---|\n");
+    for c in Code::ALL {
+        out.push_str(&format!(
+            "| `{}` | {} | {} |\n",
+            c.as_str(),
+            c.severity().as_str(),
+            c.doc()
+        ));
+    }
+    out
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,6 +1,6 @@
 //! # ookami-check — static analysis for the emulator and the runtime
 //!
-//! Two engines (DESIGN.md §8):
+//! Three engines (DESIGN.md §8):
 //!
 //! * [`verify`] — a static verifier and lint engine over SVE trace
 //!   programs: abstract interpretation of [`ookami_uarch::Instr`] streams
@@ -8,24 +8,38 @@
 //!   lattice proving memory writes stay inside the loop bound, constant
 //!   index bounds) plus lint-class diagnostics, all under stable `OCxxxx`
 //!   codes with rustc-style rendering and JSON output ([`diag`]);
+//! * [`tv`] — a translation validator over the trace compiler's pass
+//!   pipeline: each per-pass snapshot pair from
+//!   `ookami_sve::Trace::pass_trail` is proved equivalent under a
+//!   product abstract domain (constant lanes, intervals, NaN class, the
+//!   predicate lattice) and the pass's slot-substitution witness, index
+//!   bounds are re-proved post-pass, and the emission plan's static
+//!   counter recipe is re-derived bit-for-bit — failures are stable
+//!   `TVxxxx` codes through the same [`diag`] machinery;
 //! * [`race`] — a happens-before race detector replaying the pool
 //!   runtime's timeline events with vector clocks, reporting overlapping
-//!   chunk writes not ordered by the fork/join protocol.
+//!   chunk writes not ordered by the fork/join protocol — including the
+//!   telemetry sampler and HTTP-server threads, modeled as actors with
+//!   fork/write/join edges in their own key space.
 //!
-//! The `ookamicheck` binary (crates/bench) drives both as CI gates: every
-//! shipped workload trace must verify clean, the [`corpus`] mutants must
-//! each report their expected codes, and shipped kernels must be
-//! race-free while `--inject-race` is flagged.
+//! The `ookamicheck` binary (crates/bench) drives all three as CI gates:
+//! every shipped workload trace must verify clean, every family trace
+//! must prove pass-by-pass under `--tv`, the [`corpus`] and
+//! [`tv::tv_corpus_entries`] mutants must each report their expected
+//! codes, and shipped kernels must be race-free while `--inject-race`,
+//! `--inject-sampler-race`, and `--inject-tv` are flagged.
 
 pub mod corpus;
 pub mod diag;
 pub mod program;
 pub mod race;
+pub mod tv;
 pub mod verify;
 
 pub use diag::{render, render_all, to_json, Code, Diag, Severity};
 pub use program::{Convention, Program};
-pub use race::{detect_races, injected_race_events, Race};
+pub use race::{detect_races, injected_race_events, injected_sampler_race_events, Race};
+pub use tv::{validate_trace, validate_trail, MutantVerdict, TvReport};
 pub use verify::verify;
 
 #[cfg(test)]
@@ -111,7 +125,7 @@ mod tests {
     }
 
     #[test]
-    fn lowered_streams_only_get_effect_and_width_checks() {
+    fn lowered_streams_skip_ssa_but_keep_effect_and_width_checks() {
         use ookami_uarch::{Instr, OpClass, Width};
         // Non-SSA register reuse is fine under the Lowered convention…
         let ok = Program::from_stream(
@@ -130,5 +144,37 @@ mod tests {
         let diags = verify(&bad);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, Code::MalformedArity);
+    }
+
+    #[test]
+    fn lowered_streams_get_constant_index_bounds() {
+        use ookami_uarch::{Instr, OpClass, Width};
+        // Gather with a constant index vector spanning [0, 20] against a
+        // 16-element table: OC0004 even in a non-SSA stream.
+        let mut p = Program::from_stream(
+            "lowered_oob",
+            vec![
+                Instr::def(OpClass::Gather, Width::V512, 3, &[0, 2]),
+                Instr::def(OpClass::Gather, Width::V512, 4, &[0, 2]),
+            ],
+        );
+        p.const_lanes.push((2, vec![0, 5, 20]));
+        p.table_len = vec![Some(16), Some(32)];
+        let diags = verify(&p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::OutOfBoundsIndex);
+        assert_eq!(diags[0].index, 0);
+        // A redefinition kills the fact: the same shape, but the index
+        // register is clobbered between the constant and the gather.
+        let mut q = Program::from_stream(
+            "lowered_clobber",
+            vec![
+                Instr::def(OpClass::FMul, Width::V512, 2, &[0, 1]),
+                Instr::def(OpClass::Gather, Width::V512, 3, &[0, 2]),
+            ],
+        );
+        q.const_lanes.push((2, vec![0, 20]));
+        q.table_len = vec![None, Some(16)];
+        assert!(verify(&q).is_empty());
     }
 }

@@ -18,8 +18,11 @@
 //! * **lints** — dead defs (`OC1001`), redundant predicate recompute
 //!   (`OC1002`), unnecessary widening (`OC1003`).
 //!
-//! `Lowered` streams (interpreter recordings, non-SSA) only get width
-//! uniformity and effect sanity.
+//! `Lowered` streams (interpreter recordings, non-SSA) get width
+//! uniformity, effect sanity, and the constant index-bounds check
+//! (`OC0004`): intervals seed from setup constants exactly as in traced
+//! streams, but a redefinition kills the fact (last-write-wins — no
+//! re-derivation through non-SSA dataflow).
 
 use std::collections::{HashMap, HashSet};
 
@@ -42,6 +45,18 @@ pub fn verify(p: &Program) -> Vec<Diag> {
 }
 
 fn verify_lowered(p: &Program, diags: &mut Vec<Diag>) {
+    // Interval facts survive only until the register is redefined: the
+    // stream is non-SSA, so last-write-wins is the only sound reading.
+    let mut interval: HashMap<Reg, (i64, i64)> = HashMap::new();
+    for (r, lanes) in &p.const_lanes {
+        if let (Some(&lo), Some(&hi)) = (
+            lanes.iter().min_by_key(|&&l| l as i64),
+            lanes.iter().max_by_key(|&&l| l as i64),
+        ) {
+            interval.insert(*r, (lo as i64, hi as i64));
+        }
+    }
+
     for (i, ins) in p.instrs.iter().enumerate() {
         if let Some(w) = p.width {
             if ins.width != w {
@@ -65,6 +80,33 @@ fn verify_lowered(p: &Program, diags: &mut Vec<Diag>) {
                 None,
                 format!("{:?} must not define a register", ins.op),
             ));
+        }
+        // Bounds (OC0004), same message as the traced pass.
+        let idx_operand = match ins.op {
+            OpClass::Gather => Some(1),
+            OpClass::Scatter => Some(2),
+            _ => None,
+        };
+        if let (Some(k), Some(Some(len))) = (idx_operand, p.table_len.get(i)) {
+            if k < ins.srcs.len() {
+                if let Some(&(lo, hi)) = interval.get(&ins.srcs[k]) {
+                    if lo < 0 || hi >= *len as i64 {
+                        diags.push(Diag::new(
+                            Code::OutOfBoundsIndex,
+                            i,
+                            Some(k),
+                            format!(
+                                "index vector {} spans [{lo}, {hi}] but the \
+                                 bound table has {len} elements",
+                                p.reg_name(ins.srcs[k])
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(d) = ins.dst {
+            interval.remove(&d);
         }
     }
 }

@@ -1,0 +1,136 @@
+//! Differential properties for the translation validator (`check::tv`),
+//! the TV analogue of `differential_props.rs`: every pass trail the
+//! trace compiler produces from a recordable kernel must prove clean
+//! pass-by-pass (no false positives on real compilations), and a trail
+//! with one mutated intermediate stage must be rejected by the validator
+//! or observably divergent in replay (no blind spot the mutation
+//! operator can slip through). Together they pin TV between "accepts
+//! everything the compiler actually does" and "catches everything a
+//! broken pass could do".
+
+use ookami_check::tv::challenge;
+use ookami_check::{validate_trail, MutantVerdict};
+use ookami_sve::Trace;
+use proptest::prelude::*;
+
+/// One step of a generated kernel; `acc` threads through every step.
+/// The op mix deliberately exercises every abstract domain TV tracks:
+/// broadcast constants (constant lanes + folding), compares and selects
+/// (the predicate lattice), and fmla chains (fusion in the emission
+/// plan, hence the counter recipes).
+#[derive(Debug, Clone)]
+enum Op {
+    /// fadd/fsub/fmul/fmax against a broadcast constant.
+    Bin(u8, f64),
+    /// fabs/fneg/frintn/fsqrt.
+    Un(u8),
+    /// fmla with a broadcast multiplicand and the input as multiplier.
+    Fma(f64),
+    /// m = acc > t; acc = sel(m, acc, c).
+    CmpSel(f64, f64),
+    /// A constant-only subexpression the const-fold pass collapses:
+    /// acc = acc + (a · b) with both operands broadcast.
+    FoldableMul(f64, f64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, -8.0..8.0f64).prop_map(|(k, c)| Op::Bin(k, c)),
+        (0u8..4).prop_map(Op::Un),
+        (-4.0..4.0f64).prop_map(Op::Fma),
+        (-2.0..2.0f64, -8.0..8.0f64).prop_map(|(t, c)| Op::CmpSel(t, c)),
+        (-4.0..4.0f64, -4.0..4.0f64).prop_map(|(a, b)| Op::FoldableMul(a, b)),
+    ]
+}
+
+fn record(vl: usize, prog: &[Op]) -> Trace {
+    Trace::record1(vl, |ctx, pg, x| {
+        let coef = ctx.dup_f64(2.5);
+        let mut acc = ctx.fmla(pg, x, &coef, x);
+        for op in prog {
+            acc = match *op {
+                Op::Bin(k, c) => {
+                    let cv = ctx.dup_f64(c);
+                    match k % 4 {
+                        0 => ctx.fadd(pg, &acc, &cv),
+                        1 => ctx.fsub(pg, &acc, &cv),
+                        2 => ctx.fmul(pg, &acc, &cv),
+                        _ => ctx.fmax(pg, &acc, &cv),
+                    }
+                }
+                Op::Un(k) => match k % 4 {
+                    0 => ctx.fabs(pg, &acc),
+                    1 => ctx.fneg(pg, &acc),
+                    2 => ctx.frintn(pg, &acc),
+                    _ => ctx.fsqrt(pg, &acc),
+                },
+                Op::Fma(c) => {
+                    let cv = ctx.dup_f64(c);
+                    ctx.fmla(pg, &acc, &cv, x)
+                }
+                Op::CmpSel(t, c) => {
+                    let tv = ctx.dup_f64(t);
+                    let cv = ctx.dup_f64(c);
+                    let m = ctx.fcmgt(pg, &acc, &tv);
+                    ctx.sel(&m, &acc, &cv)
+                }
+                Op::FoldableMul(a, b) => {
+                    let av = ctx.dup_f64(a);
+                    let bv = ctx.dup_f64(b);
+                    let prod = ctx.fmul(pg, &av, &bv);
+                    ctx.fadd(pg, &acc, &prod)
+                }
+            };
+        }
+        acc
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No false positives: the compiler's own pass trail over any
+    /// recordable kernel proves clean at every transition, and the
+    /// static counter recipe (when a native plan exists) re-derives
+    /// exactly.
+    #[test]
+    fn compiler_trails_validate_clean(
+        vl in 1usize..=8,
+        prog in prop::collection::vec(op_strategy(), 0..10),
+    ) {
+        let t = record(vl, &prog);
+        let report = validate_trail("generated", &t.pass_trail());
+        prop_assert!(
+            report.is_ok(),
+            "vl={}: {:?} / counters {:?}",
+            vl,
+            report
+                .stages
+                .iter()
+                .flat_map(|s| s.diags.iter().map(|d| d.message.clone()))
+                .collect::<Vec<_>>(),
+            report.counter_diags,
+        );
+    }
+
+    /// No blind spots: mutating one intermediate stage of a real trail
+    /// is caught — either TV rejects the transition outright, or the
+    /// mutant is wiring-intact and its replay output provably moved.
+    /// `Missed` (validates clean AND bit-identical output) is the
+    /// failure.
+    #[test]
+    fn mutated_stages_are_rejected_or_divergent(
+        vl in 1usize..=8,
+        seed in 0u64..256,
+        prog in prop::collection::vec(op_strategy(), 0..10),
+    ) {
+        let t = record(vl, &prog);
+        let verdict = challenge(&t.pass_trail(), seed);
+        prop_assert!(
+            verdict != MutantVerdict::Missed,
+            "TV accepted a mutated stage with unchanged output (vl={}, seed={})",
+            vl,
+            seed
+        );
+    }
+}

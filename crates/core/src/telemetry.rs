@@ -387,6 +387,9 @@ pub struct Sample {
 struct SamplerShared {
     epoch: Instant,
     retain: usize,
+    /// Timeline actor id of the sampler thread, so the race detector can
+    /// prove the ring writes are ordered by the spawn/join protocol.
+    actor: u64,
     stop: AtomicBool,
     generation: AtomicU64,
     dropped: AtomicU64,
@@ -396,6 +399,10 @@ struct SamplerShared {
 impl SamplerShared {
     fn take(&self) {
         let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        // Model the ring push as this actor writing slot `generation`
+        // (slots are never reused, so well-behaved sampler writes are
+        // disjoint by construction).
+        crate::timeline::actor_write(self.actor, generation, 1);
         let sample = Sample {
             generation,
             at_ns: self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64,
@@ -429,9 +436,11 @@ impl Sampler {
     /// without the feature, but generations still tick, which is what the
     /// endpoint contract tests rely on).
     pub fn start(period: Duration, retain: usize) -> Sampler {
+        let actor = crate::timeline::next_actor_id();
         let shared = Arc::new(SamplerShared {
             epoch: Instant::now(),
             retain: retain.max(1),
+            actor,
             stop: AtomicBool::new(false),
             generation: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -439,6 +448,9 @@ impl Sampler {
         });
         *ACTIVE_SAMPLER.lock() = Some(Arc::downgrade(&shared));
         let worker = Arc::clone(&shared);
+        // Fork edge first, on the spawning thread: everything before this
+        // point happens-before the sampler's ring writes.
+        crate::timeline::actor_fork(actor);
         let join = std::thread::Builder::new()
             .name("ookami-sampler".to_string())
             .spawn(move || loop {
@@ -489,6 +501,9 @@ impl Sampler {
         self.shared.stop.store(true, Ordering::Release);
         if let Some(join) = self.join.take() {
             let _ = join.join();
+            // Join edge after the thread join: the sampler's writes
+            // happen-before everything the joiner does next.
+            crate::timeline::actor_join(self.shared.actor);
         }
     }
 }

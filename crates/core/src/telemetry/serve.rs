@@ -88,9 +88,16 @@ pub fn spawn_in(addr: &str, bench_dir: PathBuf) -> std::io::Result<ServerHandle>
                 }
                 let Ok(stream) = conn else { continue };
                 let dir = bench_dir.clone();
+                // Each connection is a timeline actor: the fork edge on
+                // the accept thread orders the handler's response write
+                // after the accept, so the race detector can prove
+                // connection threads never collide on shared state.
+                let actor = crate::timeline::next_actor_id();
+                crate::timeline::actor_fork(actor);
                 let _ = std::thread::Builder::new()
                     .name("ookamiserve-conn".to_string())
                     .spawn(move || {
+                        crate::timeline::actor_write(actor, 0, 1);
                         let _ = handle(stream, &dir);
                     });
             }

@@ -169,227 +169,281 @@ fn resolve(map: &HashMap<Slot, Slot>, mut s: Slot) -> Slot {
 /// counter accounting will read at runtime (the compiled engine counts
 /// the pre-pass stream), so DCE cannot strip a mask the accounting needs.
 pub(crate) fn run_passes(t: &Trace, keep_acct_preds: bool) -> PassOut {
-    let mut o = t.clone();
-    let mut stats = CompileReport {
-        body_ops: t.body.len(),
-        ..CompileReport::default()
-    };
+    let mut st = PassState::new(t);
+    st.fold();
+    st.simplify();
+    st.dce(if keep_acct_preds { Some(t) } else { None });
+    st.into_out()
+}
 
-    // Statically all-true predicates: setup ptrue, closed under pand.
-    let mut full: HashSet<Slot> = HashSet::new();
-    for op in &o.setup {
-        if let TOp::Ptrue { dst } = *op {
-            full.insert(dst);
+/// The pass pipeline as an explicit three-step state machine, so the
+/// translation-validation surface ([`crate::tv`]) can snapshot the trace
+/// *between* passes. [`run_passes`] drives the steps back to back and is
+/// behavior-identical to the former monolithic function.
+pub(crate) struct PassState {
+    /// The working clone, rewritten in place by each pass.
+    pub(crate) o: Trace,
+    /// Statically all-true predicates: setup ptrue, closed under pand.
+    full: HashSet<Slot>,
+    /// {Bounded, Wide} facts, maintained with the verifier's own transfer
+    /// function so substitutions provably preserve what OC0006 proves.
+    dom: HashMap<Slot, PredDom>,
+    /// Predicate substitutions from dissolved `pand`s.
+    pub(crate) psubst: HashMap<Slot, Slot>,
+    /// Vector substitutions from dissolved full-mask `sel`s.
+    pub(crate) vsubst: HashMap<Slot, Slot>,
+    pub(crate) stats: CompileReport,
+}
+
+impl PassState {
+    pub(crate) fn new(t: &Trace) -> PassState {
+        let o = t.clone();
+        let stats = CompileReport {
+            body_ops: t.body.len(),
+            ..CompileReport::default()
+        };
+        let mut full: HashSet<Slot> = HashSet::new();
+        for op in &o.setup {
+            if let TOp::Ptrue { dst } = *op {
+                full.insert(dst);
+            }
+        }
+        let mut dom: HashMap<Slot, PredDom> = full.iter().map(|&s| (s, PredDom::Wide)).collect();
+        if let Some(lp) = o.loop_pred {
+            dom.insert(lp, PredDom::Bounded);
+        }
+        PassState {
+            o,
+            full,
+            dom,
+            psubst: HashMap::new(),
+            vsubst: HashMap::new(),
+            stats,
         }
     }
-    // {Bounded, Wide} facts, maintained with the verifier's own transfer
-    // function so substitutions provably preserve what OC0006 proves.
-    let mut dom: HashMap<Slot, PredDom> = full.iter().map(|&s| (s, PredDom::Wide)).collect();
-    if let Some(lp) = o.loop_pred {
-        dom.insert(lp, PredDom::Bounded);
-    }
 
-    // -- pass 1: constant folding ---------------------------------------
-    // Setup constant lanes by slot.
-    let mut consts: HashMap<Slot, Vec<u64>> = HashMap::new();
-    for op in &o.setup {
-        if let TOp::ConstV { dst, ref lanes } = *op {
-            consts.insert(dst, lanes.clone());
-        }
-    }
-    let vl = o.vl;
-    let mut kept = Vec::with_capacity(o.body.len());
-    for op in std::mem::take(&mut o.body) {
-        let foldable = top_pg(&op).is_none_or(|pg| full.contains(&pg));
-        match fold_op(&op, &consts, vl) {
-            Some(lanes) if foldable => {
-                let dst = top_def(&op).0.expect("folded ops define a vector");
+    /// Pass 1: constant folding. Ops whose vector inputs are setup
+    /// constants and whose governing predicate is statically all-true
+    /// evaluate at compile time and move to setup as `ConstV`.
+    pub(crate) fn fold(&mut self) {
+        let o = &mut self.o;
+        // Setup constant lanes by slot.
+        let mut consts: HashMap<Slot, Vec<u64>> = HashMap::new();
+        for op in &o.setup {
+            if let TOp::ConstV { dst, ref lanes } = *op {
                 consts.insert(dst, lanes.clone());
-                o.setup.push(TOp::ConstV { dst, lanes });
-                stats.folded += 1;
             }
-            _ => kept.push(op),
         }
-    }
-    o.body = kept;
-
-    // -- pass 2: predicate simplification -------------------------------
-    let mut psubst: HashMap<Slot, Slot> = HashMap::new();
-    let mut vsubst: HashMap<Slot, Slot> = HashMap::new();
-    let simplify = |ops: &mut Vec<TOp>,
-                    full: &mut HashSet<Slot>,
-                    dom: &mut HashMap<Slot, PredDom>,
-                    psubst: &mut HashMap<Slot, Slot>,
-                    vsubst: &mut HashMap<Slot, Slot>,
-                    n: &mut usize| {
-        let mut kept = Vec::with_capacity(ops.len());
-        for mut op in ops.drain(..) {
-            // Apply accumulated substitutions first.
-            if let Some(pg) = pg_mut(&mut op) {
-                *pg = resolve(psubst, *pg);
-            }
-            for s in v_srcs_mut(&mut op) {
-                *s = resolve(vsubst, *s);
-            }
-            match op {
-                TOp::Pand { dst, mut a, mut b } => {
-                    a = resolve(psubst, a);
-                    b = resolve(psubst, b);
-                    let d = meta::pred_transfer(
-                        OpClass::PredOp,
-                        &[
-                            dom.get(&a).copied().unwrap_or(PredDom::Wide),
-                            dom.get(&b).copied().unwrap_or(PredDom::Wide),
-                        ],
-                    );
-                    dom.insert(dst, d);
-                    let rep = if full.contains(&a) && full.contains(&b) {
-                        full.insert(dst);
-                        Some(a)
-                    } else if full.contains(&a) {
-                        // all-true ∧ b ≡ b, and Wide ∧ dom(b) = dom(b):
-                        // the substitution carries the lattice fact along.
-                        Some(b)
-                    } else if full.contains(&b) {
-                        Some(a)
-                    } else {
-                        None
-                    };
-                    if let Some(r) = rep {
-                        debug_assert_eq!(
-                            d,
-                            dom.get(&r).copied().unwrap_or(PredDom::Wide),
-                            "pand substitution must preserve the verifier's lattice fact"
-                        );
-                        psubst.insert(dst, r);
-                        *n += 1;
-                    } else {
-                        kept.push(TOp::Pand { dst, a, b });
-                    }
-                }
-                TOp::Sel { dst, pg, a, .. } if full.contains(&resolve(psubst, pg)) => {
-                    vsubst.insert(dst, a);
-                    *n += 1;
-                }
-                TOp::Cmp { dst, .. } | TOp::CmpNeImm { dst, .. } => {
-                    dom.insert(dst, meta::pred_transfer(OpClass::FCmp, &[]));
-                    kept.push(op);
+        let vl = o.vl;
+        let mut kept = Vec::with_capacity(o.body.len());
+        for op in std::mem::take(&mut o.body) {
+            let foldable = top_pg(&op).is_none_or(|pg| self.full.contains(&pg));
+            match fold_op(&op, &consts, vl) {
+                Some(lanes) if foldable => {
+                    let dst = top_def(&op).0.expect("folded ops define a vector");
+                    consts.insert(dst, lanes.clone());
+                    o.setup.push(TOp::ConstV { dst, lanes });
+                    self.stats.folded += 1;
                 }
                 _ => kept.push(op),
             }
         }
-        *ops = kept;
-    };
-    let mut n_simpl = 0usize;
-    let mut setup = std::mem::take(&mut o.setup);
-    simplify(
-        &mut setup,
-        &mut full,
-        &mut dom,
-        &mut psubst,
-        &mut vsubst,
-        &mut n_simpl,
-    );
-    o.setup = setup;
-    let mut body = std::mem::take(&mut o.body);
-    simplify(
-        &mut body,
-        &mut full,
-        &mut dom,
-        &mut psubst,
-        &mut vsubst,
-        &mut n_simpl,
-    );
-    o.body = body;
-    stats.pred_simplified = n_simpl;
-    // Rewire the trace-level slot references through the substitutions.
-    for s in o
-        .outputs
-        .iter_mut()
-        .chain(o.tap_v.iter_mut())
-        .chain(o.carries.iter_mut().flat_map(|(a, b)| [a, b]))
-    {
-        *s = resolve(&vsubst, *s);
-    }
-    for s in &mut o.tap_p {
-        *s = resolve(&psubst, *s);
+        o.body = kept;
     }
 
-    // -- pass 3: dead-def elimination ------------------------------------
-    let mut live_v: HashSet<Slot> = o.outputs.iter().copied().collect();
-    live_v.extend(o.tap_v.iter().copied());
-    live_v.extend(o.carries.iter().flat_map(|&(a, b)| [a, b]));
-    let mut live_p: HashSet<Slot> = o.tap_p.iter().copied().collect();
-    if keep_acct_preds {
-        // The runtime accounting pops masks of the ORIGINAL body's ops
-        // (post-substitution); those defs must survive.
-        for op in &t.body {
-            if let Some(pg) = top_pg(op) {
-                live_p.insert(resolve(&psubst, pg));
-            }
-            if let TOp::Pand { a, b, .. } = *op {
-                live_p.insert(resolve(&psubst, a));
-                live_p.insert(resolve(&psubst, b));
-            }
+    /// Pass 2: predicate simplification. `pand` with an all-true operand
+    /// and `sel` under an all-true predicate dissolve into slot
+    /// substitutions, recorded in `psubst`/`vsubst` (the witness the
+    /// translation validator checks).
+    pub(crate) fn simplify(&mut self) {
+        let mut n_simpl = 0usize;
+        let mut setup = std::mem::take(&mut self.o.setup);
+        simplify_ops(
+            &mut setup,
+            &mut self.full,
+            &mut self.dom,
+            &mut self.psubst,
+            &mut self.vsubst,
+            &mut n_simpl,
+        );
+        self.o.setup = setup;
+        let mut body = std::mem::take(&mut self.o.body);
+        simplify_ops(
+            &mut body,
+            &mut self.full,
+            &mut self.dom,
+            &mut self.psubst,
+            &mut self.vsubst,
+            &mut n_simpl,
+        );
+        self.o.body = body;
+        self.stats.pred_simplified = n_simpl;
+        // Rewire the trace-level slot references through the substitutions.
+        let o = &mut self.o;
+        for s in o
+            .outputs
+            .iter_mut()
+            .chain(o.tap_v.iter_mut())
+            .chain(o.carries.iter_mut().flat_map(|(a, b)| [a, b]))
+        {
+            *s = resolve(&self.vsubst, *s);
+        }
+        for s in &mut o.tap_p {
+            *s = resolve(&self.psubst, *s);
         }
     }
-    let dce = |ops: &mut Vec<TOp>,
-               live_v: &mut HashSet<Slot>,
-               live_p: &mut HashSet<Slot>,
-               removed: &mut usize| {
-        let mut kept_rev = Vec::with_capacity(ops.len());
-        for mut op in ops.drain(..).rev() {
-            let effectful = matches!(
-                op,
-                TOp::Scatter { .. } | TOp::Overhead { .. } | TOp::LibmCall
-            );
-            let live = match top_def(&op) {
-                (Some(v), _) => live_v.contains(&v),
-                (_, Some(p)) => live_p.contains(&p),
-                _ => false,
-            };
-            if !(live || effectful) {
-                *removed += 1;
-                continue;
-            }
-            if let Some(pg) = pg_mut(&mut op) {
-                live_p.insert(*pg);
-            }
-            if let TOp::Pand { a, b, .. } = op {
-                live_p.insert(a);
-                live_p.insert(b);
-            }
-            for s in v_srcs_mut(&mut op) {
-                live_v.insert(*s);
-            }
-            kept_rev.push(op);
-        }
-        kept_rev.reverse();
-        *ops = kept_rev;
-    };
-    let mut removed = 0usize;
-    let mut body = std::mem::take(&mut o.body);
-    dce(&mut body, &mut live_v, &mut live_p, &mut removed);
-    o.body = body;
-    let mut setup = std::mem::take(&mut o.setup);
-    dce(&mut setup, &mut live_v, &mut live_p, &mut removed);
-    o.setup = setup;
-    stats.dead_removed = removed;
-    stats.opt_ops = o.body.len();
 
-    PassOut {
-        t: o,
-        psubst,
-        full,
-        stats,
+    /// Pass 3: backward dead-def elimination. `keep_acct` is the original
+    /// trace whose body's accounting predicates must survive (the native
+    /// engine counts the pre-pass stream), `None` for a pure optimize.
+    pub(crate) fn dce(&mut self, keep_acct: Option<&Trace>) {
+        let o = &mut self.o;
+        let mut live_v: HashSet<Slot> = o.outputs.iter().copied().collect();
+        live_v.extend(o.tap_v.iter().copied());
+        live_v.extend(o.carries.iter().flat_map(|&(a, b)| [a, b]));
+        let mut live_p: HashSet<Slot> = o.tap_p.iter().copied().collect();
+        if let Some(t) = keep_acct {
+            // The runtime accounting pops masks of the ORIGINAL body's ops
+            // (post-substitution); those defs must survive.
+            for op in &t.body {
+                if let Some(pg) = top_pg(op) {
+                    live_p.insert(resolve(&self.psubst, pg));
+                }
+                if let TOp::Pand { a, b, .. } = *op {
+                    live_p.insert(resolve(&self.psubst, a));
+                    live_p.insert(resolve(&self.psubst, b));
+                }
+            }
+        }
+        let dce = |ops: &mut Vec<TOp>,
+                   live_v: &mut HashSet<Slot>,
+                   live_p: &mut HashSet<Slot>,
+                   removed: &mut usize| {
+            let mut kept_rev = Vec::with_capacity(ops.len());
+            for mut op in ops.drain(..).rev() {
+                let effectful = matches!(
+                    op,
+                    TOp::Scatter { .. } | TOp::Overhead { .. } | TOp::LibmCall
+                );
+                let live = match top_def(&op) {
+                    (Some(v), _) => live_v.contains(&v),
+                    (_, Some(p)) => live_p.contains(&p),
+                    _ => false,
+                };
+                if !(live || effectful) {
+                    *removed += 1;
+                    continue;
+                }
+                if let Some(pg) = pg_mut(&mut op) {
+                    live_p.insert(*pg);
+                }
+                if let TOp::Pand { a, b, .. } = op {
+                    live_p.insert(a);
+                    live_p.insert(b);
+                }
+                for s in v_srcs_mut(&mut op) {
+                    live_v.insert(*s);
+                }
+                kept_rev.push(op);
+            }
+            kept_rev.reverse();
+            *ops = kept_rev;
+        };
+        let mut removed = 0usize;
+        let mut body = std::mem::take(&mut o.body);
+        dce(&mut body, &mut live_v, &mut live_p, &mut removed);
+        o.body = body;
+        let mut setup = std::mem::take(&mut o.setup);
+        dce(&mut setup, &mut live_v, &mut live_p, &mut removed);
+        o.setup = setup;
+        self.stats.dead_removed = removed;
+        self.stats.opt_ops = self.o.body.len();
     }
+
+    pub(crate) fn into_out(self) -> PassOut {
+        PassOut {
+            t: self.o,
+            psubst: self.psubst,
+            full: self.full,
+            stats: self.stats,
+        }
+    }
+}
+
+/// One `simplify` sweep over an op list (setup or body), threading the
+/// lattice facts and substitution maps.
+fn simplify_ops(
+    ops: &mut Vec<TOp>,
+    full: &mut HashSet<Slot>,
+    dom: &mut HashMap<Slot, PredDom>,
+    psubst: &mut HashMap<Slot, Slot>,
+    vsubst: &mut HashMap<Slot, Slot>,
+    n: &mut usize,
+) {
+    let mut kept = Vec::with_capacity(ops.len());
+    for mut op in ops.drain(..) {
+        // Apply accumulated substitutions first.
+        if let Some(pg) = pg_mut(&mut op) {
+            *pg = resolve(psubst, *pg);
+        }
+        for s in v_srcs_mut(&mut op) {
+            *s = resolve(vsubst, *s);
+        }
+        match op {
+            TOp::Pand { dst, mut a, mut b } => {
+                a = resolve(psubst, a);
+                b = resolve(psubst, b);
+                let d = meta::pred_transfer(
+                    OpClass::PredOp,
+                    &[
+                        dom.get(&a).copied().unwrap_or(PredDom::Wide),
+                        dom.get(&b).copied().unwrap_or(PredDom::Wide),
+                    ],
+                );
+                dom.insert(dst, d);
+                let rep = if full.contains(&a) && full.contains(&b) {
+                    full.insert(dst);
+                    Some(a)
+                } else if full.contains(&a) {
+                    // all-true ∧ b ≡ b, and Wide ∧ dom(b) = dom(b):
+                    // the substitution carries the lattice fact along.
+                    Some(b)
+                } else if full.contains(&b) {
+                    Some(a)
+                } else {
+                    None
+                };
+                if let Some(r) = rep {
+                    debug_assert_eq!(
+                        d,
+                        dom.get(&r).copied().unwrap_or(PredDom::Wide),
+                        "pand substitution must preserve the verifier's lattice fact"
+                    );
+                    psubst.insert(dst, r);
+                    *n += 1;
+                } else {
+                    kept.push(TOp::Pand { dst, a, b });
+                }
+            }
+            TOp::Sel { dst, pg, a, .. } if full.contains(&resolve(psubst, pg)) => {
+                vsubst.insert(dst, a);
+                *n += 1;
+            }
+            TOp::Cmp { dst, .. } | TOp::CmpNeImm { dst, .. } => {
+                dom.insert(dst, meta::pred_transfer(OpClass::FCmp, &[]));
+                kept.push(op);
+            }
+            _ => kept.push(op),
+        }
+    }
+    *ops = kept;
 }
 
 /// Evaluate one op over `vl` constant lanes, if every vector source is a
 /// known setup constant and the op is a pure lanewise vector op. The
 /// evaluation calls the same lane functions the replayer does, so a
 /// folded constant is bit-identical to the lanes replay would compute.
-fn fold_op(op: &TOp, consts: &HashMap<Slot, Vec<u64>>, vl: usize) -> Option<Vec<u64>> {
+pub(crate) fn fold_op(op: &TOp, consts: &HashMap<Slot, Vec<u64>>, vl: usize) -> Option<Vec<u64>> {
     let c = |s: Slot| consts.get(&s);
     let lanes1 =
         |a: &Vec<u64>, f: &dyn Fn(u64) -> u64| -> Vec<u64> { a.iter().map(|&x| f(x)).collect() };
@@ -635,7 +689,7 @@ enum Acct {
 /// [`Trace`]: initial row images, the kernel line, and the accounting
 /// program derived from the *original* body.
 #[derive(Debug)]
-struct Plan {
+pub(crate) struct Plan {
     vl: usize,
     n_v: usize,
     n_p: usize,
@@ -695,124 +749,159 @@ impl Drop for StateGuard {
     }
 }
 
+/// The native-plan admission gate: batchable elementwise shapes with a
+/// loop predicate, 1–2 inputs, power-of-two vector length ≤ 64, and no
+/// gather/scatter/compact (those families replay the recorded trace).
+pub(crate) fn native_gate(t: &Trace) -> bool {
+    t.batchable()
+        && t.loop_pred.is_some()
+        && !t.outputs.is_empty()
+        && !t.inputs.is_empty()
+        && t.inputs.len() <= 2
+        && t.vl.is_power_of_two()
+        && t.vl <= 64
+        && !t.body.iter().any(|o| {
+            matches!(
+                o,
+                TOp::Gather { .. } | TOp::Scatter { .. } | TOp::Compact { .. }
+            )
+        })
+}
+
+/// The emission-plan facts the translation validator cross-checks,
+/// decoupled from the private [`Plan`] internals.
+pub(crate) struct PlanFacts {
+    pub(crate) blocks: u64,
+    pub(crate) kernels: usize,
+    pub(crate) fused: usize,
+    /// Statically-full predicate slots: pass closure ∪ loop predicate ∪
+    /// setup masks that materialize all-true.
+    pub(crate) full: HashSet<Slot>,
+    pub(crate) acct_static: Snapshot,
+}
+
+/// Build the native emission plan for a gated trace: materialize the
+/// optimized setup, lower the body to the kernel line, and pre-fold the
+/// static accounting. Returns the plan plus the facts [`crate::tv`]
+/// re-derives independently; `None` if a body op has no native lowering.
+pub(crate) fn build_plan(t: &Trace, passes: &PassOut) -> Option<(Plan, PlanFacts)> {
+    let opt = &passes.t;
+
+    // Materialize setup values once at record width: a throwaway
+    // replayer runs the (uncounted) setup ops, and its arena is read
+    // back into splat/tile row images.
+    let vl = opt.vl;
+    let mut splats = Vec::new();
+    let mut tiles = Vec::new();
+    let mut imm: HashMap<Slot, u64> = HashMap::new();
+    let mut pfull = Vec::new();
+    let mut ptiles = Vec::new();
+    let mut full_native: HashSet<Slot> = passes.full.clone();
+    let lp = opt
+        .loop_pred
+        .expect("native plan is gated on a loop predicate");
+    full_native.insert(lp);
+    pfull.push(lp);
+    {
+        let r = Replayer::with_batch(opt, 1);
+        for op in &opt.setup {
+            match top_def(op) {
+                (Some(v), _) => {
+                    let lanes: Vec<u64> = (0..vl).map(|l| r.lane_bits(VSlot(v), l)).collect();
+                    if lanes.iter().all(|&x| x == lanes[0]) {
+                        imm.insert(v, lanes[0]);
+                        splats.push((v, lanes[0]));
+                    } else {
+                        tiles.push((v, lanes));
+                    }
+                }
+                (_, Some(p)) => {
+                    let mask: Vec<bool> = (0..vl).map(|l| r.pred_lane(PSlot(p), l)).collect();
+                    if mask.iter().all(|&m| m) {
+                        full_native.insert(p);
+                        pfull.push(p);
+                    } else {
+                        ptiles.push((p, mask));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let (kernels, fused) = emit_kernels(opt, &full_native, &imm)?;
+    let all = build_acct(t, &passes.psubst, &full_native);
+    let blocks = (W / vl) as u64;
+    let mut acct_static = Snapshot::zero();
+    // Tiling the inputs into lane rows is the plan's only data load.
+    acct_static.set(Counter::BytesLoaded, (opt.inputs.len() * 8 * W) as u64);
+    let mut acct = Vec::new();
+    for a in all {
+        match a {
+            Acct::Bump {
+                class,
+                lanes: Lanes::Full,
+            } => counters::bump_into(&mut acct_static, class, blocks, W as u64, 1),
+            Acct::Bump {
+                class,
+                lanes: Lanes::Zero,
+            } => counters::bump_into(&mut acct_static, class, blocks, 0, 1),
+            Acct::FexpaA => counters::bump_fexpa_into(&mut acct_static, blocks, W as u64),
+            Acct::OverheadA { int_ops } => {
+                counters::bump_into(&mut acct_static, OpClass::IntAlu, blocks * int_ops, 0, 1);
+                counters::bump_into(&mut acct_static, OpClass::Branch, blocks, 0, 1);
+            }
+            Acct::LibmA => {
+                counters::bump_into(&mut acct_static, OpClass::ScalarLibmCall, blocks, 0, 1);
+            }
+            dynamic @ Acct::Bump { .. } => acct.push(dynamic),
+        }
+    }
+    let facts = PlanFacts {
+        blocks,
+        kernels: kernels.len(),
+        fused,
+        full: full_native,
+        acct_static: acct_static.clone(),
+    };
+    let plan = Plan {
+        vl,
+        n_v: opt.n_v,
+        n_p: opt.n_p,
+        inputs: opt.inputs.clone(),
+        out: opt.outputs[0],
+        splats,
+        tiles,
+        pfull,
+        ptiles,
+        kernels,
+        acct,
+        acct_static,
+        tab: mantissa_table(),
+        uid: scratch::unique_id(),
+    };
+    Some((plan, facts))
+}
+
 impl Compiled {
     pub(crate) fn build(t: &Trace) -> Compiled {
         let report = CompileReport {
             body_ops: t.body.len(),
             ..CompileReport::default()
         };
-        let native_ok = t.batchable()
-            && t.loop_pred.is_some()
-            && !t.outputs.is_empty()
-            && !t.inputs.is_empty()
-            && t.inputs.len() <= 2
-            && t.vl.is_power_of_two()
-            && t.vl <= 64
-            && !t.body.iter().any(|o| {
-                matches!(
-                    o,
-                    TOp::Gather { .. } | TOp::Scatter { .. } | TOp::Compact { .. }
-                )
-            });
-        if !native_ok {
+        if !native_gate(t) {
             return Compiled { plan: None, report };
         }
         let passes = run_passes(t, true);
         let mut report = passes.stats.clone();
-        let opt = &passes.t;
-
-        // Materialize setup values once at record width: a throwaway
-        // replayer runs the (uncounted) setup ops, and its arena is read
-        // back into splat/tile row images.
-        let vl = opt.vl;
-        let mut splats = Vec::new();
-        let mut tiles = Vec::new();
-        let mut imm: HashMap<Slot, u64> = HashMap::new();
-        let mut pfull = Vec::new();
-        let mut ptiles = Vec::new();
-        let mut full_native: HashSet<Slot> = passes.full.clone();
-        let lp = opt
-            .loop_pred
-            .expect("native plan is gated on a loop predicate");
-        full_native.insert(lp);
-        pfull.push(lp);
-        {
-            let r = Replayer::with_batch(opt, 1);
-            for op in &opt.setup {
-                match top_def(op) {
-                    (Some(v), _) => {
-                        let lanes: Vec<u64> = (0..vl).map(|l| r.lane_bits(VSlot(v), l)).collect();
-                        if lanes.iter().all(|&x| x == lanes[0]) {
-                            imm.insert(v, lanes[0]);
-                            splats.push((v, lanes[0]));
-                        } else {
-                            tiles.push((v, lanes));
-                        }
-                    }
-                    (_, Some(p)) => {
-                        let mask: Vec<bool> = (0..vl).map(|l| r.pred_lane(PSlot(p), l)).collect();
-                        if mask.iter().all(|&m| m) {
-                            full_native.insert(p);
-                            pfull.push(p);
-                        } else {
-                            ptiles.push((p, mask));
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
-
-        let Some((kernels, fused)) = emit_kernels(opt, &full_native, &imm) else {
+        let Some((plan, facts)) = build_plan(t, &passes) else {
             return Compiled { plan: None, report };
         };
-        report.fused = fused;
-        report.kernels = kernels.len();
+        report.fused = facts.fused;
+        report.kernels = facts.kernels;
         report.native = true;
-        let all = build_acct(t, &passes.psubst, &full_native);
-        let blocks = (W / vl) as u64;
-        let mut acct_static = Snapshot::zero();
-        // Tiling the inputs into lane rows is the plan's only data load.
-        acct_static.set(Counter::BytesLoaded, (opt.inputs.len() * 8 * W) as u64);
-        let mut acct = Vec::new();
-        for a in all {
-            match a {
-                Acct::Bump {
-                    class,
-                    lanes: Lanes::Full,
-                } => counters::bump_into(&mut acct_static, class, blocks, W as u64, 1),
-                Acct::Bump {
-                    class,
-                    lanes: Lanes::Zero,
-                } => counters::bump_into(&mut acct_static, class, blocks, 0, 1),
-                Acct::FexpaA => counters::bump_fexpa_into(&mut acct_static, blocks, W as u64),
-                Acct::OverheadA { int_ops } => {
-                    counters::bump_into(&mut acct_static, OpClass::IntAlu, blocks * int_ops, 0, 1);
-                    counters::bump_into(&mut acct_static, OpClass::Branch, blocks, 0, 1);
-                }
-                Acct::LibmA => {
-                    counters::bump_into(&mut acct_static, OpClass::ScalarLibmCall, blocks, 0, 1);
-                }
-                dynamic @ Acct::Bump { .. } => acct.push(dynamic),
-            }
-        }
         Compiled {
-            plan: Some(Plan {
-                vl,
-                n_v: opt.n_v,
-                n_p: opt.n_p,
-                inputs: opt.inputs.clone(),
-                out: opt.outputs[0],
-                splats,
-                tiles,
-                pfull,
-                ptiles,
-                kernels,
-                acct,
-                acct_static,
-                tab: mantissa_table(),
-                uid: scratch::unique_id(),
-            }),
+            plan: Some(plan),
             report,
         }
     }

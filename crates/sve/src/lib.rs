@@ -27,6 +27,7 @@ pub mod fexpa;
 pub mod lanes;
 pub mod record;
 pub mod trace;
+pub mod tv;
 pub mod value;
 
 pub use compile::{CompileReport, CompiledTrace};

@@ -41,7 +41,10 @@ use ookami_uarch::meta::{self, LaneAccounting};
 use ookami_uarch::{Instr, OpClass, Reg, Width};
 
 /// Dense index into a trace's vector or predicate register file.
-pub(crate) type Slot = u16;
+/// Public so the `ookami-check` translation validator ([`crate::tv`]) can
+/// speak about trace slots directly; vectors and predicates are separate
+/// slot spaces.
+pub type Slot = u16;
 
 /// Opaque handle to a traced vector value (for replay-time reads).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +56,7 @@ pub struct PSlot(pub(crate) Slot);
 
 /// Two-operand elementwise op kinds (float and integer lanes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum BinOp {
+pub enum BinOp {
     FAdd,
     FSub,
     FMul,
@@ -70,7 +73,7 @@ pub(crate) enum BinOp {
 
 /// One-operand elementwise op kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum UnOp {
+pub enum UnOp {
     Sqrt,
     Neg,
     Abs,
@@ -79,7 +82,7 @@ pub(crate) enum UnOp {
 
 /// Float compare kinds producing predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum CmpOp {
+pub enum CmpOp {
     Gt,
     Ge,
     Eq,
@@ -87,7 +90,7 @@ pub(crate) enum CmpOp {
 
 /// Lane shift kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum ShiftOp {
+pub enum ShiftOp {
     Lsl,
     Lsr,
     Asr,
@@ -95,7 +98,7 @@ pub(crate) enum ShiftOp {
 
 /// Int/float conversion kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum CvtOp {
+pub enum CvtOp {
     Ucvtf,
     Fcvtns,
     Fcvtzs,
@@ -107,8 +110,12 @@ pub(crate) enum CvtOp {
 /// passes the *first vector operand* through on inactive lanes (`c` for
 /// fused multiply-adds), estimates are unpredicated, `SEL` is a full
 /// select.
+///
+/// Public (with public fields) so the translation validator in
+/// `ookami-check` can match pass outputs op-for-op; everything that
+/// *executes* a `TOp` still lives inside this crate.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum TOp {
+pub enum TOp {
     /// Broadcast/setup constant with its exact record-time lanes
     /// (covers `dup_f64`, `dup_i64`, and `index`).
     ConstV {
@@ -457,18 +464,32 @@ impl TraceBuilder {
 /// tables, input/output/carry slot wiring.
 #[derive(Debug)]
 pub struct Trace {
-    pub(crate) vl: usize,
-    pub(crate) setup: Vec<TOp>,
-    pub(crate) body: Vec<TOp>,
-    pub(crate) n_v: usize,
-    pub(crate) n_p: usize,
+    /// Recorded vector length. The op lists and slot wiring below are
+    /// public so the translation validator (`check::tv`) can inspect —
+    /// and its mutation self-tests deliberately corrupt — pass snapshots;
+    /// the [`Replayer`] asserts the SSA invariants a tamper may break.
+    pub vl: usize,
+    /// Setup-phase ops (constants, `ptrue`, loop-invariant work).
+    pub setup: Vec<TOp>,
+    /// Per-iteration body ops.
+    pub body: Vec<TOp>,
+    /// Vector register file size.
+    pub n_v: usize,
+    /// Predicate register file size.
+    pub n_p: usize,
     pub(crate) tabs: Vec<Vec<f64>>,
-    pub(crate) inputs: Vec<Slot>,
-    pub(crate) loop_pred: Option<Slot>,
-    pub(crate) carries: Vec<(Slot, Slot)>,
-    pub(crate) outputs: Vec<Slot>,
-    pub(crate) tap_v: Vec<Slot>,
-    pub(crate) tap_p: Vec<Slot>,
+    /// Replayer-bound input slots, in binding order.
+    pub inputs: Vec<Slot>,
+    /// The loop-governing predicate slot, if recorded with one.
+    pub loop_pred: Option<Slot>,
+    /// `(init, updated)` carried-state slot pairs.
+    pub carries: Vec<(Slot, Slot)>,
+    /// Declared output slots.
+    pub outputs: Vec<Slot>,
+    /// Replay-time vector taps (read post-step by manual replayers).
+    pub tap_v: Vec<Slot>,
+    /// Replay-time predicate taps.
+    pub tap_p: Vec<Slot>,
     /// Lazily built compiled engine (see [`crate::compile`]); the bulk
     /// drivers share it across calls.
     pub(crate) compiled: OnceLock<Arc<Compiled>>,
@@ -965,6 +986,21 @@ impl Trace {
         }
     }
 
+    /// Lengths of the captured gather/scatter tables, indexed by the
+    /// `tab` field of [`TOp::Gather`]/[`TOp::Scatter`] (bounds facts for
+    /// the translation validator).
+    pub fn table_lens(&self) -> Vec<usize> {
+        self.tabs.iter().map(Vec::len).collect()
+    }
+
+    /// The per-pass snapshot trail of the compiler's pipeline on this
+    /// trace — see [`crate::tv`]. Each stage is a full replayable trace
+    /// plus the slot-substitution witness the pass emitted, which is what
+    /// the `ookami-check` translation validator proves equivalence over.
+    pub fn pass_trail(&self) -> crate::tv::PassTrail {
+        crate::tv::pass_trail(self)
+    }
+
     /// Test support for the differential verifier tests: derive a mutant
     /// differing from `self` by one op. `seed % 4` picks the class:
     ///
@@ -1060,7 +1096,7 @@ impl Trace {
 /// behind [`Trace::to_instrs`], the replayer's counters, and the compiled
 /// engine's accounting. `None` for setup constants (never counted or
 /// lowered from a body) and `Overhead` (expands to several instrs).
-pub(crate) fn top_class(op: &TOp) -> Option<OpClass> {
+pub fn top_class(op: &TOp) -> Option<OpClass> {
     Some(match op {
         TOp::ConstV { .. } | TOp::Ptrue { .. } | TOp::Overhead { .. } => return None,
         TOp::Bin { op, .. } => match op {
@@ -1093,7 +1129,7 @@ pub(crate) fn top_class(op: &TOp) -> Option<OpClass> {
 }
 
 /// The governing predicate of a [`TOp`], if predicated.
-pub(crate) fn top_pg(op: &TOp) -> Option<Slot> {
+pub fn top_pg(op: &TOp) -> Option<Slot> {
     match *op {
         TOp::Bin { pg, .. }
         | TOp::Un { pg, .. }
@@ -1119,7 +1155,7 @@ pub(crate) fn top_pg(op: &TOp) -> Option<Slot> {
 }
 
 /// The slot a [`TOp`] defines, as `(vector, predicate)` — at most one.
-pub(crate) fn top_def(op: &TOp) -> (Option<Slot>, Option<Slot>) {
+pub fn top_def(op: &TOp) -> (Option<Slot>, Option<Slot>) {
     match *op {
         TOp::ConstV { dst, .. }
         | TOp::Bin { dst, .. }

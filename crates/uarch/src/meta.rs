@@ -50,6 +50,63 @@ pub fn pred_transfer(op: OpClass, src_doms: &[PredDom]) -> PredDom {
     }
 }
 
+/// NaN-payload abstract domain for the translation validator
+/// (`ookami_check::tv`). The emulator's arithmetic lane functions
+/// (`ookami_sve::lanes`) produce the single canonical quiet NaN
+/// (`DEFAULT_NAN`) for any invalid operation, so a value computed by a
+/// float op can only carry that one NaN payload. Values from memory or
+/// live-ins can carry *any* payload, and bit-transparent ops (`fmax`
+/// returns an operand's bits, selects and permutes move bits) propagate
+/// whatever their sources had. The validator uses this to prove a pass
+/// never widens the NaN behavior of an output: `CanonicalQuiet` at an
+/// output slot must not degrade to `Arbitrary` across a pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NanClass {
+    /// Any NaN produced is the canonical quiet NaN.
+    CanonicalQuiet,
+    /// NaN payload unconstrained (memory, live-ins, bit-moving ops).
+    Arbitrary,
+}
+
+/// NaN-class transfer for an op defining a vector, given the classes of
+/// its vector sources (callers substitute `Arbitrary` for unknowns).
+/// Arithmetic classes *re-derive* their result lanes through `dn`-style
+/// canonicalization, so they produce `CanonicalQuiet` regardless of the
+/// inputs; bit-transparent classes propagate the worst input class;
+/// memory-sourced classes are `Arbitrary`.
+pub fn nan_class_transfer(op: OpClass, srcs: &[NanClass]) -> NanClass {
+    match op {
+        // Result lanes are computed and canonicalized, never copied.
+        OpClass::FAdd
+        | OpClass::FMul
+        | OpClass::FDiv
+        | OpClass::FSqrt
+        | OpClass::Fma
+        | OpClass::Ftmad
+        | OpClass::FRecpe
+        | OpClass::FRsqrte
+        | OpClass::FCvt
+        | OpClass::Fexpa
+        | OpClass::FRound => NanClass::CanonicalQuiet,
+        // Bits move through unchanged (fmax/fmin return operand bits,
+        // select/permute/abs-neg/int ops are bit-level), so the result is
+        // only as constrained as the least constrained source.
+        OpClass::FMinMax
+        | OpClass::Select
+        | OpClass::Permute
+        | OpClass::FAbsNeg
+        | OpClass::VecIntOp => {
+            if srcs.contains(&NanClass::Arbitrary) {
+                NanClass::Arbitrary
+            } else {
+                NanClass::CanonicalQuiet
+            }
+        }
+        // Memory and everything else: unconstrained.
+        _ => NanClass::Arbitrary,
+    }
+}
+
 /// Allowed source counts for a class under the traced lowering, plus
 /// whether a destination is required. `None` = the class is never
 /// produced by `Trace::to_instrs` (always `OC0005` when seen).
@@ -174,6 +231,35 @@ mod tests {
             lane_accounting(OpClass::ScalarLibmCall),
             LaneAccounting::Scalar
         );
+    }
+
+    #[test]
+    fn nan_class_transfer_partitions() {
+        use NanClass::{Arbitrary, CanonicalQuiet};
+        // Arithmetic canonicalizes even over arbitrary inputs.
+        assert_eq!(
+            nan_class_transfer(OpClass::FAdd, &[Arbitrary]),
+            CanonicalQuiet
+        );
+        assert_eq!(
+            nan_class_transfer(OpClass::Fma, &[Arbitrary, Arbitrary]),
+            CanonicalQuiet
+        );
+        assert_eq!(
+            nan_class_transfer(OpClass::FCvt, &[Arbitrary]),
+            CanonicalQuiet
+        );
+        // Bit-transparent ops propagate the worst source.
+        assert_eq!(
+            nan_class_transfer(OpClass::FMinMax, &[CanonicalQuiet, Arbitrary]),
+            Arbitrary
+        );
+        assert_eq!(
+            nan_class_transfer(OpClass::Select, &[CanonicalQuiet, CanonicalQuiet]),
+            CanonicalQuiet
+        );
+        // Memory is unconstrained.
+        assert_eq!(nan_class_transfer(OpClass::Gather, &[]), Arbitrary);
     }
 
     #[test]

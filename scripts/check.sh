@@ -107,6 +107,25 @@ cargo run -p ookami-bench --features obs --bin ookamicheck --release -- \
 cargo run -p ookami-bench --bin report --release -- \
   --validate target/OOKAMICHECK.json target/OOKAMICHECK.obs.json
 
+echo "== translation validator (ookamicheck --tv, both obs modes)"
+# Proves every family trace pass-by-pass through the compiler pipeline
+# (abstract-domain equivalence, bounds re-proof, counter recipes) and
+# runs the 24-seed mutation self-test; the report schema is validated
+# like every other artifact.
+cargo run -p ookami-bench --bin ookamicheck --release -- \
+  --tv --json target/OOKAMICHECK.tv.json
+cargo run -p ookami-bench --features obs --bin ookamicheck --release -- \
+  --tv --json target/OOKAMICHECK.tv.obs.json
+cargo run -p ookami-bench --bin report --release -- \
+  --validate target/OOKAMICHECK.tv.json target/OOKAMICHECK.tv.obs.json
+# Self-test: a trail with a tampered stage and a bumped static counter
+# must both be flagged (exit 1).
+if cargo run -p ookami-bench --bin ookamicheck --release -- \
+  --inject-tv >/dev/null 2>&1; then
+  echo "ookamicheck failed to flag the injected TV defects" >&2
+  exit 1
+fi
+
 echo "== race detector over real pool kernels (obs timeline) + inject self-test"
 # Under obs the binary replays recorded timeline events from the shipped
 # kernels and requires zero races; without obs it prints a SKIPPED notice.
@@ -115,6 +134,12 @@ cargo run -p ookami-bench --features obs --bin ookamicheck --release
 if cargo run -p ookami-bench --features obs --bin ookamicheck --release -- \
   --inject-race >/dev/null 2>&1; then
   echo "ookamicheck failed to flag the injected race" >&2
+  exit 1
+fi
+# Same for the telemetry-actor stream: two unordered sampler-slot writes.
+if cargo run -p ookami-bench --features obs --bin ookamicheck --release -- \
+  --inject-sampler-race >/dev/null 2>&1; then
+  echo "ookamicheck failed to flag the injected sampler race" >&2
   exit 1
 fi
 

@@ -1,0 +1,51 @@
+//! Keeps the diagnostic-code table embedded in DESIGN.md §8 in lockstep
+//! with the source of truth, `ookami_check::diag::code_table()` — every
+//! `OCxxxx`/`TVxxxx` code with its severity and meaning. The table lives
+//! between the `<!-- diag-code-table:begin -->` / `end` markers;
+//! regenerate after adding a code with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test doc_code_table
+//! ```
+
+use std::path::PathBuf;
+
+const BEGIN: &str = "<!-- diag-code-table:begin -->";
+const END: &str = "<!-- diag-code-table:end -->";
+
+fn design_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("DESIGN.md")
+}
+
+#[test]
+fn design_md_code_table_matches_source() {
+    let path = design_path();
+    let text = std::fs::read_to_string(&path).expect("DESIGN.md is readable");
+    let begin = text
+        .find(BEGIN)
+        .expect("DESIGN.md has the diag-code-table:begin marker");
+    let end = text
+        .find(END)
+        .expect("DESIGN.md has the diag-code-table:end marker");
+    assert!(begin < end, "markers out of order in DESIGN.md");
+    let embedded = &text[begin + BEGIN.len()..end];
+    let want = format!("\n{}", ookami_check::diag::code_table());
+
+    if embedded == want {
+        return;
+    }
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let updated = format!(
+            "{}{BEGIN}{want}{END}{}",
+            &text[..begin],
+            &text[end + END.len()..]
+        );
+        std::fs::write(&path, updated).expect("rewrite DESIGN.md");
+        return;
+    }
+    panic!(
+        "the diagnostic-code table in DESIGN.md drifted from \
+         ookami_check::diag::code_table(); regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test doc_code_table"
+    );
+}

@@ -1,8 +1,10 @@
 //! Golden-file snapshots of the `ookami-check` mutation corpus: for each
 //! broken instruction stream, the rendered listing plus every diagnostic
-//! the verifier reports. Diagnostic *codes* are a stable public contract
-//! (scripts parse them), so any change to a code, a span, or a message
-//! shows up here as a readable diff.
+//! the verifier reports — and, for the translation-validator corpus,
+//! each hand-built pass-induced bug with the `TVxxxx` codes it must
+//! raise. Diagnostic *codes* are a stable public contract (scripts parse
+//! them), so any change to a code, a span, or a message shows up here as
+//! a readable diff.
 //!
 //! Regenerate after an *intentional* diagnostics change with:
 //!
@@ -65,6 +67,29 @@ fn corpus_reports_expected_codes() {
 }
 
 #[test]
+fn tv_corpus_diagnostics_are_stable() {
+    // Pass-induced bugs: the TV entries carry their diagnostics (the
+    // validator runs at construction), so the snapshot is the joint
+    // listing plus every rendered `TVxxxx` diagnostic.
+    for e in ookami_check::tv::tv_corpus_entries() {
+        let snapshot = format!(
+            "{}\n{}",
+            e.program.render_listing(),
+            render_all(&e.program, &e.diags)
+        );
+        check(e.name, &snapshot);
+    }
+}
+
+#[test]
+fn tv_corpus_reports_expected_codes() {
+    for e in ookami_check::tv::tv_corpus_entries() {
+        let got: Vec<_> = e.diags.iter().map(|d| d.code).collect();
+        assert_eq!(got, e.expected, "tv corpus entry {:?}", e.name);
+    }
+}
+
+#[test]
 fn no_stale_golden_files() {
     // Every file under tests/lint_corpus/ must correspond to a live
     // corpus entry — deleting an entry without its snapshot would leave
@@ -73,6 +98,11 @@ fn no_stale_golden_files() {
     let names: Vec<String> = corpus::entries()
         .iter()
         .map(|e| e.name.to_string())
+        .chain(
+            ookami_check::tv::tv_corpus_entries()
+                .iter()
+                .map(|e| e.name.to_string()),
+        )
         .collect();
     for f in std::fs::read_dir(dir).unwrap() {
         let f = f.unwrap().path();
